@@ -1,0 +1,57 @@
+// Ablation: task granularity.
+//
+// Theorem 2 treats work as perfectly divisible; the actual workload is a
+// stream of equal-size tasks (Section 1.2), so packages hold whole tasks.
+// Table 2 contrasts "coarse" (1 s) and "finer" (0.1 s) tasks; here we
+// measure what the divisibility idealization costs at each granularity:
+// quantize the optimal FIFO allocations down to task multiples, re-simulate,
+// and report the work lost.  The loss is < n tasks total, so its fraction
+// vanishes as tasks shrink or lifespans grow.
+
+#include <iostream>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/protocol/quantize.h"
+#include "hetero/report/table.h"
+#include "hetero/sim/worksharing.h"
+
+int main() {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+  const std::vector<double> speeds{1.0, 0.6, 0.35, 0.2, 0.1};
+  const double lifespan = 3600.0;  // one hour of slowest-machine task units
+  const auto continuous = protocol::fifo_allocations(speeds, env, lifespan);
+  double continuous_total = 0.0;
+  for (double w : continuous) continuous_total += w;
+
+  std::cout << "=== ablation: whole-task quantization of the optimal FIFO episode ===\n";
+  std::cout << "cluster " << core::format_profile(core::Profile{speeds}, 3) << ", L = "
+            << lifespan << ", continuous work = "
+            << report::format_fixed(continuous_total, 2) << "\n\n";
+
+  report::TextTable table{{"task size", "tasks farmed", "work lost", "loss fraction",
+                           "simulated completion"}};
+  bool monotone = true;
+  double previous_loss = 1e300;
+  for (double task_size : {100.0, 10.0, 1.0, 0.1, 0.01}) {
+    const auto q = protocol::quantize_allocations(continuous, task_size);
+    long long total_tasks = 0;
+    for (long long t : q.tasks) total_tasks += t;
+    const auto sim = sim::simulate_worksharing(
+        speeds, env, q.work, protocol::ProtocolOrders::fifo(speeds.size()));
+    table.add_row({report::format_fixed(task_size, 2), std::to_string(total_tasks),
+                   report::format_fixed(q.lost, 4),
+                   report::format_scientific(q.lost / continuous_total, 2),
+                   report::format_fixed(sim.completed_work(lifespan), 2)});
+    if (q.lost > previous_loss) monotone = false;
+    previous_loss = q.lost;
+  }
+  std::cout << table << '\n';
+  std::cout << "Finer tasks approach the divisible-load ideal (Table 2's 'finer tasks'\n"
+               "regime); even coarse 100-unit tasks lose only O(n) tasks of work, because\n"
+               "quantization error never exceeds one task per machine.\n";
+  std::cout << (monotone ? "[check] loss is monotone in task size.\n"
+                         : "WARNING: loss not monotone in task size!\n");
+  return monotone ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Ablation: channel interleaving.
+//
+// Every CEP protocol sends all work packages before any result returns.
+// Could a cleverer channel discipline — slipping an early result between
+// two sends — ever complete more work?  For 2- and 3-machine clusters we
+// solve the exact-rational LP for *every* (startup order, finishing order,
+// causal channel interleaving) triple and compare against the FIFO optimum.
+// The answer is no: the send-everything-then-collect structure the paper
+// inherits from [1] is optimal, across light and heavy communication.
+
+#include <iostream>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/lp_solver.h"
+#include "hetero/report/table.h"
+
+int main() {
+  using namespace hetero;
+
+  std::cout << "=== ablation: can interleaving sends and results beat FIFO? ===\n\n";
+  report::TextTable table{{"cluster", "environment", "LPs solved", "Thm-2 W(L;P)",
+                           "feasible best", "best interleaved", "interleaving helps?"}};
+  table.set_alignment(0, report::Align::kLeft);
+  table.set_alignment(1, report::Align::kLeft);
+
+  struct Case {
+    std::string cluster_name;
+    std::vector<double> speeds;
+    std::string env_name;
+    core::Environment env;
+  };
+  const core::Environment paper = core::Environment::paper_default();
+  const core::Environment heavy{core::Environment::Params{.tau = 0.3, .pi = 0.1, .delta = 1.0}};
+  const std::vector<Case> cases{
+      {"<1, 1/2>", {1.0, 0.5}, "Table 1", paper},
+      {"<1, 1/2>", {1.0, 0.5}, "heavy comms", heavy},
+      {"<1, 0.45, 0.2>", {1.0, 0.45, 0.2}, "Table 1", paper},
+      {"<1, 0.45, 0.2>", {1.0, 0.45, 0.2}, "heavy comms", heavy},
+      {"homogeneous x3", {0.6, 0.6, 0.6}, "heavy comms", heavy},
+  };
+
+  bool never_helps = true;
+  for (const Case& c : cases) {
+    const auto report = protocol::interleaving_ablation(c.speeds, c.env, 40.0);
+    table.add_row({c.cluster_name, c.env_name, std::to_string(report.programs_solved),
+                   report::format_fixed(report.fifo_closed_form, 4) +
+                       (report.fifo_gap_free ? "" : " (infeasible!)"),
+                   report::format_fixed(report.non_interleaved_best, 4),
+                   report::format_fixed(report.interleaved_best, 4),
+                   report.interleaving_helps ? "YES (!)" : "no"});
+    never_helps &= !report.interleaving_helps;
+  }
+  std::cout << table << '\n';
+  std::cout << "The channel carries the same total traffic either way; moving a result\n"
+               "earlier only delays some machine's work delivery, so the all-sends-first\n"
+               "structure of the paper's protocols loses nothing.\n\n"
+               "Side finding: under heavy communication the *gap-free* FIFO of Theorem 2\n"
+               "is physically infeasible (results would collide with sends), and the\n"
+               "channel-feasible optimum sits below W(L;P) — the quantitative content of\n"
+               "Theorem 1's 'sufficiently long lifespan' premise.\n";
+  std::cout << (never_helps ? "[check] interleaving never beats the FIFO optimum.\n"
+                            : "WARNING: interleaving helped somewhere — model surprise!\n");
+  return never_helps ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Ablation: per-message fixed costs.
+//
+// Section 2.1 ignores the end-to-end latency of the first packet and the
+// per-message set-up overhead "because their impacts fade over long
+// lifespans L".  The discrete-event simulator can carry a fixed per-message
+// latency, so the claim is measurable: run the zero-latency optimal plan
+// under latency h and watch the relative deadline overrun and the
+// throughput deficit decay like 1/L.
+
+#include <iostream>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/report/table.h"
+#include "hetero/sim/worksharing.h"
+
+int main() {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+  const std::vector<double> speeds{1.0, 0.6, 0.35, 0.2};
+  const double latency = 0.05;  // per message, in slowest-task units
+
+  std::cout << "=== ablation: per-message fixed latency h = " << latency
+            << " on a 4-machine cluster ===\n\n";
+  report::TextTable table{{"lifespan L", "makespan overrun", "overrun / L",
+                           "throughput deficit"}};
+  double previous_fraction = 1e9;
+  bool fades = true;
+  for (double lifespan : {20.0, 100.0, 500.0, 2500.0, 12500.0}) {
+    const auto allocations = protocol::fifo_allocations(speeds, env, lifespan);
+    sim::SimulationOptions options;
+    options.message_latency = latency;
+    const auto result = sim::simulate_worksharing(
+        speeds, env, allocations, protocol::ProtocolOrders::fifo(speeds.size()), options);
+    const double overrun = result.makespan - lifespan;
+    const double fraction = overrun / lifespan;
+    // Throughput deficit: the planned work, delivered only by the (longer)
+    // actual makespan, vs what Theorem 2 promises for that makespan.
+    const double ideal_at_makespan =
+        core::work_production(result.makespan, core::Profile{speeds}, env);
+    const double deficit = 1.0 - result.total_work() / ideal_at_makespan;
+    table.add_row({report::format_fixed(lifespan, 0), report::format_fixed(overrun, 4),
+                   report::format_scientific(fraction, 2),
+                   report::format_scientific(deficit, 2)});
+    if (fraction >= previous_fraction) fades = false;
+    previous_fraction = fraction;
+  }
+  std::cout << table << '\n';
+  std::cout << "The absolute overrun is a constant (one latency per message in the\n"
+               "serialized schedule), so its relative impact decays like 1/L — the\n"
+               "paper's justification for dropping fixed costs from the model.\n";
+  std::cout << (fades ? "[check] relative overrun strictly decreases with L.\n"
+                      : "WARNING: latency impact did not fade!\n");
+  return fades ? 0 : 1;
+}

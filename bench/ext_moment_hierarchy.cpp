@@ -1,0 +1,125 @@
+// Extension (the companion-paper direction, ref. [13]): higher statistical
+// moments as predictors of computing power.
+//
+// Theorem 5 stops at the variance.  This experiment goes one moment deeper:
+//  (1) for 3-machine clusters with equal mean AND equal variance, the third
+//      central moment decides *exactly* (the Prop.-3 system reduces to the
+//      F_3 comparison) — smaller third moment (longer fast tail) wins;
+//  (2) for larger clusters, the moment hierarchy (variance, then third
+//      moment) is compared against the plain variance predictor on pairs
+//      whose variances nearly tie — exactly where Theorem 5 goes blind;
+//  (3) the variance gap's rank correlation with the true X gap quantifies
+//      "variance is a rather good predictor".
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "hetero/core/hetero.h"
+#include "hetero/random/samplers.h"
+#include "hetero/report/table.h"
+#include "hetero/stats/correlation.h"
+
+namespace {
+
+using namespace hetero;
+
+std::optional<core::Profile> three_machine_family(double mean, double variance, double x) {
+  const double s = 3.0 * mean - x;
+  const double q = 3.0 * (variance + mean * mean) - x * x;
+  const double yz = 0.5 * (s * s - q);
+  const double disc = s * s - 4.0 * yz;
+  if (disc < 0.0) return std::nullopt;
+  const double y = 0.5 * (s + std::sqrt(disc));
+  const double z = 0.5 * (s - std::sqrt(disc));
+  if (!(z > 0.0) || y > 1.0 || !(x > 0.0) || x > 1.0) return std::nullopt;
+  return core::Profile{{x, y, z}};
+}
+
+}  // namespace
+
+int main() {
+  const core::Environment env = core::Environment::paper_default();
+
+  // --- (1) exact third-moment decisions at n = 3 ---
+  std::cout << "=== (1) equal mean & variance: the third moment decides (n = 3) ===\n\n";
+  report::TextTable family{{"profile", "third central moment", "X(P)"}};
+  family.set_alignment(0, report::Align::kLeft);
+  std::vector<core::Profile> members;
+  for (double x = 0.56; x <= 0.92; x += 0.06) {
+    const auto member = three_machine_family(0.5, 0.03, x);
+    if (member) members.push_back(*member);
+  }
+  std::sort(members.begin(), members.end(),
+            [](const core::Profile& a, const core::Profile& b) {
+              return a.third_central_moment() < b.third_central_moment();
+            });
+  for (const auto& member : members) {
+    std::ostringstream name;
+    name << member;
+    family.add_row({name.str(), report::format_scientific(member.third_central_moment(), 3),
+                    report::format_fixed(core::x_measure(member, env), 6)});
+  }
+  std::cout << family << '\n';
+  bool exact_ok = true;
+  for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+    // Rows are sorted by third moment; X must strictly decrease along them.
+    exact_ok &= core::x_measure(members[i], env) > core::x_measure(members[i + 1], env);
+  }
+  std::cout << (exact_ok ? "[check] X strictly decreases as the third moment grows.\n\n"
+                         : "WARNING: third-moment ordering violated!\n\n");
+
+  // --- (2) near-tied variances at n = 8: hierarchy vs plain variance ---
+  std::cout << "=== (2) near-tied variances (|gap| < 2e-3, n = 8): who predicts better? ===\n\n";
+  random::Xoshiro256StarStar rng{77};
+  std::size_t scored = 0;
+  std::size_t variance_right = 0;
+  std::size_t hierarchy_right = 0;
+  while (scored < 2000) {
+    const auto pair = random::equal_mean_pair(8, rng);
+    if (std::fabs(pair.first.variance() - pair.second.variance()) >= 2e-3) continue;
+    const core::Prediction truth = core::x_value_ground_truth(pair.first, pair.second, env);
+    if (truth == core::Prediction::kInconclusive) continue;
+    ++scored;
+    if (core::variance_predictor(pair.first, pair.second) == truth) ++variance_right;
+    // Treat the near-tied variances as ties so the third moment decides.
+    if (core::moment_hierarchy_predictor(pair.first, pair.second, 1e-9,
+                                         /*variance_tolerance=*/2e-3,
+                                         /*third_moment_tolerance=*/0.0) == truth) {
+      ++hierarchy_right;
+    }
+  }
+  report::TextTable duel{{"predictor", "accuracy on near-ties"}};
+  const auto pct = [scored](std::size_t right) {
+    return report::format_fixed(100.0 * static_cast<double>(right) / static_cast<double>(scored),
+                                1) +
+           "%";
+  };
+  duel.add_row({"variance only (Thm 5)", pct(variance_right)});
+  duel.add_row({"variance, then 3rd moment", pct(hierarchy_right)});
+  std::cout << duel << '\n';
+
+  // --- (3) how strongly does the variance gap track the X gap? ---
+  std::cout << "=== (3) rank correlation of variance gap vs X gap (equal-mean pairs) ===\n\n";
+  report::TextTable corr{{"n", "Spearman rho", "Pearson r"}};
+  for (std::size_t n : {2u, 4u, 8u, 32u, 128u}) {
+    std::vector<double> var_gaps;
+    std::vector<double> x_gaps;
+    random::Xoshiro256StarStar corr_rng{n};
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto pair = random::equal_mean_pair(n, corr_rng);
+      var_gaps.push_back(pair.first.variance() - pair.second.variance());
+      x_gaps.push_back(core::x_measure(pair.first, env) - core::x_measure(pair.second, env));
+    }
+    corr.add_row({std::to_string(n),
+                  report::format_fixed(stats::spearman_correlation(var_gaps, x_gaps), 3),
+                  report::format_fixed(stats::pearson_correlation(var_gaps, x_gaps), 3)});
+  }
+  std::cout << corr << '\n';
+  std::cout << "n = 2 is Theorem 5's biconditional (rank correlation 1); the correlation\n"
+               "stays strongly positive but imperfect for larger n — the quantitative\n"
+               "face of the paper's 'rather good predictor'.\n";
+  return exact_ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Microbenchmarks of the library's hot kernels (google-benchmark):
+// X evaluation (direct vs product form), HECR, symmetric functions
+// (floating and exact), FIFO planning, the exact-rational LP, and the
+// discrete-event simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "hetero/core/hetero.h"
+#include "hetero/numeric/symmetric.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/protocol/lp_solver.h"
+#include "hetero/random/samplers.h"
+#include "hetero/sim/worksharing.h"
+
+namespace {
+
+using namespace hetero;
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+std::vector<double> random_speeds(std::size_t n) {
+  random::Xoshiro256StarStar rng{n};
+  return random::uniform_rho_values(n, rng, 0.05, 1.0);
+}
+
+void BM_XMeasureDirect(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::x_measure(rho, kEnv));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_XMeasureDirect)->RangeMultiplier(8)->Range(8, 1 << 15)->Complexity(benchmark::oN);
+
+void BM_XMeasureStable(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::x_measure_stable(rho, kEnv));
+  }
+}
+BENCHMARK(BM_XMeasureStable)->RangeMultiplier(8)->Range(8, 1 << 15);
+
+void BM_Hecr(benchmark::State& state) {
+  const core::Profile p{random_speeds(static_cast<std::size_t>(state.range(0)))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::hecr(p, kEnv));
+  }
+}
+BENCHMARK(BM_Hecr)->RangeMultiplier(8)->Range(8, 1 << 15);
+
+void BM_ElementarySymmetricDouble(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::elementary_symmetric(std::span<const double>{rho}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ElementarySymmetricDouble)
+    ->RangeMultiplier(4)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_ElementarySymmetricExact(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(numeric::elementary_symmetric_exact(rho));
+  }
+}
+BENCHMARK(BM_ElementarySymmetricExact)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SymmetricFunctionPredictor(benchmark::State& state) {
+  const core::Profile p1{random_speeds(static_cast<std::size_t>(state.range(0)))};
+  const core::Profile p2{random_speeds(static_cast<std::size_t>(state.range(0)) + 1000)};
+  // Same-size profiles required; rebuild p2 at the right size.
+  const core::Profile q2{random_speeds(static_cast<std::size_t>(state.range(0)))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::symmetric_function_predictor(p1, q2));
+  }
+}
+BENCHMARK(BM_SymmetricFunctionPredictor)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FifoAllocations(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::fifo_allocations(rho, kEnv, 1000.0));
+  }
+}
+BENCHMARK(BM_FifoAllocations)->RangeMultiplier(8)->Range(8, 1 << 12);
+
+void BM_ProtocolLpExact(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  const auto orders = protocol::ProtocolOrders::lifo(rho.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol::solve_protocol_lp(rho, kEnv, 100.0, orders));
+  }
+}
+BENCHMARK(BM_ProtocolLpExact)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_SimulateFifoEpisode(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  const auto allocations = protocol::fifo_allocations(rho, kEnv, 500.0);
+  const auto orders = protocol::ProtocolOrders::fifo(rho.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate_worksharing(rho, kEnv, allocations, orders));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateFifoEpisode)->RangeMultiplier(8)->Range(8, 1 << 12);
+
+void BM_EqualMeanPairSampling(benchmark::State& state) {
+  random::Xoshiro256StarStar rng{11};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random::equal_mean_pair(n, rng));
+  }
+}
+BENCHMARK(BM_EqualMeanPairSampling)->RangeMultiplier(8)->Range(8, 1 << 12);
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Regenerates Section 4.3(a): across cluster sizes n = 2^2 .. 2^16, how
+// often does "larger variance at equal mean" pick the more powerful
+// cluster?  The paper reports "bad" pairs for every size, a bad fraction
+// growing to ~23% around n = 128 and steady thereafter, and "rather small"
+// HECR differences on bad pairs.
+//
+// The paper's exact sampling procedure lives in its (unavailable) companion
+// paper; we use the documented shift-matched iid-uniform sampler from
+// hetero::random (see DESIGN.md section 4), so percentages track the
+// qualitative findings rather than matching digit for digit.
+
+#include <iostream>
+#include <vector>
+
+#include "hetero/experiments/experiments.h"
+#include "hetero/report/csv.h"
+#include "hetero/stats/histogram.h"
+#include "hetero/report/table.h"
+
+int main() {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+  parallel::ThreadPool pool;
+
+  std::cout << "=== Section 4.3(a): variance as a predictor of power at equal mean ===\n\n";
+  report::TextTable table{{"n", "trials", "good", "bad", "bad % [95% CI]",
+                           "mean |HECR gap| good", "mean |HECR gap| bad"}};
+
+  bool bad_everywhere_beyond_small_n = true;
+  bool bad_gaps_smaller = true;
+  double plateau_max = 0.0;
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t k = 2; k <= 16; ++k) {
+    const std::size_t n = std::size_t{1} << k;
+    // Keep total rho-draws roughly constant across sizes so the sweep
+    // finishes quickly at n = 2^16 yet has power at small n.
+    const std::size_t trials = std::max<std::size_t>(200, 200000 / n);
+    const auto result = experiments::variance_predictor_experiment(n, trials, 42, env, pool);
+    const auto ci = stats::wilson_interval(result.bad, result.good + result.bad);
+    table.add_row({std::to_string(n), std::to_string(result.trials),
+                   std::to_string(result.good), std::to_string(result.bad),
+                   report::format_fixed(100.0 * result.bad_fraction(), 1) + "% [" +
+                       report::format_fixed(100.0 * ci.lo, 1) + ", " +
+                       report::format_fixed(100.0 * ci.hi, 1) + "]",
+                   result.good ? report::format_scientific(result.hecr_gap_when_good.mean(), 2)
+                               : "n/a",
+                   result.bad ? report::format_scientific(result.hecr_gap_when_bad.mean(), 2)
+                              : "n/a"});
+    if (n >= 8 && result.bad == 0) bad_everywhere_beyond_small_n = false;
+    if (result.bad > 0 && result.good > 0 &&
+        result.hecr_gap_when_bad.mean() >= result.hecr_gap_when_good.mean()) {
+      bad_gaps_smaller = false;
+    }
+    if (n >= 128) plateau_max = std::max(plateau_max, result.bad_fraction());
+    csv_rows.push_back({static_cast<double>(n), static_cast<double>(result.trials),
+                        static_cast<double>(result.good), static_cast<double>(result.bad),
+                        result.bad_fraction()});
+  }
+  std::cout << table << '\n';
+  std::cout << "paper: bad pairs exist at every size, bad fraction plateaus (~23% in the\n"
+               "paper's sampler), and bad pairs show small HECR differences.\n\n";
+  std::cout << "[observed] bad pairs found at (almost) every n >= 8: "
+            << (bad_everywhere_beyond_small_n ? "yes" : "no") << '\n';
+  std::cout << "[observed] mean HECR gap smaller on bad pairs at every n: "
+            << (bad_gaps_smaller ? "yes" : "no") << '\n';
+  std::cout << "[observed] max bad fraction for n >= 128: "
+            << report::format_fixed(100.0 * plateau_max, 1) << "%\n";
+
+  // Machine-readable copy for external plotting.
+  std::cout << "\n--- CSV (n, trials, good, bad, bad_fraction) ---\n";
+  report::CsvWriter csv{std::cout};
+  csv.write_row({"n", "trials", "good", "bad", "bad_fraction"});
+  for (const auto& row : csv_rows) csv.write_numeric_row(row);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Regenerates Section 4.3(b): the variance-gap threshold theta.  The paper
+// finds empirically that when the variance gap between equal-mean clusters
+// exceeds theta = 0.167, "larger variance wins" is correct 100% of the time.
+// We sweep variance gaps with moment-controlled pairs, report accuracy per
+// gap bin, and extract the empirical theta across several cluster sizes.
+
+#include <iostream>
+
+#include "hetero/experiments/experiments.h"
+#include "hetero/report/table.h"
+
+int main() {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+  parallel::ThreadPool pool;
+
+  std::cout << "=== Section 4.3(b): searching for the variance threshold theta ===\n";
+  std::cout << "(paper: theta = 0.167 gives 100% correct predictions)\n\n";
+
+  bool thresholds_found = true;
+  report::TextTable summary{{"n", "empirical theta", "accuracy beyond theta"}};
+  for (std::size_t n : {4u, 8u, 16u, 64u, 256u}) {
+    const auto result =
+        experiments::variance_threshold_search(n, 600, 8, 0.16, /*seed=*/1234, env, pool);
+    if (n == 8) {
+      std::cout << "--- accuracy by variance-gap bin (n = 8) ---\n";
+      report::TextTable bins{{"gap range", "trials", "correct", "accuracy"}};
+      for (const auto& bin : result.bins) {
+        bins.add_row({report::format_fixed(bin.gap_lo, 3) + " - " +
+                          report::format_fixed(bin.gap_hi, 3),
+                      std::to_string(bin.trials), std::to_string(bin.correct),
+                      report::format_fixed(100.0 * bin.accuracy(), 1) + "%"});
+      }
+      std::cout << bins << '\n';
+    }
+    if (result.smallest_perfect_gap >= 0.16) thresholds_found = false;
+    std::size_t beyond_trials = 0;
+    std::size_t beyond_correct = 0;
+    for (const auto& bin : result.bins) {
+      if (bin.gap_lo >= result.smallest_perfect_gap) {
+        beyond_trials += bin.trials;
+        beyond_correct += bin.correct;
+      }
+    }
+    summary.add_row(
+        {std::to_string(n), report::format_fixed(result.smallest_perfect_gap, 3),
+         beyond_trials == 0
+             ? std::string("n/a")
+             : report::format_fixed(
+                   100.0 * static_cast<double>(beyond_correct) / static_cast<double>(beyond_trials),
+                   1) + "% (" + std::to_string(beyond_trials) + " trials)"});
+  }
+  std::cout << summary << '\n';
+  std::cout << "Reading: mispredictions concentrate at small variance gaps and vanish beyond\n"
+               "an empirical threshold — the paper's phenomenon.  Our theta lands below the\n"
+               "paper's 0.167 because theta depends on the pair-sampling distribution (the\n"
+               "paper's exact sampler lives in its unavailable companion paper).\n";
+  std::cout << (thresholds_found
+                    ? "[check] a perfect-prediction threshold exists at every n.\n"
+                    : "WARNING: no threshold found below the sweep range!\n");
+  return thresholds_found ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Regenerates Table 5: the first three families of elementary symmetric
+// functions of rho-values, printed symbolically and verified numerically
+// (each symbolic expansion is evaluated and compared against the library's
+// elementary_symmetric on random inputs).
+
+#include <functional>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "hetero/numeric/stable.h"
+#include "hetero/numeric/symmetric.h"
+#include "hetero/report/table.h"
+
+namespace {
+
+// Builds the symbolic monomial list of F_k^{(n)} (e.g. "r1*r2 + r1*r3 + r2*r3")
+// and the matching evaluator.
+struct SymbolicF {
+  std::string text;
+  std::function<double(const std::vector<double>&)> eval;
+};
+
+SymbolicF symbolic(std::size_t n, std::size_t k) {
+  std::vector<std::vector<std::size_t>> monomials;
+  std::vector<std::size_t> pick(k);
+  // Enumerate k-subsets of {0..n-1} in lexicographic order.
+  std::function<void(std::size_t, std::size_t)> recurse = [&](std::size_t start,
+                                                              std::size_t depth) {
+    if (depth == k) {
+      monomials.push_back(pick);
+      return;
+    }
+    for (std::size_t i = start; i < n; ++i) {
+      pick[depth] = i;
+      recurse(i + 1, depth + 1);
+    }
+  };
+  recurse(0, 0);
+
+  std::ostringstream text;
+  for (std::size_t m = 0; m < monomials.size(); ++m) {
+    if (m != 0) text << " + ";
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j != 0) text << "*";
+      text << "r" << monomials[m][j] + 1;
+    }
+  }
+  SymbolicF result;
+  result.text = text.str();
+  result.eval = [monomials](const std::vector<double>& rho) {
+    double total = 0.0;
+    for (const auto& monomial : monomials) {
+      double product = 1.0;
+      for (std::size_t index : monomial) product *= rho[index];
+      total += product;
+    }
+    return total;
+  };
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hetero;
+  std::cout << "=== Table 5: the first three families of symmetric functions ===\n\n";
+  report::TextTable table{{"F_k^(n)", "expansion"}};
+  table.set_alignment(1, report::Align::kLeft);
+
+  std::mt19937_64 gen{2024};
+  std::uniform_real_distribution<double> dist{0.1, 1.0};
+  bool all_checks_pass = true;
+
+  for (std::size_t n = 2; n <= 4; ++n) {
+    std::vector<double> rho(n);
+    for (double& v : rho) v = dist(gen);
+    const auto library = numeric::elementary_symmetric(std::span<const double>{rho});
+    for (std::size_t k = 1; k <= n; ++k) {
+      const SymbolicF f = symbolic(n, k);
+      std::ostringstream name;
+      name << "F_" << k << "^(" << n << ")";
+      table.add_row({name.str(), f.text});
+      // Verify the symbolic expansion against the library's O(n^2) recurrence.
+      if (numeric::relative_difference(f.eval(rho), library[k]) > 1e-12) {
+        all_checks_pass = false;
+      }
+    }
+  }
+  std::cout << table << '\n';
+  std::cout << (all_checks_pass
+                    ? "[check] every symbolic expansion matches elementary_symmetric "
+                      "on random inputs.\n"
+                    : "WARNING: symbolic/library mismatch!\n");
+  return all_checks_pass ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Validates Theorem 1 exhaustively (this underpins every other experiment:
+// the paper measures clusters through their *optimal* CEP solutions).
+// For small clusters we solve the fixed-order LP for every (startup,
+// finishing) permutation pair and confirm that (1) FIFO pairs attain the
+// global maximum and (2) all FIFO pairs tie regardless of startup order.
+
+#include <iostream>
+#include <random>
+
+#include "hetero/experiments/experiments.h"
+#include "hetero/report/table.h"
+
+int main() {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+
+  std::cout << "=== Theorem 1: FIFO optimality and startup-order independence ===\n\n";
+  report::TextTable table{{"cluster", "order pairs", "best work", "FIFO min", "FIFO max",
+                           "FIFO optimal?", "order-independent?"}};
+  table.set_alignment(0, report::Align::kLeft);
+
+  bool all_hold = true;
+  std::mt19937_64 gen{5};
+  std::uniform_real_distribution<double> dist{0.1, 1.0};
+  std::vector<std::pair<std::string, std::vector<double>>> clusters{
+      {"<1, 1/2>", {1.0, 0.5}},
+      {"<1, 1/2, 1/4>", {1.0, 0.5, 0.25}},
+      {"<1, 0.45, 0.2>", {1.0, 0.45, 0.2}},
+      {"homogeneous x3", {0.7, 0.7, 0.7}},
+      {"<1, 0.9, 0.5, 0.1>", {1.0, 0.9, 0.5, 0.1}},
+  };
+  for (int extra = 0; extra < 2; ++extra) {
+    std::vector<double> random_cluster(4);
+    for (double& v : random_cluster) v = dist(gen);
+    clusters.emplace_back("random #" + std::to_string(extra + 1), random_cluster);
+  }
+
+  for (const auto& [name, speeds] : clusters) {
+    const auto report = experiments::fifo_optimality_report(speeds, env, 50.0);
+    table.add_row({name, std::to_string(report.order_pairs),
+                   report::format_fixed(report.best_work, 4),
+                   report::format_fixed(report.fifo_min_work, 4),
+                   report::format_fixed(report.fifo_max_work, 4),
+                   report.fifo_always_optimal ? "yes" : "NO",
+                   report.fifo_order_independent ? "yes" : "NO"});
+    all_hold &= report.fifo_always_optimal && report.fifo_order_independent;
+  }
+  std::cout << table << '\n';
+  std::cout << (all_hold
+                    ? "[check] Theorem 1 holds on every cluster tested: every FIFO pair\n"
+                      "        attains the exhaustive-LP maximum, independent of startup "
+                      "order.\n"
+                    : "WARNING: Theorem 1 violated!\n");
+  return all_hold ? 0 : 1;
+}

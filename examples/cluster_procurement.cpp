@@ -1,0 +1,79 @@
+// Cluster procurement: "is one better off with a cluster that has one
+// superfast computer and the rest of average speed, or with a cluster all
+// of whose computers are moderately fast?" (the abstract's question).
+//
+// Four candidate 8-machine configurations with the *same mean speed* are
+// compared three ways: by the exact X-measure, by the HECR, and by a
+// simulated one-hour CEP run.  The paper's moment theory (Theorem 5 /
+// Section 4.3) predicts the ranking from the variances alone — we print
+// that prediction next to the ground truth.
+
+#include <iostream>
+#include <sstream>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/report/table.h"
+#include "hetero/sim/worksharing.h"
+
+int main() {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+  const double lifespan = 3600.0;
+
+  struct Candidate {
+    std::string name;
+    core::Profile profile;
+  };
+  // All four have mean rho = 0.5.
+  const std::vector<Candidate> candidates{
+      {"all moderate", core::Profile::homogeneous(8, 0.5)},
+      {"one superfast + average",
+       core::Profile{{0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.15}}},
+      {"two tiers", core::Profile{{0.7, 0.7, 0.7, 0.7, 0.3, 0.3, 0.3, 0.3}}},
+      {"extreme spread", core::Profile{{0.95, 0.95, 0.95, 0.05, 0.05, 0.05, 0.5, 0.5}}},
+  };
+
+  report::TextTable table{{"configuration", "variance", "X(P)", "HECR", "simulated work (L=3600)"}};
+  table.set_alignment(0, report::Align::kLeft);
+  double best_x = 0.0;
+  std::string best_name;
+  for (const auto& candidate : candidates) {
+    std::vector<double> speeds(candidate.profile.values().begin(),
+                               candidate.profile.values().end());
+    const auto sim = sim::simulate_worksharing(
+        speeds, env, protocol::fifo_allocations(speeds, env, lifespan),
+        protocol::ProtocolOrders::fifo(speeds.size()));
+    const double x = core::x_measure(candidate.profile, env);
+    if (x > best_x) {
+      best_x = x;
+      best_name = candidate.name;
+    }
+    table.add_row({candidate.name, report::format_fixed(candidate.profile.variance(), 4),
+                   report::format_fixed(x, 3),
+                   report::format_fixed(core::hecr(candidate.profile, env), 4),
+                   report::format_fixed(sim.completed_work(lifespan), 1)});
+  }
+  std::cout << "Four 8-machine clusters, identical mean speed (mean rho = 0.5):\n\n"
+            << table << '\n';
+  std::cout << "winner: \"" << best_name << "\"\n\n";
+
+  // Moment-based prediction (no X computation — profile statistics only).
+  std::cout << "variance-only predictions (Theorem 5 heuristic):\n";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      const auto verdict =
+          core::variance_predictor(candidates[i].profile, candidates[j].profile);
+      const auto truth =
+          core::x_value_ground_truth(candidates[i].profile, candidates[j].profile, env);
+      std::ostringstream line;
+      line << "  " << candidates[i].name << " vs " << candidates[j].name << ": predicted "
+           << core::to_string(verdict) << ", actual " << core::to_string(truth)
+           << (verdict == truth ? "  [correct]" : "  [WRONG — a Section-4.3 'bad pair']");
+      std::cout << line.str() << '\n';
+    }
+  }
+  std::cout << "\nMoral (Corollary 1): at equal mean speed, heterogeneity is an asset —\n"
+               "the more spread-out cluster usually completes more work.\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// heteroctl — command-line front end to the library.
+//
+//   heteroctl power   "<1, 1/2, 1/4>"            # X, HECR, moments
+//   heteroctl plan    "<1, 1/2, 1/4>" 3600       # FIFO allocations for L
+//   heteroctl rent    "<1, 1/2, 1/4>" 10000      # CRP: min time for W units
+//   heteroctl compare "<0.8, 0.2>" "<0.5, 0.5>"  # every predictor + ground truth
+//   heteroctl upgrade "<1, 1/2, 1/4>" 0.0625     # additive-speedup table (phi)
+//
+// Profiles use the paper's notation: fractions or decimals, brackets
+// optional.  All output is plain text.
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/report/table.h"
+#include "hetero/sim/worksharing.h"
+
+namespace {
+
+using namespace hetero;
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+int cmd_power(const core::Profile& profile) {
+  report::TextTable table{{"measure", "value"}};
+  table.set_alignment(0, report::Align::kLeft);
+  table.add_row({"machines", std::to_string(profile.size())});
+  table.add_row({"X(P)", report::format_fixed(core::x_measure(profile, kEnv), 6)});
+  table.add_row({"HECR", report::format_fixed(core::hecr(profile, kEnv), 6)});
+  table.add_row({"work rate W/L", report::format_fixed(core::work_rate(profile, kEnv), 6)});
+  table.add_row({"mean rho", report::format_fixed(profile.mean(), 6)});
+  table.add_row({"variance", report::format_fixed(profile.variance(), 6)});
+  table.add_row({"3rd central moment",
+                 report::format_scientific(profile.third_central_moment(), 3)});
+  std::cout << table;
+  return 0;
+}
+
+int cmd_plan(const core::Profile& profile, double lifespan) {
+  std::vector<double> speeds(profile.values().begin(), profile.values().end());
+  const protocol::Schedule schedule = protocol::fifo_schedule(speeds, kEnv, lifespan);
+  report::TextTable table{{"machine", "rho", "work", "receive", "result arrives"}};
+  for (const auto& t : schedule.timelines) {
+    table.add_row({"C" + std::to_string(t.machine + 1),
+                   report::format_fixed(schedule.speeds[t.machine], 4),
+                   report::format_fixed(t.work, 3), report::format_fixed(t.receive, 3),
+                   report::format_fixed(t.result_end, 3)});
+  }
+  std::cout << table;
+  std::cout << "total work: " << report::format_fixed(schedule.total_work(), 3)
+            << "  (Theorem 2: "
+            << report::format_fixed(core::work_production(lifespan, profile, kEnv), 3)
+            << ")\n";
+  const auto violations = schedule.validate(kEnv);
+  if (!violations.empty()) {
+    std::cout << "WARNING: plan infeasible in this environment ("
+              << violations.front() << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_rent(const core::Profile& profile, double work) {
+  const double lifespan = core::rental_time(work, profile, kEnv);
+  std::cout << "minimum lifespan for " << work << " units: "
+            << report::format_fixed(lifespan, 4) << "\n";
+  std::vector<double> speeds(profile.values().begin(), profile.values().end());
+  const auto schedule = protocol::crp_schedule(speeds, kEnv, work);
+  const auto sim = sim::simulate_schedule(schedule, kEnv);
+  std::cout << "simulated completion: "
+            << report::format_fixed(sim.completed_work(schedule.lifespan), 4) << " units by t = "
+            << report::format_fixed(sim.makespan, 4) << "\n";
+  return 0;
+}
+
+int cmd_compare(const core::Profile& p1, const core::Profile& p2) {
+  report::TextTable table{{"predictor", "verdict"}};
+  table.set_alignment(0, report::Align::kLeft);
+  table.set_alignment(1, report::Align::kLeft);
+  table.add_row({"minorization (Prop. 2)",
+                 core::to_string(core::minorization_predictor(p1, p2))});
+  table.add_row({"symmetric functions (Prop. 3, exact)",
+                 core::to_string(core::symmetric_function_predictor(p1, p2))});
+  const bool equal_means = std::fabs(p1.mean() - p2.mean()) <= 1e-9;
+  table.add_row({"variance (Thm 5, needs equal means)",
+                 equal_means ? core::to_string(core::variance_predictor(p1, p2))
+                             : "n/a (means differ)"});
+  table.add_row({"moment hierarchy (extension)",
+                 equal_means
+                     ? core::to_string(core::moment_hierarchy_predictor(p1, p2, 1e-9, 1e-6, 0.0))
+                     : "n/a (means differ)"});
+  table.add_row({"X ground truth",
+                 core::to_string(core::x_value_ground_truth(p1, p2, kEnv))});
+  std::cout << "P1 = " << core::format_profile(p1, 4) << "   X = "
+            << report::format_fixed(core::x_measure(p1, kEnv), 4) << '\n';
+  std::cout << "P2 = " << core::format_profile(p2, 4) << "   X = "
+            << report::format_fixed(core::x_measure(p2, kEnv), 4) << "\n\n";
+  std::cout << table;
+  return 0;
+}
+
+int cmd_upgrade(const core::Profile& profile, double phi) {
+  const auto eval = core::evaluate_additive_upgrades(profile, phi, kEnv);
+  report::TextTable table{{"speed up", "rho", "work gain"}};
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    const auto upgraded = profile.with_additive_speedup(k, phi);
+    table.add_row(
+        {"C" + std::to_string(k + 1) + (k == eval.best_power_index ? "  <== best" : ""),
+         report::format_fixed(profile.rho(k), 4),
+         "+" + report::format_fixed(100.0 * (core::work_ratio(upgraded, profile, kEnv) - 1.0),
+                                    2) +
+             "%"});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int usage() {
+  std::cout << "usage:\n"
+               "  heteroctl power   <profile>\n"
+               "  heteroctl plan    <profile> <lifespan>\n"
+               "  heteroctl rent    <profile> <work-units>\n"
+               "  heteroctl compare <profile> <profile>\n"
+               "  heteroctl upgrade <profile> <phi>\n"
+               "profiles use the paper's notation, e.g. \"<1, 1/2, 1/4>\" or \"1 0.5 0.25\"\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  try {
+    const std::string command = argv[1];
+    const core::Profile first = core::parse_profile(argv[2]);
+    if (command == "power") return cmd_power(first);
+    if (command == "plan" && argc >= 4) return cmd_plan(first, std::stod(argv[3]));
+    if (command == "rent" && argc >= 4) return cmd_rent(first, std::stod(argv[3]));
+    if (command == "compare" && argc >= 4) {
+      return cmd_compare(first, core::parse_profile(argv[3]));
+    }
+    if (command == "upgrade" && argc >= 4) return cmd_upgrade(first, std::stod(argv[3]));
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

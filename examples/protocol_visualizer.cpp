@@ -1,0 +1,87 @@
+// Protocol visualizer: watch worksharing protocols execute.
+//
+// Usage:
+//   ./protocol_visualizer                # demo cluster, FIFO vs LIFO
+//   ./protocol_visualizer 1 0.5 0.25    # your own rho-values
+//
+// Renders the Figure-1/2 style action/time diagrams for FIFO and LIFO
+// protocols on the same cluster, prints the planned vs measured timelines,
+// and reports the work each protocol completes.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/protocol/lp_solver.h"
+#include "hetero/report/gantt.h"
+#include "hetero/report/table.h"
+#include "hetero/sim/worksharing.h"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  // Exaggerated communication so the chart shows every phase.
+  const core::Environment env{
+      core::Environment::Params{.tau = 0.08, .pi = 0.04, .delta = 1.0}};
+  const double lifespan = 60.0;
+
+  std::vector<double> speeds{1.0, 0.6, 0.35};
+  if (argc > 1) {
+    std::string joined;
+    for (int i = 1; i < argc; ++i) {
+      joined += argv[i];
+      joined += ' ';
+    }
+    // Accepts the paper's notation, e.g.  ./prog "<1, 1/2, 1/4>"  or  1 1/2 1/4
+    const core::Profile parsed = core::parse_profile(joined);
+    speeds.assign(parsed.values().begin(), parsed.values().end());
+  }
+  const std::size_t n = speeds.size();
+  std::cout << "cluster: " << core::Profile{speeds} << "  L = " << lifespan << "  " << env
+            << "\n\n";
+
+  report::GanttOptions gantt_options;
+  gantt_options.width = 100;
+
+  // --- FIFO ---
+  std::cout << "=== FIFO protocol (optimal, Theorem 1) ===\n\n";
+  const auto fifo_alloc = protocol::fifo_allocations(speeds, env, lifespan);
+  const auto fifo_sim = sim::simulate_worksharing(speeds, env, fifo_alloc,
+                                                  protocol::ProtocolOrders::fifo(n));
+  std::cout << report::render_gantt(fifo_sim.trace, gantt_options) << '\n';
+  report::TextTable fifo_table{{"machine", "work", "receive", "compute done", "result arrives"}};
+  for (const auto& o : fifo_sim.outcomes) {
+    fifo_table.add_row({"C" + std::to_string(o.machine + 1), report::format_fixed(o.work, 3),
+                        report::format_fixed(o.receive, 3),
+                        report::format_fixed(o.compute_done, 3),
+                        report::format_fixed(o.result_end, 3)});
+  }
+  std::cout << fifo_table << '\n';
+
+  // --- LIFO ---
+  std::cout << "=== LIFO protocol (results in reverse startup order) ===\n\n";
+  const auto lifo_lp =
+      protocol::solve_protocol_lp(speeds, env, lifespan, protocol::ProtocolOrders::lifo(n));
+  if (lifo_lp.status != numeric::LpStatus::kOptimal) {
+    std::cout << "LIFO LP did not solve: " << numeric::to_string(lifo_lp.status) << '\n';
+    return 1;
+  }
+  std::vector<double> lifo_alloc;
+  for (const auto& t : lifo_lp.schedule.timelines) lifo_alloc.push_back(t.work);
+  const auto lifo_sim = sim::simulate_worksharing(speeds, env, lifo_alloc,
+                                                  protocol::ProtocolOrders::lifo(n));
+  std::cout << report::render_gantt(lifo_sim.trace, gantt_options) << '\n';
+
+  const double fifo_work = fifo_sim.completed_work(lifespan);
+  const double lifo_work = lifo_sim.completed_work(lifespan);
+  std::cout << "completed work:  FIFO = " << fifo_work << "   LIFO = " << lifo_work
+            << "   (FIFO advantage " << report::format_fixed(100.0 * (fifo_work / lifo_work - 1.0), 2)
+            << "%)\n";
+  std::cout << "channel exclusive in both runs: "
+            << ((fifo_sim.trace.channel_exclusive() && lifo_sim.trace.channel_exclusive())
+                    ? "yes"
+                    : "NO")
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Resilient work farming: what does the clean CEP model lose when machines
+// actually crash?  (Volunteer platforms like SETI@home — the paper's own
+// motivating workload — see constant churn.)
+//
+// We plan the optimal FIFO episode for a 12-machine cluster, then inject
+// crashes at random times and measure how much of the planned work
+// survives, how the damage depends on *which* machine dies, and what a
+// simple hedge (planning a shorter episode and re-planning between rounds)
+// buys.
+
+#include <cmath>
+#include <iostream>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/random/rng.h"
+#include "hetero/random/samplers.h"
+#include "hetero/report/table.h"
+#include "hetero/sim/worksharing.h"
+
+int main() {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+  const double lifespan = 1000.0;
+
+  random::Xoshiro256StarStar rng{424242};
+  const std::vector<double> speeds = random::log_uniform_rho_values(12, rng, 0.05, 1.0);
+  const core::Profile cluster{speeds};
+  std::cout << "cluster: " << cluster << "\nplanned work (Theorem 2): "
+            << report::format_fixed(core::work_production(lifespan, cluster, env), 1)
+            << " units in L = " << lifespan << "\n\n";
+
+  const auto allocations = protocol::fifo_allocations(speeds, env, lifespan);
+  const auto orders = protocol::ProtocolOrders::fifo(speeds.size());
+  const auto baseline = sim::simulate_worksharing(speeds, env, allocations, orders);
+  const double planned = baseline.completed_work(lifespan);
+
+  // --- which machine's crash hurts most? ---
+  std::cout << "=== single crash at mid-episode (t = L/2): damage by victim ===\n\n";
+  report::TextTable damage{{"victim", "rho", "allocated work", "work lost", "% of episode"}};
+  for (std::size_t position : {std::size_t{0}, speeds.size() / 2, speeds.size() - 1}) {
+    sim::SimulationOptions options;
+    // Startup order is by index here, so position == machine id.
+    options.failures.push_back(sim::MachineFailure{position, lifespan / 2.0});
+    const auto crashed = sim::simulate_worksharing(speeds, env, allocations, orders, options);
+    const double lost = planned - crashed.completed_work(lifespan);
+    damage.add_row({"machine " + std::to_string(position + 1),
+                    report::format_fixed(speeds[position], 3),
+                    report::format_fixed(baseline.outcomes[position].work, 1),
+                    report::format_fixed(lost, 1),
+                    report::format_fixed(100.0 * lost / planned, 1) + "%"});
+  }
+  std::cout << damage << '\n';
+  std::cout << "Fast machines carry proportionally bigger loads (w ~ 1/rho), so losing\n"
+               "the fastest machine costs the most — the dark side of Theorem 3's\n"
+               "\"invest in your fastest machine\".\n\n";
+
+  // --- does splitting the episode hedge the risk? ---
+  std::cout << "=== hedging: one long episode vs 10 short rounds, one random crash ===\n\n";
+  report::TextTable hedge{{"strategy", "mean completed", "worst completed", "(100 trials)"}};
+  hedge.set_alignment(0, report::Align::kLeft);
+  for (int rounds : {1, 10}) {
+    const double round_length = lifespan / rounds;
+    const auto round_alloc = protocol::fifo_allocations(speeds, env, round_length);
+    double total_mean = 0.0;
+    double worst = 1e300;
+    for (int trial = 0; trial < 100; ++trial) {
+      auto trial_rng = random::Xoshiro256StarStar::for_stream(7, static_cast<std::uint64_t>(
+                                                                     rounds * 1000 + trial));
+      const double crash_time = trial_rng.uniform(0.0, lifespan);
+      const std::size_t victim = static_cast<std::size_t>(trial_rng.below(speeds.size()));
+      double completed = 0.0;
+      for (int r = 0; r < rounds; ++r) {
+        const double round_start = r * round_length;
+        sim::SimulationOptions options;
+        if (crash_time < round_start + round_length) {
+          // The machine is dead from max(0, crash_time - round_start) within
+          // this round on (dead from the start of later rounds: a crashed
+          // volunteer stays gone, so re-planning would drop it — we model
+          // the pessimistic "no re-plan" variant to isolate the split's
+          // effect on in-flight loss).
+          options.failures.push_back(sim::MachineFailure{
+              victim, std::fmax(0.0, crash_time - round_start)});
+        }
+        const auto result =
+            sim::simulate_worksharing(speeds, env, round_alloc, orders, options);
+        completed += result.completed_work(round_length);
+      }
+      total_mean += completed;
+      worst = std::fmin(worst, completed);
+    }
+    hedge.add_row({rounds == 1 ? "one 1000-unit episode" : "ten 100-unit rounds",
+                   report::format_fixed(total_mean / 100.0, 1), report::format_fixed(worst, 1),
+                   ""});
+  }
+  std::cout << hedge << '\n';
+  std::cout << "Short rounds lose only the in-flight round to a crash instead of the whole\n"
+               "episode's allocation — at zero cost in this model, since FIFO work\n"
+               "production is linear in L.  (With per-message fixed costs — see\n"
+               "bench_ablation_latency — shorter rounds do pay a real overhead.)\n";
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Upgrade advisor: "if you could replace just one computer in your cluster
+// with a faster one, which would you choose?" (the abstract's question).
+//
+// Usage:
+//   ./upgrade_advisor                 # demo cluster
+//   ./upgrade_advisor 1 0.7 0.4 0.2   # your own rho-values
+//
+// For the cluster given on the command line, the advisor evaluates every
+// single-machine upgrade under both models (additive phi, multiplicative
+// psi), prints the work gained by each choice, and then runs a greedy
+// multi-round plan showing how the best target migrates between the fastest
+// and slowest machine exactly as Theorems 3 and 4 predict.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hetero/core/hetero.h"
+#include "hetero/report/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hetero;
+  const core::Environment env = core::Environment::paper_default();
+
+  std::vector<double> speeds{1.0, 0.7, 0.4, 0.2};
+  if (argc > 1) {
+    std::string joined;
+    for (int i = 1; i < argc; ++i) {
+      joined += argv[i];
+      joined += ' ';
+    }
+    // Accepts the paper's notation, e.g.  ./prog "<1, 1/2, 1/4>"  or  1 1/2 1/4
+    const core::Profile parsed = core::parse_profile(joined);
+    speeds.assign(parsed.values().begin(), parsed.values().end());
+  }
+  const core::Profile cluster{speeds};
+  std::cout << "cluster: " << cluster << "   X = " << core::x_measure(cluster, env)
+            << "   HECR = " << core::hecr(cluster, env) << "\n\n";
+
+  // --- Additive upgrades: rho -> rho - phi. ---
+  const double phi = 0.5 * cluster.fastest();
+  std::cout << "=== additive upgrades (phi = " << phi << ") ===\n";
+  const auto additive = core::evaluate_additive_upgrades(cluster, phi, env);
+  report::TextTable add_table{{"upgrade target", "rho before", "rho after", "work gain"}};
+  for (std::size_t k = 0; k < cluster.size(); ++k) {
+    const auto upgraded = cluster.with_additive_speedup(k, phi);
+    add_table.add_row(
+        {"machine " + std::to_string(k + 1) + (k == additive.best_power_index ? "  <== best" : ""),
+         report::format_fixed(cluster.rho(k), 4), report::format_fixed(cluster.rho(k) - phi, 4),
+         "+" + report::format_fixed(100.0 * (core::work_ratio(upgraded, cluster, env) - 1.0), 2) +
+             "%"});
+  }
+  std::cout << add_table;
+  std::cout << "Theorem 3 says: always upgrade the fastest machine. Advisor picks machine "
+            << additive.best_power_index + 1 << ".\n\n";
+
+  // --- Multiplicative upgrades: rho -> psi * rho. ---
+  const double psi = 0.5;
+  std::cout << "=== multiplicative upgrades (psi = " << psi << ") ===\n";
+  const auto multiplicative = core::evaluate_multiplicative_upgrades(cluster, psi, env);
+  report::TextTable mul_table{{"upgrade target", "rho before", "rho after", "work gain"}};
+  for (std::size_t k = 0; k < cluster.size(); ++k) {
+    const auto upgraded = cluster.with_multiplicative_speedup(k, psi);
+    mul_table.add_row(
+        {"machine " + std::to_string(k + 1) +
+             (k == multiplicative.best_power_index ? "  <== best" : ""),
+         report::format_fixed(cluster.rho(k), 4), report::format_fixed(psi * cluster.rho(k), 4),
+         "+" + report::format_fixed(100.0 * (core::work_ratio(upgraded, cluster, env) - 1.0), 2) +
+             "%"});
+  }
+  std::cout << mul_table;
+  std::cout << "Theorem 4 threshold A*tau*delta/B^2 = " << env.theorem4_threshold()
+            << ": above it, prefer the faster machine; below, the slower.\n\n";
+
+  // --- Greedy multi-round plan. ---
+  const int rounds = 8;
+  std::cout << "=== greedy " << rounds << "-round multiplicative plan (psi = 0.5) ===\n";
+  const auto plan =
+      core::greedy_upgrade_plan(speeds, core::UpgradeKind::kMultiplicative, psi, rounds, env);
+  report::TextTable plan_table{{"round", "upgrade", "X after", "HECR after"}};
+  for (std::size_t r = 0; r < plan.size(); ++r) {
+    const core::Profile after{std::vector<double>(plan[r].speeds_after)};
+    plan_table.add_row({std::to_string(r + 1), "machine " + std::to_string(plan[r].machine + 1),
+                        report::format_fixed(plan[r].x_after, 4),
+                        report::format_fixed(core::hecr(after, env), 5)});
+  }
+  std::cout << plan_table;
+
+  // --- Budgeted procurement: a menu of upgrades, limited money. ---
+  std::cout << "\n=== budgeted procurement (menu of upgrades, budget = 20) ===\n";
+  std::vector<core::UpgradeOption> menu;
+  for (std::size_t m = 0; m < cluster.size(); ++m) {
+    // Two tiers per machine: a cheap 0.8x and a pricey 0.5x accelerator.
+    menu.push_back(core::UpgradeOption{m, 0.8, 4.0});
+    menu.push_back(core::UpgradeOption{m, 0.5, 11.0});
+  }
+  const auto exact = core::best_upgrades_exhaustive(
+      std::vector<double>(cluster.values().begin(), cluster.values().end()), menu, 20.0, env);
+  const auto heuristic = core::best_upgrades_greedy(
+      std::vector<double>(cluster.values().begin(), cluster.values().end()), menu, 20.0, env);
+  report::TextTable budget_table{{"planner", "spent", "X after", "bought"}};
+  const auto describe = [&menu](const core::BudgetedPlan& p) {
+    std::string text;
+    for (std::size_t index : p.chosen) {
+      if (!text.empty()) text += ", ";
+      text += "m" + std::to_string(menu[index].machine + 1) + "x" +
+              report::format_fixed(menu[index].factor, 1);
+    }
+    return text.empty() ? std::string("nothing") : text;
+  };
+  budget_table.add_row({"exhaustive", report::format_fixed(exact.total_cost, 0),
+                        report::format_fixed(exact.x_after, 4), describe(exact)});
+  budget_table.add_row({"greedy", report::format_fixed(heuristic.total_cost, 0),
+                        report::format_fixed(heuristic.x_after, 4), describe(heuristic)});
+  std::cout << budget_table;
+  return 0;
+}

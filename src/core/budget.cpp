@@ -1,0 +1,107 @@
+#include "hetero/core/budget.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hetero/core/power.h"
+
+namespace hetero::core {
+namespace {
+
+void validate(const std::vector<double>& speeds, const std::vector<UpgradeOption>& menu,
+              double budget, std::size_t max_menu) {
+  if (speeds.empty()) throw std::invalid_argument("budgeted upgrades: empty cluster");
+  for (double rho : speeds) {
+    if (!(rho > 0.0)) throw std::invalid_argument("budgeted upgrades: nonpositive rho");
+  }
+  if (!(budget >= 0.0)) throw std::invalid_argument("budgeted upgrades: negative budget");
+  if (menu.size() > max_menu) {
+    throw std::invalid_argument("budgeted upgrades: menu too large for exhaustive search");
+  }
+  for (const UpgradeOption& option : menu) {
+    if (option.machine >= speeds.size()) {
+      throw std::invalid_argument("budgeted upgrades: option for unknown machine");
+    }
+    if (!(option.factor > 0.0) || option.factor >= 1.0) {
+      throw std::invalid_argument("budgeted upgrades: factor must be in (0, 1)");
+    }
+    if (!(option.cost > 0.0)) {
+      throw std::invalid_argument("budgeted upgrades: cost must be positive");
+    }
+  }
+}
+
+}  // namespace
+
+BudgetedPlan best_upgrades_exhaustive(const std::vector<double>& speeds,
+                                      const std::vector<UpgradeOption>& menu, double budget,
+                                      const Environment& env) {
+  validate(speeds, menu, budget, 20);
+  BudgetedPlan best;
+  best.speeds_after = speeds;
+  best.x_after = x_measure(speeds, env);
+
+  const std::size_t subsets = std::size_t{1} << menu.size();
+  for (std::size_t mask = 1; mask < subsets; ++mask) {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < menu.size(); ++i) {
+      if ((mask >> i) & 1u) cost += menu[i].cost;
+    }
+    if (cost > budget) continue;
+    std::vector<double> upgraded = speeds;
+    for (std::size_t i = 0; i < menu.size(); ++i) {
+      if ((mask >> i) & 1u) upgraded[menu[i].machine] *= menu[i].factor;
+    }
+    const double x = x_measure(upgraded, env);
+    if (x > best.x_after || (x == best.x_after && cost < best.total_cost)) {
+      best.x_after = x;
+      best.total_cost = cost;
+      best.speeds_after = std::move(upgraded);
+      best.chosen.clear();
+      for (std::size_t i = 0; i < menu.size(); ++i) {
+        if ((mask >> i) & 1u) best.chosen.push_back(i);
+      }
+    }
+  }
+  return best;
+}
+
+BudgetedPlan best_upgrades_greedy(const std::vector<double>& speeds,
+                                  const std::vector<UpgradeOption>& menu, double budget,
+                                  const Environment& env) {
+  validate(speeds, menu, budget, menu.size());
+  BudgetedPlan plan;
+  plan.speeds_after = speeds;
+  plan.x_after = x_measure(speeds, env);
+
+  std::vector<bool> bought(menu.size(), false);
+  double remaining = budget;
+  for (;;) {
+    std::size_t best_option = menu.size();
+    double best_rate = 0.0;
+    double best_x = plan.x_after;
+    for (std::size_t i = 0; i < menu.size(); ++i) {
+      if (bought[i] || menu[i].cost > remaining) continue;
+      std::vector<double> candidate = plan.speeds_after;
+      candidate[menu[i].machine] *= menu[i].factor;
+      const double x = x_measure(candidate, env);
+      const double rate = (x - plan.x_after) / menu[i].cost;
+      if (rate > best_rate) {
+        best_rate = rate;
+        best_option = i;
+        best_x = x;
+      }
+    }
+    if (best_option == menu.size()) break;  // nothing affordable improves X
+    bought[best_option] = true;
+    remaining -= menu[best_option].cost;
+    plan.total_cost += menu[best_option].cost;
+    plan.speeds_after[menu[best_option].machine] *= menu[best_option].factor;
+    plan.x_after = best_x;
+    plan.chosen.push_back(best_option);
+  }
+  std::sort(plan.chosen.begin(), plan.chosen.end());
+  return plan;
+}
+
+}  // namespace hetero::core

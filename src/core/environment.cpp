@@ -1,0 +1,47 @@
+#include "hetero/core/environment.h"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace hetero::core {
+
+Environment::Environment(const Params& params)
+    : tau_{params.tau}, pi_{params.pi}, delta_{params.delta} {
+  if (!(tau_ > 0.0) || !std::isfinite(tau_)) {
+    throw std::invalid_argument("Environment: tau must be positive and finite");
+  }
+  if (!(pi_ >= 0.0) || !std::isfinite(pi_)) {
+    throw std::invalid_argument("Environment: pi must be nonnegative and finite");
+  }
+  if (!(delta_ > 0.0) || delta_ > 1.0) {
+    throw std::invalid_argument("Environment: delta must be in (0, 1]");
+  }
+  // Standing assumption of Section 4.1: tau*delta <= A <= B.  A >= tau*delta
+  // holds because delta <= 1 and pi >= 0; B >= A is the substantive check.
+  if (a() > b()) {
+    throw std::invalid_argument("Environment: model requires A = pi + tau <= B = 1 + (1+delta)pi");
+  }
+}
+
+Environment Environment::paper_default() { return Environment{Params{}}; }
+
+Environment Environment::from_wall_clock(double transit_seconds_per_unit,
+                                         double packaging_seconds_per_unit, double delta,
+                                         double slowest_compute_seconds_per_unit) {
+  if (!(slowest_compute_seconds_per_unit > 0.0)) {
+    throw std::invalid_argument("Environment::from_wall_clock: compute time must be positive");
+  }
+  return Environment{Params{
+      .tau = transit_seconds_per_unit / slowest_compute_seconds_per_unit,
+      .pi = packaging_seconds_per_unit / slowest_compute_seconds_per_unit,
+      .delta = delta,
+  }};
+}
+
+std::ostream& operator<<(std::ostream& os, const Environment& env) {
+  return os << "Environment{tau=" << env.tau() << ", pi=" << env.pi()
+            << ", delta=" << env.delta() << ", A=" << env.a() << ", B=" << env.b() << "}";
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Budgeted cluster upgrades — Section 3 extended from "which ONE machine?"
+// to "which SET of upgrades, given a budget?".
+//
+// Theorems 3/4 answer the single-upgrade question; real procurement offers
+// a menu (each machine can be accelerated by some factor at some cost) and
+// a budget.  Choosing the X-maximizing affordable subset is a nonlinear
+// knapsack.  We provide the exact exhaustive optimum for small menus and a
+// marginal-gain-per-cost greedy heuristic, so the greedy's quality can be
+// measured against ground truth (it is optimal whenever Theorem 3's
+// fastest-first logic applies uniformly, and near-optimal elsewhere).
+
+#include <cstddef>
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::core {
+
+/// One purchasable upgrade: multiply machine `machine`'s rho by `factor`
+/// (0 < factor < 1) at price `cost`.  Each option may be bought at most
+/// once; options for the same machine compose multiplicatively.
+struct UpgradeOption {
+  std::size_t machine = 0;
+  double factor = 1.0;
+  double cost = 0.0;
+};
+
+struct BudgetedPlan {
+  std::vector<std::size_t> chosen;   ///< indices into the option menu
+  double total_cost = 0.0;
+  std::vector<double> speeds_after;  ///< by machine identity
+  double x_after = 0.0;
+};
+
+/// Exact optimum by exhaustive subset enumeration (2^menu subsets; menu
+/// size <= 20 enforced).  Ties broken toward cheaper plans.  Throws
+/// std::invalid_argument on invalid options/budget/menu size.
+[[nodiscard]] BudgetedPlan best_upgrades_exhaustive(const std::vector<double>& speeds,
+                                                    const std::vector<UpgradeOption>& menu,
+                                                    double budget, const Environment& env);
+
+/// Greedy heuristic: repeatedly buy the affordable option with the largest
+/// X gain per unit cost.  Runs in O(menu^2) X evaluations.
+[[nodiscard]] BudgetedPlan best_upgrades_greedy(const std::vector<double>& speeds,
+                                                const std::vector<UpgradeOption>& menu,
+                                                double budget, const Environment& env);
+
+}  // namespace hetero::core

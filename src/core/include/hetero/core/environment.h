@@ -1,0 +1,71 @@
+#pragma once
+
+// The computational environment of the CEP model (Section 2.1).
+//
+// Time is measured in units of the slowest machine's per-work-unit compute
+// time (the paper normalizes rho_1 = 1).  tau is the network transit rate,
+// pi the packaging rate of a rho = 1 machine (an "architecturally balanced"
+// machine with rho-value r packages at pi * r), and delta the output/input
+// size ratio.  The derived constants A = pi + tau and B = 1 + (1 + delta)pi
+// appear throughout the paper's formulas.
+
+#include <iosfwd>
+
+namespace hetero::core {
+
+/// Immutable model-environment parameters with the paper's derived constants.
+class Environment {
+ public:
+  struct Params {
+    double tau = 1e-6;    ///< transit time per work unit (Table 1: 1 usec vs 1 sec tasks)
+    double pi = 1e-5;     ///< packaging time per work unit on a rho=1 machine (Table 1: 10 usec)
+    double delta = 1.0;   ///< results produced per unit of work, delta <= 1 (Table 1: 1)
+  };
+
+  /// Validates: tau > 0, pi >= 0, 0 < delta <= 1, and the paper's standing
+  /// assumption tau*delta <= A <= B (Section 4.1).  Throws
+  /// std::invalid_argument on violation.
+  explicit Environment(const Params& params);
+
+  /// The Table-1 environment (tau = 1e-6, pi = 1e-5, delta = 1).
+  [[nodiscard]] static Environment paper_default();
+
+  /// Builds an Environment from wall-clock rates: transit/packaging seconds
+  /// per work unit and the slowest machine's compute seconds per work unit
+  /// (everything is normalized by the latter).  Table 2's "coarse tasks"
+  /// row corresponds to seconds_per_unit = 1, "finer" to 0.1.
+  [[nodiscard]] static Environment from_wall_clock(double transit_seconds_per_unit,
+                                                   double packaging_seconds_per_unit,
+                                                   double delta,
+                                                   double slowest_compute_seconds_per_unit);
+
+  [[nodiscard]] double tau() const noexcept { return tau_; }
+  [[nodiscard]] double pi() const noexcept { return pi_; }
+  [[nodiscard]] double delta() const noexcept { return delta_; }
+
+  /// A = pi + tau: server-side cost (package + transit) per unit sent.
+  [[nodiscard]] double a() const noexcept { return pi_ + tau_; }
+  /// B = 1 + (1 + delta)pi: worker-side cost per unit per rho
+  /// (unpackage + compute + package results).
+  [[nodiscard]] double b() const noexcept { return 1.0 + (1.0 + delta_) * pi_; }
+  /// tau * delta: result transit cost per unit of original work.
+  [[nodiscard]] double tau_delta() const noexcept { return tau_ * delta_; }
+  /// A - tau*delta, the contraction constant of the X telescoping identity.
+  [[nodiscard]] double a_minus_tau_delta() const noexcept { return a() - tau_delta(); }
+
+  /// Theorem 4's boundary A*tau*delta / B^2: multiplicative speedups favor
+  /// the faster machine iff psi*rho_i*rho_j exceeds this.
+  [[nodiscard]] double theorem4_threshold() const noexcept {
+    return a() * tau_delta() / (b() * b());
+  }
+
+  friend bool operator==(const Environment& lhs, const Environment& rhs) noexcept = default;
+  friend std::ostream& operator<<(std::ostream& os, const Environment& env);
+
+ private:
+  double tau_;
+  double pi_;
+  double delta_;
+};
+
+}  // namespace hetero::core

@@ -1,0 +1,11 @@
+#pragma once
+
+// Umbrella header for the core heterogeneity model.
+
+#include "hetero/core/budget.h"       // IWYU pragma: export
+#include "hetero/core/environment.h"  // IWYU pragma: export
+#include "hetero/core/power.h"        // IWYU pragma: export
+#include "hetero/core/predictors.h"   // IWYU pragma: export
+#include "hetero/core/profile.h"      // IWYU pragma: export
+#include "hetero/core/profile_io.h"   // IWYU pragma: export
+#include "hetero/core/speedup.h"      // IWYU pragma: export

@@ -1,0 +1,68 @@
+#pragma once
+
+// Cluster power measures (Section 2.4): the X-measure, asymptotic work
+// production W(L; P), and the Homogeneous-Equivalent Computing Rate (HECR).
+//
+// Implementation notes:
+//  * Formula (1)'s sum telescopes: with f_i = (B rho_i + tau delta)/(B rho_i + A),
+//    (A - tau delta) X(P) = 1 - prod_i f_i.  This identity is what makes
+//    X permutation-invariant, gives a cancellation-free product form, and
+//    is the basis of the numerically stable HECR below.
+//  * The HECR closed form (Prop. 1) needs 1 - D with D = (prod f_i)^{1/n};
+//    D is within ~1e-5 of 1 under Table-1 parameters, so we compute
+//    1 - D = -expm1(mean of log f_i) instead of subtracting.
+
+#include <cstddef>
+#include <span>
+
+#include "hetero/core/environment.h"
+#include "hetero/core/profile.h"
+
+namespace hetero::core {
+
+/// X(P) by direct evaluation of formula (1) over the given machine order.
+/// Theorem 1(2) makes the value order-independent (up to roundoff); tests
+/// verify the invariance.
+[[nodiscard]] double x_measure(std::span<const double> rho, const Environment& env);
+[[nodiscard]] double x_measure(const Profile& profile, const Environment& env);
+
+/// X(P) via the telescoped product identity
+/// X = (1 - prod_i f_i) / (A - tau delta); manifestly order-invariant and
+/// accurate for clusters of any size (log-domain product).
+[[nodiscard]] double x_measure_stable(std::span<const double> rho, const Environment& env);
+[[nodiscard]] double x_measure_stable(const Profile& profile, const Environment& env);
+
+/// Closed form (2) for a homogeneous cluster: n machines of speed rho.
+[[nodiscard]] double x_homogeneous(double rho, std::size_t n, const Environment& env);
+
+/// Asymptotic work completed in a lifespan L under the FIFO protocol
+/// (Theorem 2): W(L; P) = L / (tau delta + 1/X(P)).
+[[nodiscard]] double work_production(double lifespan, const Profile& profile,
+                                     const Environment& env);
+
+/// Work completed per unit lifespan, W(L; P)/L.
+[[nodiscard]] double work_rate(const Profile& profile, const Environment& env);
+
+/// The Cluster-Rental Problem (the CEP's dual, footnote 3): the shortest
+/// lifespan in which the cluster completes `work` units — the exact inverse
+/// of Theorem 2: L = W * (tau delta + 1/X(P)).
+[[nodiscard]] double rental_time(double work, const Profile& profile, const Environment& env);
+
+/// Ratio W(L; P_num)/(W(L; P_den)) — lifespan-independent.
+[[nodiscard]] double work_ratio(const Profile& numerator, const Profile& denominator,
+                                const Environment& env);
+
+/// The HECR (Prop. 1): the speed rho such that a homogeneous n-machine
+/// cluster of that speed matches X(P).  Smaller HECR = more powerful
+/// cluster.  Numerically stable for any n.
+[[nodiscard]] double hecr(const Profile& profile, const Environment& env);
+
+/// HECR from a known X value and cluster size (Prop. 1's closed form).
+/// Requires 0 < (A - tau delta) * x < 1, which holds for every X(P).
+[[nodiscard]] double hecr_from_x(double x, std::size_t n, const Environment& env);
+
+/// Independent HECR cross-check: solve X(homogeneous(rho, n)) = X(P) by
+/// Brent root finding.  Throws std::runtime_error if bracketing fails.
+[[nodiscard]] double hecr_numeric(const Profile& profile, const Environment& env);
+
+}  // namespace hetero::core

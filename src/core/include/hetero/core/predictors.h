@@ -1,0 +1,86 @@
+#pragma once
+
+// Predicting relative cluster power from profiles alone (Section 4).
+//
+// Three predictors, in decreasing strength:
+//  * minorization (Prop. 2): sufficient, far from necessary;
+//  * the symmetric-function system (Prop. 3): sufficient; computed exactly
+//    over rationals, since the cross-products it compares can differ by
+//    many orders of magnitude less than their size;
+//  * statistical moments (Thm. 5): at equal mean, larger variance is exact
+//    for n = 2 and a ~76%-accurate heuristic for larger n (100% when the
+//    variance gap exceeds the empirical threshold theta ~= 0.167).
+
+#include <cstddef>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/core/profile.h"
+#include "hetero/numeric/rational.h"
+
+namespace hetero::core {
+
+enum class Prediction {
+  kFirstWins,
+  kSecondWins,
+  kInconclusive,
+};
+
+[[nodiscard]] const char* to_string(Prediction prediction) noexcept;
+
+/// Prop. 2 corollary: minorization comparison.  kInconclusive when neither
+/// profile minorizes the other.
+[[nodiscard]] Prediction minorization_predictor(const Profile& p1, const Profile& p2);
+
+/// Prop. 3: checks the system F_i(P1) F_j(P2) >= F_i(P2) F_j(P1) for all
+/// 0 <= i < j <= n (with one strict), in exact rational arithmetic, in both
+/// directions.  A verdict is *provably correct* under the model's standing
+/// assumption tau delta <= A <= B; kInconclusive means the sufficient
+/// condition fails both ways (the clusters may still be strictly ordered).
+[[nodiscard]] Prediction symmetric_function_predictor(const Profile& p1, const Profile& p2);
+
+/// Thm. 5-style heuristic: requires means equal to within `mean_tolerance`
+/// (throws std::invalid_argument otherwise); predicts the larger-variance
+/// cluster wins when the variance gap exceeds `min_variance_gap`, else
+/// kInconclusive.  Exact (biconditional) for n = 2 clusters.
+[[nodiscard]] Prediction variance_predictor(const Profile& p1, const Profile& p2,
+                                            double min_variance_gap = 0.0,
+                                            double mean_tolerance = 1e-9);
+
+/// Companion-paper extension (the direction of ref. [13]): a moment
+/// *hierarchy*.  At equal mean speed, compare variances (Theorem 5); when
+/// the variances also tie (within `variance_tolerance`), fall back to the
+/// third central moment, where the cluster with the *smaller* third moment
+/// wins.  Rationale: with F_1 and F_2 equal, every Prop.-3 inequality
+/// reduces to the F_3 comparison (exactly deciding n = 3 clusters), and
+/// Newton's identity e_3 = (p_1^3 - 3 p_1 p_2 + 2 p_3)/6 makes F_3
+/// increasing in the third power sum at fixed mean and variance — so a
+/// longer tail toward the fast machines (negative skew) means a smaller F_3
+/// and a more powerful cluster.  Throws if the means differ.
+[[nodiscard]] Prediction moment_hierarchy_predictor(const Profile& p1, const Profile& p2,
+                                                    double mean_tolerance = 1e-9,
+                                                    double variance_tolerance = 1e-12,
+                                                    double third_moment_tolerance = 1e-12);
+
+/// Ground truth for evaluating predictors: compares X-values.
+[[nodiscard]] Prediction x_value_ground_truth(const Profile& p1, const Profile& p2,
+                                              const Environment& env);
+
+/// Lemma 1's coefficients: X(P) = (sum alpha_i F_i) / (sum beta_i F_i) with
+/// alpha_i = B^i * sum_{k=0}^{n-1-i} A^{n-1-i-k} (tau delta)^k and
+/// beta_i  = B^i * A^{n-i}.  alpha has n entries (i = 0..n-1), beta has n+1.
+/// Powers of A underflow for large n; intended for n <= ~40 (validation).
+struct Lemma1Coefficients {
+  std::vector<double> alpha;
+  std::vector<double> beta;
+};
+[[nodiscard]] Lemma1Coefficients lemma1_coefficients(std::size_t n, const Environment& env);
+
+/// Evaluates X(P) through the Lemma-1 rational form (validation path;
+/// same n <= ~40 caveat as lemma1_coefficients).
+[[nodiscard]] double x_via_symmetric_functions(const Profile& profile, const Environment& env);
+
+/// The elementary symmetric functions F_0..F_n of the profile, exact.
+[[nodiscard]] std::vector<numeric::Rational> profile_symmetric_functions(const Profile& profile);
+
+}  // namespace hetero::core

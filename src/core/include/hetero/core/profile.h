@@ -1,0 +1,78 @@
+#pragma once
+
+// Heterogeneity profiles (Section 1.1).
+//
+// A profile is the vector of rho-values of a cluster's machines, where
+// machine i completes one unit of work in rho_i time units (smaller rho =
+// faster machine).  The canonical form follows the paper: values sorted
+// nonincreasing ("power indexing": index 0 is the slowest machine) and,
+// optionally, normalized so the slowest machine has rho = 1.
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace hetero::core {
+
+/// Immutable, canonically sorted heterogeneity profile.
+class Profile {
+ public:
+  /// Sorts the values nonincreasing; throws std::invalid_argument when empty
+  /// or when any value is non-finite or <= 0.
+  explicit Profile(std::vector<double> rho_values);
+
+  /// n identical machines of the given speed.
+  [[nodiscard]] static Profile homogeneous(std::size_t n, double rho);
+  /// The paper's cluster C1 (Section 2.5): rho_i = 1 - (i-1)/n, speeds spread
+  /// evenly over [1/n, 1].
+  [[nodiscard]] static Profile linear(std::size_t n);
+  /// The paper's cluster C2 (Section 2.5): rho_i = 1/i, speeds weighted into
+  /// the fast half of the range.
+  [[nodiscard]] static Profile harmonic(std::size_t n);
+  /// rho_i = ratio^(i-1) for ratio in (0, 1): each machine faster than the
+  /// last by a constant factor (the Figure 3/4 end states look like this).
+  [[nodiscard]] static Profile geometric(std::size_t n, double ratio);
+
+  [[nodiscard]] std::size_t size() const noexcept { return rho_.size(); }
+  /// rho-value by power index: rho(0) is the slowest machine (largest rho).
+  [[nodiscard]] double rho(std::size_t power_index) const { return rho_.at(power_index); }
+  [[nodiscard]] double slowest() const noexcept { return rho_.front(); }
+  [[nodiscard]] double fastest() const noexcept { return rho_.back(); }
+  [[nodiscard]] std::span<const double> values() const noexcept { return rho_; }
+
+  [[nodiscard]] bool is_normalized() const noexcept { return rho_.front() == 1.0; }
+  /// Rescales so the slowest machine has rho = 1 (divides by max rho).
+  [[nodiscard]] Profile normalized() const;
+  [[nodiscard]] bool is_homogeneous() const noexcept;
+
+  /// Arithmetic mean of the rho-values (note: mean *rho*, i.e. mean
+  /// time-per-unit; the paper's "mean speed" comparisons fix this quantity).
+  [[nodiscard]] double mean() const noexcept;
+  /// Population variance, (1/n) * sum rho_i^2 - mean^2 (paper equation (7)).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double geometric_mean() const noexcept;
+  /// Third central moment, (1/n) sum (rho_i - mean)^3 (signed; negative =
+  /// long tail toward the fast machines).
+  [[nodiscard]] double third_central_moment() const noexcept;
+
+  /// Section 4's "minorization": every rho here <= other's (by power index),
+  /// at least one strictly.  Sufficient for outperforming (Prop. 2) but not
+  /// necessary.  Requires equal sizes; throws std::invalid_argument otherwise.
+  [[nodiscard]] bool minorizes(const Profile& other) const;
+
+  /// Additive speedup (Section 3.2.1): machine at power_index gets rho - phi.
+  /// Throws std::invalid_argument unless 0 < phi < rho(power_index).
+  [[nodiscard]] Profile with_additive_speedup(std::size_t power_index, double phi) const;
+  /// Multiplicative speedup (Section 3.2.2): machine gets psi * rho.
+  /// Throws std::invalid_argument unless 0 < psi < 1.
+  [[nodiscard]] Profile with_multiplicative_speedup(std::size_t power_index, double psi) const;
+
+  friend bool operator==(const Profile& lhs, const Profile& rhs) noexcept = default;
+  friend std::ostream& operator<<(std::ostream& os, const Profile& profile);
+
+ private:
+  std::vector<double> rho_;  // sorted nonincreasing
+};
+
+}  // namespace hetero::core

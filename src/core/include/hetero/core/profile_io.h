@@ -1,0 +1,26 @@
+#pragma once
+
+// Parsing and formatting of heterogeneity profiles in the paper's notation.
+//
+// The paper writes profiles as "<1, 1/2, 1/3, 1/4>"; this accepts that form
+// (angle brackets optional, fractions or decimals, comma or whitespace
+// separated), so examples and tools can take profiles straight from the
+// text of the paper or from a command line.
+
+#include <string>
+#include <string_view>
+
+#include "hetero/core/profile.h"
+
+namespace hetero::core {
+
+/// Parses "<1, 1/2, 1/3>", "1 0.5 0.25", "1,1/2,0.25", ...
+/// Throws std::invalid_argument on malformed input (empty, bad token,
+/// zero denominator, nonpositive value).
+[[nodiscard]] Profile parse_profile(std::string_view text);
+
+/// Formats the profile in the paper's angle-bracket notation with the given
+/// number of significant digits, e.g. "<1, 0.5, 0.333, 0.25>".
+[[nodiscard]] std::string format_profile(const Profile& profile, int precision = 6);
+
+}  // namespace hetero::core

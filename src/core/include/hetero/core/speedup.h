@@ -1,0 +1,70 @@
+#pragma once
+
+// Optimal single-machine speedups (Section 3).
+//
+// Two upgrade models: additive (rho -> rho - phi) and multiplicative
+// (rho -> psi * rho).  Theorem 3: additively, upgrading the fastest machine
+// always wins.  Theorem 4: multiplicatively, the faster of two machines wins
+// iff psi * rho_i * rho_j > A tau delta / B^2.  The greedy planners here
+// drive the Figure-3/4 experiment: repeatedly apply the best single upgrade,
+// tracking machine *identity* across rounds (bars in the figures).
+
+#include <cstddef>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/core/profile.h"
+
+namespace hetero::core {
+
+/// Result of evaluating every single-machine upgrade of one kind.
+struct UpgradeEvaluation {
+  std::size_t best_power_index = 0;  ///< argmax of X over candidate upgrades
+  double best_x = 0.0;
+  std::vector<double> x_by_target;   ///< X(P with machine k upgraded), by power index
+};
+
+/// Evaluates the additive upgrade rho_k -> rho_k - phi for each machine;
+/// requires 0 < phi < fastest rho (the paper's condition phi < rho_n so that
+/// every machine is upgradable).  Ties broken toward the faster machine
+/// (larger power index), matching the paper's tie-breaking mechanism.
+[[nodiscard]] UpgradeEvaluation evaluate_additive_upgrades(const Profile& profile, double phi,
+                                                           const Environment& env);
+
+/// Evaluates the multiplicative upgrade rho_k -> psi * rho_k for each
+/// machine; requires 0 < psi < 1.  Same tie-breaking as above.
+[[nodiscard]] UpgradeEvaluation evaluate_multiplicative_upgrades(const Profile& profile,
+                                                                 double psi,
+                                                                 const Environment& env);
+
+/// Theorem 4's predicate: with machines of rho-values rho_i > rho_j, does
+/// speeding up the *faster* machine (rho_j) produce more work?
+/// True iff psi * rho_i * rho_j > A tau delta / B^2.
+[[nodiscard]] bool theorem4_favors_faster(double rho_i, double rho_j, double psi,
+                                          const Environment& env);
+
+/// One round of the iterated-upgrade experiment: which machine was upgraded,
+/// the speeds after the upgrade (indexed by *machine identity*, not power),
+/// and the resulting X.
+struct UpgradeStep {
+  std::size_t machine = 0;
+  std::vector<double> speeds_after;
+  double x_after = 0.0;
+};
+
+enum class UpgradeKind { kAdditive, kMultiplicative };
+
+/// Greedy iterated upgrades (the Figure 3/4 experiment).  Starting from
+/// `speeds` (indexed by machine identity), each round applies the
+/// single-machine upgrade maximizing X; X-ties (within relative 1e-12, which
+/// absorbs roundoff between permutation-equivalent profiles) are broken
+/// toward the machine with the *larger index*, exactly as in the paper.
+/// For multiplicative upgrades `amount` is psi; for additive it is phi
+/// (which must stay < the current fastest speed each round, or the run
+/// stops early).
+[[nodiscard]] std::vector<UpgradeStep> greedy_upgrade_plan(std::vector<double> speeds,
+                                                           UpgradeKind kind, double amount,
+                                                           int rounds,
+                                                           const Environment& env);
+
+}  // namespace hetero::core

@@ -1,0 +1,119 @@
+#include "hetero/core/power.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hetero/numeric/roots.h"
+#include "hetero/numeric/stable.h"
+#include "hetero/numeric/summation.h"
+
+namespace hetero::core {
+
+double x_measure(std::span<const double> rho, const Environment& env) {
+  const double a = env.a();
+  const double b = env.b();
+  const double td = env.tau_delta();
+  numeric::NeumaierSum sum;
+  double running_product = 1.0;  // prod_{j<i} (B rho_j + tau delta)/(B rho_j + A)
+  for (double r : rho) {
+    const double denom = b * r + a;
+    sum.add(running_product / denom);
+    running_product *= (b * r + td) / denom;
+  }
+  return sum.value();
+}
+
+double x_measure(const Profile& profile, const Environment& env) {
+  return x_measure(profile.values(), env);
+}
+
+double x_measure_stable(std::span<const double> rho, const Environment& env) {
+  const double a = env.a();
+  const double b = env.b();
+  const double contraction = env.a_minus_tau_delta();
+  // log prod f_i  with  f_i = 1 - (A - tau delta)/(B rho_i + A).
+  numeric::NeumaierSum log_sum;
+  for (double r : rho) {
+    log_sum.add(std::log1p(-contraction / (b * r + a)));
+  }
+  // X = (1 - e^{log_sum}) / (A - tau delta), with 1 - e^y = -expm1(y).
+  return -std::expm1(log_sum.value()) / contraction;
+}
+
+double x_measure_stable(const Profile& profile, const Environment& env) {
+  return x_measure_stable(profile.values(), env);
+}
+
+double x_homogeneous(double rho, std::size_t n, const Environment& env) {
+  if (!(rho > 0.0)) throw std::invalid_argument("x_homogeneous: rho must be positive");
+  const double contraction = env.a_minus_tau_delta();
+  const double log_factor = std::log1p(-contraction / (env.b() * rho + env.a()));
+  return -std::expm1(static_cast<double>(n) * log_factor) / contraction;
+}
+
+double work_production(double lifespan, const Profile& profile, const Environment& env) {
+  if (!(lifespan >= 0.0)) throw std::invalid_argument("work_production: lifespan must be >= 0");
+  return lifespan * work_rate(profile, env);
+}
+
+double work_rate(const Profile& profile, const Environment& env) {
+  const double x = x_measure(profile, env);
+  return 1.0 / (env.tau_delta() + 1.0 / x);
+}
+
+double rental_time(double work, const Profile& profile, const Environment& env) {
+  if (!(work >= 0.0)) throw std::invalid_argument("rental_time: work must be >= 0");
+  return work / work_rate(profile, env);
+}
+
+double work_ratio(const Profile& numerator, const Profile& denominator,
+                  const Environment& env) {
+  return work_rate(numerator, env) / work_rate(denominator, env);
+}
+
+double hecr_from_x(double x, std::size_t n, const Environment& env) {
+  if (n == 0) throw std::invalid_argument("hecr_from_x: empty cluster");
+  const double contraction = env.a_minus_tau_delta();
+  const double epsilon = contraction * x;
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    throw std::invalid_argument("hecr_from_x: x outside the attainable range");
+  }
+  // 1 - D with D = (1 - epsilon)^(1/n), computed cancellation-free.
+  const double one_minus_d = numeric::one_minus_pow1m(epsilon, static_cast<double>(n));
+  return contraction / (env.b() * one_minus_d) - env.a() / env.b();
+}
+
+double hecr(const Profile& profile, const Environment& env) {
+  // Build epsilon = (A - tau delta) X directly from the product identity so
+  // the subsequent 1 - D stays accurate: epsilon = 1 - prod f_i and
+  // 1 - D = -expm1(log_sum / n) where log_sum = sum log f_i.
+  const double a = env.a();
+  const double b = env.b();
+  const double contraction = env.a_minus_tau_delta();
+  numeric::NeumaierSum log_sum;
+  for (double r : profile.values()) {
+    log_sum.add(std::log1p(-contraction / (b * r + a)));
+  }
+  const double n = static_cast<double>(profile.size());
+  const double one_minus_d = -std::expm1(log_sum.value() / n);
+  return contraction / (b * one_minus_d) - a / b;
+}
+
+double hecr_numeric(const Profile& profile, const Environment& env) {
+  const double target = x_measure_stable(profile, env);
+  const std::size_t n = profile.size();
+  // X(homogeneous(rho, n)) is strictly decreasing in rho; bracket the root.
+  const auto f = [&](double rho) { return x_homogeneous(rho, n, env) - target; };
+  double lo = profile.fastest();   // homogeneous at the fastest speed beats P
+  double hi = profile.slowest();   // homogeneous at the slowest speed loses to P
+  // Widen defensively (handles the homogeneous-profile boundary).
+  lo *= 0.5;
+  hi *= 2.0;
+  const auto result = numeric::brent(f, lo, hi);
+  if (!result || !result->converged) {
+    throw std::runtime_error("hecr_numeric: root bracketing failed");
+  }
+  return result->root;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,137 @@
+#include "hetero/core/predictors.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/summation.h"
+#include "hetero/numeric/symmetric.h"
+
+namespace hetero::core {
+namespace {
+
+// Checks the one-directional Prop.-3 system: F_i(a) F_j(b) >= F_i(b) F_j(a)
+// for all i < j, at least one strict.
+bool system_holds(const std::vector<numeric::Rational>& a,
+                  const std::vector<numeric::Rational>& b) {
+  bool any_strict = false;
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      const numeric::Rational lhs = a[i] * b[j];
+      const numeric::Rational rhs = b[i] * a[j];
+      if (lhs < rhs) return false;
+      if (lhs > rhs) any_strict = true;
+    }
+  }
+  return any_strict;
+}
+
+}  // namespace
+
+const char* to_string(Prediction prediction) noexcept {
+  switch (prediction) {
+    case Prediction::kFirstWins: return "first-wins";
+    case Prediction::kSecondWins: return "second-wins";
+    case Prediction::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+Prediction minorization_predictor(const Profile& p1, const Profile& p2) {
+  if (p1.minorizes(p2)) return Prediction::kFirstWins;
+  if (p2.minorizes(p1)) return Prediction::kSecondWins;
+  return Prediction::kInconclusive;
+}
+
+std::vector<numeric::Rational> profile_symmetric_functions(const Profile& profile) {
+  return numeric::elementary_symmetric_exact(profile.values());
+}
+
+Prediction symmetric_function_predictor(const Profile& p1, const Profile& p2) {
+  if (p1.size() != p2.size()) {
+    throw std::invalid_argument("symmetric_function_predictor: size mismatch");
+  }
+  const auto f1 = profile_symmetric_functions(p1);
+  const auto f2 = profile_symmetric_functions(p2);
+  if (system_holds(f1, f2)) return Prediction::kFirstWins;
+  if (system_holds(f2, f1)) return Prediction::kSecondWins;
+  return Prediction::kInconclusive;
+}
+
+Prediction variance_predictor(const Profile& p1, const Profile& p2, double min_variance_gap,
+                              double mean_tolerance) {
+  if (p1.size() != p2.size()) {
+    throw std::invalid_argument("variance_predictor: size mismatch");
+  }
+  if (std::fabs(p1.mean() - p2.mean()) > mean_tolerance) {
+    throw std::invalid_argument("variance_predictor: profiles must share a mean speed");
+  }
+  const double gap = p1.variance() - p2.variance();
+  if (gap > min_variance_gap) return Prediction::kFirstWins;
+  if (gap < -min_variance_gap) return Prediction::kSecondWins;
+  return Prediction::kInconclusive;
+}
+
+Prediction moment_hierarchy_predictor(const Profile& p1, const Profile& p2,
+                                      double mean_tolerance, double variance_tolerance,
+                                      double third_moment_tolerance) {
+  if (p1.size() != p2.size()) {
+    throw std::invalid_argument("moment_hierarchy_predictor: size mismatch");
+  }
+  if (std::fabs(p1.mean() - p2.mean()) > mean_tolerance) {
+    throw std::invalid_argument("moment_hierarchy_predictor: profiles must share a mean speed");
+  }
+  const double variance_gap = p1.variance() - p2.variance();
+  if (variance_gap > variance_tolerance) return Prediction::kFirstWins;
+  if (variance_gap < -variance_tolerance) return Prediction::kSecondWins;
+  // Variances tie: smaller third central moment (longer fast tail) wins.
+  const double third_gap = p1.third_central_moment() - p2.third_central_moment();
+  if (third_gap < -third_moment_tolerance) return Prediction::kFirstWins;
+  if (third_gap > third_moment_tolerance) return Prediction::kSecondWins;
+  return Prediction::kInconclusive;
+}
+
+Prediction x_value_ground_truth(const Profile& p1, const Profile& p2, const Environment& env) {
+  const double x1 = x_measure_stable(p1, env);
+  const double x2 = x_measure_stable(p2, env);
+  if (x1 > x2) return Prediction::kFirstWins;
+  if (x2 > x1) return Prediction::kSecondWins;
+  return Prediction::kInconclusive;
+}
+
+Lemma1Coefficients lemma1_coefficients(std::size_t n, const Environment& env) {
+  if (n == 0) throw std::invalid_argument("lemma1_coefficients: empty cluster");
+  const double a = env.a();
+  const double b = env.b();
+  const double td = env.tau_delta();
+  Lemma1Coefficients coeffs;
+  coeffs.alpha.resize(n);
+  coeffs.beta.resize(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    // alpha_i = B^i * sum_{k=0}^{n-1-i} A^{n-1-i-k} (tau delta)^k
+    numeric::NeumaierSum sum;
+    for (std::size_t k = 0; k <= n - 1 - i; ++k) {
+      sum.add(std::pow(a, static_cast<double>(n - 1 - i - k)) *
+              std::pow(td, static_cast<double>(k)));
+    }
+    coeffs.alpha[i] = std::pow(b, static_cast<double>(i)) * sum.value();
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    coeffs.beta[i] = std::pow(b, static_cast<double>(i)) * std::pow(a, static_cast<double>(n - i));
+  }
+  return coeffs;
+}
+
+double x_via_symmetric_functions(const Profile& profile, const Environment& env) {
+  const std::size_t n = profile.size();
+  const Lemma1Coefficients coeffs = lemma1_coefficients(n, env);
+  std::vector<double> rho(profile.values().begin(), profile.values().end());
+  const std::vector<double> f = numeric::elementary_symmetric(std::span<const double>{rho});
+  numeric::NeumaierSum numerator;
+  for (std::size_t i = 0; i < n; ++i) numerator.add(coeffs.alpha[i] * f[i]);
+  numeric::NeumaierSum denominator;
+  for (std::size_t i = 0; i <= n; ++i) denominator.add(coeffs.beta[i] * f[i]);
+  return numerator.value() / denominator.value();
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,135 @@
+#include "hetero/core/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <stdexcept>
+
+#include "hetero/numeric/summation.h"
+
+namespace hetero::core {
+
+Profile::Profile(std::vector<double> rho_values) : rho_{std::move(rho_values)} {
+  if (rho_.empty()) throw std::invalid_argument("Profile: needs at least one machine");
+  for (double v : rho_) {
+    if (!std::isfinite(v) || v <= 0.0) {
+      throw std::invalid_argument("Profile: rho-values must be positive and finite");
+    }
+  }
+  std::sort(rho_.begin(), rho_.end(), std::greater<>{});
+}
+
+Profile Profile::homogeneous(std::size_t n, double rho) {
+  return Profile{std::vector<double>(n, rho)};
+}
+
+Profile Profile::linear(std::size_t n) {
+  std::vector<double> rho(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rho[i] = 1.0 - static_cast<double>(i) / static_cast<double>(n);
+  }
+  return Profile{std::move(rho)};
+}
+
+Profile Profile::harmonic(std::size_t n) {
+  std::vector<double> rho(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rho[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  return Profile{std::move(rho)};
+}
+
+Profile Profile::geometric(std::size_t n, double ratio) {
+  if (!(ratio > 0.0) || ratio >= 1.0) {
+    throw std::invalid_argument("Profile::geometric: ratio must be in (0, 1)");
+  }
+  std::vector<double> rho(n);
+  double value = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    rho[i] = value;
+    value *= ratio;
+  }
+  return Profile{std::move(rho)};
+}
+
+Profile Profile::normalized() const {
+  std::vector<double> scaled = rho_;
+  const double top = scaled.front();
+  for (double& v : scaled) v /= top;
+  return Profile{std::move(scaled)};
+}
+
+bool Profile::is_homogeneous() const noexcept { return rho_.front() == rho_.back(); }
+
+double Profile::mean() const noexcept {
+  return numeric::compensated_sum(rho_) / static_cast<double>(rho_.size());
+}
+
+double Profile::variance() const noexcept {
+  const double m = mean();
+  numeric::NeumaierSum acc;
+  for (double v : rho_) {
+    const double d = v - m;
+    acc.add(d * d);
+  }
+  return acc.value() / static_cast<double>(rho_.size());
+}
+
+double Profile::geometric_mean() const noexcept {
+  numeric::NeumaierSum log_acc;
+  for (double v : rho_) log_acc.add(std::log(v));
+  return std::exp(log_acc.value() / static_cast<double>(rho_.size()));
+}
+
+double Profile::third_central_moment() const noexcept {
+  const double m = mean();
+  numeric::NeumaierSum acc;
+  for (double v : rho_) {
+    const double d = v - m;
+    acc.add(d * d * d);
+  }
+  return acc.value() / static_cast<double>(rho_.size());
+}
+
+bool Profile::minorizes(const Profile& other) const {
+  if (size() != other.size()) {
+    throw std::invalid_argument("Profile::minorizes: size mismatch");
+  }
+  bool strict = false;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (rho_[i] > other.rho_[i]) return false;
+    if (rho_[i] < other.rho_[i]) strict = true;
+  }
+  return strict;
+}
+
+Profile Profile::with_additive_speedup(std::size_t power_index, double phi) const {
+  const double current = rho(power_index);
+  if (!(phi > 0.0) || phi >= current) {
+    throw std::invalid_argument("Profile::with_additive_speedup: need 0 < phi < rho");
+  }
+  std::vector<double> next = rho_;
+  next[power_index] = current - phi;
+  return Profile{std::move(next)};
+}
+
+Profile Profile::with_multiplicative_speedup(std::size_t power_index, double psi) const {
+  if (!(psi > 0.0) || psi >= 1.0) {
+    throw std::invalid_argument("Profile::with_multiplicative_speedup: need 0 < psi < 1");
+  }
+  std::vector<double> next = rho_;
+  next[power_index] = rho(power_index) * psi;
+  return Profile{std::move(next)};
+}
+
+std::ostream& operator<<(std::ostream& os, const Profile& profile) {
+  os << "<";
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << profile.rho_[i];
+  }
+  return os << ">";
+}
+
+}  // namespace hetero::core

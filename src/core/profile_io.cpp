@@ -1,0 +1,81 @@
+#include "hetero/core/profile_io.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hetero::core {
+namespace {
+
+double parse_token(const std::string& token) {
+  const auto slash = token.find('/');
+  std::size_t consumed = 0;
+  if (slash == std::string::npos) {
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size()) {
+      throw std::invalid_argument("parse_profile: trailing junk in '" + token + "'");
+    }
+    return value;
+  }
+  const std::string numerator = token.substr(0, slash);
+  const std::string denominator = token.substr(slash + 1);
+  if (numerator.empty() || denominator.empty()) {
+    throw std::invalid_argument("parse_profile: malformed fraction '" + token + "'");
+  }
+  const double num = std::stod(numerator, &consumed);
+  if (consumed != numerator.size()) {
+    throw std::invalid_argument("parse_profile: malformed fraction '" + token + "'");
+  }
+  const double den = std::stod(denominator, &consumed);
+  if (consumed != denominator.size()) {
+    throw std::invalid_argument("parse_profile: malformed fraction '" + token + "'");
+  }
+  if (den == 0.0) throw std::invalid_argument("parse_profile: zero denominator in '" + token + "'");
+  return num / den;
+}
+
+}  // namespace
+
+Profile parse_profile(std::string_view text) {
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  for (char c : text) {
+    if (c == '<' || c == '>' || c == ',') {
+      cleaned.push_back(' ');
+    } else {
+      cleaned.push_back(c);
+    }
+  }
+  std::istringstream stream{cleaned};
+  std::vector<double> values;
+  std::string token;
+  while (stream >> token) {
+    double value = 0.0;
+    try {
+      value = parse_token(token);
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_profile: bad token '" + token + "'");
+    }
+    values.push_back(value);
+  }
+  if (values.empty()) throw std::invalid_argument("parse_profile: no rho-values found");
+  return Profile{std::move(values)};  // Profile validates positivity/finiteness
+}
+
+std::string format_profile(const Profile& profile, int precision) {
+  std::ostringstream out;
+  out << '<';
+  char buffer[64];
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    if (i != 0) out << ", ";
+    std::snprintf(buffer, sizeof buffer, "%.*g", precision, profile.rho(i));
+    out << buffer;
+  }
+  out << '>';
+  return out.str();
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,104 @@
+#include "hetero/core/speedup.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/stable.h"
+
+namespace hetero::core {
+namespace {
+
+// Picks the argmax with ties (relative 1e-12) broken toward the larger index.
+std::size_t argmax_with_tie_to_larger(const std::vector<double>& values) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < values.size(); ++k) {
+    if (values[k] > values[best] ||
+        numeric::approximately_equal(values[k], values[best])) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+UpgradeEvaluation evaluate_additive_upgrades(const Profile& profile, double phi,
+                                             const Environment& env) {
+  if (!(phi > 0.0) || phi >= profile.fastest()) {
+    throw std::invalid_argument(
+        "evaluate_additive_upgrades: need 0 < phi < fastest rho so every machine is upgradable");
+  }
+  UpgradeEvaluation eval;
+  eval.x_by_target.reserve(profile.size());
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    eval.x_by_target.push_back(x_measure(profile.with_additive_speedup(k, phi), env));
+  }
+  eval.best_power_index = argmax_with_tie_to_larger(eval.x_by_target);
+  eval.best_x = eval.x_by_target[eval.best_power_index];
+  return eval;
+}
+
+UpgradeEvaluation evaluate_multiplicative_upgrades(const Profile& profile, double psi,
+                                                   const Environment& env) {
+  if (!(psi > 0.0) || psi >= 1.0) {
+    throw std::invalid_argument("evaluate_multiplicative_upgrades: need 0 < psi < 1");
+  }
+  UpgradeEvaluation eval;
+  eval.x_by_target.reserve(profile.size());
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    eval.x_by_target.push_back(x_measure(profile.with_multiplicative_speedup(k, psi), env));
+  }
+  eval.best_power_index = argmax_with_tie_to_larger(eval.x_by_target);
+  eval.best_x = eval.x_by_target[eval.best_power_index];
+  return eval;
+}
+
+bool theorem4_favors_faster(double rho_i, double rho_j, double psi, const Environment& env) {
+  if (!(rho_i > rho_j)) {
+    throw std::invalid_argument("theorem4_favors_faster: requires rho_i > rho_j");
+  }
+  if (!(psi > 0.0) || psi >= 1.0) {
+    throw std::invalid_argument("theorem4_favors_faster: need 0 < psi < 1");
+  }
+  return psi * rho_i * rho_j > env.theorem4_threshold();
+}
+
+std::vector<UpgradeStep> greedy_upgrade_plan(std::vector<double> speeds, UpgradeKind kind,
+                                             double amount, int rounds,
+                                             const Environment& env) {
+  if (rounds < 0) throw std::invalid_argument("greedy_upgrade_plan: negative rounds");
+  std::vector<UpgradeStep> plan;
+  plan.reserve(static_cast<std::size_t>(rounds));
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<double> candidate_x(speeds.size());
+    bool any_feasible = false;
+    for (std::size_t machine = 0; machine < speeds.size(); ++machine) {
+      double upgraded;
+      if (kind == UpgradeKind::kMultiplicative) {
+        upgraded = speeds[machine] * amount;
+      } else {
+        upgraded = speeds[machine] - amount;
+      }
+      if (!(upgraded > 0.0)) {
+        candidate_x[machine] = -1.0;  // infeasible sentinel: X is always > 0
+        continue;
+      }
+      any_feasible = true;
+      std::vector<double> next = speeds;
+      next[machine] = upgraded;
+      candidate_x[machine] = x_measure(next, env);
+    }
+    if (!any_feasible) break;  // additive phi no longer fits any machine
+    const std::size_t chosen = argmax_with_tie_to_larger(candidate_x);
+    if (kind == UpgradeKind::kMultiplicative) {
+      speeds[chosen] *= amount;
+    } else {
+      speeds[chosen] -= amount;
+    }
+    plan.push_back(UpgradeStep{chosen, speeds, candidate_x[chosen]});
+  }
+  return plan;
+}
+
+}  // namespace hetero::core

@@ -1,0 +1,115 @@
+#include "hetero/experiments/campaign.h"
+
+#include <cmath>
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "hetero/core/power.h"
+#include "hetero/core/profile.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/random/rng.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero::experiments {
+
+CampaignResult run_campaign(const std::vector<double>& speeds, const core::Environment& env,
+                            const CampaignConfig& config,
+                            const std::vector<CampaignFailure>& failures) {
+  if (speeds.empty()) throw std::invalid_argument("run_campaign: empty fleet");
+  if (!(config.round_length > 0.0) || !(config.total_time > 0.0) ||
+      config.round_length > config.total_time) {
+    throw std::invalid_argument("run_campaign: need 0 < round_length <= total_time");
+  }
+  if (!(config.message_latency >= 0.0)) {
+    throw std::invalid_argument("run_campaign: negative message latency");
+  }
+  for (const CampaignFailure& f : failures) {
+    if (f.machine >= speeds.size()) {
+      throw std::invalid_argument("run_campaign: failure for unknown machine");
+    }
+  }
+
+  // Earliest crash time per machine (campaign-absolute; inf = never).
+  std::vector<double> crash_time(speeds.size(), std::numeric_limits<double>::infinity());
+  for (const CampaignFailure& f : failures) {
+    crash_time[f.machine] = std::min(crash_time[f.machine], std::max(0.0, f.time));
+  }
+
+  CampaignResult result;
+  result.ideal_work = core::work_production(config.total_time, core::Profile{speeds}, env);
+
+  const auto rounds = static_cast<std::size_t>(config.total_time / config.round_length);
+  std::vector<bool> alive(speeds.size(), true);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const double round_start = static_cast<double>(round) * config.round_length;
+
+    // Fleet for this round: machines alive at the round's start.
+    std::vector<double> fleet;
+    std::vector<std::size_t> fleet_ids;
+    for (std::size_t m = 0; m < speeds.size(); ++m) {
+      if (alive[m] && crash_time[m] > round_start) {
+        fleet.push_back(speeds[m]);
+        fleet_ids.push_back(m);
+      } else if (alive[m]) {
+        alive[m] = false;  // crashed between rounds
+      }
+    }
+    if (fleet.empty()) break;
+
+    // Plan the optimal FIFO episode for the surviving fleet.  An optimal
+    // FIFO plan lands every result in the final instants of its lifespan,
+    // so when messages carry a fixed latency the plan must be padded or the
+    // whole round misses the deadline: shorten the planning horizon by one
+    // latency per message (send + result per machine, plus slack).
+    const double margin =
+        2.0 * static_cast<double>(fleet.size() + 1) * config.message_latency;
+    const double plan_horizon =
+        std::max(config.round_length - margin, 0.5 * config.round_length);
+    const auto allocations = protocol::fifo_allocations(fleet, env, plan_horizon);
+    sim::SimulationOptions options;
+    options.message_latency = config.message_latency;
+    for (std::size_t k = 0; k < fleet_ids.size(); ++k) {
+      const double t = crash_time[fleet_ids[k]];
+      if (t < round_start + config.round_length) {
+        options.failures.push_back(sim::MachineFailure{k, t - round_start});
+      }
+    }
+    const auto episode = sim::simulate_worksharing(
+        fleet, env, allocations, protocol::ProtocolOrders::fifo(fleet.size()), options);
+    const double round_work = episode.completed_work(config.round_length);
+    result.work_by_round.push_back(round_work);
+    result.completed_work += round_work;
+    ++result.rounds;
+
+    // A machine whose crash time has passed is gone for all later rounds,
+    // even if its round-local result squeaked out (the crash semantics in
+    // sim:: let an in-flight result land; the *machine* is still dead).
+    for (std::size_t k = 0; k < fleet_ids.size(); ++k) {
+      if (crash_time[fleet_ids[k]] < round_start + config.round_length) {
+        alive[fleet_ids[k]] = false;
+      }
+    }
+  }
+  for (bool a : alive) {
+    if (!a) ++result.machines_lost;
+  }
+  return result;
+}
+
+std::vector<CampaignFailure> exponential_failures(std::size_t machines, double rate,
+                                                  double horizon, std::uint64_t seed) {
+  if (!(rate >= 0.0)) throw std::invalid_argument("exponential_failures: negative rate");
+  if (!(horizon > 0.0)) throw std::invalid_argument("exponential_failures: nonpositive horizon");
+  std::vector<CampaignFailure> failures;
+  if (rate == 0.0) return failures;
+  random::Xoshiro256StarStar rng{seed};
+  for (std::size_t m = 0; m < machines; ++m) {
+    // Inverse-CDF sample; uniform01 is in [0, 1), so 1-u is in (0, 1].
+    const double t = -std::log(1.0 - rng.uniform01()) / rate;
+    if (t < horizon) failures.push_back(CampaignFailure{m, t});
+  }
+  return failures;
+}
+
+}  // namespace hetero::experiments

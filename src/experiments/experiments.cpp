@@ -1,0 +1,219 @@
+#include "hetero/experiments/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "hetero/parallel/parallel_for.h"
+#include "hetero/protocol/lp_solver.h"
+#include "hetero/random/samplers.h"
+
+namespace hetero::experiments {
+
+std::vector<HecrRow> hecr_table(const std::vector<std::size_t>& sizes,
+                                const core::Environment& env) {
+  std::vector<HecrRow> rows;
+  rows.reserve(sizes.size());
+  for (std::size_t n : sizes) {
+    HecrRow row;
+    row.n = n;
+    row.hecr_linear = core::hecr(core::Profile::linear(n), env);
+    row.hecr_harmonic = core::hecr(core::Profile::harmonic(n), env);
+    row.ratio = row.hecr_linear / row.hecr_harmonic;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<AdditiveSpeedupRow> additive_speedup_table(const core::Profile& profile, double phi,
+                                                       const core::Environment& env) {
+  std::vector<AdditiveSpeedupRow> rows;
+  rows.reserve(profile.size());
+  for (std::size_t k = 0; k < profile.size(); ++k) {
+    const core::Profile upgraded = profile.with_additive_speedup(k, phi);
+    AdditiveSpeedupRow row;
+    row.power_index = k;
+    row.profile_after.assign(upgraded.values().begin(), upgraded.values().end());
+    row.work_ratio = core::work_ratio(upgraded, profile, env);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<MultiplicativeRound> multiplicative_speedup_experiment(
+    std::vector<double> initial_speeds, double psi, int rounds, const core::Environment& env) {
+  const std::vector<core::UpgradeStep> plan = core::greedy_upgrade_plan(
+      initial_speeds, core::UpgradeKind::kMultiplicative, psi, rounds, env);
+  std::vector<MultiplicativeRound> result;
+  result.reserve(plan.size());
+  std::vector<double> before = std::move(initial_speeds);
+  int round = 1;
+  for (const core::UpgradeStep& step : plan) {
+    MultiplicativeRound entry;
+    entry.round = round++;
+    entry.machine = step.machine;
+    entry.rho_before = before[step.machine];
+    entry.speeds_after = step.speeds_after;
+    entry.x_after = step.x_after;
+    // Regime marker: condition (1) of Theorem 4 is what makes the greedy
+    // pick a machine that is strictly faster than the currently slowest one;
+    // when the chosen machine *is* (one of) the slowest, the round was
+    // governed by condition (2) or by the homogeneous tie-break.
+    const double slowest = *std::max_element(before.begin(), before.end());
+    entry.condition1_regime = entry.rho_before < slowest;
+    before = step.speeds_after;
+    result.push_back(std::move(entry));
+  }
+  return result;
+}
+
+double VariancePredictorResult::bad_fraction() const noexcept {
+  const std::size_t scored = good + bad;
+  return scored == 0 ? 0.0 : static_cast<double>(bad) / static_cast<double>(scored);
+}
+
+VariancePredictorResult variance_predictor_experiment(std::size_t n, std::size_t trials,
+                                                      std::uint64_t seed,
+                                                      const core::Environment& env,
+                                                      parallel::ThreadPool& pool) {
+  if (n < 2) throw std::invalid_argument("variance_predictor_experiment: need n >= 2");
+  VariancePredictorResult init;
+  init.n = n;
+
+  const auto map = [n, seed, &env](std::size_t trial) {
+    VariancePredictorResult partial;
+    partial.n = n;
+    partial.trials = 1;
+    auto rng = random::Xoshiro256StarStar::for_stream(seed, trial);
+    const random::ProfilePair pair = random::equal_mean_pair(n, rng);
+    const double var1 = pair.first.variance();
+    const double var2 = pair.second.variance();
+    if (std::fabs(var1 - var2) < 1e-12) {
+      partial.skipped = 1;
+      return partial;
+    }
+    const double hecr1 = core::hecr(pair.first, env);
+    const double hecr2 = core::hecr(pair.second, env);
+    // "Good": the larger-variance cluster is the more powerful one, i.e.
+    // has the *smaller* HECR.
+    const bool larger_variance_first = var1 > var2;
+    const bool more_powerful_first = hecr1 < hecr2;
+    const bool good = larger_variance_first == more_powerful_first;
+    if (good) {
+      partial.good = 1;
+      partial.hecr_gap_when_good.add(std::fabs(hecr1 - hecr2));
+    } else {
+      partial.bad = 1;
+      partial.hecr_gap_when_bad.add(std::fabs(hecr1 - hecr2));
+    }
+    return partial;
+  };
+  const auto reduce = [](VariancePredictorResult acc, const VariancePredictorResult& part) {
+    acc.trials += part.trials;
+    acc.good += part.good;
+    acc.bad += part.bad;
+    acc.skipped += part.skipped;
+    acc.hecr_gap_when_good.merge(part.hecr_gap_when_good);
+    acc.hecr_gap_when_bad.merge(part.hecr_gap_when_bad);
+    return acc;
+  };
+  return parallel::parallel_map_reduce(pool, 0, trials, init, map, reduce);
+}
+
+ThresholdSearchResult variance_threshold_search(std::size_t n, std::size_t trials_per_bin,
+                                                std::size_t bins, double gap_max,
+                                                std::uint64_t seed,
+                                                const core::Environment& env,
+                                                parallel::ThreadPool& pool) {
+  if (bins == 0) throw std::invalid_argument("variance_threshold_search: need >= 1 bin");
+  if (!(gap_max > 0.0)) throw std::invalid_argument("variance_threshold_search: gap_max must be positive");
+  ThresholdSearchResult result;
+  result.bins.resize(bins);
+  const double bin_width = gap_max / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    result.bins[b].gap_lo = static_cast<double>(b) * bin_width;
+    result.bins[b].gap_hi = result.bins[b].gap_lo + bin_width;
+  }
+
+  // Pair generator: shift-matched iid-uniform profiles ("natural" shapes,
+  // like Section 4.3(a)), with a random mean-preserving stretch applied to
+  // each side so realized variance gaps cover the whole [0, gap_max] range
+  // instead of concentrating near zero.
+  const auto draw_stretched_pair =
+      [n](random::Xoshiro256StarStar& rng) -> std::optional<random::ProfilePair> {
+    const random::PairSamplerConfig config;
+    const random::ProfilePair base = random::equal_mean_pair(n, rng, config);
+    std::vector<double> first(base.first.values().begin(), base.first.values().end());
+    std::vector<double> second(base.second.values().begin(), base.second.values().end());
+    const auto stretched =
+        random::scale_spread(std::move(first), rng.uniform(0.6, 2.2), 0.0, config.hi);
+    const auto shrunk =
+        random::scale_spread(std::move(second), rng.uniform(0.1, 1.0), 0.0, config.hi);
+    if (!stretched || !shrunk) return std::nullopt;
+    return random::ProfilePair{core::Profile{*stretched}, core::Profile{*shrunk}};
+  };
+
+  const std::size_t total_trials = trials_per_bin * bins;
+  std::mutex merge_mutex;
+  const auto worker = [&](std::size_t trial) {
+    auto rng = random::Xoshiro256StarStar::for_stream(seed, trial);
+    const auto pair = draw_stretched_pair(rng);
+    if (!pair) return;
+    double var1 = pair->first.variance();
+    double var2 = pair->second.variance();
+    const core::Profile& larger = var1 >= var2 ? pair->first : pair->second;
+    const core::Profile& smaller = var1 >= var2 ? pair->second : pair->first;
+    const double gap = std::fabs(var1 - var2);
+    if (gap >= gap_max) return;
+    const auto bin_index = static_cast<std::size_t>(gap / (gap_max / static_cast<double>(bins)));
+    const bool correct = core::hecr(larger, env) < core::hecr(smaller, env);
+    std::lock_guard lock{merge_mutex};
+    ThresholdBin& bin = result.bins[std::min(bin_index, bins - 1)];
+    ++bin.trials;
+    if (correct) ++bin.correct;
+  };
+  parallel::parallel_for(pool, 0, total_trials, worker);
+
+  // theta = lower edge of the first suffix of all-perfect bins.
+  result.smallest_perfect_gap = gap_max;
+  for (std::size_t b = bins; b-- > 0;) {
+    if (result.bins[b].trials > 0 && result.bins[b].correct != result.bins[b].trials) break;
+    result.smallest_perfect_gap = result.bins[b].gap_lo;
+  }
+  return result;
+}
+
+FifoOptimalityReport fifo_optimality_report(const std::vector<double>& speeds,
+                                            const core::Environment& env, double lifespan,
+                                            double tolerance) {
+  const std::vector<protocol::OrderPairOutcome> outcomes =
+      protocol::enumerate_order_pairs(speeds, env, lifespan);
+  FifoOptimalityReport report;
+  report.order_pairs = outcomes.size();
+  report.best_work = 0.0;
+  for (const auto& outcome : outcomes) {
+    report.best_work = std::max(report.best_work, outcome.total_work);
+  }
+  bool first_fifo = true;
+  for (const auto& outcome : outcomes) {
+    if (outcome.total_work >= report.best_work - tolerance) ++report.optimal_pairs;
+    if (outcome.orders.is_fifo()) {
+      if (first_fifo) {
+        report.fifo_min_work = outcome.total_work;
+        report.fifo_max_work = outcome.total_work;
+        first_fifo = false;
+      } else {
+        report.fifo_min_work = std::min(report.fifo_min_work, outcome.total_work);
+        report.fifo_max_work = std::max(report.fifo_max_work, outcome.total_work);
+      }
+    }
+  }
+  report.fifo_always_optimal = report.fifo_min_work >= report.best_work - tolerance;
+  report.fifo_order_independent =
+      report.fifo_max_work - report.fifo_min_work <= tolerance * std::max(1.0, report.best_work);
+  return report;
+}
+
+}  // namespace hetero::experiments

@@ -1,0 +1,60 @@
+#pragma once
+
+// Multi-round worksharing campaigns under churn.
+//
+// The paper's CEP is one episode on a fixed cluster.  Volunteer platforms
+// (its own motivating workload, Section 1.2) run for days while machines
+// come and go.  A campaign chops the horizon into rounds; each round plans
+// the optimal FIFO episode over the machines still alive, executes it in
+// the discrete-event simulator with any mid-round crashes injected, and
+// carries the surviving fleet into the next round.  This quantifies the
+// planning trade-off the model itself implies: long rounds amortize
+// per-episode overheads (see bench_ablation_latency), short rounds bound
+// the work a crash destroys.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::experiments {
+
+struct CampaignConfig {
+  double total_time = 0.0;     ///< campaign horizon
+  double round_length = 0.0;   ///< episode length; total_time/round_length rounds
+  /// Per-message fixed latency forwarded to the simulator (0 = paper model).
+  double message_latency = 0.0;
+};
+
+/// A machine crash, in campaign-absolute time.
+struct CampaignFailure {
+  std::size_t machine = 0;
+  double time = 0.0;
+};
+
+struct CampaignResult {
+  double completed_work = 0.0;    ///< work whose results landed within rounds
+  double ideal_work = 0.0;        ///< Theorem-2 work of the full fleet, no churn
+  std::size_t rounds = 0;
+  std::size_t machines_lost = 0;  ///< fleet attrition over the campaign
+  std::vector<double> work_by_round;
+};
+
+/// Runs the campaign: rounds of FIFO worksharing over the surviving fleet,
+/// with the given crash schedule (machines stay dead once crashed; crashes
+/// after a machine's last result of a round are harmless for that round).
+/// Throws std::invalid_argument on nonpositive times, round_length >
+/// total_time, or failures referencing unknown machines.
+[[nodiscard]] CampaignResult run_campaign(const std::vector<double>& speeds,
+                                          const core::Environment& env,
+                                          const CampaignConfig& config,
+                                          const std::vector<CampaignFailure>& failures);
+
+/// Draws i.i.d. exponential crash times (rate = per-machine failures per
+/// unit time); machines whose draw lands beyond the horizon never crash.
+[[nodiscard]] std::vector<CampaignFailure> exponential_failures(std::size_t machines,
+                                                                double rate, double horizon,
+                                                                std::uint64_t seed);
+
+}  // namespace hetero::experiments

@@ -1,0 +1,586 @@
+#include "hetero/numeric/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace hetero::numeric {
+namespace {
+
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+
+}  // namespace
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  sign_ = value < 0 ? -1 : 1;
+  // Avoid UB negating INT64_MIN by working in unsigned space.
+  std::uint64_t magnitude =
+      value < 0 ? ~static_cast<std::uint64_t>(value) + 1 : static_cast<std::uint64_t>(value);
+  limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
+  if (magnitude >> 32 != 0) limbs_.push_back(static_cast<std::uint32_t>(magnitude >> 32));
+}
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value == 0) return;
+  sign_ = 1;
+  limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffu));
+  if (value >> 32 != 0) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt::from_string: empty input");
+  bool negative = false;
+  std::size_t pos = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    negative = text[0] == '-';
+    pos = 1;
+  }
+  if (pos == text.size()) throw std::invalid_argument("BigInt::from_string: sign only");
+  BigInt result;
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt::from_string: non-digit");
+    result *= BigInt{10};
+    result += BigInt{c - '0'};
+  }
+  if (negative && !result.is_zero()) result.sign_ = -1;
+  return result;
+}
+
+BigInt BigInt::from_integral_double(double value) {
+  if (!std::isfinite(value)) throw std::invalid_argument("BigInt::from_integral_double: non-finite");
+  if (std::trunc(value) != value) {
+    throw std::invalid_argument("BigInt::from_integral_double: non-integral");
+  }
+  bool negative = std::signbit(value);
+  double magnitude = std::fabs(value);
+  BigInt result;
+  // Peel 32 bits at a time from the bottom, placing each chunk at its weight.
+  std::size_t shift = 0;
+  while (magnitude >= 1.0) {
+    double chunk = std::floor(magnitude / 4294967296.0);
+    auto low = static_cast<std::uint32_t>(magnitude - chunk * 4294967296.0);
+    result += BigInt{static_cast<std::uint64_t>(low)} << shift;
+    shift += 32;
+    magnitude = chunk;
+  }
+  if (negative && !result.is_zero()) result.sign_ = -1;
+  return result;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  return (limbs_.size() - 1) * 32 + (32 - static_cast<std::size_t>(std::countl_zero(top)));
+}
+
+BigInt BigInt::abs() const {
+  BigInt result = *this;
+  if (result.sign_ < 0) result.sign_ = 1;
+  return result;
+}
+
+BigInt BigInt::negated() const {
+  BigInt result = *this;
+  result.sign_ = -result.sign_;
+  return result;
+}
+
+void BigInt::trim(std::vector<std::uint32_t>& limbs) noexcept {
+  while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
+}
+
+void BigInt::normalize() noexcept {
+  trim(limbs_);
+  if (limbs_.empty()) sign_ = 0;
+}
+
+int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
+                              const std::vector<std::uint32_t>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> result;
+  result.reserve(longer.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
+    result.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<std::uint32_t>(carry));
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::sub_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result.push_back(static_cast<std::uint32_t>(diff));
+  }
+  trim(result);
+  return result;
+}
+
+namespace {
+
+// Schoolbook product (O(n*m)); the base case of the Karatsuba recursion.
+std::vector<std::uint32_t> schoolbook_mul(const std::vector<std::uint32_t>& a,
+                                          const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = result[i + j] + static_cast<std::uint64_t>(a[i]) * b[j] + carry;
+      result[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = result[k] + carry;
+      result[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  return result;
+}
+
+// result[offset..] += add (in place, carrying as far as needed).
+void add_at(std::vector<std::uint32_t>& result, const std::vector<std::uint32_t>& add,
+            std::size_t offset) {
+  std::uint64_t carry = 0;
+  std::size_t i = 0;
+  for (; i < add.size(); ++i) {
+    std::uint64_t cur = result[offset + i] + std::uint64_t{add[i]} + carry;
+    result[offset + i] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+    carry = cur >> 32;
+  }
+  while (carry != 0) {
+    std::uint64_t cur = result[offset + i] + carry;
+    result[offset + i] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+    carry = cur >> 32;
+    ++i;
+  }
+}
+
+// result[offset..] -= sub; requires the slice to stay nonnegative (it does:
+// Karatsuba's middle term never underflows).
+void sub_at(std::vector<std::uint32_t>& result, const std::vector<std::uint32_t>& sub,
+            std::size_t offset) {
+  std::int64_t borrow = 0;
+  std::size_t i = 0;
+  for (; i < sub.size(); ++i) {
+    std::int64_t cur = static_cast<std::int64_t>(result[offset + i]) - borrow -
+                       static_cast<std::int64_t>(sub[i]);
+    if (cur < 0) {
+      cur += std::int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result[offset + i] = static_cast<std::uint32_t>(cur);
+  }
+  while (borrow != 0) {
+    std::int64_t cur = static_cast<std::int64_t>(result[offset + i]) - borrow;
+    if (cur < 0) {
+      cur += std::int64_t{1} << 32;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result[offset + i] = static_cast<std::uint32_t>(cur);
+    ++i;
+  }
+}
+
+// Raw limb addition returning a fresh vector (used for (a_lo + a_hi)).
+std::vector<std::uint32_t> add_limbs(const std::vector<std::uint32_t>& a,
+                                     const std::vector<std::uint32_t>& b) {
+  const auto& longer = a.size() >= b.size() ? a : b;
+  const auto& shorter = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> result(longer.size() + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < longer.size(); ++i) {
+    std::uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
+    result[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+    carry = sum >> 32;
+  }
+  result[longer.size()] = static_cast<std::uint32_t>(carry);
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+
+// Karatsuba: (hi1*S + lo1)(hi2*S + lo2) = z2*S^2 + (z1 - z2 - z0)*S + z0
+// with z0 = lo1*lo2, z2 = hi1*hi2, z1 = (lo1+hi1)(lo2+hi2).
+std::vector<std::uint32_t> karatsuba_mul(const std::vector<std::uint32_t>& a,
+                                         const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  if (std::min(a.size(), b.size()) < kKaratsubaThreshold) return schoolbook_mul(a, b);
+
+  const std::size_t split = std::min(a.size(), b.size()) / 2;
+  const std::vector<std::uint32_t> a_lo(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(split));
+  const std::vector<std::uint32_t> a_hi(a.begin() + static_cast<std::ptrdiff_t>(split), a.end());
+  const std::vector<std::uint32_t> b_lo(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(split));
+  const std::vector<std::uint32_t> b_hi(b.begin() + static_cast<std::ptrdiff_t>(split), b.end());
+
+  const auto z0 = karatsuba_mul(a_lo, b_lo);
+  const auto z2 = karatsuba_mul(a_hi, b_hi);
+  const auto z1 = karatsuba_mul(add_limbs(a_lo, a_hi), add_limbs(b_lo, b_hi));
+
+  std::vector<std::uint32_t> result(a.size() + b.size() + 1, 0);
+  add_at(result, z0, 0);
+  add_at(result, z1, split);
+  sub_at(result, z0, split);
+  sub_at(result, z2, split);
+  add_at(result, z2, 2 * split);
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> BigInt::mul_magnitude(const std::vector<std::uint32_t>& a,
+                                                 const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result = karatsuba_mul(a, b);
+  trim(result);
+  return result;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (rhs.sign_ == 0) return *this;
+  if (sign_ == 0) {
+    *this = rhs;
+    return *this;
+  }
+  if (sign_ == rhs.sign_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+  } else {
+    int cmp = compare_magnitude(limbs_, rhs.limbs_);
+    if (cmp == 0) {
+      sign_ = 0;
+      limbs_.clear();
+    } else if (cmp > 0) {
+      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+    } else {
+      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+      sign_ = rhs.sign_;
+    }
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (sign_ == 0 || rhs.sign_ == 0) {
+    sign_ = 0;
+    limbs_.clear();
+    return *this;
+  }
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  sign_ = sign_ == rhs.sign_ ? 1 : -1;
+  normalize();
+  return *this;
+}
+
+BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor) {
+  if (divisor.is_zero()) throw std::domain_error("BigInt: division by zero");
+  BigIntDivMod out;
+  int magnitude_cmp = BigInt::compare_magnitude(dividend.limbs_, divisor.limbs_);
+  if (magnitude_cmp < 0) {
+    out.remainder = dividend;
+    return out;
+  }
+
+  std::vector<std::uint32_t> quotient;
+  std::vector<std::uint32_t> remainder;
+
+  if (divisor.limbs_.size() == 1) {
+    // Short division by a single limb.
+    const std::uint64_t d = divisor.limbs_[0];
+    quotient.assign(dividend.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | dividend.limbs_[i];
+      quotient[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    if (rem != 0) remainder.push_back(static_cast<std::uint32_t>(rem));
+  } else {
+    // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) in base 2^32.
+    const std::size_t n = divisor.limbs_.size();
+    const std::size_t m = dividend.limbs_.size() - n;
+    const auto shift =
+        static_cast<unsigned>(std::countl_zero(divisor.limbs_.back()));
+
+    // Normalized copies: v has its top bit set; u gets an extra high limb.
+    std::vector<std::uint32_t> v(n);
+    for (std::size_t i = n; i-- > 0;) {
+      std::uint64_t hi = static_cast<std::uint64_t>(divisor.limbs_[i]) << shift;
+      std::uint64_t lo = (shift != 0 && i > 0)
+                             ? divisor.limbs_[i - 1] >> (32 - shift)
+                             : 0;
+      v[i] = static_cast<std::uint32_t>(hi | lo);
+    }
+    std::vector<std::uint32_t> u(dividend.limbs_.size() + 1, 0);
+    if (shift == 0) {
+      std::copy(dividend.limbs_.begin(), dividend.limbs_.end(), u.begin());
+    } else {
+      u[dividend.limbs_.size()] =
+          dividend.limbs_.back() >> (32 - shift);
+      for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
+        std::uint64_t hi = static_cast<std::uint64_t>(dividend.limbs_[i]) << shift;
+        std::uint64_t lo = i > 0 ? dividend.limbs_[i - 1] >> (32 - shift) : 0;
+        u[i] = static_cast<std::uint32_t>((hi | lo) & 0xffffffffu);
+      }
+    }
+
+    quotient.assign(m + 1, 0);
+    const std::uint64_t v_top = v[n - 1];
+    const std::uint64_t v_second = v[n - 2];
+    for (std::size_t j = m + 1; j-- > 0;) {
+      std::uint64_t numerator = (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+      std::uint64_t q_hat = numerator / v_top;
+      std::uint64_t r_hat = numerator % v_top;
+      while (q_hat >= kBase ||
+             q_hat * v_second > ((r_hat << 32) | u[j + n - 2])) {
+        --q_hat;
+        r_hat += v_top;
+        if (r_hat >= kBase) break;
+      }
+      // Multiply-and-subtract: u[j..j+n] -= q_hat * v.
+      std::int64_t borrow = 0;
+      std::uint64_t carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t product = q_hat * v[i] + carry;
+        carry = product >> 32;
+        std::int64_t diff = static_cast<std::int64_t>(u[i + j]) - borrow -
+                            static_cast<std::int64_t>(product & 0xffffffffu);
+        if (diff < 0) {
+          diff += static_cast<std::int64_t>(kBase);
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        u[i + j] = static_cast<std::uint32_t>(diff);
+      }
+      std::int64_t top_diff = static_cast<std::int64_t>(u[j + n]) - borrow -
+                              static_cast<std::int64_t>(carry);
+      if (top_diff < 0) {
+        // q_hat was one too large (rare): add v back and decrement.
+        top_diff += static_cast<std::int64_t>(kBase);
+        --q_hat;
+        std::uint64_t add_carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          std::uint64_t sum = static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+          u[i + j] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+          add_carry = sum >> 32;
+        }
+        top_diff += static_cast<std::int64_t>(add_carry);
+        top_diff &= static_cast<std::int64_t>(0xffffffffu);
+      }
+      u[j + n] = static_cast<std::uint32_t>(top_diff);
+      quotient[j] = static_cast<std::uint32_t>(q_hat);
+    }
+
+    // Denormalize the remainder.
+    remainder.assign(n, 0);
+    if (shift == 0) {
+      std::copy(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n), remainder.begin());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t lo = u[i] >> shift;
+        std::uint64_t hi = (i + 1 < n + 1) ? (static_cast<std::uint64_t>(u[i + 1])
+                                              << (32 - shift))
+                                           : 0;
+        remainder[i] = static_cast<std::uint32_t>((lo | hi) & 0xffffffffu);
+      }
+    }
+    BigInt::trim(remainder);
+  }
+
+  BigInt::trim(quotient);
+  out.quotient.limbs_ = std::move(quotient);
+  out.quotient.sign_ = out.quotient.limbs_.empty()
+                           ? 0
+                           : (dividend.sign_ == divisor.sign_ ? 1 : -1);
+  out.remainder.limbs_ = std::move(remainder);
+  out.remainder.sign_ = out.remainder.limbs_.empty() ? 0 : dividend.sign_;
+  return out;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).quotient;
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  *this = div_mod(*this, rhs).remainder;
+  return *this;
+}
+
+BigInt& BigInt::operator<<=(std::size_t bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  const unsigned bit_shift = static_cast<unsigned>(bits % 32);
+  std::vector<std::uint32_t> result(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t shifted = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    result[i + limb_shift] |= static_cast<std::uint32_t>(shifted & 0xffffffffu);
+    result[i + limb_shift + 1] |= static_cast<std::uint32_t>(shifted >> 32);
+  }
+  limbs_ = std::move(result);
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator>>=(std::size_t bits) {
+  if (sign_ == 0 || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) {
+    sign_ = 0;
+    limbs_.clear();
+    return *this;
+  }
+  const unsigned bit_shift = static_cast<unsigned>(bits % 32);
+  std::vector<std::uint32_t> result(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    std::uint64_t lo = limbs_[i + limb_shift] >> bit_shift;
+    std::uint64_t hi = (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+                           ? static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+                                 << (32 - bit_shift)
+                           : 0;
+    result[i] = static_cast<std::uint32_t>((lo | hi) & 0xffffffffu);
+  }
+  limbs_ = std::move(result);
+  normalize();
+  return *this;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.sign_ = a.limbs_.empty() ? 0 : 1;
+  b.sign_ = b.limbs_.empty() ? 0 : 1;
+  while (!b.is_zero()) {
+    BigInt r = div_mod(a, b).remainder;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::pow(const BigInt& base, std::uint64_t exponent) {
+  BigInt result{1};
+  BigInt acc = base;
+  while (exponent != 0) {
+    if ((exponent & 1u) != 0) result *= acc;
+    exponent >>= 1;
+    if (exponent != 0) acc *= acc;
+  }
+  return result;
+}
+
+std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept {
+  if (lhs.sign_ != rhs.sign_) {
+    return lhs.sign_ < rhs.sign_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  int cmp = BigInt::compare_magnitude(lhs.limbs_, rhs.limbs_);
+  if (lhs.sign_ < 0) cmp = -cmp;
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide by 10^9 to extract decimal chunks.
+  constexpr std::uint64_t kChunk = 1000000000;
+  std::vector<std::uint32_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    trim(work);
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::to_double() const noexcept {
+  if (is_zero()) return 0.0;
+  const std::size_t bits = bit_length();
+  double result;
+  if (bits <= 64) {
+    std::uint64_t value = limbs_[0];
+    if (limbs_.size() > 1) value |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    result = static_cast<double>(value);
+  } else {
+    // Take the top 64 bits and scale.
+    BigInt top = *this;
+    top.sign_ = 1;
+    const std::size_t drop = bits - 64;
+    top >>= drop;
+    std::uint64_t value = top.limbs_[0];
+    if (top.limbs_.size() > 1) value |= static_cast<std::uint64_t>(top.limbs_[1]) << 32;
+    result = std::ldexp(static_cast<double>(value), static_cast<int>(drop));
+  }
+  return sign_ < 0 ? -result : result;
+}
+
+bool BigInt::fits_int64() const noexcept {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.size() < 2) return true;
+  std::uint64_t magnitude = (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
+  if (sign_ >= 0) return magnitude <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  return magnitude <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw std::overflow_error("BigInt::to_int64: out of range");
+  if (is_zero()) return 0;
+  std::uint64_t magnitude = limbs_[0];
+  if (limbs_.size() > 1) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (sign_ > 0) return static_cast<std::int64_t>(magnitude);
+  return static_cast<std::int64_t>(~magnitude + 1);
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.to_string();
+}
+
+}  // namespace hetero::numeric

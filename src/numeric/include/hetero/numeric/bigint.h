@@ -1,0 +1,120 @@
+#pragma once
+
+// Arbitrary-precision signed integers.
+//
+// The symmetric-function predictor of Proposition 3 compares cross-products
+// F_i(P1)*F_j(P2) vs F_i(P2)*F_j(P1) whose difference can be many orders of
+// magnitude below the products themselves, so the comparison must be exact.
+// Every IEEE-754 double is a dyadic rational, which lets us lift measured
+// profiles into exact arithmetic without rounding.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetero::numeric {
+
+struct BigIntDivMod;
+
+/// Signed arbitrary-precision integer with value semantics.
+///
+/// Representation: sign in {-1, 0, +1} plus a little-endian vector of
+/// 32-bit limbs with no trailing zero limbs.  Zero is canonically
+/// (sign == 0, limbs empty).
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t value);   // NOLINT(google-explicit-constructor)
+  BigInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+  BigInt(int value) : BigInt(static_cast<std::int64_t>(value)) {}  // NOLINT
+
+  /// Parses an optionally signed decimal string; throws std::invalid_argument
+  /// on malformed input (empty string, non-digit characters).
+  static BigInt from_string(std::string_view text);
+
+  /// Exact value of a finite double times 2^exp2 when the double is scaled to
+  /// an integer; throws std::invalid_argument for NaN/inf or non-integral
+  /// input.  Use Rational::from_double for general doubles.
+  static BigInt from_integral_double(double value);
+
+  [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
+  [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
+  [[nodiscard]] int signum() const noexcept { return sign_; }
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  [[nodiscard]] std::size_t limb_count() const noexcept { return limbs_.size(); }
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negated() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt& operator/=(const BigInt& rhs);
+  BigInt& operator%=(const BigInt& rhs);
+  BigInt& operator<<=(std::size_t bits);
+  BigInt& operator>>=(std::size_t bits);
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+  friend BigInt operator<<(BigInt lhs, std::size_t bits) { return lhs <<= bits; }
+  friend BigInt operator>>(BigInt lhs, std::size_t bits) { return lhs >>= bits; }
+  BigInt operator-() const { return negated(); }
+
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+  [[nodiscard]] static BigInt pow(const BigInt& base, std::uint64_t exponent);
+
+  friend bool operator==(const BigInt& lhs, const BigInt& rhs) noexcept = default;
+  friend std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Best-effort conversion to double (correct sign and magnitude to within
+  /// one ulp of the 64 most significant bits; +/-inf on overflow).
+  [[nodiscard]] double to_double() const noexcept;
+
+  /// Exact conversion to int64 if representable.
+  [[nodiscard]] bool fits_int64() const noexcept;
+  [[nodiscard]] std::int64_t to_int64() const;  ///< Throws std::overflow_error if not representable.
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+ private:
+  static int compare_magnitude(const std::vector<std::uint32_t>& a,
+                               const std::vector<std::uint32_t>& b) noexcept;
+  static std::vector<std::uint32_t> add_magnitude(const std::vector<std::uint32_t>& a,
+                                                  const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_magnitude(const std::vector<std::uint32_t>& a,
+                                                  const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_magnitude(const std::vector<std::uint32_t>& a,
+                                                  const std::vector<std::uint32_t>& b);
+  static void trim(std::vector<std::uint32_t>& limbs) noexcept;
+  void normalize() noexcept;
+
+  int sign_ = 0;
+  std::vector<std::uint32_t> limbs_;
+
+  friend struct BigIntDivMod;
+  friend BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor);
+};
+
+/// Quotient and remainder of a truncated division (remainder carries the
+/// dividend's sign).
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+/// One-pass quotient + remainder; throws std::domain_error on zero divisor.
+[[nodiscard]] BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor);
+
+}  // namespace hetero::numeric

@@ -1,0 +1,88 @@
+#pragma once
+
+// Minimal dense linear algebra: row-major matrices and an LU solver.
+//
+// Optimal work allocations for a general (startup, finishing)-order
+// worksharing protocol satisfy a square linear system of timing equalities;
+// LU with partial pivoting solves it directly.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace hetero::numeric {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Construction from nested braces; throws std::invalid_argument on ragged rows.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept;
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept;
+
+  Matrix& operator+=(const Matrix& rhs);  ///< Throws std::invalid_argument on shape mismatch.
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scalar);
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double scalar) { return lhs *= scalar; }
+  friend Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+  [[nodiscard]] Matrix transposed() const;
+
+  friend bool operator==(const Matrix& lhs, const Matrix& rhs) noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU decomposition with partial pivoting (PA = LU, L unit-lower).
+class LuDecomposition {
+ public:
+  /// Factorizes a square matrix; throws std::invalid_argument if non-square.
+  explicit LuDecomposition(Matrix a);
+
+  /// True when no pivot fell below the singularity threshold.
+  [[nodiscard]] bool is_invertible() const noexcept { return invertible_; }
+  [[nodiscard]] double determinant() const noexcept;
+
+  /// Solves A x = b; throws std::runtime_error when singular,
+  /// std::invalid_argument on size mismatch.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+  [[nodiscard]] Matrix inverse() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivot_;
+  int pivot_sign_ = 1;
+  bool invertible_ = true;
+};
+
+/// Convenience: solve A x = b in one call.
+[[nodiscard]] std::vector<double> solve_linear_system(const Matrix& a,
+                                                      std::span<const double> b);
+
+/// Max-norm of the residual A x - b (solution-quality check).
+[[nodiscard]] double residual_max_norm(const Matrix& a, std::span<const double> x,
+                                       std::span<const double> b);
+
+}  // namespace hetero::numeric

@@ -1,0 +1,55 @@
+#pragma once
+
+// Dense univariate polynomials with double coefficients.
+//
+// Used for: building prod_j (B*rho_j + t) style generating products when
+// validating Lemma 1, and for small curve fits in the reporting layer.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetero::numeric {
+
+/// Polynomial in one variable, coefficient vector in ascending-degree order;
+/// the zero polynomial is represented by an empty coefficient vector.
+class Polynomial {
+ public:
+  Polynomial() = default;
+  explicit Polynomial(std::vector<double> ascending_coefficients);
+
+  /// Monic-free construction from roots: prod_i (x - roots[i]).
+  [[nodiscard]] static Polynomial from_roots(std::span<const double> roots);
+  /// prod_i (scale_i * x + offset_i); generalizes from_roots for the
+  /// (B*rho + c) products that appear in X's numerator and denominator.
+  [[nodiscard]] static Polynomial from_linear_factors(std::span<const double> scales,
+                                                      std::span<const double> offsets);
+
+  [[nodiscard]] std::size_t degree() const noexcept;  ///< 0 for constants and zero.
+  [[nodiscard]] bool is_zero() const noexcept { return coefficients_.empty(); }
+  [[nodiscard]] std::span<const double> coefficients() const noexcept { return coefficients_; }
+  [[nodiscard]] double coefficient(std::size_t power) const noexcept;
+
+  /// Horner evaluation.
+  [[nodiscard]] double operator()(double x) const noexcept;
+  [[nodiscard]] Polynomial derivative() const;
+
+  Polynomial& operator+=(const Polynomial& rhs);
+  Polynomial& operator-=(const Polynomial& rhs);
+  Polynomial& operator*=(const Polynomial& rhs);
+  Polynomial& operator*=(double scalar);
+
+  friend Polynomial operator+(Polynomial lhs, const Polynomial& rhs) { return lhs += rhs; }
+  friend Polynomial operator-(Polynomial lhs, const Polynomial& rhs) { return lhs -= rhs; }
+  friend Polynomial operator*(Polynomial lhs, const Polynomial& rhs) { return lhs *= rhs; }
+  friend Polynomial operator*(Polynomial lhs, double scalar) { return lhs *= scalar; }
+
+  friend bool operator==(const Polynomial& lhs, const Polynomial& rhs) noexcept = default;
+
+ private:
+  void trim() noexcept;
+
+  std::vector<double> coefficients_;
+};
+
+}  // namespace hetero::numeric

@@ -1,0 +1,68 @@
+#pragma once
+
+// Exact rational arithmetic over BigInt.
+//
+// Profiles measured as IEEE doubles are dyadic rationals, so lifting them
+// into Rational is exact; all Proposition-3 predicates computed here are
+// therefore decisions about the *actual* inputs, free of rounding.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "hetero/numeric/bigint.h"
+
+namespace hetero::numeric {
+
+/// Exact rational number; always stored in lowest terms with a positive
+/// denominator.
+class Rational {
+ public:
+  Rational() : num_{0}, den_{1} {}
+  Rational(std::int64_t value) : num_{value}, den_{1} {}  // NOLINT
+  Rational(int value) : num_{value}, den_{1} {}           // NOLINT
+  /// Throws std::domain_error if denominator is zero.
+  Rational(BigInt numerator, BigInt denominator);
+
+  /// Exact value of a finite double (every finite double is m * 2^e).
+  /// Throws std::invalid_argument for NaN or infinity.
+  static Rational from_double(double value);
+
+  [[nodiscard]] const BigInt& numerator() const noexcept { return num_; }
+  [[nodiscard]] const BigInt& denominator() const noexcept { return den_; }
+  [[nodiscard]] bool is_zero() const noexcept { return num_.is_zero(); }
+  [[nodiscard]] int signum() const noexcept { return num_.signum(); }
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  /// Throws std::domain_error on division by zero.
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+  Rational operator-() const;
+
+  [[nodiscard]] Rational abs() const;
+  [[nodiscard]] Rational reciprocal() const;  ///< Throws std::domain_error if zero.
+  [[nodiscard]] static Rational pow(const Rational& base, std::int64_t exponent);
+
+  friend bool operator==(const Rational& lhs, const Rational& rhs) noexcept = default;
+  friend std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs);
+
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string to_string() const;  ///< "num/den" or "num" when integral.
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+ private:
+  void reduce();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+}  // namespace hetero::numeric

@@ -1,0 +1,37 @@
+#pragma once
+
+// Scalar root finding.
+//
+// The HECR has a closed form (Proposition 1), but we also solve
+// X(homogeneous(rho, n)) = X(P) numerically as an independent cross-check;
+// Brent's method gives machine-precision roots without derivatives.
+
+#include <functional>
+#include <optional>
+
+namespace hetero::numeric {
+
+struct RootResult {
+  double root = 0.0;
+  double residual = 0.0;    ///< f(root)
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct RootOptions {
+  double x_tolerance = 1e-15;  ///< absolute tolerance on the bracket width
+  int max_iterations = 200;
+};
+
+/// Brent's method on [lo, hi]; requires f(lo) and f(hi) of opposite sign
+/// (returns nullopt otherwise, or when inputs are non-finite).
+[[nodiscard]] std::optional<RootResult> brent(const std::function<double(double)>& f,
+                                              double lo, double hi,
+                                              const RootOptions& options = {});
+
+/// Plain bisection (slow but unconditionally robust); same bracket contract.
+[[nodiscard]] std::optional<RootResult> bisect(const std::function<double(double)>& f,
+                                               double lo, double hi,
+                                               const RootOptions& options = {});
+
+}  // namespace hetero::numeric

@@ -1,0 +1,66 @@
+#pragma once
+
+// Dense two-phase simplex solver for small linear programs.
+//
+// Computing the maximum work production of a worksharing protocol with an
+// arbitrary (startup, finishing)-order pair is a linear program: maximize
+// total allocated work subject to the timing feasibility constraints.  The
+// programs are tiny (n variables, O(n) constraints), so a dense tableau with
+// Bland's anti-cycling rule is exactly the right tool.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hetero/numeric/matrix.h"
+
+namespace hetero::numeric {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+[[nodiscard]] const char* to_string(LpStatus status) noexcept;
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+/// Maximizes c.x subject to A x <= b and x >= 0 — **exactly**.
+///
+/// Every coefficient is an IEEE double, i.e. an exact dyadic rational, so
+/// the tableau is carried in exact Rational arithmetic: the verdict
+/// (optimal/infeasible/unbounded) and the optimum are exact for the given
+/// coefficients, and Bland's rule guarantees finite termination.  (A
+/// floating tableau is untrustworthy here: protocol LPs mix coefficients
+/// spanning six orders of magnitude and drift infeasible under tiny-pivot
+/// roundoff.)  Rows with negative right-hand sides go through phase-1
+/// artificial variables.
+class SimplexSolver {
+ public:
+  struct Options {
+    int max_iterations = 10000;
+  };
+
+  SimplexSolver() : options_{} {}
+  explicit SimplexSolver(const Options& options) : options_{options} {}
+
+  /// Throws std::invalid_argument on shape mismatches.
+  [[nodiscard]] LpSolution maximize(std::span<const double> c, const Matrix& a,
+                                    std::span<const double> b) const;
+
+  /// Convenience: minimize c.x subject to A x <= b, x >= 0.
+  [[nodiscard]] LpSolution minimize(std::span<const double> c, const Matrix& a,
+                                    std::span<const double> b) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace hetero::numeric

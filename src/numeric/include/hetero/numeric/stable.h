@@ -1,0 +1,42 @@
+#pragma once
+
+// Numerically stable scalar kernels used by the HECR inversion.
+//
+// Proposition 1 computes rho_C from D = (1 - (A - tau*delta) * X)^(1/n) and
+// then needs 1 - D.  With Table-1 parameters, (A - tau*delta) * X is ~1e-5,
+// so D is within 1e-5 of 1 and the direct expression 1 - pow(...) loses most
+// of its significant digits.  These helpers route through log1p/expm1 so the
+// small quantity is carried explicitly.
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetero::numeric {
+
+/// Computes (1 - x)^(1/n) - 1 accurately for x in [0, 1), n >= 1.
+/// This is expm1(log1p(-x) / n) and stays accurate as x -> 0.
+[[nodiscard]] inline double pow1m_minus1(double x, double n) {
+  if (!(x >= 0.0) || x >= 1.0) throw std::domain_error("pow1m_minus1: x must be in [0,1)");
+  if (!(n >= 1.0)) throw std::domain_error("pow1m_minus1: n must be >= 1");
+  return std::expm1(std::log1p(-x) / n);
+}
+
+/// Computes 1 - (1 - x)^(1/n) accurately (the quantity "1 - D" of Prop. 1).
+[[nodiscard]] inline double one_minus_pow1m(double x, double n) {
+  return -pow1m_minus1(x, n);
+}
+
+/// Relative difference |a - b| / max(|a|, |b|, floor); safe near zero.
+[[nodiscard]] inline double relative_difference(double a, double b,
+                                                double floor = 1e-300) noexcept {
+  const double scale = std::fmax(std::fmax(std::fabs(a), std::fabs(b)), floor);
+  return std::fabs(a - b) / scale;
+}
+
+/// True when a and b agree to within the given relative tolerance.
+[[nodiscard]] inline bool approximately_equal(double a, double b,
+                                              double relative_tolerance = 1e-12) noexcept {
+  return relative_difference(a, b) <= relative_tolerance;
+}
+
+}  // namespace hetero::numeric

@@ -1,0 +1,91 @@
+#pragma once
+
+// Elementary symmetric polynomials and power sums.
+//
+// Lemma 1 of the paper expresses X(P) as a ratio of linear combinations of
+// the elementary symmetric functions F_k(P); Theorem 5 connects F_1 and F_2
+// to the mean and variance.  We provide both floating-point and exact
+// (Rational) evaluation; the exact path backs the Proposition-3 predicate.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "hetero/numeric/rational.h"
+
+namespace hetero::numeric {
+
+/// Elementary symmetric polynomials e_0..e_n of the input values, computed by
+/// the incremental product recurrence prod_i (1 + rho_i t): O(n^2) and
+/// numerically benign for positive inputs (all additions of like signs).
+///
+/// Returns a vector of size n+1 with result[k] = F_k^{(n)}; result[0] = 1.
+template <typename T>
+[[nodiscard]] std::vector<T> elementary_symmetric(std::span<const T> values) {
+  std::vector<T> e(values.size() + 1, T{0});
+  e[0] = T{1};
+  std::size_t filled = 0;
+  for (const T& v : values) {
+    ++filled;
+    for (std::size_t k = filled; k >= 1; --k) {
+      e[k] = e[k] + e[k - 1] * v;
+    }
+  }
+  return e;
+}
+
+template <typename T>
+[[nodiscard]] std::vector<T> elementary_symmetric(const std::vector<T>& values) {
+  return elementary_symmetric(std::span<const T>{values});
+}
+
+/// Power sums p_1..p_m with p_k = sum_i values[i]^k (result[0] = n by the
+/// usual convention).
+template <typename T>
+[[nodiscard]] std::vector<T> power_sums(std::span<const T> values, std::size_t max_order) {
+  std::vector<T> p(max_order + 1, T{0});
+  p[0] = T(static_cast<std::int64_t>(values.size()));
+  std::vector<T> powers(values.begin(), values.end());
+  for (std::size_t k = 1; k <= max_order; ++k) {
+    T total{0};
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      total = total + powers[i];
+      powers[i] = powers[i] * values[i];
+    }
+    p[k] = total;
+  }
+  return p;
+}
+
+/// Newton's identity: converts power sums p_1..p_n into elementary symmetric
+/// polynomials e_0..e_n.  Requires p.size() >= n+1 (p[0] ignored).
+/// Used as an independent cross-check of elementary_symmetric in tests.
+template <typename T>
+[[nodiscard]] std::vector<T> newton_to_elementary(std::span<const T> power, std::size_t n) {
+  if (power.size() < n + 1) throw std::invalid_argument("newton_to_elementary: too few power sums");
+  std::vector<T> e(n + 1, T{0});
+  e[0] = T{1};
+  for (std::size_t k = 1; k <= n; ++k) {
+    // k * e_k = sum_{i=1..k} (-1)^{i-1} e_{k-i} p_i
+    T acc{0};
+    for (std::size_t i = 1; i <= k; ++i) {
+      T term = e[k - i] * power[i];
+      if (i % 2 == 0) {
+        acc = acc - term;
+      } else {
+        acc = acc + term;
+      }
+    }
+    e[k] = acc / T(static_cast<std::int64_t>(k));
+  }
+  return e;
+}
+
+/// Lifts doubles to exact rationals (exactly — doubles are dyadic).
+[[nodiscard]] std::vector<Rational> to_rationals(std::span<const double> values);
+
+/// Exact elementary symmetric polynomials of doubles.
+[[nodiscard]] std::vector<Rational> elementary_symmetric_exact(std::span<const double> values);
+
+}  // namespace hetero::numeric

@@ -1,0 +1,181 @@
+#include "hetero/numeric/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hetero::numeric {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::span<double> Matrix::row(std::size_t r) noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const noexcept {
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix::operator-=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  if (lhs.cols_ != rhs.rows_) throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  Matrix result(lhs.rows_, rhs.cols_);
+  for (std::size_t i = 0; i < lhs.rows_; ++i) {
+    for (std::size_t k = 0; k < lhs.cols_; ++k) {
+      const double a = lhs(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        result(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: size mismatch");
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_{std::move(a)} {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuDecomposition: non-square matrix");
+  const std::size_t n = lu_.rows();
+  pivot_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pivot_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: find the largest magnitude in this column at/below the diagonal.
+    std::size_t best = col;
+    double best_mag = std::fabs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::fabs(lu_(r, col));
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = r;
+      }
+    }
+    if (best != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(best, c), lu_(col, c));
+      std::swap(pivot_[best], pivot_[col]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot = lu_(col, col);
+    if (best_mag < 1e-300) {
+      invertible_ = false;
+      continue;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) / pivot;
+      lu_(r, col) = factor;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(col, c);
+      }
+    }
+  }
+}
+
+double LuDecomposition::determinant() const noexcept {
+  double det = pivot_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::vector<double> LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+  if (!invertible_) throw std::runtime_error("LuDecomposition::solve: singular matrix");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[pivot_[i]];
+  // Forward substitution (L is unit-lower).
+  for (std::size_t i = 1; i < n; ++i) {
+    double acc = x[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc;
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = x[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  const std::size_t n = lu_.rows();
+  Matrix result(n, n);
+  std::vector<double> unit(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    unit[c] = 1.0;
+    const std::vector<double> col = solve(unit);
+    for (std::size_t r = 0; r < n; ++r) result(r, c) = col[r];
+    unit[c] = 0.0;
+  }
+  return result;
+}
+
+std::vector<double> solve_linear_system(const Matrix& a, std::span<const double> b) {
+  return LuDecomposition{a}.solve(b);
+}
+
+double residual_max_norm(const Matrix& a, std::span<const double> x,
+                         std::span<const double> b) {
+  const std::vector<double> ax = a.multiply(x);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    worst = std::fmax(worst, std::fabs(ax[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace hetero::numeric

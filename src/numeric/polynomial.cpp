@@ -1,0 +1,109 @@
+#include "hetero/numeric/polynomial.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetero::numeric {
+
+Polynomial::Polynomial(std::vector<double> ascending_coefficients)
+    : coefficients_{std::move(ascending_coefficients)} {
+  trim();
+}
+
+Polynomial Polynomial::from_roots(std::span<const double> roots) {
+  Polynomial result{{1.0}};
+  for (double r : roots) {
+    result *= Polynomial{{-r, 1.0}};
+  }
+  return result;
+}
+
+Polynomial Polynomial::from_linear_factors(std::span<const double> scales,
+                                           std::span<const double> offsets) {
+  Polynomial result{{1.0}};
+  const std::size_t count = std::min(scales.size(), offsets.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    result *= Polynomial{{offsets[i], scales[i]}};
+  }
+  return result;
+}
+
+std::size_t Polynomial::degree() const noexcept {
+  return coefficients_.empty() ? 0 : coefficients_.size() - 1;
+}
+
+double Polynomial::coefficient(std::size_t power) const noexcept {
+  return power < coefficients_.size() ? coefficients_[power] : 0.0;
+}
+
+double Polynomial::operator()(double x) const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    acc = acc * x + coefficients_[i];
+  }
+  return acc;
+}
+
+Polynomial Polynomial::derivative() const {
+  if (coefficients_.size() <= 1) return Polynomial{};
+  std::vector<double> result(coefficients_.size() - 1);
+  for (std::size_t i = 1; i < coefficients_.size(); ++i) {
+    result[i - 1] = static_cast<double>(i) * coefficients_[i];
+  }
+  return Polynomial{std::move(result)};
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& rhs) {
+  if (rhs.coefficients_.size() > coefficients_.size()) {
+    coefficients_.resize(rhs.coefficients_.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < rhs.coefficients_.size(); ++i) {
+    coefficients_[i] += rhs.coefficients_[i];
+  }
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& rhs) {
+  if (rhs.coefficients_.size() > coefficients_.size()) {
+    coefficients_.resize(rhs.coefficients_.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < rhs.coefficients_.size(); ++i) {
+    coefficients_[i] -= rhs.coefficients_[i];
+  }
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& rhs) {
+  if (coefficients_.empty() || rhs.coefficients_.empty()) {
+    coefficients_.clear();
+    return *this;
+  }
+  std::vector<double> result(coefficients_.size() + rhs.coefficients_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coefficients_.size(); ++i) {
+    for (std::size_t j = 0; j < rhs.coefficients_.size(); ++j) {
+      result[i + j] += coefficients_[i] * rhs.coefficients_[j];
+    }
+  }
+  coefficients_ = std::move(result);
+  trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(double scalar) {
+  if (scalar == 0.0) {
+    coefficients_.clear();
+    return *this;
+  }
+  for (double& c : coefficients_) c *= scalar;
+  return *this;
+}
+
+void Polynomial::trim() noexcept {
+  while (!coefficients_.empty() && coefficients_.back() == 0.0) {
+    coefficients_.pop_back();
+  }
+}
+
+}  // namespace hetero::numeric

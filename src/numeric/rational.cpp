@@ -1,0 +1,139 @@
+#include "hetero/numeric/rational.h"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace hetero::numeric {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : num_{std::move(numerator)}, den_{std::move(denominator)} {
+  if (den_.is_zero()) throw std::domain_error("Rational: zero denominator");
+  reduce();
+}
+
+Rational Rational::from_double(double value) {
+  if (!std::isfinite(value)) throw std::invalid_argument("Rational::from_double: non-finite");
+  if (value == 0.0) return Rational{};
+  int exponent = 0;
+  // mantissa in [0.5, 1); scale it to a 53-bit integer exactly.
+  double mantissa = std::frexp(value, &exponent);
+  auto scaled = static_cast<std::int64_t>(std::ldexp(mantissa, 53));
+  exponent -= 53;
+  BigInt num{scaled};
+  BigInt den{1};
+  if (exponent >= 0) {
+    num <<= static_cast<std::size_t>(exponent);
+  } else {
+    den <<= static_cast<std::size_t>(-exponent);
+  }
+  return Rational{std::move(num), std::move(den)};
+}
+
+void Rational::reduce() {
+  if (den_.is_negative()) {
+    num_ = num_.negated();
+    den_ = den_.negated();
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt{1};
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (g != BigInt{1}) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  reduce();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  reduce();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  reduce();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  reduce();
+  return *this;
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.num_ = result.num_.negated();
+  return result;
+}
+
+Rational Rational::abs() const {
+  Rational result = *this;
+  result.num_ = result.num_.abs();
+  return result;
+}
+
+Rational Rational::reciprocal() const {
+  if (is_zero()) throw std::domain_error("Rational::reciprocal of zero");
+  Rational result;
+  result.num_ = den_;
+  result.den_ = num_;
+  result.reduce();
+  return result;
+}
+
+Rational Rational::pow(const Rational& base, std::int64_t exponent) {
+  if (exponent < 0) return pow(base.reciprocal(), -exponent);
+  Rational result;
+  result.num_ = BigInt::pow(base.num_, static_cast<std::uint64_t>(exponent));
+  result.den_ = BigInt::pow(base.den_, static_cast<std::uint64_t>(exponent));
+  return result;  // powers of a reduced fraction stay reduced
+}
+
+std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return lhs.num_ * rhs.den_ <=> rhs.num_ * lhs.den_;
+}
+
+double Rational::to_double() const noexcept {
+  if (num_.is_zero()) return 0.0;
+  // Scale so the integer quotient carries >= 64 significant bits, then divide.
+  const auto num_bits = static_cast<std::ptrdiff_t>(num_.bit_length());
+  const auto den_bits = static_cast<std::ptrdiff_t>(den_.bit_length());
+  const std::ptrdiff_t shift = 64 - (num_bits - den_bits);
+  BigInt scaled_num = num_;
+  BigInt scaled_den = den_;
+  if (shift > 0) {
+    scaled_num <<= static_cast<std::size_t>(shift);
+  } else if (shift < 0) {
+    scaled_den <<= static_cast<std::size_t>(-shift);
+  }
+  const BigInt quotient = scaled_num / scaled_den;
+  return std::ldexp(quotient.to_double(), static_cast<int>(-shift));
+}
+
+std::string Rational::to_string() const {
+  if (den_ == BigInt{1}) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.to_string();
+}
+
+}  // namespace hetero::numeric

@@ -1,0 +1,128 @@
+#include "hetero/numeric/roots.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace hetero::numeric {
+
+std::optional<RootResult> brent(const std::function<double(double)>& f,
+                                double lo, double hi, const RootOptions& options) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (!std::isfinite(fa) || !std::isfinite(fb)) return std::nullopt;
+  if (fa == 0.0) return RootResult{a, 0.0, 0, true};
+  if (fb == 0.0) return RootResult{b, 0.0, 0, true};
+  if ((fa > 0.0) == (fb > 0.0)) return std::nullopt;
+
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+
+  RootResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) +
+                       0.5 * options.x_tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::fabs(m) <= tol || fb == 0.0) {
+      result.root = b;
+      result.residual = fb;
+      result.converged = true;
+      return result;
+    }
+    if (std::fabs(e) < tol || std::fabs(fa) <= std::fabs(fb)) {
+      d = m;  // bisection
+      e = m;
+    } else {
+      double p;
+      double q;
+      const double s = fb / fa;
+      if (a == c) {
+        // secant
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        // inverse quadratic interpolation
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) {
+        q = -q;
+      } else {
+        p = -p;
+      }
+      if (2.0 * p < std::fmin(3.0 * m * q - std::fabs(tol * q), std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    }
+    a = b;
+    fa = fb;
+    b += std::fabs(d) > tol ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if (!std::isfinite(fb)) return std::nullopt;
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      e = b - a;
+      d = e;
+    }
+  }
+  result.root = b;
+  result.residual = fb;
+  result.converged = false;
+  return result;
+}
+
+std::optional<RootResult> bisect(const std::function<double(double)>& f,
+                                 double lo, double hi, const RootOptions& options) {
+  double fa = f(lo);
+  double fb = f(hi);
+  if (!std::isfinite(fa) || !std::isfinite(fb)) return std::nullopt;
+  if (fa == 0.0) return RootResult{lo, 0.0, 0, true};
+  if (fb == 0.0) return RootResult{hi, 0.0, 0, true};
+  if ((fa > 0.0) == (fb > 0.0)) return std::nullopt;
+
+  RootResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (!std::isfinite(fm)) return std::nullopt;
+    if (fm == 0.0 || hi - lo < options.x_tolerance) {
+      result.root = mid;
+      result.residual = fm;
+      result.converged = true;
+      return result;
+    }
+    if ((fm > 0.0) == (fa > 0.0)) {
+      lo = mid;
+      fa = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  result.root = 0.5 * (lo + hi);
+  result.residual = f(result.root);
+  result.converged = false;
+  return result;
+}
+
+}  // namespace hetero::numeric

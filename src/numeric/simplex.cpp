@@ -1,0 +1,233 @@
+#include "hetero/numeric/simplex.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "hetero/numeric/rational.h"
+
+namespace hetero::numeric {
+namespace {
+
+// Dense simplex tableau over exact rationals.
+//
+// The protocol LPs mix coefficients spanning six orders of magnitude
+// (tau*delta ~ 1e-6 against compute times ~ 1); a floating-point tableau
+// with Bland's rule pivots on tiny elements and silently drifts infeasible.
+// Every input coefficient is an IEEE double — i.e. an exact dyadic
+// rational — so we lift the whole tableau into Rational and pivot exactly:
+// Bland's rule then guarantees finite termination and the reported optimum
+// is exactly feasible and exactly optimal for the given coefficients.
+//
+// Column layout: [structural | slack | artificial | rhs].  Row layout:
+// [constraints | objective].  The objective row stores negated reduced
+// costs, so the optimality loop hunts for negative entries.
+class Tableau {
+ public:
+  Tableau(std::span<const double> c, const Matrix& a, std::span<const double> b) {
+    m_ = a.rows();
+    n_ = a.cols();
+    if (c.size() != n_ || b.size() != m_) {
+      throw std::invalid_argument("SimplexSolver: shape mismatch");
+    }
+    std::vector<bool> flipped(m_, false);
+    std::size_t artificial_count = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (b[i] < 0.0) {
+        flipped[i] = true;
+        ++artificial_count;
+      }
+    }
+    num_artificial_ = artificial_count;
+    cols_ = n_ + m_ + artificial_count + 1;
+    rows_.assign((m_ + 1) * cols_, Rational{});
+    basis_.resize(m_);
+
+    std::size_t artificial_index = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Rational row_sign{flipped[i] ? -1 : 1};
+      for (std::size_t j = 0; j < n_; ++j) {
+        at(i, j) = row_sign * Rational::from_double(a(i, j));
+      }
+      at(i, n_ + i) = row_sign;  // slack (surplus when flipped)
+      rhs(i) = row_sign * Rational::from_double(b[i]);
+      if (flipped[i]) {
+        const std::size_t art_col = n_ + m_ + artificial_index;
+        at(i, art_col) = Rational{1};
+        basis_[i] = art_col;
+        ++artificial_index;
+      } else {
+        basis_[i] = n_ + i;
+      }
+    }
+    objective_.reserve(n_);
+    for (double value : c) objective_.push_back(Rational::from_double(value));
+  }
+
+  /// Phase 1: drive artificials out.  Returns false iff infeasible.
+  bool phase1(int max_iterations, int& iterations) {
+    if (num_artificial_ == 0) return true;
+    for (std::size_t j = 0; j < cols_; ++j) at(m_, j) = Rational{};
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_ + m_) {
+        for (std::size_t j = 0; j < cols_; ++j) at(m_, j) -= at(i, j);
+      }
+    }
+    if (!iterate(max_iterations, iterations)) return false;
+    if (rhs(m_).signum() < 0) return false;  // residual infeasibility
+    // Pivot degenerate artificials out of the basis where possible.
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_ + m_) continue;
+      for (std::size_t j = 0; j < n_ + m_; ++j) {
+        if (!at(i, j).is_zero()) {
+          pivot(i, j);
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Phase 2 with the real objective.  Returns false iff unbounded.
+  bool phase2(int max_iterations, int& iterations) {
+    for (std::size_t j = 0; j < cols_; ++j) at(m_, j) = Rational{};
+    for (std::size_t j = 0; j < n_; ++j) at(m_, j) = -objective_[j];
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Rational coeff = at(m_, basis_[i]);
+      if (!coeff.is_zero()) {
+        for (std::size_t j = 0; j < cols_; ++j) at(m_, j) -= coeff * at(i, j);
+      }
+    }
+    return iterate(max_iterations, iterations);
+  }
+
+  [[nodiscard]] std::vector<double> extract_solution() const {
+    std::vector<double> x(n_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) x[basis_[i]] = rhs(i).to_double();
+    }
+    return x;
+  }
+
+  [[nodiscard]] double objective_value() const {
+    Rational value;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) value += objective_[basis_[i]] * rhs(i);
+    }
+    return value.to_double();
+  }
+
+ private:
+  Rational& at(std::size_t r, std::size_t c) { return rows_[r * cols_ + c]; }
+  [[nodiscard]] const Rational& at(std::size_t r, std::size_t c) const {
+    return rows_[r * cols_ + c];
+  }
+  Rational& rhs(std::size_t r) { return rows_[r * cols_ + cols_ - 1]; }
+  [[nodiscard]] const Rational& rhs(std::size_t r) const {
+    return rows_[r * cols_ + cols_ - 1];
+  }
+
+  // Artificials must never re-enter in phase 2.
+  [[nodiscard]] std::size_t enterable_columns() const { return n_ + m_; }
+
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    const Rational pivot_value = at(pivot_row, pivot_col);
+    const Rational inverse = pivot_value.reciprocal();
+    for (std::size_t j = 0; j < cols_; ++j) at(pivot_row, j) *= inverse;
+    for (std::size_t r = 0; r <= m_; ++r) {
+      if (r == pivot_row) continue;
+      const Rational factor = at(r, pivot_col);
+      if (factor.is_zero()) continue;
+      for (std::size_t j = 0; j < cols_; ++j) {
+        at(r, j) -= factor * at(pivot_row, j);
+      }
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  // Primal simplex with Bland's rule, exact arithmetic.  Returns false iff
+  // unbounded.  Bland + exactness => finite termination (no cycling).
+  bool iterate(int max_iterations, int& iterations) {
+    for (int iter = 0; iter < max_iterations; ++iter) {
+      std::size_t entering = cols_;
+      for (std::size_t j = 0; j < enterable_columns(); ++j) {
+        if (at(m_, j).signum() < 0) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == cols_) return true;  // optimal
+      std::size_t leaving = m_;
+      Rational best_ratio;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const Rational& coeff = at(i, entering);
+        if (coeff.signum() <= 0) continue;
+        const Rational ratio = rhs(i) / coeff;
+        if (leaving == m_ || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[i] < basis_[leaving])) {
+          best_ratio = ratio;
+          leaving = i;
+        }
+      }
+      if (leaving == m_) return false;  // unbounded
+      pivot(leaving, entering);
+      ++iterations;
+    }
+    iterations = max_iterations;
+    return true;  // iteration budget spent; caller reports kIterationLimit
+  }
+
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_artificial_ = 0;
+  std::vector<Rational> rows_;
+  std::vector<std::size_t> basis_;
+  std::vector<Rational> objective_;
+};
+
+}  // namespace
+
+const char* to_string(LpStatus status) noexcept {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+LpSolution SimplexSolver::maximize(std::span<const double> c, const Matrix& a,
+                                   std::span<const double> b) const {
+  Tableau tableau{c, a, b};
+  LpSolution solution;
+  int iterations = 0;
+  if (!tableau.phase1(options_.max_iterations, iterations)) {
+    solution.status = LpStatus::kInfeasible;
+    solution.iterations = iterations;
+    return solution;
+  }
+  const bool bounded = tableau.phase2(options_.max_iterations, iterations);
+  solution.iterations = iterations;
+  if (!bounded) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+  solution.status = iterations >= options_.max_iterations ? LpStatus::kIterationLimit
+                                                          : LpStatus::kOptimal;
+  solution.x = tableau.extract_solution();
+  solution.objective = tableau.objective_value();
+  return solution;
+}
+
+LpSolution SimplexSolver::minimize(std::span<const double> c, const Matrix& a,
+                                   std::span<const double> b) const {
+  std::vector<double> negated(c.begin(), c.end());
+  for (double& v : negated) v = -v;
+  LpSolution solution = maximize(negated, a, b);
+  solution.objective = -solution.objective;
+  return solution;
+}
+
+}  // namespace hetero::numeric

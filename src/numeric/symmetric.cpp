@@ -1,0 +1,17 @@
+#include "hetero/numeric/symmetric.h"
+
+namespace hetero::numeric {
+
+std::vector<Rational> to_rationals(std::span<const double> values) {
+  std::vector<Rational> result;
+  result.reserve(values.size());
+  for (double v : values) result.push_back(Rational::from_double(v));
+  return result;
+}
+
+std::vector<Rational> elementary_symmetric_exact(std::span<const double> values) {
+  const std::vector<Rational> exact = to_rationals(values);
+  return elementary_symmetric(std::span<const Rational>{exact});
+}
+
+}  // namespace hetero::numeric

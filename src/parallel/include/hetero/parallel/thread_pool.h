@@ -1,0 +1,67 @@
+#pragma once
+
+// A small fixed-size thread pool.
+//
+// The Section-4.3 sweeps evaluate X over hundreds of thousands of random
+// clusters up to n = 2^16; trials are embarrassingly parallel.  The pool is
+// deliberately simple — a mutex-protected deque with a condition variable —
+// because tasks here are coarse (whole trial batches), so queue contention
+// is negligible and correctness is easy to audit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetero::parallel {
+
+/// Fixed-size pool of worker threads consuming a FIFO task queue.
+/// Destruction drains the queue (all submitted tasks run) and joins.
+class ThreadPool {
+ public:
+  /// threads == 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its result.  Exceptions thrown by
+  /// the task surface through the future.  Throws std::runtime_error if the
+  /// pool is shutting down.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      std::lock_guard lock{mutex_};
+      if (stopping_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+      queue_.emplace_back([packaged]() { (*packaged)(); });
+    }
+    available_.notify_one();
+    return future;
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable available_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace hetero::parallel

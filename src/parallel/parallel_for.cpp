@@ -1,0 +1,46 @@
+#include "hetero/parallel/parallel_for.h"
+
+#include <algorithm>
+
+namespace hetero::parallel {
+
+std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(std::size_t begin,
+                                                              std::size_t end,
+                                                              std::size_t threads,
+                                                              const ChunkingOptions& options) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  if (begin >= end) return ranges;
+  const std::size_t total = end - begin;
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, threads * std::max<std::size_t>(1, options.chunks_per_thread));
+  const std::size_t chunk =
+      std::max(options.min_chunk, (total + target_chunks - 1) / target_chunks);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    ranges.emplace_back(lo, std::min(lo + chunk, end));
+  }
+  return ranges;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const ChunkingOptions& options) {
+  const auto ranges = chunk_ranges(begin, end, pool.thread_count(), options);
+  std::vector<std::future<void>> pending;
+  pending.reserve(ranges.size());
+  for (const auto& [lo, hi] : ranges) {
+    pending.push_back(pool.submit([lo = lo, hi = hi, &body]() {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& task : pending) {
+    try {
+      task.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hetero::parallel

@@ -1,0 +1,121 @@
+#include "hetero/protocol/fifo.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/summation.h"
+
+namespace hetero::protocol {
+namespace {
+
+std::vector<std::size_t> identity_order(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+void check_inputs(std::span<const double> speeds, double lifespan,
+                  std::span<const std::size_t> startup_order) {
+  if (speeds.empty()) throw std::invalid_argument("fifo: empty cluster");
+  if (!(lifespan > 0.0)) throw std::invalid_argument("fifo: lifespan must be positive");
+  ProtocolOrders probe;
+  probe.startup.assign(startup_order.begin(), startup_order.end());
+  probe.finishing = probe.startup;
+  if (!probe.is_valid(speeds.size())) {
+    throw std::invalid_argument("fifo: startup order is not a permutation of the machines");
+  }
+  for (double rho : speeds) {
+    if (!(rho > 0.0)) throw std::invalid_argument("fifo: rho-values must be positive");
+  }
+}
+
+}  // namespace
+
+std::vector<double> fifo_allocations(std::span<const double> speeds,
+                                     const core::Environment& env, double lifespan,
+                                     std::span<const std::size_t> startup_order) {
+  check_inputs(speeds, lifespan, startup_order);
+  const std::size_t n = speeds.size();
+  const double a = env.a();
+  const double b = env.b();
+  const double td = env.tau_delta();
+
+  // Relative allocations u_k (u_1 = 1) from the no-gap recurrence.
+  std::vector<double> u(n);
+  u[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    const double prev_rho = speeds[startup_order[k - 1]];
+    const double cur_rho = speeds[startup_order[k]];
+    u[k] = u[k - 1] * (b * prev_rho + td) / (b * cur_rho + a);
+  }
+  // Scale so A * sum(w) + (B rho_last + tau delta) * w_last = L.
+  numeric::NeumaierSum u_sum;
+  for (double v : u) u_sum.add(v);
+  const double last_rho = speeds[startup_order[n - 1]];
+  const double scale = lifespan / (a * u_sum.value() + (b * last_rho + td) * u[n - 1]);
+  for (double& v : u) v *= scale;
+  return u;
+}
+
+Schedule fifo_schedule(std::span<const double> speeds, const core::Environment& env,
+                       double lifespan, std::span<const std::size_t> startup_order) {
+  const std::vector<double> work = fifo_allocations(speeds, env, lifespan, startup_order);
+  const std::size_t n = speeds.size();
+  const double a = env.a();
+  const double b = env.b();
+  const double td = env.tau_delta();
+
+  Schedule schedule;
+  schedule.lifespan = lifespan;
+  schedule.speeds.assign(speeds.begin(), speeds.end());
+  schedule.timelines.resize(n);
+  double send_clock = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    WorkerTimeline& t = schedule.timelines[k];
+    t.machine = startup_order[k];
+    t.work = work[k];
+    t.send_start = send_clock;
+    t.receive = t.send_start + a * t.work;
+    send_clock = t.receive;
+    t.compute_done = t.receive + b * speeds[t.machine] * t.work;
+    t.result_start = t.compute_done;  // no gap: channel frees exactly now
+    t.result_end = t.result_start + td * t.work;
+  }
+  return schedule;
+}
+
+std::vector<double> fifo_allocations(std::span<const double> speeds,
+                                     const core::Environment& env, double lifespan) {
+  return fifo_allocations(speeds, env, lifespan, identity_order(speeds.size()));
+}
+
+Schedule fifo_schedule(std::span<const double> speeds, const core::Environment& env,
+                       double lifespan) {
+  return fifo_schedule(speeds, env, lifespan, identity_order(speeds.size()));
+}
+
+bool fifo_gap_free_feasible(std::span<const double> speeds, const core::Environment& env) {
+  // Scale-invariant, so any lifespan probes the question.
+  const Schedule schedule = fifo_schedule(speeds, env, 1.0, identity_order(speeds.size()));
+  return schedule.validate(env, 1e-12).empty();
+}
+
+Schedule crp_schedule(std::span<const double> speeds, const core::Environment& env,
+                      double work) {
+  if (!(work > 0.0)) throw std::invalid_argument("crp_schedule: work must be positive");
+  const core::Profile profile{std::vector<double>(speeds.begin(), speeds.end())};
+  const double lifespan = core::rental_time(work, profile, env);
+  return fifo_schedule(speeds, env, lifespan, identity_order(speeds.size()));
+}
+
+double fifo_total_work(std::span<const double> speeds, const core::Environment& env,
+                       double lifespan) {
+  const std::vector<double> work =
+      fifo_allocations(speeds, env, lifespan, identity_order(speeds.size()));
+  numeric::NeumaierSum sum;
+  for (double w : work) sum.add(w);
+  return sum.value();
+}
+
+}  // namespace hetero::protocol

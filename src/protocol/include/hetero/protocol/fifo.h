@@ -1,0 +1,62 @@
+#pragma once
+
+// Closed-form FIFO worksharing (Section 2.3, after [1]).
+//
+// In the optimal FIFO schedule nothing ever waits: the server packages and
+// transmits loads back to back from time 0; each worker starts its result
+// transmission the instant it finishes packaging, which is also the instant
+// the channel frees up after its predecessor's result; and the last result
+// lands exactly at the lifespan L.  Chaining those equalities gives the
+// allocation recurrence
+//     w_{k+1} = w_k * (B rho_{s_k} + tau delta) / (B rho_{s_{k+1}} + A)
+// and the lifespan constraint  A sum(w) + (B rho_{s_n} + tau delta) w_n = L,
+// whose total work matches Theorem 2's W(L; P) = L / (tau delta + 1/X(P)).
+
+#include <span>
+
+#include "hetero/core/environment.h"
+#include "hetero/protocol/schedule.h"
+
+namespace hetero::protocol {
+
+/// FIFO work allocations for the given startup order; `speeds[orders[k]]` is
+/// the rho of the k-th machine to receive work.  Returns allocations indexed
+/// by *startup position*.  Throws std::invalid_argument on an invalid order
+/// or nonpositive lifespan.
+[[nodiscard]] std::vector<double> fifo_allocations(std::span<const double> speeds,
+                                                   const core::Environment& env, double lifespan,
+                                                   std::span<const std::size_t> startup_order);
+
+/// The fully timed FIFO schedule (no-gap construction described above).
+[[nodiscard]] Schedule fifo_schedule(std::span<const double> speeds,
+                                     const core::Environment& env, double lifespan,
+                                     std::span<const std::size_t> startup_order);
+
+/// Convenience overloads using the identity startup order.
+[[nodiscard]] std::vector<double> fifo_allocations(std::span<const double> speeds,
+                                                   const core::Environment& env, double lifespan);
+[[nodiscard]] Schedule fifo_schedule(std::span<const double> speeds,
+                                     const core::Environment& env, double lifespan);
+
+/// Total FIFO work production over lifespan L (equals Theorem 2's W(L; P)).
+[[nodiscard]] double fifo_total_work(std::span<const double> speeds,
+                                     const core::Environment& env, double lifespan);
+
+/// True when the gap-free FIFO construction is physically feasible — i.e.
+/// no result transmission would collide with the send phase on the shared
+/// channel.  Theorem 1's "sufficiently long lifespan" premise amounts to
+/// this holding, and because the whole schedule scales linearly with L the
+/// answer is the same for every L: in communication-heavy environments the
+/// gap-free FIFO simply does not exist and Theorem 2's W(L; P) is an upper
+/// bound rather than the attainable optimum (solve_protocol_lp gives the
+/// true channel-feasible maximum).
+[[nodiscard]] bool fifo_gap_free_feasible(std::span<const double> speeds,
+                                          const core::Environment& env);
+
+/// Cluster-Rental Problem schedule (footnote 3): the FIFO schedule that
+/// completes exactly `work` units in the shortest possible lifespan.
+/// Throws std::invalid_argument unless work > 0.
+[[nodiscard]] Schedule crp_schedule(std::span<const double> speeds,
+                                    const core::Environment& env, double work);
+
+}  // namespace hetero::protocol

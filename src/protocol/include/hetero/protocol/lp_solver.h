@@ -1,0 +1,97 @@
+#pragma once
+
+// Optimal worksharing for arbitrary (startup, finishing)-order pairs, as a
+// linear program.
+//
+// Fixing Sigma and Phi, the CEP becomes: choose allocations w >= 0 and
+// result-transmission start times r >= 0 maximizing sum(w) subject to
+//   * sends run seriatim from time 0 (gaps in sends can only hurt), so
+//     worker at startup position k receives at A * (w_{s_1}+...+w_{s_k});
+//   * a result may start only after its worker finishes computing;
+//   * results run in finishing order on the single channel, and none may
+//     start before the send phase has released the channel;
+//   * the last result lands by the lifespan L.
+// This is the machinery that lets us *verify* Theorem 1 (FIFO optimality and
+// startup-order independence) instead of assuming it: enumerate order pairs,
+// solve each LP, compare optima.
+
+#include <span>
+
+#include "hetero/core/environment.h"
+#include "hetero/numeric/simplex.h"
+#include "hetero/protocol/schedule.h"
+
+namespace hetero::protocol {
+
+struct LpScheduleResult {
+  numeric::LpStatus status = numeric::LpStatus::kIterationLimit;
+  double total_work = 0.0;
+  Schedule schedule;  ///< populated only when status == kOptimal
+};
+
+/// Solves the fixed-order CEP exactly.  Throws std::invalid_argument on
+/// invalid orders/speeds/lifespan.
+[[nodiscard]] LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
+                                                 const core::Environment& env, double lifespan,
+                                                 const ProtocolOrders& orders);
+
+/// One row of the Theorem-1 validation sweep.
+struct OrderPairOutcome {
+  ProtocolOrders orders;
+  double total_work = 0.0;
+};
+
+/// Solves the LP for every (Sigma, Phi) permutation pair of an n-machine
+/// cluster (n! * n! LPs — intended for n <= 5) and returns all outcomes.
+/// Theorem 1 predicts: the maximum is attained by every FIFO pair, and all
+/// FIFO pairs tie.
+[[nodiscard]] std::vector<OrderPairOutcome> enumerate_order_pairs(
+    std::span<const double> speeds, const core::Environment& env, double lifespan);
+
+// ------------------------------------------------------------------------
+// Channel-interleaving extension.
+//
+// The CEP protocols send all work packages before any result returns.  Is
+// that structure ever suboptimal — could slipping an early result *between*
+// two sends buy work?  A fixed interleaving of the channel's 2n operations
+// (sends in Sigma order, results in Phi order) still yields an LP; sweeping
+// all C(2n, n) interleavings answers the question exhaustively for small n.
+
+/// Channel operation sequence: true = next work message (in startup order),
+/// false = next result message (in finishing order).  Must contain exactly
+/// n of each.
+using ChannelMerge = std::vector<bool>;
+
+/// All C(2n, n) interleavings of n sends and n results.
+[[nodiscard]] std::vector<ChannelMerge> all_channel_merges(std::size_t n);
+
+/// True when every machine's send precedes its result in the merged
+/// channel sequence (a physical prerequisite).
+[[nodiscard]] bool merge_is_causal(const ChannelMerge& merge, const ProtocolOrders& orders);
+
+/// Maximum work under the given orders *and* channel interleaving (exact
+/// LP).  Throws std::invalid_argument on malformed inputs or an acausal
+/// merge.  The all-sends-first merge reproduces solve_protocol_lp (its
+/// feasible set is a superset — sends may idle — with the same optimum).
+[[nodiscard]] LpScheduleResult solve_interleaved_lp(std::span<const double> speeds,
+                                                    const core::Environment& env,
+                                                    double lifespan,
+                                                    const ProtocolOrders& orders,
+                                                    const ChannelMerge& merge);
+
+struct InterleavingReport {
+  double non_interleaved_best = 0.0;  ///< channel-feasible optimum over (Sigma, Phi)
+  double interleaved_best = 0.0;      ///< max over orders x causal merges
+  double fifo_closed_form = 0.0;      ///< Theorem 2's W(L; P)
+  bool fifo_gap_free = true;          ///< gap-free FIFO physically feasible?
+  std::size_t programs_solved = 0;
+  bool interleaving_helps = false;    ///< interleaved_best > non_interleaved_best
+};
+
+/// Exhaustive interleaving sweep over all (Sigma, Phi) pairs and causal
+/// merges; intended for n <= 3 (n = 3 is 36 x 20 LPs).
+[[nodiscard]] InterleavingReport interleaving_ablation(std::span<const double> speeds,
+                                                       const core::Environment& env,
+                                                       double lifespan);
+
+}  // namespace hetero::protocol

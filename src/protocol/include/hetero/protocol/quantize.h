@@ -1,0 +1,36 @@
+#pragma once
+
+// Task-granularity quantization.
+//
+// The paper's workload is a stream of *equal-size tasks* (Section 1.2), but
+// Theorem 2 treats work as perfectly divisible.  Real packages must contain
+// whole tasks; rounding allocations down to task multiples loses a little
+// work per machine.  These helpers quantify that idealization — the finer
+// the tasks (Table 2's "coarse" 1 s vs "finer" 0.1 s rows), the smaller the
+// loss, vanishing like n·task_size / W.
+
+#include <span>
+#include <vector>
+
+#include "hetero/protocol/schedule.h"
+
+namespace hetero::protocol {
+
+struct QuantizedAllocations {
+  std::vector<double> work;   ///< floor(w_i / task_size) * task_size
+  std::vector<long long> tasks;  ///< whole tasks per machine
+  double lost = 0.0;          ///< continuous total minus quantized total
+};
+
+/// Rounds each allocation down to a whole number of tasks.
+/// Throws std::invalid_argument unless task_size > 0 or an allocation is
+/// negative.
+[[nodiscard]] QuantizedAllocations quantize_allocations(std::span<const double> allocations,
+                                                        double task_size);
+
+/// Relative work lost to quantization for a FIFO episode: a closed-form
+/// bound is n * task_size / W_continuous; this returns the measured value.
+[[nodiscard]] double quantization_loss_fraction(std::span<const double> allocations,
+                                                double task_size);
+
+}  // namespace hetero::protocol

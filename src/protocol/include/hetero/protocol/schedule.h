@@ -1,0 +1,65 @@
+#pragma once
+
+// Worksharing schedules (Section 2.2).
+//
+// A Schedule is a fully timed plan for one CEP episode: which machine gets
+// how much work, and when every phase (server packaging+transmit, worker
+// unpack/compute/pack, result transmit) happens.  Schedules can be checked
+// against the model's invariants — most importantly the single-channel rule:
+// at most one intercomputer message in transit at any moment.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::protocol {
+
+/// Timing of one worker's episode.  All times are absolute, in model units.
+struct WorkerTimeline {
+  std::size_t machine = 0;     ///< index into the speeds vector
+  double work = 0.0;           ///< units of work allocated (w_i)
+  double send_start = 0.0;     ///< server starts packaging this load
+  double receive = 0.0;        ///< package fully received (= send_start + A w)
+  double compute_done = 0.0;   ///< unpack+compute+pack finished (= receive + B rho w)
+  double result_start = 0.0;   ///< result transmission begins (>= compute_done)
+  double result_end = 0.0;     ///< result arrives at the server (= result_start + tau delta w)
+};
+
+/// Startup and finishing orders (Sigma, Phi) as machine-index sequences.
+struct ProtocolOrders {
+  std::vector<std::size_t> startup;
+  std::vector<std::size_t> finishing;
+
+  /// Identity startup + identity finishing (a FIFO protocol).
+  [[nodiscard]] static ProtocolOrders fifo(std::size_t n);
+  /// Identity startup, reversed finishing (the LIFO protocol).
+  [[nodiscard]] static ProtocolOrders lifo(std::size_t n);
+  [[nodiscard]] bool is_fifo() const noexcept { return startup == finishing; }
+  /// True when both orders are permutations of {0..n-1} of equal length.
+  [[nodiscard]] bool is_valid(std::size_t n) const;
+};
+
+/// A complete timed worksharing plan.
+struct Schedule {
+  std::vector<WorkerTimeline> timelines;  ///< in startup order
+  double lifespan = 0.0;
+  std::vector<double> speeds;             ///< rho by machine index
+
+  [[nodiscard]] double total_work() const noexcept;
+  [[nodiscard]] const WorkerTimeline& timeline_for_machine(std::size_t machine) const;
+
+  /// Checks every model invariant; returns human-readable violations
+  /// (empty = valid):
+  ///  * nonnegative work, consistent phase durations,
+  ///  * sends serialized in startup order,
+  ///  * results serialized and the channel never carries two messages,
+  ///  * result transmission starts no earlier than compute completion,
+  ///  * everything done by the lifespan.
+  [[nodiscard]] std::vector<std::string> validate(const core::Environment& env,
+                                                  double tolerance = 1e-7) const;
+};
+
+}  // namespace hetero::protocol

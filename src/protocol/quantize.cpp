@@ -1,0 +1,38 @@
+#include "hetero/protocol/quantize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hetero/numeric/summation.h"
+
+namespace hetero::protocol {
+
+QuantizedAllocations quantize_allocations(std::span<const double> allocations,
+                                          double task_size) {
+  if (!(task_size > 0.0)) {
+    throw std::invalid_argument("quantize_allocations: task_size must be positive");
+  }
+  QuantizedAllocations result;
+  result.work.reserve(allocations.size());
+  result.tasks.reserve(allocations.size());
+  numeric::NeumaierSum lost;
+  for (double w : allocations) {
+    if (!(w >= 0.0)) throw std::invalid_argument("quantize_allocations: negative allocation");
+    const double tasks = std::floor(w / task_size);
+    const double quantized = tasks * task_size;
+    result.work.push_back(quantized);
+    result.tasks.push_back(static_cast<long long>(tasks));
+    lost.add(w - quantized);
+  }
+  result.lost = lost.value();
+  return result;
+}
+
+double quantization_loss_fraction(std::span<const double> allocations, double task_size) {
+  const QuantizedAllocations q = quantize_allocations(allocations, task_size);
+  numeric::NeumaierSum total;
+  for (double w : allocations) total.add(w);
+  return total.value() > 0.0 ? q.lost / total.value() : 0.0;
+}
+
+}  // namespace hetero::protocol

@@ -1,0 +1,123 @@
+#include "hetero/protocol/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "hetero/numeric/summation.h"
+
+namespace hetero::protocol {
+
+ProtocolOrders ProtocolOrders::fifo(std::size_t n) {
+  ProtocolOrders orders;
+  orders.startup.resize(n);
+  std::iota(orders.startup.begin(), orders.startup.end(), std::size_t{0});
+  orders.finishing = orders.startup;
+  return orders;
+}
+
+ProtocolOrders ProtocolOrders::lifo(std::size_t n) {
+  ProtocolOrders orders = fifo(n);
+  std::reverse(orders.finishing.begin(), orders.finishing.end());
+  return orders;
+}
+
+bool ProtocolOrders::is_valid(std::size_t n) const {
+  const auto is_permutation_of_n = [n](const std::vector<std::size_t>& order) {
+    if (order.size() != n) return false;
+    std::vector<bool> seen(n, false);
+    for (std::size_t index : order) {
+      if (index >= n || seen[index]) return false;
+      seen[index] = true;
+    }
+    return true;
+  };
+  return is_permutation_of_n(startup) && is_permutation_of_n(finishing);
+}
+
+double Schedule::total_work() const noexcept {
+  numeric::NeumaierSum sum;
+  for (const WorkerTimeline& t : timelines) sum.add(t.work);
+  return sum.value();
+}
+
+const WorkerTimeline& Schedule::timeline_for_machine(std::size_t machine) const {
+  for (const WorkerTimeline& t : timelines) {
+    if (t.machine == machine) return t;
+  }
+  throw std::out_of_range("Schedule::timeline_for_machine: no such machine");
+}
+
+std::vector<std::string> Schedule::validate(const core::Environment& env,
+                                            double tolerance) const {
+  std::vector<std::string> violations;
+  const auto complain = [&violations](const std::string& message) {
+    violations.push_back(message);
+  };
+  const auto close = [tolerance](double a, double b) { return std::fabs(a - b) <= tolerance; };
+
+  const double a = env.a();
+  const double b = env.b();
+  const double td = env.tau_delta();
+
+  // Per-worker internal consistency.
+  for (std::size_t k = 0; k < timelines.size(); ++k) {
+    const WorkerTimeline& t = timelines[k];
+    std::ostringstream who;
+    who << "worker[startup position " << k << ", machine " << t.machine << "]: ";
+    if (t.machine >= speeds.size()) {
+      complain(who.str() + "machine index out of range");
+      continue;
+    }
+    const double rho = speeds[t.machine];
+    if (t.work < -tolerance) complain(who.str() + "negative work allocation");
+    if (!close(t.receive - t.send_start, a * t.work)) {
+      complain(who.str() + "send window does not equal A*w");
+    }
+    if (!close(t.compute_done - t.receive, b * rho * t.work)) {
+      complain(who.str() + "local window does not equal B*rho*w");
+    }
+    if (t.result_start < t.compute_done - tolerance) {
+      complain(who.str() + "result transmission starts before compute completes");
+    }
+    if (!close(t.result_end - t.result_start, td * t.work)) {
+      complain(who.str() + "result window does not equal tau*delta*w");
+    }
+    if (t.result_end > lifespan + tolerance) {
+      complain(who.str() + "result arrives after the lifespan");
+    }
+  }
+
+  // Sends serialized in startup order (server prepares packages seriatim).
+  for (std::size_t k = 0; k + 1 < timelines.size(); ++k) {
+    if (timelines[k + 1].send_start < timelines[k].receive - tolerance) {
+      std::ostringstream msg;
+      msg << "send windows of startup positions " << k << " and " << k + 1 << " overlap";
+      complain(msg.str());
+    }
+  }
+
+  // Channel exclusivity: collect every channel-busy interval (sends occupy
+  // the channel for their full A*w window in this serial model; results for
+  // tau*delta*w) and check pairwise disjointness after sorting.
+  std::vector<std::pair<double, double>> busy;
+  busy.reserve(2 * timelines.size());
+  for (const WorkerTimeline& t : timelines) {
+    busy.emplace_back(t.send_start, t.receive);
+    busy.emplace_back(t.result_start, t.result_end);
+  }
+  std::sort(busy.begin(), busy.end());
+  for (std::size_t k = 0; k + 1 < busy.size(); ++k) {
+    if (busy[k + 1].first < busy[k].second - tolerance) {
+      std::ostringstream msg;
+      msg << "channel carries two messages at time " << busy[k + 1].first;
+      complain(msg.str());
+    }
+  }
+
+  return violations;
+}
+
+}  // namespace hetero::protocol

@@ -1,0 +1,87 @@
+#pragma once
+
+// Deterministic, splittable random number generation.
+//
+// Monte-Carlo experiments (Section 4.3) must be reproducible across runs and
+// partitionable across threads.  xoshiro256** is a small, fast, high-quality
+// generator; SplitMix64 turns (seed, stream) pairs into well-separated
+// states, giving every thread or trial an independent stream from one seed.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hetero::random {
+
+/// SplitMix64 step: the standard state-scrambler used to seed xoshiro.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies the C++ named requirement
+/// UniformRandomBitGenerator, so it plugs into <random> distributions.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from the seed via SplitMix64.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Independent stream: mixes the stream id into the seed path so that
+  /// (seed, 0), (seed, 1), ... produce statistically independent sequences.
+  [[nodiscard]] static Xoshiro256StarStar for_stream(std::uint64_t seed,
+                                                     std::uint64_t stream) noexcept {
+    std::uint64_t sm = seed;
+    const std::uint64_t mixed = splitmix64(sm) ^ (0x9e3779b97f4a7c15ull * (stream + 1));
+    return Xoshiro256StarStar{mixed};
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// 2^128 steps of the generator — partitions one stream into non-
+  /// overlapping substreams (provided for completeness; for_stream is the
+  /// preferred partitioning mechanism).
+  void long_jump() noexcept;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform01(); }
+
+  /// Uniform integer in [0, bound) via unbiased bitmask rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hetero::random

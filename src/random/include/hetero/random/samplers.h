@@ -1,0 +1,92 @@
+#pragma once
+
+// Constrained random profile generation (Section 4.3).
+//
+// The Section-4.3 experiments need pairs of n-machine profiles with *equal
+// mean speed* and freely varying variance.  The paper defers the exact
+// sampling procedure to its companion paper (ref. [13], unavailable), so we
+// implement and document two constructions:
+//   * equal_mean_pair — iid U(lo, hi) rho-values, second profile shifted to
+//     match the first's mean (a shift preserves its variance), with
+//     rejection when shifted values leave (0, hi];
+//   * moment-controlled profiles — a symmetric two-point construction with
+//     jitter that hits a prescribed (mean, variance) pair, used to sweep
+//     variance gaps densely for the threshold search (theta ~= 0.167).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "hetero/core/profile.h"
+#include "hetero/random/rng.h"
+
+namespace hetero::random {
+
+/// n iid rho-values uniform on [lo, hi]; throws std::invalid_argument
+/// unless 0 < lo < hi.
+[[nodiscard]] std::vector<double> uniform_rho_values(std::size_t n, Xoshiro256StarStar& rng,
+                                                     double lo, double hi);
+
+/// n iid rho-values log-uniform on [lo, hi] — machine speeds in real fleets
+/// span orders of magnitude, which a linear-uniform draw cannot represent.
+/// Throws std::invalid_argument unless 0 < lo < hi.
+[[nodiscard]] std::vector<double> log_uniform_rho_values(std::size_t n, Xoshiro256StarStar& rng,
+                                                         double lo, double hi);
+
+/// n iid rho-values from a two-population fleet: with probability
+/// `fast_fraction` a machine is drawn uniform from [fast_lo, fast_hi],
+/// otherwise from [slow_lo, slow_hi] — the "one superfast + rest average"
+/// procurement shapes of the paper's abstract.  Throws std::invalid_argument
+/// on invalid ranges or fractions outside [0, 1].
+[[nodiscard]] std::vector<double> bimodal_rho_values(std::size_t n, Xoshiro256StarStar& rng,
+                                                     double fast_lo, double fast_hi,
+                                                     double slow_lo, double slow_hi,
+                                                     double fast_fraction);
+
+/// Shifts every value by (target_mean - mean) — variance-preserving.
+/// Returns nullopt if any shifted value leaves (lo_bound, hi_bound].
+[[nodiscard]] std::optional<std::vector<double>> match_mean_by_shifting(
+    std::vector<double> values, double target_mean, double lo_bound, double hi_bound);
+
+/// Mean-preserving spread scaling: v -> mean + factor * (v - mean).  Scales
+/// the variance by factor^2 while keeping the mean and the profile's
+/// "shape".  Returns nullopt if any scaled value leaves (lo_bound, hi_bound].
+[[nodiscard]] std::optional<std::vector<double>> scale_spread(std::vector<double> values,
+                                                              double factor, double lo_bound,
+                                                              double hi_bound);
+
+struct ProfilePair {
+  core::Profile first;
+  core::Profile second;
+};
+
+struct PairSamplerConfig {
+  double lo = 0.05;        ///< smallest admissible rho (fastest machine bound)
+  double hi = 1.0;         ///< largest admissible rho (slowest machine bound)
+  int max_attempts = 1000; ///< rejection budget before giving up
+};
+
+/// Draws two profiles with (numerically) identical mean speed per the
+/// shift-matching construction above.  Throws std::runtime_error if the
+/// rejection budget is exhausted (practically impossible for n >= 2 with the
+/// default bounds).
+[[nodiscard]] ProfilePair equal_mean_pair(std::size_t n, Xoshiro256StarStar& rng,
+                                          const PairSamplerConfig& config = PairSamplerConfig{});
+
+/// Builds an n-machine profile with the given mean and (approximately, to
+/// within the jitter) the given variance: half the machines at
+/// mean + d, half at mean - d with d = sqrt(variance), plus uniform jitter of
+/// half-width `jitter` re-centered to preserve the mean.  Throws
+/// std::invalid_argument when the construction would leave (0, hi].
+[[nodiscard]] core::Profile profile_with_moments(std::size_t n, double mean, double variance,
+                                                 Xoshiro256StarStar& rng, double jitter = 0.0,
+                                                 double hi_bound = 1.0);
+
+/// Draws an equal-mean pair whose variance gap |var1 - var2| is >= the
+/// target gap, using moment-controlled construction (first profile gets the
+/// larger variance).  Throws std::invalid_argument when the gap is
+/// infeasible for any mean in (0, hi].
+[[nodiscard]] ProfilePair variance_gap_pair(std::size_t n, double min_gap,
+                                            Xoshiro256StarStar& rng, double hi_bound = 1.0);
+
+}  // namespace hetero::random

@@ -1,0 +1,38 @@
+#include "hetero/random/rng.h"
+
+namespace hetero::random {
+
+void Xoshiro256StarStar::long_jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kLongJump = {
+      0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull, 0x77710069854ee241ull,
+      0x39109bb02acbe635ull};
+  std::array<std::uint64_t, 4> next{};
+  for (std::uint64_t jump : kLongJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((jump & (std::uint64_t{1} << bit)) != 0) {
+        for (std::size_t i = 0; i < next.size(); ++i) next[i] ^= state_[i];
+      }
+      operator()();
+    }
+  }
+  state_ = next;
+}
+
+std::uint64_t Xoshiro256StarStar::below(std::uint64_t bound) noexcept {
+  // Bitmask rejection: draw ceil(log2(bound)) bits and reject out-of-range
+  // samples — unbiased, and the expected number of draws is < 2.
+  if (bound <= 1) return 0;
+  std::uint64_t mask = bound - 1;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  for (;;) {
+    const std::uint64_t sample = operator()() & mask;
+    if (sample < bound) return sample;
+  }
+}
+
+}  // namespace hetero::random

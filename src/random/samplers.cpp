@@ -1,0 +1,165 @@
+#include "hetero/random/samplers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hetero/numeric/summation.h"
+
+namespace hetero::random {
+namespace {
+
+double mean_of(const std::vector<double>& values) {
+  return numeric::compensated_sum(values) / static_cast<double>(values.size());
+}
+
+double variance_of(const std::vector<double>& values) {
+  const double m = mean_of(values);
+  numeric::NeumaierSum acc;
+  for (double v : values) acc.add((v - m) * (v - m));
+  return acc.value() / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+std::vector<double> uniform_rho_values(std::size_t n, Xoshiro256StarStar& rng, double lo,
+                                       double hi) {
+  if (!(lo > 0.0) || !(lo < hi)) {
+    throw std::invalid_argument("uniform_rho_values: need 0 < lo < hi");
+  }
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.uniform(lo, hi);
+  return values;
+}
+
+std::vector<double> log_uniform_rho_values(std::size_t n, Xoshiro256StarStar& rng, double lo,
+                                           double hi) {
+  if (!(lo > 0.0) || !(lo < hi)) {
+    throw std::invalid_argument("log_uniform_rho_values: need 0 < lo < hi");
+  }
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  std::vector<double> values(n);
+  for (double& v : values) v = std::exp(rng.uniform(log_lo, log_hi));
+  return values;
+}
+
+std::vector<double> bimodal_rho_values(std::size_t n, Xoshiro256StarStar& rng, double fast_lo,
+                                       double fast_hi, double slow_lo, double slow_hi,
+                                       double fast_fraction) {
+  if (!(fast_lo > 0.0) || !(fast_lo < fast_hi) || !(slow_lo > 0.0) || !(slow_lo < slow_hi)) {
+    throw std::invalid_argument("bimodal_rho_values: need 0 < lo < hi for both populations");
+  }
+  if (!(fast_fraction >= 0.0) || fast_fraction > 1.0) {
+    throw std::invalid_argument("bimodal_rho_values: fast_fraction outside [0, 1]");
+  }
+  std::vector<double> values(n);
+  for (double& v : values) {
+    v = rng.uniform01() < fast_fraction ? rng.uniform(fast_lo, fast_hi)
+                                        : rng.uniform(slow_lo, slow_hi);
+  }
+  return values;
+}
+
+std::optional<std::vector<double>> match_mean_by_shifting(std::vector<double> values,
+                                                          double target_mean, double lo_bound,
+                                                          double hi_bound) {
+  const double shift = target_mean - mean_of(values);
+  for (double& v : values) {
+    v += shift;
+    if (!(v > lo_bound) || v > hi_bound) return std::nullopt;
+  }
+  return values;
+}
+
+std::optional<std::vector<double>> scale_spread(std::vector<double> values, double factor,
+                                                double lo_bound, double hi_bound) {
+  if (!(factor >= 0.0)) throw std::invalid_argument("scale_spread: negative factor");
+  const double mean = mean_of(values);
+  for (double& v : values) {
+    v = mean + factor * (v - mean);
+    if (!(v > lo_bound) || v > hi_bound) return std::nullopt;
+  }
+  return values;
+}
+
+ProfilePair equal_mean_pair(std::size_t n, Xoshiro256StarStar& rng,
+                            const PairSamplerConfig& config) {
+  if (n == 0) throw std::invalid_argument("equal_mean_pair: empty cluster");
+  for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
+    std::vector<double> first = uniform_rho_values(n, rng, config.lo, config.hi);
+    std::vector<double> second = uniform_rho_values(n, rng, config.lo, config.hi);
+    // Shift the second profile so the means coincide; a shift leaves its
+    // variance untouched, so variances remain freely distributed.
+    auto matched = match_mean_by_shifting(std::move(second), mean_of(first), 0.0, config.hi);
+    if (!matched) continue;
+    return ProfilePair{core::Profile{std::move(first)}, core::Profile{std::move(*matched)}};
+  }
+  throw std::runtime_error("equal_mean_pair: rejection budget exhausted");
+}
+
+core::Profile profile_with_moments(std::size_t n, double mean, double variance,
+                                   Xoshiro256StarStar& rng, double jitter, double hi_bound) {
+  if (n == 0) throw std::invalid_argument("profile_with_moments: empty cluster");
+  if (!(variance >= 0.0)) throw std::invalid_argument("profile_with_moments: negative variance");
+  // Two-point construction: k matched pairs at mean +/- d (one machine parked
+  // at the mean when n is odd); variance contributed is 2k d^2 / n.
+  const std::size_t pairs = n / 2;
+  double d = 0.0;
+  if (variance > 0.0) {
+    if (pairs == 0) {
+      throw std::invalid_argument("profile_with_moments: cannot give one machine a variance");
+    }
+    d = std::sqrt(variance * static_cast<double>(n) / (2.0 * static_cast<double>(pairs)));
+  }
+  if (!(mean - d - jitter > 0.0) || mean + d + jitter > hi_bound) {
+    throw std::invalid_argument("profile_with_moments: moments infeasible within (0, hi]");
+  }
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    values.push_back(mean + d);
+    values.push_back(mean - d);
+  }
+  if (values.size() < n) values.push_back(mean);
+  if (jitter > 0.0) {
+    for (double& v : values) v += rng.uniform(-jitter, jitter);
+    // Re-center so the mean is restored exactly (jitter is mean-zero only in
+    // expectation); the re-centering shift is bounded by the jitter itself,
+    // which the feasibility check above already budgeted for.
+    const double shift = mean - mean_of(values);
+    for (double& v : values) v += shift;
+  }
+  return core::Profile{std::move(values)};
+}
+
+ProfilePair variance_gap_pair(std::size_t n, double min_gap, Xoshiro256StarStar& rng,
+                              double hi_bound) {
+  if (!(min_gap >= 0.0)) throw std::invalid_argument("variance_gap_pair: negative gap");
+  constexpr int kMaxAttempts = 1000;
+  const double jitter = 0.005 * hi_bound;
+  // Infeasible even at the most favorable mean (hi/2)? Then no sample exists.
+  const double best_d_max = 0.5 * hi_bound - 2.0 * jitter;
+  if (best_d_max * best_d_max <= min_gap) {
+    throw std::invalid_argument("variance_gap_pair: gap infeasible within (0, hi]");
+  }
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const double mean = rng.uniform(0.4, 0.6) * hi_bound;
+    const double d_max = std::fmin(hi_bound - mean, mean) - 2.0 * jitter;
+    const double var_max = d_max * d_max;
+    if (var_max <= min_gap) continue;  // unlucky mean draw; resample
+    const double var_high = rng.uniform(min_gap, var_max);
+    const double var_low = rng.uniform(0.0, var_high - min_gap);
+    core::Profile first = profile_with_moments(n, mean, var_high, rng, jitter, hi_bound);
+    core::Profile second = profile_with_moments(n, mean, var_low, rng, jitter, hi_bound);
+    // Jitter perturbs the variances slightly; accept only when the realized
+    // gap still clears the requested minimum.
+    std::vector<double> v1(first.values().begin(), first.values().end());
+    std::vector<double> v2(second.values().begin(), second.values().end());
+    if (variance_of(v1) - variance_of(v2) >= min_gap) {
+      return ProfilePair{std::move(first), std::move(second)};
+    }
+  }
+  throw std::runtime_error("variance_gap_pair: rejection budget exhausted");
+}
+
+}  // namespace hetero::random

@@ -1,0 +1,101 @@
+#include "hetero/report/barchart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetero::report {
+namespace {
+
+// Builds the text block (vector of equal-width lines) for one chart.
+std::vector<std::string> chart_lines(const std::vector<double>& values,
+                                     const BarChartOptions& options, double y_max) {
+  const std::size_t chart_width =
+      values.size() * options.bar_width + (values.size() + 1) * options.gap;
+  std::vector<std::string> lines;
+  lines.reserve(options.height + 1);
+  // Bar heights in rows, rounding half-up; nonzero values always show >= 1 row.
+  std::vector<std::size_t> bar_rows(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!(values[i] >= 0.0)) throw std::invalid_argument("render_bar_chart: negative value");
+    const double frac = y_max > 0.0 ? values[i] / y_max : 0.0;
+    auto rows = static_cast<std::size_t>(std::lround(frac * static_cast<double>(options.height)));
+    if (values[i] > 0.0 && rows == 0) rows = 1;
+    bar_rows[i] = std::min(rows, options.height);
+  }
+  for (std::size_t row = options.height; row-- > 0;) {
+    std::string line(chart_width, ' ');
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (bar_rows[i] > row) {
+        const std::size_t start = options.gap + i * (options.bar_width + options.gap);
+        for (std::size_t c = 0; c < options.bar_width; ++c) line[start + c] = options.fill;
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  lines.push_back(std::string(chart_width, '-'));  // baseline
+  return lines;
+}
+
+}  // namespace
+
+std::string render_bar_chart(const std::vector<double>& values,
+                             const BarChartOptions& options) {
+  if (values.empty()) throw std::invalid_argument("render_bar_chart: no values");
+  double y_max = options.y_max;
+  if (y_max <= 0.0) y_max = *std::max_element(values.begin(), values.end());
+  if (y_max <= 0.0) y_max = 1.0;
+  std::ostringstream out;
+  for (const std::string& line : chart_lines(values, options, y_max)) out << line << '\n';
+  return out.str();
+}
+
+std::string render_snapshot_grid(const std::vector<Snapshot>& snapshots, std::size_t per_row,
+                                 const BarChartOptions& options) {
+  if (snapshots.empty()) throw std::invalid_argument("render_snapshot_grid: no snapshots");
+  if (per_row == 0) throw std::invalid_argument("render_snapshot_grid: per_row must be >= 1");
+  double y_max = options.y_max;
+  if (y_max <= 0.0) {
+    for (const Snapshot& s : snapshots) {
+      for (double v : s.values) y_max = std::max(y_max, v);
+    }
+    if (y_max <= 0.0) y_max = 1.0;
+  }
+
+  std::ostringstream out;
+  for (std::size_t first = 0; first < snapshots.size(); first += per_row) {
+    const std::size_t last = std::min(first + per_row, snapshots.size());
+    // Render each chart in the band, then zip the lines side by side.
+    std::vector<std::vector<std::string>> blocks;
+    std::vector<std::string> labels;
+    for (std::size_t i = first; i < last; ++i) {
+      blocks.push_back(chart_lines(snapshots[i].values, options, y_max));
+      labels.push_back(snapshots[i].label);
+    }
+    const std::size_t rows = blocks.front().size();
+    for (std::size_t row = 0; row < rows; ++row) {
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (b != 0) out << "   ";
+        out << blocks[b][row];
+      }
+      out << '\n';
+    }
+    // Centered labels under each chart.
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (b != 0) out << "   ";
+      const std::size_t width = blocks[b].front().size();
+      const std::string& label = labels[b];
+      const std::size_t pad = label.size() < width ? (width - label.size()) / 2 : 0;
+      std::string cell(width, ' ');
+      for (std::size_t c = 0; c < label.size() && pad + c < width; ++c) {
+        cell[pad + c] = label[c];
+      }
+      out << cell;
+    }
+    out << "\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace hetero::report

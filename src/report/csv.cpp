@@ -1,0 +1,45 @@
+#include "hetero/report/csv.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace hetero::report {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(std::span<const std::string> fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> fields) {
+  write_row(std::span<const std::string>{fields.begin(), fields.size()});
+}
+
+void CsvWriter::write_numeric_row(std::span<const double> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.12g", values[i]);
+    *out_ << buffer;
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace hetero::report

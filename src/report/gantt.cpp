@@ -1,0 +1,78 @@
+#include "hetero/report/gantt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hetero::report {
+namespace {
+
+char fill_for(sim::Activity activity) {
+  switch (activity) {
+    case sim::Activity::kServerPackage: return 'P';
+    case sim::Activity::kTransitWork: return '>';
+    case sim::Activity::kWorkerUnpack: return 'u';
+    case sim::Activity::kWorkerCompute: return 'C';
+    case sim::Activity::kWorkerPackage: return 'p';
+    case sim::Activity::kTransitResult: return '<';
+    case sim::Activity::kServerUnpack: return 'U';
+    case sim::Activity::kIdleWait: return '.';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string render_gantt(const sim::Trace& trace, const GanttOptions& options) {
+  const double t_end = options.t_end > 0.0 ? options.t_end : trace.horizon();
+  const double scale =
+      t_end > 0.0 ? static_cast<double>(options.width) / t_end : 1.0;
+
+  // Actors present, server first.
+  std::set<std::size_t> worker_ids;
+  bool has_server = false;
+  for (const sim::TraceSegment& s : trace.segments()) {
+    if (s.actor == sim::kServerActor) {
+      has_server = true;
+    } else {
+      worker_ids.insert(s.actor);
+    }
+  }
+
+  std::ostringstream out;
+  const auto draw_actor = [&](std::size_t actor, const std::string& label) {
+    std::string lane(options.width, ' ');
+    for (const sim::TraceSegment& s : trace.segments_for_actor(actor)) {
+      auto col0 = static_cast<std::size_t>(std::floor(s.start * scale));
+      auto col1 = static_cast<std::size_t>(std::ceil(s.end * scale));
+      col0 = std::min(col0, options.width - 1);
+      col1 = std::min(std::max(col1, col0 + 1), options.width);
+      for (std::size_t c = col0; c < col1; ++c) lane[c] = fill_for(s.activity);
+    }
+    out << label;
+    out << " |" << lane << "|\n";
+  };
+
+  // Fixed-width labels.
+  std::size_t label_width = std::string{"server"}.size();
+  for (std::size_t id : worker_ids) {
+    label_width = std::max(label_width, 1 + std::to_string(id + 1).size());
+  }
+  const auto pad = [label_width](std::string s) {
+    s.resize(label_width, ' ');
+    return s;
+  };
+
+  if (has_server) draw_actor(sim::kServerActor, pad("server"));
+  for (std::size_t id : worker_ids) draw_actor(id, pad("C" + std::to_string(id + 1)));
+
+  if (options.show_legend) {
+    out << "\nlegend: P=server-package  >=work-transit  u=unpack  C=compute  "
+           "p=package-results  <=result-transit  U=server-unpack\n";
+  }
+  return out.str();
+}
+
+}  // namespace hetero::report

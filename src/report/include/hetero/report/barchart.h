@@ -1,0 +1,41 @@
+#pragma once
+
+// ASCII bar charts.
+//
+// Figures 3 and 4 of the paper are sequences of 4-bar snapshots showing a
+// cluster's profile after each upgrade round; render_snapshot_grid lays a
+// sequence of small vertical bar charts out in rows, exactly like the
+// figures.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hetero::report {
+
+struct BarChartOptions {
+  std::size_t height = 8;      ///< rows of the plot area
+  std::size_t bar_width = 2;   ///< columns per bar
+  std::size_t gap = 1;         ///< columns between bars
+  double y_max = 0.0;          ///< 0 = auto (max of the data)
+  char fill = '#';
+};
+
+/// Renders one vertical bar chart of nonnegative values.
+[[nodiscard]] std::string render_bar_chart(const std::vector<double>& values,
+                                           const BarChartOptions& options = BarChartOptions{});
+
+/// One labelled snapshot in a grid (e.g. "round 3").
+struct Snapshot {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renders snapshots as a grid of small charts, `per_row` charts per row,
+/// all sharing one y-scale (the global maximum) so heights are comparable
+/// across rounds — the Figure 3/4 layout.
+[[nodiscard]] std::string render_snapshot_grid(const std::vector<Snapshot>& snapshots,
+                                               std::size_t per_row,
+                                               const BarChartOptions& options = BarChartOptions{});
+
+}  // namespace hetero::report

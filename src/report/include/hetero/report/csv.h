@@ -1,0 +1,33 @@
+#pragma once
+
+// RFC-4180-style CSV emission, so experiment output can feed external
+// plotting tools directly.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hetero::report {
+
+/// Quotes a field when it contains commas, quotes, or newlines.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Streams rows of string fields as CSV lines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_{&out} {}
+
+  void write_row(std::span<const std::string> fields);
+  void write_row(std::initializer_list<std::string> fields);
+  /// Convenience for numeric rows (formatted with %.12g).
+  void write_numeric_row(std::span<const double> values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hetero::report

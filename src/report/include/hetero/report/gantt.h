@@ -1,0 +1,31 @@
+#pragma once
+
+// ASCII action/time (Gantt) diagrams from simulation traces — the Figure 1
+// and Figure 2 views of a worksharing episode.
+
+#include <string>
+
+#include "hetero/sim/trace.h"
+
+namespace hetero::sim {
+class Trace;
+}
+
+namespace hetero::report {
+
+struct GanttOptions {
+  std::size_t width = 100;     ///< columns of the plot area
+  bool show_legend = true;
+  double t_end = 0.0;          ///< 0 = auto (trace horizon)
+};
+
+/// Renders the trace as one row per actor (server first, then workers in
+/// index order), each activity drawn with a distinct fill character:
+///   P server-package, > work transit, u worker-unpack, C compute,
+///   p worker-package, < result transit, U server-unpack.
+/// Segments too short for one column are drawn as a single column so that
+/// every phase stays visible (the paper's figures are "not to scale" too).
+[[nodiscard]] std::string render_gantt(const sim::Trace& trace,
+                                       const GanttOptions& options = GanttOptions{});
+
+}  // namespace hetero::report

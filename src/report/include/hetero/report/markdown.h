@@ -1,0 +1,21 @@
+#pragma once
+
+// Markdown emission and unicode sparklines — compact result summaries that
+// paste straight into docs like EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace hetero::report {
+
+/// GitHub-flavored markdown table.  Throws std::invalid_argument on an empty
+/// header or ragged rows.
+[[nodiscard]] std::string markdown_table(const std::vector<std::string>& headers,
+                                         const std::vector<std::vector<std::string>>& rows);
+
+/// Eight-level block-character sparkline of nonnegative values, scaled to
+/// the data maximum (or to `y_max` when positive): "▁▂▄█…".  Non-finite or
+/// negative values throw std::invalid_argument.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values, double y_max = 0.0);
+
+}  // namespace hetero::report

@@ -1,0 +1,41 @@
+#pragma once
+
+// Column-aligned text tables — every numbered table in the paper is
+// regenerated through this formatter.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hetero::report {
+
+enum class Align { kLeft, kRight };
+
+/// Fixed-precision double formatting ("%.*f") without iostream state.
+[[nodiscard]] std::string format_fixed(double value, int precision);
+/// Scientific formatting ("%.*e").
+[[nodiscard]] std::string format_scientific(double value, int precision);
+
+/// A simple text table: header row + data rows, box-drawn with ASCII.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Throws std::invalid_argument when the cell count mismatches the header.
+  void add_row(std::vector<std::string> cells);
+  void set_alignment(std::size_t column, Align align);
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> alignment_;
+};
+
+}  // namespace hetero::report

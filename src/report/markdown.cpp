@@ -1,0 +1,53 @@
+#include "hetero/report/markdown.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetero::report {
+
+std::string markdown_table(const std::vector<std::string>& headers,
+                           const std::vector<std::vector<std::string>>& rows) {
+  if (headers.empty()) throw std::invalid_argument("markdown_table: empty header");
+  for (const auto& row : rows) {
+    if (row.size() != headers.size()) {
+      throw std::invalid_argument("markdown_table: ragged row");
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&out](const std::vector<std::string>& cells) {
+    out << '|';
+    for (const std::string& cell : cells) out << ' ' << cell << " |";
+    out << '\n';
+  };
+  emit(headers);
+  out << '|';
+  for (std::size_t c = 0; c < headers.size(); ++c) out << "---|";
+  out << '\n';
+  for (const auto& row : rows) emit(row);
+  return out.str();
+}
+
+std::string sparkline(const std::vector<double>& values, double y_max) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  double top = y_max;
+  for (double v : values) {
+    if (!std::isfinite(v) || v < 0.0) {
+      throw std::invalid_argument("sparkline: values must be finite and nonnegative");
+    }
+    if (y_max <= 0.0) top = std::max(top, v);
+  }
+  if (top <= 0.0) top = 1.0;
+  std::string line;
+  for (double v : values) {
+    auto level = static_cast<std::size_t>(std::floor(v / top * 8.0));
+    if (level > 7) level = 7;
+    line += kLevels[level];
+  }
+  return line;
+}
+
+}  // namespace hetero::report

@@ -1,0 +1,79 @@
+#include "hetero/report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetero::report {
+
+std::string format_fixed(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_scientific(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*e", precision, value);
+  return buffer;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_{std::move(headers)} {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: need at least one column");
+  alignment_.assign(headers_.size(), Align::kRight);
+  alignment_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::set_alignment(std::size_t column, Align align) {
+  alignment_.at(column) = align;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  const auto rule = [&] {
+    out << '+';
+    for (std::size_t w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      out << ' ';
+      if (alignment_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cells[c];
+      if (alignment_[c] == Align::kLeft) out << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  rule();
+  emit_row(headers_);
+  rule();
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& table) {
+  return os << table.to_string();
+}
+
+}  // namespace hetero::report

@@ -1,0 +1,44 @@
+#include "hetero/sim/engine.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hetero::sim {
+
+void SimEngine::schedule_at(double time, Action action) {
+  if (!std::isfinite(time)) throw std::invalid_argument("SimEngine: non-finite event time");
+  if (time < now_) throw std::invalid_argument("SimEngine: cannot schedule in the past");
+  calendar_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+void SimEngine::schedule_after(double delay, Action action) {
+  if (!(delay >= 0.0)) throw std::invalid_argument("SimEngine: negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void SimEngine::run() {
+  while (!calendar_.empty()) {
+    // The queue's top is const; copy out the pieces we need before popping.
+    Event event{calendar_.top().time, calendar_.top().seq,
+                std::move(const_cast<Event&>(calendar_.top()).action)};
+    calendar_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.action();
+  }
+}
+
+void SimEngine::run_until(double horizon) {
+  while (!calendar_.empty() && calendar_.top().time <= horizon) {
+    Event event{calendar_.top().time, calendar_.top().seq,
+                std::move(const_cast<Event&>(calendar_.top()).action)};
+    calendar_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.action();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+}  // namespace hetero::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+// An exclusive, FIFO-granting resource for the simulation engine: the
+// network channel (one message in transit at a time) and the server (one
+// package/unpackage at a time) are both instances.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "hetero/sim/engine.h"
+
+namespace hetero::sim {
+
+/// Grants exclusive holds in request order.  A hold runs for a fixed
+/// duration; `on_start(t)` fires when the hold begins and `on_end(t)` when
+/// it releases (both as engine events).
+class SequentialResource {
+ public:
+  explicit SequentialResource(SimEngine& engine) : engine_{&engine} {}
+
+  SequentialResource(const SequentialResource&) = delete;
+  SequentialResource& operator=(const SequentialResource&) = delete;
+
+  void request(double duration, std::function<void(double)> on_start,
+               std::function<void(double)> on_end);
+
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] std::size_t queue_length() const noexcept { return waiting_.size(); }
+  [[nodiscard]] std::size_t grants() const noexcept { return grants_; }
+
+ private:
+  struct Request {
+    double duration;
+    std::function<void(double)> on_start;
+    std::function<void(double)> on_end;
+  };
+
+  void begin(Request request);
+
+  SimEngine* engine_;
+  std::deque<Request> waiting_;
+  bool busy_ = false;
+  std::size_t grants_ = 0;
+};
+
+}  // namespace hetero::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+// Simulation traces: the raw material for validation and for the
+// action/time (Gantt) diagrams of Figures 1 and 2.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hetero::sim {
+
+enum class Activity {
+  kServerPackage,    ///< server packaging an outbound load (pi * w)
+  kTransitWork,      ///< load in transit to a worker (tau * w)
+  kWorkerUnpack,     ///< worker unpackaging (pi * rho * w)
+  kWorkerCompute,    ///< worker computing (rho * w)
+  kWorkerPackage,    ///< worker packaging results (pi * rho * delta * w)
+  kTransitResult,    ///< result in transit to the server (tau * delta * w)
+  kServerUnpack,     ///< server unpackaging a result (pi * delta * w)
+  kIdleWait,         ///< explicitly recorded waiting (channel busy)
+};
+
+[[nodiscard]] const char* to_string(Activity activity) noexcept;
+
+/// One closed interval of activity by one actor.
+struct TraceSegment {
+  double start = 0.0;
+  double end = 0.0;
+  Activity activity = Activity::kIdleWait;
+  /// Actor id: machine index for workers; kServerActor for the server.
+  std::size_t actor = 0;
+  /// Which worker's load/result this segment concerns.
+  std::size_t subject = 0;
+
+  [[nodiscard]] double duration() const noexcept { return end - start; }
+};
+
+inline constexpr std::size_t kServerActor = static_cast<std::size_t>(-1);
+
+/// Append-only trace; segments arrive in completion order.
+class Trace {
+ public:
+  void record(TraceSegment segment) { segments_.push_back(segment); }
+  [[nodiscard]] const std::vector<TraceSegment>& segments() const noexcept { return segments_; }
+  [[nodiscard]] std::vector<TraceSegment> segments_for_actor(std::size_t actor) const;
+  [[nodiscard]] std::vector<TraceSegment> segments_of(Activity activity) const;
+  /// Largest segment end time (0 when empty).
+  [[nodiscard]] double horizon() const noexcept;
+  /// True when no two *transit* segments overlap — the model's single-channel
+  /// invariant.
+  [[nodiscard]] bool channel_exclusive(double tolerance = 1e-9) const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+};
+
+}  // namespace hetero::sim

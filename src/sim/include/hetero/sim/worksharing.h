@@ -1,0 +1,95 @@
+#pragma once
+
+// Operational (causal) execution of a worksharing protocol.
+//
+// Given allocations and (Sigma, Phi) orders, the simulation plays the
+// episode out event by event:
+//   server:  package(pi w) -> transit(tau w) on the shared channel, seriatim
+//            in startup order;
+//   worker:  unpack(pi rho w) -> compute(rho w) -> package(pi rho delta w);
+//   results: in finishing order, each waiting for both its worker and the
+//            channel, transit(tau delta w); the server then unpackages
+//            (pi delta w) serially.
+// Nothing here assumes the no-gap algebra of protocol/fifo.cpp — waits
+// emerge causally — which is exactly what makes the simulator a meaningful
+// check of Theorem 2's formulas and of planned Schedules.
+
+#include <span>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/protocol/schedule.h"
+#include "hetero/sim/trace.h"
+
+namespace hetero::sim {
+
+/// Measured timings of one worker's episode (same fields as the planner's
+/// WorkerTimeline, but observed rather than computed).
+struct MachineOutcome {
+  std::size_t machine = 0;
+  double work = 0.0;
+  double receive = 0.0;
+  double compute_done = 0.0;
+  double result_start = 0.0;
+  double result_end = 0.0;       ///< result arrival at the server
+  double server_unpacked = 0.0;  ///< server finished unpackaging the result
+  bool failed = false;           ///< machine died before returning its result
+};
+
+/// A machine crash: from `time` on, the machine performs no further work and
+/// its result is lost unless the result message was already in transit.
+struct MachineFailure {
+  std::size_t machine = 0;
+  double time = 0.0;
+};
+
+/// Extensions beyond the paper's clean model (both default off).
+struct SimulationOptions {
+  /// Fixed end-to-end cost added to *every* message (work and result) on the
+  /// channel — the per-message overhead the paper deliberately ignores
+  /// "because their impacts fade over long lifespans".  Exposed so the fade
+  /// claim can be measured (see bench_ablation_latency).
+  double message_latency = 0.0;
+  /// Machines that crash mid-episode.  A crashed machine never transmits its
+  /// result; the finishing order simply skips it (no deadlock), and its load
+  /// does not count as completed — the CEP's completion rule.
+  std::vector<MachineFailure> failures;
+};
+
+struct SimulationResult {
+  std::vector<MachineOutcome> outcomes;     ///< in startup order
+  std::vector<std::size_t> finishing_order; ///< machines by observed arrival
+  double makespan = 0.0;                    ///< last result arrival
+  Trace trace;
+
+  /// Work whose results arrived by the horizon (a load counts only when its
+  /// result message has fully landed — the CEP's completion rule).  Optimal
+  /// schedules land their last result *exactly* at the lifespan, so arrival
+  /// comparisons allow a relative slack (default 1e-9) to absorb the
+  /// floating-point jitter between planned and simulated event times.
+  [[nodiscard]] double completed_work(double horizon,
+                                      double relative_slack = 1e-9) const noexcept;
+  [[nodiscard]] double total_work() const noexcept;
+};
+
+/// Simulates the protocol with the given per-startup-position allocations.
+/// Throws std::invalid_argument on shape/validity errors.
+[[nodiscard]] SimulationResult simulate_worksharing(std::span<const double> speeds,
+                                                    const core::Environment& env,
+                                                    std::span<const double> allocations,
+                                                    const protocol::ProtocolOrders& orders);
+
+/// As above, with model extensions (fixed message latency, failures).
+[[nodiscard]] SimulationResult simulate_worksharing(std::span<const double> speeds,
+                                                    const core::Environment& env,
+                                                    std::span<const double> allocations,
+                                                    const protocol::ProtocolOrders& orders,
+                                                    const SimulationOptions& options);
+
+/// Convenience: executes a planned Schedule (allocations and orders are read
+/// off the plan; the finishing order is taken from the planned result
+/// starts).  The returned outcomes can be compared against the plan.
+[[nodiscard]] SimulationResult simulate_schedule(const protocol::Schedule& schedule,
+                                                 const core::Environment& env);
+
+}  // namespace hetero::sim

@@ -1,0 +1,38 @@
+#include "hetero/sim/resource.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hetero::sim {
+
+void SequentialResource::request(double duration, std::function<void(double)> on_start,
+                                 std::function<void(double)> on_end) {
+  if (!(duration >= 0.0)) throw std::invalid_argument("SequentialResource: negative duration");
+  Request request{duration, std::move(on_start), std::move(on_end)};
+  if (busy_) {
+    waiting_.push_back(std::move(request));
+    return;
+  }
+  begin(std::move(request));
+}
+
+void SequentialResource::begin(Request request) {
+  busy_ = true;
+  ++grants_;
+  const double start = engine_->now();
+  if (request.on_start) request.on_start(start);
+  auto on_end = std::move(request.on_end);
+  engine_->schedule_after(request.duration, [this, on_end = std::move(on_end)]() {
+    if (on_end) on_end(engine_->now());
+    if (waiting_.empty()) {
+      busy_ = false;
+      return;
+    }
+    Request next = std::move(waiting_.front());
+    waiting_.pop_front();
+    // `begin` sets busy_ = true again (it already is) and starts `next` now.
+    begin(std::move(next));
+  });
+}
+
+}  // namespace hetero::sim

@@ -1,0 +1,58 @@
+#include "hetero/sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetero::sim {
+
+const char* to_string(Activity activity) noexcept {
+  switch (activity) {
+    case Activity::kServerPackage: return "server-package";
+    case Activity::kTransitWork: return "transit-work";
+    case Activity::kWorkerUnpack: return "worker-unpack";
+    case Activity::kWorkerCompute: return "worker-compute";
+    case Activity::kWorkerPackage: return "worker-package";
+    case Activity::kTransitResult: return "transit-result";
+    case Activity::kServerUnpack: return "server-unpack";
+    case Activity::kIdleWait: return "idle-wait";
+  }
+  return "unknown";
+}
+
+std::vector<TraceSegment> Trace::segments_for_actor(std::size_t actor) const {
+  std::vector<TraceSegment> result;
+  for (const TraceSegment& s : segments_) {
+    if (s.actor == actor) result.push_back(s);
+  }
+  return result;
+}
+
+std::vector<TraceSegment> Trace::segments_of(Activity activity) const {
+  std::vector<TraceSegment> result;
+  for (const TraceSegment& s : segments_) {
+    if (s.activity == activity) result.push_back(s);
+  }
+  return result;
+}
+
+double Trace::horizon() const noexcept {
+  double latest = 0.0;
+  for (const TraceSegment& s : segments_) latest = std::fmax(latest, s.end);
+  return latest;
+}
+
+bool Trace::channel_exclusive(double tolerance) const {
+  std::vector<std::pair<double, double>> busy;
+  for (const TraceSegment& s : segments_) {
+    if (s.activity == Activity::kTransitWork || s.activity == Activity::kTransitResult) {
+      busy.emplace_back(s.start, s.end);
+    }
+  }
+  std::sort(busy.begin(), busy.end());
+  for (std::size_t i = 0; i + 1 < busy.size(); ++i) {
+    if (busy[i + 1].first < busy[i].second - tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace hetero::sim

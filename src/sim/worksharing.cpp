@@ -1,0 +1,268 @@
+#include "hetero/sim/worksharing.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "hetero/numeric/summation.h"
+#include "hetero/sim/engine.h"
+#include "hetero/sim/resource.h"
+
+namespace hetero::sim {
+namespace {
+
+/// Whole-episode simulation state, wired together with engine callbacks.
+class Episode {
+ public:
+  Episode(std::span<const double> speeds, const core::Environment& env,
+          std::span<const double> allocations, const protocol::ProtocolOrders& orders,
+          const SimulationOptions& options)
+      : speeds_{speeds.begin(), speeds.end()},
+        env_{env},
+        orders_{orders},
+        options_{options},
+        channel_{engine_},
+        server_{engine_} {
+    const std::size_t n = speeds_.size();
+    if (!orders_.is_valid(n)) {
+      throw std::invalid_argument("simulate_worksharing: invalid protocol orders");
+    }
+    if (allocations.size() != n) {
+      throw std::invalid_argument("simulate_worksharing: allocation count mismatch");
+    }
+    work_by_machine_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double w = allocations[k];
+      if (!(w >= 0.0)) throw std::invalid_argument("simulate_worksharing: negative allocation");
+      work_by_machine_[orders_.startup[k]] = w;
+    }
+    finishing_position_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) finishing_position_[orders_.finishing[k]] = k;
+    outcome_by_machine_.resize(n);
+    for (std::size_t m = 0; m < n; ++m) outcome_by_machine_[m].machine = m;
+    ready_.assign(n, false);
+    failed_.assign(n, false);
+    transmitting_.assign(n, false);
+    if (!(options_.message_latency >= 0.0)) {
+      throw std::invalid_argument("simulate_worksharing: negative message latency");
+    }
+    for (const MachineFailure& failure : options_.failures) {
+      if (failure.machine >= n) {
+        throw std::invalid_argument("simulate_worksharing: failure for unknown machine");
+      }
+      if (!(failure.time >= 0.0)) {
+        throw std::invalid_argument("simulate_worksharing: negative failure time");
+      }
+    }
+  }
+
+  SimulationResult run() {
+    // Arm failures before any protocol event so a crash at time t always
+    // precedes same-time protocol activity.
+    for (const MachineFailure& failure : options_.failures) {
+      engine_.schedule_at(failure.time, [this, machine = failure.machine]() {
+        // Once the result transmission has begun (or finished) the message is
+        // already with the network/server: a later crash cannot unsend it.
+        if (transmitting_[machine]) return;
+        failed_[machine] = true;
+        ready_[machine] = false;
+        outcome_by_machine_[machine].failed = true;
+        dispatch_results();  // skip this machine if the channel waits on it
+      });
+    }
+    begin_send(0);
+    engine_.run();
+
+    SimulationResult result;
+    result.outcomes.reserve(speeds_.size());
+    for (std::size_t machine : orders_.startup) {
+      result.outcomes.push_back(outcome_by_machine_[machine]);
+    }
+    result.finishing_order = observed_finishing_;
+    result.makespan = makespan_;
+    result.trace = std::move(trace_);
+    return result;
+  }
+
+ private:
+  void begin_send(std::size_t startup_pos) {
+    if (startup_pos >= speeds_.size()) return;
+    const std::size_t machine = orders_.startup[startup_pos];
+    const double w = work_by_machine_[machine];
+    // Server packages this load (server resource is free during the send
+    // phase: sends are driven sequentially from this chain).
+    const double package_time = env_.pi() * w;
+    server_.request(
+        package_time,
+        [this, machine](double t) { package_start_ = t; mark(machine); },
+        [this, machine, startup_pos, w](double t) {
+          trace_.record({package_start_, t, Activity::kServerPackage, kServerActor, machine});
+          // Transit on the shared channel; the next package waits for the
+          // transit to finish (the A = pi + tau serial model of [1]).
+          channel_.request(
+              env_.tau() * w + options_.message_latency,
+              [this, machine](double start) { transit_start_ = start; mark(machine); },
+              [this, machine, startup_pos](double end) {
+                trace_.record({transit_start_, end, Activity::kTransitWork, kServerActor, machine});
+                deliver(machine, end);
+                begin_send(startup_pos + 1);
+              });
+        });
+  }
+
+  void deliver(std::size_t machine, double at) {
+    MachineOutcome& outcome = outcome_by_machine_[machine];
+    outcome.work = work_by_machine_[machine];
+    outcome.receive = at;
+    const double rho = speeds_[machine];
+    const double w = outcome.work;
+    const double unpack = env_.pi() * rho * w;
+    const double compute = rho * w;
+    const double package = env_.pi() * rho * env_.delta() * w;
+    const double t0 = at;
+    engine_.schedule_after(unpack, [this, machine, t0, unpack, compute, package]() {
+      trace_.record({t0, t0 + unpack, Activity::kWorkerUnpack, machine, machine});
+      engine_.schedule_after(compute, [this, machine, t0, unpack, compute, package]() {
+        trace_.record({t0 + unpack, t0 + unpack + compute, Activity::kWorkerCompute, machine,
+                       machine});
+        engine_.schedule_after(package, [this, machine, t0, unpack, compute, package]() {
+          if (failed_[machine]) return;  // crashed mid-computation
+          const double done = t0 + unpack + compute + package;
+          trace_.record({t0 + unpack + compute, done, Activity::kWorkerPackage, machine, machine});
+          outcome_by_machine_[machine].compute_done = done;
+          ready_[machine] = true;
+          dispatch_results();
+        });
+      });
+    });
+  }
+
+  // Results go out strictly in the protocol's finishing order: the next
+  // result in that order is requested from the channel only once its worker
+  // is ready, so the channel's FIFO grant discipline realizes Phi exactly.
+  void dispatch_results() {
+    while (next_finishing_ < speeds_.size() &&
+           failed_[orders_.finishing[next_finishing_]]) {
+      ++next_finishing_;  // a crashed machine's slot is skipped, not waited on
+    }
+    if (next_finishing_ >= speeds_.size()) return;
+    const std::size_t machine = orders_.finishing[next_finishing_];
+    if (!ready_[machine] || result_in_flight_) return;
+    result_in_flight_ = true;
+    transmitting_[machine] = true;
+    ++next_finishing_;
+    const double w = work_by_machine_[machine];
+    channel_.request(
+        env_.tau_delta() * w + options_.message_latency,
+        [this, machine](double start) {
+          outcome_by_machine_[machine].result_start = start;
+          result_transit_start_ = start;
+          mark(machine);
+        },
+        [this, machine, w](double end) {
+          trace_.record(
+              {result_transit_start_, end, Activity::kTransitResult, kServerActor, machine});
+          outcome_by_machine_[machine].result_end = end;
+          makespan_ = std::max(makespan_, end);
+          observed_finishing_.push_back(machine);
+          result_in_flight_ = false;
+          // Server unpackages the result (serial on the server resource).
+          const double unpack_time = env_.pi() * env_.delta() * w;
+          server_.request(
+              unpack_time, [this, machine](double t) { server_unpack_start_ = t; mark(machine); },
+              [this, machine](double t) {
+                trace_.record(
+                    {server_unpack_start_, t, Activity::kServerUnpack, kServerActor, machine});
+                outcome_by_machine_[machine].server_unpacked = t;
+              });
+          dispatch_results();
+        });
+  }
+
+  static void mark(std::size_t) {}  // documentation hook: capture points
+
+  std::vector<double> speeds_;
+  core::Environment env_;
+  protocol::ProtocolOrders orders_;
+  SimulationOptions options_;
+  SimEngine engine_;
+  SequentialResource channel_;
+  SequentialResource server_;
+
+  std::vector<double> work_by_machine_;
+  std::vector<std::size_t> finishing_position_;
+  std::vector<MachineOutcome> outcome_by_machine_;
+  std::vector<bool> ready_;
+  std::vector<bool> failed_;
+  std::vector<bool> transmitting_;
+  std::vector<std::size_t> observed_finishing_;
+  std::size_t next_finishing_ = 0;
+  bool result_in_flight_ = false;
+  double makespan_ = 0.0;
+  Trace trace_;
+
+  // Start-of-segment scratch (single-threaded engine; one segment of each
+  // kind is in flight at a time because the owning resource is exclusive).
+  double package_start_ = 0.0;
+  double transit_start_ = 0.0;
+  double result_transit_start_ = 0.0;
+  double server_unpack_start_ = 0.0;
+};
+
+}  // namespace
+
+double SimulationResult::completed_work(double horizon, double relative_slack) const noexcept {
+  const double cutoff = horizon + relative_slack * std::max(1.0, horizon);
+  numeric::NeumaierSum sum;
+  for (const MachineOutcome& o : outcomes) {
+    if (!o.failed && o.work > 0.0 && o.result_end > 0.0 && o.result_end <= cutoff) {
+      sum.add(o.work);
+    }
+  }
+  return sum.value();
+}
+
+double SimulationResult::total_work() const noexcept {
+  numeric::NeumaierSum sum;
+  for (const MachineOutcome& o : outcomes) sum.add(o.work);
+  return sum.value();
+}
+
+SimulationResult simulate_worksharing(std::span<const double> speeds,
+                                      const core::Environment& env,
+                                      std::span<const double> allocations,
+                                      const protocol::ProtocolOrders& orders) {
+  return simulate_worksharing(speeds, env, allocations, orders, SimulationOptions{});
+}
+
+SimulationResult simulate_worksharing(std::span<const double> speeds,
+                                      const core::Environment& env,
+                                      std::span<const double> allocations,
+                                      const protocol::ProtocolOrders& orders,
+                                      const SimulationOptions& options) {
+  Episode episode{speeds, env, allocations, orders, options};
+  return episode.run();
+}
+
+SimulationResult simulate_schedule(const protocol::Schedule& schedule,
+                                   const core::Environment& env) {
+  const std::size_t n = schedule.timelines.size();
+  protocol::ProtocolOrders orders;
+  std::vector<double> allocations(n);
+  orders.startup.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    orders.startup.push_back(schedule.timelines[k].machine);
+    allocations[k] = schedule.timelines[k].work;
+  }
+  // Finishing order: machines sorted by planned result start.
+  std::vector<std::size_t> by_result(n);
+  for (std::size_t k = 0; k < n; ++k) by_result[k] = k;
+  std::sort(by_result.begin(), by_result.end(), [&schedule](std::size_t a, std::size_t b) {
+    return schedule.timelines[a].result_start < schedule.timelines[b].result_start;
+  });
+  orders.finishing.reserve(n);
+  for (std::size_t k : by_result) orders.finishing.push_back(schedule.timelines[k].machine);
+  return simulate_worksharing(schedule.speeds, env, allocations, orders);
+}
+
+}  // namespace hetero::sim

@@ -1,0 +1,64 @@
+#include "hetero/stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "hetero/numeric/summation.h"
+
+namespace hetero::stats {
+
+double pearson_correlation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("pearson_correlation: length mismatch");
+  }
+  const std::size_t n = x.size();
+  if (n < 2) return std::numeric_limits<double>::quiet_NaN();
+  const double mx = numeric::compensated_sum(x) / static_cast<double>(n);
+  const double my = numeric::compensated_sum(y) / static_cast<double>(n);
+  numeric::NeumaierSum sxy;
+  numeric::NeumaierSum sxx;
+  numeric::NeumaierSum syy;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy.add(dx * dy);
+    sxx.add(dx * dx);
+    syy.add(dy * dy);
+  }
+  const double denominator = std::sqrt(sxx.value()) * std::sqrt(syy.value());
+  if (denominator == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return sxy.value() / denominator;
+}
+
+std::vector<double> fractional_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&values](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    // Average the ranks over each run of ties.
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double averaged = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = averaged;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_correlation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("spearman_correlation: length mismatch");
+  }
+  const std::vector<double> rx = fractional_ranks(x);
+  const std::vector<double> ry = fractional_ranks(y);
+  return pearson_correlation(rx, ry);
+}
+
+}  // namespace hetero::stats

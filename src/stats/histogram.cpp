@@ -1,0 +1,94 @@
+#include "hetero/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetero::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo}, hi_{hi} {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: need lo < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.assign(bins, 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x > hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // x == hi lands in the top bin
+  ++counts_[bin];
+}
+
+void Histogram::add_all(std::span<const double> values) noexcept {
+  for (double v : values) add(v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_low");
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin) + width_; }
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::cumulative_fraction");
+  const std::size_t in_range = total_ - underflow_ - overflow_;
+  if (in_range == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i <= bin; ++i) acc += counts_[i];
+  return static_cast<double>(acc) / static_cast<double>(in_range);
+}
+
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  if (successes > trials) throw std::invalid_argument("wilson_interval: successes > trials");
+  if (!(z > 0.0)) throw std::invalid_argument("wilson_interval: z must be positive");
+  ProportionInterval interval;
+  if (trials == 0) return interval;  // [0, 1], estimate 0
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  interval.estimate = p;
+  const double z2 = z * z;
+  const double center = (p + z2 / (2.0 * n)) / (1.0 + z2 / n);
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / (1.0 + z2 / n);
+  interval.lo = std::max(0.0, center - margin);
+  interval.hi = std::min(1.0, center + margin);
+  // Boundary proportions: roundoff can push the closed end past the
+  // estimate by an ulp; pin them exactly.
+  if (successes == 0) interval.lo = 0.0;
+  if (successes == trials) interval.hi = 1.0;
+  return interval;
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (!(q >= 0.0) || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double h = (static_cast<double>(sorted.size()) - 1.0) * q;
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace hetero::stats

@@ -1,0 +1,23 @@
+#pragma once
+
+// Correlation measures for experiment analysis — e.g. how strongly the
+// variance gap between equal-mean clusters tracks their HECR gap
+// (Section 4.3's "variance is a rather good predictor" made quantitative).
+
+#include <span>
+#include <vector>
+
+namespace hetero::stats {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns NaN for n < 2 or when either sample is constant; throws
+/// std::invalid_argument on length mismatch.
+[[nodiscard]] double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+/// Fractional ranks (1-based, ties averaged), the Spearman building block.
+[[nodiscard]] std::vector<double> fractional_ranks(std::span<const double> values);
+
+/// Spearman rank correlation (Pearson of the fractional ranks).
+[[nodiscard]] double spearman_correlation(std::span<const double> x, std::span<const double> y);
+
+}  // namespace hetero::stats

@@ -1,0 +1,61 @@
+#pragma once
+
+// Fixed-range histograms for experiment result distributions (e.g. the
+// HECR-gap distribution of "bad" cluster pairs in Section 4.3).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetero::stats {
+
+/// Equal-width histogram over [lo, hi]; out-of-range samples land in
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument unless lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> values) noexcept;
+  void merge(const Histogram& other);  ///< Throws std::invalid_argument on layout mismatch.
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+  /// Fraction of in-range samples at or below the upper edge of `bin`.
+  [[nodiscard]] double cumulative_fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Quantile of a sample by linear interpolation (type-7, the R default);
+/// sorts a copy.  q in [0, 1]; throws std::invalid_argument on empty input
+/// or q outside [0, 1].
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Wilson score confidence interval for a binomial proportion — the honest
+/// error bars for Monte-Carlo proportions like Section 4.3's "bad pair"
+/// fraction.  z is the normal quantile (1.96 = 95%).  Throws
+/// std::invalid_argument when successes > trials or z <= 0; returns the
+/// degenerate [0, 1] for zero trials.
+struct ProportionInterval {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+[[nodiscard]] ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                                 double z = 1.959963984540054);
+
+}  // namespace hetero::stats

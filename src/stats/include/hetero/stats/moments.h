@@ -1,0 +1,53 @@
+#pragma once
+
+// Online statistical moments (Welford/Chan updating formulas through the
+// fourth central moment).
+//
+// Section 4 of the paper studies statistical moments of profiles as
+// predictors of cluster power; the companion-paper extension (ref. [13])
+// looks at skewness and kurtosis too, so we carry all four moments.  The
+// accumulator is mergeable, which lets the parallel experiment runner
+// combine per-thread partials exactly.
+
+#include <cstddef>
+#include <span>
+
+namespace hetero::stats {
+
+/// Streaming accumulator for count/mean/variance/skewness/kurtosis.
+class OnlineMoments {
+ public:
+  void add(double x) noexcept;
+  /// Exact pairwise merge (Chan et al. update), independent of order.
+  void merge(const OnlineMoments& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (divides by n, matching the paper's eq. (7)).
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample variance (divides by n-1); NaN for n < 2.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double standard_deviation() const noexcept;
+  /// Population skewness g1 = m3 / m2^(3/2); NaN when variance is 0 or n < 2.
+  [[nodiscard]] double skewness() const noexcept;
+  /// Population excess kurtosis g2 = m4 / m2^2 - 3; NaN when variance is 0.
+  [[nodiscard]] double excess_kurtosis() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  void reset() noexcept { *this = OnlineMoments{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-shot moments of a range.
+[[nodiscard]] OnlineMoments moments_of(std::span<const double> values) noexcept;
+
+}  // namespace hetero::stats

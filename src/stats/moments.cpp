@@ -1,0 +1,90 @@
+#include "hetero/stats/moments.h"
+
+#include <cmath>
+#include <limits>
+
+namespace hetero::stats {
+
+void OnlineMoments::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::fmin(min_, x);
+    max_ = std::fmax(max_, x);
+  }
+  const double n1 = static_cast<double>(count_);
+  ++count_;
+  const double n = static_cast<double>(count_);
+  const double delta = x - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  mean_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ - 4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m4 = m4_ + other.m4_ +
+                    delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+                    6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+                    4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+
+  mean_ = (na * mean_ + nb * other.mean_) / n;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  count_ += other.count_;
+  min_ = std::fmin(min_, other.min_);
+  max_ = std::fmax(max_, other.max_);
+}
+
+double OnlineMoments::variance() const noexcept {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineMoments::sample_variance() const noexcept {
+  if (count_ < 2) return std::numeric_limits<double>::quiet_NaN();
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineMoments::standard_deviation() const noexcept { return std::sqrt(variance()); }
+
+double OnlineMoments::skewness() const noexcept {
+  if (count_ < 2 || m2_ <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double n = static_cast<double>(count_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double OnlineMoments::excess_kurtosis() const noexcept {
+  if (count_ < 2 || m2_ <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double n = static_cast<double>(count_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+OnlineMoments moments_of(std::span<const double> values) noexcept {
+  OnlineMoments acc;
+  for (double v : values) acc.add(v);
+  return acc;
+}
+
+}  // namespace hetero::stats

@@ -1,0 +1,111 @@
+#include "hetero/core/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "hetero/core/power.h"
+
+namespace hetero::core {
+namespace {
+
+const Environment kEnv = Environment::paper_default();
+
+TEST(BudgetedUpgrades, ZeroBudgetBuysNothing) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const std::vector<UpgradeOption> menu{{0, 0.5, 10.0}, {1, 0.5, 10.0}};
+  const BudgetedPlan exhaustive = best_upgrades_exhaustive(speeds, menu, 0.0, kEnv);
+  const BudgetedPlan greedy = best_upgrades_greedy(speeds, menu, 0.0, kEnv);
+  for (const BudgetedPlan* plan : {&exhaustive, &greedy}) {
+    EXPECT_TRUE(plan->chosen.empty());
+    EXPECT_EQ(plan->speeds_after, speeds);
+    EXPECT_DOUBLE_EQ(plan->total_cost, 0.0);
+  }
+}
+
+TEST(BudgetedUpgrades, SingleAffordableUpgradeMatchesTheorem3) {
+  // One upgrade affordable per machine, equal prices: the exhaustive plan
+  // must pick the fastest machine (Theorem 3's multiplicative analog in the
+  // normal regime), and greedy must agree.
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const std::vector<UpgradeOption> menu{{0, 0.5, 10.0}, {1, 0.5, 10.0}, {2, 0.5, 10.0}};
+  const auto exhaustive = best_upgrades_exhaustive(speeds, menu, 10.0, kEnv);
+  const auto greedy = best_upgrades_greedy(speeds, menu, 10.0, kEnv);
+  ASSERT_EQ(exhaustive.chosen.size(), 1u);
+  EXPECT_EQ(menu[exhaustive.chosen[0]].machine, 2u);
+  EXPECT_EQ(greedy.chosen, exhaustive.chosen);
+}
+
+TEST(BudgetedUpgrades, ExhaustiveNeverLosesToGreedy) {
+  const std::vector<double> speeds{1.0, 0.7, 0.4, 0.2};
+  const std::vector<UpgradeOption> menu{
+      {0, 0.5, 8.0}, {1, 0.6, 5.0}, {2, 0.5, 7.0}, {3, 0.5, 12.0},
+      {3, 0.7, 4.0}, {1, 0.4, 9.0},
+  };
+  for (double budget : {4.0, 9.0, 15.0, 25.0, 45.0}) {
+    const auto exhaustive = best_upgrades_exhaustive(speeds, menu, budget, kEnv);
+    const auto greedy = best_upgrades_greedy(speeds, menu, budget, kEnv);
+    EXPECT_GE(exhaustive.x_after, greedy.x_after * (1.0 - 1e-12)) << budget;
+    EXPECT_LE(exhaustive.total_cost, budget);
+    EXPECT_LE(greedy.total_cost, budget);
+  }
+}
+
+TEST(BudgetedUpgrades, UnlimitedBudgetBuysEverything) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const std::vector<UpgradeOption> menu{{0, 0.5, 1.0}, {1, 0.5, 1.0}, {1, 0.8, 1.0}};
+  const auto plan = best_upgrades_exhaustive(speeds, menu, 100.0, kEnv);
+  EXPECT_EQ(plan.chosen.size(), menu.size());  // every option strictly helps
+  // Options on the same machine compose multiplicatively.
+  EXPECT_DOUBLE_EQ(plan.speeds_after[1], 0.5 * 0.5 * 0.8);
+  EXPECT_DOUBLE_EQ(plan.speeds_after[0], 0.5);
+  EXPECT_NEAR(plan.x_after, x_measure(plan.speeds_after, kEnv), 1e-12);
+}
+
+TEST(BudgetedUpgrades, PrefersCheaperPlanOnTies) {
+  // Two identical upgrades at different prices: only the cheap one is taken.
+  const std::vector<double> speeds{1.0, 0.5};
+  const std::vector<UpgradeOption> menu{{1, 0.5, 3.0}, {1, 0.5, 9.0}};
+  const auto plan = best_upgrades_exhaustive(speeds, menu, 9.0, kEnv);
+  ASSERT_EQ(plan.chosen.size(), 1u);
+  EXPECT_EQ(plan.chosen[0], 0u);
+  EXPECT_DOUBLE_EQ(plan.total_cost, 3.0);
+}
+
+TEST(BudgetedUpgrades, GreedyCanBeFooledButStaysClose) {
+  // A knapsack trap: one expensive excellent option vs two cheap mediocre
+  // ones.  Whatever greedy picks, it must stay within a modest factor of
+  // the exhaustive optimum on the X *gain*.
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const std::vector<UpgradeOption> menu{
+      {2, 0.25, 10.0},  // big win, whole budget
+      {0, 0.55, 5.0},
+      {1, 0.55, 5.0},
+  };
+  const double base = x_measure(speeds, kEnv);
+  const auto exhaustive = best_upgrades_exhaustive(speeds, menu, 10.0, kEnv);
+  const auto greedy = best_upgrades_greedy(speeds, menu, 10.0, kEnv);
+  const double exact_gain = exhaustive.x_after - base;
+  const double greedy_gain = greedy.x_after - base;
+  EXPECT_GT(exact_gain, 0.0);
+  EXPECT_GE(greedy_gain, 0.25 * exact_gain);
+}
+
+TEST(BudgetedUpgrades, Validation) {
+  const std::vector<double> speeds{1.0};
+  const std::vector<UpgradeOption> menu{{0, 0.5, 1.0}};
+  EXPECT_THROW((void)best_upgrades_exhaustive({}, menu, 1.0, kEnv), std::invalid_argument);
+  EXPECT_THROW((void)best_upgrades_exhaustive(speeds, {{5, 0.5, 1.0}}, 1.0, kEnv),
+               std::invalid_argument);
+  EXPECT_THROW((void)best_upgrades_exhaustive(speeds, {{0, 1.0, 1.0}}, 1.0, kEnv),
+               std::invalid_argument);
+  EXPECT_THROW((void)best_upgrades_exhaustive(speeds, {{0, 0.5, 0.0}}, 1.0, kEnv),
+               std::invalid_argument);
+  EXPECT_THROW((void)best_upgrades_exhaustive(speeds, menu, -1.0, kEnv), std::invalid_argument);
+  EXPECT_THROW(
+      (void)best_upgrades_exhaustive(speeds, std::vector<UpgradeOption>(21, {0, 0.5, 1.0}), 1.0,
+                                     kEnv),
+      std::invalid_argument);
+  EXPECT_NO_THROW((void)best_upgrades_greedy(speeds, menu, 1.0, kEnv));
+}
+
+}  // namespace
+}  // namespace hetero::core

@@ -1,0 +1,84 @@
+#include "hetero/core/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace hetero::core {
+namespace {
+
+TEST(Environment, PaperDefaultMatchesTable1) {
+  const Environment env = Environment::paper_default();
+  EXPECT_DOUBLE_EQ(env.tau(), 1e-6);
+  EXPECT_DOUBLE_EQ(env.pi(), 1e-5);
+  EXPECT_DOUBLE_EQ(env.delta(), 1.0);
+}
+
+TEST(Environment, DerivedConstantsMatchDefinitions) {
+  const Environment env{Environment::Params{.tau = 0.25, .pi = 0.5, .delta = 0.5}};
+  EXPECT_DOUBLE_EQ(env.a(), 0.75);                    // A = pi + tau
+  EXPECT_DOUBLE_EQ(env.b(), 1.0 + 1.5 * 0.5);         // B = 1 + (1+delta) pi
+  EXPECT_DOUBLE_EQ(env.tau_delta(), 0.125);
+  EXPECT_DOUBLE_EQ(env.a_minus_tau_delta(), 0.625);
+  EXPECT_DOUBLE_EQ(env.theorem4_threshold(),
+                   env.a() * env.tau_delta() / (env.b() * env.b()));
+}
+
+TEST(Environment, Table2SampleValues) {
+  // Table 2: A = 11 usec per work unit with the Table-1 parameters.
+  const Environment env = Environment::paper_default();
+  EXPECT_NEAR(env.a(), 1.1e-5, 1e-20);
+  // Coarse tasks (1 sec/task): B = 1 + 2e-5 of a task time.
+  EXPECT_NEAR(env.b(), 1.0 + 2e-5, 1e-15);
+}
+
+TEST(Environment, FromWallClockNormalizesBySlowestComputeTime) {
+  // 1 usec transit, 10 usec packaging, on 0.1-second tasks (Table 2's
+  // "finer tasks" row): normalized tau = 1e-5, pi = 1e-4.
+  const Environment env = Environment::from_wall_clock(1e-6, 1e-5, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(env.tau(), 1e-5);
+  EXPECT_DOUBLE_EQ(env.pi(), 1e-4);
+}
+
+TEST(Environment, RejectsInvalidParameters) {
+  using P = Environment::Params;
+  EXPECT_THROW((Environment{P{.tau = 0.0}}), std::invalid_argument);
+  EXPECT_THROW((Environment{P{.tau = -1.0}}), std::invalid_argument);
+  EXPECT_THROW((Environment{P{.pi = -1e-9}}), std::invalid_argument);
+  EXPECT_THROW((Environment{P{.delta = 0.0}}), std::invalid_argument);
+  EXPECT_THROW((Environment{P{.delta = 1.5}}), std::invalid_argument);
+  EXPECT_THROW((Environment{P{.tau = std::nan("")}}), std::invalid_argument);
+  EXPECT_THROW((void)Environment::from_wall_clock(1e-6, 1e-5, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Environment, RejectsAGreaterThanB) {
+  // tau = 2 makes A = 2 + pi > 1 + 2 pi = B for small pi: outside the model.
+  EXPECT_THROW((Environment{Environment::Params{.tau = 2.0, .pi = 1e-5}}), std::invalid_argument);
+}
+
+TEST(Environment, StandingAssumptionHoldsForAllValidEnvironments) {
+  for (double tau : {1e-6, 1e-3, 0.5}) {
+    for (double pi : {0.0, 1e-5, 0.2}) {
+      for (double delta : {0.1, 0.5, 1.0}) {
+        const Environment::Params params{.tau = tau, .pi = pi, .delta = delta};
+        if (tau + pi > 1.0 + (1.0 + delta) * pi) continue;  // rejected combos
+        const Environment env{params};
+        EXPECT_LE(env.tau_delta(), env.a());
+        EXPECT_LE(env.a(), env.b());
+      }
+    }
+  }
+}
+
+TEST(Environment, EqualityAndStreaming) {
+  const Environment a = Environment::paper_default();
+  const Environment b = Environment::paper_default();
+  EXPECT_EQ(a, b);
+  std::ostringstream out;
+  out << a;
+  EXPECT_NE(out.str().find("tau="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetero::core

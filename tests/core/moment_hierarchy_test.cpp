@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "hetero/core/hetero.h"
+
+namespace hetero::core {
+namespace {
+
+const Environment kEnv = Environment::paper_default();
+
+// Constructs a 3-machine profile with the given mean and variance,
+// parameterized by its largest rho-value x: the other two machines are the
+// roots of the induced quadratic.  Sweeping x traces out the whole
+// equal-mean, equal-variance family, which differs only in third moment.
+std::optional<Profile> three_machine_family(double mean, double variance, double x) {
+  const double s = 3.0 * mean - x;                                // y + z
+  const double q = 3.0 * (variance + mean * mean) - x * x;        // y^2 + z^2
+  const double yz = 0.5 * (s * s - q);
+  const double discriminant = s * s - 4.0 * yz;
+  if (discriminant < 0.0) return std::nullopt;
+  const double y = 0.5 * (s + std::sqrt(discriminant));
+  const double z = 0.5 * (s - std::sqrt(discriminant));
+  if (!(y > 0.0) || !(z > 0.0) || y > 1.0 || z > 1.0 || x > 1.0 || !(x > 0.0)) {
+    return std::nullopt;
+  }
+  return Profile{{x, y, z}};
+}
+
+TEST(ThirdCentralMoment, MatchesHandComputation) {
+  const Profile p{{0.9, 0.5, 0.1}};  // symmetric about 0.5
+  EXPECT_NEAR(p.third_central_moment(), 0.0, 1e-15);
+  const Profile skewed{{0.9, 0.1, 0.1, 0.1}};  // long slow tail
+  EXPECT_GT(skewed.third_central_moment(), 0.0);
+  const Profile fast_tail{{0.9, 0.9, 0.9, 0.1}};  // long fast tail
+  EXPECT_LT(fast_tail.third_central_moment(), 0.0);
+}
+
+TEST(MomentHierarchy, FallsBackToVarianceFirst) {
+  const Profile high_var{{0.8, 0.2}};
+  const Profile low_var{{0.6, 0.4}};
+  EXPECT_EQ(moment_hierarchy_predictor(high_var, low_var), Prediction::kFirstWins);
+  EXPECT_EQ(moment_hierarchy_predictor(low_var, high_var), Prediction::kSecondWins);
+  EXPECT_THROW((void)moment_hierarchy_predictor(high_var, Profile{{0.9, 0.2}}),
+               std::invalid_argument);
+}
+
+TEST(MomentHierarchy, ThirdMomentDecidesTiesExactlyForThreeMachines) {
+  // Equal mean AND equal variance: at n = 3 the smaller-third-moment cluster
+  // must win, and the prediction must match the X ground truth every time.
+  const double mean = 0.5;
+  const double variance = 0.03;
+  std::vector<Profile> family;
+  for (double x = 0.55; x <= 0.95; x += 0.02) {
+    const auto member = three_machine_family(mean, variance, x);
+    if (member) family.push_back(*member);
+  }
+  ASSERT_GE(family.size(), 5u);
+  int compared = 0;
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (std::size_t j = i + 1; j < family.size(); ++j) {
+      const Profile& p1 = family[i];
+      const Profile& p2 = family[j];
+      ASSERT_NEAR(p1.mean(), p2.mean(), 1e-9);
+      ASSERT_NEAR(p1.variance(), p2.variance(), 1e-9);
+      const double m3_gap = p1.third_central_moment() - p2.third_central_moment();
+      if (std::fabs(m3_gap) < 1e-9) continue;
+      ++compared;
+      const Prediction predicted =
+          moment_hierarchy_predictor(p1, p2, /*mean_tolerance=*/1e-8,
+                                     /*variance_tolerance=*/1e-9,
+                                     /*third_moment_tolerance=*/1e-10);
+      EXPECT_EQ(predicted, x_value_ground_truth(p1, p2, kEnv)) << p1 << " vs " << p2;
+      // And the direction is "smaller third moment wins".
+      EXPECT_EQ(predicted,
+                m3_gap < 0.0 ? Prediction::kFirstWins : Prediction::kSecondWins);
+    }
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(MomentHierarchy, IdenticalProfilesAreInconclusive) {
+  const Profile p{{0.7, 0.5, 0.3}};
+  EXPECT_EQ(moment_hierarchy_predictor(p, p), Prediction::kInconclusive);
+}
+
+TEST(MomentHierarchy, FastTailBeatsSlowTailAtEqualMeanAndVariance) {
+  // The qualitative headline of the extension: among clusters with the same
+  // mean and variance, the one whose spread comes from a few very fast
+  // machines (negative skew) beats the one with a few very slow stragglers.
+  const auto fast_tail = three_machine_family(0.5, 0.03, 0.62);   // small x: mass above
+  const auto slow_tail = three_machine_family(0.5, 0.03, 0.74);
+  ASSERT_TRUE(fast_tail.has_value());
+  ASSERT_TRUE(slow_tail.has_value());
+  ASSERT_LT(fast_tail->third_central_moment(), slow_tail->third_central_moment());
+  EXPECT_GT(x_measure(*fast_tail, kEnv), x_measure(*slow_tail, kEnv));
+}
+
+}  // namespace
+}  // namespace hetero::core

@@ -1,0 +1,197 @@
+#include "hetero/core/power.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "hetero/numeric/stable.h"
+
+namespace hetero::core {
+namespace {
+
+const Environment kEnv = Environment::paper_default();
+
+TEST(XMeasure, SingleMachineClosedForm) {
+  // Formula (1) for n = 1 is just 1/(B rho + A).
+  const Profile p{{0.5}};
+  EXPECT_DOUBLE_EQ(x_measure(p, kEnv), 1.0 / (kEnv.b() * 0.5 + kEnv.a()));
+}
+
+TEST(XMeasure, TwoMachineHandExpansion) {
+  const double r1 = 1.0;
+  const double r2 = 0.5;
+  const Profile p{{r1, r2}};
+  const double a = kEnv.a();
+  const double b = kEnv.b();
+  const double td = kEnv.tau_delta();
+  const double expected =
+      1.0 / (b * r1 + a) + (b * r1 + td) / ((b * r1 + a) * (b * r2 + a));
+  EXPECT_NEAR(x_measure(p, kEnv), expected, 1e-15 * expected);
+}
+
+TEST(XMeasure, IsPermutationInvariant) {
+  // Theorem 1(2): work production — hence X — does not depend on the
+  // startup order in which machines are plugged into formula (1).
+  std::vector<double> rho{1.0, 0.8, 0.33, 0.21, 0.1, 0.05};
+  const double base = x_measure(rho, kEnv);
+  std::mt19937_64 gen{23};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::shuffle(rho.begin(), rho.end(), gen);
+    EXPECT_NEAR(x_measure(rho, kEnv), base, 1e-12 * base);
+  }
+}
+
+TEST(XMeasure, StableFormMatchesDirectForm) {
+  for (std::size_t n : {1u, 2u, 8u, 64u, 1024u}) {
+    const Profile p = Profile::harmonic(n);
+    const double direct = x_measure(p, kEnv);
+    const double stable = x_measure_stable(p, kEnv);
+    EXPECT_LT(numeric::relative_difference(direct, stable), 1e-11) << n;
+  }
+}
+
+TEST(XMeasure, HomogeneousClosedFormMatchesGeneralFormula) {
+  for (std::size_t n : {1u, 2u, 7u, 32u}) {
+    for (double rho : {1.0, 0.5, 0.0625}) {
+      const double general = x_measure(Profile::homogeneous(n, rho), kEnv);
+      const double closed = x_homogeneous(rho, n, kEnv);
+      EXPECT_LT(numeric::relative_difference(general, closed), 1e-11) << n << " " << rho;
+    }
+  }
+}
+
+TEST(XMeasure, MonotoneInEverySpeedup) {
+  // Proposition 2: making any machine faster strictly increases X.
+  const Profile p{{1.0, 0.6, 0.3}};
+  const double base = x_measure(p, kEnv);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    EXPECT_GT(x_measure(p.with_additive_speedup(k, 0.05), kEnv), base) << k;
+    EXPECT_GT(x_measure(p.with_multiplicative_speedup(k, 0.9), kEnv), base) << k;
+  }
+}
+
+TEST(XMeasure, GrowsWithClusterSize) {
+  // Adding a machine can only add work capacity.
+  double previous = 0.0;
+  for (std::size_t n = 1; n <= 20; ++n) {
+    const double x = x_measure(Profile::homogeneous(n, 0.5), kEnv);
+    EXPECT_GT(x, previous);
+    previous = x;
+  }
+}
+
+TEST(XMeasure, TelescopingIdentityHolds) {
+  // (A - tau delta) X = 1 - prod (B rho + tau delta)/(B rho + A).
+  const Profile p{{1.0, 0.5, 1.0 / 3.0, 0.25}};
+  double product = 1.0;
+  for (double r : p.values()) {
+    product *= (kEnv.b() * r + kEnv.tau_delta()) / (kEnv.b() * r + kEnv.a());
+  }
+  EXPECT_NEAR(kEnv.a_minus_tau_delta() * x_measure(p, kEnv), 1.0 - product, 1e-15);
+}
+
+TEST(WorkProduction, MatchesTheorem2Formula) {
+  const Profile p{{1.0, 0.5}};
+  const double x = x_measure(p, kEnv);
+  const double lifespan = 3600.0;
+  EXPECT_DOUBLE_EQ(work_production(lifespan, p, kEnv),
+                   lifespan / (kEnv.tau_delta() + 1.0 / x));
+  EXPECT_DOUBLE_EQ(work_production(0.0, p, kEnv), 0.0);
+  EXPECT_THROW((void)work_production(-1.0, p, kEnv), std::invalid_argument);
+}
+
+TEST(WorkProduction, IsLinearInLifespan) {
+  const Profile p = Profile::linear(8);
+  const double w1 = work_production(100.0, p, kEnv);
+  const double w2 = work_production(200.0, p, kEnv);
+  EXPECT_NEAR(w2, 2.0 * w1, 1e-9 * w2);
+}
+
+TEST(WorkRatio, OrderedConsistentlyWithX) {
+  const Profile faster{{1.0, 0.25}};
+  const Profile slower{{1.0, 0.5}};
+  EXPECT_GT(work_ratio(faster, slower, kEnv), 1.0);
+  EXPECT_LT(work_ratio(slower, faster, kEnv), 1.0);
+  EXPECT_DOUBLE_EQ(work_ratio(faster, faster, kEnv), 1.0);
+}
+
+TEST(Hecr, HomogeneousClusterIsItsOwnEquivalent) {
+  // HECR of a homogeneous cluster must be its machines' common speed.
+  for (double rho : {1.0, 0.5, 0.1}) {
+    for (std::size_t n : {1u, 4u, 32u}) {
+      EXPECT_NEAR(hecr(Profile::homogeneous(n, rho), kEnv), rho, 1e-9 * rho) << rho << " " << n;
+    }
+  }
+}
+
+TEST(Hecr, ClosedFormInvertsHomogeneousX) {
+  const double x = x_homogeneous(0.37, 16, kEnv);
+  EXPECT_NEAR(hecr_from_x(x, 16, kEnv), 0.37, 1e-9);
+}
+
+TEST(Hecr, MatchesNumericRootFinding) {
+  for (const Profile& p : {Profile::linear(8), Profile::harmonic(16), Profile{{1.0, 0.02}}}) {
+    const double closed = hecr(p, kEnv);
+    const double numeric_root = hecr_numeric(p, kEnv);
+    EXPECT_LT(numeric::relative_difference(closed, numeric_root), 1e-7);
+  }
+}
+
+TEST(Hecr, EquivalenceProperty) {
+  // X(homogeneous(hecr(P), n)) == X(P): the defining property.
+  const Profile p = Profile::harmonic(12);
+  const double rho_c = hecr(p, kEnv);
+  const double x_match = x_homogeneous(rho_c, p.size(), kEnv);
+  EXPECT_LT(numeric::relative_difference(x_match, x_measure(p, kEnv)), 1e-10);
+}
+
+TEST(Hecr, StaysFiniteAndStableForHugeClusters) {
+  // The naive 1 - pow(1-eps, 1/n) would lose all precision here.
+  const Profile p = Profile::homogeneous(1u << 16, 0.5);
+  const double value = hecr(p, kEnv);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_NEAR(value, 0.5, 1e-6);
+}
+
+TEST(Hecr, FasterClusterHasSmallerHecr) {
+  const Profile faster = Profile::harmonic(8);
+  const Profile slower = Profile::linear(8);
+  EXPECT_LT(hecr(faster, kEnv), hecr(slower, kEnv));
+}
+
+TEST(Hecr, RejectsOutOfRangeX) {
+  EXPECT_THROW((void)hecr_from_x(0.0, 4, kEnv), std::invalid_argument);
+  EXPECT_THROW((void)hecr_from_x(1.01 / kEnv.a_minus_tau_delta(), 4, kEnv),
+               std::invalid_argument);
+  EXPECT_THROW((void)hecr_from_x(1.0, 0, kEnv), std::invalid_argument);
+}
+
+TEST(XHomogeneous, RejectsNonPositiveRho) {
+  EXPECT_THROW((void)x_homogeneous(0.0, 4, kEnv), std::invalid_argument);
+  EXPECT_THROW((void)x_homogeneous(-1.0, 4, kEnv), std::invalid_argument);
+}
+
+// Parameterized sweep: HECR lies between the fastest and slowest machine
+// speeds for any heterogeneous profile, across environments.
+class HecrBoundsTest : public ::testing::TestWithParam<std::tuple<double, double, std::size_t>> {};
+
+TEST_P(HecrBoundsTest, HecrBoundedByExtremeSpeeds) {
+  const auto [tau, pi, n] = GetParam();
+  const Environment env{Environment::Params{.tau = tau, .pi = pi, .delta = 1.0}};
+  const Profile p = Profile::harmonic(n);
+  const double value = hecr(p, env);
+  EXPECT_GT(value, p.fastest());
+  EXPECT_LT(value, p.slowest());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnvironmentSweep, HecrBoundsTest,
+    ::testing::Combine(::testing::Values(1e-6, 1e-4, 1e-2),
+                       ::testing::Values(1e-5, 1e-3, 1e-1),
+                       ::testing::Values(std::size_t{2}, std::size_t{8}, std::size_t{64})));
+
+}  // namespace
+}  // namespace hetero::core

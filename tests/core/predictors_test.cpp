@@ -1,0 +1,178 @@
+#include "hetero/core/predictors.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/stable.h"
+
+namespace hetero::core {
+namespace {
+
+const Environment kEnv = Environment::paper_default();
+
+TEST(MinorizationPredictor, DetectsDominance) {
+  const Profile fast{{0.9, 0.4}};
+  const Profile slow{{1.0, 0.5}};
+  EXPECT_EQ(minorization_predictor(fast, slow), Prediction::kFirstWins);
+  EXPECT_EQ(minorization_predictor(slow, fast), Prediction::kSecondWins);
+  EXPECT_EQ(minorization_predictor(fast, fast), Prediction::kInconclusive);
+}
+
+TEST(MinorizationPredictor, SufficientButNotNecessary) {
+  // Section 4's example: <0.99, 0.02> beats <0.5, 0.5> although neither
+  // profile minorizes the other.
+  const Profile p1{{0.99, 0.02}};
+  const Profile p2{{0.5, 0.5}};
+  EXPECT_EQ(minorization_predictor(p1, p2), Prediction::kInconclusive);
+  EXPECT_GT(x_measure(p1, kEnv), x_measure(p2, kEnv));
+}
+
+TEST(SymmetricFunctionPredictor, SufficientConditionCanFailToFire) {
+  // On the paper's counterexample <0.99, 0.02> vs <0.5, 0.5> the Prop.-3
+  // system fails in both directions (F_1 and F_2 pull opposite ways), even
+  // though the X-values are strictly ordered — the condition is sufficient,
+  // not necessary.
+  const Profile p1{{0.99, 0.02}};
+  const Profile p2{{0.5, 0.5}};
+  EXPECT_EQ(symmetric_function_predictor(p1, p2), Prediction::kInconclusive);
+  EXPECT_EQ(x_value_ground_truth(p1, p2, kEnv), Prediction::kFirstWins);
+}
+
+TEST(SymmetricFunctionPredictor, FiresOnEqualMeanPairs) {
+  // With equal F_1 the system reduces to the F_2 comparison and decides:
+  // <0.75, 0.25> (variance 1/16) beats <0.5, 0.5> (variance 0).  The values
+  // are dyadic so the means are *exactly* equal as doubles — the exact
+  // predictor judges the actual inputs, and 0.8 + 0.2 != 1 in binary.
+  const Profile p1{{0.75, 0.25}};
+  const Profile p2{{0.5, 0.5}};
+  EXPECT_EQ(symmetric_function_predictor(p1, p2), Prediction::kFirstWins);
+  EXPECT_EQ(symmetric_function_predictor(p2, p1), Prediction::kSecondWins);
+}
+
+TEST(SymmetricFunctionPredictor, VerdictAlwaysMatchesGroundTruth) {
+  // Prop. 3's condition is sufficient: whenever it fires, the X-comparison
+  // must agree.  Randomized audit.
+  std::mt19937_64 gen{41};
+  std::uniform_real_distribution<double> dist{0.05, 1.0};
+  int decided = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> r1(3);
+    std::vector<double> r2(3);
+    for (double& v : r1) v = dist(gen);
+    for (double& v : r2) v = dist(gen);
+    const Profile p1{r1};
+    const Profile p2{r2};
+    const Prediction predicted = symmetric_function_predictor(p1, p2);
+    if (predicted == Prediction::kInconclusive) continue;
+    ++decided;
+    EXPECT_EQ(predicted, x_value_ground_truth(p1, p2, kEnv)) << p1 << " vs " << p2;
+  }
+  EXPECT_GT(decided, 0);
+}
+
+TEST(SymmetricFunctionPredictor, IdenticalProfilesAreInconclusive) {
+  const Profile p{{1.0, 0.5, 0.25}};
+  EXPECT_EQ(symmetric_function_predictor(p, p), Prediction::kInconclusive);
+  EXPECT_THROW((void)symmetric_function_predictor(p, Profile{{1.0, 0.5}}), std::invalid_argument);
+}
+
+TEST(VariancePredictor, TwoMachineBiconditional) {
+  // Theorem 5(2): for n = 2 with equal means, larger variance <=> more
+  // powerful.  Exhaustive-ish grid.
+  for (double mean : {0.3, 0.5, 0.7}) {
+    for (double d1 : {0.05, 0.1, 0.2}) {
+      for (double d2 : {0.01, 0.15, 0.25}) {
+        if (mean - d1 <= 0.0 || mean - d2 <= 0.0) continue;
+        const Profile p1{{mean + d1, mean - d1}};
+        const Profile p2{{mean + d2, mean - d2}};
+        if (d1 == d2) continue;
+        const Prediction by_variance = variance_predictor(p1, p2);
+        const Prediction by_x = x_value_ground_truth(p1, p2, kEnv);
+        EXPECT_EQ(by_variance, by_x) << mean << " " << d1 << " " << d2;
+      }
+    }
+  }
+}
+
+TEST(VariancePredictor, Corollary1HeterogeneityLendsPower) {
+  // A heterogeneous 2-cluster beats the homogeneous 2-cluster of the same
+  // mean speed.
+  const Profile heterogeneous{{0.8, 0.2}};
+  const Profile homogeneous{{0.5, 0.5}};
+  EXPECT_EQ(variance_predictor(heterogeneous, homogeneous), Prediction::kFirstWins);
+  EXPECT_GT(x_measure(heterogeneous, kEnv), x_measure(homogeneous, kEnv));
+  EXPECT_LT(hecr(heterogeneous, kEnv), hecr(homogeneous, kEnv));
+}
+
+TEST(VariancePredictor, RequiresEqualMeans) {
+  EXPECT_THROW((void)variance_predictor(Profile{{1.0, 0.5}}, Profile{{0.9, 0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)variance_predictor(Profile{{1.0, 0.5}}, Profile{{1.0, 0.5, 0.2}}),
+               std::invalid_argument);
+}
+
+TEST(VariancePredictor, MinGapGatesTheVerdict) {
+  const Profile p1{{0.8, 0.2}};   // variance 0.09
+  const Profile p2{{0.6, 0.4}};   // variance 0.01
+  EXPECT_EQ(variance_predictor(p1, p2), Prediction::kFirstWins);
+  EXPECT_EQ(variance_predictor(p1, p2, /*min_variance_gap=*/0.1), Prediction::kInconclusive);
+  EXPECT_EQ(variance_predictor(p1, p2, /*min_variance_gap=*/0.05), Prediction::kFirstWins);
+}
+
+TEST(Lemma1, CoefficientsMatchHandExpansionForN2) {
+  const auto coeffs = lemma1_coefficients(2, kEnv);
+  const double a = kEnv.a();
+  const double b = kEnv.b();
+  const double td = kEnv.tau_delta();
+  ASSERT_EQ(coeffs.alpha.size(), 2u);
+  ASSERT_EQ(coeffs.beta.size(), 3u);
+  EXPECT_NEAR(coeffs.alpha[0], a + td, 1e-18);
+  EXPECT_NEAR(coeffs.alpha[1], b, 1e-12);
+  EXPECT_NEAR(coeffs.beta[0], a * a, 1e-22);
+  EXPECT_NEAR(coeffs.beta[1], a * b, 1e-16);
+  EXPECT_NEAR(coeffs.beta[2], b * b, 1e-12);
+}
+
+TEST(Lemma1, ClaimOneAlphaBetaCrossInequality) {
+  // Claim 1 in the proof of Prop. 3: alpha_i beta_j > alpha_j beta_i for i < j.
+  const auto coeffs = lemma1_coefficients(5, kEnv);
+  for (std::size_t i = 0; i < coeffs.alpha.size(); ++i) {
+    for (std::size_t j = i + 1; j < coeffs.alpha.size(); ++j) {
+      EXPECT_GT(coeffs.alpha[i] * coeffs.beta[j], coeffs.alpha[j] * coeffs.beta[i])
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Lemma1, RationalFormReproducesX) {
+  // X computed through Lemma 1's symmetric-function form must equal
+  // formula (1) for modest n.
+  for (std::size_t n : {1u, 2u, 4u, 8u, 12u}) {
+    const Profile p = Profile::harmonic(n);
+    const double via_lemma = x_via_symmetric_functions(p, kEnv);
+    const double direct = x_measure(p, kEnv);
+    EXPECT_LT(numeric::relative_difference(via_lemma, direct), 1e-9) << n;
+  }
+}
+
+TEST(PredictionToString, CoversAllValues) {
+  EXPECT_STREQ(to_string(Prediction::kFirstWins), "first-wins");
+  EXPECT_STREQ(to_string(Prediction::kSecondWins), "second-wins");
+  EXPECT_STREQ(to_string(Prediction::kInconclusive), "inconclusive");
+}
+
+TEST(ProfileSymmetricFunctions, F1AndF2RelateToMeanAndVariance) {
+  // F_1 = n*mean and equation (8): F_2 = (F_1^2 - sum rho^2)/2.
+  const Profile p{{0.9, 0.6, 0.3}};
+  const auto f = profile_symmetric_functions(p);
+  EXPECT_NEAR(f[1].to_double(), 3.0 * p.mean(), 1e-12);
+  double sum_sq = 0.0;
+  for (double v : p.values()) sum_sq += v * v;
+  const double f1 = f[1].to_double();
+  EXPECT_NEAR(f[2].to_double(), 0.5 * (f1 * f1 - sum_sq), 1e-12);
+}
+
+}  // namespace
+}  // namespace hetero::core

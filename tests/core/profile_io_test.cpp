@@ -1,0 +1,83 @@
+#include "hetero/core/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace hetero::core {
+namespace {
+
+TEST(ParseProfile, AcceptsThePapersAngleBracketNotation) {
+  const Profile p = parse_profile("<1, 1/2, 1/3, 1/4>");
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.rho(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.rho(1), 0.5);
+  EXPECT_DOUBLE_EQ(p.rho(2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p.rho(3), 0.25);
+}
+
+TEST(ParseProfile, AcceptsDecimalsAndMixedSeparators) {
+  EXPECT_EQ(parse_profile("1 0.5 0.25"), (Profile{{1.0, 0.5, 0.25}}));
+  EXPECT_EQ(parse_profile("1,0.5,0.25"), (Profile{{1.0, 0.5, 0.25}}));
+  EXPECT_EQ(parse_profile("0.99, 0.02"), (Profile{{0.99, 0.02}}));
+  EXPECT_EQ(parse_profile("  <1/2>  "), Profile{{0.5}});
+  EXPECT_EQ(parse_profile("3/4 1/2"), (Profile{{0.75, 0.5}}));
+}
+
+TEST(ParseProfile, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_profile(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("<>"), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("1, abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("1/0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("1/"), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("/2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("1.5x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_profile("-0.5, 1"), std::invalid_argument);  // Profile validation
+  EXPECT_THROW((void)parse_profile("0, 1"), std::invalid_argument);
+}
+
+TEST(ParseProfile, RoundTripsThroughFormat) {
+  const Profile original{{1.0, 0.5, 1.0 / 3.0, 0.25}};
+  const std::string text = format_profile(original, 17);
+  EXPECT_EQ(parse_profile(text), original);
+}
+
+TEST(FormatProfile, UsesAngleBracketsAndPrecision) {
+  const Profile p{{1.0, 1.0 / 3.0}};
+  EXPECT_EQ(format_profile(p, 3), "<1, 0.333>");
+  EXPECT_EQ(format_profile(Profile{{0.5}}, 6), "<0.5>");
+}
+
+TEST(ParseProfile, NeverCrashesOnRandomJunk) {
+  // Fuzz-ish robustness: arbitrary byte soup either parses into a valid
+  // Profile or throws std::invalid_argument — never crashes or returns
+  // an invalid profile.
+  std::mt19937_64 gen{2468};
+  const std::string alphabet = "0123456789./,<> eE+-abc\t";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    const std::size_t length = gen() % 24;
+    for (std::size_t i = 0; i < length; ++i) {
+      text.push_back(alphabet[gen() % alphabet.size()]);
+    }
+    try {
+      const Profile parsed = parse_profile(text);
+      for (double v : parsed.values()) {
+        EXPECT_GT(v, 0.0) << text;
+        EXPECT_TRUE(std::isfinite(v)) << text;
+      }
+    } catch (const std::invalid_argument&) {
+      // expected for malformed input
+    } catch (const std::out_of_range&) {
+      // stod overflow on absurd exponents: acceptable rejection
+    }
+  }
+}
+
+TEST(ParseProfile, CanonicalizesOrderLikeProfile) {
+  EXPECT_EQ(parse_profile("0.25, 1, 0.5"), (Profile{{1.0, 0.5, 0.25}}));
+}
+
+}  // namespace
+}  // namespace hetero::core

@@ -1,0 +1,140 @@
+#include "hetero/core/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace hetero::core {
+namespace {
+
+TEST(Profile, SortsNonincreasingOnConstruction) {
+  const Profile p{{0.25, 1.0, 0.5}};
+  EXPECT_EQ(p.rho(0), 1.0);
+  EXPECT_EQ(p.rho(1), 0.5);
+  EXPECT_EQ(p.rho(2), 0.25);
+  EXPECT_EQ(p.slowest(), 1.0);
+  EXPECT_EQ(p.fastest(), 0.25);
+}
+
+TEST(Profile, RejectsInvalidValues) {
+  EXPECT_THROW((Profile{std::vector<double>{}}), std::invalid_argument);
+  EXPECT_THROW((Profile{{1.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW((Profile{{1.0, -0.5}}), std::invalid_argument);
+  EXPECT_THROW((Profile{{1.0, std::nan("")}}), std::invalid_argument);
+  EXPECT_THROW((Profile{{1.0, INFINITY}}), std::invalid_argument);
+}
+
+TEST(Profile, LinearFamilyMatchesSection25) {
+  // P1^(8) = <1, 7/8, ..., 1/8>.
+  const Profile p = Profile::linear(8);
+  ASSERT_EQ(p.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(p.rho(i), 1.0 - static_cast<double>(i) / 8.0);
+  }
+}
+
+TEST(Profile, HarmonicFamilyMatchesSection25) {
+  // P2^(8) = <1, 1/2, ..., 1/8>.
+  const Profile p = Profile::harmonic(8);
+  ASSERT_EQ(p.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(p.rho(i), 1.0 / static_cast<double>(i + 1));
+  }
+}
+
+TEST(Profile, GeometricFamilyAndValidation) {
+  const Profile p = Profile::geometric(4, 0.5);
+  EXPECT_DOUBLE_EQ(p.rho(3), 0.125);
+  EXPECT_THROW(Profile::geometric(4, 1.0), std::invalid_argument);
+  EXPECT_THROW(Profile::geometric(4, 0.0), std::invalid_argument);
+}
+
+TEST(Profile, HomogeneousAndNormalization) {
+  const Profile h = Profile::homogeneous(3, 0.5);
+  EXPECT_TRUE(h.is_homogeneous());
+  EXPECT_FALSE(h.is_normalized());
+  const Profile n = h.normalized();
+  EXPECT_TRUE(n.is_normalized());
+  EXPECT_TRUE(n.is_homogeneous());
+  EXPECT_EQ(n.rho(2), 1.0);
+}
+
+TEST(Profile, MeanVarianceGeometricMean) {
+  const Profile p{{1.0, 0.5}};
+  EXPECT_DOUBLE_EQ(p.mean(), 0.75);
+  EXPECT_DOUBLE_EQ(p.variance(), 0.0625);  // ((0.25)^2 + (0.25)^2)/2
+  EXPECT_DOUBLE_EQ(p.geometric_mean(), std::sqrt(0.5));
+  EXPECT_DOUBLE_EQ(Profile::homogeneous(5, 0.3).variance(), 0.0);
+}
+
+TEST(Profile, VarianceMatchesPaperEquation7) {
+  // VAR = (1/n) sum rho^2 - mean^2.
+  const Profile p{{0.9, 0.4, 0.7, 0.2}};
+  const double n = 4.0;
+  double sum_sq = 0.0;
+  double sum = 0.0;
+  for (double v : p.values()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(p.variance(), sum_sq / n - (sum / n) * (sum / n), 1e-15);
+}
+
+TEST(Profile, MinorizationIsStrictPartialOrder) {
+  const Profile fast{{0.9, 0.4}};
+  const Profile slow{{1.0, 0.5}};
+  EXPECT_TRUE(fast.minorizes(slow));
+  EXPECT_FALSE(slow.minorizes(fast));
+  EXPECT_FALSE(fast.minorizes(fast));  // needs one strict inequality
+  const Profile crossed{{0.95, 0.55}};
+  EXPECT_FALSE(fast.minorizes(crossed) && crossed.minorizes(fast));
+  EXPECT_THROW((void)fast.minorizes(Profile{{1.0, 0.5, 0.1}}), std::invalid_argument);
+}
+
+TEST(Profile, AdditiveSpeedupValidation) {
+  const Profile p{{1.0, 0.5, 0.25}};
+  const Profile sped = p.with_additive_speedup(2, 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(sped.fastest(), 0.25 - 1.0 / 16.0);
+  EXPECT_THROW((void)p.with_additive_speedup(2, 0.25), std::invalid_argument);
+  EXPECT_THROW((void)p.with_additive_speedup(2, 0.3), std::invalid_argument);
+  EXPECT_THROW((void)p.with_additive_speedup(2, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)p.with_additive_speedup(2, -0.1), std::invalid_argument);
+}
+
+TEST(Profile, MultiplicativeSpeedupValidation) {
+  const Profile p{{1.0, 0.5}};
+  const Profile sped = p.with_multiplicative_speedup(0, 0.25);
+  // Speeding the slowest below the other machine re-sorts the profile.
+  EXPECT_DOUBLE_EQ(sped.rho(0), 0.5);
+  EXPECT_DOUBLE_EQ(sped.rho(1), 0.25);
+  EXPECT_THROW((void)p.with_multiplicative_speedup(0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)p.with_multiplicative_speedup(0, 0.0), std::invalid_argument);
+}
+
+TEST(Profile, SpeedupsKeepOtherMachinesUntouched) {
+  const Profile p{{1.0, 0.75, 0.5, 0.25}};
+  const Profile sped = p.with_additive_speedup(1, 0.05);
+  EXPECT_EQ(sped.rho(0), 1.0);
+  EXPECT_EQ(sped.rho(2), 0.5);
+  EXPECT_EQ(sped.rho(3), 0.25);
+  EXPECT_DOUBLE_EQ(sped.rho(1), 0.70);
+}
+
+TEST(Profile, EqualityAndStreaming) {
+  EXPECT_EQ(Profile({0.5, 1.0}), Profile({1.0, 0.5}));  // canonical sorting
+  EXPECT_NE(Profile({1.0, 0.5}), Profile({1.0, 0.4}));
+  std::ostringstream out;
+  out << Profile({1.0, 0.5});
+  EXPECT_EQ(out.str(), "<1, 0.5>");
+}
+
+TEST(Profile, SingleMachineProfile) {
+  const Profile p{{0.7}};
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.is_homogeneous());
+  EXPECT_DOUBLE_EQ(p.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace hetero::core

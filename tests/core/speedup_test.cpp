@@ -1,0 +1,138 @@
+#include "hetero/core/speedup.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hetero/core/power.h"
+
+namespace hetero::core {
+namespace {
+
+const Environment kEnv = Environment::paper_default();
+
+TEST(AdditiveSpeedup, Theorem3FastestMachineAlwaysWins) {
+  // The paper's Table-4 cluster plus random clusters: the best additive
+  // upgrade target must always be the fastest machine (largest power index).
+  const Profile table4{{1.0, 0.5, 1.0 / 3.0, 0.25}};
+  const auto eval = evaluate_additive_upgrades(table4, 1.0 / 16.0, kEnv);
+  EXPECT_EQ(eval.best_power_index, table4.size() - 1);
+
+  std::mt19937_64 gen{31};
+  std::uniform_real_distribution<double> dist{0.2, 1.0};
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> rho(5);
+    for (double& v : rho) v = dist(gen);
+    const Profile p{rho};
+    const double phi = 0.5 * p.fastest();
+    const auto random_eval = evaluate_additive_upgrades(p, phi, kEnv);
+    EXPECT_EQ(random_eval.best_power_index, p.size() - 1) << p;
+  }
+}
+
+TEST(AdditiveSpeedup, XGainsAreMonotoneInMachineSpeed) {
+  // Stronger form of Theorem 3 visible in Table 4: gains rise with speed.
+  const Profile p{{1.0, 0.5, 1.0 / 3.0, 0.25}};
+  const auto eval = evaluate_additive_upgrades(p, 1.0 / 16.0, kEnv);
+  for (std::size_t k = 0; k + 1 < eval.x_by_target.size(); ++k) {
+    EXPECT_LT(eval.x_by_target[k], eval.x_by_target[k + 1]) << k;
+  }
+}
+
+TEST(AdditiveSpeedup, ValidatesPhi) {
+  const Profile p{{1.0, 0.25}};
+  EXPECT_THROW((void)evaluate_additive_upgrades(p, 0.25, kEnv), std::invalid_argument);
+  EXPECT_THROW((void)evaluate_additive_upgrades(p, 0.0, kEnv), std::invalid_argument);
+  EXPECT_NO_THROW(evaluate_additive_upgrades(p, 0.2, kEnv));
+}
+
+TEST(MultiplicativeSpeedup, Theorem4PredicateMatchesDefinition) {
+  // With Table-1 parameters the threshold is ~1.1e-11, so ordinary speeds
+  // always favor the faster machine...
+  EXPECT_TRUE(theorem4_favors_faster(1.0, 0.5, 0.5, kEnv));
+  // ...until machines are "very fast" or the factor "very aggressive".
+  EXPECT_FALSE(theorem4_favors_faster(1e-6, 5e-7, 0.5, kEnv));
+  EXPECT_THROW((void)theorem4_favors_faster(0.5, 0.5, 0.5, kEnv), std::invalid_argument);
+  EXPECT_THROW((void)theorem4_favors_faster(0.4, 0.5, 0.5, kEnv), std::invalid_argument);
+  EXPECT_THROW((void)theorem4_favors_faster(1.0, 0.5, 1.0, kEnv), std::invalid_argument);
+}
+
+TEST(MultiplicativeSpeedup, PredicateAgreesWithDirectXComparison) {
+  // Theorem 4 is an iff: check its verdict against brute-force X comparison
+  // across both regimes.  Use a 2-machine cluster so i and j are the only
+  // machines (the theorem's Y, Z terms cancel for any cluster, but this
+  // makes the comparison crisp).
+  struct Case {
+    double rho_i, rho_j, psi;
+  };
+  const Environment env{Environment::Params{.tau = 0.2, .pi = 0.01, .delta = 1.0}};
+  const double threshold = env.theorem4_threshold();
+  const std::vector<Case> cases{
+      {1.0, 0.5, 0.5},      // far above threshold
+      {0.2, 0.1, 0.9},      // above
+      {0.05, 0.02, 0.04},   // near/below
+      {0.02, 0.01, 0.05},   // below
+  };
+  for (const Case& c : cases) {
+    const Profile p{{c.rho_i, c.rho_j}};
+    const double x_speed_slower =
+        x_measure(std::vector<double>{c.rho_i * c.psi, c.rho_j}, env);
+    const double x_speed_faster =
+        x_measure(std::vector<double>{c.rho_i, c.rho_j * c.psi}, env);
+    const bool faster_wins = x_speed_faster > x_speed_slower;
+    EXPECT_EQ(faster_wins, c.psi * c.rho_i * c.rho_j > threshold)
+        << c.rho_i << " " << c.rho_j << " " << c.psi;
+    EXPECT_EQ(theorem4_favors_faster(c.rho_i, c.rho_j, c.psi, env), faster_wins);
+  }
+}
+
+TEST(MultiplicativeSpeedup, EvaluateUpgradesPicksExpectedTarget) {
+  const Profile p{{1.0, 0.5, 0.25}};
+  const auto eval = evaluate_multiplicative_upgrades(p, 0.5, kEnv);
+  // Normal regime: the fastest machine is the best multiplicative target.
+  EXPECT_EQ(eval.best_power_index, p.size() - 1);
+  EXPECT_THROW((void)evaluate_multiplicative_upgrades(p, 1.0, kEnv), std::invalid_argument);
+}
+
+TEST(GreedyPlan, TracksMachineIdentityAcrossRounds) {
+  auto plan = greedy_upgrade_plan({1.0, 1.0, 1.0, 1.0}, UpgradeKind::kMultiplicative, 0.5, 3,
+                                  kEnv);
+  ASSERT_EQ(plan.size(), 3u);
+  // Round 1 is a 4-way tie, broken to the largest machine index (paper's rule).
+  EXPECT_EQ(plan[0].machine, 3u);
+  EXPECT_DOUBLE_EQ(plan[0].speeds_after[3], 0.5);
+  // Condition (1) then keeps choosing the same (fastest) machine.
+  EXPECT_EQ(plan[1].machine, 3u);
+  EXPECT_EQ(plan[2].machine, 3u);
+  EXPECT_DOUBLE_EQ(plan[2].speeds_after[3], 0.125);
+  // X must improve monotonically.
+  EXPECT_LT(plan[0].x_after, plan[1].x_after);
+  EXPECT_LT(plan[1].x_after, plan[2].x_after);
+}
+
+TEST(GreedyPlan, AdditiveStopsWhenPhiNoLongerFits) {
+  // phi = 0.4 fits each machine at most twice; after every machine drops
+  // below 0.4 the plan must stop early rather than create nonpositive rho.
+  auto plan = greedy_upgrade_plan({0.5, 0.5}, UpgradeKind::kAdditive, 0.4, 10, kEnv);
+  ASSERT_FALSE(plan.empty());
+  EXPECT_LT(plan.size(), 10u);
+  for (const auto& step : plan) {
+    for (double v : step.speeds_after) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(GreedyPlan, ZeroRoundsIsEmpty) {
+  EXPECT_TRUE(greedy_upgrade_plan({1.0}, UpgradeKind::kMultiplicative, 0.5, 0, kEnv).empty());
+  EXPECT_THROW((void)greedy_upgrade_plan({1.0}, UpgradeKind::kMultiplicative, 0.5, -1, kEnv),
+               std::invalid_argument);
+}
+
+TEST(GreedyPlan, AdditivePrefersFastestEachRound) {
+  auto plan = greedy_upgrade_plan({1.0, 0.5, 0.25}, UpgradeKind::kAdditive, 0.05, 4, kEnv);
+  ASSERT_EQ(plan.size(), 4u);
+  // Machine 2 (the fastest) should be chosen every round (Theorem 3).
+  for (const auto& step : plan) EXPECT_EQ(step.machine, 2u);
+}
+
+}  // namespace
+}  // namespace hetero::core

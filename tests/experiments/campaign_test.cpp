@@ -1,0 +1,105 @@
+#include "hetero/experiments/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hetero/core/hetero.h"
+
+namespace hetero::experiments {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+const std::vector<double> kFleet{1.0, 0.5, 0.25, 0.125};
+
+TEST(Campaign, NoChurnMatchesTheorem2AcrossRoundSplits) {
+  // FIFO work production is linear in L, so without churn the campaign's
+  // total is independent of the round split and equals the one-episode ideal.
+  for (double round_length : {1000.0, 250.0, 100.0}) {
+    const CampaignConfig config{.total_time = 1000.0, .round_length = round_length};
+    const auto result = run_campaign(kFleet, kEnv, config, {});
+    EXPECT_EQ(result.rounds, static_cast<std::size_t>(1000.0 / round_length));
+    EXPECT_NEAR(result.completed_work, result.ideal_work, 1e-6 * result.ideal_work)
+        << round_length;
+    EXPECT_EQ(result.machines_lost, 0u);
+  }
+}
+
+TEST(Campaign, CrashRemovesTheMachineFromLaterRounds) {
+  CampaignConfig config{.total_time = 400.0, .round_length = 100.0};
+  // Machine 3 (the fastest) dies early in round 2.
+  const std::vector<CampaignFailure> failures{{3, 110.0}};
+  const auto result = run_campaign(kFleet, kEnv, config, failures);
+  EXPECT_EQ(result.machines_lost, 1u);
+  ASSERT_EQ(result.work_by_round.size(), 4u);
+  // Round 1 is unaffected; round 2 loses machine 3's load mid-flight; rounds
+  // 3-4 re-plan over the 3 survivors (equal to each other, less than round 1).
+  EXPECT_GT(result.work_by_round[0], result.work_by_round[1]);
+  EXPECT_NEAR(result.work_by_round[2], result.work_by_round[3],
+              1e-6 * result.work_by_round[2]);
+  EXPECT_LT(result.work_by_round[2], result.work_by_round[0]);
+  // Round 3's fleet is {1, 0.5, 0.25}: work matches Theorem 2 for that fleet.
+  const double survivors = core::work_production(
+      100.0, core::Profile{{1.0, 0.5, 0.25}}, kEnv);
+  EXPECT_NEAR(result.work_by_round[2], survivors, 1e-6 * survivors);
+}
+
+TEST(Campaign, ShorterRoundsLoseLessToAMidRoundCrash) {
+  const std::vector<CampaignFailure> failures{{3, 450.0}};
+  const CampaignConfig long_rounds{.total_time = 1000.0, .round_length = 500.0};
+  const CampaignConfig short_rounds{.total_time = 1000.0, .round_length = 100.0};
+  const auto coarse = run_campaign(kFleet, kEnv, long_rounds, failures);
+  const auto fine = run_campaign(kFleet, kEnv, short_rounds, failures);
+  // Same crash, same horizon: the fine-grained campaign completes more
+  // because only a 100-unit round's allocation is in flight at crash time.
+  EXPECT_GT(fine.completed_work, coarse.completed_work);
+}
+
+TEST(Campaign, AllMachinesCrashingEndsTheCampaign) {
+  CampaignConfig config{.total_time = 300.0, .round_length = 100.0};
+  std::vector<CampaignFailure> failures;
+  for (std::size_t m = 0; m < kFleet.size(); ++m) failures.push_back({m, 50.0});
+  const auto result = run_campaign(kFleet, kEnv, config, failures);
+  EXPECT_EQ(result.machines_lost, kFleet.size());
+  EXPECT_EQ(result.rounds, 1u);  // round 2's fleet is empty
+  EXPECT_LT(result.completed_work, result.ideal_work / 3.0);
+}
+
+TEST(Campaign, MessageLatencyForwardsToTheSimulator) {
+  CampaignConfig with_latency{.total_time = 200.0, .round_length = 100.0,
+                              .message_latency = 0.5};
+  CampaignConfig without{.total_time = 200.0, .round_length = 100.0};
+  const auto slow = run_campaign(kFleet, kEnv, with_latency, {});
+  const auto fast = run_campaign(kFleet, kEnv, without, {});
+  EXPECT_LT(slow.completed_work, fast.completed_work);
+}
+
+TEST(Campaign, Validation) {
+  CampaignConfig config{.total_time = 100.0, .round_length = 100.0};
+  EXPECT_THROW((void)run_campaign({}, kEnv, config, {}), std::invalid_argument);
+  EXPECT_THROW((void)run_campaign(kFleet, kEnv,
+                                  CampaignConfig{.total_time = 10.0, .round_length = 20.0}, {}),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_campaign(kFleet, kEnv, config, {{99, 1.0}}), std::invalid_argument);
+}
+
+TEST(ExponentialFailures, RateControlsAttritionAndSeedsReproduce) {
+  const auto none = exponential_failures(100, 0.0, 1000.0, 1);
+  EXPECT_TRUE(none.empty());
+  const auto light = exponential_failures(1000, 1e-4, 1000.0, 2);
+  const auto heavy = exponential_failures(1000, 1e-2, 1000.0, 2);
+  EXPECT_LT(light.size(), heavy.size());
+  // Expected attrition: 1 - exp(-rate * horizon); heavy ~ 1000 machines.
+  EXPECT_NEAR(static_cast<double>(light.size()), 1000 * (1.0 - std::exp(-0.1)), 40.0);
+  const auto replay = exponential_failures(1000, 1e-4, 1000.0, 2);
+  ASSERT_EQ(replay.size(), light.size());
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    EXPECT_EQ(replay[i].machine, light[i].machine);
+    EXPECT_EQ(replay[i].time, light[i].time);
+  }
+  EXPECT_THROW((void)exponential_failures(10, -1.0, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)exponential_failures(10, 1.0, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::experiments

@@ -1,0 +1,142 @@
+#include "hetero/experiments/experiments.h"
+
+#include <gtest/gtest.h>
+
+namespace hetero::experiments {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(HecrTable, ReproducesTable3Shape) {
+  const auto rows = hecr_table({8, 16, 32}, kEnv);
+  ASSERT_EQ(rows.size(), 3u);
+  // Paper's Table 3: linear 0.366/0.298/0.251, harmonic 0.216/0.116/0.060.
+  // Our model-exact values are within a few thousandths.
+  EXPECT_NEAR(rows[0].hecr_linear, 0.366, 0.01);
+  EXPECT_NEAR(rows[1].hecr_linear, 0.298, 0.01);
+  EXPECT_NEAR(rows[2].hecr_linear, 0.251, 0.01);
+  EXPECT_NEAR(rows[0].hecr_harmonic, 0.216, 0.01);
+  EXPECT_NEAR(rows[1].hecr_harmonic, 0.116, 0.01);
+  EXPECT_NEAR(rows[2].hecr_harmonic, 0.060, 0.01);
+  // The harmonic cluster's advantage grows with n (~1.7x -> ~2.6x -> >4x).
+  EXPECT_GT(rows[0].ratio, 1.5);
+  EXPECT_GT(rows[1].ratio, rows[0].ratio);
+  EXPECT_GT(rows[2].ratio, 4.0);
+}
+
+TEST(AdditiveSpeedupTable, ReproducesTable4Shape) {
+  const core::Profile base{{1.0, 0.5, 1.0 / 3.0, 0.25}};
+  const auto rows = additive_speedup_table(base, 1.0 / 16.0, kEnv);
+  ASSERT_EQ(rows.size(), 4u);
+  // Every upgrade helps (Prop. 2)...
+  for (const auto& row : rows) EXPECT_GT(row.work_ratio, 1.0);
+  // ...and gains increase toward the fastest machine (Theorem 3).
+  for (std::size_t k = 0; k + 1 < rows.size(); ++k) {
+    EXPECT_LT(rows[k].work_ratio, rows[k + 1].work_ratio);
+  }
+  // Table 4's profiles: speeding up machine 3 gives <1, 1/2, 1/3, 3/16>.
+  EXPECT_DOUBLE_EQ(rows[3].profile_after[3], 3.0 / 16.0);
+  EXPECT_DOUBLE_EQ(rows[0].profile_after[0], 15.0 / 16.0);
+}
+
+TEST(MultiplicativeExperiment, Phase1UpgradesFastestSixteenRounds) {
+  // Figure 3's setup: tau raised to 200 usec against millisecond-scale
+  // tasks (normalized tau = 0.2), start <1,1,1,1>, psi = 1/2.  This puts the
+  // Theorem-4 threshold A*tau*delta/B^2 ~= 0.04 inside (1/32, 1/16), which is
+  // exactly what makes the paper's narrated regime switch happen at rho = 1/16.
+  const core::Environment env{core::Environment::Params{.tau = 0.2, .pi = 0.01, .delta = 1.0}};
+  const auto rounds = multiplicative_speedup_experiment({1.0, 1.0, 1.0, 1.0}, 0.5, 16, env);
+  ASSERT_EQ(rounds.size(), 16u);
+  // The experiment's cycle: the tie-break picks machine 3, condition (1)
+  // keeps it until it is "very fast", then the next machine, etc.  After 16
+  // rounds everything sits at 1/16.
+  for (double v : rounds.back().speeds_after) EXPECT_DOUBLE_EQ(v, 1.0 / 16.0);
+  // Each machine must have been upgraded exactly 4 times (1 -> 1/16).
+  std::vector<int> upgrades(4, 0);
+  for (const auto& r : rounds) ++upgrades[r.machine];
+  for (int count : upgrades) EXPECT_EQ(count, 4);
+  // X improves monotonically.
+  for (std::size_t k = 1; k < rounds.size(); ++k) {
+    EXPECT_GT(rounds[k].x_after, rounds[k - 1].x_after);
+  }
+}
+
+TEST(MultiplicativeExperiment, Phase2UpgradesSlowest) {
+  // Figure 4: from <1/16,...>, condition (2) applies — each round upgrades a
+  // *slowest* machine, sweeping the cluster level by level.
+  const core::Environment env{core::Environment::Params{.tau = 0.2, .pi = 0.01, .delta = 1.0}};
+  const auto rounds =
+      multiplicative_speedup_experiment(std::vector<double>(4, 1.0 / 16.0), 0.5, 4, env);
+  ASSERT_EQ(rounds.size(), 4u);
+  // Condition (2) regime: psi * rho_i * rho_j <= threshold for these speeds.
+  // (First round is a tie-break on a homogeneous cluster.)
+  for (std::size_t k = 1; k < rounds.size(); ++k) {
+    EXPECT_FALSE(rounds[k].condition1_regime) << k;
+  }
+  // After 4 rounds each machine was upgraded exactly once: all at 1/32.
+  for (double v : rounds.back().speeds_after) EXPECT_DOUBLE_EQ(v, 1.0 / 32.0);
+}
+
+TEST(MultiplicativeExperiment, RegimeFlagTracksTheorem4Threshold) {
+  const core::Environment env{core::Environment::Params{.tau = 0.2, .pi = 0.01, .delta = 1.0}};
+  const auto rounds = multiplicative_speedup_experiment({1.0, 0.5}, 0.5, 1, env);
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_TRUE(rounds[0].condition1_regime);  // 0.5*1*0.5 >> threshold
+}
+
+TEST(VariancePredictor, MostPairsAreGoodAndBadGapsAreSmall) {
+  parallel::ThreadPool pool{2};
+  const auto result = variance_predictor_experiment(8, 400, /*seed=*/2024, kEnv, pool);
+  EXPECT_EQ(result.trials, 400u);
+  EXPECT_EQ(result.good + result.bad + result.skipped, 400u);
+  // Paper: variance is right ~76% of the time (never worse than chance).
+  EXPECT_GT(static_cast<double>(result.good), static_cast<double>(result.bad));
+  EXPECT_LT(result.bad_fraction(), 0.45);
+  // Paper: bad pairs have "rather small" HECR differences.
+  if (result.bad > 0 && result.good > 0) {
+    EXPECT_LT(result.hecr_gap_when_bad.mean(), result.hecr_gap_when_good.mean());
+  }
+}
+
+TEST(VariancePredictor, DeterministicForFixedSeed) {
+  parallel::ThreadPool pool{3};
+  const auto a = variance_predictor_experiment(4, 100, 7, kEnv, pool);
+  const auto b = variance_predictor_experiment(4, 100, 7, kEnv, pool);
+  EXPECT_EQ(a.good, b.good);
+  EXPECT_EQ(a.bad, b.bad);
+  EXPECT_THROW((void)variance_predictor_experiment(1, 10, 7, kEnv, pool), std::invalid_argument);
+}
+
+TEST(ThresholdSearch, AccuracyReaches100PercentAtLargeGaps) {
+  parallel::ThreadPool pool{2};
+  const auto result = variance_threshold_search(8, 300, 6, 0.12, /*seed=*/11, kEnv, pool);
+  ASSERT_EQ(result.bins.size(), 6u);
+  // Every populated bin from the empirical theta on must be perfect, and
+  // there must be populated bins past the small-gap region.
+  std::size_t populated_past_small_gaps = 0;
+  for (const auto& bin : result.bins) {
+    if (bin.trials == 0) continue;
+    if (bin.gap_lo >= result.smallest_perfect_gap) EXPECT_EQ(bin.correct, bin.trials);
+    if (bin.gap_lo >= 0.04) ++populated_past_small_gaps;
+  }
+  EXPECT_GT(populated_past_small_gaps, 0u);
+  // The empirical theta must exist below the paper's 0.167 scale.
+  EXPECT_LT(result.smallest_perfect_gap, 0.12);
+  // The smallest-gap bin should show imperfection (that is the whole point
+  // of the threshold: variance *can* err, but only at small gaps).
+  EXPECT_GT(result.bins.front().trials, result.bins.front().correct);
+  EXPECT_THROW((void)variance_threshold_search(8, 10, 0, 0.2, 1, kEnv, pool),
+               std::invalid_argument);
+}
+
+TEST(FifoOptimality, Theorem1HoldsForSmallClusters) {
+  const auto report = fifo_optimality_report({1.0, 0.5, 0.25}, kEnv, 60.0);
+  EXPECT_EQ(report.order_pairs, 36u);
+  EXPECT_TRUE(report.fifo_always_optimal);
+  EXPECT_TRUE(report.fifo_order_independent);
+  EXPECT_GE(report.optimal_pairs, 6u);  // at least every FIFO pair
+  EXPECT_GT(report.best_work, 0.0);
+}
+
+}  // namespace
+}  // namespace hetero::experiments

@@ -1,0 +1,126 @@
+// Cross-layer consistency: Theorem 2's algebra (core), the closed-form FIFO
+// planner (protocol), the LP solver (protocol/numeric), and the causal
+// discrete-event simulator (sim) must all tell the same story.
+
+#include <gtest/gtest.h>
+
+#include "hetero/core/hetero.h"
+#include "hetero/numeric/stable.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/protocol/lp_solver.h"
+#include "hetero/random/samplers.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero {
+namespace {
+
+using core::Environment;
+using core::Profile;
+
+const Environment kEnv = Environment::paper_default();
+
+class FourWayConsistencyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FourWayConsistencyTest, FormulaPlannerLpAndSimulatorAgree) {
+  random::Xoshiro256StarStar rng{GetParam()};
+  const std::size_t n = 2 + GetParam() % 4;
+  const auto rho = random::uniform_rho_values(n, rng, 0.1, 1.0);
+  const double lifespan = rng.uniform(10.0, 1000.0);
+
+  // (1) Theorem 2.
+  const double by_formula = core::work_production(lifespan, Profile{rho}, kEnv);
+  // (2) Closed-form FIFO planner.
+  const double by_planner = protocol::fifo_total_work(rho, kEnv, lifespan);
+  // (3) Fixed-order LP.
+  const auto lp = protocol::solve_protocol_lp(rho, kEnv, lifespan,
+                                              protocol::ProtocolOrders::fifo(n));
+  ASSERT_EQ(lp.status, numeric::LpStatus::kOptimal);
+  // (4) Causal simulation of the planner's allocations.
+  const auto allocations = protocol::fifo_allocations(rho, kEnv, lifespan);
+  const auto sim = sim::simulate_worksharing(rho, kEnv, allocations,
+                                             protocol::ProtocolOrders::fifo(n));
+
+  EXPECT_LT(numeric::relative_difference(by_planner, by_formula), 1e-9);
+  EXPECT_LT(numeric::relative_difference(lp.total_work, by_formula), 1e-6);
+  EXPECT_LT(numeric::relative_difference(sim.completed_work(lifespan), by_formula), 1e-9);
+  EXPECT_TRUE(sim.trace.channel_exclusive());
+  EXPECT_LE(sim.makespan, lifespan * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FourWayConsistencyTest, ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(FifoVsLifo, SimulatedLifoDeliversTheLpOptimumAndLosesToFifo) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const double lifespan = 120.0;
+  const auto lifo_lp = protocol::solve_protocol_lp(speeds, kEnv, lifespan,
+                                                   protocol::ProtocolOrders::lifo(3));
+  ASSERT_EQ(lifo_lp.status, numeric::LpStatus::kOptimal);
+  // Execute the LIFO plan causally.
+  std::vector<double> allocations;
+  for (const auto& t : lifo_lp.schedule.timelines) allocations.push_back(t.work);
+  const auto sim = sim::simulate_worksharing(speeds, kEnv, allocations,
+                                             protocol::ProtocolOrders::lifo(3));
+  EXPECT_NEAR(sim.completed_work(lifespan), lifo_lp.total_work, 1e-6 * lifo_lp.total_work);
+  EXPECT_LE(sim.makespan, lifespan * (1.0 + 1e-6));
+  // Theorem 1: FIFO beats (or ties) LIFO.
+  EXPECT_GE(protocol::fifo_total_work(speeds, kEnv, lifespan),
+            lifo_lp.total_work - 1e-9);
+  EXPECT_EQ(sim.finishing_order, (std::vector<std::size_t>{2, 1, 0}));
+}
+
+TEST(TruncatedLifespan, SimulatorLosesExactlyTheUnfinishedLoads) {
+  // Plan for L, run the episode, and count completions against a shorter
+  // horizon: the completed work must drop load by load.
+  const std::vector<double> speeds{1.0, 0.6, 0.3};
+  const double lifespan = 90.0;
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, lifespan);
+  const auto sim = sim::simulate_worksharing(speeds, kEnv, allocations,
+                                             protocol::ProtocolOrders::fifo(3));
+  ASSERT_EQ(sim.outcomes.size(), 3u);
+  const double all = sim.completed_work(lifespan);
+  const double drop_last = sim.completed_work(sim.outcomes[2].result_end - 1e-5);
+  const double drop_two = sim.completed_work(sim.outcomes[1].result_end - 1e-5);
+  EXPECT_NEAR(all - drop_last, sim.outcomes[2].work, 1e-9 * all);
+  EXPECT_NEAR(all - drop_two, sim.outcomes[2].work + sim.outcomes[1].work, 1e-9 * all);
+}
+
+TEST(EnvironmentSweep, ConsistencyHoldsAwayFromTable1Parameters) {
+  // Heavier communication costs (tau = 0.05 of a task time) still satisfy
+  // formula == planner == simulator, as long as the FIFO plan is feasible.
+  const Environment heavy{Environment::Params{.tau = 0.05, .pi = 0.02, .delta = 0.8}};
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  const double lifespan = 300.0;
+  const protocol::Schedule plan = protocol::fifo_schedule(speeds, heavy, lifespan);
+  ASSERT_TRUE(plan.validate(heavy).empty());
+  const auto sim = sim::simulate_schedule(plan, heavy);
+  const double formula = core::work_production(lifespan, Profile{speeds}, heavy);
+  EXPECT_LT(numeric::relative_difference(sim.completed_work(lifespan), formula), 1e-9);
+}
+
+TEST(Table3EndToEnd, SimulatedWorkRatioMatchesHecrPrediction) {
+  // The HECR is a *prediction* about equivalent homogeneous clusters; check
+  // it against simulated work: an n-machine homogeneous cluster at the HECR
+  // speed completes (almost exactly) the same work as the original cluster.
+  const std::size_t n = 8;
+  const Profile heterogeneous = Profile::harmonic(n);
+  const double rho_c = core::hecr(heterogeneous, kEnv);
+  const double lifespan = 100.0;
+
+  std::vector<double> hetero_speeds(heterogeneous.values().begin(),
+                                    heterogeneous.values().end());
+  const auto hetero_sim = sim::simulate_worksharing(
+      hetero_speeds, kEnv, protocol::fifo_allocations(hetero_speeds, kEnv, lifespan),
+      protocol::ProtocolOrders::fifo(n));
+
+  const std::vector<double> homo_speeds(n, rho_c);
+  const auto homo_sim = sim::simulate_worksharing(
+      homo_speeds, kEnv, protocol::fifo_allocations(homo_speeds, kEnv, lifespan),
+      protocol::ProtocolOrders::fifo(n));
+
+  EXPECT_LT(numeric::relative_difference(hetero_sim.completed_work(lifespan),
+                                         homo_sim.completed_work(lifespan)),
+            1e-6);
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,213 @@
+// End-to-end audits of the paper's claims, treated as testable properties of
+// the whole library rather than of any single module.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hetero/core/hetero.h"
+#include "hetero/random/samplers.h"
+
+namespace hetero {
+namespace {
+
+using core::Environment;
+using core::Prediction;
+using core::Profile;
+
+const Environment kEnv = Environment::paper_default();
+
+// ---- Proposition 2: any single-machine speedup increases work production.
+
+class Proposition2Test : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Proposition2Test, SpeedupsAlwaysIncreaseWork) {
+  random::Xoshiro256StarStar rng{GetParam()};
+  const auto rho = random::uniform_rho_values(6, rng, 0.05, 1.0);
+  const Profile p{rho};
+  const double base = core::x_measure(p, kEnv);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    const double phi = 0.5 * p.rho(k);
+    EXPECT_GT(core::x_measure(p.with_additive_speedup(k, phi), kEnv), base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Proposition2Test, ::testing::Range<std::uint64_t>(0, 25));
+
+// ---- Theorem 3: under additive speedup, the fastest machine is the best
+// target, across random clusters, phis, and environments.
+
+class Theorem3Test
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double, double>> {};
+
+TEST_P(Theorem3Test, FastestMachineIsBestAdditiveTarget) {
+  const auto [seed, tau, pi] = GetParam();
+  const Environment env{Environment::Params{.tau = tau, .pi = pi, .delta = 1.0}};
+  random::Xoshiro256StarStar rng{seed};
+  const auto rho = random::uniform_rho_values(5, rng, 0.1, 1.0);
+  const Profile p{rho};
+  const double phi = 0.9 * p.fastest();
+  const auto eval = core::evaluate_additive_upgrades(p, phi, env);
+  EXPECT_EQ(eval.best_power_index, p.size() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndEnvironments, Theorem3Test,
+                         ::testing::Combine(::testing::Range<std::uint64_t>(0, 10),
+                                            ::testing::Values(1e-6, 1e-3, 0.2),
+                                            ::testing::Values(1e-5, 1e-2)));
+
+// ---- Theorem 4: the iff holds against brute-force X comparison for random
+// speed pairs straddling the threshold.
+
+TEST(Theorem4, BoundaryClassificationMatchesBruteForce) {
+  const Environment env{Environment::Params{.tau = 0.2, .pi = 0.01, .delta = 1.0}};
+  const double threshold = env.theorem4_threshold();
+  random::Xoshiro256StarStar rng{99};
+  int above = 0;
+  int below = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double rho_i = rng.uniform(0.01, 1.0);
+    const double rho_j = rng.uniform(0.005, rho_i * 0.99);
+    const double psi = rng.uniform(0.05, 0.95);
+    const double key = psi * rho_i * rho_j;
+    if (std::fabs(key - threshold) < 0.1 * threshold) continue;  // skip razor edge
+    const double x_speed_slower = core::x_measure(std::vector<double>{psi * rho_i, rho_j}, env);
+    const double x_speed_faster = core::x_measure(std::vector<double>{rho_i, psi * rho_j}, env);
+    const bool faster_wins = x_speed_faster > x_speed_slower;
+    EXPECT_EQ(faster_wins, key > threshold) << rho_i << " " << rho_j << " " << psi;
+    (key > threshold ? above : below) += 1;
+  }
+  // The sample must actually exercise both regimes.
+  EXPECT_GT(above, 10);
+  EXPECT_GT(below, 10);
+}
+
+// ---- Proposition 3 + Theorem 5 consistency on equal-mean pairs.
+
+TEST(Theorem5, SymmetricFunctionVerdictImpliesLargerVariance) {
+  // Thm 5(1): if Prop. 3 decides between equal-mean clusters, the winner has
+  // the larger variance.
+  random::Xoshiro256StarStar rng{123};
+  int decided = 0;
+  for (int trial = 0; trial < 400 && decided < 40; ++trial) {
+    const auto pair = random::equal_mean_pair(4, rng);
+    const Prediction verdict = core::symmetric_function_predictor(pair.first, pair.second);
+    if (verdict == Prediction::kInconclusive) continue;
+    ++decided;
+    if (verdict == Prediction::kFirstWins) {
+      EXPECT_GT(pair.first.variance(), pair.second.variance());
+    } else {
+      EXPECT_LT(pair.first.variance(), pair.second.variance());
+    }
+  }
+  EXPECT_GT(decided, 0);
+}
+
+TEST(Theorem5, TwoMachineBiconditionalOnRandomEqualMeanPairs) {
+  random::Xoshiro256StarStar rng{321};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto pair = random::equal_mean_pair(2, rng);
+    if (std::fabs(pair.first.variance() - pair.second.variance()) < 1e-12) continue;
+    const Prediction by_variance = core::variance_predictor(pair.first, pair.second);
+    const Prediction by_x = core::x_value_ground_truth(pair.first, pair.second, kEnv);
+    EXPECT_EQ(by_variance, by_x);
+  }
+}
+
+TEST(Corollary1, HeterogeneityLendsPowerAtEveryMeanAndSpread) {
+  // Any 2-machine heterogeneous cluster beats the homogeneous cluster with
+  // the same mean speed.
+  for (double mean : {0.2, 0.5, 0.8}) {
+    for (double spread : {0.01, 0.1, 0.19}) {
+      const Profile heterogeneous{{mean + spread, mean - spread}};
+      const Profile homogeneous = Profile::homogeneous(2, mean);
+      EXPECT_GT(core::x_measure(heterogeneous, kEnv), core::x_measure(homogeneous, kEnv))
+          << mean << " " << spread;
+    }
+  }
+}
+
+// ---- Section 4's minorization counterexample, plus transitivity sanity.
+
+TEST(Section4, MeanSpeedIsNotAValidPredictor) {
+  // <0.99, 0.02> has the *worse* (larger) mean rho yet outperforms <0.5, 0.5>.
+  const Profile p1{{0.99, 0.02}};
+  const Profile p2{{0.5, 0.5}};
+  EXPECT_GT(p1.mean(), p2.mean());
+  EXPECT_GT(core::x_measure(p1, kEnv), core::x_measure(p2, kEnv));
+  EXPECT_LT(core::hecr(p1, kEnv), core::hecr(p2, kEnv));
+}
+
+TEST(Section4, MinorizationImpliesXOrderOnRandomPairs) {
+  random::Xoshiro256StarStar rng{555};
+  int exercised = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto rho = random::uniform_rho_values(5, rng, 0.1, 0.9);
+    const Profile p{rho};
+    // Construct a strict minorizer by shaving every machine.
+    std::vector<double> better(rho);
+    for (double& v : better) v *= rng.uniform(0.7, 0.999);
+    const Profile q{better};
+    if (!q.minorizes(p)) continue;
+    ++exercised;
+    EXPECT_GT(core::x_measure(q, kEnv), core::x_measure(p, kEnv));
+  }
+  EXPECT_GT(exercised, 150);
+}
+
+// ---- Structural properties of the X-measure under cluster composition.
+
+TEST(XMeasure, SubadditiveUnderClusterUnion) {
+  // Merging two clusters behind ONE channel never yields the sum of their
+  // separate powers: from the product identity, (A - td)X = 1 - prod f and
+  // 1 - pq <= (1 - p) + (1 - q) for p, q in (0, 1].  Diminishing returns of
+  // piling machines onto a single server link.
+  random::Xoshiro256StarStar rng{808};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto r1 = random::uniform_rho_values(1 + rng.below(6), rng, 0.05, 1.0);
+    const auto r2 = random::uniform_rho_values(1 + rng.below(6), rng, 0.05, 1.0);
+    std::vector<double> merged(r1);
+    merged.insert(merged.end(), r2.begin(), r2.end());
+    const double x_union = core::x_measure(merged, kEnv);
+    const double x_split = core::x_measure(r1, kEnv) + core::x_measure(r2, kEnv);
+    EXPECT_LE(x_union, x_split * (1.0 + 1e-12));
+    // ...but the union always beats either part alone (Prop. 2's spirit).
+    EXPECT_GT(x_union, core::x_measure(r1, kEnv));
+    EXPECT_GT(x_union, core::x_measure(r2, kEnv));
+  }
+}
+
+TEST(XMeasure, AddingAMachineAlwaysHelpsButBoundedly) {
+  // X grows with every added machine yet stays below the no-communication
+  // ideal sum of speeds 1/rho... (X < sum 1/(B rho) + slack).
+  random::Xoshiro256StarStar rng{909};
+  std::vector<double> rho = random::uniform_rho_values(1, rng, 0.1, 1.0);
+  double previous = core::x_measure(rho, kEnv);
+  double ideal = 1.0 / (kEnv.b() * rho[0]);
+  for (int added = 0; added < 30; ++added) {
+    rho.push_back(rng.uniform(0.1, 1.0));
+    ideal += 1.0 / (kEnv.b() * rho.back());
+    const double x = core::x_measure(rho, kEnv);
+    EXPECT_GT(x, previous);
+    EXPECT_LT(x, ideal);
+    previous = x;
+  }
+}
+
+// ---- HECR consistency: the HECR ordering and the X ordering agree.
+
+TEST(Hecr, OrderingAgreesWithXOrdering) {
+  random::Xoshiro256StarStar rng{777};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto r1 = random::uniform_rho_values(6, rng, 0.05, 1.0);
+    const auto r2 = random::uniform_rho_values(6, rng, 0.05, 1.0);
+    const Profile p1{r1};
+    const Profile p2{r2};
+    const bool x_says_first = core::x_measure(p1, kEnv) > core::x_measure(p2, kEnv);
+    const bool hecr_says_first = core::hecr(p1, kEnv) < core::hecr(p2, kEnv);
+    EXPECT_EQ(x_says_first, hecr_says_first);
+  }
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,122 @@
+#include "hetero/numeric/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace hetero::numeric {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, BraceInitializationRejectsRaggedRows) {
+  EXPECT_NO_THROW((Matrix{{1.0, 2.0}, {3.0, 4.0}}));
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityActsAsMultiplicativeUnit) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a * Matrix::identity(2), a);
+  EXPECT_EQ(Matrix::identity(2) * a, a);
+}
+
+TEST(Matrix, MultiplicationAgainstHandComputedProduct) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  const Matrix expected{{58.0, 64.0}, {139.0, 154.0}};
+  EXPECT_EQ(a * b, expected);
+  EXPECT_THROW(b * Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(a.transposed().transposed(), a);
+  EXPECT_EQ(a.transposed()(2, 1), 6.0);
+}
+
+TEST(Matrix, VectorMultiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x{5.0, 6.0};
+  const std::vector<double> y = a.multiply(x);
+  EXPECT_EQ(y[0], 17.0);
+  EXPECT_EQ(y[1], 39.0);
+  EXPECT_THROW(a.multiply(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Lu, SolvesHandCheckedSystem) {
+  const Matrix a{{2.0, 1.0, -1.0}, {-3.0, -1.0, 2.0}, {-2.0, 1.0, 2.0}};
+  const std::vector<double> b{8.0, -11.0, -3.0};
+  const std::vector<double> x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+  EXPECT_LT(residual_max_norm(a, x, b), 1e-12);
+}
+
+TEST(Lu, DeterminantMatchesCofactorExpansion) {
+  const Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition{a}.determinant(), -6.0, 1e-12);
+  EXPECT_NEAR(LuDecomposition{Matrix::identity(5)}.determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  const Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  const LuDecomposition lu{singular};
+  EXPECT_FALSE(lu.is_invertible());
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(lu.solve(b), std::runtime_error);
+}
+
+TEST(Lu, RequiresPivotingForZeroLeadingEntry) {
+  // Without partial pivoting this matrix divides by zero immediately.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<double> b{2.0, 3.0};
+  const std::vector<double> x = solve_linear_system(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  const Matrix a{{2.0, 0.0, 1.0}, {1.0, 3.0, 2.0}, {0.0, 1.0, 4.0}};
+  const Matrix inv = LuDecomposition{a}.inverse();
+  const Matrix product = a * inv;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_NEAR(product(r, c), r == c ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Lu, RandomizedSolveHasTinyResidual) {
+  std::mt19937_64 gen{17};
+  std::uniform_real_distribution<double> dist{-10.0, 10.0};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(gen() % 12);
+    Matrix a(n, n);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(gen);
+      a(r, r) += 20.0;  // diagonally dominant => comfortably invertible
+      b[r] = dist(gen);
+    }
+    const std::vector<double> x = solve_linear_system(a, b);
+    EXPECT_LT(residual_max_norm(a, x, b), 1e-9);
+  }
+}
+
+TEST(Lu, RejectsNonSquareAndSizeMismatch) {
+  EXPECT_THROW(LuDecomposition{Matrix(2, 3)}, std::invalid_argument);
+  const LuDecomposition lu{Matrix::identity(2)};
+  EXPECT_THROW(lu.solve(std::vector<double>{1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::numeric

@@ -1,0 +1,88 @@
+#include "hetero/numeric/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetero::numeric {
+namespace {
+
+TEST(Polynomial, ZeroPolynomialBasics) {
+  const Polynomial zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.degree(), 0u);
+  EXPECT_EQ(zero(3.0), 0.0);
+}
+
+TEST(Polynomial, TrimsTrailingZeroCoefficients) {
+  const Polynomial p{{1.0, 2.0, 0.0, 0.0}};
+  EXPECT_EQ(p.degree(), 1u);
+  EXPECT_EQ(p.coefficient(0), 1.0);
+  EXPECT_EQ(p.coefficient(5), 0.0);
+}
+
+TEST(Polynomial, HornerEvaluation) {
+  const Polynomial p{{-6.0, 11.0, -6.0, 1.0}};  // (x-1)(x-2)(x-3)
+  EXPECT_EQ(p(1.0), 0.0);
+  EXPECT_EQ(p(2.0), 0.0);
+  EXPECT_EQ(p(3.0), 0.0);
+  EXPECT_EQ(p(0.0), -6.0);
+  EXPECT_EQ(p(4.0), 6.0);
+}
+
+TEST(Polynomial, FromRootsExpandsCorrectly) {
+  const std::vector<double> roots{1.0, 2.0, 3.0};
+  const Polynomial p = Polynomial::from_roots(roots);
+  EXPECT_EQ(p.degree(), 3u);
+  EXPECT_EQ(p.coefficient(0), -6.0);
+  EXPECT_EQ(p.coefficient(1), 11.0);
+  EXPECT_EQ(p.coefficient(2), -6.0);
+  EXPECT_EQ(p.coefficient(3), 1.0);
+}
+
+TEST(Polynomial, FromLinearFactorsBuildsTheXDenominatorProduct) {
+  // prod (B*rho_i * 1 + (A)) style expansion used for Lemma-1 validation:
+  // (2x+1)(3x+4) = 6x^2 + 11x + 4.
+  const std::vector<double> scales{2.0, 3.0};
+  const std::vector<double> offsets{1.0, 4.0};
+  const Polynomial p = Polynomial::from_linear_factors(scales, offsets);
+  EXPECT_EQ(p.coefficient(0), 4.0);
+  EXPECT_EQ(p.coefficient(1), 11.0);
+  EXPECT_EQ(p.coefficient(2), 6.0);
+}
+
+TEST(Polynomial, ArithmeticIdentities) {
+  const Polynomial p{{1.0, 2.0, 3.0}};
+  const Polynomial q{{5.0, -1.0}};
+  EXPECT_EQ((p + q) - q, p);
+  EXPECT_EQ(p * Polynomial{{1.0}}, p);
+  EXPECT_TRUE((p * Polynomial{}).is_zero());
+  EXPECT_TRUE((p - p).is_zero());
+}
+
+TEST(Polynomial, MultiplicationMatchesEvaluation) {
+  const Polynomial p{{1.0, 2.0}};
+  const Polynomial q{{-3.0, 0.0, 1.0}};
+  const Polynomial pq = p * q;
+  for (double x : {-2.0, -0.5, 0.0, 1.0, 3.7}) {
+    EXPECT_NEAR(pq(x), p(x) * q(x), 1e-12);
+  }
+}
+
+TEST(Polynomial, DerivativeOfCubic) {
+  const Polynomial p{{7.0, 0.0, 3.0, 2.0}};  // 2x^3 + 3x^2 + 7
+  const Polynomial d = p.derivative();
+  EXPECT_EQ(d.coefficient(0), 0.0);
+  EXPECT_EQ(d.coefficient(1), 6.0);
+  EXPECT_EQ(d.coefficient(2), 6.0);
+  EXPECT_TRUE(Polynomial{{5.0}}.derivative().is_zero());
+}
+
+TEST(Polynomial, ScalarMultiplication) {
+  const Polynomial p{{1.0, -2.0}};
+  EXPECT_EQ((p * 3.0).coefficient(1), -6.0);
+  EXPECT_TRUE((p * 0.0).is_zero());
+}
+
+}  // namespace
+}  // namespace hetero::numeric

@@ -1,0 +1,120 @@
+#include "hetero/numeric/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace hetero::numeric {
+namespace {
+
+TEST(Rational, DefaultIsZeroWithUnitDenominator) {
+  const Rational zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.denominator(), BigInt{1});
+  EXPECT_EQ(zero.to_string(), "0");
+}
+
+TEST(Rational, ReducesToLowestTermsWithPositiveDenominator) {
+  const Rational r{BigInt{6}, BigInt{-8}};
+  EXPECT_EQ(r.numerator(), BigInt{-3});
+  EXPECT_EQ(r.denominator(), BigInt{4});
+  EXPECT_EQ(r.to_string(), "-3/4");
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW((Rational{BigInt{1}, BigInt{0}}), std::domain_error);
+}
+
+TEST(Rational, ArithmeticMatchesExactFractions) {
+  const Rational third{1, 3};
+  const Rational quarter{1, 4};
+  EXPECT_EQ((third + quarter).to_string(), "7/12");
+  EXPECT_EQ((third - quarter).to_string(), "1/12");
+  EXPECT_EQ((third * quarter).to_string(), "1/12");
+  EXPECT_EQ((third / quarter).to_string(), "4/3");
+  EXPECT_EQ((-third).to_string(), "-1/3");
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational{1} / Rational{0}, std::domain_error);
+  EXPECT_THROW(Rational{0}.reciprocal(), std::domain_error);
+}
+
+TEST(Rational, ComparisonUsesCrossMultiplication) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(1, 1000000));
+}
+
+TEST(Rational, FromDoubleIsExactForDyadics) {
+  EXPECT_EQ(Rational::from_double(0.5).to_string(), "1/2");
+  EXPECT_EQ(Rational::from_double(0.75).to_string(), "3/4");
+  EXPECT_EQ(Rational::from_double(-2.25).to_string(), "-9/4");
+  EXPECT_EQ(Rational::from_double(3.0).to_string(), "3");
+  EXPECT_TRUE(Rational::from_double(0.0).is_zero());
+}
+
+TEST(Rational, FromDoubleRejectsNonFinite) {
+  EXPECT_THROW(Rational::from_double(std::nan("")), std::invalid_argument);
+  EXPECT_THROW(Rational::from_double(INFINITY), std::invalid_argument);
+}
+
+TEST(Rational, FromDoubleToDoubleRoundTripsRandomDoubles) {
+  std::mt19937_64 gen{11};
+  std::uniform_real_distribution<double> dist{-1e6, 1e6};
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(gen);
+    // from_double is exact, and to_double rounds back to the nearest double,
+    // so the round trip must be the identity.
+    EXPECT_DOUBLE_EQ(Rational::from_double(x).to_double(), x);
+  }
+}
+
+TEST(Rational, FromDoubleToDoubleRoundTripsTinyAndHugeMagnitudes) {
+  for (double x : {1e-300, -1e300, 0x1.fffffffffffffp+1023, std::ldexp(1.0, -1000)}) {
+    EXPECT_DOUBLE_EQ(Rational::from_double(x).to_double(), x) << x;
+  }
+}
+
+TEST(Rational, ToDoubleOfSimpleFractions) {
+  EXPECT_DOUBLE_EQ(Rational(1, 3).to_double(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Rational(-22, 7).to_double(), -22.0 / 7.0);
+  EXPECT_DOUBLE_EQ((Rational(1, 3) * Rational(3, 1)).to_double(), 1.0);
+}
+
+TEST(Rational, PowHandlesNegativeExponents) {
+  EXPECT_EQ(Rational::pow(Rational(2, 3), 3).to_string(), "8/27");
+  EXPECT_EQ(Rational::pow(Rational(2, 3), -2).to_string(), "9/4");
+  EXPECT_EQ(Rational::pow(Rational(5, 1), 0).to_string(), "1");
+}
+
+TEST(Rational, FieldAxiomsOnRandomFractions) {
+  std::mt19937_64 gen{13};
+  std::uniform_int_distribution<std::int64_t> dist{-1000, 1000};
+  for (int i = 0; i < 200; ++i) {
+    std::int64_t an = dist(gen);
+    std::int64_t ad = dist(gen);
+    std::int64_t bn = dist(gen);
+    std::int64_t bd = dist(gen);
+    if (ad == 0 || bd == 0) continue;
+    const Rational a{BigInt{an}, BigInt{ad}};
+    const Rational b{BigInt{bn}, BigInt{bd}};
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a + (b - b), a);
+    EXPECT_EQ((a + b) - b, a);
+    if (!b.is_zero()) EXPECT_EQ((a / b) * b, a);
+  }
+}
+
+TEST(Rational, AbsAndSignum) {
+  EXPECT_EQ(Rational(-3, 4).abs(), Rational(3, 4));
+  EXPECT_EQ(Rational(-3, 4).signum(), -1);
+  EXPECT_EQ(Rational(3, 4).signum(), 1);
+  EXPECT_EQ(Rational{}.signum(), 0);
+}
+
+}  // namespace
+}  // namespace hetero::numeric

@@ -1,0 +1,75 @@
+#include "hetero/numeric/roots.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetero::numeric {
+namespace {
+
+TEST(Brent, FindsRootOfCubic) {
+  const auto f = [](double x) { return x * x * x - 2.0 * x - 5.0; };
+  const auto result = brent(f, 2.0, 3.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->root, 2.0945514815423265, 1e-12);
+}
+
+TEST(Brent, HandlesRootAtBracketEndpoint) {
+  const auto f = [](double x) { return x - 1.0; };
+  const auto at_lo = brent(f, 1.0, 2.0);
+  ASSERT_TRUE(at_lo.has_value());
+  EXPECT_EQ(at_lo->root, 1.0);
+  const auto at_hi = brent(f, 0.0, 1.0);
+  ASSERT_TRUE(at_hi.has_value());
+  EXPECT_EQ(at_hi->root, 1.0);
+}
+
+TEST(Brent, RejectsUnbracketedInterval) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_FALSE(brent(f, -1.0, 1.0).has_value());
+}
+
+TEST(Brent, RejectsNonFiniteFunctionValues) {
+  const auto g = [](double) { return std::nan(""); };
+  EXPECT_FALSE(brent(g, 0.0, 1.0).has_value());
+  EXPECT_FALSE(bisect(g, 0.0, 1.0).has_value());
+}
+
+TEST(Brent, ConvergesOnFlatExponentialDifference) {
+  // The HECR inversion shape: tiny function values near the root.
+  const auto f = [](double x) { return std::expm1(1e-5 * (x - 0.25)); };
+  const auto result = brent(f, 0.01, 1.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->root, 0.25, 1e-9);
+}
+
+TEST(Bisect, MatchesBrentOnSmoothFunction) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const auto a = brent(f, 0.0, 1.0);
+  const auto b = bisect(f, 0.0, 1.0, RootOptions{.x_tolerance = 1e-13, .max_iterations = 200});
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(a->root, b->root, 1e-10);
+  EXPECT_NEAR(a->root, 0.7390851332151607, 1e-12);
+}
+
+TEST(Bisect, ReportsNonConvergenceUnderIterationStarvation) {
+  const auto f = [](double x) { return x - 0.123456789; };
+  const auto result = bisect(f, 0.0, 1.0, RootOptions{.x_tolerance = 1e-15, .max_iterations = 3});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->converged);
+}
+
+TEST(Brent, UsesFewerIterationsThanBisection) {
+  const auto f = [](double x) { return std::exp(x) - 5.0; };
+  const RootOptions options{.x_tolerance = 1e-14, .max_iterations = 500};
+  const auto fast = brent(f, 0.0, 10.0, options);
+  const auto slow = bisect(f, 0.0, 10.0, options);
+  ASSERT_TRUE(fast.has_value());
+  ASSERT_TRUE(slow.has_value());
+  EXPECT_LT(fast->iterations, slow->iterations);
+}
+
+}  // namespace
+}  // namespace hetero::numeric

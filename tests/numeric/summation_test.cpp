@@ -1,0 +1,71 @@
+#include "hetero/numeric/summation.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace hetero::numeric {
+namespace {
+
+TEST(NeumaierSum, EmptySumIsZero) {
+  const NeumaierSum sum;
+  EXPECT_EQ(sum.value(), 0.0);
+  EXPECT_EQ(sum.count(), 0u);
+}
+
+TEST(NeumaierSum, RecoversCancellationThatBreaksNaiveSummation) {
+  // Classic Neumaier stress input: naive left-to-right gives 0 (the 1.0
+  // vanishes into 1e100), compensated gives 2.
+  NeumaierSum sum;
+  sum.add(1.0);
+  sum.add(1e100);
+  sum.add(1.0);
+  sum.add(-1e100);
+  EXPECT_EQ(sum.value(), 2.0);
+  const double naive = ((1.0 + 1e100) + 1.0) + -1e100;
+  EXPECT_EQ(naive, 0.0);  // demonstrates the failure the accumulator fixes
+}
+
+TEST(NeumaierSum, SumsManySmallTermsAccurately) {
+  NeumaierSum sum;
+  constexpr int kN = 10'000'000;
+  for (int i = 0; i < kN; ++i) sum.add(0.1);
+  EXPECT_NEAR(sum.value(), 0.1 * kN, 1e-6);
+  EXPECT_EQ(sum.count(), static_cast<std::size_t>(kN));
+}
+
+TEST(NeumaierSum, MergeEqualsSequentialAccumulation) {
+  std::mt19937_64 gen{3};
+  std::uniform_real_distribution<double> dist{-1.0, 1.0};
+  NeumaierSum whole;
+  NeumaierSum left;
+  NeumaierSum right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(gen);
+    whole.add(x);
+    (i < 500 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.value(), whole.value(), 1e-15);
+  EXPECT_EQ(left.count(), whole.count());
+}
+
+TEST(CompensatedSum, MatchesAccumulator) {
+  const std::vector<double> values{0.1, 0.2, 0.3, 1e16, -1e16, 0.4};
+  EXPECT_NEAR(compensated_sum(values), 1.0, 1e-12);
+}
+
+TEST(PairwiseSum, ExactOnSmallInputsAndCloseOnLarge) {
+  const std::vector<double> small{1.0, 2.0, 3.0};
+  EXPECT_EQ(pairwise_sum(small), 6.0);
+  std::vector<double> large(100'000, 0.001);
+  EXPECT_NEAR(pairwise_sum(large), 100.0, 1e-9);
+}
+
+TEST(PairwiseSum, EmptyIsZero) {
+  EXPECT_EQ(pairwise_sum(std::span<const double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace hetero::numeric

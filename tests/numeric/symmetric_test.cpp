@@ -1,0 +1,103 @@
+#include "hetero/numeric/symmetric.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace hetero::numeric {
+namespace {
+
+TEST(ElementarySymmetric, MatchesTable5ForFourVariables) {
+  // Table 5 of the paper lists F_1..F_4 of (rho1..rho4); check against the
+  // hand-expanded sums for distinct primes so every monomial is unique.
+  const std::vector<double> rho{2.0, 3.0, 5.0, 7.0};
+  const auto e = elementary_symmetric(std::span<const double>{rho});
+  ASSERT_EQ(e.size(), 5u);
+  EXPECT_EQ(e[0], 1.0);
+  EXPECT_EQ(e[1], 2 + 3 + 5 + 7);
+  EXPECT_EQ(e[2], 2 * 3 + 2 * 5 + 2 * 7 + 3 * 5 + 3 * 7 + 5 * 7);
+  EXPECT_EQ(e[3], 2 * 3 * 5 + 2 * 3 * 7 + 2 * 5 * 7 + 3 * 5 * 7);
+  EXPECT_EQ(e[4], 2 * 3 * 5 * 7);
+}
+
+TEST(ElementarySymmetric, SingleVariable) {
+  const std::vector<double> rho{4.5};
+  const auto e = elementary_symmetric(std::span<const double>{rho});
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], 1.0);
+  EXPECT_EQ(e[1], 4.5);
+}
+
+TEST(ElementarySymmetric, IsPermutationInvariant) {
+  std::vector<double> rho{0.9, 0.31, 0.77, 0.12, 0.5};
+  const auto base = elementary_symmetric(std::span<const double>{rho});
+  std::mt19937_64 gen{5};
+  for (int shuffle = 0; shuffle < 20; ++shuffle) {
+    std::shuffle(rho.begin(), rho.end(), gen);
+    const auto permuted = elementary_symmetric(std::span<const double>{rho});
+    for (std::size_t k = 0; k < base.size(); ++k) {
+      EXPECT_NEAR(permuted[k], base[k], 1e-12 * base[k]);
+    }
+  }
+}
+
+TEST(ElementarySymmetric, ExactRationalsMatchVietaOnPolynomialRoots) {
+  // prod (x + rho_i) has coefficients exactly the elementary symmetric
+  // functions; verify by expanding with exact rationals.
+  const std::vector<double> rho{0.5, 0.25, 0.125};
+  const auto exact = elementary_symmetric_exact(rho);
+  ASSERT_EQ(exact.size(), 4u);
+  EXPECT_EQ(exact[0], Rational{1});
+  EXPECT_EQ(exact[1], Rational(7, 8));
+  EXPECT_EQ(exact[2], Rational(1, 8) + Rational(1, 16) + Rational(1, 32));
+  EXPECT_EQ(exact[3], Rational(1, 64));
+}
+
+TEST(PowerSums, MatchDirectComputation) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const auto p = power_sums(std::span<const double>{values}, 4);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_EQ(p[0], 3.0);  // n
+  EXPECT_EQ(p[1], 6.0);
+  EXPECT_EQ(p[2], 14.0);
+  EXPECT_EQ(p[3], 36.0);
+  EXPECT_EQ(p[4], 98.0);
+}
+
+TEST(NewtonIdentities, RecoverElementaryFromPowerSums) {
+  const std::vector<double> values{0.3, 0.7, 1.1, 1.9, 2.3};
+  const std::size_t n = values.size();
+  const auto direct = elementary_symmetric(std::span<const double>{values});
+  const auto p = power_sums(std::span<const double>{values}, n);
+  const auto via_newton = newton_to_elementary(std::span<const double>{p}, n);
+  ASSERT_EQ(via_newton.size(), direct.size());
+  for (std::size_t k = 0; k <= n; ++k) {
+    EXPECT_NEAR(via_newton[k], direct[k], 1e-10 * std::max(1.0, direct[k])) << k;
+  }
+}
+
+TEST(NewtonIdentities, ExactOverRationals) {
+  const std::vector<double> doubles{0.5, 0.25, 2.0, 4.0};
+  const auto exact_values = to_rationals(doubles);
+  const auto direct = elementary_symmetric(std::span<const Rational>{exact_values});
+  const auto p = power_sums(std::span<const Rational>{exact_values}, 4);
+  const auto via_newton = newton_to_elementary(std::span<const Rational>{p}, 4);
+  for (std::size_t k = 0; k <= 4; ++k) EXPECT_EQ(via_newton[k], direct[k]) << k;
+}
+
+TEST(NewtonIdentities, ThrowsOnTooFewPowerSums) {
+  const std::vector<double> p{3.0, 1.0};
+  EXPECT_THROW(newton_to_elementary(std::span<const double>{p}, 3), std::invalid_argument);
+}
+
+TEST(ToRationals, LiftsDoublesExactly) {
+  const std::vector<double> values{0.1, 0.5};
+  const auto exact = to_rationals(values);
+  // 0.1 is NOT 1/10 in binary; the lift must reproduce the double exactly.
+  EXPECT_DOUBLE_EQ(exact[0].to_double(), 0.1);
+  EXPECT_EQ(exact[1], Rational(1, 2));
+}
+
+}  // namespace
+}  // namespace hetero::numeric

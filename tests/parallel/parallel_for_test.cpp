@@ -1,0 +1,108 @@
+#include "hetero/parallel/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hetero::parallel {
+namespace {
+
+TEST(ChunkRanges, CoverRangeExactlyOnce) {
+  const auto ranges = chunk_ranges(10, 1000, 4);
+  std::size_t covered = 0;
+  std::size_t expected_next = 10;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expected_next);
+    EXPECT_LT(lo, hi);
+    covered += hi - lo;
+    expected_next = hi;
+  }
+  EXPECT_EQ(expected_next, 1000u);
+  EXPECT_EQ(covered, 990u);
+}
+
+TEST(ChunkRanges, EmptyRange) {
+  EXPECT_TRUE(chunk_ranges(5, 5, 4).empty());
+  EXPECT_TRUE(chunk_ranges(7, 5, 4).empty());
+}
+
+TEST(ChunkRanges, RespectsMinChunk) {
+  const auto ranges = chunk_ranges(0, 100, 16, ChunkingOptions{.min_chunk = 50});
+  EXPECT_EQ(ranges.size(), 2u);
+}
+
+TEST(ChunkRanges, SingleElement) {
+  const auto ranges = chunk_ranges(3, 4, 8);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 3u);
+  EXPECT_EQ(ranges[0].second, 4u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, 0, visits.size(), [&visits](std::size_t i) { visits[i].fetch_add(1); });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool{2};
+  std::atomic<int> calls{0};
+  parallel_for(pool, 10, 10, [&calls](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RethrowsTaskException) {
+  ThreadPool pool{2};
+  EXPECT_THROW((void)parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 37) throw std::runtime_error("index 37");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelMapReduce, SumsDeterministically) {
+  ThreadPool pool{4};
+  const auto map = [](std::size_t i) { return static_cast<double>(i); };
+  const auto reduce = [](double acc, double v) { return acc + v; };
+  const double total = parallel_map_reduce(pool, 0, 1001, 0.0, map, reduce);
+  EXPECT_DOUBLE_EQ(total, 500500.0);
+  // Repeat runs agree exactly (chunk order is fixed).
+  EXPECT_DOUBLE_EQ(parallel_map_reduce(pool, 0, 1001, 0.0, map, reduce), total);
+}
+
+TEST(ParallelMapReduce, WorksWithNonCommutativeStructure) {
+  // Concatenation reduce: chunk order must be preserved for determinism.
+  ThreadPool pool{4};
+  const auto map = [](std::size_t i) { return std::vector<std::size_t>{i}; };
+  const auto reduce = [](std::vector<std::size_t> acc, const std::vector<std::size_t>& v) {
+    acc.insert(acc.end(), v.begin(), v.end());
+    return acc;
+  };
+  const auto result =
+      parallel_map_reduce(pool, 0, 500, std::vector<std::size_t>{}, map, reduce);
+  ASSERT_EQ(result.size(), 500u);
+  for (std::size_t i = 0; i < result.size(); ++i) EXPECT_EQ(result[i], i);
+}
+
+TEST(ParallelMapReduce, PropagatesExceptions) {
+  ThreadPool pool{2};
+  const auto map = [](std::size_t i) -> int {
+    if (i == 3) throw std::logic_error("bad");
+    return 1;
+  };
+  const auto reduce = [](int acc, int v) { return acc + v; };
+  EXPECT_THROW((void)parallel_map_reduce(pool, 0, 10, 0, map, reduce), std::logic_error);
+}
+
+TEST(ParallelFor, WorksWithSingleThreadPool) {
+  ThreadPool pool{1};
+  std::atomic<long> sum{0};
+  parallel_for(pool, 1, 101, [&sum](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+}  // namespace
+}  // namespace hetero::parallel

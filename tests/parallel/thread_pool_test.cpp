@@ -1,0 +1,89 @@
+#include "hetero/parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace hetero::parallel {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+  ThreadPool pool{2};
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool{1};
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilAllTasksDone) {
+  ThreadPool pool{3};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, DestructorDrainsRemainingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool{1};
+    for (int i = 0; i < 50; ++i) pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitters) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 250; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  auto outer = pool.submit([&pool, &counter] {
+    auto inner = pool.submit([&counter] { counter.fetch_add(1); });
+    inner.wait();
+    counter.fetch_add(1);
+  });
+  outer.get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace hetero::parallel

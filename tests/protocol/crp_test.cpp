@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/stable.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(RentalTime, IsTheExactInverseOfWorkProduction) {
+  const core::Profile p{{1.0, 0.5, 0.25}};
+  for (double work : {1.0, 100.0, 1e6}) {
+    const double lifespan = core::rental_time(work, p, kEnv);
+    EXPECT_LT(numeric::relative_difference(core::work_production(lifespan, p, kEnv), work),
+              1e-12);
+  }
+  EXPECT_DOUBLE_EQ(core::rental_time(0.0, p, kEnv), 0.0);
+  EXPECT_THROW((void)core::rental_time(-1.0, p, kEnv), std::invalid_argument);
+}
+
+TEST(RentalTime, FasterClustersRentForLess) {
+  const core::Profile fast{{1.0, 0.25}};
+  const core::Profile slow{{1.0, 0.5}};
+  EXPECT_LT(core::rental_time(100.0, fast, kEnv), core::rental_time(100.0, slow, kEnv));
+}
+
+TEST(CrpSchedule, CompletesExactlyTheRequestedWork) {
+  const std::vector<double> speeds{1.0, 0.5, 1.0 / 3.0};
+  const double requested = 2500.0;
+  const Schedule schedule = crp_schedule(speeds, kEnv, requested);
+  EXPECT_LT(numeric::relative_difference(schedule.total_work(), requested), 1e-9);
+  EXPECT_TRUE(schedule.validate(kEnv).empty());
+  // The dual's objective: the last result lands exactly at the (minimal)
+  // lifespan the schedule claims.
+  double last = 0.0;
+  for (const auto& t : schedule.timelines) last = std::max(last, t.result_end);
+  EXPECT_NEAR(last, schedule.lifespan, 1e-9 * schedule.lifespan);
+}
+
+TEST(CrpSchedule, SimulationDeliversTheWorkByTheRentalDeadline) {
+  const std::vector<double> speeds{0.9, 0.6, 0.3, 0.15};
+  const double requested = 1000.0;
+  const Schedule schedule = crp_schedule(speeds, kEnv, requested);
+  const auto result = sim::simulate_schedule(schedule, kEnv);
+  EXPECT_LT(numeric::relative_difference(result.completed_work(schedule.lifespan), requested),
+            1e-9);
+}
+
+TEST(CrpSchedule, ShorterLifespanCannotCarryTheWork) {
+  // Minimality: a FIFO schedule for 99.9% of the rental time completes
+  // strictly less than the requested work.
+  const std::vector<double> speeds{1.0, 0.5};
+  const double requested = 500.0;
+  const Schedule schedule = crp_schedule(speeds, kEnv, requested);
+  const double squeezed = fifo_total_work(speeds, kEnv, 0.999 * schedule.lifespan);
+  EXPECT_LT(squeezed, requested);
+}
+
+TEST(CrpSchedule, Validation) {
+  const std::vector<double> speeds{1.0};
+  EXPECT_THROW((void)crp_schedule(speeds, kEnv, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)crp_schedule(speeds, kEnv, -5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::protocol

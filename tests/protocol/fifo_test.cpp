@@ -1,0 +1,124 @@
+#include "hetero/protocol/fifo.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/stable.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(FifoAllocations, SingleMachineMatchesHandDerivation) {
+  // n = 1: (A + B rho + tau delta) w = L.
+  const std::vector<double> speeds{0.5};
+  const double lifespan = 100.0;
+  const auto w = fifo_allocations(speeds, kEnv, lifespan);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NEAR(w[0], lifespan / (kEnv.a() + kEnv.b() * 0.5 + kEnv.tau_delta()), 1e-9);
+}
+
+TEST(FifoAllocations, TotalWorkMatchesTheorem2) {
+  // The closed-form schedule must produce exactly W(L; P) from Theorem 2.
+  for (const auto& speeds :
+       {std::vector<double>{1.0}, std::vector<double>{1.0, 0.5},
+        std::vector<double>{1.0, 0.5, 1.0 / 3.0, 0.25}, std::vector<double>{0.3, 0.3, 0.3}}) {
+    const double lifespan = 3600.0;
+    const double from_schedule = fifo_total_work(speeds, kEnv, lifespan);
+    const double from_formula =
+        core::work_production(lifespan, core::Profile{speeds}, kEnv);
+    EXPECT_LT(numeric::relative_difference(from_schedule, from_formula), 1e-10);
+  }
+}
+
+TEST(FifoAllocations, AllPositive) {
+  const auto w = fifo_allocations(std::vector<double>{1.0, 0.7, 0.4, 0.1}, kEnv, 50.0);
+  for (double v : w) EXPECT_GT(v, 0.0);
+}
+
+TEST(FifoAllocations, RecurrenceHoldsBetweenNeighbors) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const auto w = fifo_allocations(speeds, kEnv, 10.0);
+  for (std::size_t k = 1; k < w.size(); ++k) {
+    const double expected =
+        w[k - 1] * (kEnv.b() * speeds[k - 1] + kEnv.tau_delta()) / (kEnv.b() * speeds[k] + kEnv.a());
+    EXPECT_NEAR(w[k], expected, 1e-12 * expected);
+  }
+}
+
+TEST(FifoAllocations, TotalWorkIndependentOfStartupOrder) {
+  // Theorem 1(2) at the schedule level.
+  const std::vector<double> speeds{1.0, 0.6, 0.3, 0.1};
+  const double lifespan = 500.0;
+  const std::vector<std::vector<std::size_t>> orders{
+      {0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}};
+  double reference = 0.0;
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    const auto w = fifo_allocations(speeds, kEnv, lifespan, orders[i]);
+    const double total = std::accumulate(w.begin(), w.end(), 0.0);
+    if (i == 0) {
+      reference = total;
+    } else {
+      EXPECT_LT(numeric::relative_difference(total, reference), 1e-10);
+    }
+  }
+}
+
+TEST(FifoSchedule, IsGapFreeEverywhere) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const Schedule s = fifo_schedule(speeds, kEnv, 1000.0);
+  // Sends butt against each other from time 0.
+  EXPECT_DOUBLE_EQ(s.timelines[0].send_start, 0.0);
+  for (std::size_t k = 1; k < s.timelines.size(); ++k) {
+    EXPECT_NEAR(s.timelines[k].send_start, s.timelines[k - 1].receive, 1e-12);
+  }
+  // Results butt against each other and the computation (no worker idles).
+  for (std::size_t k = 0; k < s.timelines.size(); ++k) {
+    EXPECT_NEAR(s.timelines[k].result_start, s.timelines[k].compute_done, 1e-12);
+    if (k > 0) {
+      EXPECT_NEAR(s.timelines[k].result_start, s.timelines[k - 1].result_end,
+                  1e-9 * s.lifespan);
+    }
+  }
+  // The last result lands exactly at the lifespan.
+  EXPECT_NEAR(s.timelines.back().result_end, s.lifespan, 1e-9 * s.lifespan);
+}
+
+TEST(FifoSchedule, PassesFullValidation) {
+  for (const auto& speeds : {std::vector<double>{1.0}, std::vector<double>{1.0, 0.5, 0.25},
+                             std::vector<double>{0.9, 0.9, 0.9, 0.9}}) {
+    const Schedule s = fifo_schedule(speeds, kEnv, 100.0);
+    const auto violations = s.validate(kEnv);
+    EXPECT_TRUE(violations.empty())
+        << speeds.size() << ": " << (violations.empty() ? "" : violations.front());
+  }
+}
+
+TEST(FifoSchedule, WorkScalesLinearlyWithLifespan) {
+  const std::vector<double> speeds{1.0, 0.5};
+  EXPECT_NEAR(fifo_total_work(speeds, kEnv, 200.0), 2.0 * fifo_total_work(speeds, kEnv, 100.0),
+              1e-9);
+}
+
+TEST(FifoSchedule, FasterClusterDoesMoreWork) {
+  // Proposition 2 at the schedule level.
+  EXPECT_GT(fifo_total_work(std::vector<double>{1.0, 0.25}, kEnv, 100.0),
+            fifo_total_work(std::vector<double>{1.0, 0.5}, kEnv, 100.0));
+}
+
+TEST(FifoAllocations, InputValidation) {
+  EXPECT_THROW(fifo_allocations(std::vector<double>{}, kEnv, 10.0), std::invalid_argument);
+  EXPECT_THROW(fifo_allocations(std::vector<double>{1.0}, kEnv, 0.0), std::invalid_argument);
+  EXPECT_THROW(fifo_allocations(std::vector<double>{1.0}, kEnv, -5.0), std::invalid_argument);
+  EXPECT_THROW(fifo_allocations(std::vector<double>{1.0, 0.0}, kEnv, 10.0),
+               std::invalid_argument);
+  const std::vector<std::size_t> bad_order{0, 0};
+  EXPECT_THROW(fifo_allocations(std::vector<double>{1.0, 0.5}, kEnv, 10.0, bad_order),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::protocol

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "hetero/numeric/stable.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/protocol/lp_solver.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(ChannelMerges, EnumeratesCatalanStyleCounts) {
+  EXPECT_EQ(all_channel_merges(1).size(), 2u);   // C(2,1)
+  EXPECT_EQ(all_channel_merges(2).size(), 6u);   // C(4,2)
+  EXPECT_EQ(all_channel_merges(3).size(), 20u);  // C(6,3)
+  for (const auto& merge : all_channel_merges(3)) {
+    EXPECT_EQ(merge.size(), 6u);
+    EXPECT_EQ(std::count(merge.begin(), merge.end(), true), 3);
+  }
+}
+
+TEST(ChannelMerges, CausalityFiltersResultsBeforeTheirSends) {
+  const auto orders = ProtocolOrders::fifo(2);
+  // send0 result0 send1 result1: machine 1's result after its send — causal.
+  EXPECT_TRUE(merge_is_causal({true, false, true, false}, orders));
+  // result first: machine 0's result before any send — acausal.
+  EXPECT_FALSE(merge_is_causal({false, true, true, false}, orders));
+  // all sends then all results: always causal.
+  EXPECT_TRUE(merge_is_causal({true, true, false, false}, orders));
+  // wrong length / wrong counts.
+  EXPECT_FALSE(merge_is_causal({true, false}, orders));
+  EXPECT_FALSE(merge_is_causal({true, true, true, false}, orders));
+  // LIFO: first result is machine 1's; "send0 result(m1) ..." is acausal
+  // because machine 1's send has not happened yet.
+  const auto lifo = ProtocolOrders::lifo(2);
+  EXPECT_FALSE(merge_is_causal({true, false, true, false}, lifo));
+}
+
+TEST(InterleavedLp, AllSendsFirstReproducesTheBaselineLp) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const double lifespan = 80.0;
+  ChannelMerge non_interleaved(6, false);
+  std::fill(non_interleaved.begin(), non_interleaved.begin() + 3, true);
+  for (const auto& orders : {ProtocolOrders::fifo(3), ProtocolOrders::lifo(3)}) {
+    const auto baseline = solve_protocol_lp(speeds, kEnv, lifespan, orders);
+    const auto merged = solve_interleaved_lp(speeds, kEnv, lifespan, orders, non_interleaved);
+    ASSERT_EQ(baseline.status, numeric::LpStatus::kOptimal);
+    ASSERT_EQ(merged.status, numeric::LpStatus::kOptimal);
+    EXPECT_LT(numeric::relative_difference(merged.total_work, baseline.total_work), 1e-9);
+  }
+}
+
+TEST(InterleavedLp, ScheduleIsFeasible) {
+  const std::vector<double> speeds{1.0, 0.4};
+  const ChannelMerge merge{true, false, true, false};  // interleaved
+  const auto lp = solve_interleaved_lp(speeds, kEnv, 50.0, ProtocolOrders::fifo(2), merge);
+  ASSERT_EQ(lp.status, numeric::LpStatus::kOptimal);
+  const auto violations = lp.schedule.validate(kEnv, 1e-6);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations.front());
+}
+
+TEST(InterleavedLp, RejectsAcausalMergesAndBadInputs) {
+  const std::vector<double> speeds{1.0, 0.5};
+  EXPECT_THROW((void)solve_interleaved_lp(speeds, kEnv, 10.0, ProtocolOrders::fifo(2),
+                                          ChannelMerge{false, true, true, false}),
+               std::invalid_argument);
+  EXPECT_THROW((void)solve_interleaved_lp(speeds, kEnv, -1.0, ProtocolOrders::fifo(2),
+                                          ChannelMerge{true, true, false, false}),
+               std::invalid_argument);
+}
+
+TEST(InterleavingAblation, InterleavingNeverBeatsFifoOnSmallClusters) {
+  for (const auto& speeds :
+       {std::vector<double>{1.0, 0.5}, std::vector<double>{1.0, 0.45, 0.2},
+        std::vector<double>{0.7, 0.7, 0.7}}) {
+    const auto report = interleaving_ablation(speeds, kEnv, 40.0);
+    EXPECT_GT(report.programs_solved, 0u);
+    EXPECT_FALSE(report.interleaving_helps) << speeds.size();
+    // The interleaved sweep includes the non-interleaved merges, so its best
+    // must at least match FIFO.
+    EXPECT_GE(report.interleaved_best,
+              report.non_interleaved_best * (1.0 - 1e-9));
+  }
+  EXPECT_THROW((void)interleaving_ablation(std::vector<double>(4, 1.0), kEnv, 10.0),
+               std::invalid_argument);
+}
+
+TEST(FifoFeasibility, DetectsTheSufficientlyLongLifespanBoundary) {
+  // Table-1 parameters: communication is negligible, gap-free FIFO exists.
+  EXPECT_TRUE(fifo_gap_free_feasible(std::vector<double>{1.0, 0.45, 0.2}, kEnv));
+  // Heavy communication: the gap-free FIFO of Theorem 2 collides on the
+  // channel (Theorem 1's "sufficiently long lifespan" premise fails — and
+  // since the schedule scales with L, it fails at *every* L).
+  const core::Environment heavy{
+      core::Environment::Params{.tau = 0.3, .pi = 0.1, .delta = 1.0}};
+  EXPECT_FALSE(fifo_gap_free_feasible(std::vector<double>{1.0, 0.45, 0.2}, heavy));
+  // And in that regime the closed form strictly over-reports the
+  // channel-feasible optimum.
+  const auto report = interleaving_ablation(std::vector<double>{1.0, 0.45, 0.2}, heavy, 40.0);
+  EXPECT_FALSE(report.fifo_gap_free);
+  EXPECT_LT(report.non_interleaved_best, report.fifo_closed_form);
+  // Consistency everywhere: the interleaved sweep includes all
+  // non-interleaved merges, so its best matches the feasible best.
+  EXPECT_NEAR(report.interleaved_best, report.non_interleaved_best,
+              1e-9 * report.non_interleaved_best);
+}
+
+TEST(InterleavingAblation, HoldsUnderHeavyCommunicationToo) {
+  // Where interleaving would plausibly help — expensive communication —
+  // it still does not (the channel time is conserved either way).
+  const core::Environment heavy{
+      core::Environment::Params{.tau = 0.3, .pi = 0.1, .delta = 1.0}};
+  const auto report = interleaving_ablation(std::vector<double>{1.0, 0.5}, heavy, 30.0);
+  EXPECT_FALSE(report.interleaving_helps);
+}
+
+}  // namespace
+}  // namespace hetero::protocol

@@ -1,0 +1,110 @@
+#include "hetero/protocol/lp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/stable.h"
+#include "hetero/protocol/fifo.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(LpSolver, FifoOrdersReproduceClosedForm) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const double lifespan = 100.0;
+  const auto lp = solve_protocol_lp(speeds, kEnv, lifespan, ProtocolOrders::fifo(3));
+  ASSERT_EQ(lp.status, numeric::LpStatus::kOptimal);
+  const double closed = fifo_total_work(speeds, kEnv, lifespan);
+  EXPECT_LT(numeric::relative_difference(lp.total_work, closed), 1e-7);
+}
+
+TEST(LpSolver, SingleMachineDegenerateCase) {
+  const std::vector<double> speeds{0.7};
+  const auto lp = solve_protocol_lp(speeds, kEnv, 10.0, ProtocolOrders::fifo(1));
+  ASSERT_EQ(lp.status, numeric::LpStatus::kOptimal);
+  EXPECT_NEAR(lp.total_work, 10.0 / (kEnv.a() + kEnv.b() * 0.7 + kEnv.tau_delta()), 1e-8);
+}
+
+TEST(LpSolver, LifoNeverBeatsFifo) {
+  // Theorem 1: FIFO is optimal over all (Sigma, Phi) pairs.
+  for (const auto& speeds : {std::vector<double>{1.0, 0.5}, std::vector<double>{1.0, 0.4, 0.2},
+                             std::vector<double>{0.8, 0.8, 0.8}}) {
+    const double lifespan = 60.0;
+    const auto fifo = solve_protocol_lp(speeds, kEnv, lifespan,
+                                        ProtocolOrders::fifo(speeds.size()));
+    const auto lifo = solve_protocol_lp(speeds, kEnv, lifespan,
+                                        ProtocolOrders::lifo(speeds.size()));
+    ASSERT_EQ(fifo.status, numeric::LpStatus::kOptimal);
+    ASSERT_EQ(lifo.status, numeric::LpStatus::kOptimal);
+    EXPECT_GE(fifo.total_work, lifo.total_work - 1e-9);
+  }
+}
+
+TEST(LpSolver, ScheduleIsFeasibleAndFillsLifespan) {
+  const std::vector<double> speeds{1.0, 0.5, 0.2};
+  const auto lp = solve_protocol_lp(speeds, kEnv, 120.0, ProtocolOrders::lifo(3));
+  ASSERT_EQ(lp.status, numeric::LpStatus::kOptimal);
+  const auto violations = lp.schedule.validate(kEnv, 1e-5);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations.front());
+  // An optimal plan always exhausts the lifespan with its last result.
+  double last_arrival = 0.0;
+  for (const auto& t : lp.schedule.timelines) {
+    last_arrival = std::max(last_arrival, t.result_end);
+  }
+  EXPECT_NEAR(last_arrival, 120.0, 1e-5);
+}
+
+TEST(LpSolver, LpTotalMatchesScheduleTotal) {
+  const std::vector<double> speeds{0.9, 0.3};
+  ProtocolOrders orders;
+  orders.startup = {1, 0};
+  orders.finishing = {0, 1};
+  const auto lp = solve_protocol_lp(speeds, kEnv, 45.0, orders);
+  ASSERT_EQ(lp.status, numeric::LpStatus::kOptimal);
+  EXPECT_NEAR(lp.total_work, lp.schedule.total_work(), 1e-9 * lp.total_work);
+}
+
+TEST(LpSolver, InputValidation) {
+  EXPECT_THROW(
+      solve_protocol_lp(std::vector<double>{}, kEnv, 10.0, ProtocolOrders::fifo(0)),
+      std::invalid_argument);
+  EXPECT_THROW(solve_protocol_lp(std::vector<double>{1.0}, kEnv, -1.0, ProtocolOrders::fifo(1)),
+               std::invalid_argument);
+  ProtocolOrders bad;
+  bad.startup = {0, 1};
+  bad.finishing = {1, 1};
+  EXPECT_THROW(solve_protocol_lp(std::vector<double>{1.0, 0.5}, kEnv, 10.0, bad),
+               std::invalid_argument);
+  EXPECT_THROW(solve_protocol_lp(std::vector<double>{1.0, -0.5}, kEnv, 10.0,
+                                 ProtocolOrders::fifo(2)),
+               std::invalid_argument);
+}
+
+TEST(EnumerateOrderPairs, CountsFactorialSquaredPairs) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const auto outcomes = enumerate_order_pairs(speeds, kEnv, 30.0);
+  EXPECT_EQ(outcomes.size(), 36u);  // 3! * 3!
+  for (const auto& outcome : outcomes) EXPECT_GT(outcome.total_work, 0.0);
+  EXPECT_THROW(enumerate_order_pairs(std::vector<double>(7, 1.0), kEnv, 30.0),
+               std::invalid_argument);
+}
+
+TEST(EnumerateOrderPairs, FifoPairsAttainTheMaximum) {
+  // Theorem 1, parts (1) and (2), verified exhaustively for n = 3.
+  const std::vector<double> speeds{1.0, 0.45, 0.2};
+  const auto outcomes = enumerate_order_pairs(speeds, kEnv, 50.0);
+  double best = 0.0;
+  for (const auto& outcome : outcomes) best = std::max(best, outcome.total_work);
+  for (const auto& outcome : outcomes) {
+    if (outcome.orders.is_fifo()) {
+      EXPECT_NEAR(outcome.total_work, best, 1e-6 * best);
+    } else {
+      EXPECT_LE(outcome.total_work, best + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetero::protocol

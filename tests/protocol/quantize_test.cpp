@@ -1,0 +1,81 @@
+#include "hetero/protocol/quantize.h"
+
+#include <gtest/gtest.h>
+
+#include "hetero/core/hetero.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(Quantize, FloorsToWholeTasks) {
+  const std::vector<double> allocations{10.7, 3.2, 0.9};
+  const auto q = quantize_allocations(allocations, 1.0);
+  EXPECT_EQ(q.tasks, (std::vector<long long>{10, 3, 0}));
+  EXPECT_DOUBLE_EQ(q.work[0], 10.0);
+  EXPECT_DOUBLE_EQ(q.work[2], 0.0);
+  EXPECT_NEAR(q.lost, 0.7 + 0.2 + 0.9, 1e-12);
+}
+
+TEST(Quantize, ExactMultiplesLoseNothing) {
+  const std::vector<double> allocations{4.0, 2.0, 6.0};
+  const auto q = quantize_allocations(allocations, 2.0);
+  EXPECT_NEAR(q.lost, 0.0, 1e-12);
+  EXPECT_EQ(q.tasks, (std::vector<long long>{2, 1, 3}));
+}
+
+TEST(Quantize, Validation) {
+  const std::vector<double> allocations{1.0};
+  EXPECT_THROW((void)quantize_allocations(allocations, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)quantize_allocations(allocations, -1.0), std::invalid_argument);
+  const std::vector<double> negative{-1.0};
+  EXPECT_THROW((void)quantize_allocations(negative, 1.0), std::invalid_argument);
+}
+
+TEST(Quantize, LossFractionBoundedByTheoreticalBound) {
+  // Each machine loses < one task, so the fraction is < n*task/W.
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  const double lifespan = 5000.0;
+  const auto allocations = fifo_allocations(speeds, kEnv, lifespan);
+  double total = 0.0;
+  for (double w : allocations) total += w;
+  for (double task_size : {0.1, 1.0, 10.0}) {
+    const double loss = quantization_loss_fraction(allocations, task_size);
+    EXPECT_GE(loss, 0.0);
+    EXPECT_LT(loss, static_cast<double>(speeds.size()) * task_size / total) << task_size;
+  }
+}
+
+TEST(Quantize, LossShrinksWithFinerTasks) {
+  // Table 2's coarse-vs-finer contrast: finer tasks waste less.
+  const std::vector<double> speeds{1.0, 0.6, 0.3};
+  const auto allocations = fifo_allocations(speeds, kEnv, 1000.0);
+  const double coarse = quantization_loss_fraction(allocations, 10.0);
+  const double fine = quantization_loss_fraction(allocations, 1.0);
+  const double finest = quantization_loss_fraction(allocations, 0.1);
+  EXPECT_GT(coarse, fine);
+  EXPECT_GT(fine, finest);
+}
+
+TEST(Quantize, QuantizedEpisodeStillSimulatesCleanly) {
+  // Quantized allocations fit inside the original schedule: every phase only
+  // shrinks, so the episode completes before the lifespan and the channel
+  // invariant holds.
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const double lifespan = 500.0;
+  const auto continuous = fifo_allocations(speeds, kEnv, lifespan);
+  const auto q = quantize_allocations(continuous, 1.0);
+  const auto result = sim::simulate_worksharing(speeds, kEnv, q.work,
+                                                ProtocolOrders::fifo(speeds.size()));
+  EXPECT_LE(result.makespan, lifespan);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+  double quantized_total = 0.0;
+  for (double w : q.work) quantized_total += w;
+  EXPECT_NEAR(result.completed_work(lifespan), quantized_total, 1e-9 * lifespan);
+}
+
+}  // namespace
+}  // namespace hetero::protocol

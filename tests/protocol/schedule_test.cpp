@@ -1,0 +1,111 @@
+#include "hetero/protocol/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "hetero/protocol/fifo.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(ProtocolOrders, FifoAndLifoFactories) {
+  const ProtocolOrders fifo = ProtocolOrders::fifo(4);
+  EXPECT_TRUE(fifo.is_fifo());
+  EXPECT_TRUE(fifo.is_valid(4));
+  const ProtocolOrders lifo = ProtocolOrders::lifo(4);
+  EXPECT_FALSE(lifo.is_fifo());
+  EXPECT_TRUE(lifo.is_valid(4));
+  EXPECT_EQ(lifo.finishing.front(), 3u);
+  EXPECT_EQ(lifo.finishing.back(), 0u);
+}
+
+TEST(ProtocolOrders, ValidationCatchesBadPermutations) {
+  ProtocolOrders orders;
+  orders.startup = {0, 1, 2};
+  orders.finishing = {0, 1, 1};  // duplicate
+  EXPECT_FALSE(orders.is_valid(3));
+  orders.finishing = {0, 1, 3};  // out of range
+  EXPECT_FALSE(orders.is_valid(3));
+  orders.finishing = {0, 1};  // wrong length
+  EXPECT_FALSE(orders.is_valid(3));
+  // n=1 degenerate FIFO == LIFO.
+  EXPECT_TRUE(ProtocolOrders::lifo(1).is_fifo());
+}
+
+TEST(Schedule, TotalWorkSumsAllocations) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const Schedule schedule = fifo_schedule(speeds, kEnv, 100.0);
+  double manual = 0.0;
+  for (const WorkerTimeline& t : schedule.timelines) manual += t.work;
+  EXPECT_DOUBLE_EQ(schedule.total_work(), manual);
+}
+
+TEST(Schedule, TimelineForMachineFindsAndThrows) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const Schedule schedule = fifo_schedule(speeds, kEnv, 100.0);
+  EXPECT_EQ(schedule.timeline_for_machine(1).machine, 1u);
+  EXPECT_THROW((void)schedule.timeline_for_machine(7), std::out_of_range);
+}
+
+TEST(ScheduleValidate, AcceptsWellFormedFifoSchedule) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const Schedule schedule = fifo_schedule(speeds, kEnv, 1000.0);
+  const auto violations = schedule.validate(kEnv);
+  EXPECT_TRUE(violations.empty()) << (violations.empty() ? "" : violations.front());
+}
+
+TEST(ScheduleValidate, FlagsNegativeWork) {
+  Schedule schedule = fifo_schedule(std::vector<double>{1.0, 0.5}, kEnv, 100.0);
+  schedule.timelines[0].work = -1.0;
+  EXPECT_FALSE(schedule.validate(kEnv).empty());
+}
+
+TEST(ScheduleValidate, FlagsInconsistentSendWindow) {
+  Schedule schedule = fifo_schedule(std::vector<double>{1.0, 0.5}, kEnv, 100.0);
+  schedule.timelines[0].receive += 1.0;  // now receive - send_start != A*w
+  const auto violations = schedule.validate(kEnv);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ScheduleValidate, FlagsResultBeforeComputeDone) {
+  Schedule schedule = fifo_schedule(std::vector<double>{1.0, 0.5}, kEnv, 100.0);
+  auto& t = schedule.timelines[1];
+  const double width = t.result_end - t.result_start;
+  t.result_start = t.compute_done - 5.0;
+  t.result_end = t.result_start + width;
+  const auto violations = schedule.validate(kEnv);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ScheduleValidate, FlagsDeadlineOverrun) {
+  Schedule schedule = fifo_schedule(std::vector<double>{1.0, 0.5}, kEnv, 100.0);
+  schedule.lifespan = schedule.timelines.back().result_end - 1.0;
+  const auto violations = schedule.validate(kEnv);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ScheduleValidate, FlagsChannelDoubleBooking) {
+  Schedule schedule = fifo_schedule(std::vector<double>{1.0, 1.0}, kEnv, 100.0);
+  // Slide worker 2's result on top of worker 1's.
+  auto& t = schedule.timelines[1];
+  const double width = t.result_end - t.result_start;
+  t.result_start = schedule.timelines[0].result_start;
+  t.result_end = t.result_start + width;
+  const auto violations = schedule.validate(kEnv);
+  ASSERT_FALSE(violations.empty());
+  bool mentions_channel = false;
+  for (const auto& v : violations) {
+    if (v.find("channel") != std::string::npos) mentions_channel = true;
+  }
+  EXPECT_TRUE(mentions_channel);
+}
+
+TEST(ScheduleValidate, FlagsMachineIndexOutOfRange) {
+  Schedule schedule = fifo_schedule(std::vector<double>{1.0, 0.5}, kEnv, 100.0);
+  schedule.timelines[0].machine = 99;
+  EXPECT_FALSE(schedule.validate(kEnv).empty());
+}
+
+}  // namespace
+}  // namespace hetero::protocol

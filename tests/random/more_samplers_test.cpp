@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "hetero/random/samplers.h"
+
+namespace hetero::random {
+namespace {
+
+TEST(LogUniform, StaysInRangeAndCoversDecades) {
+  Xoshiro256StarStar rng{1};
+  const auto values = log_uniform_rho_values(20000, rng, 0.01, 1.0);
+  std::size_t bottom_decade = 0;  // [0.01, 0.1)
+  for (double v : values) {
+    ASSERT_GE(v, 0.01);
+    ASSERT_LE(v, 1.0);
+    if (v < 0.1) ++bottom_decade;
+  }
+  // Log-uniform: each decade gets ~half the mass (a linear uniform would put
+  // < 10% below 0.1).
+  EXPECT_NEAR(static_cast<double>(bottom_decade) / 20000.0, 0.5, 0.02);
+  EXPECT_THROW(log_uniform_rho_values(4, rng, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(log_uniform_rho_values(4, rng, 0.5, 0.5), std::invalid_argument);
+}
+
+TEST(Bimodal, PopulationsLandInTheirRanges) {
+  Xoshiro256StarStar rng{2};
+  const auto values = bimodal_rho_values(10000, rng, 0.05, 0.1, 0.8, 1.0, 0.25);
+  std::size_t fast = 0;
+  for (double v : values) {
+    const bool in_fast = v >= 0.05 && v < 0.1;
+    const bool in_slow = v >= 0.8 && v < 1.0;
+    ASSERT_TRUE(in_fast || in_slow) << v;
+    if (in_fast) ++fast;
+  }
+  EXPECT_NEAR(static_cast<double>(fast) / 10000.0, 0.25, 0.02);
+}
+
+TEST(Bimodal, ExtremeFractions) {
+  Xoshiro256StarStar rng{3};
+  for (double v : bimodal_rho_values(100, rng, 0.05, 0.1, 0.8, 1.0, 0.0)) {
+    ASSERT_GE(v, 0.8);
+  }
+  for (double v : bimodal_rho_values(100, rng, 0.05, 0.1, 0.8, 1.0, 1.0)) {
+    ASSERT_LT(v, 0.1);
+  }
+  EXPECT_THROW(bimodal_rho_values(4, rng, 0.0, 0.1, 0.8, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(bimodal_rho_values(4, rng, 0.05, 0.1, 0.8, 1.0, 1.5), std::invalid_argument);
+}
+
+TEST(ScaleSpread, PreservesMeanAndScalesVariance) {
+  const std::vector<double> values{0.3, 0.5, 0.7};
+  const auto doubled = scale_spread(values, 2.0, 0.0, 1.5);
+  ASSERT_TRUE(doubled.has_value());
+  EXPECT_NEAR((*doubled)[0], 0.1, 1e-12);
+  EXPECT_NEAR((*doubled)[1], 0.5, 1e-12);
+  EXPECT_NEAR((*doubled)[2], 0.9, 1e-12);
+  // Shrinking to zero collapses onto the mean.
+  const auto collapsed = scale_spread(values, 0.0, 0.0, 1.0);
+  ASSERT_TRUE(collapsed.has_value());
+  for (double v : *collapsed) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(ScaleSpread, RejectsOutOfBoundsResults) {
+  const std::vector<double> values{0.1, 0.9};
+  EXPECT_FALSE(scale_spread(values, 3.0, 0.0, 1.0).has_value());  // exceeds both bounds
+  EXPECT_TRUE(scale_spread(values, 1.1, 0.0, 1.0).has_value());
+  EXPECT_THROW((void)scale_spread(values, -1.0, 0.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::random

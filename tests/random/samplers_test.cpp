@@ -1,0 +1,133 @@
+#include "hetero/random/samplers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetero::random {
+namespace {
+
+TEST(UniformRhoValues, RespectsBoundsAndValidates) {
+  Xoshiro256StarStar rng{1};
+  const auto values = uniform_rho_values(1000, rng, 0.1, 0.9);
+  ASSERT_EQ(values.size(), 1000u);
+  for (double v : values) {
+    ASSERT_GE(v, 0.1);
+    ASSERT_LT(v, 0.9);
+  }
+  EXPECT_THROW(uniform_rho_values(4, rng, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(uniform_rho_values(4, rng, 0.9, 0.1), std::invalid_argument);
+}
+
+TEST(MatchMeanByShifting, ShiftsToExactTargetAndPreservesVariance) {
+  std::vector<double> values{0.2, 0.4, 0.6};
+  const double spread_before = values[2] - values[0];
+  const auto shifted = match_mean_by_shifting(values, 0.5, 0.0, 1.0);
+  ASSERT_TRUE(shifted.has_value());
+  double sum = 0.0;
+  for (double v : *shifted) sum += v;
+  EXPECT_NEAR(sum / 3.0, 0.5, 1e-14);
+  EXPECT_NEAR((*shifted)[2] - (*shifted)[0], spread_before, 1e-14);
+}
+
+TEST(MatchMeanByShifting, RejectsOutOfBoundsShifts) {
+  EXPECT_FALSE(match_mean_by_shifting({0.1, 0.2}, 0.99, 0.0, 1.0).has_value());
+  EXPECT_FALSE(match_mean_by_shifting({0.8, 0.9}, 0.05, 0.0, 1.0).has_value());
+}
+
+TEST(EqualMeanPair, MeansMatchToTightTolerance) {
+  Xoshiro256StarStar rng{2};
+  for (int trial = 0; trial < 50; ++trial) {
+    const ProfilePair pair = equal_mean_pair(16, rng);
+    EXPECT_NEAR(pair.first.mean(), pair.second.mean(), 1e-9);
+    EXPECT_EQ(pair.first.size(), 16u);
+    EXPECT_EQ(pair.second.size(), 16u);
+    for (double v : pair.second.values()) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(EqualMeanPair, VariancesActuallyVary) {
+  Xoshiro256StarStar rng{3};
+  int distinct = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const ProfilePair pair = equal_mean_pair(8, rng);
+    if (std::fabs(pair.first.variance() - pair.second.variance()) > 1e-6) ++distinct;
+  }
+  EXPECT_GT(distinct, 25);  // shift-matching leaves variance free
+}
+
+TEST(EqualMeanPair, WorksForTwoMachineClusters) {
+  Xoshiro256StarStar rng{4};
+  const ProfilePair pair = equal_mean_pair(2, rng);
+  EXPECT_NEAR(pair.first.mean(), pair.second.mean(), 1e-9);
+  EXPECT_THROW(equal_mean_pair(0, rng), std::invalid_argument);
+}
+
+TEST(ProfileWithMoments, HitsRequestedMeanAndVariance) {
+  Xoshiro256StarStar rng{5};
+  const core::Profile p = profile_with_moments(10, 0.5, 0.04, rng);
+  EXPECT_NEAR(p.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(p.variance(), 0.04, 1e-12);
+}
+
+TEST(ProfileWithMoments, OddSizeParksOneMachineAtMean) {
+  Xoshiro256StarStar rng{6};
+  const core::Profile p = profile_with_moments(5, 0.5, 0.01, rng);
+  EXPECT_NEAR(p.mean(), 0.5, 1e-12);
+  EXPECT_NEAR(p.variance(), 0.01, 1e-12);
+  // One machine must sit exactly at the mean.
+  bool found = false;
+  for (double v : p.values()) {
+    if (v == 0.5) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfileWithMoments, JitterPreservesMeanApproximatelyVariance) {
+  Xoshiro256StarStar rng{7};
+  const core::Profile p = profile_with_moments(64, 0.5, 0.03, rng, /*jitter=*/0.01);
+  EXPECT_NEAR(p.mean(), 0.5, 1e-12);  // re-centered exactly
+  EXPECT_NEAR(p.variance(), 0.03, 5e-3);
+}
+
+TEST(ProfileWithMoments, RejectsInfeasibleMoments) {
+  Xoshiro256StarStar rng{8};
+  // d = sqrt(0.36) = 0.6 > mean 0.5: machines would go nonpositive.
+  EXPECT_THROW(profile_with_moments(4, 0.5, 0.36, rng), std::invalid_argument);
+  // Exceeds the hi bound on the slow side.
+  EXPECT_THROW(profile_with_moments(4, 0.9, 0.04, rng), std::invalid_argument);
+  // One machine cannot have nonzero variance.
+  EXPECT_THROW(profile_with_moments(1, 0.5, 0.01, rng), std::invalid_argument);
+  EXPECT_NO_THROW(profile_with_moments(1, 0.5, 0.0, rng));
+}
+
+TEST(VarianceGapPair, DeliversAtLeastTheRequestedGap) {
+  Xoshiro256StarStar rng{9};
+  for (double gap : {0.0, 0.05, 0.167}) {
+    const ProfilePair pair = variance_gap_pair(16, gap, rng);
+    EXPECT_NEAR(pair.first.mean(), pair.second.mean(), 1e-9) << gap;
+    EXPECT_GE(pair.first.variance() - pair.second.variance(), gap) << gap;
+  }
+}
+
+TEST(VarianceGapPair, RejectsInfeasibleGap) {
+  Xoshiro256StarStar rng{10};
+  // Max achievable variance with rho in (0,1] and mean near 1/2 is ~0.25.
+  EXPECT_THROW(variance_gap_pair(8, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(variance_gap_pair(8, -0.1, rng), std::invalid_argument);
+}
+
+TEST(Samplers, DeterministicGivenSeed) {
+  Xoshiro256StarStar rng_a{42};
+  Xoshiro256StarStar rng_b{42};
+  const ProfilePair a = equal_mean_pair(8, rng_a);
+  const ProfilePair b = equal_mean_pair(8, rng_b);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace hetero::random

@@ -1,0 +1,105 @@
+#include "hetero/report/barchart.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetero::report {
+namespace {
+
+// Counts fill characters per bar column group in a rendered chart.
+std::size_t count_fill(const std::string& chart, char fill) {
+  std::size_t count = 0;
+  for (char c : chart) {
+    if (c == fill) ++count;
+  }
+  return count;
+}
+
+TEST(BarChart, TallerValuesGetMoreFill) {
+  BarChartOptions options;
+  options.height = 10;
+  options.bar_width = 1;
+  options.y_max = 1.0;  // shared scale, as in the Figure 3/4 grids
+  const std::string low = render_bar_chart({0.2, 0.0}, options);
+  const std::string high = render_bar_chart({1.0, 0.0}, options);
+  EXPECT_LT(count_fill(low, options.fill), count_fill(high, options.fill));
+}
+
+TEST(BarChart, FullHeightBarUsesAllRows) {
+  BarChartOptions options;
+  options.height = 6;
+  options.bar_width = 2;
+  const std::string chart = render_bar_chart({1.0}, options);
+  EXPECT_EQ(count_fill(chart, options.fill), 12u);  // 6 rows x 2 columns
+}
+
+TEST(BarChart, NonzeroValuesAlwaysVisible) {
+  BarChartOptions options;
+  options.height = 4;
+  options.bar_width = 1;
+  // 1/1000 of the max would round to zero rows; must still show one.
+  const std::string chart = render_bar_chart({1.0, 0.001}, options);
+  // Bottom data row (just above the baseline) must contain two fills.
+  std::istringstream lines{chart};
+  std::vector<std::string> rows;
+  std::string line;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_GE(rows.size(), 2u);
+  const std::string& bottom = rows[rows.size() - 2];
+  EXPECT_EQ(count_fill(bottom, options.fill), 2u) << chart;
+}
+
+TEST(BarChart, RespectsExplicitYMax) {
+  BarChartOptions options;
+  options.height = 10;
+  options.bar_width = 1;
+  options.y_max = 2.0;
+  const std::string chart = render_bar_chart({1.0}, options);
+  EXPECT_EQ(count_fill(chart, options.fill), 5u);  // half of y_max -> half height
+}
+
+TEST(BarChart, Validation) {
+  EXPECT_THROW(render_bar_chart({}), std::invalid_argument);
+  EXPECT_THROW(render_bar_chart({-1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(render_bar_chart({0.0, 0.0}));  // all-zero is fine
+}
+
+TEST(SnapshotGrid, LaysChartsOutInRows) {
+  std::vector<Snapshot> snapshots;
+  for (int i = 0; i < 5; ++i) {
+    snapshots.push_back(Snapshot{"round " + std::to_string(i), {1.0, 0.5, 0.25, 0.125}});
+  }
+  BarChartOptions options;
+  options.height = 4;
+  const std::string grid = render_snapshot_grid(snapshots, 4, options);
+  EXPECT_NE(grid.find("round 0"), std::string::npos);
+  EXPECT_NE(grid.find("round 4"), std::string::npos);
+  // 5 snapshots at 4 per row = 2 bands; each band has height+1 rows plus a
+  // label line and a blank separator.
+  std::size_t newline_count = 0;
+  for (char c : grid) {
+    if (c == '\n') ++newline_count;
+  }
+  EXPECT_EQ(newline_count, 2u * (4u + 1u + 1u + 1u));
+}
+
+TEST(SnapshotGrid, SharedScaleAcrossSnapshots) {
+  // Second snapshot has half the values of the first: with a shared scale its
+  // fill count must be strictly smaller.
+  BarChartOptions options;
+  options.height = 8;
+  options.bar_width = 1;
+  const std::vector<Snapshot> snapshots{{"a", {1.0, 1.0}}, {"b", {0.5, 0.5}}};
+  const std::string grid = render_snapshot_grid(snapshots, 2, options);
+  // Total fill: first chart 16, second 8.
+  EXPECT_EQ(count_fill(grid, options.fill), 24u);
+}
+
+TEST(SnapshotGrid, Validation) {
+  EXPECT_THROW(render_snapshot_grid({}, 4), std::invalid_argument);
+  EXPECT_THROW(render_snapshot_grid({Snapshot{"x", {1.0}}}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::report

@@ -1,0 +1,47 @@
+#include "hetero/report/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetero::report {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("1.25"), "1.25");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecialCharacters) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRowsWithCommas) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.write_row({"n", "hecr", "note"});
+  writer.write_row({"8", "0.366", "linear, paper C1"});
+  EXPECT_EQ(out.str(), "n,hecr,note\n8,0.366,\"linear, paper C1\"\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriter, NumericRowsUseCompactFormat) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  const std::vector<double> values{1.0, 0.5, 1e-11};
+  writer.write_numeric_row(values);
+  EXPECT_EQ(out.str(), "1,0.5,1e-11\n");
+}
+
+TEST(CsvWriter, EmptyRowProducesBlankLine) {
+  std::ostringstream out;
+  CsvWriter writer{out};
+  writer.write_row(std::initializer_list<std::string>{});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+}  // namespace
+}  // namespace hetero::report

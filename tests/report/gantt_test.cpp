@@ -1,0 +1,94 @@
+#include "hetero/report/gantt.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hetero/protocol/fifo.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero::report {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+sim::SimulationResult run_fifo(const std::vector<double>& speeds, double lifespan) {
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, lifespan);
+  return sim::simulate_worksharing(speeds, kEnv, allocations,
+                                   protocol::ProtocolOrders::fifo(speeds.size()));
+}
+
+TEST(Gantt, RendersOneLanePerActor) {
+  const auto result = run_fifo({1.0, 0.5, 0.25}, 100.0);
+  const std::string gantt = render_gantt(result.trace);
+  EXPECT_NE(gantt.find("server"), std::string::npos);
+  EXPECT_NE(gantt.find("C1"), std::string::npos);
+  EXPECT_NE(gantt.find("C2"), std::string::npos);
+  EXPECT_NE(gantt.find("C3"), std::string::npos);
+}
+
+TEST(Gantt, ContainsComputeAndTransitMarks) {
+  const auto result = run_fifo({1.0, 0.5}, 50.0);
+  GanttOptions options;
+  options.width = 80;
+  const std::string gantt = render_gantt(result.trace, options);
+  EXPECT_NE(gantt.find('C'), std::string::npos);   // compute
+  EXPECT_NE(gantt.find('<'), std::string::npos);   // result transit
+  EXPECT_NE(gantt.find('>'), std::string::npos);   // work transit
+}
+
+TEST(Gantt, LegendToggle) {
+  const auto result = run_fifo({1.0}, 10.0);
+  GanttOptions with;
+  with.show_legend = true;
+  GanttOptions without;
+  without.show_legend = false;
+  EXPECT_NE(render_gantt(result.trace, with).find("legend:"), std::string::npos);
+  EXPECT_EQ(render_gantt(result.trace, without).find("legend:"), std::string::npos);
+}
+
+TEST(Gantt, LanesHaveRequestedWidth) {
+  const auto result = run_fifo({1.0, 0.5}, 25.0);
+  GanttOptions options;
+  options.width = 60;
+  options.show_legend = false;
+  const std::string gantt = render_gantt(result.trace, options);
+  std::istringstream lines{gantt};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const auto open = line.find('|');
+    const auto close = line.rfind('|');
+    ASSERT_NE(open, std::string::npos);
+    EXPECT_EQ(close - open - 1, 60u) << line;
+  }
+}
+
+TEST(Gantt, EmptyTraceRendersLegendOnly) {
+  const sim::Trace empty;
+  const std::string gantt = render_gantt(empty);
+  EXPECT_NE(gantt.find("legend:"), std::string::npos);
+}
+
+TEST(Gantt, ComputeDominatesWorkerLane) {
+  // With Table-1 parameters compute is ~1e5 x longer than packaging, so a
+  // worker's lane should be mostly 'C'.
+  const auto result = run_fifo({1.0}, 100.0);
+  GanttOptions options;
+  options.width = 100;
+  options.show_legend = false;
+  const std::string gantt = render_gantt(result.trace, options);
+  std::istringstream lines{gantt};
+  std::string server_lane;
+  std::string worker_lane;
+  std::getline(lines, server_lane);
+  std::getline(lines, worker_lane);
+  std::size_t compute_cols = 0;
+  for (char c : worker_lane) {
+    if (c == 'C') ++compute_cols;
+  }
+  EXPECT_GT(compute_cols, 80u);
+}
+
+}  // namespace
+}  // namespace hetero::report

@@ -1,0 +1,54 @@
+#include "hetero/report/markdown.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hetero::report {
+namespace {
+
+TEST(MarkdownTable, RendersHeaderSeparatorAndRows) {
+  const std::string table =
+      markdown_table({"n", "HECR"}, {{"8", "0.366"}, {"16", "0.298"}});
+  EXPECT_EQ(table, "| n | HECR |\n|---|---|\n| 8 | 0.366 |\n| 16 | 0.298 |\n");
+}
+
+TEST(MarkdownTable, EmptyBodyIsJustHeader) {
+  const std::string table = markdown_table({"only"}, {});
+  EXPECT_EQ(table, "| only |\n|---|\n");
+}
+
+TEST(MarkdownTable, Validation) {
+  EXPECT_THROW((void)markdown_table({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)markdown_table({"a", "b"}, {{"one"}}), std::invalid_argument);
+}
+
+TEST(Sparkline, ScalesToMaximum) {
+  const std::string line = sparkline({0.0, 0.5, 1.0});
+  EXPECT_EQ(line, "▁▅█");
+}
+
+TEST(Sparkline, ExplicitYMax) {
+  // With y_max = 2, a value of 1 sits at half scale (level 4 of 8).
+  EXPECT_EQ(sparkline({1.0}, 2.0), "▅");
+  EXPECT_EQ(sparkline({2.0}, 2.0), "█");
+}
+
+TEST(Sparkline, EdgeCases) {
+  EXPECT_EQ(sparkline({}), "");
+  EXPECT_EQ(sparkline({0.0, 0.0}), "▁▁");  // all-zero: bottom level
+  EXPECT_THROW((void)sparkline({-1.0}), std::invalid_argument);
+  EXPECT_THROW((void)sparkline(std::vector<double>{std::nan("")}), std::invalid_argument);
+}
+
+TEST(Sparkline, MonotoneDataGivesMonotoneLevels) {
+  const std::string line = sparkline({1, 2, 3, 4, 5, 6, 7, 8});
+  // UTF-8: each level is 3 bytes; compare consecutive glyphs.
+  ASSERT_EQ(line.size(), 8u * 3u);
+  for (std::size_t i = 3; i < line.size(); i += 3) {
+    EXPECT_LE(line.compare(i - 3, 3, line, i, 3), 0);
+  }
+}
+
+}  // namespace
+}  // namespace hetero::report

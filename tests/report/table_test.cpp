@@ -1,0 +1,74 @@
+#include "hetero/report/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hetero::report {
+namespace {
+
+TEST(FormatFixed, RendersPrecisionCorrectly) {
+  EXPECT_EQ(format_fixed(1.23456, 3), "1.235");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(FormatScientific, RendersPrecisionCorrectly) {
+  EXPECT_EQ(format_scientific(12345.0, 2), "1.23e+04");
+  EXPECT_EQ(format_scientific(1.1e-11, 1), "1.1e-11");
+}
+
+TEST(TextTable, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(TextTable{std::vector<std::string>{}}, std::invalid_argument);
+  TextTable table{{"a", "b"}};
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table{{"cluster", "HECR"}};
+  table.add_row({"C1", "0.366"});
+  table.add_row({"C2-long-name", "0.216"});
+  const std::string text = table.to_string();
+  // Every line between rules has the same width.
+  std::istringstream lines{text};
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+  EXPECT_NE(text.find("C2-long-name"), std::string::npos);
+  EXPECT_NE(text.find("0.366"), std::string::npos);
+}
+
+TEST(TextTable, TitleAppearsAboveTable) {
+  TextTable table{{"x"}};
+  table.set_title("Table 3: HECRs");
+  table.add_row({"1"});
+  const std::string text = table.to_string();
+  EXPECT_EQ(text.rfind("Table 3: HECRs", 0), 0u);
+}
+
+TEST(TextTable, AlignmentControl) {
+  TextTable table{{"name", "value"}};
+  table.set_alignment(1, Align::kLeft);
+  table.add_row({"a", "1"});
+  table.add_row({"b", "10000"});
+  const std::string text = table.to_string();
+  // Left-aligned "1" is padded on the right: "| 1     |".
+  EXPECT_NE(text.find("| 1     |"), std::string::npos) << text;
+  EXPECT_THROW(table.set_alignment(5, Align::kLeft), std::out_of_range);
+}
+
+TEST(TextTable, RowCountAndStreaming) {
+  TextTable table{{"h"}};
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"v"});
+  EXPECT_EQ(table.row_count(), 1u);
+  std::ostringstream out;
+  out << table;
+  EXPECT_FALSE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace hetero::report

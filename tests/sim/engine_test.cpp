@@ -1,0 +1,83 @@
+#include "hetero/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetero::sim {
+namespace {
+
+TEST(SimEngine, StartsAtTimeZero) {
+  SimEngine engine;
+  EXPECT_EQ(engine.now(), 0.0);
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(SimEngine, ProcessesEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&order] { order.push_back(3); });
+  engine.schedule_at(1.0, [&order] { order.push_back(1); });
+  engine.schedule_at(2.0, [&order] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(SimEngine, EqualTimesRunInSchedulingOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimEngine, EventsCanScheduleMoreEvents) {
+  SimEngine engine;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(engine.now());
+    if (times.size() < 5) engine.schedule_after(1.5, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.back(), 6.0);
+}
+
+TEST(SimEngine, RejectsTimeTravelAndBadTimes) {
+  SimEngine engine;
+  engine.schedule_at(10.0, [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_at(std::numeric_limits<double>::infinity(), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimEngine, RunUntilLeavesLaterEventsQueued) {
+  SimEngine engine;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    engine.schedule_at(t, [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  engine.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(engine.now(), 2.5);
+  engine.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimEngine, ZeroDurationEventsAreFine) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_after(0.0, [&fired] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace hetero::sim

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "hetero/protocol/fifo.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero::sim {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+SimulationResult run_with(const std::vector<double>& speeds, double lifespan,
+                          const SimulationOptions& options) {
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, lifespan);
+  return simulate_worksharing(speeds, kEnv, allocations,
+                              protocol::ProtocolOrders::fifo(speeds.size()), options);
+}
+
+TEST(FailureInjection, NoFailuresMatchesBaseline) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const auto baseline = run_with(speeds, 100.0, SimulationOptions{});
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, 100.0);
+  const auto plain = simulate_worksharing(speeds, kEnv, allocations,
+                                          protocol::ProtocolOrders::fifo(3));
+  EXPECT_DOUBLE_EQ(baseline.completed_work(100.0), plain.completed_work(100.0));
+  for (const auto& o : baseline.outcomes) EXPECT_FALSE(o.failed);
+}
+
+TEST(FailureInjection, EarlyCrashLosesExactlyThatLoad) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const double lifespan = 100.0;
+  SimulationOptions options;
+  options.failures.push_back(MachineFailure{1, 1.0});  // dies long before finishing
+  const auto result = run_with(speeds, lifespan, options);
+  const auto baseline = run_with(speeds, lifespan, SimulationOptions{});
+  // Machine 1's load is lost; the others still complete.
+  const double lost = baseline.outcomes[1].work;
+  EXPECT_NEAR(result.completed_work(lifespan), baseline.completed_work(lifespan) - lost,
+              1e-9 * lifespan);
+  EXPECT_TRUE(result.outcomes[1].failed);
+  EXPECT_FALSE(result.outcomes[0].failed);
+  EXPECT_FALSE(result.outcomes[2].failed);
+}
+
+TEST(FailureInjection, FinishingOrderSkipsTheDeadMachineWithoutDeadlock) {
+  // Machine 0 finishes first in FIFO; kill it.  Machines 1 and 2 must still
+  // return their results (the dispatcher skips the dead slot).
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  SimulationOptions options;
+  options.failures.push_back(MachineFailure{0, 0.5});
+  const auto result = run_with(speeds, 100.0, options);
+  EXPECT_EQ(result.finishing_order, (std::vector<std::size_t>{1, 2}));
+  EXPECT_GT(result.completed_work(100.0), 0.0);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+TEST(FailureInjection, CrashAfterTransmissionStartedDoesNotUnsendTheResult) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const double lifespan = 100.0;
+  const auto baseline = run_with(speeds, lifespan, SimulationOptions{});
+  // Fail machine 0 the instant after its (observed) result transmission began.
+  SimulationOptions options;
+  options.failures.push_back(
+      MachineFailure{0, baseline.outcomes[0].result_start + 1e-9});
+  const auto result = run_with(speeds, lifespan, options);
+  EXPECT_FALSE(result.outcomes[0].failed);
+  EXPECT_NEAR(result.completed_work(lifespan), baseline.completed_work(lifespan), 1e-9);
+}
+
+TEST(FailureInjection, AllMachinesCrashingCompletesNothing) {
+  const std::vector<double> speeds{1.0, 0.5};
+  SimulationOptions options;
+  options.failures.push_back(MachineFailure{0, 0.0});
+  options.failures.push_back(MachineFailure{1, 0.0});
+  const auto result = run_with(speeds, 50.0, options);
+  EXPECT_DOUBLE_EQ(result.completed_work(50.0), 0.0);
+  EXPECT_TRUE(result.finishing_order.empty());
+}
+
+TEST(FailureInjection, ValidatesInputs) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, 10.0);
+  SimulationOptions bad_machine;
+  bad_machine.failures.push_back(MachineFailure{7, 1.0});
+  EXPECT_THROW(simulate_worksharing(speeds, kEnv, allocations,
+                                    protocol::ProtocolOrders::fifo(2), bad_machine),
+               std::invalid_argument);
+  SimulationOptions bad_time;
+  bad_time.failures.push_back(MachineFailure{0, -1.0});
+  EXPECT_THROW(simulate_worksharing(speeds, kEnv, allocations,
+                                    protocol::ProtocolOrders::fifo(2), bad_time),
+               std::invalid_argument);
+  SimulationOptions bad_latency;
+  bad_latency.message_latency = -0.5;
+  EXPECT_THROW(simulate_worksharing(speeds, kEnv, allocations,
+                                    protocol::ProtocolOrders::fifo(2), bad_latency),
+               std::invalid_argument);
+}
+
+TEST(MessageLatency, DelaysEveryMessageByTheFixedCost) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const double lifespan = 100.0;
+  const auto baseline = run_with(speeds, lifespan, SimulationOptions{});
+  SimulationOptions options;
+  options.message_latency = 0.25;
+  const auto delayed = run_with(speeds, lifespan, options);
+  // First machine's receive slips by exactly one latency; its result arrival
+  // by at least two (work message + result message).
+  EXPECT_NEAR(delayed.outcomes[0].receive, baseline.outcomes[0].receive + 0.25, 1e-9);
+  EXPECT_GE(delayed.outcomes[0].result_end, baseline.outcomes[0].result_end + 0.5 - 1e-9);
+  // With the schedule planned for zero latency, some result now misses L.
+  EXPECT_LT(delayed.completed_work(lifespan), baseline.completed_work(lifespan));
+  EXPECT_GT(delayed.makespan, baseline.makespan);
+}
+
+TEST(MessageLatency, RelativeImpactFadesWithLifespan) {
+  // The paper ignores per-message fixed costs "because their impacts fade
+  // over long lifespans L".  Quantified: running the zero-latency plan with
+  // latency h overruns L by a fixed absolute amount (~2n h), so the
+  // *relative* overrun shrinks like 1/L.
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  SimulationOptions options;
+  options.message_latency = 0.1;
+  double previous_fraction = std::numeric_limits<double>::infinity();
+  double first_overrun = 0.0;
+  for (double lifespan : {50.0, 500.0, 5000.0}) {
+    const auto sim = run_with(speeds, lifespan, options);
+    const double overrun = sim.makespan - lifespan;
+    EXPECT_GT(overrun, 0.0);
+    if (first_overrun == 0.0) first_overrun = overrun;
+    // Absolute overrun stays (nearly) constant across lifespans...
+    EXPECT_NEAR(overrun, first_overrun, 0.05 * first_overrun);
+    // ...so the relative impact strictly fades.
+    const double fraction = overrun / lifespan;
+    EXPECT_LT(fraction, previous_fraction);
+    previous_fraction = fraction;
+  }
+}
+
+}  // namespace
+}  // namespace hetero::sim

@@ -1,0 +1,90 @@
+#include "hetero/sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetero::sim {
+namespace {
+
+TEST(SequentialResource, GrantsImmediatelyWhenIdle) {
+  SimEngine engine;
+  SequentialResource resource{engine};
+  double start_time = -1.0;
+  double end_time = -1.0;
+  resource.request(
+      2.0, [&start_time](double t) { start_time = t; }, [&end_time](double t) { end_time = t; });
+  engine.run();
+  EXPECT_EQ(start_time, 0.0);
+  EXPECT_EQ(end_time, 2.0);
+  EXPECT_FALSE(resource.busy());
+  EXPECT_EQ(resource.grants(), 1u);
+}
+
+TEST(SequentialResource, SerializesOverlappingRequests) {
+  SimEngine engine;
+  SequentialResource resource{engine};
+  std::vector<std::pair<double, double>> windows;
+  const auto hold = [&resource, &windows](double duration) {
+    resource.request(
+        duration, [&windows](double t) { windows.emplace_back(t, -1.0); },
+        [&windows](double t) { windows.back().second = t; });
+  };
+  engine.schedule_at(0.0, [&] { hold(3.0); });
+  engine.schedule_at(1.0, [&] { hold(2.0); });  // arrives while busy
+  engine.schedule_at(1.5, [&] { hold(1.0); });  // queues behind both
+  engine.run();
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0], std::make_pair(0.0, 3.0));
+  EXPECT_EQ(windows[1], std::make_pair(3.0, 5.0));
+  EXPECT_EQ(windows[2], std::make_pair(5.0, 6.0));
+}
+
+TEST(SequentialResource, GrantsInRequestOrder) {
+  SimEngine engine;
+  SequentialResource resource{engine};
+  std::vector<int> order;
+  engine.schedule_at(0.0, [&] {
+    for (int i = 0; i < 5; ++i) {
+      resource.request(1.0, [&order, i](double) { order.push_back(i); }, {});
+    }
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(resource.grants(), 5u);
+}
+
+TEST(SequentialResource, ZeroDurationHoldsStillSerialize) {
+  SimEngine engine;
+  SequentialResource resource{engine};
+  std::vector<int> order;
+  engine.schedule_at(0.0, [&] {
+    resource.request(0.0, {}, [&order](double) { order.push_back(1); });
+    resource.request(0.0, {}, [&order](double) { order.push_back(2); });
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SequentialResource, RejectsNegativeDuration) {
+  SimEngine engine;
+  SequentialResource resource{engine};
+  EXPECT_THROW(resource.request(-1.0, {}, {}), std::invalid_argument);
+}
+
+TEST(SequentialResource, QueueLengthReflectsWaiters) {
+  SimEngine engine;
+  SequentialResource resource{engine};
+  engine.schedule_at(0.0, [&] {
+    resource.request(10.0, {}, {});
+    resource.request(1.0, {}, {});
+    resource.request(1.0, {}, {});
+    EXPECT_TRUE(resource.busy());
+    EXPECT_EQ(resource.queue_length(), 2u);
+  });
+  engine.run();
+  EXPECT_EQ(resource.queue_length(), 0u);
+}
+
+}  // namespace
+}  // namespace hetero::sim

@@ -1,0 +1,168 @@
+#include "hetero/sim/worksharing.h"
+
+#include <gtest/gtest.h>
+
+#include "hetero/core/power.h"
+#include "hetero/numeric/stable.h"
+#include "hetero/protocol/fifo.h"
+
+namespace hetero::sim {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+TEST(Worksharing, SingleWorkerTimingMatchesFigure1) {
+  // Figure 1: pi0 w | tau w | pi_i w | rho_i w | pi_i delta w | tau delta w | pi0 delta w.
+  const std::vector<double> speeds{0.5};
+  const std::vector<double> allocations{10.0};
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::fifo(1));
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const MachineOutcome& o = result.outcomes[0];
+  const double w = 10.0;
+  const double rho = 0.5;
+  EXPECT_NEAR(o.receive, (kEnv.pi() + kEnv.tau()) * w, 1e-12);
+  EXPECT_NEAR(o.compute_done, o.receive + kEnv.b() * rho * w, 1e-12);
+  EXPECT_NEAR(o.result_end, o.compute_done + kEnv.tau_delta() * w, 1e-12);
+  EXPECT_NEAR(o.server_unpacked, o.result_end + kEnv.pi() * kEnv.delta() * w, 1e-12);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+TEST(Worksharing, FifoScheduleReplaysExactlyAsPlanned) {
+  // The causal simulation of a closed-form FIFO plan must land every event
+  // on the planned timestamps: no emergent waiting anywhere.
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  const double lifespan = 250.0;
+  const protocol::Schedule plan = protocol::fifo_schedule(speeds, kEnv, lifespan);
+  const SimulationResult sim = simulate_schedule(plan, kEnv);
+  ASSERT_EQ(sim.outcomes.size(), plan.timelines.size());
+  for (std::size_t k = 0; k < plan.timelines.size(); ++k) {
+    const auto& planned = plan.timelines[k];
+    const auto& measured = sim.outcomes[k];
+    EXPECT_EQ(measured.machine, planned.machine);
+    EXPECT_NEAR(measured.receive, planned.receive, 1e-7 * lifespan) << k;
+    EXPECT_NEAR(measured.compute_done, planned.compute_done, 1e-7 * lifespan) << k;
+    EXPECT_NEAR(measured.result_start, planned.result_start, 1e-7 * lifespan) << k;
+    EXPECT_NEAR(measured.result_end, planned.result_end, 1e-7 * lifespan) << k;
+  }
+  EXPECT_NEAR(sim.makespan, lifespan, 1e-7 * lifespan);
+}
+
+TEST(Worksharing, MeasuredWorkMatchesTheorem2) {
+  const std::vector<double> speeds{1.0, 0.5, 1.0 / 3.0};
+  const double lifespan = 100.0;
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, lifespan);
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::fifo(3));
+  const double formula = core::work_production(lifespan, core::Profile{speeds}, kEnv);
+  EXPECT_LT(numeric::relative_difference(result.completed_work(lifespan), formula), 1e-9);
+}
+
+TEST(Worksharing, ObservedFinishingOrderMatchesFifo) {
+  const std::vector<double> speeds{1.0, 0.6, 0.3, 0.15};
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, 80.0);
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::fifo(4));
+  EXPECT_EQ(result.finishing_order, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Worksharing, LifoOrderIsHonoredEvenWhenWorkersFinishEarly) {
+  // Give every machine equal tiny work; with a LIFO finishing order, machine
+  // 0 computes first but must wait for the later machines' results.
+  const std::vector<double> speeds{0.5, 0.5, 0.5};
+  const std::vector<double> allocations{1.0, 1.0, 1.0};
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::lifo(3));
+  EXPECT_EQ(result.finishing_order, (std::vector<std::size_t>{2, 1, 0}));
+  // Machine 0's result must start only after machines 2 and 1 delivered.
+  const MachineOutcome& first_started = result.outcomes[0];
+  EXPECT_GE(first_started.result_start, result.outcomes[1].result_end - 1e-12);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+TEST(Worksharing, CompletedWorkRespectsHorizon) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const double lifespan = 100.0;
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, lifespan);
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::fifo(2));
+  // Truncating the lifespan just before the last arrival loses that load.
+  const double last_arrival = result.outcomes.back().result_end;
+  const double first_arrival = result.outcomes.front().result_end;
+  EXPECT_LT(result.completed_work(last_arrival - 1e-6), result.completed_work(lifespan));
+  EXPECT_EQ(result.completed_work(first_arrival - 1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(result.completed_work(lifespan), result.total_work());
+}
+
+TEST(Worksharing, TraceCoversEveryActivityKind) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, 50.0);
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::fifo(2));
+  for (Activity activity :
+       {Activity::kServerPackage, Activity::kTransitWork, Activity::kWorkerUnpack,
+        Activity::kWorkerCompute, Activity::kWorkerPackage, Activity::kTransitResult,
+        Activity::kServerUnpack}) {
+    EXPECT_EQ(result.trace.segments_of(activity).size(), 2u) << to_string(activity);
+  }
+}
+
+TEST(Worksharing, TraceDurationsMatchModelRates) {
+  const std::vector<double> speeds{0.5};
+  const std::vector<double> allocations{8.0};
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::fifo(1));
+  const auto compute = result.trace.segments_of(Activity::kWorkerCompute);
+  ASSERT_EQ(compute.size(), 1u);
+  EXPECT_NEAR(compute[0].duration(), 0.5 * 8.0, 1e-12);
+  const auto unpack = result.trace.segments_of(Activity::kWorkerUnpack);
+  EXPECT_NEAR(unpack[0].duration(), kEnv.pi() * 0.5 * 8.0, 1e-15);
+}
+
+TEST(Worksharing, InputValidation) {
+  const std::vector<double> speeds{1.0, 0.5};
+  EXPECT_THROW(simulate_worksharing(speeds, kEnv, std::vector<double>{1.0},
+                                    protocol::ProtocolOrders::fifo(2)),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_worksharing(speeds, kEnv, std::vector<double>{1.0, -1.0},
+                                    protocol::ProtocolOrders::fifo(2)),
+               std::invalid_argument);
+  protocol::ProtocolOrders bad;
+  bad.startup = {0, 0};
+  bad.finishing = {0, 1};
+  EXPECT_THROW(simulate_worksharing(speeds, kEnv, std::vector<double>{1.0, 1.0}, bad),
+               std::invalid_argument);
+}
+
+TEST(Worksharing, ZeroAllocationWorkerFlowsThrough) {
+  const std::vector<double> speeds{1.0, 0.5};
+  const std::vector<double> allocations{5.0, 0.0};
+  const auto result = simulate_worksharing(speeds, kEnv, allocations,
+                                           protocol::ProtocolOrders::fifo(2));
+  EXPECT_DOUBLE_EQ(result.total_work(), 5.0);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+TEST(Trace, ChannelExclusivityDetectsViolation) {
+  Trace trace;
+  trace.record({0.0, 2.0, Activity::kTransitWork, kServerActor, 0});
+  trace.record({1.0, 3.0, Activity::kTransitResult, kServerActor, 1});
+  EXPECT_FALSE(trace.channel_exclusive());
+  Trace disjoint;
+  disjoint.record({0.0, 1.0, Activity::kTransitWork, kServerActor, 0});
+  disjoint.record({1.0, 2.0, Activity::kTransitResult, kServerActor, 1});
+  EXPECT_TRUE(disjoint.channel_exclusive());
+}
+
+TEST(Trace, HorizonAndActorQueries) {
+  Trace trace;
+  trace.record({0.0, 2.0, Activity::kWorkerCompute, 3, 3});
+  trace.record({1.0, 5.0, Activity::kWorkerCompute, 4, 4});
+  EXPECT_DOUBLE_EQ(trace.horizon(), 5.0);
+  EXPECT_EQ(trace.segments_for_actor(3).size(), 1u);
+  EXPECT_EQ(trace.segments_for_actor(9).size(), 0u);
+  EXPECT_DOUBLE_EQ(Trace{}.horizon(), 0.0);
+}
+
+}  // namespace
+}  // namespace hetero::sim

@@ -1,0 +1,85 @@
+#include "hetero/stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace hetero::stats {
+namespace {
+
+TEST(Pearson, PerfectLinearRelationships) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, InvariantUnderAffineTransforms) {
+  std::mt19937_64 gen{3};
+  std::uniform_real_distribution<double> dist{-1.0, 1.0};
+  std::vector<double> x(100);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x[i] = dist(gen);
+    y[i] = 0.3 * x[i] + dist(gen);
+  }
+  const double base = pearson_correlation(x, y);
+  std::vector<double> scaled = y;
+  for (double& v : scaled) v = 5.0 * v - 7.0;
+  EXPECT_NEAR(pearson_correlation(x, scaled), base, 1e-12);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  std::mt19937_64 gen{9};
+  std::uniform_real_distribution<double> dist{0.0, 1.0};
+  std::vector<double> x(20000);
+  std::vector<double> y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = dist(gen);
+    y[i] = dist(gen);
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, EdgeCases) {
+  EXPECT_TRUE(std::isnan(pearson_correlation(std::vector<double>{1.0},
+                                             std::vector<double>{2.0})));
+  const std::vector<double> constant{3.0, 3.0, 3.0};
+  const std::vector<double> varying{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isnan(pearson_correlation(constant, varying)));
+  EXPECT_THROW((void)pearson_correlation(varying, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(FractionalRanks, HandlesTiesByAveraging) {
+  const std::vector<double> values{10.0, 20.0, 20.0, 30.0};
+  const auto ranks = fractional_ranks(values);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Spearman, DetectsMonotoneNonlinearRelationships) {
+  // y = x^3 is monotone but nonlinear: Spearman = 1, Pearson < 1.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = -10; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(std::pow(static_cast<double>(i), 3.0));
+  }
+  EXPECT_NEAR(spearman_correlation(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson_correlation(x, y), 1.0);
+}
+
+TEST(Spearman, AntitoneGivesMinusOne) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> y{10.0, 8.0, 7.0, 3.0, 1.0};
+  EXPECT_NEAR(spearman_correlation(x, y), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hetero::stats

@@ -1,0 +1,93 @@
+#include "hetero/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetero::stats {
+namespace {
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW((void)Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsValuesIntoCorrectBuckets) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(0.1);   // bin 0
+  h.add(0.30);  // bin 1
+  h.add(0.74);  // bin 2
+  h.add(0.76);  // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BoundaryValues) {
+  Histogram h{0.0, 1.0, 4};
+  h.add(0.0);  // lowest edge -> bin 0
+  h.add(1.0);  // highest edge -> top bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderflowAndOverflowCounters) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-0.5);
+  h.add(1.5);
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdgesAndCumulative) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(2), 6.0);
+  const std::vector<double> values{1.0, 3.0, 5.0, 7.0, 9.0};
+  h.add_all(values);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 0.4);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(4), 1.0);
+  EXPECT_THROW((void)h.bin_low(5), std::out_of_range);
+  EXPECT_THROW((void)h.cumulative_fraction(9), std::out_of_range);
+}
+
+TEST(Histogram, MergeAddsCountsAndValidatesLayout) {
+  Histogram a{0.0, 1.0, 2};
+  Histogram b{0.0, 1.0, 2};
+  a.add(0.25);
+  b.add(0.75);
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 1u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.total(), 3u);
+  Histogram mismatched{0.0, 2.0, 2};
+  EXPECT_THROW((void)a.merge(mismatched), std::invalid_argument);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, UnsortedInputAndValidation) {
+  const std::vector<double> values{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 5.0);
+  EXPECT_THROW((void)quantile(std::vector<double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(values, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(values, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::stats

@@ -1,0 +1,140 @@
+#include "hetero/stats/moments.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace hetero::stats {
+namespace {
+
+TEST(OnlineMoments, EmptyAccumulator) {
+  const OnlineMoments acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_TRUE(std::isnan(acc.variance()));
+  EXPECT_TRUE(std::isnan(acc.sample_variance()));
+}
+
+TEST(OnlineMoments, SingleValue) {
+  OnlineMoments acc;
+  acc.add(4.2);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(acc.sample_variance()));
+  EXPECT_EQ(acc.min(), 4.2);
+  EXPECT_EQ(acc.max(), 4.2);
+}
+
+TEST(OnlineMoments, KnownSmallSample) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population variance 4.
+  OnlineMoments acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.standard_deviation(), 2.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(OnlineMoments, SkewnessOfAsymmetricSample) {
+  // Two-point mass at {0 (x3), 3}: m = 0.75; skew positive.
+  OnlineMoments acc;
+  for (double v : {0.0, 0.0, 0.0, 3.0}) acc.add(v);
+  EXPECT_GT(acc.skewness(), 0.0);
+  // Mirrored sample has the negated skewness.
+  OnlineMoments mirror;
+  for (double v : {3.0, 3.0, 3.0, 0.0}) mirror.add(v);
+  EXPECT_NEAR(mirror.skewness(), -acc.skewness(), 1e-12);
+}
+
+TEST(OnlineMoments, SymmetricSampleHasZeroSkewness) {
+  OnlineMoments acc;
+  for (double v : {-2.0, -1.0, 0.0, 1.0, 2.0}) acc.add(v);
+  EXPECT_NEAR(acc.skewness(), 0.0, 1e-12);
+}
+
+TEST(OnlineMoments, KurtosisOfTwoPointMassIsMinimal) {
+  // A symmetric two-point distribution has excess kurtosis -2 (the minimum).
+  OnlineMoments acc;
+  for (int i = 0; i < 100; ++i) {
+    acc.add(1.0);
+    acc.add(-1.0);
+  }
+  EXPECT_NEAR(acc.excess_kurtosis(), -2.0, 1e-9);
+}
+
+TEST(OnlineMoments, DegenerateSampleHasNaNShape) {
+  OnlineMoments acc;
+  acc.add(1.0);
+  acc.add(1.0);
+  EXPECT_TRUE(std::isnan(acc.skewness()));
+  EXPECT_TRUE(std::isnan(acc.excess_kurtosis()));
+}
+
+TEST(OnlineMoments, MergeMatchesSequentialForAllFourMoments) {
+  std::mt19937_64 gen{51};
+  std::uniform_real_distribution<double> dist{-3.0, 7.0};
+  OnlineMoments whole;
+  OnlineMoments part_a;
+  OnlineMoments part_b;
+  OnlineMoments part_c;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = dist(gen);
+    whole.add(x);
+    (i % 3 == 0 ? part_a : i % 3 == 1 ? part_b : part_c).add(x);
+  }
+  part_a.merge(part_b);
+  part_a.merge(part_c);
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_NEAR(part_a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(part_a.variance(), whole.variance(), 1e-10);
+  EXPECT_NEAR(part_a.skewness(), whole.skewness(), 1e-8);
+  EXPECT_NEAR(part_a.excess_kurtosis(), whole.excess_kurtosis(), 1e-8);
+  EXPECT_EQ(part_a.min(), whole.min());
+  EXPECT_EQ(part_a.max(), whole.max());
+}
+
+TEST(OnlineMoments, MergeWithEmptyIsIdentity) {
+  OnlineMoments acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  const double mean_before = acc.mean();
+  OnlineMoments empty;
+  acc.merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), mean_before);
+  empty.merge(acc);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean_before);
+}
+
+TEST(OnlineMoments, GaussianSampleShapeStatistics) {
+  std::mt19937_64 gen{77};
+  std::normal_distribution<double> normal{10.0, 2.0};
+  OnlineMoments acc;
+  for (int i = 0; i < 200'000; ++i) acc.add(normal(gen));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.variance(), 4.0, 0.1);
+  EXPECT_NEAR(acc.skewness(), 0.0, 0.05);
+  EXPECT_NEAR(acc.excess_kurtosis(), 0.0, 0.1);
+}
+
+TEST(MomentsOf, MatchesIncrementalAccumulation) {
+  const std::vector<double> values{1.0, 2.0, 3.5, -1.0};
+  const OnlineMoments acc = moments_of(values);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 1.375);
+}
+
+TEST(OnlineMoments, ResetClearsState) {
+  OnlineMoments acc;
+  acc.add(5.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+}
+
+}  // namespace
+}  // namespace hetero::stats

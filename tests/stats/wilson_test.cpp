@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "hetero/stats/histogram.h"
+
+namespace hetero::stats {
+namespace {
+
+TEST(Wilson, CoversTheEstimate) {
+  const ProportionInterval interval = wilson_interval(76, 100);
+  EXPECT_DOUBLE_EQ(interval.estimate, 0.76);
+  EXPECT_LT(interval.lo, 0.76);
+  EXPECT_GT(interval.hi, 0.76);
+  EXPECT_GT(interval.lo, 0.6);
+  EXPECT_LT(interval.hi, 0.9);
+}
+
+TEST(Wilson, KnownReferenceValue) {
+  // Classic check: 0 successes in 10 trials at 95% gives hi ~ 0.278.
+  const ProportionInterval interval = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(interval.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(interval.lo, 0.0);
+  EXPECT_NEAR(interval.hi, 0.2775, 5e-4);
+}
+
+TEST(Wilson, SymmetricUnderComplement) {
+  const auto a = wilson_interval(30, 100);
+  const auto b = wilson_interval(70, 100);
+  EXPECT_NEAR(a.lo, 1.0 - b.hi, 1e-12);
+  EXPECT_NEAR(a.hi, 1.0 - b.lo, 1e-12);
+}
+
+TEST(Wilson, ShrinksWithMoreTrials) {
+  const auto small = wilson_interval(50, 100);
+  const auto large = wilson_interval(5000, 10000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(Wilson, EdgeCases) {
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+  const auto certain = wilson_interval(10, 10);
+  EXPECT_DOUBLE_EQ(certain.estimate, 1.0);
+  EXPECT_DOUBLE_EQ(certain.hi, 1.0);
+  EXPECT_LT(certain.lo, 1.0);
+  EXPECT_THROW((void)wilson_interval(11, 10), std::invalid_argument);
+  EXPECT_THROW((void)wilson_interval(1, 10, 0.0), std::invalid_argument);
+}
+
+TEST(Wilson, StaysWithinUnitInterval) {
+  for (std::size_t successes : {0u, 1u, 2u, 3u}) {
+    const auto interval = wilson_interval(successes, 3);
+    EXPECT_GE(interval.lo, 0.0);
+    EXPECT_LE(interval.hi, 1.0);
+    EXPECT_LE(interval.lo, interval.estimate);
+    EXPECT_GE(interval.hi, interval.estimate);
+  }
+}
+
+}  // namespace
+}  // namespace hetero::stats
