@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs and fail on regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Benchmarks are matched by name; only aggregate-free repetition entries are
+considered (the default single-repetition output).  A benchmark counts as a
+regression when its candidate real_time exceeds the baseline real_time by
+more than the threshold fraction (default 10%).  Benchmarks present in only
+one file are reported but never fail the run, so the baseline does not have
+to be regenerated every time a benchmark is added.
+
+Exit status: 0 when no benchmark regresses, 1 otherwise, 2 on usage errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Maps benchmark name -> real_time (ns) for plain repetition entries."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    results = {}
+    for entry in data.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue  # skip mean/median/stddev aggregates
+        name = entry.get("name")
+        time = entry.get("real_time")
+        if name is None or time is None:
+            continue
+        results[name] = float(time)
+    if not results:
+        raise SystemExit(f"error: no benchmark entries found in {path}")
+    return results
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed fractional slowdown before failing (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("threshold must be non-negative")
+
+    baseline = load_benchmarks(args.baseline)
+    candidate = load_benchmarks(args.candidate)
+
+    shared = sorted(set(baseline) & set(candidate))
+    only_baseline = sorted(set(baseline) - set(candidate))
+    only_candidate = sorted(set(candidate) - set(baseline))
+
+    regressions = []
+    width = max((len(name) for name in shared), default=4)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'candidate':>12}  {'ratio':>7}")
+    for name in shared:
+        base = baseline[name]
+        cand = candidate[name]
+        ratio = cand / base if base > 0 else float("inf")
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            marker = "  REGRESSED"
+            regressions.append((name, ratio))
+        print(f"{name.ljust(width)}  {base:12.1f}  {cand:12.1f}  {ratio:7.3f}{marker}")
+
+    for name in only_baseline:
+        print(f"note: {name} only in baseline")
+    for name in only_candidate:
+        print(f"note: {name} only in candidate")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.3f}x", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "hetero/core/hetero.h"
+#include "hetero/experiments/experiments.h"
 #include "hetero/numeric/symmetric.h"
+#include "hetero/parallel/thread_pool.h"
 #include "hetero/protocol/fifo.h"
 #include "hetero/protocol/lp_solver.h"
 #include "hetero/random/samplers.h"
@@ -18,8 +20,14 @@ using namespace hetero;
 
 const core::Environment kEnv = core::Environment::paper_default();
 
+// Fixed benchmark seed, mixed with the problem size via for_stream so that
+// different benchmark ranges draw from well-separated streams instead of
+// silently sharing/overlapping them (Xoshiro{n} seeded adjacent states for
+// adjacent n).
+constexpr std::uint64_t kBenchSeed = 0x5eedbea7f00dcafeull;
+
 std::vector<double> random_speeds(std::size_t n) {
-  random::Xoshiro256StarStar rng{n};
+  auto rng = random::Xoshiro256StarStar::for_stream(kBenchSeed, n);
   return random::uniform_rho_values(n, rng, 0.05, 1.0);
 }
 
@@ -39,6 +47,28 @@ void BM_XMeasureStable(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_XMeasureStable)->RangeMultiplier(8)->Range(8, 1 << 15);
+
+// The Theorem-3/4 candidate scan: X(P) re-evaluated for every single-machine
+// perturbation of an n-machine profile.  This is the inner loop of the
+// Figure-3/4 iterated-speedup experiments and the upgrade planners.
+void BM_XMeasureUpgradeScan(benchmark::State& state) {
+  const core::Profile p{random_speeds(static_cast<std::size_t>(state.range(0)))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_multiplicative_upgrades(p, 0.5, kEnv));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_XMeasureUpgradeScan)->RangeMultiplier(4)->Range(8, 1 << 12)->Complexity();
+
+// Several rounds of the greedy planner (each round scans all machines).
+void BM_GreedyUpgradePlan(benchmark::State& state) {
+  const auto speeds = random_speeds(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::greedy_upgrade_plan(speeds, core::UpgradeKind::kMultiplicative, 0.5, 8, kEnv));
+  }
+}
+BENCHMARK(BM_GreedyUpgradePlan)->RangeMultiplier(4)->Range(8, 1 << 10);
 
 void BM_Hecr(benchmark::State& state) {
   const core::Profile p{random_speeds(static_cast<std::size_t>(state.range(0)))};
@@ -106,6 +136,19 @@ void BM_SimulateFifoEpisode(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_SimulateFifoEpisode)->RangeMultiplier(8)->Range(8, 1 << 12);
+
+// The Section-4.3 Monte-Carlo sweep (equal-mean pair -> variance -> HECRs),
+// parallelized over the pool; dominated by per-trial sampling + HECR math.
+void BM_VariancePredictorSweep(benchmark::State& state) {
+  static parallel::ThreadPool pool;  // shared across iterations; sized to hw
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        experiments::variance_predictor_experiment(n, 2048, kBenchSeed, kEnv, pool));
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_VariancePredictorSweep)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_EqualMeanPairSampling(benchmark::State& state) {
   random::Xoshiro256StarStar rng{11};

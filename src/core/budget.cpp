@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "hetero/core/power.h"
+#include "hetero/core/xmeasure.h"
 
 namespace hetero::core {
 namespace {
@@ -72,32 +73,37 @@ BudgetedPlan best_upgrades_greedy(const std::vector<double>& speeds,
   validate(speeds, menu, budget, menu.size());
   BudgetedPlan plan;
   plan.speeds_after = speeds;
-  plan.x_after = x_measure(speeds, env);
+  // Candidate options are O(1) perturbed queries; only the purchased upgrade
+  // commits (an O(n) suffix recompute), so each greedy pass over the menu is
+  // O(menu + n) instead of O(menu * n).  The committed value() keeps
+  // plan.x_after exactly equal to x_measure(plan.speeds_after).
+  XMeasure evaluator{speeds, env};
+  plan.x_after = evaluator.value();
 
   std::vector<bool> bought(menu.size(), false);
   double remaining = budget;
   for (;;) {
     std::size_t best_option = menu.size();
     double best_rate = 0.0;
-    double best_x = plan.x_after;
     for (std::size_t i = 0; i < menu.size(); ++i) {
       if (bought[i] || menu[i].cost > remaining) continue;
-      std::vector<double> candidate = plan.speeds_after;
-      candidate[menu[i].machine] *= menu[i].factor;
-      const double x = x_measure(candidate, env);
+      const std::size_t machine = menu[i].machine;
+      const double x =
+          evaluator.with_rho(machine, plan.speeds_after[machine] * menu[i].factor);
       const double rate = (x - plan.x_after) / menu[i].cost;
       if (rate > best_rate) {
         best_rate = rate;
         best_option = i;
-        best_x = x;
       }
     }
     if (best_option == menu.size()) break;  // nothing affordable improves X
     bought[best_option] = true;
     remaining -= menu[best_option].cost;
     plan.total_cost += menu[best_option].cost;
-    plan.speeds_after[menu[best_option].machine] *= menu[best_option].factor;
-    plan.x_after = best_x;
+    const std::size_t machine = menu[best_option].machine;
+    plan.speeds_after[machine] *= menu[best_option].factor;
+    evaluator.set_rho(machine, plan.speeds_after[machine]);
+    plan.x_after = evaluator.value();
     plan.chosen.push_back(best_option);
   }
   std::sort(plan.chosen.begin(), plan.chosen.end());

@@ -9,3 +9,4 @@
 #include "hetero/core/profile.h"      // IWYU pragma: export
 #include "hetero/core/profile_io.h"   // IWYU pragma: export
 #include "hetero/core/speedup.h"      // IWYU pragma: export
+#include "hetero/core/xmeasure.h"     // IWYU pragma: export

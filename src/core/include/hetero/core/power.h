@@ -54,7 +54,10 @@ namespace hetero::core {
 
 /// The HECR (Prop. 1): the speed rho such that a homogeneous n-machine
 /// cluster of that speed matches X(P).  Smaller HECR = more powerful
-/// cluster.  Numerically stable for any n.
+/// cluster.  Numerically stable for any n.  The span overload serves
+/// allocation-free callers (Monte-Carlo sweeps reusing trial buffers);
+/// X is permutation-invariant, so the span need not be sorted.
+[[nodiscard]] double hecr(std::span<const double> rho, const Environment& env);
 [[nodiscard]] double hecr(const Profile& profile, const Environment& env);
 
 /// HECR from a known X value and cluster size (Prop. 1's closed form).

@@ -1,0 +1,74 @@
+#pragma once
+
+// Incremental X-measure evaluation for single-machine perturbations.
+//
+// The Theorem-3/4 candidate scans (Section 3) and the greedy upgrade
+// planners repeatedly ask "what is X(P) with machine k's speed changed to
+// r?".  Recomputing formula (1) from scratch makes every scan O(n) per
+// candidate and every planner round O(n^2).  But the sum in (1) factors
+// through the prefix products prod_{j<i} f_j with
+// f_j = (B rho_j + tau delta)/(B rho_j + A): changing rho_k replaces one
+// term and scales the whole tail by f'_k / f_k.  Caching the per-index
+// accumulator state therefore makes a perturbed query O(1) and a committed
+// single-entry update O(n - k).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::core {
+
+/// Incrementally updatable X(P) over a speed vector indexed by machine.
+///
+/// Invariant: value() is bit-identical to x_measure(speeds(), env) no matter
+/// what sequence of set_rho() commits produced the current speeds — commits
+/// resume the cached compensated-summation state and replay exactly the
+/// operations x_measure would perform from that index on.
+///
+/// with_rho() is a constant-time estimate of the perturbed X: exact prefix,
+/// one fresh term, and the cached tail scaled by f'_k / f_k.  The scaling
+/// adds ~1 ulp of relative error versus a full recompute, which the argmax
+/// scans absorb in their 1e-12 tie tolerance; commit with set_rho() whenever
+/// the exact value is needed.
+class XMeasure {
+ public:
+  XMeasure(std::span<const double> speeds, const Environment& env);
+
+  [[nodiscard]] std::size_t size() const noexcept { return speeds_.size(); }
+  [[nodiscard]] const std::vector<double>& speeds() const noexcept { return speeds_; }
+  [[nodiscard]] double rho(std::size_t k) const { return speeds_.at(k); }
+
+  /// Current X(P); bit-identical to x_measure(speeds(), env).
+  [[nodiscard]] double value() const noexcept { return x_; }
+
+  /// O(1) estimate of X with machine k's speed set to r (k's current speed
+  /// is untouched).  Throws std::out_of_range for a bad index.
+  [[nodiscard]] double with_rho(std::size_t k, double r) const;
+
+  /// Commits rho_k = r, recomputing the cached state from index k on
+  /// (O(n - k) work).  Throws std::out_of_range for a bad index.
+  void set_rho(std::size_t k, double r);
+
+  /// Replaces the whole speed vector (full O(n) rebuild).
+  void assign(std::span<const double> speeds);
+
+ private:
+  // Recomputes prefix state and x_ for indices >= from.
+  void recompute_from(std::size_t from);
+
+  double a_ = 0.0;
+  double b_ = 0.0;
+  double td_ = 0.0;
+  std::vector<double> speeds_;
+  // State of x_measure's accumulation *before* processing index i, for
+  // i in [0, n]: entry i holds the compensated sum over terms j < i and the
+  // running product prod_{j<i} f_j.  Entry n closes the sum: x_ is its value.
+  std::vector<double> prefix_sum_;
+  std::vector<double> prefix_comp_;
+  std::vector<double> prefix_product_;
+  double x_ = 0.0;
+};
+
+}  // namespace hetero::core

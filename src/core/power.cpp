@@ -83,7 +83,7 @@ double hecr_from_x(double x, std::size_t n, const Environment& env) {
   return contraction / (env.b() * one_minus_d) - env.a() / env.b();
 }
 
-double hecr(const Profile& profile, const Environment& env) {
+double hecr(std::span<const double> rho, const Environment& env) {
   // Build epsilon = (A - tau delta) X directly from the product identity so
   // the subsequent 1 - D stays accurate: epsilon = 1 - prod f_i and
   // 1 - D = -expm1(log_sum / n) where log_sum = sum log f_i.
@@ -91,12 +91,16 @@ double hecr(const Profile& profile, const Environment& env) {
   const double b = env.b();
   const double contraction = env.a_minus_tau_delta();
   numeric::NeumaierSum log_sum;
-  for (double r : profile.values()) {
+  for (double r : rho) {
     log_sum.add(std::log1p(-contraction / (b * r + a)));
   }
-  const double n = static_cast<double>(profile.size());
+  const double n = static_cast<double>(rho.size());
   const double one_minus_d = -std::expm1(log_sum.value() / n);
   return contraction / (b * one_minus_d) - a / b;
+}
+
+double hecr(const Profile& profile, const Environment& env) {
+  return hecr(profile.values(), env);
 }
 
 double hecr_numeric(const Profile& profile, const Environment& env) {

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "hetero/core/power.h"
+#include "hetero/core/xmeasure.h"
 #include "hetero/numeric/stable.h"
 
 namespace hetero::core {
@@ -29,10 +29,13 @@ UpgradeEvaluation evaluate_additive_upgrades(const Profile& profile, double phi,
     throw std::invalid_argument(
         "evaluate_additive_upgrades: need 0 < phi < fastest rho so every machine is upgradable");
   }
+  // One O(n) prefix pass, then every candidate is an O(1) perturbed query
+  // (the scan was O(n^2) when each candidate re-evaluated formula (1)).
+  const XMeasure evaluator{profile.values(), env};
   UpgradeEvaluation eval;
   eval.x_by_target.reserve(profile.size());
   for (std::size_t k = 0; k < profile.size(); ++k) {
-    eval.x_by_target.push_back(x_measure(profile.with_additive_speedup(k, phi), env));
+    eval.x_by_target.push_back(evaluator.with_rho(k, profile.rho(k) - phi));
   }
   eval.best_power_index = argmax_with_tie_to_larger(eval.x_by_target);
   eval.best_x = eval.x_by_target[eval.best_power_index];
@@ -44,10 +47,11 @@ UpgradeEvaluation evaluate_multiplicative_upgrades(const Profile& profile, doubl
   if (!(psi > 0.0) || psi >= 1.0) {
     throw std::invalid_argument("evaluate_multiplicative_upgrades: need 0 < psi < 1");
   }
+  const XMeasure evaluator{profile.values(), env};
   UpgradeEvaluation eval;
   eval.x_by_target.reserve(profile.size());
   for (std::size_t k = 0; k < profile.size(); ++k) {
-    eval.x_by_target.push_back(x_measure(profile.with_multiplicative_speedup(k, psi), env));
+    eval.x_by_target.push_back(evaluator.with_rho(k, psi * profile.rho(k)));
   }
   eval.best_power_index = argmax_with_tie_to_larger(eval.x_by_target);
   eval.best_x = eval.x_by_target[eval.best_power_index];
@@ -70,8 +74,12 @@ std::vector<UpgradeStep> greedy_upgrade_plan(std::vector<double> speeds, Upgrade
   if (rounds < 0) throw std::invalid_argument("greedy_upgrade_plan: negative rounds");
   std::vector<UpgradeStep> plan;
   plan.reserve(static_cast<std::size_t>(rounds));
+  // O(n) per round: candidates are O(1) perturbed queries against the
+  // incremental evaluator; only the chosen upgrade is committed (which also
+  // keeps the recorded x_after exactly equal to x_measure(speeds)).
+  XMeasure evaluator{speeds, env};
+  std::vector<double> candidate_x(speeds.size());
   for (int round = 0; round < rounds; ++round) {
-    std::vector<double> candidate_x(speeds.size());
     bool any_feasible = false;
     for (std::size_t machine = 0; machine < speeds.size(); ++machine) {
       double upgraded;
@@ -85,9 +93,7 @@ std::vector<UpgradeStep> greedy_upgrade_plan(std::vector<double> speeds, Upgrade
         continue;
       }
       any_feasible = true;
-      std::vector<double> next = speeds;
-      next[machine] = upgraded;
-      candidate_x[machine] = x_measure(next, env);
+      candidate_x[machine] = evaluator.with_rho(machine, upgraded);
     }
     if (!any_feasible) break;  // additive phi no longer fits any machine
     const std::size_t chosen = argmax_with_tie_to_larger(candidate_x);
@@ -96,7 +102,8 @@ std::vector<UpgradeStep> greedy_upgrade_plan(std::vector<double> speeds, Upgrade
     } else {
       speeds[chosen] -= amount;
     }
-    plan.push_back(UpgradeStep{chosen, speeds, candidate_x[chosen]});
+    evaluator.set_rho(chosen, speeds[chosen]);
+    plan.push_back(UpgradeStep{chosen, speeds, evaluator.value()});
   }
   return plan;
 }

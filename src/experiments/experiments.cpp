@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 
+#include "hetero/numeric/summation.h"
 #include "hetero/parallel/parallel_for.h"
 #include "hetero/protocol/lp_solver.h"
 #include "hetero/random/samplers.h"
@@ -82,20 +84,43 @@ VariancePredictorResult variance_predictor_experiment(std::size_t n, std::size_t
   VariancePredictorResult init;
   init.n = n;
 
-  const auto map = [n, seed, &env](std::size_t trial) {
+  // Each chunk reuses one pair of rho buffers across all of its trials
+  // (equal_mean_pair_into only resizes within existing capacity), so the
+  // sweep performs no per-trial allocations.  Buffers are sorted into
+  // Profile's canonical nonincreasing order so variance/hecr accumulate in
+  // exactly the order the Profile-based path used.
+  struct TrialScratch {
+    std::vector<double> first;
+    std::vector<double> second;
+  };
+  // Population variance in Profile::variance's exact operation order.
+  const auto variance_of = [](const std::vector<double>& values) {
+    const double m =
+        numeric::compensated_sum(values) / static_cast<double>(values.size());
+    numeric::NeumaierSum acc;
+    for (double v : values) {
+      const double d = v - m;
+      acc.add(d * d);
+    }
+    return acc.value() / static_cast<double>(values.size());
+  };
+
+  const auto map = [n, seed, &env, &variance_of](std::size_t trial, TrialScratch& scratch) {
     VariancePredictorResult partial;
     partial.n = n;
     partial.trials = 1;
     auto rng = random::Xoshiro256StarStar::for_stream(seed, trial);
-    const random::ProfilePair pair = random::equal_mean_pair(n, rng);
-    const double var1 = pair.first.variance();
-    const double var2 = pair.second.variance();
+    random::equal_mean_pair_into(n, rng, scratch.first, scratch.second);
+    std::sort(scratch.first.begin(), scratch.first.end(), std::greater<>{});
+    std::sort(scratch.second.begin(), scratch.second.end(), std::greater<>{});
+    const double var1 = variance_of(scratch.first);
+    const double var2 = variance_of(scratch.second);
     if (std::fabs(var1 - var2) < 1e-12) {
       partial.skipped = 1;
       return partial;
     }
-    const double hecr1 = core::hecr(pair.first, env);
-    const double hecr2 = core::hecr(pair.second, env);
+    const double hecr1 = core::hecr(scratch.first, env);
+    const double hecr2 = core::hecr(scratch.second, env);
     // "Good": the larger-variance cluster is the more powerful one, i.e.
     // has the *smaller* HECR.
     const bool larger_variance_first = var1 > var2;
@@ -119,7 +144,8 @@ VariancePredictorResult variance_predictor_experiment(std::size_t n, std::size_t
     acc.hecr_gap_when_bad.merge(part.hecr_gap_when_bad);
     return acc;
   };
-  return parallel::parallel_map_reduce(pool, 0, trials, init, map, reduce);
+  return parallel::parallel_map_reduce_scratch(
+      pool, 0, trials, init, [] { return TrialScratch{}; }, map, reduce);
 }
 
 ThresholdSearchResult variance_threshold_search(std::size_t n, std::size_t trials_per_bin,

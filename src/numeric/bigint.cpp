@@ -12,24 +12,64 @@ namespace {
 
 constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
 
+// 128-bit product of two words (GCC/Clang builtin type; no standard spelling).
+__extension__ using uint128 = unsigned __int128;
+
+// gcd of two nonzero words, binary (Stein) algorithm — no divisions beyond
+// shifts, no allocation.
+std::uint64_t word_gcd(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  const int shift = std::countr_zero(a | b);
+  a >>= std::countr_zero(a);
+  do {
+    b >>= std::countr_zero(b);
+    if (a > b) std::swap(a, b);
+    b -= a;
+  } while (b != 0);
+  return a << shift;
+}
+
 }  // namespace
+
+void BigInt::set_word(int sign, std::uint64_t magnitude) noexcept {
+  limbs_.clear();
+  small_ = magnitude;
+  sign_ = magnitude == 0 ? 0 : sign;
+}
+
+void BigInt::adopt_limbs(int sign, std::vector<std::uint32_t>&& limbs) noexcept {
+  trim(limbs);
+  if (limbs.size() <= 2) {
+    std::uint64_t magnitude = limbs.empty() ? 0 : limbs[0];
+    if (limbs.size() == 2) magnitude |= static_cast<std::uint64_t>(limbs[1]) << 32;
+    set_word(sign, magnitude);
+    return;
+  }
+  limbs_ = std::move(limbs);
+  small_ = 0;
+  sign_ = sign;
+}
+
+std::vector<std::uint32_t> BigInt::magnitude_limbs() const {
+  if (!limbs_.empty()) return limbs_;
+  std::vector<std::uint32_t> limbs;
+  if (small_ != 0) {
+    limbs.push_back(static_cast<std::uint32_t>(small_ & 0xffffffffu));
+    if (small_ >> 32 != 0) limbs.push_back(static_cast<std::uint32_t>(small_ >> 32));
+  }
+  return limbs;
+}
 
 BigInt::BigInt(std::int64_t value) {
   if (value == 0) return;
-  sign_ = value < 0 ? -1 : 1;
   // Avoid UB negating INT64_MIN by working in unsigned space.
-  std::uint64_t magnitude =
+  const std::uint64_t magnitude =
       value < 0 ? ~static_cast<std::uint64_t>(value) + 1 : static_cast<std::uint64_t>(value);
-  limbs_.push_back(static_cast<std::uint32_t>(magnitude & 0xffffffffu));
-  if (magnitude >> 32 != 0) limbs_.push_back(static_cast<std::uint32_t>(magnitude >> 32));
+  set_word(value < 0 ? -1 : 1, magnitude);
 }
 
-BigInt::BigInt(std::uint64_t value) {
-  if (value == 0) return;
-  sign_ = 1;
-  limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffu));
-  if (value >> 32 != 0) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
-}
+BigInt::BigInt(std::uint64_t value) { set_word(1, value); }
 
 BigInt BigInt::from_string(std::string_view text) {
   if (text.empty()) throw std::invalid_argument("BigInt::from_string: empty input");
@@ -73,7 +113,9 @@ BigInt BigInt::from_integral_double(double value) {
 }
 
 std::size_t BigInt::bit_length() const noexcept {
-  if (limbs_.empty()) return 0;
+  if (limbs_.empty()) {
+    return small_ == 0 ? 0 : 64 - static_cast<std::size_t>(std::countl_zero(small_));
+  }
   const std::uint32_t top = limbs_.back();
   return (limbs_.size() - 1) * 32 + (32 - static_cast<std::size_t>(std::countl_zero(top)));
 }
@@ -94,11 +136,6 @@ void BigInt::trim(std::vector<std::uint32_t>& limbs) noexcept {
   while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
 }
 
-void BigInt::normalize() noexcept {
-  trim(limbs_);
-  if (limbs_.empty()) sign_ = 0;
-}
-
 int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
                               const std::vector<std::uint32_t>& b) noexcept {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
@@ -106,6 +143,18 @@ int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
   }
   return 0;
+}
+
+int BigInt::compare_magnitude(const BigInt& a, const BigInt& b) noexcept {
+  const bool a_small = a.limbs_.empty();
+  const bool b_small = b.limbs_.empty();
+  if (a_small && b_small) {
+    if (a.small_ != b.small_) return a.small_ < b.small_ ? -1 : 1;
+    return 0;
+  }
+  // Canonical large magnitudes have >= 3 limbs, i.e. >= 2^64 > any word.
+  if (a_small != b_small) return a_small ? -1 : 1;
+  return compare_magnitude(a.limbs_, b.limbs_);
 }
 
 std::vector<std::uint32_t> BigInt::add_magnitude(const std::vector<std::uint32_t>& a,
@@ -271,92 +320,147 @@ std::vector<std::uint32_t> BigInt::mul_magnitude(const std::vector<std::uint32_t
   return result;
 }
 
-BigInt& BigInt::operator+=(const BigInt& rhs) {
-  if (rhs.sign_ == 0) return *this;
+BigInt& BigInt::add_signed(const BigInt& rhs, int rhs_sign) {
+  if (rhs_sign == 0) return *this;
   if (sign_ == 0) {
-    *this = rhs;
+    if (limbs_.empty() && rhs.limbs_.empty()) {
+      set_word(rhs_sign, rhs.small_);
+    } else {
+      *this = rhs;
+      sign_ = rhs_sign;
+    }
     return *this;
   }
-  if (sign_ == rhs.sign_) {
-    limbs_ = add_magnitude(limbs_, rhs.limbs_);
-  } else {
-    int cmp = compare_magnitude(limbs_, rhs.limbs_);
-    if (cmp == 0) {
-      sign_ = 0;
-      limbs_.clear();
-    } else if (cmp > 0) {
-      limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+  if (limbs_.empty() && rhs.limbs_.empty()) {
+    // Word fast path: no allocation unless the sum carries past 2^64.
+    if (sign_ == rhs_sign) {
+      std::uint64_t sum = 0;
+      if (!__builtin_add_overflow(small_, rhs.small_, &sum)) {
+        small_ = sum;
+        return *this;
+      }
+      // Exactly one carry bit: magnitude = 2^64 + (wrapped sum).
+      std::vector<std::uint32_t> limbs{static_cast<std::uint32_t>(sum & 0xffffffffu),
+                                       static_cast<std::uint32_t>(sum >> 32), 1u};
+      adopt_limbs(sign_, std::move(limbs));
+      return *this;
+    }
+    // Opposite signs: |difference| always fits a word.
+    if (small_ >= rhs.small_) {
+      set_word(sign_, small_ - rhs.small_);
     } else {
-      limbs_ = sub_magnitude(rhs.limbs_, limbs_);
-      sign_ = rhs.sign_;
+      set_word(rhs_sign, rhs.small_ - small_);
+    }
+    return *this;
+  }
+
+  // Limb slow path.
+  if (sign_ == rhs_sign) {
+    adopt_limbs(sign_, add_magnitude(magnitude_limbs(), rhs.magnitude_limbs()));
+  } else {
+    const int cmp = compare_magnitude(*this, rhs);
+    if (cmp == 0) {
+      set_word(0, 0);
+    } else if (cmp > 0) {
+      adopt_limbs(sign_, sub_magnitude(magnitude_limbs(), rhs.magnitude_limbs()));
+    } else {
+      adopt_limbs(rhs_sign, sub_magnitude(rhs.magnitude_limbs(), magnitude_limbs()));
     }
   }
-  normalize();
   return *this;
 }
 
-BigInt& BigInt::operator-=(const BigInt& rhs) { return *this += rhs.negated(); }
+BigInt& BigInt::operator+=(const BigInt& rhs) { return add_signed(rhs, rhs.sign_); }
+
+BigInt& BigInt::operator-=(const BigInt& rhs) { return add_signed(rhs, -rhs.sign_); }
 
 BigInt& BigInt::operator*=(const BigInt& rhs) {
   if (sign_ == 0 || rhs.sign_ == 0) {
-    sign_ = 0;
-    limbs_.clear();
+    set_word(0, 0);
     return *this;
   }
-  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
-  sign_ = sign_ == rhs.sign_ ? 1 : -1;
-  normalize();
+  const int result_sign = sign_ == rhs.sign_ ? 1 : -1;
+  if (limbs_.empty() && rhs.limbs_.empty()) {
+    // Word fast path: the full 128-bit product is computed directly; only a
+    // product that overflows 64 bits materializes limbs.
+    const uint128 product = static_cast<uint128>(small_) * rhs.small_;
+    const auto hi = static_cast<std::uint64_t>(product >> 64);
+    const auto lo = static_cast<std::uint64_t>(product);
+    if (hi == 0) {
+      set_word(result_sign, lo);
+      return *this;
+    }
+    std::vector<std::uint32_t> limbs{
+        static_cast<std::uint32_t>(lo & 0xffffffffu), static_cast<std::uint32_t>(lo >> 32),
+        static_cast<std::uint32_t>(hi & 0xffffffffu), static_cast<std::uint32_t>(hi >> 32)};
+    adopt_limbs(result_sign, std::move(limbs));
+    return *this;
+  }
+  adopt_limbs(result_sign, mul_magnitude(magnitude_limbs(), rhs.magnitude_limbs()));
   return *this;
 }
 
 BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor) {
   if (divisor.is_zero()) throw std::domain_error("BigInt: division by zero");
   BigIntDivMod out;
-  int magnitude_cmp = BigInt::compare_magnitude(dividend.limbs_, divisor.limbs_);
+  if (dividend.is_zero()) return out;
+
+  const int quotient_sign = dividend.sign_ == divisor.sign_ ? 1 : -1;
+
+  if (dividend.limbs_.empty() && divisor.limbs_.empty()) {
+    // Word fast path: one hardware divmod.
+    out.quotient.set_word(quotient_sign, dividend.small_ / divisor.small_);
+    out.remainder.set_word(dividend.sign_, dividend.small_ % divisor.small_);
+    return out;
+  }
+
+  const int magnitude_cmp = BigInt::compare_magnitude(dividend, divisor);
   if (magnitude_cmp < 0) {
     out.remainder = dividend;
     return out;
   }
 
+  const std::vector<std::uint32_t> dividend_limbs = dividend.magnitude_limbs();
+  const std::vector<std::uint32_t> divisor_limbs = divisor.magnitude_limbs();
   std::vector<std::uint32_t> quotient;
   std::vector<std::uint32_t> remainder;
 
-  if (divisor.limbs_.size() == 1) {
+  if (divisor_limbs.size() == 1) {
     // Short division by a single limb.
-    const std::uint64_t d = divisor.limbs_[0];
-    quotient.assign(dividend.limbs_.size(), 0);
+    const std::uint64_t d = divisor_limbs[0];
+    quotient.assign(dividend_limbs.size(), 0);
     std::uint64_t rem = 0;
-    for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
-      std::uint64_t cur = (rem << 32) | dividend.limbs_[i];
+    for (std::size_t i = dividend_limbs.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | dividend_limbs[i];
       quotient[i] = static_cast<std::uint32_t>(cur / d);
       rem = cur % d;
     }
     if (rem != 0) remainder.push_back(static_cast<std::uint32_t>(rem));
   } else {
     // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) in base 2^32.
-    const std::size_t n = divisor.limbs_.size();
-    const std::size_t m = dividend.limbs_.size() - n;
+    const std::size_t n = divisor_limbs.size();
+    const std::size_t m = dividend_limbs.size() - n;
     const auto shift =
-        static_cast<unsigned>(std::countl_zero(divisor.limbs_.back()));
+        static_cast<unsigned>(std::countl_zero(divisor_limbs.back()));
 
     // Normalized copies: v has its top bit set; u gets an extra high limb.
     std::vector<std::uint32_t> v(n);
     for (std::size_t i = n; i-- > 0;) {
-      std::uint64_t hi = static_cast<std::uint64_t>(divisor.limbs_[i]) << shift;
+      std::uint64_t hi = static_cast<std::uint64_t>(divisor_limbs[i]) << shift;
       std::uint64_t lo = (shift != 0 && i > 0)
-                             ? divisor.limbs_[i - 1] >> (32 - shift)
+                             ? divisor_limbs[i - 1] >> (32 - shift)
                              : 0;
       v[i] = static_cast<std::uint32_t>(hi | lo);
     }
-    std::vector<std::uint32_t> u(dividend.limbs_.size() + 1, 0);
+    std::vector<std::uint32_t> u(dividend_limbs.size() + 1, 0);
     if (shift == 0) {
-      std::copy(dividend.limbs_.begin(), dividend.limbs_.end(), u.begin());
+      std::copy(dividend_limbs.begin(), dividend_limbs.end(), u.begin());
     } else {
-      u[dividend.limbs_.size()] =
-          dividend.limbs_.back() >> (32 - shift);
-      for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
-        std::uint64_t hi = static_cast<std::uint64_t>(dividend.limbs_[i]) << shift;
-        std::uint64_t lo = i > 0 ? dividend.limbs_[i - 1] >> (32 - shift) : 0;
+      u[dividend_limbs.size()] =
+          dividend_limbs.back() >> (32 - shift);
+      for (std::size_t i = dividend_limbs.size(); i-- > 0;) {
+        std::uint64_t hi = static_cast<std::uint64_t>(dividend_limbs[i]) << shift;
+        std::uint64_t lo = i > 0 ? dividend_limbs[i - 1] >> (32 - shift) : 0;
         u[i] = static_cast<std::uint32_t>((hi | lo) & 0xffffffffu);
       }
     }
@@ -422,16 +526,10 @@ BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor) {
         remainder[i] = static_cast<std::uint32_t>((lo | hi) & 0xffffffffu);
       }
     }
-    BigInt::trim(remainder);
   }
 
-  BigInt::trim(quotient);
-  out.quotient.limbs_ = std::move(quotient);
-  out.quotient.sign_ = out.quotient.limbs_.empty()
-                           ? 0
-                           : (dividend.sign_ == divisor.sign_ ? 1 : -1);
-  out.remainder.limbs_ = std::move(remainder);
-  out.remainder.sign_ = out.remainder.limbs_.empty() ? 0 : dividend.sign_;
+  out.quotient.adopt_limbs(quotient_sign, std::move(quotient));
+  out.remainder.adopt_limbs(dividend.sign_, std::move(remainder));
   return out;
 }
 
@@ -447,25 +545,32 @@ BigInt& BigInt::operator%=(const BigInt& rhs) {
 
 BigInt& BigInt::operator<<=(std::size_t bits) {
   if (sign_ == 0 || bits == 0) return *this;
+  if (limbs_.empty() && bits < 64 && bit_length() + bits <= 64) {
+    small_ <<= bits;
+    return *this;
+  }
   const std::size_t limb_shift = bits / 32;
   const unsigned bit_shift = static_cast<unsigned>(bits % 32);
-  std::vector<std::uint32_t> result(limbs_.size() + limb_shift + 1, 0);
-  for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    std::uint64_t shifted = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+  const std::vector<std::uint32_t> source = magnitude_limbs();
+  std::vector<std::uint32_t> result(source.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    std::uint64_t shifted = static_cast<std::uint64_t>(source[i]) << bit_shift;
     result[i + limb_shift] |= static_cast<std::uint32_t>(shifted & 0xffffffffu);
     result[i + limb_shift + 1] |= static_cast<std::uint32_t>(shifted >> 32);
   }
-  limbs_ = std::move(result);
-  normalize();
+  adopt_limbs(sign_, std::move(result));
   return *this;
 }
 
 BigInt& BigInt::operator>>=(std::size_t bits) {
   if (sign_ == 0 || bits == 0) return *this;
+  if (limbs_.empty()) {
+    set_word(sign_, bits >= 64 ? 0 : small_ >> bits);
+    return *this;
+  }
   const std::size_t limb_shift = bits / 32;
   if (limb_shift >= limbs_.size()) {
-    sign_ = 0;
-    limbs_.clear();
+    set_word(0, 0);
     return *this;
   }
   const unsigned bit_shift = static_cast<unsigned>(bits % 32);
@@ -478,15 +583,20 @@ BigInt& BigInt::operator>>=(std::size_t bits) {
                            : 0;
     result[i] = static_cast<std::uint32_t>((lo | hi) & 0xffffffffu);
   }
-  limbs_ = std::move(result);
-  normalize();
+  adopt_limbs(sign_, std::move(result));
   return *this;
 }
 
 BigInt BigInt::gcd(BigInt a, BigInt b) {
-  a.sign_ = a.limbs_.empty() ? 0 : 1;
-  b.sign_ = b.limbs_.empty() ? 0 : 1;
+  if (a.limbs_.empty() && b.limbs_.empty()) {
+    return BigInt{word_gcd(a.small_, b.small_)};
+  }
+  a.sign_ = a.is_zero() ? 0 : 1;
+  b.sign_ = b.is_zero() ? 0 : 1;
   while (!b.is_zero()) {
+    if (a.limbs_.empty() && b.limbs_.empty()) {
+      return BigInt{word_gcd(a.small_, b.small_)};
+    }
     BigInt r = div_mod(a, b).remainder;
     a = std::move(b);
     b = std::move(r);
@@ -509,7 +619,7 @@ std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept 
   if (lhs.sign_ != rhs.sign_) {
     return lhs.sign_ < rhs.sign_ ? std::strong_ordering::less : std::strong_ordering::greater;
   }
-  int cmp = BigInt::compare_magnitude(lhs.limbs_, rhs.limbs_);
+  int cmp = BigInt::compare_magnitude(lhs, rhs);
   if (lhs.sign_ < 0) cmp = -cmp;
   if (cmp < 0) return std::strong_ordering::less;
   if (cmp > 0) return std::strong_ordering::greater;
@@ -518,6 +628,10 @@ std::strong_ordering operator<=>(const BigInt& lhs, const BigInt& rhs) noexcept 
 
 std::string BigInt::to_string() const {
   if (is_zero()) return "0";
+  if (limbs_.empty()) {
+    std::string digits = std::to_string(small_);
+    return sign_ < 0 ? "-" + digits : digits;
+  }
   // Repeatedly divide by 10^9 to extract decimal chunks.
   constexpr std::uint64_t kChunk = 1000000000;
   std::vector<std::uint32_t> work = limbs_;
@@ -543,40 +657,32 @@ std::string BigInt::to_string() const {
 
 double BigInt::to_double() const noexcept {
   if (is_zero()) return 0.0;
-  const std::size_t bits = bit_length();
   double result;
-  if (bits <= 64) {
-    std::uint64_t value = limbs_[0];
-    if (limbs_.size() > 1) value |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-    result = static_cast<double>(value);
+  if (limbs_.empty()) {
+    result = static_cast<double>(small_);
   } else {
     // Take the top 64 bits and scale.
+    const std::size_t bits = bit_length();
     BigInt top = *this;
     top.sign_ = 1;
     const std::size_t drop = bits - 64;
     top >>= drop;
-    std::uint64_t value = top.limbs_[0];
-    if (top.limbs_.size() > 1) value |= static_cast<std::uint64_t>(top.limbs_[1]) << 32;
-    result = std::ldexp(static_cast<double>(value), static_cast<int>(drop));
+    result = std::ldexp(static_cast<double>(top.small_), static_cast<int>(drop));
   }
   return sign_ < 0 ? -result : result;
 }
 
 bool BigInt::fits_int64() const noexcept {
-  if (limbs_.size() > 2) return false;
-  if (limbs_.size() < 2) return true;
-  std::uint64_t magnitude = (static_cast<std::uint64_t>(limbs_[1]) << 32) | limbs_[0];
-  if (sign_ >= 0) return magnitude <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
-  return magnitude <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1;
+  if (!limbs_.empty()) return false;
+  if (sign_ >= 0) return small_ <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  return small_ <= static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1;
 }
 
 std::int64_t BigInt::to_int64() const {
   if (!fits_int64()) throw std::overflow_error("BigInt::to_int64: out of range");
   if (is_zero()) return 0;
-  std::uint64_t magnitude = limbs_[0];
-  if (limbs_.size() > 1) magnitude |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  if (sign_ > 0) return static_cast<std::int64_t>(magnitude);
-  return static_cast<std::int64_t>(~magnitude + 1);
+  if (sign_ > 0) return static_cast<std::int64_t>(small_);
+  return static_cast<std::int64_t>(~small_ + 1);
 }
 
 std::ostream& operator<<(std::ostream& os, const BigInt& value) {

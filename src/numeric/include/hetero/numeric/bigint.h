@@ -21,9 +21,15 @@ struct BigIntDivMod;
 
 /// Signed arbitrary-precision integer with value semantics.
 ///
-/// Representation: sign in {-1, 0, +1} plus a little-endian vector of
-/// 32-bit limbs with no trailing zero limbs.  Zero is canonically
-/// (sign == 0, limbs empty).
+/// Representation: sign in {-1, 0, +1} plus the magnitude, stored in one of
+/// two forms:
+///   * small: a single inline 64-bit word (`small_`), no heap allocation —
+///     every magnitude < 2^64 is canonically stored this way;
+///   * large: a little-endian vector of 32-bit limbs with no trailing zero
+///     limbs (canonically >= 3 limbs, since anything shorter fits the word).
+/// Zero is canonically (sign == 0, small == 0, limbs empty).  The word form
+/// carries hardware add/sub/mul/divmod fast paths; results are renormalized
+/// to the canonical form after every operation, so equality is structural.
 class BigInt {
  public:
   BigInt() = default;
@@ -42,11 +48,27 @@ class BigInt {
 
   [[nodiscard]] bool is_zero() const noexcept { return sign_ == 0; }
   [[nodiscard]] bool is_negative() const noexcept { return sign_ < 0; }
+  [[nodiscard]] bool is_one() const noexcept {
+    return sign_ > 0 && limbs_.empty() && small_ == 1;
+  }
+  /// |*this| == 1 (so it divides everything: gcd against it is 1).
+  [[nodiscard]] bool has_unit_magnitude() const noexcept {
+    return limbs_.empty() && small_ == 1;
+  }
   [[nodiscard]] int signum() const noexcept { return sign_; }
 
   /// Number of significant bits of the magnitude (0 for zero).
   [[nodiscard]] std::size_t bit_length() const noexcept;
-  [[nodiscard]] std::size_t limb_count() const noexcept { return limbs_.size(); }
+  /// Number of 32-bit limbs the magnitude occupies (0 for zero); counts the
+  /// words of the inline representation too, so it tracks magnitude, not
+  /// storage.
+  [[nodiscard]] std::size_t limb_count() const noexcept {
+    if (!limbs_.empty()) return limbs_.size();
+    if (small_ == 0) return 0;
+    return small_ >> 32 != 0 ? 2 : 1;
+  }
+  /// True when the magnitude is held in the inline word (no heap storage).
+  [[nodiscard]] bool is_small() const noexcept { return limbs_.empty(); }
 
   [[nodiscard]] BigInt abs() const;
   [[nodiscard]] BigInt negated() const;
@@ -90,6 +112,7 @@ class BigInt {
  private:
   static int compare_magnitude(const std::vector<std::uint32_t>& a,
                                const std::vector<std::uint32_t>& b) noexcept;
+  static int compare_magnitude(const BigInt& a, const BigInt& b) noexcept;
   static std::vector<std::uint32_t> add_magnitude(const std::vector<std::uint32_t>& a,
                                                   const std::vector<std::uint32_t>& b);
   // Requires |a| >= |b|.
@@ -98,10 +121,20 @@ class BigInt {
   static std::vector<std::uint32_t> mul_magnitude(const std::vector<std::uint32_t>& a,
                                                   const std::vector<std::uint32_t>& b);
   static void trim(std::vector<std::uint32_t>& limbs) noexcept;
-  void normalize() noexcept;
+
+  // Canonicalization: magnitudes < 2^64 live in small_, anything larger in
+  // limbs_.  set_word installs a word magnitude; adopt_limbs installs a limb
+  // vector, trimming and demoting to the word form when it fits.
+  void set_word(int sign, std::uint64_t magnitude) noexcept;
+  void adopt_limbs(int sign, std::vector<std::uint32_t>&& limbs) noexcept;
+  // Materializes the magnitude as limbs (slow-path entry for small values).
+  [[nodiscard]] std::vector<std::uint32_t> magnitude_limbs() const;
+  // Signed addition core shared by += and -=: *this += rhs_sign * |rhs|.
+  BigInt& add_signed(const BigInt& rhs, int rhs_sign);
 
   int sign_ = 0;
-  std::vector<std::uint32_t> limbs_;
+  std::uint64_t small_ = 0;           // magnitude when limbs_ is empty
+  std::vector<std::uint32_t> limbs_;  // magnitude otherwise (>= 3 limbs)
 
   friend struct BigIntDivMod;
   friend BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor);

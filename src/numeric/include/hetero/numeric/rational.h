@@ -59,6 +59,13 @@ class Rational {
   friend std::ostream& operator<<(std::ostream& os, const Rational& value);
 
  private:
+  /// Constructs from a fraction already known to be in lowest terms with a
+  /// positive denominator — skips the gcd.
+  [[nodiscard]] static Rational from_reduced(BigInt numerator, BigInt denominator);
+
+  /// Shared +=/-= core (Knuth 4.5.1 small-gcd addition).
+  Rational& add_signed(const Rational& rhs, bool subtract);
+
   void reduce();
 
   BigInt num_;

@@ -42,6 +42,22 @@ class NeumaierSum {
   [[nodiscard]] double value() const noexcept { return sum_ + compensation_; }
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
+  /// Raw accumulator state, for callers that checkpoint a running sum and
+  /// later resume it bit-for-bit (see restore).
+  [[nodiscard]] double raw_sum() const noexcept { return sum_; }
+  [[nodiscard]] double compensation() const noexcept { return compensation_; }
+
+  /// Rebuilds an accumulator from previously captured raw state; adding the
+  /// same suffix of values to it reproduces the original sum bit-for-bit.
+  [[nodiscard]] static NeumaierSum restore(double sum, double compensation,
+                                           std::size_t count) noexcept {
+    NeumaierSum acc;
+    acc.sum_ = sum;
+    acc.compensation_ = compensation;
+    acc.count_ = count;
+    return acc;
+  }
+
   void reset() noexcept { *this = NeumaierSum{}; }
 
  private:

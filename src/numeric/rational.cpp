@@ -1,6 +1,8 @@
 #include "hetero/numeric/rational.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -13,6 +15,13 @@ Rational::Rational(BigInt numerator, BigInt denominator)
   reduce();
 }
 
+Rational Rational::from_reduced(BigInt numerator, BigInt denominator) {
+  Rational result;
+  result.num_ = std::move(numerator);
+  result.den_ = std::move(denominator);
+  return result;
+}
+
 Rational Rational::from_double(double value) {
   if (!std::isfinite(value)) throw std::invalid_argument("Rational::from_double: non-finite");
   if (value == 0.0) return Rational{};
@@ -21,6 +30,12 @@ Rational Rational::from_double(double value) {
   double mantissa = std::frexp(value, &exponent);
   auto scaled = static_cast<std::int64_t>(std::ldexp(mantissa, 53));
   exponent -= 53;
+  // Strip trailing zero bits so the fraction below is in lowest terms by
+  // construction (odd numerator or unit denominator) — no gcd needed.
+  const auto magnitude = static_cast<std::uint64_t>(scaled < 0 ? -scaled : scaled);
+  const int trailing = std::countr_zero(magnitude);
+  scaled >>= trailing;
+  exponent += trailing;
   BigInt num{scaled};
   BigInt den{1};
   if (exponent >= 0) {
@@ -28,7 +43,7 @@ Rational Rational::from_double(double value) {
   } else {
     den <<= static_cast<std::size_t>(-exponent);
   }
-  return Rational{std::move(num), std::move(den)};
+  return from_reduced(std::move(num), std::move(den));
 }
 
 void Rational::reduce() {
@@ -40,39 +55,109 @@ void Rational::reduce() {
     den_ = BigInt{1};
     return;
   }
+  // Cheap-normalization fast paths: a unit denominator or unit numerator
+  // divides nothing out, so the gcd is skippable outright.
+  if (den_.is_one() || num_.has_unit_magnitude()) return;
   BigInt g = BigInt::gcd(num_, den_);
-  if (g != BigInt{1}) {
+  if (!g.is_one()) {
     num_ /= g;
     den_ /= g;
   }
 }
 
-Rational& Rational::operator+=(const Rational& rhs) {
-  num_ = num_ * rhs.den_ + rhs.num_ * den_;
-  den_ *= rhs.den_;
-  reduce();
+Rational& Rational::add_signed(const Rational& rhs, bool subtract) {
+  const auto combine = [subtract](BigInt lhs_term, const BigInt& rhs_term) {
+    if (subtract) {
+      lhs_term -= rhs_term;
+    } else {
+      lhs_term += rhs_term;
+    }
+    return lhs_term;
+  };
+  // Integer operands keep the denominator and the reduced form:
+  // gcd(a +/- c*b, b) = gcd(a, b) = 1.
+  if (rhs.den_.is_one()) {
+    num_ = combine(std::move(num_), rhs.num_ * den_);
+    if (num_.is_zero()) den_ = BigInt{1};
+    return *this;
+  }
+  if (den_.is_one()) {
+    num_ = combine(num_ * rhs.den_, rhs.num_);
+    den_ = rhs.den_;
+    if (num_.is_zero()) den_ = BigInt{1};
+    return *this;
+  }
+  // Knuth 4.5.1: with t = gcd(b, d), only gcd(num, t) can survive in the
+  // result, so coprime denominators (the common case) need no reduction at
+  // all and the general case reduces by gcds of much smaller operands.
+  const BigInt t = BigInt::gcd(den_, rhs.den_);
+  if (t.is_one()) {
+    num_ = combine(num_ * rhs.den_, rhs.num_ * den_);
+    den_ *= rhs.den_;
+    if (num_.is_zero()) den_ = BigInt{1};
+    return *this;
+  }
+  const BigInt rhs_den_part = rhs.den_ / t;  // d / t
+  num_ = combine(num_ * rhs_den_part, rhs.num_ * (den_ / t));
+  if (num_.is_zero()) {
+    den_ = BigInt{1};
+    return *this;
+  }
+  const BigInt g = BigInt::gcd(num_, t);
+  if (g.is_one()) {
+    den_ *= rhs_den_part;
+  } else {
+    num_ /= g;
+    den_ = (den_ / g) * rhs_den_part;
+  }
   return *this;
 }
 
-Rational& Rational::operator-=(const Rational& rhs) {
-  num_ = num_ * rhs.den_ - rhs.num_ * den_;
-  den_ *= rhs.den_;
-  reduce();
-  return *this;
-}
+Rational& Rational::operator+=(const Rational& rhs) { return add_signed(rhs, false); }
+
+Rational& Rational::operator-=(const Rational& rhs) { return add_signed(rhs, true); }
 
 Rational& Rational::operator*=(const Rational& rhs) {
-  num_ *= rhs.num_;
-  den_ *= rhs.den_;
-  reduce();
+  if (this == &rhs) {  // squaring: a reduced fraction squared stays reduced
+    num_ *= num_;
+    den_ *= den_;
+    return *this;
+  }
+  if (num_.is_zero() || rhs.num_.is_zero()) {
+    num_ = BigInt{0};
+    den_ = BigInt{1};
+    return *this;
+  }
+  // Cross-reduction: divide out gcd(a, d) and gcd(c, b) first; the product
+  // of the reduced parts is already in lowest terms, so no final gcd.
+  const BigInt g1 = BigInt::gcd(num_, rhs.den_);
+  const BigInt g2 = BigInt::gcd(rhs.num_, den_);
+  if (!g1.is_one()) num_ /= g1;
+  if (!g2.is_one()) den_ /= g2;
+  num_ *= g2.is_one() ? rhs.num_ : rhs.num_ / g2;
+  den_ *= g1.is_one() ? rhs.den_ : rhs.den_ / g1;
   return *this;
 }
 
 Rational& Rational::operator/=(const Rational& rhs) {
   if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
-  num_ *= rhs.den_;
-  den_ *= rhs.num_;
-  reduce();
+  if (this == &rhs) {  // x / x == 1 for any nonzero x
+    num_ = BigInt{1};
+    den_ = BigInt{1};
+    return *this;
+  }
+  if (num_.is_zero()) return *this;
+  // Cross-reduction against the flipped divisor: gcd(a, c) and gcd(b, d).
+  const BigInt g1 = BigInt::gcd(num_, rhs.num_);
+  const BigInt g2 = BigInt::gcd(den_, rhs.den_);
+  if (!g1.is_one()) num_ /= g1;
+  if (!g2.is_one()) den_ /= g2;
+  num_ *= g2.is_one() ? rhs.den_ : rhs.den_ / g2;
+  den_ *= g1.is_one() ? rhs.num_ : rhs.num_ / g1;
+  if (den_.is_negative()) {
+    num_ = num_.negated();
+    den_ = den_.negated();
+  }
   return *this;
 }
 
@@ -90,19 +175,21 @@ Rational Rational::abs() const {
 
 Rational Rational::reciprocal() const {
   if (is_zero()) throw std::domain_error("Rational::reciprocal of zero");
-  Rational result;
-  result.num_ = den_;
-  result.den_ = num_;
-  result.reduce();
+  // Stored in lowest terms, so the flip is too — no re-reduction, just
+  // normalize the sign onto the numerator.
+  Rational result = from_reduced(den_, num_);
+  if (result.den_.is_negative()) {
+    result.num_ = result.num_.negated();
+    result.den_ = result.den_.negated();
+  }
   return result;
 }
 
 Rational Rational::pow(const Rational& base, std::int64_t exponent) {
   if (exponent < 0) return pow(base.reciprocal(), -exponent);
-  Rational result;
-  result.num_ = BigInt::pow(base.num_, static_cast<std::uint64_t>(exponent));
-  result.den_ = BigInt::pow(base.den_, static_cast<std::uint64_t>(exponent));
-  return result;  // powers of a reduced fraction stay reduced
+  // powers of a reduced fraction stay reduced
+  return from_reduced(BigInt::pow(base.num_, static_cast<std::uint64_t>(exponent)),
+                      BigInt::pow(base.den_, static_cast<std::uint64_t>(exponent)));
 }
 
 std::strong_ordering operator<=>(const Rational& lhs, const Rational& rhs) {
@@ -128,7 +215,7 @@ double Rational::to_double() const noexcept {
 }
 
 std::string Rational::to_string() const {
-  if (den_ == BigInt{1}) return num_.to_string();
+  if (den_.is_one()) return num_.to_string();
   return num_.to_string() + "/" + den_.to_string();
 }
 

@@ -1,13 +1,32 @@
 #include "hetero/numeric/simplex.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "hetero/numeric/rational.h"
 
 namespace hetero::numeric {
 namespace {
+
+/// Memoized Rational::from_double: protocol tableaus repeat the same few
+/// coefficient values across many cells, and the lift (frexp + shifts) is
+/// far more expensive than a hash probe.  Keyed on the bit pattern so -0.0
+/// and 0.0 stay distinct lifts (both map to zero anyway).
+class LiftMemo {
+ public:
+  const Rational& operator()(double value) {
+    const auto [it, inserted] = cache_.try_emplace(std::bit_cast<std::uint64_t>(value));
+    if (inserted) it->second = Rational::from_double(value);
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, Rational> cache_;
+};
 
 // Dense simplex tableau over exact rationals.
 //
@@ -43,15 +62,21 @@ class Tableau {
     rows_.assign((m_ + 1) * cols_, Rational{});
     basis_.resize(m_);
 
+    // The protocol tableaus repeat the same handful of coefficients (A,
+    // B*rho_m, tau*delta, the lifespan) across rows; memoize the exact lifts
+    // instead of re-running from_double per cell.
+    LiftMemo lift;
     std::size_t artificial_index = 0;
     for (std::size_t i = 0; i < m_; ++i) {
-      const Rational row_sign{flipped[i] ? -1 : 1};
+      const bool flip = flipped[i];
       for (std::size_t j = 0; j < n_; ++j) {
-        at(i, j) = row_sign * Rational::from_double(a(i, j));
+        const double value = a(i, j);
+        if (value == 0.0) continue;  // keep the exact zero already in place
+        at(i, j) = lift(flip ? -value : value);
       }
-      at(i, n_ + i) = row_sign;  // slack (surplus when flipped)
-      rhs(i) = row_sign * Rational::from_double(b[i]);
-      if (flipped[i]) {
+      at(i, n_ + i) = Rational{flip ? -1 : 1};  // slack (surplus when flipped)
+      rhs(i) = lift(flip ? -b[i] : b[i]);
+      if (flip) {
         const std::size_t art_col = n_ + m_ + artificial_index;
         at(i, art_col) = Rational{1};
         basis_[i] = art_col;
@@ -61,7 +86,7 @@ class Tableau {
       }
     }
     objective_.reserve(n_);
-    for (double value : c) objective_.push_back(Rational::from_double(value));
+    for (double value : c) objective_.push_back(lift(value));
   }
 
   /// Phase 1: drive artificials out.  Returns false iff infeasible.
@@ -130,16 +155,35 @@ class Tableau {
   // Artificials must never re-enter in phase 2.
   [[nodiscard]] std::size_t enterable_columns() const { return n_ + m_; }
 
+  // Sparse-aware Gauss-Jordan step.  Protocol tableaus start mostly zero
+  // (identity slack block, few structurals per row) and exact pivoting keeps
+  // them sparse, so skipping zero cells in the pivot row removes the bulk of
+  // the Rational work; the scratch member recycles one product temporary
+  // instead of constructing one per cell.
   void pivot(std::size_t pivot_row, std::size_t pivot_col) {
-    const Rational pivot_value = at(pivot_row, pivot_col);
-    const Rational inverse = pivot_value.reciprocal();
-    for (std::size_t j = 0; j < cols_; ++j) at(pivot_row, j) *= inverse;
+    const Rational& pivot_value = at(pivot_row, pivot_col);
+    const bool unit_pivot =
+        pivot_value.numerator().is_one() && pivot_value.denominator().is_one();
+    if (!unit_pivot) {
+      const Rational inverse = pivot_value.reciprocal();
+      for (std::size_t j = 0; j < cols_; ++j) {
+        Rational& cell = at(pivot_row, j);
+        if (!cell.is_zero()) cell *= inverse;
+      }
+    }
     for (std::size_t r = 0; r <= m_; ++r) {
       if (r == pivot_row) continue;
-      const Rational factor = at(r, pivot_col);
-      if (factor.is_zero()) continue;
+      Rational& entry = at(r, pivot_col);
+      if (entry.is_zero()) continue;
+      factor_ = std::move(entry);
+      entry = Rational{};  // eliminated exactly: entry - factor * 1 == 0
       for (std::size_t j = 0; j < cols_; ++j) {
-        at(r, j) -= factor * at(pivot_row, j);
+        if (j == pivot_col) continue;
+        const Rational& pivot_cell = at(pivot_row, j);
+        if (pivot_cell.is_zero()) continue;
+        scratch_ = factor_;
+        scratch_ *= pivot_cell;
+        at(r, j) -= scratch_;
       }
     }
     basis_[pivot_row] = pivot_col;
@@ -184,6 +228,8 @@ class Tableau {
   std::vector<Rational> rows_;
   std::vector<std::size_t> basis_;
   std::vector<Rational> objective_;
+  Rational factor_;   // pivot-column multiplier being eliminated
+  Rational scratch_;  // recycled product temporary for pivot updates
 };
 
 }  // namespace

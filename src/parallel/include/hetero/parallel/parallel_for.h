@@ -7,11 +7,17 @@
 // finish, rethrowing the first task exception.  parallel_map_reduce is the
 // shape every Monte-Carlo experiment uses: each index produces a value,
 // per-chunk partials are combined with a user reducer.
+//
+// All entry points are templated on the callables (no std::function hop:
+// the body is invoked once per index, so an indirect call per iteration is
+// pure overhead), and chunk closures capture the caller's callables by
+// reference — every call blocks until the chunks finish, so the references
+// cannot dangle.
 
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <future>
+#include <utility>
 #include <vector>
 
 #include "hetero/parallel/thread_pool.h"
@@ -28,27 +34,61 @@ struct ChunkingOptions {
     std::size_t begin, std::size_t end, std::size_t threads,
     const ChunkingOptions& options = ChunkingOptions{});
 
+namespace detail {
+
+/// Waits on every future, rethrowing the first captured exception.
+template <typename Future>
+void drain(std::vector<Future>& pending) {
+  std::exception_ptr first_error;
+  for (auto& task : pending) {
+    try {
+      task.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
 /// Runs body(i) for every i in [begin, end).  Blocks until done; the first
 /// exception thrown by any chunk is rethrown on the caller.
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  const ChunkingOptions& options = ChunkingOptions{});
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, const Body& body,
+                  const ChunkingOptions& options = ChunkingOptions{}) {
+  const auto ranges = chunk_ranges(begin, end, pool.thread_count(), options);
+  std::vector<std::future<void>> pending;
+  pending.reserve(ranges.size());
+  for (const auto& [lo, hi] : ranges) {
+    pending.push_back(pool.submit([lo = lo, hi = hi, &body]() {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  detail::drain(pending);
+}
 
-/// Map-reduce over [begin, end): `map(i)` produces a T, `reduce(acc, value)`
-/// folds values into the accumulator (applied first within chunks in index
-/// order, then across chunks in chunk order, so a deterministic map +
-/// associative reduce gives deterministic results).
-template <typename T, typename MapFn, typename ReduceFn>
-[[nodiscard]] T parallel_map_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
-                                    T init, MapFn map, ReduceFn reduce,
-                                    const ChunkingOptions& options = ChunkingOptions{}) {
+/// Map-reduce over [begin, end) where every chunk first builds private
+/// scratch state via make_scratch() and hands it to each map(i, scratch)
+/// call — the pattern for reusing buffers across trials without sharing
+/// them across threads.  `reduce(acc, value)` folds values into the
+/// accumulator (applied first within chunks in index order, then across
+/// chunks in chunk order, so a deterministic map + associative reduce gives
+/// deterministic results).
+template <typename T, typename MakeScratch, typename MapFn, typename ReduceFn>
+[[nodiscard]] T parallel_map_reduce_scratch(ThreadPool& pool, std::size_t begin,
+                                            std::size_t end, const T& init,
+                                            const MakeScratch& make_scratch, const MapFn& map,
+                                            const ReduceFn& reduce,
+                                            const ChunkingOptions& options = ChunkingOptions{}) {
   const auto ranges = chunk_ranges(begin, end, pool.thread_count(), options);
   std::vector<std::future<T>> partials;
   partials.reserve(ranges.size());
   for (const auto& [lo, hi] : ranges) {
-    partials.push_back(pool.submit([lo = lo, hi = hi, init, map, reduce]() {
+    partials.push_back(pool.submit([lo = lo, hi = hi, &init, &make_scratch, &map, &reduce]() {
+      auto scratch = make_scratch();
       T acc = init;
-      for (std::size_t i = lo; i < hi; ++i) acc = reduce(std::move(acc), map(i));
+      for (std::size_t i = lo; i < hi; ++i) acc = reduce(std::move(acc), map(i, scratch));
       return acc;
     }));
   }
@@ -63,6 +103,18 @@ template <typename T, typename MapFn, typename ReduceFn>
   }
   if (first_error) std::rethrow_exception(first_error);
   return result;
+}
+
+/// Map-reduce over [begin, end): `map(i)` produces a T, `reduce(acc, value)`
+/// folds values into the accumulator (same determinism guarantee as above).
+template <typename T, typename MapFn, typename ReduceFn>
+[[nodiscard]] T parallel_map_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                                    const T& init, const MapFn& map, const ReduceFn& reduce,
+                                    const ChunkingOptions& options = ChunkingOptions{}) {
+  struct NoScratch {};
+  return parallel_map_reduce_scratch(
+      pool, begin, end, init, [] { return NoScratch{}; },
+      [&map](std::size_t i, NoScratch&) { return map(i); }, reduce, options);
 }
 
 }  // namespace hetero::parallel

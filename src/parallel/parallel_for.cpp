@@ -21,26 +21,4 @@ std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(std::size_t begin,
   return ranges;
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  const ChunkingOptions& options) {
-  const auto ranges = chunk_ranges(begin, end, pool.thread_count(), options);
-  std::vector<std::future<void>> pending;
-  pending.reserve(ranges.size());
-  for (const auto& [lo, hi] : ranges) {
-    pending.push_back(pool.submit([lo = lo, hi = hi, &body]() {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
-  }
-  std::exception_ptr first_error;
-  for (auto& task : pending) {
-    try {
-      task.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
-}
-
 }  // namespace hetero::parallel

@@ -73,6 +73,15 @@ struct PairSamplerConfig {
 [[nodiscard]] ProfilePair equal_mean_pair(std::size_t n, Xoshiro256StarStar& rng,
                                           const PairSamplerConfig& config = PairSamplerConfig{});
 
+/// Allocation-reusing form of equal_mean_pair: fills the caller's buffers
+/// (resized to n; capacity is reused across calls) with the same draw, in
+/// the same RNG order, as equal_mean_pair.  Values are left in draw order —
+/// sort nonincreasing to match Profile's canonical power indexing.  Throws
+/// std::runtime_error when the rejection budget is exhausted.
+void equal_mean_pair_into(std::size_t n, Xoshiro256StarStar& rng, std::vector<double>& first,
+                          std::vector<double>& second,
+                          const PairSamplerConfig& config = PairSamplerConfig{});
+
 /// Builds an n-machine profile with the given mean and (approximately, to
 /// within the jitter) the given variance: half the machines at
 /// mean + d, half at mean - d with d = sqrt(variance), plus uniform jitter of

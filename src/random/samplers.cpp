@@ -82,19 +82,39 @@ std::optional<std::vector<double>> scale_spread(std::vector<double> values, doub
   return values;
 }
 
-ProfilePair equal_mean_pair(std::size_t n, Xoshiro256StarStar& rng,
-                            const PairSamplerConfig& config) {
+void equal_mean_pair_into(std::size_t n, Xoshiro256StarStar& rng, std::vector<double>& first,
+                          std::vector<double>& second, const PairSamplerConfig& config) {
   if (n == 0) throw std::invalid_argument("equal_mean_pair: empty cluster");
+  if (!(config.lo > 0.0) || !(config.lo < config.hi)) {
+    throw std::invalid_argument("equal_mean_pair: need 0 < lo < hi");
+  }
   for (int attempt = 0; attempt < config.max_attempts; ++attempt) {
-    std::vector<double> first = uniform_rho_values(n, rng, config.lo, config.hi);
-    std::vector<double> second = uniform_rho_values(n, rng, config.lo, config.hi);
+    first.resize(n);
+    for (double& v : first) v = rng.uniform(config.lo, config.hi);
+    second.resize(n);
+    for (double& v : second) v = rng.uniform(config.lo, config.hi);
     // Shift the second profile so the means coincide; a shift leaves its
     // variance untouched, so variances remain freely distributed.
-    auto matched = match_mean_by_shifting(std::move(second), mean_of(first), 0.0, config.hi);
-    if (!matched) continue;
-    return ProfilePair{core::Profile{std::move(first)}, core::Profile{std::move(*matched)}};
+    const double shift = mean_of(first) - mean_of(second);
+    bool in_bounds = true;
+    for (double& v : second) {
+      v += shift;
+      if (!(v > 0.0) || v > config.hi) {
+        in_bounds = false;
+        break;
+      }
+    }
+    if (in_bounds) return;
   }
   throw std::runtime_error("equal_mean_pair: rejection budget exhausted");
+}
+
+ProfilePair equal_mean_pair(std::size_t n, Xoshiro256StarStar& rng,
+                            const PairSamplerConfig& config) {
+  std::vector<double> first;
+  std::vector<double> second;
+  equal_mean_pair_into(n, rng, first, second, config);
+  return ProfilePair{core::Profile{std::move(first)}, core::Profile{std::move(second)}};
 }
 
 core::Profile profile_with_moments(std::size_t n, double mean, double variance,

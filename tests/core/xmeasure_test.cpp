@@ -1,0 +1,92 @@
+#include "hetero/core/xmeasure.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "hetero/core/power.h"
+
+// The incremental evaluator's contract is *exact* agreement with x_measure:
+// after any sequence of committed single-machine perturbations, value() must
+// be bit-identical (EXPECT_EQ on doubles, no tolerance) to a from-scratch
+// evaluation over the same speed vector.
+
+namespace hetero::core {
+namespace {
+
+const Environment kEnv = Environment::paper_default();
+
+std::vector<double> random_speeds(std::size_t n, std::mt19937_64& gen) {
+  std::uniform_real_distribution<double> dist{0.05, 1.0};
+  std::vector<double> speeds(n);
+  for (double& v : speeds) v = dist(gen);
+  return speeds;
+}
+
+TEST(XMeasure, MatchesXMeasureOnConstruction) {
+  std::mt19937_64 gen{101};
+  for (std::size_t n : {1u, 2u, 5u, 64u, 1000u}) {
+    const auto speeds = random_speeds(n, gen);
+    const XMeasure evaluator{speeds, kEnv};
+    EXPECT_EQ(evaluator.value(), x_measure(speeds, kEnv)) << n;
+  }
+}
+
+TEST(XMeasure, ExactlyTracksArbitraryPerturbationSequences) {
+  std::mt19937_64 gen{103};
+  std::uniform_real_distribution<double> speed_dist{0.05, 1.0};
+  for (const std::size_t n : {3u, 17u, 128u}) {
+    std::vector<double> speeds = random_speeds(n, gen);
+    XMeasure evaluator{speeds, kEnv};
+    std::uniform_int_distribution<std::size_t> index_dist{0, n - 1};
+    for (int step = 0; step < 300; ++step) {
+      const std::size_t k = index_dist(gen);
+      // Mix fresh draws with multiplicative nudges (the planner's pattern).
+      const double r = (step % 3 == 0) ? speed_dist(gen) : speeds[k] * 0.9;
+      speeds[k] = r;
+      evaluator.set_rho(k, r);
+      ASSERT_EQ(evaluator.value(), x_measure(speeds, kEnv)) << n << " step " << step;
+    }
+    EXPECT_EQ(evaluator.speeds(), speeds);
+  }
+}
+
+TEST(XMeasure, WithRhoApproximatesCommittedValue) {
+  std::mt19937_64 gen{107};
+  const auto speeds = random_speeds(200, gen);
+  const XMeasure evaluator{speeds, kEnv};
+  std::uniform_real_distribution<double> speed_dist{0.05, 1.0};
+  std::uniform_int_distribution<std::size_t> index_dist{0, speeds.size() - 1};
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::size_t k = index_dist(gen);
+    const double r = speed_dist(gen);
+    std::vector<double> perturbed = speeds;
+    perturbed[k] = r;
+    const double exact = x_measure(perturbed, kEnv);
+    // O(1) query: one extra rounding in the tail scaling, far inside the
+    // 1e-12 tie tolerance the argmax scans rely on.
+    EXPECT_NEAR(evaluator.with_rho(k, r), exact, 1e-13 * exact) << k << " " << r;
+  }
+  // Queries must not mutate state.
+  EXPECT_EQ(evaluator.value(), x_measure(speeds, kEnv));
+}
+
+TEST(XMeasure, AssignRebuildsForANewVector) {
+  std::mt19937_64 gen{109};
+  XMeasure evaluator{random_speeds(8, gen), kEnv};
+  const auto replacement = random_speeds(31, gen);
+  evaluator.assign(replacement);
+  EXPECT_EQ(evaluator.size(), replacement.size());
+  EXPECT_EQ(evaluator.value(), x_measure(replacement, kEnv));
+}
+
+TEST(XMeasure, ThrowsOnBadIndex) {
+  const XMeasure evaluator{std::vector<double>{1.0, 0.5}, kEnv};
+  EXPECT_THROW((void)evaluator.with_rho(2, 0.5), std::out_of_range);
+  XMeasure mutable_evaluator = evaluator;
+  EXPECT_THROW(mutable_evaluator.set_rho(2, 0.5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hetero::core

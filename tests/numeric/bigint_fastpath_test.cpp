@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "hetero/numeric/bigint.h"
+#include "hetero/numeric/rational.h"
+
+// Differential tests for the small-value (single-word) fast paths: every
+// word-sized operation must agree bit-for-bit with ground truth computed in
+// 128-bit integers, and values pushed through the limb representation must
+// canonicalize back to the identical inline form.  Inputs deliberately
+// straddle the 2^63 / 2^64 boundaries where the representation switches.
+
+namespace hetero::numeric {
+namespace {
+
+__extension__ using int128 = __int128;
+__extension__ using uint128 = unsigned __int128;
+
+std::string to_string(int128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  uint128 magnitude = negative ? -static_cast<uint128>(value) : static_cast<uint128>(value);
+  std::string digits;
+  while (magnitude != 0) {
+    digits.insert(digits.begin(), static_cast<char>('0' + static_cast<int>(magnitude % 10)));
+    magnitude /= 10;
+  }
+  return negative ? "-" + digits : digits;
+}
+
+// Interesting operands: zero, units, and every power-of-two shoulder where
+// the inline word overflows or the sign boundary sits.
+std::vector<std::int64_t> boundary_values() {
+  std::vector<std::int64_t> values{0,
+                                   1,
+                                   -1,
+                                   2,
+                                   -2,
+                                   (std::int64_t{1} << 31) - 1,
+                                   std::int64_t{1} << 31,
+                                   (std::int64_t{1} << 32) - 1,
+                                   std::int64_t{1} << 32,
+                                   (std::int64_t{1} << 62) + 12345,
+                                   std::numeric_limits<std::int64_t>::max(),
+                                   std::numeric_limits<std::int64_t>::min(),
+                                   std::numeric_limits<std::int64_t>::min() + 1};
+  return values;
+}
+
+TEST(BigIntFastPath, AddSubMulAgreeWith128BitGroundTruth) {
+  std::mt19937_64 gen{7};
+  std::uniform_int_distribution<std::int64_t> dist(std::numeric_limits<std::int64_t>::min(),
+                                                   std::numeric_limits<std::int64_t>::max());
+  auto values = boundary_values();
+  for (int trial = 0; trial < 200; ++trial) values.push_back(dist(gen));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t step = 1; step <= 7; ++step) {
+      const std::int64_t a = values[i];
+      const std::int64_t b = values[(i + step) % values.size()];
+      const BigInt big_a{a};
+      const BigInt big_b{b};
+      EXPECT_EQ((big_a + big_b).to_string(),
+                to_string(static_cast<int128>(a) + static_cast<int128>(b)))
+          << a << " + " << b;
+      EXPECT_EQ((big_a - big_b).to_string(),
+                to_string(static_cast<int128>(a) - static_cast<int128>(b)))
+          << a << " - " << b;
+      EXPECT_EQ((big_a * big_b).to_string(),
+                to_string(static_cast<int128>(a) * static_cast<int128>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(BigIntFastPath, DivModAgreeWithHardwareAndSatisfyIdentity) {
+  std::mt19937_64 gen{11};
+  std::uniform_int_distribution<std::int64_t> dist(std::numeric_limits<std::int64_t>::min(),
+                                                   std::numeric_limits<std::int64_t>::max());
+  auto values = boundary_values();
+  for (int trial = 0; trial < 200; ++trial) values.push_back(dist(gen));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t step = 1; step <= 5; ++step) {
+      const std::int64_t a = values[i];
+      const std::int64_t b = values[(i + step) % values.size()];
+      if (b == 0) continue;
+      const auto result = div_mod(BigInt{a}, BigInt{b});
+      // int64 division overflows only for INT64_MIN / -1; ground-truth in 128 bits.
+      const int128 q = static_cast<int128>(a) / b;
+      const int128 r = static_cast<int128>(a) % b;
+      EXPECT_EQ(result.quotient.to_string(), to_string(q)) << a << " / " << b;
+      EXPECT_EQ(result.remainder.to_string(), to_string(r)) << a << " % " << b;
+      EXPECT_EQ(result.quotient * BigInt{b} + result.remainder, BigInt{a});
+    }
+  }
+}
+
+TEST(BigIntFastPath, WordOverflowPromotesAndStaysCanonical) {
+  const BigInt u64_max{std::numeric_limits<std::uint64_t>::max()};
+  EXPECT_TRUE(u64_max.is_small());
+
+  const BigInt promoted = u64_max + BigInt{1};  // 2^64: first non-inline value
+  EXPECT_FALSE(promoted.is_small());
+  EXPECT_EQ(promoted.to_string(), "18446744073709551616");
+  EXPECT_EQ(promoted, BigInt::from_string("18446744073709551616"));
+
+  // Subtracting back must demote to the identical inline representation.
+  const BigInt demoted = promoted - BigInt{1};
+  EXPECT_TRUE(demoted.is_small());
+  EXPECT_EQ(demoted, u64_max);
+
+  const BigInt doubled = u64_max + u64_max;
+  EXPECT_FALSE(doubled.is_small());
+  EXPECT_EQ(doubled, BigInt{std::uint64_t{2}} * u64_max);
+  EXPECT_EQ(doubled - u64_max, u64_max);
+
+  // Mixed-sign addition of word operands always fits a word.
+  EXPECT_EQ(u64_max + (-u64_max), BigInt{0});
+  EXPECT_TRUE((u64_max + BigInt{std::numeric_limits<std::int64_t>::min()}).is_small());
+}
+
+TEST(BigIntFastPath, LimbRoundTripCanonicalizesToInlineForm) {
+  std::mt19937_64 gen{13};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t word = gen();
+    const BigInt small{word};
+    // Push the magnitude through the limb representation and back.
+    const BigInt round_tripped = (small << 96) >> 96;
+    EXPECT_TRUE(round_tripped.is_small()) << word;
+    EXPECT_EQ(round_tripped, small) << word;
+    // Equality is structural, so this also proves representation canonicality.
+    const BigInt via_division = (small * (BigInt{1} << 64)) / (BigInt{1} << 64);
+    EXPECT_EQ(via_division, small) << word;
+  }
+}
+
+TEST(BigIntFastPath, ShiftsAgreeWithMultiplicationByPowersOfTwo) {
+  std::mt19937_64 gen{17};
+  const std::vector<std::size_t> shifts{1, 5, 31, 32, 33, 63, 64, 65, 96, 130};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto word = static_cast<std::int64_t>(gen() >> 1);
+    for (std::size_t bits : shifts) {
+      const BigInt value{word};
+      const BigInt shifted = value << bits;
+      EXPECT_EQ(shifted, value * BigInt::pow(BigInt{2}, bits)) << word << " << " << bits;
+      EXPECT_EQ(shifted >> bits, value) << word << " << " << bits;
+    }
+  }
+}
+
+TEST(BigIntFastPath, GcdMatchesStdGcdOnWords) {
+  std::mt19937_64 gen{19};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = gen();
+    const std::uint64_t b = gen();
+    const std::uint64_t expected = std::gcd(a, b);
+    EXPECT_EQ(BigInt::gcd(BigInt{a}, BigInt{b}), BigInt{expected}) << a << " " << b;
+    EXPECT_EQ(BigInt::gcd(-BigInt{a}, BigInt{b}), BigInt{expected});
+    EXPECT_EQ(BigInt::gcd(BigInt{a}, BigInt{0}), BigInt{a});
+  }
+  // gcd mixing a word against a large operand exercises the Euclid-loop demotion.
+  const BigInt large = (BigInt{1} << 100) * BigInt{9} * BigInt{5};
+  EXPECT_EQ(BigInt::gcd(large, BigInt{15}), BigInt{15});
+}
+
+// ---------------------------------------------------------------------------
+// Rational fast paths: every gcd-skipping branch must produce exactly the
+// lowest-terms representation that a from-scratch reduction produces
+// (operator== is structural, so EXPECT_EQ checks the representation too).
+
+Rational reference(std::int64_t num, std::int64_t den) {
+  return Rational{BigInt{num}, BigInt{den}};  // ctor reduces fully
+}
+
+TEST(RationalFastPath, ArithmeticMatchesFullyReducedReference) {
+  std::mt19937_64 gen{23};
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000, 1'000'000);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t an = dist(gen);
+    std::int64_t ad = dist(gen);
+    const std::int64_t bn = dist(gen);
+    std::int64_t bd = dist(gen);
+    if (ad == 0) ad = 1;
+    if (bd == 0) bd = 1;
+    const Rational a = reference(an, ad);
+    const Rational b = reference(bn, bd);
+
+    EXPECT_EQ(a + b, reference(an * bd + bn * ad, ad * bd)) << a << " + " << b;
+    EXPECT_EQ(a - b, reference(an * bd - bn * ad, ad * bd)) << a << " - " << b;
+    EXPECT_EQ(a * b, reference(an * bn, ad * bd)) << a << " * " << b;
+    if (bn != 0) {
+      EXPECT_EQ(a / b, reference(an * bd, ad * bn)) << a << " / " << b;
+      EXPECT_EQ(b.reciprocal(), reference(bd, bn)) << b;
+    }
+  }
+}
+
+TEST(RationalFastPath, IntegerOperandAndCoprimeDenominatorBranches) {
+  // rhs integral: denominator must survive untouched.
+  EXPECT_EQ(reference(3, 7) + Rational{2}, reference(17, 7));
+  EXPECT_EQ(reference(3, 7) - Rational{2}, reference(-11, 7));
+  // lhs integral.
+  EXPECT_EQ(Rational{2} + reference(3, 7), reference(17, 7));
+  // Coprime denominators: no reduction needed, product denominator exact.
+  EXPECT_EQ(reference(1, 4) + reference(1, 9), reference(13, 36));
+  // Shared denominator factor with surviving gcd (Knuth 4.5.1 general case).
+  EXPECT_EQ(reference(1, 6) + reference(1, 10), reference(4, 15));
+  // Cancellation to zero must canonicalize the denominator to 1.
+  const Rational zero = reference(5, 8) - reference(5, 8);
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.denominator(), BigInt{1});
+}
+
+TEST(RationalFastPath, AliasingOperandsAreSafe) {
+  Rational square = reference(-6, 10);
+  square *= square;
+  EXPECT_EQ(square, reference(9, 25));
+
+  Rational self_div = reference(-6, 10);
+  self_div /= self_div;
+  EXPECT_EQ(self_div, Rational{1});
+
+  Rational doubled = reference(3, 8);
+  doubled += doubled;
+  EXPECT_EQ(doubled, reference(3, 4));
+
+  Rational cancelled = reference(3, 8);
+  cancelled -= cancelled;
+  EXPECT_TRUE(cancelled.is_zero());
+}
+
+TEST(RationalFastPath, FromDoubleIsReducedByConstruction) {
+  std::mt19937_64 gen{29};
+  std::uniform_real_distribution<double> dist(-1.0e6, 1.0e6);
+  std::vector<double> cases{0.5, -0.75, 1.0 / 3.0, 1e-300, -1e300, 6.02214076e23};
+  for (int trial = 0; trial < 200; ++trial) cases.push_back(dist(gen));
+  for (double value : cases) {
+    const Rational lifted = Rational::from_double(value);
+    EXPECT_EQ(lifted.to_double(), value) << value;  // dyadic lift is exact
+    EXPECT_EQ(BigInt::gcd(lifted.numerator(), lifted.denominator()), BigInt{1}) << value;
+    EXPECT_FALSE(lifted.denominator().is_negative()) << value;
+  }
+}
+
+}  // namespace
+}  // namespace hetero::numeric
