@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run bench_perf_kernels and compare it against the committed baseline.
+
+Usage:
+    bench_regression.py BENCH_BINARY BASELINE.json [--threshold 0.5]
+                        [--min-time 0.05] [--keep OUTPUT.json]
+
+Runs the benchmark binary with JSON output and hands the result to
+compare_bench.py.  The default threshold is deliberately loose (50%): the
+point of the ctest wiring is to catch order-of-magnitude regressions on
+every test run without flaking on noisy shared machines.  Tighter checks
+(e.g. the <2% metrics-overhead budget) run compare_bench.py directly with
+--threshold set to the budget.
+
+Exit status mirrors compare_bench.py: 0 clean, 1 regression, 2 usage error.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+import compare_bench
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("binary", help="path to bench_perf_kernels")
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("--threshold", type=float, default=0.5,
+                        help="allowed fractional slowdown (default 0.5)")
+    parser.add_argument("--min-time", type=float, default=0.05,
+                        help="per-benchmark min time in seconds (default 0.05)")
+    parser.add_argument("--keep", metavar="OUTPUT.json", default=None,
+                        help="also write the candidate JSON here")
+    args = parser.parse_args(argv)
+
+    if args.keep is not None:
+        out_path = args.keep
+        cleanup = False
+    else:
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", prefix="bench_candidate_", delete=False)
+        handle.close()
+        out_path = handle.name
+        cleanup = True
+
+    command = [
+        args.binary,
+        "--benchmark_format=json",
+        f"--benchmark_out={out_path}",
+        "--benchmark_out_format=json",
+        f"--benchmark_min_time={args.min_time}",
+    ]
+    try:
+        run = subprocess.run(command, stdout=subprocess.DEVNULL)
+        if run.returncode != 0:
+            print(f"error: {args.binary} exited {run.returncode}", file=sys.stderr)
+            return 2
+        return compare_bench.main(
+            [args.baseline, out_path, "--threshold", str(args.threshold)])
+    finally:
+        if cleanup:
+            os.unlink(out_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

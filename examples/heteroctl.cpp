@@ -5,18 +5,31 @@
 //   heteroctl rent    "<1, 1/2, 1/4>" 10000      # CRP: min time for W units
 //   heteroctl compare "<0.8, 0.2>" "<0.5, 0.5>"  # every predictor + ground truth
 //   heteroctl upgrade "<1, 1/2, 1/4>" 0.0625     # additive-speedup table (phi)
+//   heteroctl obs     "<1, 1/2, 1/4>" 3600 [trace.json]  # episode + exports
+//
+// The `obs` command simulates a FIFO episode, writes a Chrome trace-event
+// JSON (open in https://ui.perfetto.dev or chrome://tracing) combining
+// simulated-time segments with wall-clock profiling spans, and prints the
+// metrics registry in Prometheus text format.  Any command also accepts a
+// global `--metrics` flag to dump the registry after the run.
 //
 // Profiles use the paper's notation: fractions or decimals, brackets
 // optional.  All output is plain text.
 
 #include <cmath>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "hetero/core/hetero.h"
+#include "hetero/obs/chrome_trace.h"
+#include "hetero/obs/metrics.h"
+#include "hetero/obs/prometheus.h"
 #include "hetero/protocol/fifo.h"
 #include "hetero/report/table.h"
+#include "hetero/sim/trace_export.h"
 #include "hetero/sim/worksharing.h"
 
 namespace {
@@ -119,6 +132,37 @@ int cmd_upgrade(const core::Profile& profile, double phi) {
   return 0;
 }
 
+int cmd_obs(const core::Profile& profile, double lifespan, const std::string& trace_path) {
+  // Plan and operationally execute one FIFO episode so both time domains
+  // have something to show: the simulator fills the sim::Trace, and the
+  // instrumented layers (engine, LP, planner) fill metrics and wall spans.
+  std::vector<double> speeds(profile.values().begin(), profile.values().end());
+  const protocol::Schedule schedule = protocol::fifo_schedule(speeds, kEnv, lifespan);
+  const auto sim = sim::simulate_schedule(schedule, kEnv);
+
+  auto events = sim::trace_events(sim.trace);
+  const auto wall = obs::events_from_spans(obs::SpanCollector::global().snapshot());
+  events.insert(events.end(), wall.begin(), wall.end());
+  std::ofstream out{trace_path};
+  if (!out) {
+    std::cerr << "error: cannot write " << trace_path << '\n';
+    return 1;
+  }
+  out << obs::chrome_trace_json(events);
+  out.close();
+
+  report::TextTable table{{"observable", "value"}};
+  table.set_alignment(0, report::Align::kLeft);
+  table.add_row({"simulated makespan", report::format_fixed(sim.makespan, 4)});
+  table.add_row({"completed work", report::format_fixed(sim.completed_work(lifespan), 4)});
+  table.add_row({"trace segments", std::to_string(sim.trace.segments().size())});
+  table.add_row({"wall-clock spans", std::to_string(wall.size())});
+  table.add_row({"trace file", trace_path});
+  std::cout << table;
+  std::cout << "\n" << obs::prometheus_text(obs::Registry::global().snapshot());
+  return 0;
+}
+
 int usage() {
   std::cout << "usage:\n"
                "  heteroctl power   <profile>\n"
@@ -126,6 +170,9 @@ int usage() {
                "  heteroctl rent    <profile> <work-units>\n"
                "  heteroctl compare <profile> <profile>\n"
                "  heteroctl upgrade <profile> <phi>\n"
+               "  heteroctl obs     <profile> <lifespan> [trace.json]\n"
+               "options:\n"
+               "  --metrics   dump the metrics registry (Prometheus text) after any command\n"
                "profiles use the paper's notation, e.g. \"<1, 1/2, 1/4>\" or \"1 0.5 0.25\"\n";
   return 2;
 }
@@ -133,20 +180,44 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  try {
-    const std::string command = argv[1];
-    const core::Profile first = core::parse_profile(argv[2]);
-    if (command == "power") return cmd_power(first);
-    if (command == "plan" && argc >= 4) return cmd_plan(first, std::stod(argv[3]));
-    if (command == "rent" && argc >= 4) return cmd_rent(first, std::stod(argv[3]));
-    if (command == "compare" && argc >= 4) {
-      return cmd_compare(first, core::parse_profile(argv[3]));
+  // Strip the global --metrics flag wherever it appears.
+  std::vector<std::string> args;
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      args.emplace_back(argv[i]);
     }
-    if (command == "upgrade" && argc >= 4) return cmd_upgrade(first, std::stod(argv[3]));
-    return usage();
+  }
+  if (args.size() < 2) return usage();
+  int status = 2;
+  try {
+    const std::string& command = args[0];
+    const core::Profile first = core::parse_profile(args[1]);
+    if (command == "power") {
+      status = cmd_power(first);
+    } else if (command == "plan" && args.size() >= 3) {
+      status = cmd_plan(first, std::stod(args[2]));
+    } else if (command == "rent" && args.size() >= 3) {
+      status = cmd_rent(first, std::stod(args[2]));
+    } else if (command == "compare" && args.size() >= 3) {
+      status = cmd_compare(first, core::parse_profile(args[2]));
+    } else if (command == "upgrade" && args.size() >= 3) {
+      status = cmd_upgrade(first, std::stod(args[2]));
+    } else if (command == "obs" && args.size() >= 3) {
+      status = cmd_obs(first, std::stod(args[2]),
+                       args.size() >= 4 ? args[3] : std::string{"hetero_trace.json"});
+    } else {
+      return usage();
+    }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
   }
+  if (dump_metrics) {
+    std::cout << "\n# --metrics\n"
+              << obs::prometheus_text(obs::Registry::global().snapshot());
+  }
+  return status;
 }

@@ -7,6 +7,8 @@
 
 #include "hetero/core/power.h"
 #include "hetero/core/profile.h"
+#include "hetero/obs/metrics.h"
+#include "hetero/obs/scope.h"
 #include "hetero/protocol/fifo.h"
 #include "hetero/random/rng.h"
 #include "hetero/sim/worksharing.h"
@@ -16,6 +18,7 @@ namespace hetero::experiments {
 CampaignResult run_campaign(const std::vector<double>& speeds, const core::Environment& env,
                             const CampaignConfig& config,
                             const std::vector<CampaignFailure>& failures) {
+  HETERO_OBS_SCOPE("experiments.campaign");
   if (speeds.empty()) throw std::invalid_argument("run_campaign: empty fleet");
   if (!(config.round_length > 0.0) || !(config.total_time > 0.0) ||
       config.round_length > config.total_time) {
@@ -42,6 +45,7 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
   const auto rounds = static_cast<std::size_t>(config.total_time / config.round_length);
   std::vector<bool> alive(speeds.size(), true);
   for (std::size_t round = 0; round < rounds; ++round) {
+    HETERO_OBS_SCOPE("experiments.round");
     const double round_start = static_cast<double>(round) * config.round_length;
 
     // Fleet for this round: machines alive at the round's start.
@@ -81,6 +85,15 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
     result.work_by_round.push_back(round_work);
     result.completed_work += round_work;
     ++result.rounds;
+    if constexpr (obs::kEnabled) {
+      static obs::Histogram& round_hist = obs::histogram("experiments.round_work");
+      static obs::Gauge& round_efficiency = obs::gauge("experiments.round_efficiency");
+      round_hist.record(round_work);
+      // Completed vs ideal work for this round's full-fleet potential.
+      const double round_ideal =
+          core::work_production(config.round_length, core::Profile{speeds}, env);
+      if (round_ideal > 0.0) round_efficiency.set(round_work / round_ideal);
+    }
 
     // A machine whose crash time has passed is gone for all later rounds,
     // even if its round-local result squeaked out (the crash semantics in
@@ -93,6 +106,18 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
   }
   for (bool a : alive) {
     if (!a) ++result.machines_lost;
+  }
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& campaigns = obs::counter("experiments.campaigns");
+    static obs::Counter& rounds_run = obs::counter("experiments.rounds");
+    static obs::Counter& machines_lost = obs::counter("experiments.machines_lost");
+    static obs::Gauge& completed = obs::gauge("experiments.completed_work");
+    static obs::Gauge& ideal = obs::gauge("experiments.ideal_work");
+    campaigns.add(1);
+    rounds_run.add(result.rounds);
+    machines_lost.add(result.machines_lost);
+    completed.add(result.completed_work);
+    ideal.add(result.ideal_work);
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hetero/numeric/rational.h"
+#include "hetero/obs/metrics.h"
 
 namespace hetero::numeric {
 namespace {
@@ -15,17 +16,28 @@ namespace {
 /// Memoized Rational::from_double: protocol tableaus repeat the same few
 /// coefficient values across many cells, and the lift (frexp + shifts) is
 /// far more expensive than a hash probe.  Keyed on the bit pattern so -0.0
-/// and 0.0 stay distinct lifts (both map to zero anyway).
+/// and 0.0 stay distinct lifts (both map to zero anyway).  Lookup/hit
+/// tallies feed the lp.lift_* metrics so the cache's value stays visible.
 class LiftMemo {
  public:
   const Rational& operator()(double value) {
+    ++lookups_;
     const auto [it, inserted] = cache_.try_emplace(std::bit_cast<std::uint64_t>(value));
-    if (inserted) it->second = Rational::from_double(value);
+    if (inserted) {
+      it->second = Rational::from_double(value);
+    } else {
+      ++hits_;
+    }
     return it->second;
   }
 
+  [[nodiscard]] std::uint64_t lookups() const noexcept { return lookups_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+
  private:
   std::unordered_map<std::uint64_t, Rational> cache_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
 };
 
 // Dense simplex tableau over exact rationals.
@@ -65,7 +77,7 @@ class Tableau {
     // The protocol tableaus repeat the same handful of coefficients (A,
     // B*rho_m, tau*delta, the lifespan) across rows; memoize the exact lifts
     // instead of re-running from_double per cell.
-    LiftMemo lift;
+    LiftMemo& lift = lift_;
     std::size_t artificial_index = 0;
     for (std::size_t i = 0; i < m_; ++i) {
       const bool flip = flipped[i];
@@ -133,6 +145,8 @@ class Tableau {
     }
     return x;
   }
+
+  [[nodiscard]] const LiftMemo& lift_memo() const noexcept { return lift_; }
 
   [[nodiscard]] double objective_value() const {
     Rational value;
@@ -228,6 +242,7 @@ class Tableau {
   std::vector<Rational> rows_;
   std::vector<std::size_t> basis_;
   std::vector<Rational> objective_;
+  LiftMemo lift_;
   Rational factor_;   // pivot-column multiplier being eliminated
   Rational scratch_;  // recycled product temporary for pivot updates
 };
@@ -244,6 +259,29 @@ const char* to_string(LpStatus status) noexcept {
   return "unknown";
 }
 
+namespace {
+
+/// One metrics flush per solve (never per pivot): pivot counts and
+/// lift-cache effectiveness are the signals that tell future perf work
+/// whether the exact tableau or the rational lifts dominate.
+[[maybe_unused]] void record_solve_metrics(int iterations, const LiftMemo& lift) {
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& solves = obs::counter("lp.solves");
+    static obs::Counter& pivots = obs::counter("lp.pivots");
+    static obs::Counter& lookups = obs::counter("lp.lift_lookups");
+    static obs::Counter& hits = obs::counter("lp.lift_hits");
+    solves.add(1);
+    pivots.add(static_cast<std::uint64_t>(iterations < 0 ? 0 : iterations));
+    lookups.add(lift.lookups());
+    hits.add(lift.hits());
+  } else {
+    static_cast<void>(iterations);
+    static_cast<void>(lift);
+  }
+}
+
+}  // namespace
+
 LpSolution SimplexSolver::maximize(std::span<const double> c, const Matrix& a,
                                    std::span<const double> b) const {
   Tableau tableau{c, a, b};
@@ -252,10 +290,12 @@ LpSolution SimplexSolver::maximize(std::span<const double> c, const Matrix& a,
   if (!tableau.phase1(options_.max_iterations, iterations)) {
     solution.status = LpStatus::kInfeasible;
     solution.iterations = iterations;
+    record_solve_metrics(iterations, tableau.lift_memo());
     return solution;
   }
   const bool bounded = tableau.phase2(options_.max_iterations, iterations);
   solution.iterations = iterations;
+  record_solve_metrics(iterations, tableau.lift_memo());
   if (!bounded) {
     solution.status = LpStatus::kUnbounded;
     return solution;

@@ -1,0 +1,103 @@
+#include "hetero/obs/chrome_trace.h"
+
+#include <cstdio>
+
+namespace hetero::obs {
+
+namespace {
+
+/// Shortest-round-trip-ish double formatting: %.17g preserves the exact
+/// value (golden tests parse the JSON back and compare bit-for-bit).
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return std::string{buffer};
+}
+
+void append_event(std::string& out, const TraceEvent& event) {
+  out += R"({"name":")";
+  out += json_escape(event.name);
+  out += R"(","cat":")";
+  out += json_escape(event.category);
+  out += R"(","ph":"X","ts":)";
+  out += format_double(event.ts_us);
+  out += R"(,"dur":)";
+  out += format_double(event.dur_us);
+  out += R"(,"pid":)";
+  out += std::to_string(event.pid);
+  out += R"(,"tid":)";
+  out += std::to_string(event.tid);
+  if (!event.args.empty()) {
+    out += R"(,"args":{)";
+    bool first = true;
+    for (const auto& [key, value] : event.args) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += json_escape(key);
+      out += R"(":")";
+      out += json_escape(value);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> events_from_spans(std::span<const Span> spans, int pid) {
+  std::vector<TraceEvent> events;
+  events.reserve(spans.size());
+  for (const Span& span : spans) {
+    TraceEvent event;
+    event.name = span.name;
+    event.category = "wall";
+    event.ts_us = static_cast<double>(span.start_ns) / 1e3;
+    event.dur_us = static_cast<double>(span.end_ns - span.start_ns) / 1e3;
+    event.pid = pid;
+    event.tid = static_cast<int>(span.tid);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  std::string out = R"({"traceEvents":[)";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    append_event(out, event);
+  }
+  out += R"(],"displayTimeUnit":"ms"})";
+  return out;
+}
+
+}  // namespace hetero::obs

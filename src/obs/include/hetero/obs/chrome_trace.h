@@ -1,0 +1,54 @@
+#pragma once
+
+// Chrome trace-event JSON export (the "JSON Array Format" with a
+// traceEvents wrapper), loadable in Perfetto or chrome://tracing.
+//
+// Two span sources feed the same event type:
+//   * wall-clock ProfileScope spans (events_from_spans), pid kWallClockPid;
+//   * simulated-time sim::Trace segments (hetero/sim/trace_export.h),
+//     pid kSimPid, one tid per actor.
+// Keeping both in one trace file lets a single Perfetto view show where the
+// simulated episode spends model time next to where the process spends real
+// time.  The exporters themselves are unconditional — they serialize
+// whatever they are handed, even in a -DHETERO_OBS_ENABLED=OFF build.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hetero/obs/scope.h"
+
+namespace hetero::obs {
+
+/// Process ids used to separate the two time domains in one trace.
+inline constexpr int kWallClockPid = 1;  ///< wall-clock profiling spans
+inline constexpr int kSimPid = 2;        ///< simulated-time trace segments
+
+/// One complete ("ph":"X") trace event.  Times are microseconds, the unit
+/// the trace-event format mandates.
+struct TraceEvent {
+  std::string name;
+  std::string category = "obs";
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = kWallClockPid;
+  int tid = 0;
+  /// Optional "args" key/value pairs (values emitted as JSON strings).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Converts wall-clock spans to complete events under `pid`.
+[[nodiscard]] std::vector<TraceEvent> events_from_spans(std::span<const Span> spans,
+                                                        int pid = kWallClockPid);
+
+/// Serializes events as {"traceEvents":[...],"displayTimeUnit":"ms"} —
+/// valid standalone JSON, accepted by Perfetto and chrome://tracing.
+[[nodiscard]] std::string chrome_trace_json(std::span<const TraceEvent> events);
+
+}  // namespace hetero::obs

@@ -1,0 +1,353 @@
+#pragma once
+
+// Low-overhead runtime metrics: counters, gauges, and fixed-bucket
+// histograms behind a global named registry.
+//
+// The paper's analysis is all about where time goes — per-worker timing is
+// the raw signal heterogeneity feeds on — yet until now the system had no
+// runtime visibility at all.  This registry is the substrate: hot layers
+// (sim engine, thread pool, LP solver, campaigns) record into named metrics,
+// and exporters (Prometheus text, CSV, Chrome trace) read one consistent
+// snapshot.
+//
+// Design constraints, in order:
+//   1. Recording must be cheap enough for simulator event loops: counters
+//      are relaxed atomic adds on thread-sharded cache lines, histograms
+//      are one exponent extraction plus a relaxed add, and hot loops can
+//      batch into a plain `LocalHistogram` and merge once.
+//   2. A disabled build must cost nothing: configure with
+//      -DHETERO_OBS_ENABLED=OFF and every method in this header compiles to
+//      an empty inline body (the instrumentation call sites stay; the
+//      optimizer deletes them).  `obs::kEnabled` lets call sites skip even
+//      argument computation via `if constexpr`.
+//   3. Reading is rare and may be slow: snapshots take a mutex and sum
+//      shards.
+
+#ifndef HETERO_OBS_ENABLED
+#define HETERO_OBS_ENABLED 1
+#endif
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetero::obs {
+
+/// True when the build records metrics; false compiles every recording call
+/// to a no-op.  Use `if constexpr (obs::kEnabled)` to also skip computing
+/// the values being recorded (e.g. clock reads).
+inline constexpr bool kEnabled = HETERO_OBS_ENABLED != 0;
+
+// ------------------------------------------------------------------------
+// Bucket layout (shared by the live Histogram and snapshot consumers).
+
+/// Histograms use a fixed power-of-two bucket ladder: bucket i covers
+/// [2^(i-1+kMinExponent), 2^(i+kMinExponent)), so with kMinExponent = -32
+/// the ladder spans ~2.3e-10 .. 2.1e9 in 64 buckets.  Nonpositive values
+/// land in bucket 0; values beyond the top land in the last bucket.
+/// Exporters report upper_bound() as an inclusive `le` limit — off only for
+/// values exactly equal to a power of two, which is irrelevant for the
+/// continuous timing measurements these histograms record.
+struct HistogramBuckets {
+  static constexpr std::size_t kCount = 64;
+  static constexpr int kMinExponent = -32;
+
+  [[nodiscard]] static std::size_t index_for(double value) noexcept {
+    if (!(value > 0.0)) return 0;  // also catches NaN
+    // IEEE exponent extraction — equivalent to frexp's exponent for normal
+    // values (value = m * 2^e, m in [0.5, 1)) at a fraction of the cost;
+    // subnormals land in bucket 0 (they are far below 2^kMinExponent) and
+    // +Inf lands in the top bucket.
+    const auto bits = std::bit_cast<std::uint64_t>(value);
+    const int exponent = static_cast<int>((bits >> 52) & 0x7ff) - 1022;
+    const int raw = exponent - kMinExponent;
+    if (raw <= 0) return 0;
+    if (raw >= static_cast<int>(kCount)) return kCount - 1;
+    return static_cast<std::size_t>(raw);
+  }
+
+  /// Inclusive upper bound of bucket `index` (the last bucket reports its
+  /// nominal bound; exporters treat it as +Inf).
+  [[nodiscard]] static double upper_bound(std::size_t index) noexcept {
+    return std::ldexp(1.0, static_cast<int>(index) + kMinExponent);
+  }
+};
+
+// ------------------------------------------------------------------------
+// Snapshot types (plain data, defined in every build flavour).
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::array<std::uint64_t, HistogramBuckets::kCount> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// One consistent-enough view of every registered metric, sorted by name.
+/// ("Consistent enough": individual metrics are read atomically; the
+/// snapshot as a whole is not a cross-metric transaction.)
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Plain (non-atomic) histogram accumulator for hot loops: record locally,
+/// then Histogram::merge once.  Also the engine-side batching vehicle.
+struct LocalHistogram {
+  std::array<std::uint64_t, HistogramBuckets::kCount> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  void record(double value) noexcept {
+#if HETERO_OBS_ENABLED
+    ++buckets[HistogramBuckets::index_for(value)];
+    ++count;
+    sum += value;
+#else
+    static_cast<void>(value);
+#endif
+  }
+};
+
+#if HETERO_OBS_ENABLED
+
+// ------------------------------------------------------------------------
+// Live metric objects.
+
+namespace detail {
+/// Stable small per-thread slot used to spread writers across shards.
+[[nodiscard]] std::size_t thread_shard_slot() noexcept;
+}  // namespace detail
+
+/// Monotone event count.  add() is a relaxed fetch_add on one of a few
+/// cacheline-padded shards selected by thread, so concurrent writers do not
+/// bounce a single line; value() sums the shards.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 8;
+
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[detail::thread_shard_slot() & (kShards - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-written double with add / running-max updates (CAS loops — gauges
+/// are written at coarse granularity, not per event).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Raises the gauge to `candidate` when larger (high-water marks).
+  void update_max(double candidate) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (current < candidate &&
+           !value_.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (see HistogramBuckets).  record() is an exponent
+/// extraction plus relaxed adds; merge() folds in a LocalHistogram batch.
+class Histogram {
+ public:
+  void record(double value) noexcept {
+    buckets_[HistogramBuckets::index_for(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    add_sum(value);
+  }
+
+  void merge(const LocalHistogram& local) noexcept {
+    if (local.count == 0) return;
+    for (std::size_t i = 0; i < HistogramBuckets::kCount; ++i) {
+      if (local.buckets[i] != 0) {
+        buckets_[i].fetch_add(local.buckets[i], std::memory_order_relaxed);
+      }
+    }
+    count_.fetch_add(local.count, std::memory_order_relaxed);
+    add_sum(local.sum);
+  }
+
+  [[nodiscard]] HistogramSample sample(std::string name) const {
+    HistogramSample out;
+    out.name = std::move(name);
+    for (std::size_t i = 0; i < HistogramBuckets::kCount; ++i) {
+      out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    out.count = count_.load(std::memory_order_relaxed);
+    out.sum = sum_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  void add_sum(double delta) noexcept {
+    double current = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<std::uint64_t>, HistogramBuckets::kCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Global name → metric registry.  Lookups take a mutex; instrumentation
+/// sites therefore cache the returned reference in a function-local static
+/// (metric objects have stable addresses for the process lifetime — reset()
+/// zeroes values but never destroys objects, so cached references stay
+/// valid).
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric in place (objects survive; cached refs stay valid).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // !HETERO_OBS_ENABLED
+
+// ------------------------------------------------------------------------
+// Disabled build: identical API, empty inline bodies.  Call sites compile
+// unchanged and the optimizer erases them.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  void add(double) noexcept {}
+  void update_max(double) noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void record(double) noexcept {}
+  void merge(const LocalHistogram&) noexcept {}
+  [[nodiscard]] HistogramSample sample(std::string name) const {
+    HistogramSample out;
+    out.name = std::move(name);
+    return out;
+  }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global() {
+    static Registry registry;
+    return registry;
+  }
+  [[nodiscard]] Counter& counter(std::string_view) {
+    static Counter c;
+    return c;
+  }
+  [[nodiscard]] Gauge& gauge(std::string_view) {
+    static Gauge g;
+    return g;
+  }
+  [[nodiscard]] Histogram& histogram(std::string_view) {
+    static Histogram h;
+    return h;
+  }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return MetricsSnapshot{}; }
+  void reset() {}
+};
+
+#endif  // HETERO_OBS_ENABLED
+
+// ------------------------------------------------------------------------
+// Convenience lookups (cache the result in a static at the call site).
+
+[[nodiscard]] inline Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+[[nodiscard]] inline Gauge& gauge(std::string_view name) {
+  return Registry::global().gauge(name);
+}
+[[nodiscard]] inline Histogram& histogram(std::string_view name) {
+  return Registry::global().histogram(name);
+}
+
+}  // namespace hetero::obs

@@ -1,0 +1,26 @@
+#pragma once
+
+// Prometheus text-exposition rendering of a metrics snapshot.
+//
+// Output follows the text format version 0.0.4: `# TYPE` headers, one
+// sample per line, histograms as cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`.  Metric names are sanitized (dots become
+// underscores, everything is prefixed `hetero_`), so `sim.events` exports
+// as `hetero_sim_events`.  The renderer is snapshot-in, string-out: it
+// works in every build flavour (a disabled build just renders an empty
+// snapshot).
+
+#include <string>
+#include <string_view>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::obs {
+
+/// `hetero_` + name with every non-[a-zA-Z0-9_:] character replaced by '_'.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Renders the whole snapshot in the text exposition format.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+}  // namespace hetero::obs

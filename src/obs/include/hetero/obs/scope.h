@@ -1,0 +1,119 @@
+#pragma once
+
+// RAII wall-clock profiling scopes.
+//
+//   void solve() {
+//     HETERO_OBS_SCOPE("protocol.solve_lp");
+//     ...
+//   }
+//
+// Each scope records a Span (name, start, end, thread) into a per-thread
+// buffer on destruction; SpanCollector::snapshot() gathers every thread's
+// spans for export (Chrome trace JSON via hetero/obs/chrome_trace.h).
+// Scope names must be string literals (or otherwise outlive the collector):
+// spans store the pointer, not a copy.
+//
+// Costs: one steady_clock read at entry, one at exit, plus an uncontended
+// per-thread mutex push — suitable for scopes wrapping work of a
+// microsecond or more, not for per-element inner loops.  In a
+// -DHETERO_OBS_ENABLED=OFF build the macro expands to nothing.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::obs {
+
+/// One closed wall-clock interval on one thread.  Times are nanoseconds
+/// since the process-wide collector epoch (first use of now_ns()).
+struct Span {
+  const char* name = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;  ///< small sequential id, assigned per recording thread
+};
+
+#if HETERO_OBS_ENABLED
+
+/// Process-global collector of profiling spans.  Threads append to their
+/// own buffer (own mutex, uncontended in steady state); snapshot() walks
+/// all buffers.  Buffers outlive their threads so spans from joined workers
+/// are not lost.
+class SpanCollector {
+ public:
+  [[nodiscard]] static SpanCollector& global();
+
+  /// Nanoseconds on the steady clock since the collector epoch.
+  [[nodiscard]] static std::uint64_t now_ns() noexcept;
+
+  /// Appends a span; `span.tid` is overwritten with the calling thread's id.
+  void record(Span span);
+
+  [[nodiscard]] std::vector<Span> snapshot() const;
+
+  /// Drops all recorded spans (thread ids are not reused).
+  void clear();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<Span> spans;
+    std::uint32_t tid = 0;
+  };
+
+  [[nodiscard]] ThreadBuffer& local_buffer();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 0;
+};
+
+/// Records the lifetime of the enclosing block as a Span.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) noexcept
+      : name_{name}, start_ns_{SpanCollector::now_ns()} {}
+  ~ProfileScope() {
+    SpanCollector::global().record(Span{name_, start_ns_, SpanCollector::now_ns(), 0});
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+#define HETERO_OBS_SCOPE_CONCAT_(a, b) a##b
+#define HETERO_OBS_SCOPE_CONCAT(a, b) HETERO_OBS_SCOPE_CONCAT_(a, b)
+#define HETERO_OBS_SCOPE(name) \
+  ::hetero::obs::ProfileScope HETERO_OBS_SCOPE_CONCAT(hetero_obs_scope_, __LINE__) { name }
+
+#else  // !HETERO_OBS_ENABLED
+
+class SpanCollector {
+ public:
+  [[nodiscard]] static SpanCollector& global() {
+    static SpanCollector collector;
+    return collector;
+  }
+  [[nodiscard]] static std::uint64_t now_ns() noexcept { return 0; }
+  void record(const Span&) {}
+  [[nodiscard]] std::vector<Span> snapshot() const { return {}; }
+  void clear() {}
+};
+
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char*) noexcept {}
+};
+
+#define HETERO_OBS_SCOPE(name) static_cast<void>(0)
+
+#endif  // HETERO_OBS_ENABLED
+
+}  // namespace hetero::obs

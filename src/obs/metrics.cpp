@@ -1,0 +1,78 @@
+#include "hetero/obs/metrics.h"
+
+#if HETERO_OBS_ENABLED
+
+namespace hetero::obs {
+
+namespace detail {
+
+std::size_t thread_shard_slot() noexcept {
+  // Sequential slot assignment beats hashing thread ids: consecutive pool
+  // workers land on distinct shards by construction.
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot = next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry;  // leaked: outlives all static users
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string{name}, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string{name}, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string{name}, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard lock{mutex_};
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back(CounterSample{name, counter->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back(GaugeSample{name, gauge->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.push_back(histogram->sample(name));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard lock{mutex_};
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace hetero::obs
+
+#endif  // HETERO_OBS_ENABLED

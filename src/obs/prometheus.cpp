@@ -1,0 +1,66 @@
+#include "hetero/obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hetero::obs {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return std::string{buffer};
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "hetero_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& counter : snapshot.counters) {
+    const std::string name = prometheus_name(counter.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + ' ' + std::to_string(counter.value) + '\n';
+  }
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    const std::string name = prometheus_name(gauge.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + ' ' + format_double(gauge.value) + '\n';
+  }
+  for (const HistogramSample& histogram : snapshot.histograms) {
+    const std::string name = prometheus_name(histogram.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < HistogramBuckets::kCount; ++i) {
+      if (histogram.buckets[i] == 0) continue;  // sparse: only occupied rungs
+      cumulative += histogram.buckets[i];
+      const bool top = i + 1 == HistogramBuckets::kCount;
+      out += name + "_bucket{le=\"" +
+             (top ? std::string{"+Inf"} : format_double(HistogramBuckets::upper_bound(i))) +
+             "\"} " + std::to_string(cumulative) + '\n';
+    }
+    if (cumulative != histogram.count) {
+      // All samples landed in skipped (empty) rungs is impossible; this
+      // branch only fires when count moved between bucket and count reads.
+      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(histogram.count) + '\n';
+    } else if (histogram.count != 0 &&
+               histogram.buckets[HistogramBuckets::kCount - 1] == 0) {
+      out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + '\n';
+    }
+    out += name + "_sum " + format_double(histogram.sum) + '\n';
+    out += name + "_count " + std::to_string(histogram.count) + '\n';
+  }
+  return out;
+}
+
+}  // namespace hetero::obs

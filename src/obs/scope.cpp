@@ -1,0 +1,77 @@
+#include "hetero/obs/scope.h"
+
+#if HETERO_OBS_ENABLED
+
+#include <chrono>
+
+namespace hetero::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point collector_epoch() noexcept {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector* collector = new SpanCollector;  // leaked: outlives thread exits
+  return *collector;
+}
+
+std::uint64_t SpanCollector::now_ns() noexcept {
+  const auto elapsed = std::chrono::steady_clock::now() - collector_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+SpanCollector::ThreadBuffer& SpanCollector::local_buffer() {
+  // The shared_ptr keeps the buffer alive in buffers_ after the thread
+  // exits, so snapshot() still sees spans from joined pool workers.
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    std::lock_guard lock{mutex_};
+    fresh->tid = next_tid_++;
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+void SpanCollector::record(Span span) {
+  ThreadBuffer& buffer = local_buffer();
+  span.tid = buffer.tid;
+  std::lock_guard lock{buffer.mutex};
+  buffer.spans.push_back(span);
+}
+
+std::vector<Span> SpanCollector::snapshot() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock{mutex_};
+    buffers = buffers_;
+  }
+  std::vector<Span> out;
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock{buffer->mutex};
+    out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  return out;
+}
+
+void SpanCollector::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock{mutex_};
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard lock{buffer->mutex};
+    buffer->spans.clear();
+  }
+}
+
+}  // namespace hetero::obs
+
+#endif  // HETERO_OBS_ENABLED

@@ -7,15 +7,27 @@
 // deliberately simple — a mutex-protected deque with a condition variable —
 // because tasks here are coarse (whole trial batches), so queue contention
 // is negligible and correctness is easy to audit.
+//
+// Instrumentation (hetero::obs, compiled out with -DHETERO_OBS_ENABLED=OFF):
+//   parallel.tasks            tasks completed (counter)
+//   parallel.task_wait_us     submit → dequeue latency (histogram)
+//   parallel.task_run_us      task execution time (histogram)
+//   parallel.worker_busy_ns   total busy nanoseconds across workers (counter)
+//   parallel.queue_depth_hwm  deepest the queue has been (gauge)
+// Tasks are coarse, so two steady_clock reads per task are noise.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "hetero/obs/metrics.h"
+#include "hetero/obs/scope.h"
 
 namespace hetero::parallel {
 
@@ -40,10 +52,15 @@ class ThreadPool {
     using Result = std::invoke_result_t<F>;
     auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
     std::future<Result> future = packaged->get_future();
+    QueuedTask queued{[packaged]() { (*packaged)(); }, 0};
+    if constexpr (obs::kEnabled) queued.enqueue_ns = obs::SpanCollector::now_ns();
     {
       std::lock_guard lock{mutex_};
       if (stopping_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
-      queue_.emplace_back([packaged]() { (*packaged)(); });
+      queue_.push_back(std::move(queued));
+      if constexpr (obs::kEnabled) {
+        if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
+      }
     }
     available_.notify_one();
     return future;
@@ -53,14 +70,20 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable available_;
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
+  std::size_t queue_depth_hwm_ = 0;
   bool stopping_ = false;
 };
 

@@ -21,11 +21,14 @@ ThreadPool::~ThreadPool() {
   }
   available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  if constexpr (obs::kEnabled) {
+    obs::gauge("parallel.queue_depth_hwm").update_max(static_cast<double>(queue_depth_hwm_));
+  }
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock{mutex_};
       available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -37,7 +40,21 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& tasks = obs::counter("parallel.tasks");
+      static obs::Counter& busy_ns = obs::counter("parallel.worker_busy_ns");
+      static obs::Histogram& wait_us = obs::histogram("parallel.task_wait_us");
+      static obs::Histogram& run_us = obs::histogram("parallel.task_run_us");
+      const std::uint64_t start_ns = obs::SpanCollector::now_ns();
+      wait_us.record(static_cast<double>(start_ns - task.enqueue_ns) / 1e3);
+      task.fn();
+      const std::uint64_t end_ns = obs::SpanCollector::now_ns();
+      run_us.record(static_cast<double>(end_ns - start_ns) / 1e3);
+      busy_ns.add(end_ns - start_ns);
+      tasks.add(1);
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard lock{mutex_};
       --in_flight_;

@@ -1,5 +1,6 @@
 #include "hetero/protocol/lp_solver.h"
 
+#include "hetero/obs/scope.h"
 #include "hetero/protocol/fifo.h"
 
 #include <algorithm>
@@ -20,6 +21,7 @@ std::size_t r_var(std::size_t machine, std::size_t n) { return n + machine; }
 LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
                                    const core::Environment& env, double lifespan,
                                    const ProtocolOrders& orders) {
+  HETERO_OBS_SCOPE("protocol.solve_lp");
   const std::size_t n = speeds.size();
   if (n == 0) throw std::invalid_argument("solve_protocol_lp: empty cluster");
   if (!(lifespan > 0.0)) throw std::invalid_argument("solve_protocol_lp: lifespan must be positive");

@@ -1,0 +1,26 @@
+#pragma once
+
+// CSV rendering of an obs::MetricsSnapshot via the existing report/ CSV
+// layer — the third exporter next to Prometheus text and Chrome traces,
+// for feeding spreadsheet/pandas-style analysis directly.
+//
+// Layout is long-form ("tidy") so one schema covers all metric kinds:
+//   metric,kind,field,value
+//   sim.events,counter,value,12345
+//   parallel.task_run_us,histogram,le_0.001,3
+//   parallel.task_run_us,histogram,sum,1.5
+//   parallel.task_run_us,histogram,count,7
+// Histogram bucket fields are `le_<upper-bound>` (non-cumulative counts;
+// only occupied buckets are emitted), plus `sum` and `count` rows.
+
+#include <iosfwd>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::report {
+
+/// Writes the snapshot, header row included.  Returns rows written
+/// (excluding the header).
+std::size_t write_metrics_csv(std::ostream& out, const obs::MetricsSnapshot& snapshot);
+
+}  // namespace hetero::report

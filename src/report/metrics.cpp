@@ -1,0 +1,46 @@
+#include "hetero/report/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "hetero/report/csv.h"
+
+namespace hetero::report {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.12g", value);
+  return std::string{buffer};
+}
+
+}  // namespace
+
+std::size_t write_metrics_csv(std::ostream& out, const obs::MetricsSnapshot& snapshot) {
+  CsvWriter writer{out};
+  writer.write_row({"metric", "kind", "field", "value"});
+  for (const obs::CounterSample& counter : snapshot.counters) {
+    writer.write_row({counter.name, "counter", "value", std::to_string(counter.value)});
+  }
+  for (const obs::GaugeSample& gauge : snapshot.gauges) {
+    writer.write_row({gauge.name, "gauge", "value", format_double(gauge.value)});
+  }
+  for (const obs::HistogramSample& histogram : snapshot.histograms) {
+    for (std::size_t i = 0; i < obs::HistogramBuckets::kCount; ++i) {
+      if (histogram.buckets[i] == 0) continue;
+      const bool top = i + 1 == obs::HistogramBuckets::kCount;
+      const std::string field =
+          "le_" + (top ? std::string{"inf"}
+                       : format_double(obs::HistogramBuckets::upper_bound(i)));
+      writer.write_row(
+          {histogram.name, "histogram", field, std::to_string(histogram.buckets[i])});
+    }
+    writer.write_row({histogram.name, "histogram", "sum", format_double(histogram.sum)});
+    writer.write_row({histogram.name, "histogram", "count", std::to_string(histogram.count)});
+  }
+  return writer.rows_written() - 1;
+}
+
+}  // namespace hetero::report

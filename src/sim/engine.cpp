@@ -4,12 +4,37 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hetero/obs/metrics.h"
+
 namespace hetero::sim {
+
+namespace {
+
+// Per-run metric batch: events are too frequent for per-event atomics, so
+// the run loops accumulate locally and flush once on exit.
+struct [[maybe_unused]] RunMetrics {
+  std::size_t events = 0;
+  obs::LocalHistogram time_advance;
+
+  ~RunMetrics() {
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& runs = obs::counter("sim.runs");
+      static obs::Counter& processed = obs::counter("sim.events");
+      static obs::Histogram& advance = obs::histogram("sim.time_advance");
+      runs.add(1);
+      processed.add(events);
+      advance.merge(time_advance);
+    }
+  }
+};
+
+}  // namespace
 
 void SimEngine::schedule_at(double time, Action action) {
   if (!std::isfinite(time)) throw std::invalid_argument("SimEngine: non-finite event time");
   if (time < now_) throw std::invalid_argument("SimEngine: cannot schedule in the past");
   calendar_.push(Event{time, next_seq_++, std::move(action)});
+  if (calendar_.size() > max_depth_) max_depth_ = calendar_.size();
 }
 
 void SimEngine::schedule_after(double delay, Action action) {
@@ -18,27 +43,43 @@ void SimEngine::schedule_after(double delay, Action action) {
 }
 
 void SimEngine::run() {
+  RunMetrics metrics;
   while (!calendar_.empty()) {
     // The queue's top is const; copy out the pieces we need before popping.
     Event event{calendar_.top().time, calendar_.top().seq,
                 std::move(const_cast<Event&>(calendar_.top()).action)};
     calendar_.pop();
+    if constexpr (obs::kEnabled) {
+      ++metrics.events;
+      metrics.time_advance.record(event.time - now_);
+    }
     now_ = event.time;
     ++processed_;
     event.action();
   }
+  if constexpr (obs::kEnabled) {
+    obs::gauge("sim.calendar_depth_hwm").update_max(static_cast<double>(max_depth_));
+  }
 }
 
 void SimEngine::run_until(double horizon) {
+  RunMetrics metrics;
   while (!calendar_.empty() && calendar_.top().time <= horizon) {
     Event event{calendar_.top().time, calendar_.top().seq,
                 std::move(const_cast<Event&>(calendar_.top()).action)};
     calendar_.pop();
+    if constexpr (obs::kEnabled) {
+      ++metrics.events;
+      metrics.time_advance.record(event.time - now_);
+    }
     now_ = event.time;
     ++processed_;
     event.action();
   }
   if (now_ < horizon) now_ = horizon;
+  if constexpr (obs::kEnabled) {
+    obs::gauge("sim.calendar_depth_hwm").update_max(static_cast<double>(max_depth_));
+  }
 }
 
 }  // namespace hetero::sim

@@ -32,9 +32,18 @@ class SimEngine {
 
   /// Runs until the calendar drains.
   void run();
-  /// Runs events with time <= horizon; later events stay queued.
-  /// Advances the clock to min(horizon, last processed event time... see impl).
+  /// Runs every event with time <= horizon, including events those events
+  /// schedule when they also land within the horizon.  Events strictly
+  /// after the horizon stay queued.  Afterwards the clock reads
+  /// max(now, horizon): it advances to the horizon even when the calendar
+  /// drained early or was empty, and it never moves backwards — a horizon
+  /// below the current clock runs nothing and leaves the clock unchanged.
   void run_until(double horizon);
+
+  /// Deepest the calendar has ever been (pending events high-water mark).
+  [[nodiscard]] std::size_t calendar_depth_high_water() const noexcept {
+    return max_depth_;
+  }
 
  private:
   struct Event {
@@ -53,6 +62,7 @@ class SimEngine {
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
+  std::size_t max_depth_ = 0;
 };
 
 }  // namespace hetero::sim

@@ -1,0 +1,30 @@
+#pragma once
+
+// sim::Trace → Chrome trace events: the machine-readable counterpart of
+// report/gantt.h's ASCII diagrams.  Load the resulting JSON in Perfetto or
+// chrome://tracing to scrub through a worksharing episode actor by actor.
+//
+// Mapping: each actor becomes one thread row under pid obs::kSimPid —
+// tid 0 is the server, tid i+1 is worker i — and each TraceSegment becomes
+// one complete event named after its Activity, with the segment's subject
+// machine carried in args.  Simulated time has no inherent unit; the
+// exporter maps 1 simulated time unit to `us_per_sim_time` trace
+// microseconds (default 1e6, i.e. sim time read as seconds).
+
+#include <vector>
+
+#include "hetero/obs/chrome_trace.h"
+#include "hetero/sim/trace.h"
+
+namespace hetero::sim {
+
+/// Thread id an actor exports under (server first, then workers).
+[[nodiscard]] constexpr int trace_export_tid(std::size_t actor) noexcept {
+  return actor == kServerActor ? 0 : static_cast<int>(actor) + 1;
+}
+
+/// Converts every segment of the trace, in recording order.
+[[nodiscard]] std::vector<obs::TraceEvent> trace_events(const Trace& trace,
+                                                        double us_per_sim_time = 1e6);
+
+}  // namespace hetero::sim

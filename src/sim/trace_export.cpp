@@ -1,0 +1,24 @@
+#include "hetero/sim/trace_export.h"
+
+#include <string>
+
+namespace hetero::sim {
+
+std::vector<obs::TraceEvent> trace_events(const Trace& trace, double us_per_sim_time) {
+  std::vector<obs::TraceEvent> events;
+  events.reserve(trace.segments().size());
+  for (const TraceSegment& segment : trace.segments()) {
+    obs::TraceEvent event;
+    event.name = to_string(segment.activity);
+    event.category = "sim";
+    event.ts_us = segment.start * us_per_sim_time;
+    event.dur_us = segment.duration() * us_per_sim_time;
+    event.pid = obs::kSimPid;
+    event.tid = trace_export_tid(segment.actor);
+    event.args.emplace_back("subject", "C" + std::to_string(segment.subject + 1));
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace hetero::sim

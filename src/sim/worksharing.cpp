@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "hetero/numeric/summation.h"
+#include "hetero/obs/metrics.h"
+#include "hetero/obs/scope.h"
 #include "hetero/sim/engine.h"
 #include "hetero/sim/resource.h"
 
@@ -240,6 +242,11 @@ SimulationResult simulate_worksharing(std::span<const double> speeds,
                                       std::span<const double> allocations,
                                       const protocol::ProtocolOrders& orders,
                                       const SimulationOptions& options) {
+  HETERO_OBS_SCOPE("sim.episode");
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& episodes = obs::counter("sim.episodes");
+    episodes.add(1);
+  }
   Episode episode{speeds, env, allocations, orders, options};
   return episode.run();
 }

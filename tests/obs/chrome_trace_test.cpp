@@ -1,0 +1,95 @@
+#include "hetero/obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_json.h"
+
+namespace hetero::obs {
+namespace {
+
+using test_support::parse_json;
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("worker-compute"), "worker-compute");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string{"\x01"}), "\\u0001");
+}
+
+TEST(ChromeTraceTest, EmptyEventListIsValidJson) {
+  const std::string json = chrome_trace_json({});
+  const auto doc = parse_json(json);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.at("traceEvents").array().empty());
+  EXPECT_EQ(doc.at("displayTimeUnit").string(), "ms");
+}
+
+TEST(ChromeTraceTest, EventFieldsRoundTripThroughJson) {
+  TraceEvent event;
+  event.name = "worker \"quoted\" compute";
+  event.category = "sim";
+  event.ts_us = 1234.5;
+  event.dur_us = 0.0625;
+  event.pid = kSimPid;
+  event.tid = 3;
+  event.args.emplace_back("subject", "C2");
+
+  const std::string json = chrome_trace_json(std::vector<TraceEvent>{event});
+  const auto doc = parse_json(json);
+  const auto& events = doc.at("traceEvents").array();
+  ASSERT_EQ(events.size(), 1u);
+  const auto& parsed = events[0];
+  EXPECT_EQ(parsed.at("name").string(), "worker \"quoted\" compute");
+  EXPECT_EQ(parsed.at("cat").string(), "sim");
+  EXPECT_EQ(parsed.at("ph").string(), "X");
+  EXPECT_DOUBLE_EQ(parsed.at("ts").number(), 1234.5);
+  EXPECT_DOUBLE_EQ(parsed.at("dur").number(), 0.0625);
+  EXPECT_DOUBLE_EQ(parsed.at("pid").number(), kSimPid);
+  EXPECT_DOUBLE_EQ(parsed.at("tid").number(), 3.0);
+  EXPECT_EQ(parsed.at("args").at("subject").string(), "C2");
+}
+
+TEST(ChromeTraceTest, OmitsArgsObjectWhenEmpty) {
+  TraceEvent event;
+  event.name = "bare";
+  const std::string json = chrome_trace_json(std::vector<TraceEvent>{event});
+  const auto doc = parse_json(json);
+  EXPECT_FALSE(doc.at("traceEvents").array()[0].contains("args"));
+}
+
+TEST(ChromeTraceTest, SpansConvertWithNanosecondToMicrosecondScaling) {
+  Span span;
+  span.name = "scope.name";
+  span.start_ns = 2000;
+  span.end_ns = 5500;
+  span.tid = 7;
+  const auto events = events_from_spans(std::vector<Span>{span});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "scope.name");
+  EXPECT_EQ(events[0].category, "wall");
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 2.0);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 3.5);
+  EXPECT_EQ(events[0].pid, kWallClockPid);
+  EXPECT_EQ(events[0].tid, 7);
+}
+
+TEST(ChromeTraceTest, ManyEventsStayValidJson) {
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 500; ++i) {
+    TraceEvent event;
+    event.name = "event-" + std::to_string(i);
+    event.ts_us = static_cast<double>(i) * 0.5;
+    event.dur_us = 0.25;
+    event.tid = i % 7;
+    events.push_back(std::move(event));
+  }
+  const auto doc = parse_json(chrome_trace_json(events));
+  EXPECT_EQ(doc.at("traceEvents").array().size(), 500u);
+}
+
+}  // namespace
+}  // namespace hetero::obs

@@ -1,0 +1,166 @@
+#include "hetero/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace hetero::obs {
+namespace {
+
+TEST(HistogramBucketsTest, NonpositiveAndNanLandInBucketZero) {
+  EXPECT_EQ(HistogramBuckets::index_for(0.0), 0u);
+  EXPECT_EQ(HistogramBuckets::index_for(-1.0), 0u);
+  EXPECT_EQ(HistogramBuckets::index_for(std::nan("")), 0u);
+}
+
+TEST(HistogramBucketsTest, MatchesFrexpExponentForNormals) {
+  for (double value : {1e-9, 0.001, 0.5, 1.0, 1.5, 2.0, 3.14, 1000.0, 1e8}) {
+    int exponent = 0;
+    std::frexp(value, &exponent);
+    const int raw = exponent - HistogramBuckets::kMinExponent;
+    const std::size_t expected = raw <= 0 ? 0u
+                                 : raw >= static_cast<int>(HistogramBuckets::kCount)
+                                     ? HistogramBuckets::kCount - 1
+                                     : static_cast<std::size_t>(raw);
+    EXPECT_EQ(HistogramBuckets::index_for(value), expected) << "value " << value;
+  }
+}
+
+TEST(HistogramBucketsTest, ValuesSitWithinTheirBucketBounds) {
+  // Buckets are half-open: [2^(i-1+kMinExponent), 2^(i+kMinExponent)).
+  for (double value : {1e-6, 0.25, 1.0, 7.0, 12345.0}) {
+    const std::size_t index = HistogramBuckets::index_for(value);
+    EXPECT_LT(value, HistogramBuckets::upper_bound(index));
+    if (index > 0) EXPECT_GE(value, HistogramBuckets::upper_bound(index - 1));
+  }
+}
+
+TEST(HistogramBucketsTest, ExtremesClampToEndBuckets) {
+  EXPECT_EQ(HistogramBuckets::index_for(1e-300), 0u);
+  EXPECT_EQ(HistogramBuckets::index_for(1e300), HistogramBuckets::kCount - 1);
+  EXPECT_EQ(HistogramBuckets::index_for(std::numeric_limits<double>::infinity()),
+            HistogramBuckets::kCount - 1);
+}
+
+#if HETERO_OBS_ENABLED
+
+TEST(CounterTest, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(GaugeTest, SetAddMax) {
+  Gauge gauge;
+  gauge.set(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+  gauge.add(1.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.update_max(3.0);  // below current: no change
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.update_max(10.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 10.0);
+  gauge.reset();
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(HistogramTest, RecordAccumulatesCountSumBuckets) {
+  Histogram histogram;
+  histogram.record(0.75);  // bucket of 2^0
+  histogram.record(0.75);
+  histogram.record(6.0);  // bucket of 2^3
+  const HistogramSample sample = histogram.sample("test");
+  EXPECT_EQ(sample.count, 3u);
+  EXPECT_DOUBLE_EQ(sample.sum, 7.5);
+  EXPECT_EQ(sample.buckets[HistogramBuckets::index_for(0.75)], 2u);
+  EXPECT_EQ(sample.buckets[HistogramBuckets::index_for(6.0)], 1u);
+}
+
+TEST(HistogramTest, MergeFoldsLocalBatch) {
+  Histogram histogram;
+  LocalHistogram local;
+  for (int i = 1; i <= 100; ++i) local.record(static_cast<double>(i));
+  histogram.merge(local);
+  histogram.record(0.5);
+  const HistogramSample sample = histogram.sample("test");
+  EXPECT_EQ(sample.count, 101u);
+  EXPECT_DOUBLE_EQ(sample.sum, 5050.5);
+}
+
+TEST(RegistryTest, SameNameYieldsSameObject) {
+  Registry& registry = Registry::global();
+  Counter& a = registry.counter("test.registry.same");
+  Counter& b = registry.counter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = registry.gauge("test.registry.same");  // separate kind namespace
+  Gauge& g2 = registry.gauge("test.registry.same");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(RegistryTest, SnapshotSortedByNameAndResetZeroesInPlace) {
+  Registry& registry = Registry::global();
+  Counter& zebra = registry.counter("test.zz.last");
+  Counter& alpha = registry.counter("test.aa.first");
+  zebra.add(7);
+  alpha.add(3);
+  registry.histogram("test.hist").record(1.0);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_GE(snapshot.counters.size(), 2u);
+  for (std::size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+  bool found = false;
+  for (const CounterSample& sample : snapshot.counters) {
+    if (sample.name == "test.zz.last") {
+      EXPECT_EQ(sample.value, 7u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  registry.reset();
+  EXPECT_EQ(zebra.value(), 0u);  // same object, zeroed — cached refs stay valid
+  EXPECT_EQ(alpha.value(), 0u);
+  zebra.add(1);
+  EXPECT_EQ(registry.counter("test.zz.last").value(), 1u);
+}
+
+TEST(RegistryTest, EnabledBuildReportsEnabled) { EXPECT_TRUE(kEnabled); }
+
+#else  // !HETERO_OBS_ENABLED
+
+TEST(RegistryTest, DisabledBuildIsInertButCallable) {
+  EXPECT_FALSE(kEnabled);
+  Counter& counter = Registry::global().counter("test.disabled");
+  counter.add(100);
+  EXPECT_EQ(counter.value(), 0u);
+  Registry::global().histogram("test.disabled").record(1.0);
+  EXPECT_TRUE(Registry::global().snapshot().empty());
+}
+
+#endif  // HETERO_OBS_ENABLED
+
+}  // namespace
+}  // namespace hetero::obs

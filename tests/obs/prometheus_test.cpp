@@ -1,0 +1,80 @@
+#include "hetero/obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hetero::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream{text};
+  std::string line;
+  while (std::getline(stream, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusNameTest, PrefixesAndSanitizes) {
+  EXPECT_EQ(prometheus_name("sim.events"), "hetero_sim_events");
+  EXPECT_EQ(prometheus_name("already_clean"), "hetero_already_clean");
+  EXPECT_EQ(prometheus_name("weird-name with spaces"), "hetero_weird_name_with_spaces");
+}
+
+TEST(PrometheusTextTest, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(prometheus_text(MetricsSnapshot{}), "");
+}
+
+TEST(PrometheusTextTest, CounterAndGaugeLines) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back(CounterSample{"sim.events", 42});
+  snapshot.gauges.push_back(GaugeSample{"sim.calendar_depth_hwm", 3.5});
+  const auto lines = lines_of(prometheus_text(snapshot));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "# TYPE hetero_sim_events counter");
+  EXPECT_EQ(lines[1], "hetero_sim_events 42");
+  EXPECT_EQ(lines[2], "# TYPE hetero_sim_calendar_depth_hwm gauge");
+  EXPECT_EQ(lines[3], "hetero_sim_calendar_depth_hwm 3.5");
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeAndEndInInf) {
+  MetricsSnapshot snapshot;
+  HistogramSample histogram;
+  histogram.name = "lat";
+  histogram.buckets[HistogramBuckets::index_for(0.75)] = 2;  // le 1
+  histogram.buckets[HistogramBuckets::index_for(3.0)] = 3;   // le 4
+  histogram.count = 5;
+  histogram.sum = 10.5;
+  snapshot.histograms.push_back(histogram);
+
+  const std::string text = prometheus_text(snapshot);
+  const auto lines = lines_of(text);
+  ASSERT_GE(lines.size(), 6u);
+  EXPECT_EQ(lines[0], "# TYPE hetero_lat histogram");
+  EXPECT_EQ(lines[1], "hetero_lat_bucket{le=\"1\"} 2");
+  EXPECT_EQ(lines[2], "hetero_lat_bucket{le=\"4\"} 5");  // cumulative
+  EXPECT_EQ(lines[3], "hetero_lat_bucket{le=\"+Inf\"} 5");
+  EXPECT_EQ(lines[4], "hetero_lat_sum 10.5");
+  EXPECT_EQ(lines[5], "hetero_lat_count 5");
+}
+
+TEST(PrometheusTextTest, TopBucketRendersAsInf) {
+  MetricsSnapshot snapshot;
+  HistogramSample histogram;
+  histogram.name = "overflow";
+  histogram.buckets[HistogramBuckets::kCount - 1] = 4;
+  histogram.count = 4;
+  histogram.sum = 12.5;
+  snapshot.histograms.push_back(histogram);
+
+  const auto lines = lines_of(prometheus_text(snapshot));
+  EXPECT_EQ(lines[1], "hetero_overflow_bucket{le=\"+Inf\"} 4");
+  // No duplicate +Inf row: bucket line already covers the total.
+  EXPECT_EQ(lines[2], "hetero_overflow_sum 12.5");
+  EXPECT_EQ(lines[3], "hetero_overflow_count 4");
+}
+
+}  // namespace
+}  // namespace hetero::obs

@@ -1,0 +1,117 @@
+#include "hetero/obs/scope.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hetero::obs {
+namespace {
+
+#if HETERO_OBS_ENABLED
+
+std::size_t count_named(const std::vector<Span>& spans, const std::string& name) {
+  return static_cast<std::size_t>(std::count_if(
+      spans.begin(), spans.end(), [&name](const Span& span) { return span.name == name; }));
+}
+
+TEST(ProfileScopeTest, RecordsOneSpanPerScope) {
+  SpanCollector& collector = SpanCollector::global();
+  collector.clear();
+  {
+    HETERO_OBS_SCOPE("scope_test.outer");
+  }
+  {
+    HETERO_OBS_SCOPE("scope_test.outer");
+  }
+  const std::vector<Span> spans = collector.snapshot();
+  EXPECT_EQ(count_named(spans, "scope_test.outer"), 2u);
+}
+
+TEST(ProfileScopeTest, SpansHaveNonNegativeDurationAndMonotoneClock) {
+  SpanCollector& collector = SpanCollector::global();
+  collector.clear();
+  const std::uint64_t before = SpanCollector::now_ns();
+  {
+    HETERO_OBS_SCOPE("scope_test.timed");
+  }
+  const std::uint64_t after = SpanCollector::now_ns();
+  EXPECT_LE(before, after);
+  for (const Span& span : collector.snapshot()) {
+    if (std::string{span.name} != "scope_test.timed") continue;
+    EXPECT_LE(span.start_ns, span.end_ns);
+    EXPECT_GE(span.start_ns, before);
+    EXPECT_LE(span.end_ns, after);
+  }
+}
+
+TEST(ProfileScopeTest, NestedScopesAreContained) {
+  SpanCollector& collector = SpanCollector::global();
+  collector.clear();
+  {
+    HETERO_OBS_SCOPE("scope_test.parent");
+    HETERO_OBS_SCOPE("scope_test.child");
+  }
+  const std::vector<Span> spans = collector.snapshot();
+  const Span* parent = nullptr;
+  const Span* child = nullptr;
+  for (const Span& span : spans) {
+    if (std::string{span.name} == "scope_test.parent") parent = &span;
+    if (std::string{span.name} == "scope_test.child") child = &span;
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_LE(parent->start_ns, child->start_ns);
+  EXPECT_GE(parent->end_ns, child->end_ns);  // child destructs first
+  EXPECT_EQ(parent->tid, child->tid);
+}
+
+TEST(ProfileScopeTest, ThreadsGetDistinctTidsAndSpansSurviveJoin) {
+  SpanCollector& collector = SpanCollector::global();
+  collector.clear();
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] { HETERO_OBS_SCOPE("scope_test.worker"); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  {
+    HETERO_OBS_SCOPE("scope_test.main");
+  }
+
+  const std::vector<Span> spans = collector.snapshot();
+  EXPECT_EQ(count_named(spans, "scope_test.worker"), static_cast<std::size_t>(kThreads));
+  std::vector<std::uint32_t> worker_tids;
+  for (const Span& span : spans) {
+    if (std::string{span.name} == "scope_test.worker") worker_tids.push_back(span.tid);
+  }
+  std::sort(worker_tids.begin(), worker_tids.end());
+  EXPECT_EQ(std::unique(worker_tids.begin(), worker_tids.end()), worker_tids.end())
+      << "each recording thread must own a distinct tid";
+}
+
+TEST(SpanCollectorTest, ClearDropsEverything) {
+  SpanCollector& collector = SpanCollector::global();
+  {
+    HETERO_OBS_SCOPE("scope_test.to_clear");
+  }
+  collector.clear();
+  EXPECT_EQ(count_named(collector.snapshot(), "scope_test.to_clear"), 0u);
+}
+
+#else  // !HETERO_OBS_ENABLED
+
+TEST(ProfileScopeTest, DisabledBuildRecordsNothing) {
+  {
+    HETERO_OBS_SCOPE("scope_test.disabled");
+  }
+  EXPECT_TRUE(SpanCollector::global().snapshot().empty());
+}
+
+#endif  // HETERO_OBS_ENABLED
+
+}  // namespace
+}  // namespace hetero::obs

@@ -1,0 +1,120 @@
+// Trace → gantt → Chrome-trace round trip: a simulated FIFO episode must
+// export the *same* segment set through both views.  The Chrome-trace JSON
+// is parsed back (with the test-support parser) and golden-checked event by
+// event against sim::Trace — same intervals, same actors, same activities —
+// which is the PR's acceptance criterion for the exporter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "../support/mini_json.h"
+#include "hetero/core/environment.h"
+#include "hetero/obs/chrome_trace.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/report/gantt.h"
+#include "hetero/sim/trace.h"
+#include "hetero/sim/trace_export.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero {
+namespace {
+
+using test_support::parse_json;
+
+// name, tid, ts_us, dur_us, subject — everything a Chrome-trace complete
+// event carries about a segment.
+using EventKey = std::tuple<std::string, int, double, double, std::string>;
+
+sim::SimulationResult simulated_fifo_episode() {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const core::Environment env = core::Environment::paper_default();
+  const protocol::Schedule schedule = protocol::fifo_schedule(speeds, env, 3600.0);
+  return sim::simulate_schedule(schedule, env);
+}
+
+std::multiset<EventKey> keys_from_trace(const sim::Trace& trace, double us_per_sim_time) {
+  std::multiset<EventKey> keys;
+  for (const sim::TraceSegment& segment : trace.segments()) {
+    keys.emplace(std::string{sim::to_string(segment.activity)},
+                 sim::trace_export_tid(segment.actor), segment.start * us_per_sim_time,
+                 segment.duration() * us_per_sim_time,
+                 "C" + std::to_string(segment.subject + 1));
+  }
+  return keys;
+}
+
+TEST(TraceRoundTripTest, ChromeTraceJsonMatchesTraceSegmentsExactly) {
+  const sim::SimulationResult result = simulated_fifo_episode();
+  ASSERT_FALSE(result.trace.segments().empty());
+
+  constexpr double kUsPerSimTime = 1e6;
+  const std::string json =
+      obs::chrome_trace_json(sim::trace_events(result.trace, kUsPerSimTime));
+
+  const auto doc = parse_json(json);  // throws on malformed JSON
+  const auto& events = doc.at("traceEvents").array();
+  ASSERT_EQ(events.size(), result.trace.segments().size());
+
+  std::multiset<EventKey> exported;
+  for (const auto& event : events) {
+    EXPECT_EQ(event.at("ph").string(), "X");
+    EXPECT_EQ(event.at("cat").string(), "sim");
+    EXPECT_DOUBLE_EQ(event.at("pid").number(), obs::kSimPid);
+    exported.emplace(event.at("name").string(),
+                     static_cast<int>(event.at("tid").number()), event.at("ts").number(),
+                     event.at("dur").number(), event.at("args").at("subject").string());
+  }
+
+  // Golden check: the exported event multiset IS the trace's segment
+  // multiset — same intervals, same actors, nothing added or dropped.
+  // %.17g serialization makes the doubles round-trip bit-exactly.
+  EXPECT_EQ(exported, keys_from_trace(result.trace, kUsPerSimTime));
+}
+
+TEST(TraceRoundTripTest, GanttRendersOneRowPerExportedThread) {
+  const sim::SimulationResult result = simulated_fifo_episode();
+
+  // Distinct actors in the trace == distinct tids in the export.
+  std::set<int> tids;
+  for (const obs::TraceEvent& event : sim::trace_events(result.trace)) {
+    tids.insert(event.tid);
+  }
+  EXPECT_EQ(tids.size(), 4u);  // server + 3 workers
+  EXPECT_TRUE(tids.contains(0));
+
+  report::GanttOptions options;
+  options.width = 72;
+  const std::string gantt = report::render_gantt(result.trace, options);
+  EXPECT_NE(gantt.find("server"), std::string::npos);
+  for (std::size_t machine = 0; machine < 3; ++machine) {
+    EXPECT_NE(gantt.find("C" + std::to_string(machine + 1)), std::string::npos)
+        << "gantt row for worker " << machine;
+  }
+
+  // Both views agree on the episode's extent: the latest exported event end
+  // equals the trace horizon (which bounds the gantt's time axis).
+  double last_end_us = 0.0;
+  for (const obs::TraceEvent& event : sim::trace_events(result.trace)) {
+    last_end_us = std::max(last_end_us, event.ts_us + event.dur_us);
+  }
+  EXPECT_DOUBLE_EQ(last_end_us, result.trace.horizon() * 1e6);
+}
+
+TEST(TraceRoundTripTest, ScalingFactorIsHonored) {
+  const sim::SimulationResult result = simulated_fifo_episode();
+  const auto at_1x = sim::trace_events(result.trace, 1.0);
+  const auto at_1000x = sim::trace_events(result.trace, 1000.0);
+  ASSERT_EQ(at_1x.size(), at_1000x.size());
+  for (std::size_t i = 0; i < at_1x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(at_1000x[i].ts_us, at_1x[i].ts_us * 1000.0);
+    EXPECT_DOUBLE_EQ(at_1000x[i].dur_us, at_1x[i].dur_us * 1000.0);
+  }
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,101 @@
+// Pins SimEngine::run_until's clock-advance contract (see engine.h):
+//   - events with time <= horizon run, including cascades landing in-horizon;
+//   - events strictly after the horizon stay queued;
+//   - afterwards the clock reads max(now, horizon), never moving backwards.
+
+#include "hetero/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hetero::sim {
+namespace {
+
+TEST(RunUntilTest, EmptyCalendarStillAdvancesClockToHorizon) {
+  SimEngine engine;
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+  EXPECT_EQ(engine.events_processed(), 0u);
+}
+
+TEST(RunUntilTest, EventExactlyAtHorizonRuns) {
+  SimEngine engine;
+  bool fired = false;
+  engine.schedule_at(5.0, [&fired] { fired = true; });
+  engine.run_until(5.0);
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(RunUntilTest, EventsAfterHorizonStayQueuedThenRunLater) {
+  SimEngine engine;
+  std::vector<int> fired;
+  engine.schedule_at(1.0, [&fired] { fired.push_back(1); });
+  engine.schedule_at(3.0, [&fired] { fired.push_back(3); });
+  engine.schedule_at(7.0, [&fired] { fired.push_back(7); });
+
+  engine.run_until(4.0);
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+
+  engine.run();  // drains the event left beyond the horizon
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 7}));
+  EXPECT_DOUBLE_EQ(engine.now(), 7.0);
+}
+
+TEST(RunUntilTest, CascadedEventsWithinHorizonRun) {
+  SimEngine engine;
+  int depth = 0;
+  engine.schedule_at(1.0, [&engine, &depth] {
+    ++depth;
+    engine.schedule_after(1.0, [&engine, &depth] {
+      ++depth;
+      engine.schedule_after(10.0, [&depth] { ++depth; });  // t=12: beyond
+    });
+  });
+  engine.run_until(5.0);
+  EXPECT_EQ(depth, 2);  // t=1 and t=2 ran; t=12 still queued
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(RunUntilTest, HorizonBelowClockIsANoOpAndClockNeverRewinds) {
+  SimEngine engine;
+  bool fired = false;
+  engine.schedule_at(6.0, [] {});
+  engine.run_until(8.0);
+  ASSERT_DOUBLE_EQ(engine.now(), 8.0);
+
+  engine.schedule_at(9.0, [&fired] { fired = true; });
+  engine.run_until(3.0);  // below the current clock
+  EXPECT_FALSE(fired);
+  EXPECT_DOUBLE_EQ(engine.now(), 8.0) << "clock must not move backwards";
+
+  engine.run_until(9.0);
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(engine.now(), 9.0);
+}
+
+TEST(RunUntilTest, RepeatedHorizonIsIdempotent) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_at(2.0, [&fired] { ++fired; });
+  engine.run_until(4.0);
+  engine.run_until(4.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+}
+
+TEST(RunUntilTest, TracksCalendarDepthHighWaterMark) {
+  SimEngine engine;
+  for (int i = 0; i < 4; ++i) {
+    engine.schedule_at(static_cast<double>(i), [] {});
+  }
+  EXPECT_EQ(engine.calendar_depth_high_water(), 4u);
+  engine.run();
+  // Draining never lowers the high-water mark.
+  EXPECT_EQ(engine.calendar_depth_high_water(), 4u);
+}
+
+}  // namespace
+}  // namespace hetero::sim

@@ -1,0 +1,240 @@
+#pragma once
+
+// A minimal strict JSON parser for golden tests (no external deps).
+//
+// The Chrome-trace golden tests need to prove the exporter's output
+// *parses as JSON* — not merely that it contains expected substrings — and
+// then compare the parsed events against the source trace.  This parser
+// supports the full JSON grammar the exporter can emit (objects, arrays,
+// strings with escapes, numbers, booleans, null) and throws
+// std::runtime_error with a byte offset on any syntax error.
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hetero::test_support {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
+                               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>;
+
+  JsonValue() : storage_{nullptr} {}
+  explicit JsonValue(Storage storage) : storage_{std::move(storage)} {}
+
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(storage_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(storage_);
+  }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(storage_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(storage_); }
+
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(storage_);
+  }
+  [[nodiscard]] const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(storage_);
+  }
+  [[nodiscard]] const std::string& string() const { return std::get<std::string>(storage_); }
+  [[nodiscard]] double number() const { return std::get<double>(storage_); }
+
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const auto& members = object();
+    const auto it = members.find(key);
+    if (it == members.end()) throw std::runtime_error("mini_json: missing key " + key);
+    return it->second;
+  }
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return is_object() && object().count(key) != 0;
+  }
+
+ private:
+  Storage storage_;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_{text} {}
+
+  [[nodiscard]] JsonValue parse() {
+    const JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("mini_json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  [[nodiscard]] JsonValue parse_value() {
+    skip_whitespace();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return JsonValue{JsonValue::Storage{parse_string()}};
+    if (try_consume("true")) return JsonValue{JsonValue::Storage{true}};
+    if (try_consume("false")) return JsonValue{JsonValue::Storage{false}};
+    if (try_consume("null")) return JsonValue{JsonValue::Storage{nullptr}};
+    return parse_number();
+  }
+
+  [[nodiscard]] JsonValue parse_object() {
+    expect('{');
+    auto members = std::make_shared<JsonObject>();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{JsonValue::Storage{std::move(members)}};
+    }
+    for (;;) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      (*members)[std::move(key)] = parse_value();
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{JsonValue::Storage{std::move(members)}};
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_array() {
+    expect('[');
+    auto elements = std::make_shared<JsonArray>();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{JsonValue::Storage{std::move(elements)}};
+    }
+    for (;;) {
+      elements->push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{JsonValue::Storage{std::move(elements)}};
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // Tests only exercise ASCII escapes; keep it simple.
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported in mini_json");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t count = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++count;
+      }
+      return count;
+    };
+    if (digits() == 0) fail("expected digits");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("expected exponent digits");
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    return JsonValue{JsonValue::Storage{std::strtod(token.c_str(), nullptr)}};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] inline JsonValue parse_json(std::string_view text) {
+  return JsonParser{text}.parse();
+}
+
+}  // namespace hetero::test_support
