@@ -6,12 +6,18 @@
 //   heteroctl compare "<0.8, 0.2>" "<0.5, 0.5>"  # every predictor + ground truth
 //   heteroctl upgrade "<1, 1/2, 1/4>" 0.0625     # additive-speedup table (phi)
 //   heteroctl obs     "<1, 1/2, 1/4>" 3600 [trace.json]  # episode + exports
+//   heteroctl faults  "<1, 1/2, 1/4>" 3600 [seed]        # fault scenarios
 //
 // The `obs` command simulates a FIFO episode, writes a Chrome trace-event
 // JSON (open in https://ui.perfetto.dev or chrome://tracing) combining
 // simulated-time segments with wall-clock profiling spans, and prints the
 // metrics registry in Prometheus text format.  Any command also accepts a
 // global `--metrics` flag to dump the registry after the run.
+//
+// The `faults` command sweeps a crash-rate x straggler-severity grid
+// (fault-oblivious vs reactive FIFO, degradation vs the fault-free optimum)
+// and then plays one seeded crash+straggler scenario end to end, printing
+// the reactive Gantt chart with the crash, stalls, and post-replan rounds.
 //
 // Profiles use the paper's notation: fractions or decimals, brackets
 // optional.  All output is plain text.
@@ -24,11 +30,14 @@
 #include <vector>
 
 #include "hetero/core/hetero.h"
+#include "hetero/experiments/fault_sweep.h"
 #include "hetero/obs/chrome_trace.h"
 #include "hetero/obs/metrics.h"
 #include "hetero/obs/prometheus.h"
 #include "hetero/protocol/fifo.h"
+#include "hetero/report/gantt.h"
 #include "hetero/report/table.h"
+#include "hetero/sim/reactive.h"
 #include "hetero/sim/trace_export.h"
 #include "hetero/sim/worksharing.h"
 
@@ -163,6 +172,70 @@ int cmd_obs(const core::Profile& profile, double lifespan, const std::string& tr
   return 0;
 }
 
+int cmd_faults(const core::Profile& profile, double lifespan, std::uint64_t seed) {
+  std::vector<double> speeds(profile.values().begin(), profile.values().end());
+
+  // Degradation grid: expected crashes per machine of {0, 0.5, 1.5} over the
+  // lifespan, straggler severities {none, 2x, 4x}.
+  experiments::FaultSweepConfig sweep;
+  sweep.lifespan = lifespan;
+  sweep.crash_rates = {0.0, 0.5 / lifespan, 1.5 / lifespan};
+  sweep.straggler_factors = {1.0, 2.0, 4.0};
+  sweep.trials = 3;
+  sweep.seed = seed;
+  std::cout << "degradation vs fault-free FIFO optimum ("
+            << core::format_profile(profile, 4) << ", L = " << lifespan << ", seed " << seed
+            << "):\n"
+            << experiments::format_fault_sweep(experiments::run_fault_sweep(speeds, kEnv, sweep))
+            << "\n";
+
+  // One seeded scenario end to end.  The sample gives seed-dependent faults;
+  // a crash and a straggler are guaranteed so the render always shows the
+  // reallocation story.
+  sim::FaultModelConfig model;
+  model.crash_rate = 0.7 / lifespan;
+  model.straggler_probability = 0.4;
+  model.straggler_factor = 2.0;
+  sim::FaultPlan plan = sim::FaultPlan::sample(model, speeds.size(), lifespan, seed);
+  if (plan.slowdowns.empty()) {
+    plan.slowdowns.push_back(sim::SlowdownFault{speeds.size() - 1, 0.05 * lifespan, 2.0});
+  }
+  if (plan.crashes.empty()) {
+    plan.crashes.push_back(sim::CrashFault{0, 0.55 * lifespan});
+  }
+
+  const auto oblivious = sim::run_fifo_with_faults(speeds, kEnv, lifespan, plan);
+  const auto reactive = sim::run_reactive_fifo(speeds, kEnv, lifespan, plan);
+  const double fault_free =
+      sim::run_fifo_with_faults(speeds, kEnv, lifespan, sim::FaultPlan{}).completed_work;
+
+  report::TextTable table{{"run", "completed work", "vs fault-free"}};
+  table.set_alignment(0, report::Align::kLeft);
+  const auto pct = [fault_free](double w) {
+    return report::format_fixed(fault_free > 0.0 ? 100.0 * w / fault_free : 0.0, 1) + "%";
+  };
+  table.add_row({"fault-free FIFO", report::format_fixed(fault_free, 2), pct(fault_free)});
+  table.add_row({"oblivious FIFO", report::format_fixed(oblivious.completed_work, 2),
+                 pct(oblivious.completed_work)});
+  table.add_row({"reactive FIFO", report::format_fixed(reactive.completed_work, 2),
+                 pct(reactive.completed_work)});
+  std::cout << "scenario: " << plan.crashes.size() << " crash(es), " << plan.slowdowns.size()
+            << " straggler(s); reactive ran " << reactive.rounds << " round(s), "
+            << reactive.replans << " replan(s)\n"
+            << table;
+  for (const sim::Detection& d : reactive.faults.detections) {
+    std::cout << "  detected " << sim::to_string(d.kind) << " on C" << (d.machine + 1)
+              << " at t = " << report::format_fixed(d.at, 3)
+              << (d.kind == sim::DetectionKind::kStraggler
+                      ? " (rho x" + report::format_fixed(d.factor, 1) + ")"
+                      : "")
+              << "\n";
+  }
+  std::cout << "\nreactive episode (crash = X, stall = ~, retransmit = R):\n"
+            << report::render_gantt(reactive.trace);
+  return 0;
+}
+
 int usage() {
   std::cout << "usage:\n"
                "  heteroctl power   <profile>\n"
@@ -171,6 +244,7 @@ int usage() {
                "  heteroctl compare <profile> <profile>\n"
                "  heteroctl upgrade <profile> <phi>\n"
                "  heteroctl obs     <profile> <lifespan> [trace.json]\n"
+               "  heteroctl faults  <profile> <lifespan> [seed]\n"
                "options:\n"
                "  --metrics   dump the metrics registry (Prometheus text) after any command\n"
                "profiles use the paper's notation, e.g. \"<1, 1/2, 1/4>\" or \"1 0.5 0.25\"\n";
@@ -208,6 +282,9 @@ int main(int argc, char** argv) {
     } else if (command == "obs" && args.size() >= 3) {
       status = cmd_obs(first, std::stod(args[2]),
                        args.size() >= 4 ? args[3] : std::string{"hetero_trace.json"});
+    } else if (command == "faults" && args.size() >= 3) {
+      status = cmd_faults(first, std::stod(args[2]),
+                          args.size() >= 4 ? std::stoull(args[3]) : 7u);
     } else {
       return usage();
     }

@@ -33,11 +33,17 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
     }
   }
 
-  // Earliest crash time per machine (campaign-absolute; inf = never).
-  std::vector<double> crash_time(speeds.size(), std::numeric_limits<double>::infinity());
+  // One whole-horizon fault plan: the sampled model plus the explicit
+  // failure list folded in as crashes.  Every round sees its restricted
+  // slice, so all fault families (not just crashes) flow into the episodes.
+  sim::FaultPlan plan = sim::FaultPlan::sample(config.fault_model, speeds.size(),
+                                               config.total_time, config.fault_seed);
   for (const CampaignFailure& f : failures) {
-    crash_time[f.machine] = std::min(crash_time[f.machine], std::max(0.0, f.time));
+    plan.crashes.push_back(sim::CrashFault{f.machine, std::max(0.0, f.time)});
   }
+
+  // Earliest crash time per machine (campaign-absolute; inf = never).
+  const std::vector<double> crash_time = plan.crash_times(speeds.size());
 
   CampaignResult result;
   result.ideal_work = core::work_production(config.total_time, core::Profile{speeds}, env);
@@ -73,15 +79,16 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
     const auto allocations = protocol::fifo_allocations(fleet, env, plan_horizon);
     sim::SimulationOptions options;
     options.message_latency = config.message_latency;
-    for (std::size_t k = 0; k < fleet_ids.size(); ++k) {
-      const double t = crash_time[fleet_ids[k]];
-      if (t < round_start + config.round_length) {
-        options.failures.push_back(sim::MachineFailure{k, t - round_start});
-      }
-    }
+    options.faults = plan.restricted(round_start, fleet_ids);
+    // Events scheduled beyond this round belong to later rounds.
+    const auto beyond = [&config](const auto& f) { return f.time >= config.round_length; };
+    std::erase_if(options.faults.crashes, beyond);
+    std::erase_if(options.faults.slowdowns, beyond);
+    std::erase_if(options.faults.stalls, beyond);
     const auto episode = sim::simulate_worksharing(
         fleet, env, allocations, protocol::ProtocolOrders::fifo(fleet.size()), options);
     const double round_work = episode.completed_work(config.round_length);
+    result.faults.merge(episode.faults, round_start);
     result.work_by_round.push_back(round_work);
     result.completed_work += round_work;
     ++result.rounds;
@@ -95,11 +102,13 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
       if (round_ideal > 0.0) round_efficiency.set(round_work / round_ideal);
     }
 
-    // A machine whose crash time has passed is gone for all later rounds,
-    // even if its round-local result squeaked out (the crash semantics in
-    // sim:: let an in-flight result land; the *machine* is still dead).
+    // A machine is gone for all later rounds when its injected crash took
+    // effect (observed in the episode) or was scheduled inside this round —
+    // the latter covers crashes that fired after the machine's result was
+    // already in flight (the network has the result; the machine is dead).
     for (std::size_t k = 0; k < fleet_ids.size(); ++k) {
-      if (crash_time[fleet_ids[k]] < round_start + config.round_length) {
+      if (episode.outcomes[k].failed ||
+          crash_time[fleet_ids[k]] < round_start + config.round_length) {
         alive[fleet_ids[k]] = false;
       }
     }

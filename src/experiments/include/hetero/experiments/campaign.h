@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hetero/core/environment.h"
+#include "hetero/sim/fault.h"
 
 namespace hetero::experiments {
 
@@ -25,6 +26,11 @@ struct CampaignConfig {
   double round_length = 0.0;   ///< episode length; total_time/round_length rounds
   /// Per-message fixed latency forwarded to the simulator (0 = paper model).
   double message_latency = 0.0;
+  /// Fault model sampled (with fault_seed) into one whole-horizon FaultPlan;
+  /// each round sees its restricted slice.  Crashes from the plan and from
+  /// the explicit failure list are merged.  Default: no faults.
+  sim::FaultModelConfig fault_model{};
+  std::uint64_t fault_seed = 0;
 };
 
 /// A machine crash, in campaign-absolute time.
@@ -37,8 +43,13 @@ struct CampaignResult {
   double completed_work = 0.0;    ///< work whose results landed within rounds
   double ideal_work = 0.0;        ///< Theorem-2 work of the full fleet, no churn
   std::size_t rounds = 0;
-  std::size_t machines_lost = 0;  ///< fleet attrition over the campaign
+  /// Fleet attrition: machines whose injected crash actually took effect
+  /// (observed mid-round or scheduled within a round the machine was part
+  /// of) — wired to the fault plan, not inferred.
+  std::size_t machines_lost = 0;
   std::vector<double> work_by_round;
+  /// Fault activity accumulated across rounds, in campaign-absolute time.
+  sim::FaultStats faults;
 };
 
 /// Runs the campaign: rounds of FIFO worksharing over the surviving fleet,

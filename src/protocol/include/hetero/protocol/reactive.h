@@ -1,0 +1,105 @@
+#pragma once
+
+// Reactive FIFO worksharing: replan the exact allocation when a fault is
+// detected.
+//
+// The paper's FIFO protocol commits allocations at time 0 and never looks
+// back; under crashes and stragglers that is exactly wrong — an oversized
+// load on a machine whose rho just doubled misses the lifespan entirely, and
+// a dead machine's load is simply gone.  The reactive planner keeps the
+// server's view of the fleet (who is alive, at what *effective* rho) and, on
+// every detection, weighs two futures:
+//   continue — the in-flight round runs out; the expected yield is the sum
+//              of the current allocations on the machines still healthy
+//              (crashed and degraded loads count zero: the former are lost,
+//              the latter land after the lifespan);
+//   replan   — abort the round and re-solve the exact fixed-order LP over
+//              the survivors at their detected effective speeds for the
+//              remaining lifespan (the straggler just shifted the
+//              heterogeneity profile; the optimal response is a fresh
+//              W(L'; P') allocation, not a heuristic).
+// It replans only when the replanned yield strictly beats the continue
+// estimate — aborting discards the survivors' in-flight loads, so reacting
+// to every detection would be worse than ignoring them all.
+//
+// This layer is pure planning (no simulator types): callers feed it
+// detections as plain (time, machine, event) triples and act on the
+// decision.  sim/reactive.h provides the driver that closes the loop.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::protocol {
+
+/// Knobs for the reactive server.  The detection/retry fields mirror
+/// sim::RetryPolicy (the driver copies them across); the replan fields bound
+/// how eagerly the planner reacts.
+struct ReactivePolicy {
+  double detection_latency = 1.0;  ///< fault onset -> server notices
+  double deadline_slack = 0.25;    ///< result deadline = (1+slack) x nominal RTT
+  std::size_t max_retries = 1;     ///< resend/extension budget per worker
+  double backoff = 2.0;            ///< detection window growth per retry
+  std::size_t max_replans = 4;     ///< at most this many round aborts
+  /// Never replan when the remaining lifespan is below this fraction of the
+  /// whole — the replanned round could not amortize its own startup.
+  double min_remaining_fraction = 0.02;
+};
+
+/// What the server learned about one worker (planner-level view of
+/// sim::DetectionKind).
+enum class WorkerEvent {
+  kCrashed,       ///< machine is dead; its unsent load is lost
+  kDegraded,      ///< machine is alive at rho x factor (straggler)
+  kUnresponsive,  ///< result deadline exhausted; treat as lost
+};
+
+/// The planner's verdict on one detection.
+struct ReplanDecision {
+  bool replan = false;
+  double remaining = 0.0;           ///< lifespan left at decision time
+  double continue_estimate = 0.0;   ///< expected yield of finishing the round
+  double planned_work = 0.0;        ///< exact-LP yield of a fresh round
+  std::vector<std::size_t> survivors;  ///< machines a fresh round would use
+  /// Fresh FIFO allocations, by survivor position (set only when replan).
+  std::vector<double> allocations;
+};
+
+/// Server-side state machine: current plan + fleet health, fed one detection
+/// at a time (in time order).  Machine indices are positions in the `speeds`
+/// the planner was built with.
+class ReactiveFifoPlanner {
+ public:
+  /// `speeds` are the *effective* rho values the server currently believes
+  /// (the driver folds previously detected slowdowns in before re-planning).
+  /// The initial plan is the exact FIFO optimum over them.
+  ReactiveFifoPlanner(std::span<const double> speeds, const core::Environment& env,
+                      double lifespan, const ReactivePolicy& policy = {});
+
+  /// Registers a detection at time `now` (since episode start) and decides.
+  /// `factor` is the observed rho inflation (kDegraded only).  A replanning
+  /// decision updates the planner's current plan to the fresh allocations.
+  ReplanDecision on_event(double now, std::size_t machine, WorkerEvent event,
+                          double factor = 1.0);
+
+  /// Current planned allocation by machine index (zero for dead machines).
+  [[nodiscard]] const std::vector<double>& current_allocations() const noexcept {
+    return allocations_;
+  }
+  [[nodiscard]] const std::vector<bool>& alive() const noexcept { return alive_; }
+  [[nodiscard]] std::size_t replans() const noexcept { return replans_; }
+
+ private:
+  core::Environment env_;
+  ReactivePolicy policy_;
+  double lifespan_;
+  std::vector<double> effective_;   ///< believed rho per machine
+  std::vector<bool> alive_;
+  std::vector<bool> degraded_;      ///< degraded since the current plan was cut
+  std::vector<double> allocations_; ///< current plan, by machine
+  std::size_t replans_ = 0;
+};
+
+}  // namespace hetero::protocol

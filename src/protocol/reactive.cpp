@@ -1,0 +1,112 @@
+#include "hetero/protocol/reactive.h"
+
+#include <stdexcept>
+
+#include "hetero/numeric/summation.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/protocol/lp_solver.h"
+
+namespace hetero::protocol {
+
+ReactiveFifoPlanner::ReactiveFifoPlanner(std::span<const double> speeds,
+                                         const core::Environment& env, double lifespan,
+                                         const ReactivePolicy& policy)
+    : env_{env},
+      policy_{policy},
+      lifespan_{lifespan},
+      effective_{speeds.begin(), speeds.end()},
+      alive_(speeds.size(), true),
+      degraded_(speeds.size(), false) {
+  if (speeds.empty()) {
+    throw std::invalid_argument("ReactiveFifoPlanner: empty fleet");
+  }
+  if (!(lifespan > 0.0)) {
+    throw std::invalid_argument("ReactiveFifoPlanner: nonpositive lifespan");
+  }
+  allocations_ = fifo_allocations(effective_, env_, lifespan_);
+}
+
+ReplanDecision ReactiveFifoPlanner::on_event(double now, std::size_t machine, WorkerEvent event,
+                                             double factor) {
+  if (machine >= effective_.size()) {
+    throw std::invalid_argument("ReactiveFifoPlanner: unknown machine");
+  }
+  switch (event) {
+    case WorkerEvent::kCrashed:
+    case WorkerEvent::kUnresponsive:
+      alive_[machine] = false;
+      break;
+    case WorkerEvent::kDegraded:
+      if (!(factor >= 1.0)) {
+        throw std::invalid_argument("ReactiveFifoPlanner: degradation factor below 1");
+      }
+      effective_[machine] *= factor;
+      degraded_[machine] = true;
+      break;
+  }
+
+  ReplanDecision decision;
+  decision.remaining = lifespan_ - now;
+
+  // Yield of letting the round run out.  Results leave in FIFO finishing
+  // order (identity) on the one channel, so a degraded machine does not just
+  // lose its own load — its late result blocks every result behind it until
+  // the deadline machinery abandons it, which for large loads is past the
+  // lifespan.  Dead machines' slots are skipped promptly and block nothing.
+  // Hence: healthy machines ahead of the first live degraded machine count;
+  // everything from there on counts zero.
+  numeric::NeumaierSum continue_sum;
+  for (std::size_t m = 0; m < effective_.size(); ++m) {
+    if (!alive_[m]) continue;
+    if (degraded_[m]) break;
+    continue_sum.add(allocations_[m]);
+  }
+  decision.continue_estimate = continue_sum.value();
+
+  std::vector<double> survivor_speeds;
+  for (std::size_t m = 0; m < effective_.size(); ++m) {
+    if (alive_[m]) {
+      decision.survivors.push_back(m);
+      survivor_speeds.push_back(effective_[m]);
+    }
+  }
+  if (decision.survivors.empty() || replans_ >= policy_.max_replans ||
+      decision.remaining <= policy_.min_remaining_fraction * lifespan_) {
+    return decision;
+  }
+
+  // Yield of a fresh round: the exact fixed-order LP over the survivors at
+  // their effective speeds (falls back to the closed-form FIFO optimum if
+  // the solver does not converge — per Theorem 2 they coincide).
+  std::vector<double> fresh;
+  const auto lp = solve_protocol_lp(survivor_speeds, env_, decision.remaining,
+                                    ProtocolOrders::fifo(survivor_speeds.size()));
+  if (lp.status == numeric::LpStatus::kOptimal) {
+    decision.planned_work = lp.total_work;
+    fresh.resize(survivor_speeds.size(), 0.0);
+    for (const WorkerTimeline& timeline : lp.schedule.timelines) {
+      fresh[timeline.machine] = timeline.work;
+    }
+  } else {
+    fresh = fifo_allocations(survivor_speeds, env_, decision.remaining);
+    numeric::NeumaierSum sum;
+    for (double w : fresh) sum.add(w);
+    decision.planned_work = sum.value();
+  }
+
+  if (decision.planned_work > decision.continue_estimate) {
+    decision.replan = true;
+    decision.allocations = fresh;
+    ++replans_;
+    allocations_.assign(effective_.size(), 0.0);
+    for (std::size_t k = 0; k < decision.survivors.size(); ++k) {
+      allocations_[decision.survivors[k]] = fresh[k];
+    }
+    // The fresh plan is sized for the detected effective speeds, so every
+    // survivor is healthy again with respect to it.
+    degraded_.assign(effective_.size(), false);
+  }
+  return decision;
+}
+
+}  // namespace hetero::protocol

@@ -19,8 +19,18 @@ char fill_for(sim::Activity activity) {
     case sim::Activity::kTransitResult: return '<';
     case sim::Activity::kServerUnpack: return 'U';
     case sim::Activity::kIdleWait: return '.';
+    case sim::Activity::kCrash: return 'X';
+    case sim::Activity::kStall: return '~';
+    case sim::Activity::kRetryTransit: return 'R';
   }
   return '?';
+}
+
+// Fault marks must stay visible over the phase segments they interrupt
+// (a crash instant is zero-length and recorded before the phases that were
+// in flight complete), so they are painted in a second pass.
+bool fault_mark(sim::Activity activity) {
+  return activity == sim::Activity::kCrash || activity == sim::Activity::kStall;
 }
 
 }  // namespace
@@ -44,12 +54,19 @@ std::string render_gantt(const sim::Trace& trace, const GanttOptions& options) {
   std::ostringstream out;
   const auto draw_actor = [&](std::size_t actor, const std::string& label) {
     std::string lane(options.width, ' ');
-    for (const sim::TraceSegment& s : trace.segments_for_actor(actor)) {
+    const auto paint = [&](const sim::TraceSegment& s) {
       auto col0 = static_cast<std::size_t>(std::floor(s.start * scale));
       auto col1 = static_cast<std::size_t>(std::ceil(s.end * scale));
       col0 = std::min(col0, options.width - 1);
       col1 = std::min(std::max(col1, col0 + 1), options.width);
       for (std::size_t c = col0; c < col1; ++c) lane[c] = fill_for(s.activity);
+    };
+    const auto segments = trace.segments_for_actor(actor);
+    for (const sim::TraceSegment& s : segments) {
+      if (!fault_mark(s.activity)) paint(s);
+    }
+    for (const sim::TraceSegment& s : segments) {
+      if (fault_mark(s.activity)) paint(s);
     }
     out << label;
     out << " |" << lane << "|\n";
@@ -70,7 +87,8 @@ std::string render_gantt(const sim::Trace& trace, const GanttOptions& options) {
 
   if (options.show_legend) {
     out << "\nlegend: P=server-package  >=work-transit  u=unpack  C=compute  "
-           "p=package-results  <=result-transit  U=server-unpack\n";
+           "p=package-results  <=result-transit  U=server-unpack\n"
+           "        X=crash  ~=stall  R=retry-transit\n";
   }
   return out.str();
 }

@@ -1,0 +1,265 @@
+#include "hetero/sim/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "hetero/random/rng.h"
+
+namespace hetero::sim {
+
+namespace {
+
+// Substream ids for FaultPlan::sample — one per fault family, so enabling
+// one family never shifts another family's draws.
+constexpr std::uint64_t kCrashStream = 0;
+constexpr std::uint64_t kStallStream = 1;
+constexpr std::uint64_t kStragglerStream = 2;
+constexpr std::uint64_t kMessageStream = 3;
+
+double exponential_draw(random::Xoshiro256StarStar& rng, double rate) {
+  // Inverse CDF; uniform01 is in [0, 1), so 1-u is in (0, 1].
+  return -std::log(1.0 - rng.uniform01()) / rate;
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t machines) const {
+  for (const CrashFault& f : crashes) {
+    if (f.machine >= machines) throw std::invalid_argument("FaultPlan: crash for unknown machine");
+    if (!(f.time >= 0.0)) throw std::invalid_argument("FaultPlan: negative crash time");
+  }
+  for (const SlowdownFault& f : slowdowns) {
+    if (f.machine >= machines) {
+      throw std::invalid_argument("FaultPlan: slowdown for unknown machine");
+    }
+    if (!(f.time >= 0.0)) throw std::invalid_argument("FaultPlan: negative slowdown time");
+    if (!(f.factor >= 1.0)) throw std::invalid_argument("FaultPlan: slowdown factor below 1");
+  }
+  for (const StallFault& f : stalls) {
+    if (f.machine >= machines) throw std::invalid_argument("FaultPlan: stall for unknown machine");
+    if (!(f.time >= 0.0)) throw std::invalid_argument("FaultPlan: negative stall time");
+    if (!(f.duration >= 0.0)) throw std::invalid_argument("FaultPlan: negative stall duration");
+  }
+  for (const MessageFault& f : message_faults) {
+    if (!(f.extra_delay >= 0.0)) throw std::invalid_argument("FaultPlan: negative message delay");
+  }
+}
+
+const MessageFault* FaultPlan::fault_for_message(std::size_t ordinal) const noexcept {
+  for (const MessageFault& f : message_faults) {
+    if (f.ordinal == ordinal) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<double> FaultPlan::crash_times(std::size_t machines) const {
+  std::vector<double> times(machines, std::numeric_limits<double>::infinity());
+  for (const CrashFault& f : crashes) {
+    times[f.machine] = std::min(times[f.machine], f.time);
+  }
+  return times;
+}
+
+FaultPlan FaultPlan::restricted(double origin,
+                                const std::vector<std::size_t>& fleet) const {
+  // Fleet position by original machine id.
+  std::vector<std::size_t> position;
+  for (std::size_t k = 0; k < fleet.size(); ++k) {
+    if (fleet[k] >= position.size()) position.resize(fleet[k] + 1, static_cast<std::size_t>(-1));
+    position[fleet[k]] = k;
+  }
+  const auto local = [&position](std::size_t machine) {
+    return machine < position.size() ? position[machine] : static_cast<std::size_t>(-1);
+  };
+
+  FaultPlan out;
+  for (const CrashFault& f : crashes) {
+    const std::size_t m = local(f.machine);
+    if (m == static_cast<std::size_t>(-1)) continue;
+    out.crashes.push_back(CrashFault{m, std::max(0.0, f.time - origin)});
+  }
+  for (const SlowdownFault& f : slowdowns) {
+    const std::size_t m = local(f.machine);
+    if (m == static_cast<std::size_t>(-1)) continue;
+    out.slowdowns.push_back(SlowdownFault{m, std::max(0.0, f.time - origin), f.factor});
+  }
+  for (const StallFault& f : stalls) {
+    const std::size_t m = local(f.machine);
+    if (m == static_cast<std::size_t>(-1)) continue;
+    if (f.time + f.duration <= origin) continue;  // fully in the past
+    const double begin = std::max(0.0, f.time - origin);
+    const double end = f.time + f.duration - origin;
+    out.stalls.push_back(StallFault{m, begin, end - begin});
+  }
+  out.message_faults = message_faults;  // ordinals are per-episode
+  return out;
+}
+
+FaultPlan FaultPlan::sample(const FaultModelConfig& config, std::size_t machines,
+                            double horizon, std::uint64_t seed) {
+  if (!(horizon > 0.0)) throw std::invalid_argument("FaultPlan::sample: nonpositive horizon");
+  if (!(config.crash_rate >= 0.0) || !(config.stall_rate >= 0.0)) {
+    throw std::invalid_argument("FaultPlan::sample: negative rate");
+  }
+  if (config.straggler_probability < 0.0 || config.straggler_probability > 1.0 ||
+      config.message_loss_probability < 0.0 || config.message_loss_probability > 1.0 ||
+      config.message_delay_probability < 0.0 || config.message_delay_probability > 1.0) {
+    throw std::invalid_argument("FaultPlan::sample: probability outside [0, 1]");
+  }
+  if (!(config.straggler_factor >= 1.0)) {
+    throw std::invalid_argument("FaultPlan::sample: straggler factor below 1");
+  }
+  if (!(config.stall_duration >= 0.0) || !(config.message_delay >= 0.0)) {
+    throw std::invalid_argument("FaultPlan::sample: negative duration");
+  }
+
+  FaultPlan plan;
+  if (config.crash_rate > 0.0) {
+    auto rng = random::Xoshiro256StarStar::for_stream(seed, kCrashStream);
+    for (std::size_t m = 0; m < machines; ++m) {
+      const double t = exponential_draw(rng, config.crash_rate);
+      if (t < horizon) plan.crashes.push_back(CrashFault{m, t});
+    }
+  }
+  if (config.stall_rate > 0.0 && config.stall_duration > 0.0) {
+    auto rng = random::Xoshiro256StarStar::for_stream(seed, kStallStream);
+    for (std::size_t m = 0; m < machines; ++m) {
+      // A renewal process of stalls per machine across the horizon.
+      double t = exponential_draw(rng, config.stall_rate);
+      while (t < horizon) {
+        plan.stalls.push_back(StallFault{m, t, config.stall_duration});
+        t += config.stall_duration + exponential_draw(rng, config.stall_rate);
+      }
+    }
+  }
+  if (config.straggler_probability > 0.0 && config.straggler_factor > 1.0) {
+    auto rng = random::Xoshiro256StarStar::for_stream(seed, kStragglerStream);
+    for (std::size_t m = 0; m < machines; ++m) {
+      const double coin = rng.uniform01();
+      const double onset = rng.uniform(0.0, 0.5 * horizon);  // draw regardless, for stability
+      if (coin < config.straggler_probability) {
+        plan.slowdowns.push_back(SlowdownFault{m, onset, config.straggler_factor});
+      }
+    }
+  }
+  if (config.message_loss_probability > 0.0 || config.message_delay_probability > 0.0) {
+    auto rng = random::Xoshiro256StarStar::for_stream(seed, kMessageStream);
+    for (std::size_t ord = 0; ord < config.message_ordinals; ++ord) {
+      const bool lost = rng.uniform01() < config.message_loss_probability;
+      const bool delayed = rng.uniform01() < config.message_delay_probability;
+      if (lost || delayed) {
+        plan.message_faults.push_back(
+            MessageFault{ord, delayed ? config.message_delay : 0.0, lost});
+      }
+    }
+  }
+  return plan;
+}
+
+void RetryPolicy::validate() const {
+  if (!enabled) return;
+  if (!(detection_latency >= 0.0)) {
+    throw std::invalid_argument("RetryPolicy: negative detection latency");
+  }
+  if (!(deadline_slack >= 0.0)) throw std::invalid_argument("RetryPolicy: negative slack");
+  if (!(backoff >= 1.0)) throw std::invalid_argument("RetryPolicy: backoff below 1");
+}
+
+const char* to_string(DetectionKind kind) noexcept {
+  switch (kind) {
+    case DetectionKind::kCrash: return "crash";
+    case DetectionKind::kTimeout: return "timeout";
+    case DetectionKind::kStraggler: return "straggler";
+  }
+  return "unknown";
+}
+
+void FaultStats::merge(const FaultStats& other, double time_offset) {
+  crashes += other.crashes;
+  stalls += other.stalls;
+  slowdown_onsets += other.slowdown_onsets;
+  messages_lost += other.messages_lost;
+  messages_delayed += other.messages_delayed;
+  retries += other.retries;
+  timeouts += other.timeouts;
+  for (Detection d : other.detections) {
+    d.at += time_offset;
+    detections.push_back(d);
+  }
+  recovery_latencies.insert(recovery_latencies.end(), other.recovery_latencies.begin(),
+                            other.recovery_latencies.end());
+}
+
+WorkerConditions::WorkerConditions(const FaultPlan& plan, std::size_t machines) {
+  edges_.resize(machines);
+  for (const SlowdownFault& f : plan.slowdowns) {
+    edges_[f.machine].push_back(Edge{f.time, f.factor});
+  }
+  for (const StallFault& f : plan.stalls) {
+    if (f.duration <= 0.0) continue;
+    edges_[f.machine].push_back(Edge{f.time, 0.0});                // stall begin
+    edges_[f.machine].push_back(Edge{f.time + f.duration, -1.0});  // stall end
+  }
+  for (auto& machine_edges : edges_) {
+    std::stable_sort(machine_edges.begin(), machine_edges.end(),
+                     [](const Edge& a, const Edge& b) { return a.time < b.time; });
+  }
+}
+
+WorkerConditions::Phase WorkerConditions::advance(std::size_t machine, double start,
+                                                  double nominal) const {
+  Phase phase;
+  if (machine >= edges_.size() || edges_[machine].empty()) {
+    phase.end = start + nominal;
+    return phase;
+  }
+  const std::vector<Edge>& edges = edges_[machine];
+
+  // State at `start`.
+  double divisor = 1.0;
+  int stall_depth = 0;
+  std::size_t next = 0;
+  while (next < edges.size() && edges[next].time <= start) {
+    const Edge& e = edges[next++];
+    if (e.factor > 0.0) {
+      divisor *= e.factor;
+    } else if (e.factor == 0.0) {
+      ++stall_depth;
+    } else {
+      --stall_depth;
+    }
+  }
+
+  double t = start;
+  double remaining = nominal;  // work measured in nominal (unconditioned) time
+  double stall_begin = stall_depth > 0 ? t : -1.0;
+  while (true) {
+    const double segment_end =
+        next < edges.size() ? edges[next].time : std::numeric_limits<double>::infinity();
+    if (stall_depth == 0) {
+      const double finish = t + remaining * divisor;
+      if (finish <= segment_end || next >= edges.size()) {
+        phase.end = finish;
+        return phase;
+      }
+      remaining -= (segment_end - t) / divisor;
+    }
+    // Cross the edge at segment_end.
+    const Edge& e = edges[next++];
+    if (e.factor > 0.0) {
+      divisor *= e.factor;
+    } else if (e.factor == 0.0) {
+      if (stall_depth++ == 0) stall_begin = e.time;
+    } else {
+      if (--stall_depth == 0 && stall_begin >= 0.0) {
+        phase.stalls.emplace_back(std::max(stall_begin, start), e.time);
+        stall_begin = -1.0;
+      }
+    }
+    t = segment_end;
+  }
+}
+
+}  // namespace hetero::sim

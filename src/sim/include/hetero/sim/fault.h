@@ -1,0 +1,211 @@
+#pragma once
+
+// Deterministic fault injection for worksharing episodes.
+//
+// The paper's CEP assumes every worker survives the whole lifespan L; real
+// heterogeneous fleets lose machines and grow stragglers mid-episode (the
+// failure mode that motivates coded / straggler-aware allocation schemes).
+// A FaultPlan is a fully materialized, seed-driven schedule of such events:
+//   * crashes      — the machine permanently stops; its unsent result is lost
+//                    (an in-transit result still lands — the network has it);
+//   * stalls       — an interval of zero progress (GC pause, preemption);
+//   * slowdowns    — from an onset time the machine's rho is inflated by a
+//                    factor (the classic straggler: same machine, less of it);
+//   * message faults — the k-th message placed on the channel (counting every
+//                    send, result, and retransmission in issue order) is
+//                    delayed and/or lost in transit.
+// Because the plan is data, not callbacks, the same plan replayed into the
+// same episode produces a bit-identical sim::Trace, and a plan sampled from
+// (config, seed) is reproducible across runs and machines.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hetero::sim {
+
+struct CrashFault {
+  std::size_t machine = 0;
+  double time = 0.0;
+};
+
+/// Zero progress on [time, time + duration).
+struct StallFault {
+  std::size_t machine = 0;
+  double time = 0.0;
+  double duration = 0.0;
+};
+
+/// From `time` on the machine behaves as if its rho were multiplied by
+/// `factor` (>= 1).  Multiple slowdowns on one machine compound.
+struct SlowdownFault {
+  std::size_t machine = 0;
+  double time = 0.0;
+  double factor = 1.0;
+};
+
+/// Fault on the `ordinal`-th message the episode places on the channel
+/// (0-based, counting sends, results, and retransmissions in issue order).
+/// The message occupies the channel for its transit time plus `extra_delay`;
+/// when `lost`, it never arrives.
+struct MessageFault {
+  std::size_t ordinal = 0;
+  double extra_delay = 0.0;
+  bool lost = false;
+};
+
+/// Rates for FaultPlan::sample.  All default to "no faults".
+struct FaultModelConfig {
+  double crash_rate = 0.0;             ///< per-machine exponential crash rate
+  double stall_rate = 0.0;             ///< per-machine exponential stall rate
+  double stall_duration = 0.0;         ///< length of each injected stall
+  double straggler_probability = 0.0;  ///< chance a machine straggles at all
+  double straggler_factor = 1.0;       ///< rho inflation at straggler onset
+  double message_loss_probability = 0.0;
+  double message_delay_probability = 0.0;
+  double message_delay = 0.0;          ///< extra transit time when delayed
+  std::size_t message_ordinals = 64;   ///< Bernoulli draws precomputed per plan
+};
+
+/// A deterministic schedule of fault events for one episode (or one whole
+/// campaign — see restricted()).
+struct FaultPlan {
+  std::vector<CrashFault> crashes;
+  std::vector<SlowdownFault> slowdowns;
+  std::vector<StallFault> stalls;
+  std::vector<MessageFault> message_faults;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return crashes.empty() && slowdowns.empty() && stalls.empty() && message_faults.empty();
+  }
+
+  /// Throws std::invalid_argument on out-of-range machines, negative times /
+  /// durations / delays, or slowdown factors below 1.
+  void validate(std::size_t machines) const;
+
+  /// The fault (if any) registered for the given channel-message ordinal.
+  [[nodiscard]] const MessageFault* fault_for_message(std::size_t ordinal) const noexcept;
+
+  /// Earliest crash time per machine (+infinity when the machine never
+  /// crashes).
+  [[nodiscard]] std::vector<double> crash_times(std::size_t machines) const;
+
+  /// The plan as seen by an episode that starts at absolute time `origin`
+  /// with the given fleet (machine ids in startup order; event machine
+  /// indices are remapped to fleet positions).  Crashes and slowdowns whose
+  /// time already passed stay in force (clamped to episode time 0); stalls
+  /// ending before the origin drop out; message faults carry over verbatim
+  /// (ordinals are per-episode).  Events for machines outside the fleet drop.
+  [[nodiscard]] FaultPlan restricted(double origin,
+                                     const std::vector<std::size_t>& fleet) const;
+
+  /// Draws a plan from the config: exponential crash/stall times, Bernoulli
+  /// straggler onset (uniform onset time in [0, horizon/2] so a straggler
+  /// actually bites), Bernoulli message loss/delay per ordinal.  Each fault
+  /// family uses its own rng substream, so e.g. enabling stalls does not
+  /// shift the crash draws.  Deterministic in (config, machines, horizon,
+  /// seed).
+  [[nodiscard]] static FaultPlan sample(const FaultModelConfig& config, std::size_t machines,
+                                        double horizon, std::uint64_t seed);
+};
+
+/// Server-side monitoring and recovery semantics (all off by default, which
+/// reproduces the paper's fault-oblivious episode bit-for-bit).
+///
+/// Monitoring is modeled as an out-of-band control plane (heartbeats and
+/// acks cost no channel time — the channel carries only work and results):
+///   * a crash is detected `detection_latency` after it happens (missed
+///     heartbeats);
+///   * a lost work message is detected `detection_latency` after its transit
+///     ends (missing delivery ack) and resent, up to `max_retries` times
+///     with the detection window growing by `backoff` per attempt;
+///   * a lost result message is detected the same way and retransmitted by
+///     its worker (at most one message in transit is preserved throughout —
+///     retransmissions queue on the same exclusive channel);
+///   * a straggler onset is detected `detection_latency` after it begins
+///     (the heartbeat carries a progress rate) — detection only; the episode
+///     itself does not react, reactive drivers do;
+///   * independently, each worker has a result deadline of
+///     (1 + deadline_slack) x its nominal post-delivery round trip; a worker
+///     that misses it is granted `max_retries` backoff extensions and then
+///     abandoned: its finishing-order slot is skipped so the episode never
+///     deadlocks behind a silent worker.
+struct RetryPolicy {
+  bool enabled = false;
+  double detection_latency = 1.0;
+  double deadline_slack = 0.25;
+  std::size_t max_retries = 2;
+  double backoff = 2.0;
+
+  void validate() const;
+};
+
+enum class DetectionKind {
+  kCrash,      ///< heartbeat loss — the machine is dead
+  kTimeout,    ///< result deadline exhausted — the machine is abandoned
+  kStraggler,  ///< progress rate dropped — the machine is slow but alive
+};
+
+[[nodiscard]] const char* to_string(DetectionKind kind) noexcept;
+
+/// One server-side fault detection, in episode time.
+struct Detection {
+  double at = 0.0;
+  std::size_t machine = 0;
+  DetectionKind kind = DetectionKind::kCrash;
+  double factor = 1.0;  ///< observed rho inflation (kStraggler only)
+};
+
+/// What the fault machinery observed during one episode.
+struct FaultStats {
+  std::size_t crashes = 0;          ///< crash events that took effect
+  std::size_t stalls = 0;           ///< stall intervals actually crossed
+  std::size_t slowdown_onsets = 0;  ///< slowdowns that affected allocated work
+  std::size_t messages_lost = 0;
+  std::size_t messages_delayed = 0;
+  std::size_t retries = 0;          ///< resends, retransmissions, deadline extensions
+  std::size_t timeouts = 0;         ///< workers abandoned after deadline exhaustion
+  std::vector<Detection> detections;          ///< in detection-time order
+  std::vector<double> recovery_latencies;     ///< first trouble -> result landed
+
+  /// Earliest detection time (-1 when nothing was detected).
+  [[nodiscard]] double first_detection() const noexcept {
+    return detections.empty() ? -1.0 : detections.front().at;
+  }
+
+  /// Folds `other` into this, shifting its event times by `time_offset`
+  /// (counters add; detections are appended in order).
+  void merge(const FaultStats& other, double time_offset = 0.0);
+};
+
+/// Piecewise progress integrator: answers "when does `nominal` time units of
+/// work started at `start` on `machine` finish?" under the plan's stalls and
+/// slowdowns.  Exactly start + nominal (same floating-point expression as
+/// the fault-free simulator) when the machine has no conditioning events, so
+/// a crash-only or empty plan reproduces baseline traces bit-for-bit.
+class WorkerConditions {
+ public:
+  WorkerConditions() = default;
+  WorkerConditions(const FaultPlan& plan, std::size_t machines);
+
+  struct Phase {
+    double end = 0.0;
+    /// Stall intervals crossed, clipped to [start, end] (for trace marks).
+    std::vector<std::pair<double, double>> stalls;
+  };
+
+  [[nodiscard]] Phase advance(std::size_t machine, double start, double nominal) const;
+  [[nodiscard]] bool affected(std::size_t machine) const noexcept {
+    return machine < edges_.size() && !edges_[machine].empty();
+  }
+
+ private:
+  struct Edge {
+    double time;
+    double factor;  ///< > 0: multiply rate divisor; 0 / -1: stall begin / end
+  };
+  std::vector<std::vector<Edge>> edges_;  ///< per machine, time-sorted
+};
+
+}  // namespace hetero::sim

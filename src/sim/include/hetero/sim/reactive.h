@@ -1,0 +1,56 @@
+#pragma once
+
+// Closed-loop reactive worksharing: episodes + detections + replanning.
+//
+// run_reactive_fifo plays a whole lifespan as a sequence of rounds.  Each
+// round plans the exact FIFO allocation over the machines the server still
+// trusts (at their detected effective speeds), simulates it under the fault
+// plan with monitoring enabled, and walks the resulting detections through a
+// protocol::ReactiveFifoPlanner in time order.  The first detection the
+// planner answers with `replan` aborts the round at that instant: results
+// already landed are banked, the trace is truncated there, the fleet and
+// effective-speed beliefs are updated from everything detected so far, and
+// the next round starts on the remaining lifespan.  Rounds without a replan
+// verdict simply run out.
+//
+// run_fifo_with_faults is the fault-oblivious comparator: one fixed FIFO
+// round over the same plan, no monitoring, no reaction — what the paper's
+// protocol would actually deliver under those faults.
+
+#include <span>
+
+#include "hetero/core/environment.h"
+#include "hetero/protocol/reactive.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero::sim {
+
+struct ReactiveRunResult {
+  double completed_work = 0.0;      ///< work whose results the server banked
+  std::size_t rounds = 0;           ///< episodes simulated (>= 1)
+  std::size_t replans = 0;          ///< rounds aborted by a replan verdict
+  std::size_t machines_crashed = 0; ///< crash events that took effect
+  /// Merged stats in absolute time.  Detections are exact; the scalar
+  /// counters of aborted rounds are reconstructed from pre-abort detections
+  /// (message/stall counters of an aborted round's tail are dropped — the
+  /// next round re-experiences the faults still in force).
+  FaultStats faults;
+  Trace trace;                      ///< all rounds stitched, absolute time
+};
+
+/// Reactive FIFO over one fault plan.  `plan` is in absolute time over the
+/// whole lifespan (rounds see it through FaultPlan::restricted).
+[[nodiscard]] ReactiveRunResult run_reactive_fifo(std::span<const double> speeds,
+                                                  const core::Environment& env, double lifespan,
+                                                  const FaultPlan& plan,
+                                                  const protocol::ReactivePolicy& policy = {},
+                                                  double message_latency = 0.0);
+
+/// The non-reactive comparator: the paper's FIFO allocation, run once under
+/// the same fault plan with monitoring disabled.
+[[nodiscard]] ReactiveRunResult run_fifo_with_faults(std::span<const double> speeds,
+                                                     const core::Environment& env,
+                                                     double lifespan, const FaultPlan& plan,
+                                                     double message_latency = 0.0);
+
+}  // namespace hetero::sim

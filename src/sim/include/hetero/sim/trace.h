@@ -4,6 +4,7 @@
 // action/time (Gantt) diagrams of Figures 1 and 2.
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,9 @@ enum class Activity {
   kTransitResult,    ///< result in transit to the server (tau * delta * w)
   kServerUnpack,     ///< server unpackaging a result (pi * delta * w)
   kIdleWait,         ///< explicitly recorded waiting (channel busy)
+  kCrash,            ///< instant a machine crash took effect (zero length)
+  kStall,            ///< injected zero-progress interval on a worker
+  kRetryTransit,     ///< a resent load or retransmitted result in transit
 };
 
 [[nodiscard]] const char* to_string(Activity activity) noexcept;
@@ -33,6 +37,10 @@ struct TraceSegment {
   std::size_t subject = 0;
 
   [[nodiscard]] double duration() const noexcept { return end - start; }
+
+  /// Exact (bitwise on times) equality — what the fault-injection
+  /// determinism tests assert segment by segment.
+  friend bool operator==(const TraceSegment&, const TraceSegment&) noexcept = default;
 };
 
 inline constexpr std::size_t kServerActor = static_cast<std::size_t>(-1);
@@ -47,8 +55,18 @@ class Trace {
   /// Largest segment end time (0 when empty).
   [[nodiscard]] double horizon() const noexcept;
   /// True when no two *transit* segments overlap — the model's single-channel
-  /// invariant.
+  /// invariant.  Retransmissions (kRetryTransit) count as transit.
   [[nodiscard]] bool channel_exclusive(double tolerance = 1e-9) const;
+
+  /// Appends every segment of `other` shifted by `time_offset`, keeping only
+  /// segments that start no later than `cutoff` — how multi-round drivers
+  /// stitch per-episode traces into one absolute-time diagram.  When
+  /// `actor_map` is non-empty it translates the other trace's worker ids
+  /// (actor and subject; kServerActor passes through): round traces index
+  /// machines by fleet position, the stitched trace by global machine id.
+  void append_shifted(const Trace& other, double time_offset,
+                      double cutoff = std::numeric_limits<double>::infinity(),
+                      const std::vector<std::size_t>& actor_map = {});
 
  private:
   std::vector<TraceSegment> segments_;

@@ -19,6 +19,7 @@
 
 #include "hetero/core/environment.h"
 #include "hetero/protocol/schedule.h"
+#include "hetero/sim/fault.h"
 #include "hetero/sim/trace.h"
 
 namespace hetero::sim {
@@ -34,6 +35,9 @@ struct MachineOutcome {
   double result_end = 0.0;       ///< result arrival at the server
   double server_unpacked = 0.0;  ///< server finished unpackaging the result
   bool failed = false;           ///< machine died before returning its result
+  double failed_at = -1.0;       ///< when the crash took effect (-1 = alive)
+  bool timed_out = false;        ///< server abandoned the worker (deadline)
+  double timed_out_at = -1.0;    ///< when the abandonment happened (-1 = never)
 };
 
 /// A machine crash: from `time` on, the machine performs no further work and
@@ -43,7 +47,7 @@ struct MachineFailure {
   double time = 0.0;
 };
 
-/// Extensions beyond the paper's clean model (both default off).
+/// Extensions beyond the paper's clean model (all default off).
 struct SimulationOptions {
   /// Fixed end-to-end cost added to *every* message (work and result) on the
   /// channel — the per-message overhead the paper deliberately ignores
@@ -54,12 +58,20 @@ struct SimulationOptions {
   /// result; the finishing order simply skips it (no deadlock), and its load
   /// does not count as completed — the CEP's completion rule.
   std::vector<MachineFailure> failures;
+  /// Deterministic fault schedule: crashes (merged with `failures`), stalls,
+  /// straggler slowdowns, and channel message loss/delay (see sim/fault.h).
+  FaultPlan faults;
+  /// Server-side monitoring: heartbeat crash detection, delivery/receipt ack
+  /// timeouts with bounded backoff retries, and per-worker result deadlines.
+  /// Disabled (the default) reproduces the fault-oblivious episode exactly.
+  RetryPolicy retry;
 };
 
 struct SimulationResult {
   std::vector<MachineOutcome> outcomes;     ///< in startup order
   std::vector<std::size_t> finishing_order; ///< machines by observed arrival
   double makespan = 0.0;                    ///< last result arrival
+  FaultStats faults;                        ///< injected faults + recoveries
   Trace trace;
 
   /// Work whose results arrived by the horizon (a load counts only when its

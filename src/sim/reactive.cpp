@@ -1,0 +1,166 @@
+#include "hetero/sim/reactive.h"
+
+#include <limits>
+#include <numeric>
+
+#include "hetero/obs/metrics.h"
+#include "hetero/obs/scope.h"
+#include "hetero/protocol/fifo.h"
+
+namespace hetero::sim {
+namespace {
+
+protocol::WorkerEvent to_worker_event(DetectionKind kind) {
+  switch (kind) {
+    case DetectionKind::kCrash: return protocol::WorkerEvent::kCrashed;
+    case DetectionKind::kStraggler: return protocol::WorkerEvent::kDegraded;
+    case DetectionKind::kTimeout: return protocol::WorkerEvent::kUnresponsive;
+  }
+  return protocol::WorkerEvent::kUnresponsive;
+}
+
+/// Round stats with fleet-local machine ids translated to global ids.
+FaultStats globalized(const FaultStats& local, const std::vector<std::size_t>& fleet) {
+  FaultStats out = local;
+  for (Detection& d : out.detections) d.machine = fleet[d.machine];
+  return out;
+}
+
+/// Stats contribution of an aborted round: detections up to the abort are
+/// exact; crash/timeout counters are reconstructed from them (faults still
+/// in force reappear, clamped, in the next round's restricted plan and are
+/// counted there).
+FaultStats truncated_stats(const FaultStats& full, double cutoff,
+                           const std::vector<std::size_t>& fleet) {
+  FaultStats out;
+  for (const Detection& d : full.detections) {
+    if (d.at > cutoff) continue;
+    out.detections.push_back(Detection{d.at, fleet[d.machine], d.kind, d.factor});
+    if (d.kind == DetectionKind::kCrash) ++out.crashes;
+    if (d.kind == DetectionKind::kTimeout) ++out.timeouts;
+  }
+  return out;
+}
+
+}  // namespace
+
+ReactiveRunResult run_reactive_fifo(std::span<const double> speeds,
+                                    const core::Environment& env, double lifespan,
+                                    const FaultPlan& plan,
+                                    const protocol::ReactivePolicy& policy,
+                                    double message_latency) {
+  HETERO_OBS_SCOPE("sim.reactive_run");
+  plan.validate(speeds.size());
+
+  RetryPolicy retry;
+  retry.enabled = true;
+  retry.detection_latency = policy.detection_latency;
+  retry.deadline_slack = policy.deadline_slack;
+  retry.max_retries = policy.max_retries;
+  retry.backoff = policy.backoff;
+
+  std::vector<std::size_t> fleet(speeds.size());
+  std::iota(fleet.begin(), fleet.end(), std::size_t{0});
+  std::vector<double> folded(speeds.size(), 1.0);  // detected rho inflation
+
+  ReactiveRunResult out;
+  double now = 0.0;
+  while (!fleet.empty() && lifespan - now > 1e-12 * std::max(1.0, lifespan)) {
+    const double remaining = lifespan - now;
+    // A machine whose detected slowdown the server already folded into its
+    // beliefs runs this round at its effective rho (plan, physics, and
+    // result deadlines all agree on it); the now-redundant in-force
+    // slowdown events (onset clamped to the round start) are dropped from
+    // the round's plan so the handicap is not applied twice.  Slowdowns
+    // with a *later* onset are genuinely new and stay.
+    std::vector<double> effective;
+    effective.reserve(fleet.size());
+    for (std::size_t id : fleet) effective.push_back(speeds[id] * folded[id]);
+
+    protocol::ReactiveFifoPlanner planner{effective, env, remaining, policy};
+    SimulationOptions options;
+    options.message_latency = message_latency;
+    options.faults = plan.restricted(now, fleet);
+    options.retry = retry;
+    std::erase_if(options.faults.slowdowns, [&](const SlowdownFault& f) {
+      return f.time == 0.0 && folded[fleet[f.machine]] > 1.0;
+    });
+    const SimulationResult round =
+        simulate_worksharing(effective, env, planner.current_allocations(),
+                             protocol::ProtocolOrders::fifo(fleet.size()), options);
+    ++out.rounds;
+
+    double abort_at = -1.0;
+    for (const Detection& d : round.faults.detections) {
+      const auto decision = planner.on_event(d.at, d.machine, to_worker_event(d.kind), d.factor);
+      if (decision.replan) {
+        abort_at = d.at;
+        ++out.replans;
+        break;
+      }
+    }
+
+    if (abort_at < 0.0) {
+      // Round ran out; it covered the whole remaining lifespan.  A modest
+      // arrival slack absorbs LP-vs-closed-form jitter in the last landing.
+      out.completed_work += round.completed_work(remaining, 1e-6);
+      out.trace.append_shifted(round.trace, now, std::numeric_limits<double>::infinity(), fleet);
+      out.faults.merge(globalized(round.faults, fleet), now);
+      break;
+    }
+
+    out.completed_work += round.completed_work(abort_at);
+    out.trace.append_shifted(round.trace, now, abort_at, fleet);
+    out.faults.merge(truncated_stats(round.faults, abort_at, fleet), now);
+
+    // Fold everything detected up to the abort into the server's beliefs.
+    // A timeout on a machine already known to be a straggler means "slow",
+    // not "dead" — keep it in the fleet at its folded speed; only crashes
+    // and unexplained timeouts retire a machine.
+    std::vector<bool> drop(fleet.size(), false);
+    for (const Detection& d : round.faults.detections) {
+      if (d.at > abort_at) break;
+      if (d.kind == DetectionKind::kStraggler) {
+        folded[fleet[d.machine]] *= d.factor;
+      } else if (d.kind == DetectionKind::kCrash || folded[fleet[d.machine]] <= 1.0) {
+        drop[d.machine] = true;
+      }
+    }
+    std::vector<std::size_t> next_fleet;
+    for (std::size_t k = 0; k < fleet.size(); ++k) {
+      if (!drop[k]) next_fleet.push_back(fleet[k]);
+    }
+    fleet = std::move(next_fleet);
+    now += abort_at;
+  }
+
+  out.machines_crashed = out.faults.crashes;
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& replans = obs::counter("sim.reactive.replans");
+    static obs::Counter& rounds = obs::counter("sim.reactive.rounds");
+    replans.add(out.replans);
+    rounds.add(out.rounds);
+  }
+  return out;
+}
+
+ReactiveRunResult run_fifo_with_faults(std::span<const double> speeds,
+                                       const core::Environment& env, double lifespan,
+                                       const FaultPlan& plan, double message_latency) {
+  const std::vector<double> allocations = protocol::fifo_allocations(speeds, env, lifespan);
+  SimulationOptions options;
+  options.message_latency = message_latency;
+  options.faults = plan;
+  SimulationResult result =
+      simulate_worksharing(speeds, env, allocations,
+                           protocol::ProtocolOrders::fifo(speeds.size()), options);
+  ReactiveRunResult out;
+  out.completed_work = result.completed_work(lifespan);
+  out.rounds = 1;
+  out.machines_crashed = result.faults.crashes;
+  out.faults = std::move(result.faults);
+  out.trace = std::move(result.trace);
+  return out;
+}
+
+}  // namespace hetero::sim

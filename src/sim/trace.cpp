@@ -15,6 +15,9 @@ const char* to_string(Activity activity) noexcept {
     case Activity::kTransitResult: return "transit-result";
     case Activity::kServerUnpack: return "server-unpack";
     case Activity::kIdleWait: return "idle-wait";
+    case Activity::kCrash: return "crash";
+    case Activity::kStall: return "stall";
+    case Activity::kRetryTransit: return "retry-transit";
   }
   return "unknown";
 }
@@ -41,10 +44,27 @@ double Trace::horizon() const noexcept {
   return latest;
 }
 
+void Trace::append_shifted(const Trace& other, double time_offset, double cutoff,
+                           const std::vector<std::size_t>& actor_map) {
+  for (TraceSegment s : other.segments_) {
+    if (s.start > cutoff) continue;
+    s.start += time_offset;
+    s.end += time_offset;
+    if (!actor_map.empty()) {
+      if (s.actor != kServerActor && s.actor < actor_map.size()) s.actor = actor_map[s.actor];
+      if (s.subject != kServerActor && s.subject < actor_map.size()) {
+        s.subject = actor_map[s.subject];
+      }
+    }
+    segments_.push_back(s);
+  }
+}
+
 bool Trace::channel_exclusive(double tolerance) const {
   std::vector<std::pair<double, double>> busy;
   for (const TraceSegment& s : segments_) {
-    if (s.activity == Activity::kTransitWork || s.activity == Activity::kTransitResult) {
+    if (s.activity == Activity::kTransitWork || s.activity == Activity::kTransitResult ||
+        s.activity == Activity::kRetryTransit) {
       busy.emplace_back(s.start, s.end);
     }
   }

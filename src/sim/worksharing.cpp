@@ -1,6 +1,7 @@
 #include "hetero/sim/worksharing.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -14,6 +15,22 @@ namespace hetero::sim {
 namespace {
 
 /// Whole-episode simulation state, wired together with engine callbacks.
+///
+/// Fault semantics (all inert unless SimulationOptions carries a FaultPlan
+/// and/or an enabled RetryPolicy — the fault-free paths are expression-for-
+/// expression the original simulator, so an empty plan reproduces baseline
+/// traces bit-for-bit):
+///   * crashes take effect immediately (failed_); an in-transit result
+///     still lands; the finishing order skips dead slots;
+///   * stalls and slowdowns stretch worker phases via WorkerConditions;
+///   * message faults key off the channel-message ordinal (issue order);
+///     a lost work message leaves the worker idle, a lost result leaves the
+///     server waiting — with monitoring enabled both are detected by missing
+///     acks and resent/retransmitted with bounded backoff, without it the
+///     load is simply lost (the slot is abandoned so nothing deadlocks);
+///   * the per-worker result deadline grants bounded backoff extensions and
+///     then abandons the worker (timed_out) so a silent straggler cannot
+///     block the machines behind it in the finishing order forever.
 class Episode {
  public:
   Episode(std::span<const double> speeds, const core::Environment& env,
@@ -42,9 +59,7 @@ class Episode {
     for (std::size_t k = 0; k < n; ++k) finishing_position_[orders_.finishing[k]] = k;
     outcome_by_machine_.resize(n);
     for (std::size_t m = 0; m < n; ++m) outcome_by_machine_[m].machine = m;
-    ready_.assign(n, false);
-    failed_.assign(n, false);
-    transmitting_.assign(n, false);
+    state_.assign(n, WorkerState{});
     if (!(options_.message_latency >= 0.0)) {
       throw std::invalid_argument("simulate_worksharing: negative message latency");
     }
@@ -56,21 +71,42 @@ class Episode {
         throw std::invalid_argument("simulate_worksharing: negative failure time");
       }
     }
+    options_.faults.validate(n);
+    options_.retry.validate();
+    conditions_ = WorkerConditions{options_.faults, n};
+    if (options_.retry.enabled) {
+      expected_rtt_.resize(n);
+      for (std::size_t m = 0; m < n; ++m) {
+        expected_rtt_[m] = env_.b() * speeds_[m] * work_by_machine_[m] +
+                           env_.tau_delta() * work_by_machine_[m] + options_.message_latency;
+      }
+    }
   }
 
   SimulationResult run() {
     // Arm failures before any protocol event so a crash at time t always
     // precedes same-time protocol activity.
     for (const MachineFailure& failure : options_.failures) {
-      engine_.schedule_at(failure.time, [this, machine = failure.machine]() {
-        // Once the result transmission has begun (or finished) the message is
-        // already with the network/server: a later crash cannot unsend it.
-        if (transmitting_[machine]) return;
-        failed_[machine] = true;
-        ready_[machine] = false;
-        outcome_by_machine_[machine].failed = true;
-        dispatch_results();  // skip this machine if the channel waits on it
-      });
+      arm_crash(failure.machine, failure.time);
+    }
+    for (const CrashFault& crash : options_.faults.crashes) {
+      arm_crash(crash.machine, crash.time);
+    }
+    for (const SlowdownFault& slowdown : options_.faults.slowdowns) {
+      if (work_by_machine_[slowdown.machine] > 0.0) ++stats_.slowdown_onsets;
+      if (options_.retry.enabled) {
+        const std::size_t machine = slowdown.machine;
+        const double factor = slowdown.factor;
+        engine_.schedule_at(slowdown.time + options_.retry.detection_latency,
+                            [this, machine, factor]() {
+                              if (state_[machine].failed || state_[machine].abandoned ||
+                                  state_[machine].result_landed) {
+                                return;
+                              }
+                              stats_.detections.push_back(Detection{
+                                  engine_.now(), machine, DetectionKind::kStraggler, factor});
+                            });
+      }
     }
     begin_send(0);
     engine_.run();
@@ -82,11 +118,54 @@ class Episode {
     }
     result.finishing_order = observed_finishing_;
     result.makespan = makespan_;
+    result.faults = std::move(stats_);
     result.trace = std::move(trace_);
+    if constexpr (obs::kEnabled) {
+      if (!options_.faults.empty() || options_.retry.enabled) {
+        static obs::Counter& crashes = obs::counter("sim.faults.crashes");
+        static obs::Counter& stalls = obs::counter("sim.faults.stalls");
+        static obs::Counter& lost = obs::counter("sim.faults.messages_lost");
+        static obs::Counter& retries = obs::counter("sim.faults.retries");
+        static obs::Counter& timeouts = obs::counter("sim.faults.timeouts");
+        static obs::Histogram& recovery = obs::histogram("sim.faults.recovery_latency");
+        crashes.add(result.faults.crashes);
+        stalls.add(result.faults.stalls);
+        lost.add(result.faults.messages_lost);
+        retries.add(result.faults.retries);
+        timeouts.add(result.faults.timeouts);
+        for (double latency : result.faults.recovery_latencies) recovery.record(latency);
+      }
+    }
     return result;
   }
 
  private:
+  void arm_crash(std::size_t machine, double time) {
+    engine_.schedule_at(time, [this, machine]() {
+      // Once the result transmission has begun (or finished) the message is
+      // already with the network/server: a later crash cannot unsend it.
+      if (state_[machine].transmitting || state_[machine].failed) return;
+      state_[machine].failed = true;
+      state_[machine].ready = false;
+      outcome_by_machine_[machine].failed = true;
+      outcome_by_machine_[machine].failed_at = engine_.now();
+      trace_.record({engine_.now(), engine_.now(), Activity::kCrash, machine, machine});
+      ++stats_.crashes;
+      if (options_.retry.enabled) {
+        // Heartbeat loss: the server learns of the crash a detection
+        // latency later (unless the in-flight result already told it).
+        engine_.schedule_at(engine_.now() + options_.retry.detection_latency,
+                            [this, machine]() {
+                              if (state_[machine].result_landed || state_[machine].crash_detected) return;
+                              state_[machine].crash_detected = true;
+                              stats_.detections.push_back(
+                                  Detection{engine_.now(), machine, DetectionKind::kCrash, 1.0});
+                            });
+      }
+      dispatch_results();  // skip this machine if the channel waits on it
+    });
+  }
+
   void begin_send(std::size_t startup_pos) {
     if (startup_pos >= speeds_.size()) return;
     const std::size_t machine = orders_.startup[startup_pos];
@@ -99,17 +178,136 @@ class Episode {
         [this, machine](double t) { package_start_ = t; mark(machine); },
         [this, machine, startup_pos, w](double t) {
           trace_.record({package_start_, t, Activity::kServerPackage, kServerActor, machine});
+          send_work(machine, startup_pos, w, 0);
+        });
+  }
+
+  /// Places the load for `machine` on the channel (attempt 0 is the original
+  /// send; higher attempts are resends of the retained package).
+  void send_work(std::size_t machine, std::size_t startup_pos, double w, std::size_t attempt) {
+    double duration = env_.tau() * w + options_.message_latency;
+    const bool lost = apply_message_fault(duration);
+    channel_.request(
+        duration, [this, machine](double start) { transit_start_ = start; mark(machine); },
+        [this, machine, startup_pos, w, attempt, lost](double end) {
+          trace_.record({transit_start_, end,
+                         attempt == 0 ? Activity::kTransitWork : Activity::kRetryTransit,
+                         kServerActor, machine});
+          if (lost) {
+            ++stats_.messages_lost;
+            handle_lost_work(machine, startup_pos, w, attempt, end);
+          } else {
+            state_[machine].delivered = true;
+            deliver(machine, end);
+            arm_result_deadline(machine, end, 0);
+          }
           // Transit on the shared channel; the next package waits for the
           // transit to finish (the A = pi + tau serial model of [1]).
-          channel_.request(
-              env_.tau() * w + options_.message_latency,
-              [this, machine](double start) { transit_start_ = start; mark(machine); },
-              [this, machine, startup_pos](double end) {
-                trace_.record({transit_start_, end, Activity::kTransitWork, kServerActor, machine});
-                deliver(machine, end);
-                begin_send(startup_pos + 1);
-              });
+          if (attempt == 0) begin_send(startup_pos + 1);
         });
+  }
+
+  void handle_lost_work(std::size_t machine, std::size_t startup_pos, double w,
+                        std::size_t attempt, double transit_end) {
+    if (!options_.retry.enabled) {
+      // No monitoring: the load is simply gone, like a crash — abandon the
+      // slot so the finishing order cannot deadlock behind it.
+      abandon(machine, transit_end);
+      return;
+    }
+    // Missing delivery ack, noticed a (backed-off) detection latency later.
+    const double detect = options_.retry.detection_latency *
+                          std::pow(options_.retry.backoff, static_cast<double>(attempt));
+    engine_.schedule_at(transit_end + detect, [this, machine, startup_pos, w, attempt]() {
+      if (state_[machine].failed || state_[machine].abandoned || state_[machine].delivered) return;
+      note_trouble(machine);
+      if (attempt < options_.retry.max_retries) {
+        ++stats_.retries;
+        send_work(machine, startup_pos, w, attempt + 1);
+      } else {
+        declare_timeout(machine);
+      }
+    });
+  }
+
+  /// Arms the result deadline for a delivered load; `extension` counts the
+  /// backoff extensions already granted.
+  void arm_result_deadline(std::size_t machine, double from, std::size_t extension) {
+    if (!options_.retry.enabled) return;
+    const double window = (1.0 + options_.retry.deadline_slack) * expected_rtt_[machine] *
+                          std::pow(options_.retry.backoff, static_cast<double>(extension));
+    engine_.schedule_at(from + window, [this, machine, extension]() {
+      if (state_[machine].result_landed || state_[machine].failed || state_[machine].abandoned) return;
+      if (!state_[machine].delivered || state_[machine].result_lost) return;  // ack paths own those
+      if (blocked_behind_predecessor(machine)) {
+        // The FIFO channel, not this worker, is the holdup: the server is
+        // not yet waiting on this result, so its clock has not started.
+        // Re-arm without consuming an extension.
+        arm_result_deadline(machine, engine_.now(), extension);
+        return;
+      }
+      note_trouble(machine);
+      if (extension < options_.retry.max_retries) {
+        ++stats_.retries;
+        arm_result_deadline(machine, engine_.now(), extension + 1);
+      } else {
+        declare_timeout(machine);
+      }
+    });
+  }
+
+  /// True when an earlier, still-unresolved machine in the finishing order
+  /// prevents this one from transmitting its result (head-of-line blocking).
+  [[nodiscard]] bool blocked_behind_predecessor(std::size_t machine) const {
+    for (std::size_t pos = next_finishing_; pos < speeds_.size(); ++pos) {
+      const std::size_t m = orders_.finishing[pos];
+      if (m == machine) return false;  // machine is the head itself
+      if (!state_[m].result_landed && !state_[m].failed && !state_[m].abandoned) return true;
+    }
+    return false;
+  }
+
+  void declare_timeout(std::size_t machine) {
+    ++stats_.timeouts;
+    stats_.detections.push_back(
+        Detection{engine_.now(), machine, DetectionKind::kTimeout, 1.0});
+    abandon(machine, engine_.now());
+  }
+
+  /// The server stops waiting for this worker; its finishing-order slot is
+  /// skipped from now on (its result, if any ever materializes, is ignored).
+  void abandon(std::size_t machine, double at) {
+    if (state_[machine].abandoned) return;
+    state_[machine].abandoned = true;
+    outcome_by_machine_[machine].timed_out = true;
+    outcome_by_machine_[machine].timed_out_at = at;
+    dispatch_results();
+  }
+
+  void note_trouble(std::size_t machine) {
+    if (state_[machine].trouble_at < 0.0) state_[machine].trouble_at = engine_.now();
+  }
+
+  /// Looks up (and consumes) the fault for the next channel-message ordinal;
+  /// adds any extra delay to `duration` and returns whether the message is
+  /// lost in transit.
+  bool apply_message_fault(double& duration) {
+    const std::size_t ordinal = channel_ordinal_++;
+    const MessageFault* fault = options_.faults.fault_for_message(ordinal);
+    if (fault == nullptr) return false;
+    if (fault->extra_delay > 0.0) {
+      duration += fault->extra_delay;
+      ++stats_.messages_delayed;
+    }
+    return fault->lost;
+  }
+
+  void record_stalls(std::size_t machine,
+                     const std::vector<std::pair<double, double>>& stalls) {
+    for (const auto& [begin, end] : stalls) {
+      trace_.record({begin, end, Activity::kStall, machine, machine});
+      ++stats_.stalls;
+    }
   }
 
   void deliver(std::size_t machine, double at) {
@@ -121,18 +319,50 @@ class Episode {
     const double unpack = env_.pi() * rho * w;
     const double compute = rho * w;
     const double package = env_.pi() * rho * env_.delta() * w;
+    if (!conditions_.affected(machine)) {
+      // Unconditioned machine: the original fault-free phase chain, verbatim
+      // (small closures, no Phase captures) — this is the hot path and the
+      // bit-identical golden baseline.
+      const double t0 = at;
+      engine_.schedule_after(unpack, [this, machine, t0, unpack, compute, package]() {
+        trace_.record({t0, t0 + unpack, Activity::kWorkerUnpack, machine, machine});
+        engine_.schedule_after(compute, [this, machine, t0, unpack, compute, package]() {
+          trace_.record({t0 + unpack, t0 + unpack + compute, Activity::kWorkerCompute, machine,
+                         machine});
+          engine_.schedule_after(package, [this, machine, t0, unpack, compute, package]() {
+            if (state_[machine].failed) return;  // crashed mid-computation
+            const double done = t0 + unpack + compute + package;
+            trace_.record({t0 + unpack + compute, done, Activity::kWorkerPackage, machine,
+                           machine});
+            outcome_by_machine_[machine].compute_done = done;
+            state_[machine].ready = true;
+            dispatch_results();
+          });
+        });
+      });
+      return;
+    }
+    // Phase end times under the machine's stalls and slowdowns.
+    const auto unpack_phase = conditions_.advance(machine, at, unpack);
+    const auto compute_phase = conditions_.advance(machine, unpack_phase.end, compute);
+    const auto package_phase = conditions_.advance(machine, compute_phase.end, package);
     const double t0 = at;
-    engine_.schedule_after(unpack, [this, machine, t0, unpack, compute, package]() {
-      trace_.record({t0, t0 + unpack, Activity::kWorkerUnpack, machine, machine});
-      engine_.schedule_after(compute, [this, machine, t0, unpack, compute, package]() {
-        trace_.record({t0 + unpack, t0 + unpack + compute, Activity::kWorkerCompute, machine,
+    engine_.schedule_at(unpack_phase.end, [this, machine, t0, unpack_phase, compute_phase,
+                                           package_phase]() {
+      record_stalls(machine, unpack_phase.stalls);
+      trace_.record({t0, unpack_phase.end, Activity::kWorkerUnpack, machine, machine});
+      engine_.schedule_at(compute_phase.end, [this, machine, unpack_phase, compute_phase,
+                                              package_phase]() {
+        record_stalls(machine, compute_phase.stalls);
+        trace_.record({unpack_phase.end, compute_phase.end, Activity::kWorkerCompute, machine,
                        machine});
-        engine_.schedule_after(package, [this, machine, t0, unpack, compute, package]() {
-          if (failed_[machine]) return;  // crashed mid-computation
-          const double done = t0 + unpack + compute + package;
-          trace_.record({t0 + unpack + compute, done, Activity::kWorkerPackage, machine, machine});
-          outcome_by_machine_[machine].compute_done = done;
-          ready_[machine] = true;
+        engine_.schedule_at(package_phase.end, [this, machine, compute_phase, package_phase]() {
+          if (state_[machine].failed) return;  // crashed mid-computation
+          record_stalls(machine, package_phase.stalls);
+          trace_.record({compute_phase.end, package_phase.end, Activity::kWorkerPackage, machine,
+                         machine});
+          outcome_by_machine_[machine].compute_done = package_phase.end;
+          state_[machine].ready = true;
           dispatch_results();
         });
       });
@@ -142,32 +372,57 @@ class Episode {
   // Results go out strictly in the protocol's finishing order: the next
   // result in that order is requested from the channel only once its worker
   // is ready, so the channel's FIFO grant discipline realizes Phi exactly.
+  // Dead and abandoned slots are skipped, not waited on.
   void dispatch_results() {
     while (next_finishing_ < speeds_.size() &&
-           failed_[orders_.finishing[next_finishing_]]) {
-      ++next_finishing_;  // a crashed machine's slot is skipped, not waited on
+           (state_[orders_.finishing[next_finishing_]].failed ||
+            state_[orders_.finishing[next_finishing_]].abandoned)) {
+      ++next_finishing_;
     }
     if (next_finishing_ >= speeds_.size()) return;
     const std::size_t machine = orders_.finishing[next_finishing_];
-    if (!ready_[machine] || result_in_flight_) return;
+    if (!state_[machine].ready || result_in_flight_) return;
     result_in_flight_ = true;
-    transmitting_[machine] = true;
+    state_[machine].transmitting = true;
     ++next_finishing_;
+    send_result(machine, 0);
+  }
+
+  /// Puts machine's result on the channel (attempt 0 via the finishing-order
+  /// dispatcher; higher attempts are worker retransmissions after a loss).
+  void send_result(std::size_t machine, std::size_t attempt) {
     const double w = work_by_machine_[machine];
+    double duration = env_.tau_delta() * w + options_.message_latency;
+    const bool lost = apply_message_fault(duration);
     channel_.request(
-        env_.tau_delta() * w + options_.message_latency,
+        duration,
         [this, machine](double start) {
           outcome_by_machine_[machine].result_start = start;
           result_transit_start_ = start;
           mark(machine);
         },
-        [this, machine, w](double end) {
-          trace_.record(
-              {result_transit_start_, end, Activity::kTransitResult, kServerActor, machine});
+        [this, machine, w, attempt, lost](double end) {
+          trace_.record({result_transit_start_, end,
+                         attempt == 0 ? Activity::kTransitResult : Activity::kRetryTransit,
+                         kServerActor, machine});
+          if (lost) {
+            ++stats_.messages_lost;
+            if (attempt == 0) result_in_flight_ = false;
+            state_[machine].transmitting = false;  // the network dropped it after all
+            state_[machine].result_lost = true;
+            handle_lost_result(machine, attempt, end);
+            dispatch_results();
+            return;
+          }
+          state_[machine].result_lost = false;
+          state_[machine].result_landed = true;
           outcome_by_machine_[machine].result_end = end;
           makespan_ = std::max(makespan_, end);
           observed_finishing_.push_back(machine);
-          result_in_flight_ = false;
+          if (attempt == 0) result_in_flight_ = false;
+          if (state_[machine].trouble_at >= 0.0) {
+            stats_.recovery_latencies.push_back(end - state_[machine].trouble_at);
+          }
           // Server unpackages the result (serial on the server resource).
           const double unpack_time = env_.pi() * env_.delta() * w;
           server_.request(
@@ -181,6 +436,26 @@ class Episode {
         });
   }
 
+  void handle_lost_result(std::size_t machine, std::size_t attempt, double transit_end) {
+    // Without monitoring the server never learns; the slot was already
+    // consumed, so nothing blocks — the load is simply lost.
+    if (!options_.retry.enabled) return;
+    // Missing receipt ack: the worker retransmits after a backed-off wait.
+    const double detect = options_.retry.detection_latency *
+                          std::pow(options_.retry.backoff, static_cast<double>(attempt));
+    engine_.schedule_at(transit_end + detect, [this, machine, attempt]() {
+      if (state_[machine].result_landed || state_[machine].failed || state_[machine].abandoned) return;
+      note_trouble(machine);
+      if (attempt < options_.retry.max_retries) {
+        ++stats_.retries;
+        state_[machine].transmitting = true;
+        send_result(machine, attempt + 1);
+      } else {
+        declare_timeout(machine);
+      }
+    });
+  }
+
   static void mark(std::size_t) {}  // documentation hook: capture points
 
   std::vector<double> speeds_;
@@ -190,17 +465,31 @@ class Episode {
   SimEngine engine_;
   SequentialResource channel_;
   SequentialResource server_;
+  WorkerConditions conditions_;
 
   std::vector<double> work_by_machine_;
   std::vector<std::size_t> finishing_position_;
   std::vector<MachineOutcome> outcome_by_machine_;
-  std::vector<bool> ready_;
-  std::vector<bool> failed_;
-  std::vector<bool> transmitting_;
+  /// Per-worker protocol/fault state, one contiguous allocation.
+  struct WorkerState {
+    bool ready = false;           ///< result packaged, waiting for the channel
+    bool failed = false;          ///< crash took effect
+    bool transmitting = false;    ///< result transmission began (or finished)
+    bool delivered = false;       ///< load reached the worker
+    bool result_landed = false;   ///< result reached the server
+    bool result_lost = false;     ///< a result transit was lost (retry pending)
+    bool abandoned = false;       ///< server stopped waiting (deadline/loss)
+    bool crash_detected = false;  ///< heartbeat loss already reported
+    double trouble_at = -1.0;     ///< first sign of trouble (recovery latency)
+  };
+  std::vector<WorkerState> state_;
+  std::vector<double> expected_rtt_;
   std::vector<std::size_t> observed_finishing_;
   std::size_t next_finishing_ = 0;
+  std::size_t channel_ordinal_ = 0;
   bool result_in_flight_ = false;
   double makespan_ = 0.0;
+  FaultStats stats_;
   Trace trace_;
 
   // Start-of-segment scratch (single-threaded engine; one segment of each

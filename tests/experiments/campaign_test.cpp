@@ -83,6 +83,43 @@ TEST(Campaign, Validation) {
   EXPECT_THROW((void)run_campaign(kFleet, kEnv, config, {{99, 1.0}}), std::invalid_argument);
 }
 
+TEST(Campaign, FaultModelCrashesDriveMachinesLost) {
+  // machines_lost is wired to the sampled fault plan's crashes, not to the
+  // explicit failure list alone.
+  CampaignConfig config{.total_time = 400.0, .round_length = 100.0};
+  config.fault_model.crash_rate = 0.004;  // expected ~0.8 crashes over 400
+  config.fault_seed = 11;
+  const auto result = run_campaign(kFleet, kEnv, config, {});
+  const auto plan = sim::FaultPlan::sample(config.fault_model, kFleet.size(), 400.0, 11);
+  EXPECT_EQ(result.machines_lost, plan.crashes.size());
+  const auto calm = run_campaign(kFleet, kEnv,
+                                 CampaignConfig{.total_time = 400.0, .round_length = 100.0}, {});
+  if (!plan.crashes.empty()) {
+    EXPECT_LT(result.completed_work, calm.completed_work);
+  }
+}
+
+TEST(Campaign, FaultModelStragglersDegradeWithoutAttrition) {
+  CampaignConfig config{.total_time = 200.0, .round_length = 100.0};
+  config.fault_model.straggler_probability = 1.0;  // every machine straggles
+  config.fault_model.straggler_factor = 4.0;
+  config.fault_seed = 3;
+  const auto result = run_campaign(kFleet, kEnv, config, {});
+  const auto calm = run_campaign(kFleet, kEnv,
+                                 CampaignConfig{.total_time = 200.0, .round_length = 100.0}, {});
+  EXPECT_EQ(result.machines_lost, 0u);  // slow, not dead
+  EXPECT_LT(result.completed_work, calm.completed_work);
+  EXPECT_GT(result.faults.slowdown_onsets, 0u);
+}
+
+TEST(Campaign, FaultStatsAccumulateAcrossRoundsInAbsoluteTime) {
+  CampaignConfig config{.total_time = 300.0, .round_length = 100.0};
+  const std::vector<CampaignFailure> failures{{3, 150.0}};
+  const auto result = run_campaign(kFleet, kEnv, config, failures);
+  EXPECT_EQ(result.machines_lost, 1u);
+  EXPECT_GE(result.faults.crashes, 1u);
+}
+
 TEST(ExponentialFailures, RateControlsAttritionAndSeedsReproduce) {
   const auto none = exponential_failures(100, 0.0, 1000.0, 1);
   EXPECT_TRUE(none.empty());

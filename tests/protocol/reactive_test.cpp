@@ -1,0 +1,166 @@
+#include "hetero/protocol/reactive.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "hetero/protocol/fifo.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+double sum(const std::vector<double>& values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+TEST(ReactivePlanner, StartsFromTheClosedFormFifoOptimum) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+  const auto expected = fifo_allocations(speeds, kEnv, 100.0);
+  const auto actual = planner.current_allocations();
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_DOUBLE_EQ(actual[k], expected[k]);
+  }
+  EXPECT_EQ(planner.replans(), 0u);
+}
+
+TEST(ReactivePlanner, RejectsBadInputs) {
+  EXPECT_THROW((ReactiveFifoPlanner{std::vector<double>{}, kEnv, 100.0, ReactivePolicy{}}),
+               std::invalid_argument);
+  EXPECT_THROW((ReactiveFifoPlanner{std::vector<double>{1.0}, kEnv, 0.0, ReactivePolicy{}}),
+               std::invalid_argument);
+  ReactiveFifoPlanner planner{std::vector<double>{1.0, 0.5}, kEnv, 100.0, ReactivePolicy{}};
+  EXPECT_THROW(planner.on_event(1.0, 7, WorkerEvent::kCrashed), std::invalid_argument);
+  EXPECT_THROW(planner.on_event(1.0, 0, WorkerEvent::kDegraded, 0.5), std::invalid_argument);
+}
+
+TEST(ReactivePlanner, DegradedHeadOfLineZeroesTheContinueEstimate) {
+  // Machine 0 finishes first; if it straggles, every result behind it is
+  // blocked on the FIFO channel, so staying the course yields nothing and
+  // any feasible fresh plan wins.
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+  const auto decision = planner.on_event(10.0, 0, WorkerEvent::kDegraded, 4.0);
+  EXPECT_DOUBLE_EQ(decision.continue_estimate, 0.0);
+  EXPECT_TRUE(decision.replan);
+  EXPECT_EQ(decision.survivors.size(), 4u);  // degraded, not dead
+  EXPECT_GT(decision.planned_work, 0.0);
+  EXPECT_EQ(planner.replans(), 1u);
+}
+
+TEST(ReactivePlanner, DegradedTailCountsTheHealthyPrefix) {
+  // If the *last* finisher straggles, the healthy prefix still drains; only
+  // the straggler's own allocation is written off in the continue estimate.
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+  const auto allocations = planner.current_allocations();
+  const double healthy_prefix = allocations[0] + allocations[1] + allocations[2];
+  const auto decision = planner.on_event(5.0, 3, WorkerEvent::kDegraded, 2.0);
+  EXPECT_NEAR(decision.continue_estimate, healthy_prefix, 1e-9);
+  // Early in the lifespan a fresh plan over all four machines (one at half
+  // speed) still beats abandoning the straggler's ~half of the work.
+  EXPECT_TRUE(decision.replan);
+  EXPECT_GT(decision.planned_work, decision.continue_estimate);
+}
+
+TEST(ReactivePlanner, LateCrashPrefersContinuing) {
+  // The crash removes one machine near the end of the lifespan: the healthy
+  // machines' nearly-complete loads dwarf anything a restart could earn in
+  // the sliver of remaining time.
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+  const auto decision = planner.on_event(95.0, 1, WorkerEvent::kCrashed);
+  EXPECT_FALSE(decision.replan);
+  EXPECT_EQ(decision.survivors.size(), 3u);
+  EXPECT_GT(decision.continue_estimate, decision.planned_work);
+  EXPECT_EQ(planner.replans(), 0u);
+}
+
+TEST(ReactivePlanner, UnresponsiveCountsAsDead) {
+  const std::vector<double> speeds{1.0, 0.5};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+  const auto allocations = planner.current_allocations();
+  const auto decision = planner.on_event(10.0, 0, WorkerEvent::kUnresponsive);
+  EXPECT_EQ(decision.survivors, (std::vector<std::size_t>{1}));
+  // The abandoned machine's slot is skipped, so m1's in-flight load (sized
+  // for the whole lifespan) still lands; a fresh plan over m1 alone for the
+  // remaining 90 would yield strictly less.  Continue wins.
+  EXPECT_NEAR(decision.continue_estimate, allocations[1], 1e-9);
+  EXPECT_GT(decision.continue_estimate, decision.planned_work);
+  EXPECT_FALSE(decision.replan);
+}
+
+TEST(ReactivePlanner, CrashAloneNeverJustifiesAReplan) {
+  // Dead machines don't block the FIFO queue — their slots are skipped — so
+  // continuing keeps the survivors' *lifespan-sized* allocations, while a
+  // fresh plan over the same survivors only covers the remaining time.
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  for (std::size_t victim = 0; victim < speeds.size(); ++victim) {
+    ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+    const auto decision = planner.on_event(10.0, victim, WorkerEvent::kCrashed);
+    EXPECT_FALSE(decision.replan) << victim;
+    EXPECT_GE(decision.continue_estimate, decision.planned_work) << victim;
+  }
+}
+
+TEST(ReactivePlanner, MaxReplansGuardStopsThrashing) {
+  ReactivePolicy policy;
+  policy.max_replans = 1;
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, policy};
+  EXPECT_TRUE(planner.on_event(5.0, 0, WorkerEvent::kDegraded, 4.0).replan);
+  // Second head-of-line degradation would justify another replan, but the
+  // budget is spent.
+  const auto second = planner.on_event(10.0, 0, WorkerEvent::kDegraded, 4.0);
+  EXPECT_FALSE(second.replan);
+  EXPECT_EQ(planner.replans(), 1u);
+}
+
+TEST(ReactivePlanner, MinRemainingGuardStopsEndgameReplans) {
+  ReactivePolicy policy;
+  policy.min_remaining_fraction = 0.1;
+  const std::vector<double> speeds{1.0, 0.5};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, policy};
+  const auto decision = planner.on_event(95.0, 0, WorkerEvent::kDegraded, 8.0);
+  EXPECT_FALSE(decision.replan);  // only 5% of the lifespan left
+}
+
+TEST(ReplanRewritesAllocationsOverSurvivors, CrashThenHeadOfLineDegradation) {
+  // A crash alone is absorbed (see above); the degradation of the new head
+  // of the finishing order is what forces the rewrite.
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+  ASSERT_FALSE(planner.on_event(10.0, 1, WorkerEvent::kCrashed).replan);
+  const auto decision = planner.on_event(20.0, 0, WorkerEvent::kDegraded, 4.0);
+  ASSERT_TRUE(decision.replan);
+  EXPECT_EQ(decision.survivors, (std::vector<std::size_t>{0, 2}));
+  const auto allocations = planner.current_allocations();
+  EXPECT_DOUBLE_EQ(allocations[1], 0.0);  // the dead machine gets nothing
+  EXPECT_GT(allocations[0], 0.0);
+  EXPECT_GT(allocations[2], 0.0);
+  EXPECT_NEAR(sum(decision.allocations), decision.planned_work, 1e-6);
+  // The fresh plan matches the closed-form optimum over the survivors at
+  // their *effective* speeds for the remaining 80 time units (Theorem 2:
+  // LP == closed form for FIFO).
+  const auto expected = fifo_allocations(std::vector<double>{4.0, 0.25}, kEnv, 80.0);
+  EXPECT_NEAR(allocations[0], expected[0], 1e-5);
+  EXPECT_NEAR(allocations[2], expected[1], 1e-5);
+}
+
+TEST(ReactivePlanner, AliveTracksRetiredMachines) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  ReactiveFifoPlanner planner{speeds, kEnv, 100.0, ReactivePolicy{}};
+  planner.on_event(10.0, 2, WorkerEvent::kCrashed);
+  const auto& alive = planner.alive();
+  ASSERT_EQ(alive.size(), 3u);
+  EXPECT_TRUE(alive[0]);
+  EXPECT_TRUE(alive[1]);
+  EXPECT_FALSE(alive[2]);
+}
+
+}  // namespace
+}  // namespace hetero::protocol

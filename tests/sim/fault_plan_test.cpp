@@ -1,0 +1,228 @@
+#include "hetero/sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hetero::sim {
+namespace {
+
+FaultModelConfig busy_config() {
+  FaultModelConfig config;
+  config.crash_rate = 0.02;
+  config.stall_rate = 0.05;
+  config.stall_duration = 1.5;
+  config.straggler_probability = 0.5;
+  config.straggler_factor = 3.0;
+  config.message_loss_probability = 0.1;
+  config.message_delay_probability = 0.2;
+  config.message_delay = 0.25;
+  return config;
+}
+
+TEST(FaultPlan, SampleIsDeterministicInSeed) {
+  const auto config = busy_config();
+  const FaultPlan a = FaultPlan::sample(config, 4, 100.0, 1234);
+  const FaultPlan b = FaultPlan::sample(config, 4, 100.0, 1234);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].machine, b.crashes[i].machine);
+    EXPECT_EQ(a.crashes[i].time, b.crashes[i].time);  // bitwise
+  }
+  ASSERT_EQ(a.slowdowns.size(), b.slowdowns.size());
+  for (std::size_t i = 0; i < a.slowdowns.size(); ++i) {
+    EXPECT_EQ(a.slowdowns[i].machine, b.slowdowns[i].machine);
+    EXPECT_EQ(a.slowdowns[i].time, b.slowdowns[i].time);
+    EXPECT_EQ(a.slowdowns[i].factor, b.slowdowns[i].factor);
+  }
+  ASSERT_EQ(a.stalls.size(), b.stalls.size());
+  ASSERT_EQ(a.message_faults.size(), b.message_faults.size());
+
+  const FaultPlan c = FaultPlan::sample(config, 4, 100.0, 1235);
+  const bool identical = a.crashes.size() == c.crashes.size() &&
+                         a.slowdowns.size() == c.slowdowns.size() &&
+                         a.stalls.size() == c.stalls.size() &&
+                         a.message_faults.size() == c.message_faults.size();
+  // A one-bit seed change must perturb at least one family (overwhelmingly
+  // likely with these rates; the fixed seeds here make it deterministic).
+  if (identical && !a.empty()) {
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+      any_diff = any_diff || a.crashes[i].time != c.crashes[i].time;
+    }
+    for (std::size_t i = 0; i < a.slowdowns.size(); ++i) {
+      any_diff = any_diff || a.slowdowns[i].time != c.slowdowns[i].time;
+    }
+    EXPECT_TRUE(any_diff);
+  }
+}
+
+TEST(FaultPlan, FaultFamiliesUseIndependentStreams) {
+  // Turning stalls on must not shift the crash draws: each family has its
+  // own rng substream.
+  FaultModelConfig crashes_only;
+  crashes_only.crash_rate = 0.03;
+  FaultModelConfig crashes_and_stalls = crashes_only;
+  crashes_and_stalls.stall_rate = 0.2;
+  crashes_and_stalls.stall_duration = 1.0;
+
+  const FaultPlan a = FaultPlan::sample(crashes_only, 6, 200.0, 99);
+  const FaultPlan b = FaultPlan::sample(crashes_and_stalls, 6, 200.0, 99);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t i = 0; i < a.crashes.size(); ++i) {
+    EXPECT_EQ(a.crashes[i].machine, b.crashes[i].machine);
+    EXPECT_EQ(a.crashes[i].time, b.crashes[i].time);
+  }
+  EXPECT_TRUE(a.stalls.empty());
+}
+
+TEST(FaultPlan, ValidateRejectsBadEvents) {
+  {
+    FaultPlan plan;
+    plan.crashes.push_back({5, 1.0});  // machine out of range for 4
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.crashes.push_back({0, -1.0});
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.slowdowns.push_back({0, 1.0, 0.5});  // factor below 1
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.stalls.push_back({0, 1.0, -2.0});
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.message_faults.push_back({0, -0.5, false});
+    EXPECT_THROW(plan.validate(4), std::invalid_argument);
+  }
+  {
+    FaultPlan plan;
+    plan.crashes.push_back({3, 10.0});
+    plan.slowdowns.push_back({1, 2.0, 2.0});
+    plan.stalls.push_back({0, 1.0, 0.5});
+    plan.message_faults.push_back({2, 0.1, true});
+    EXPECT_NO_THROW(plan.validate(4));
+  }
+}
+
+TEST(FaultPlan, CrashTimesPicksEarliestPerMachine) {
+  FaultPlan plan;
+  plan.crashes.push_back({1, 30.0});
+  plan.crashes.push_back({1, 10.0});
+  plan.crashes.push_back({3, 5.0});
+  const auto times = plan.crash_times(4);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_TRUE(times[0] > 1e300);  // never crashes
+  EXPECT_DOUBLE_EQ(times[1], 10.0);
+  EXPECT_TRUE(times[2] > 1e300);
+  EXPECT_DOUBLE_EQ(times[3], 5.0);
+}
+
+TEST(FaultPlan, RestrictedRemapsClampsAndDrops) {
+  FaultPlan plan;
+  plan.crashes.push_back({0, 5.0});    // machine 0 not in fleet -> dropped
+  plan.crashes.push_back({2, 30.0});   // future crash, shifted
+  plan.slowdowns.push_back({3, 8.0, 2.0});  // already in force -> clamped to 0
+  plan.stalls.push_back({2, 2.0, 3.0});     // ends at 5 < origin -> dropped
+  plan.stalls.push_back({3, 9.0, 4.0});     // straddles origin -> clipped
+  plan.message_faults.push_back({1, 0.0, true});  // carried verbatim
+
+  const std::vector<std::size_t> fleet{2, 3};  // global ids, startup order
+  const FaultPlan local = plan.restricted(10.0, fleet);
+
+  ASSERT_EQ(local.crashes.size(), 1u);
+  EXPECT_EQ(local.crashes[0].machine, 0u);  // global 2 -> fleet position 0
+  EXPECT_DOUBLE_EQ(local.crashes[0].time, 20.0);
+
+  ASSERT_EQ(local.slowdowns.size(), 1u);
+  EXPECT_EQ(local.slowdowns[0].machine, 1u);  // global 3 -> position 1
+  EXPECT_DOUBLE_EQ(local.slowdowns[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(local.slowdowns[0].factor, 2.0);
+
+  ASSERT_EQ(local.stalls.size(), 1u);
+  EXPECT_EQ(local.stalls[0].machine, 1u);
+  EXPECT_DOUBLE_EQ(local.stalls[0].time, 0.0);  // clipped at the origin
+  EXPECT_DOUBLE_EQ(local.stalls[0].duration, 3.0);  // 9+4=13 -> 3 past origin
+
+  ASSERT_EQ(local.message_faults.size(), 1u);
+  EXPECT_EQ(local.message_faults[0].ordinal, 1u);
+  EXPECT_TRUE(local.message_faults[0].lost);
+}
+
+TEST(WorkerConditions, UnaffectedMachineIsExactlyStartPlusNominal) {
+  FaultPlan plan;
+  plan.slowdowns.push_back({1, 3.0, 2.0});
+  const WorkerConditions conditions{plan, 3};
+  // Machine 0 has no conditioning events: the integrator must return the
+  // *same floating-point expression* as the fault-free simulator, not an
+  // algebraically equal one — this is what makes golden traces bit-identical.
+  const double start = 0.1234567890123;
+  const double nominal = 9.876543210987;
+  EXPECT_FALSE(conditions.affected(0));
+  EXPECT_EQ(conditions.advance(0, start, nominal).end, start + nominal);
+}
+
+TEST(WorkerConditions, SlowdownStretchesOnlyThePostOnsetPart) {
+  FaultPlan plan;
+  plan.slowdowns.push_back({0, 10.0, 3.0});
+  const WorkerConditions conditions{plan, 1};
+  // 8 units of nominal work from t=6: 4 at full rate (6..10), the remaining
+  // 4 at 1/3 rate -> 12 wall units -> ends at 22.
+  const auto phase = conditions.advance(0, 6.0, 8.0);
+  EXPECT_NEAR(phase.end, 22.0, 1e-12);
+  EXPECT_TRUE(phase.stalls.empty());
+}
+
+TEST(WorkerConditions, StallInsertsZeroProgressWindow) {
+  FaultPlan plan;
+  plan.stalls.push_back({0, 5.0, 2.0});
+  const WorkerConditions conditions{plan, 1};
+  // 10 nominal units from t=0 cross the stall: ends at 12.
+  const auto phase = conditions.advance(0, 0.0, 10.0);
+  EXPECT_NEAR(phase.end, 12.0, 1e-12);
+  ASSERT_EQ(phase.stalls.size(), 1u);
+  EXPECT_NEAR(phase.stalls[0].first, 5.0, 1e-12);
+  EXPECT_NEAR(phase.stalls[0].second, 7.0, 1e-12);
+}
+
+TEST(WorkerConditions, CompoundSlowdownsMultiply) {
+  FaultPlan plan;
+  plan.slowdowns.push_back({0, 0.0, 2.0});
+  plan.slowdowns.push_back({0, 4.0, 2.0});
+  const WorkerConditions conditions{plan, 1};
+  // Rate 1/2 on [0,4) completes 2 nominal units; rate 1/4 after.  6 nominal
+  // units: 2 by t=4, remaining 4 take 16 -> ends at 20.
+  EXPECT_NEAR(conditions.advance(0, 0.0, 6.0).end, 20.0, 1e-12);
+}
+
+TEST(FaultStats, MergeShiftsDetectionTimes)
+{
+  FaultStats a;
+  a.crashes = 1;
+  a.detections.push_back({5.0, 0, DetectionKind::kCrash, 1.0});
+  FaultStats b;
+  b.timeouts = 2;
+  b.retries = 3;
+  b.detections.push_back({1.5, 2, DetectionKind::kStraggler, 2.0});
+  b.recovery_latencies.push_back(0.75);
+  a.merge(b, 100.0);
+  EXPECT_EQ(a.crashes, 1u);
+  EXPECT_EQ(a.timeouts, 2u);
+  EXPECT_EQ(a.retries, 3u);
+  ASSERT_EQ(a.detections.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.detections[1].at, 101.5);
+  EXPECT_EQ(a.detections[1].machine, 2u);
+  ASSERT_EQ(a.recovery_latencies.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.recovery_latencies[0], 0.75);  // latencies don't shift
+  EXPECT_DOUBLE_EQ(a.first_detection(), 5.0);
+}
+
+}  // namespace
+}  // namespace hetero::sim

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hetero/protocol/fifo.h"
+#include "hetero/sim/fault.h"
+#include "hetero/sim/reactive.h"
+#include "hetero/sim/worksharing.h"
+
+namespace hetero::sim {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+SimulationResult run_fifo(const std::vector<double>& speeds, double lifespan,
+                          const SimulationOptions& options = {}) {
+  const auto allocations = protocol::fifo_allocations(speeds, kEnv, lifespan);
+  return simulate_worksharing(speeds, kEnv, allocations,
+                              protocol::ProtocolOrders::fifo(speeds.size()), options);
+}
+
+bool traces_identical(const Trace& a, const Trace& b) {
+  return a.segments() == b.segments();  // bitwise via TraceSegment::operator==
+}
+
+std::size_t count_activity(const Trace& trace, Activity activity) {
+  return trace.segments_of(activity).size();
+}
+
+// --- Golden: the fault machinery must not perturb the fault-free path. ---
+
+TEST(FaultRobustness, EmptyPlanReproducesBaselineTraceBitForBit) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  const auto baseline = run_fifo(speeds, 100.0);
+  SimulationOptions options;
+  options.faults = FaultPlan{};  // explicitly empty
+  const auto faulted = run_fifo(speeds, 100.0, options);
+  EXPECT_TRUE(traces_identical(baseline.trace, faulted.trace));
+  EXPECT_EQ(baseline.completed_work(100.0), faulted.completed_work(100.0));
+}
+
+TEST(FaultRobustness, PostHorizonFaultsStillGolden) {
+  // Events that never bite (a slowdown onset far past every landing) must
+  // leave the trace bit-identical: the conditioned integrator degenerates to
+  // the exact fault-free expressions.
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  const auto baseline = run_fifo(speeds, 50.0);
+  SimulationOptions options;
+  options.faults.slowdowns.push_back({0, 1.0e6, 4.0});
+  options.faults.slowdowns.push_back({2, 2.0e6, 2.0});
+  const auto faulted = run_fifo(speeds, 50.0, options);
+  EXPECT_TRUE(traces_identical(baseline.trace, faulted.trace));
+}
+
+// --- Determinism: a plan is data; same plan, same bits. ---
+
+TEST(FaultRobustness, SamePlanProducesBitIdenticalTraces) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  FaultModelConfig model;
+  model.crash_rate = 0.01;
+  model.straggler_probability = 0.6;
+  model.straggler_factor = 2.5;
+  model.stall_rate = 0.02;
+  model.stall_duration = 1.0;
+  model.message_delay_probability = 0.3;
+  model.message_delay = 0.05;
+  SimulationOptions options;
+  options.faults = FaultPlan::sample(model, speeds.size(), 100.0, 777);
+  options.retry.enabled = true;
+
+  const auto a = run_fifo(speeds, 100.0, options);
+  const auto b = run_fifo(speeds, 100.0, options);
+  EXPECT_TRUE(traces_identical(a.trace, b.trace));
+  EXPECT_EQ(a.completed_work(100.0), b.completed_work(100.0));
+  EXPECT_EQ(a.faults.crashes, b.faults.crashes);
+  EXPECT_EQ(a.faults.detections.size(), b.faults.detections.size());
+  for (std::size_t i = 0; i < a.faults.detections.size(); ++i) {
+    EXPECT_EQ(a.faults.detections[i].at, b.faults.detections[i].at);
+    EXPECT_EQ(a.faults.detections[i].machine, b.faults.detections[i].machine);
+  }
+}
+
+TEST(FaultRobustness, ReactiveRunIsDeterministic) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  FaultModelConfig model;
+  model.crash_rate = 0.008;
+  model.straggler_probability = 0.5;
+  model.straggler_factor = 3.0;
+  const FaultPlan plan = FaultPlan::sample(model, speeds.size(), 100.0, 4242);
+  const auto a = run_reactive_fifo(speeds, kEnv, 100.0, plan);
+  const auto b = run_reactive_fifo(speeds, kEnv, 100.0, plan);
+  EXPECT_EQ(a.completed_work, b.completed_work);  // bitwise
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.replans, b.replans);
+  EXPECT_TRUE(traces_identical(a.trace, b.trace));
+}
+
+// --- Crash semantics under monitoring. ---
+
+TEST(FaultRobustness, CrashIsDetectedMarkedAndSkipped) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  SimulationOptions options;
+  options.faults.crashes.push_back({0, 0.5});
+  options.retry.enabled = true;
+  options.retry.detection_latency = 1.0;
+  const auto result = run_fifo(speeds, 100.0, options);
+
+  EXPECT_EQ(result.faults.crashes, 1u);
+  EXPECT_TRUE(result.outcomes[0].failed);
+  EXPECT_NEAR(result.outcomes[0].failed_at, 0.5, 1e-12);
+  EXPECT_EQ(count_activity(result.trace, Activity::kCrash), 1u);
+
+  ASSERT_FALSE(result.faults.detections.empty());
+  const Detection& d = result.faults.detections.front();
+  EXPECT_EQ(d.kind, DetectionKind::kCrash);
+  EXPECT_EQ(d.machine, 0u);
+  EXPECT_NEAR(d.at, 1.5, 1e-12);  // crash + detection latency
+
+  // The dead slot is skipped; the survivors still return results.
+  EXPECT_GT(result.outcomes[1].result_end, 0.0);
+  EXPECT_GT(result.outcomes[2].result_end, 0.0);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+// --- Message-loss recovery. ---
+
+TEST(FaultRobustness, LostWorkMessageIsResent) {
+  const std::vector<double> speeds{1.0, 0.5};
+  SimulationOptions options;
+  options.faults.message_faults.push_back({0, 0.0, true});  // m0's load, lost
+  options.retry.enabled = true;
+  const auto result = run_fifo(speeds, 100.0, options);
+
+  EXPECT_EQ(result.faults.messages_lost, 1u);
+  EXPECT_GE(result.faults.retries, 1u);
+  EXPECT_GE(count_activity(result.trace, Activity::kRetryTransit), 1u);
+  // The resend succeeded: both results land (a little late for m0).
+  EXPECT_GT(result.outcomes[0].result_end, 0.0);
+  EXPECT_GT(result.outcomes[1].result_end, 0.0);
+  const auto baseline = run_fifo(speeds, 100.0);
+  EXPECT_GT(result.outcomes[0].result_end, baseline.outcomes[0].result_end);
+  EXPECT_NEAR(result.completed_work(110.0),
+              baseline.outcomes[0].work + baseline.outcomes[1].work, 1e-6);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+TEST(FaultRobustness, LostWorkWithoutRetryAbandonsTheSlot) {
+  // Monitoring off: the load silently vanishes, but the episode must not
+  // deadlock waiting for a result that can never exist.
+  const std::vector<double> speeds{1.0, 0.5};
+  SimulationOptions options;
+  options.faults.message_faults.push_back({0, 0.0, true});
+  const auto result = run_fifo(speeds, 100.0, options);
+  EXPECT_EQ(result.faults.messages_lost, 1u);
+  EXPECT_EQ(result.outcomes[0].result_end, 0.0);  // never landed
+  EXPECT_GT(result.outcomes[1].result_end, 0.0);  // but m1's did
+}
+
+TEST(FaultRobustness, LostResultIsRetransmittedByTheWorker) {
+  const std::vector<double> speeds{1.0, 0.5};
+  // Ordinals: 0 and 1 are the two work sends; 2 is the first result on the
+  // channel (m0's, in FIFO finishing order).
+  SimulationOptions options;
+  options.faults.message_faults.push_back({2, 0.0, true});
+  options.retry.enabled = true;
+  const auto result = run_fifo(speeds, 100.0, options);
+
+  EXPECT_EQ(result.faults.messages_lost, 1u);
+  EXPECT_GE(result.faults.retries, 1u);
+  EXPECT_GE(count_activity(result.trace, Activity::kRetryTransit), 1u);
+  const auto baseline = run_fifo(speeds, 100.0);
+  EXPECT_GT(result.outcomes[0].result_end, baseline.outcomes[0].result_end);
+  EXPECT_NEAR(result.completed_work(110.0),
+              baseline.outcomes[0].work + baseline.outcomes[1].work, 1e-6);
+  ASSERT_FALSE(result.faults.recovery_latencies.empty());
+  EXPECT_GT(result.faults.recovery_latencies.front(), 0.0);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+TEST(FaultRobustness, DelayedMessageShiftsDeliveryOnly) {
+  const std::vector<double> speeds{1.0, 0.5};
+  SimulationOptions options;
+  options.faults.message_faults.push_back({0, 0.5, false});
+  const auto result = run_fifo(speeds, 100.0, options);
+  const auto baseline = run_fifo(speeds, 100.0);
+  EXPECT_EQ(result.faults.messages_delayed, 1u);
+  EXPECT_NEAR(result.outcomes[0].receive, baseline.outcomes[0].receive + 0.5, 1e-12);
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+// --- Result deadlines: silent stragglers cannot wedge the episode. ---
+
+TEST(FaultRobustness, HopelessStragglerTimesOutWithoutDeadlock) {
+  const std::vector<double> speeds{1.0, 0.5, 0.25};
+  SimulationOptions options;
+  options.faults.slowdowns.push_back({0, 0.0, 1000.0});  // effectively silent
+  options.retry.enabled = true;
+  const auto result = run_fifo(speeds, 100.0, options);
+
+  EXPECT_EQ(result.faults.timeouts, 1u);
+  EXPECT_TRUE(result.outcomes[0].timed_out);
+  EXPECT_GT(result.outcomes[0].timed_out_at, 0.0);
+  // Its slot was skipped: the healthy machines' results still land.
+  EXPECT_GT(result.outcomes[1].result_end, 0.0);
+  EXPECT_GT(result.outcomes[2].result_end, 0.0);
+  // Both a straggler detection and the eventual timeout were reported.
+  const auto has_kind = [&](DetectionKind kind) {
+    return std::any_of(result.faults.detections.begin(), result.faults.detections.end(),
+                       [&](const Detection& d) { return d.kind == kind; });
+  };
+  EXPECT_TRUE(has_kind(DetectionKind::kStraggler));
+  EXPECT_TRUE(has_kind(DetectionKind::kTimeout));
+  EXPECT_TRUE(result.trace.channel_exclusive());
+}
+
+// --- The tentpole claim: reacting beats staying the course. ---
+
+TEST(FaultRobustness, ReactiveFifoBeatsObliviousFifoUnderSameFaults) {
+  // A mid-episode straggler on the biggest allocation plus a later crash.
+  // The oblivious run loses the straggler's whole load *and* everything
+  // queued behind it on the FIFO channel; the reactive run detects, folds
+  // the machine's effective speed, and replans over the survivors.
+  const std::vector<double> speeds{1.0, 0.5, 0.25, 0.125};
+  const double lifespan = 100.0;
+  FaultPlan plan;
+  plan.slowdowns.push_back({3, 5.0, 2.0});
+  plan.crashes.push_back({1, 55.0});
+
+  const auto oblivious = run_fifo_with_faults(speeds, kEnv, lifespan, plan);
+  const auto reactive = run_reactive_fifo(speeds, kEnv, lifespan, plan);
+
+  EXPECT_GT(reactive.completed_work, oblivious.completed_work);  // the hard claim
+  // And not marginally: reacting recovers a large part of the optimum.
+  const double fault_free = protocol::fifo_total_work(speeds, kEnv, lifespan);
+  EXPECT_GT(reactive.completed_work, 0.5 * fault_free);
+  EXPECT_LT(oblivious.completed_work, 0.4 * fault_free);
+
+  EXPECT_GE(reactive.replans, 1u);
+  EXPECT_GE(reactive.rounds, 2u);
+  EXPECT_EQ(reactive.machines_crashed, 1u);
+  EXPECT_TRUE(reactive.trace.channel_exclusive());
+
+  // The stitched reactive trace reports detections in absolute time.
+  ASSERT_FALSE(reactive.faults.detections.empty());
+  EXPECT_GT(reactive.faults.first_detection(), 5.0);
+}
+
+}  // namespace
+}  // namespace hetero::sim
