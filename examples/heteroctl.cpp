@@ -7,6 +7,13 @@
 //   heteroctl upgrade "<1, 1/2, 1/4>" 0.0625     # additive-speedup table (phi)
 //   heteroctl obs     "<1, 1/2, 1/4>" 3600 [trace.json]  # episode + exports
 //   heteroctl faults  "<1, 1/2, 1/4>" 3600 [seed]        # fault scenarios
+//   heteroctl resume  sweep.journal                      # continue a killed run
+//
+// With `--journal <path>`, the `faults` sweep checkpoints every finished
+// grid cell into a crash-safe journal; if the process is killed, `heteroctl
+// resume <path>` replays the finished cells and computes only the missing
+// ones, producing bit-identical output (the journal header records the
+// original invocation, so resume needs no other arguments).
 //
 // The `obs` command simulates a FIFO episode, writes a Chrome trace-event
 // JSON (open in https://ui.perfetto.dev or chrome://tracing) combining
@@ -31,6 +38,9 @@
 
 #include "hetero/core/hetero.h"
 #include "hetero/experiments/fault_sweep.h"
+#include "hetero/parallel/thread_pool.h"
+#include "hetero/runner/journal.h"
+#include "hetero/runner/runner.h"
 #include "hetero/obs/chrome_trace.h"
 #include "hetero/obs/metrics.h"
 #include "hetero/obs/prometheus.h"
@@ -172,7 +182,8 @@ int cmd_obs(const core::Profile& profile, double lifespan, const std::string& tr
   return 0;
 }
 
-int cmd_faults(const core::Profile& profile, double lifespan, std::uint64_t seed) {
+int cmd_faults(const core::Profile& profile, double lifespan, std::uint64_t seed,
+               const std::string& journal_path, const std::string& invocation) {
   std::vector<double> speeds(profile.values().begin(), profile.values().end());
 
   // Degradation grid: expected crashes per machine of {0, 0.5, 1.5} over the
@@ -183,11 +194,31 @@ int cmd_faults(const core::Profile& profile, double lifespan, std::uint64_t seed
   sweep.straggler_factors = {1.0, 2.0, 4.0};
   sweep.trials = 3;
   sweep.seed = seed;
+  experiments::FaultSweepResult grid;
+  if (journal_path.empty()) {
+    grid = experiments::run_fault_sweep(speeds, kEnv, sweep);
+  } else {
+    // Crash-safe run: finished cells land in the journal; a killed run is
+    // continued with `heteroctl resume <path>` (the header carries this
+    // invocation) and produces bit-identical output.
+    runner::JournalHeader header = experiments::fault_sweep_journal_header(speeds, kEnv, sweep);
+    header.invocation = invocation;
+    runner::Journal journal = runner::Journal::open_or_resume(journal_path, header);
+    const std::size_t resumed = journal.records().size();
+    if (resumed > 0) {
+      std::cout << "resuming " << journal_path << ": " << resumed
+                << " cell(s) already journaled\n";
+    }
+    parallel::ThreadPool pool;
+    runner::RunContext ctx;
+    ctx.pool = &pool;
+    ctx.journal = &journal;
+    grid = experiments::run_fault_sweep(speeds, kEnv, sweep, ctx);
+  }
   std::cout << "degradation vs fault-free FIFO optimum ("
             << core::format_profile(profile, 4) << ", L = " << lifespan << ", seed " << seed
             << "):\n"
-            << experiments::format_fault_sweep(experiments::run_fault_sweep(speeds, kEnv, sweep))
-            << "\n";
+            << experiments::format_fault_sweep(grid) << "\n";
 
   // One seeded scenario end to end.  The sample gives seed-dependent faults;
   // a crash and a straggler are guaranteed so the render always shows the
@@ -245,49 +276,111 @@ int usage() {
                "  heteroctl upgrade <profile> <phi>\n"
                "  heteroctl obs     <profile> <lifespan> [trace.json]\n"
                "  heteroctl faults  <profile> <lifespan> [seed]\n"
+               "  heteroctl resume  <sweep.journal>\n"
                "options:\n"
-               "  --metrics   dump the metrics registry (Prometheus text) after any command\n"
+               "  --metrics          dump the metrics registry (Prometheus text) after any command\n"
+               "  --journal <path>   (faults) checkpoint finished grid cells; resume a killed\n"
+               "                     run with `heteroctl resume <path>`\n"
                "profiles use the paper's notation, e.g. \"<1, 1/2, 1/4>\" or \"1 0.5 0.25\"\n";
   return 2;
+}
+
+/// Runs one parsed command line (without --metrics).  `journal_path` is the
+/// --journal value ("" = none).  Throws std::invalid_argument on malformed
+/// arguments; returns usage() on missing ones.
+int dispatch(const std::vector<std::string>& args, const std::string& journal_path) {
+  if (args.size() < 2) return usage();
+  const std::string& command = args[0];
+
+  if (command == "resume") {
+    // Reopen the journal, recover the original invocation from its header,
+    // and re-dispatch it with the journal attached.  Already-finished cells
+    // replay from the journal; only the missing ones are computed.
+    std::string invocation;
+    {
+      const runner::Journal journal = runner::Journal::open(args[1]);
+      invocation = journal.header().invocation;
+    }
+    if (invocation.empty()) {
+      throw std::invalid_argument("resume: journal records no invocation (not started by "
+                                  "a --journal run?)");
+    }
+    std::vector<std::string> inner;
+    std::size_t start = 0;
+    while (start <= invocation.size()) {
+      const std::size_t end = invocation.find('\n', start);
+      inner.push_back(invocation.substr(start, end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    if (inner.empty() || inner[0] == "resume") {
+      throw std::invalid_argument("resume: journal carries an unusable invocation");
+    }
+    return dispatch(inner, args[1]);
+  }
+
+  const core::Profile first = core::parse_profile(args[1]);
+  if (command == "power") {
+    return cmd_power(first);
+  }
+  if (command == "plan" && args.size() >= 3) {
+    return cmd_plan(first, std::stod(args[2]));
+  }
+  if (command == "rent" && args.size() >= 3) {
+    return cmd_rent(first, std::stod(args[2]));
+  }
+  if (command == "compare" && args.size() >= 3) {
+    return cmd_compare(first, core::parse_profile(args[2]));
+  }
+  if (command == "upgrade" && args.size() >= 3) {
+    return cmd_upgrade(first, std::stod(args[2]));
+  }
+  if (command == "obs" && args.size() >= 3) {
+    return cmd_obs(first, std::stod(args[2]),
+                   args.size() >= 4 ? args[3] : std::string{"hetero_trace.json"});
+  }
+  if (command == "faults" && args.size() >= 3) {
+    // The invocation recorded for `resume`: exactly these args, one per line.
+    std::string invocation;
+    for (const std::string& a : args) {
+      if (!invocation.empty()) invocation += '\n';
+      invocation += a;
+    }
+    return cmd_faults(first, std::stod(args[2]), args.size() >= 4 ? std::stoull(args[3]) : 7u,
+                      journal_path, invocation);
+  }
+  return usage();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global --metrics flag wherever it appears.
+  // Strip the global --metrics and --journal <path> flags wherever they
+  // appear.
   std::vector<std::string> args;
+  std::string journal_path;
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --journal needs a path\n";
+        return usage();
+      }
+      journal_path = argv[++i];
     } else {
       args.emplace_back(argv[i]);
     }
   }
-  if (args.size() < 2) return usage();
   int status = 2;
   try {
-    const std::string& command = args[0];
-    const core::Profile first = core::parse_profile(args[1]);
-    if (command == "power") {
-      status = cmd_power(first);
-    } else if (command == "plan" && args.size() >= 3) {
-      status = cmd_plan(first, std::stod(args[2]));
-    } else if (command == "rent" && args.size() >= 3) {
-      status = cmd_rent(first, std::stod(args[2]));
-    } else if (command == "compare" && args.size() >= 3) {
-      status = cmd_compare(first, core::parse_profile(args[2]));
-    } else if (command == "upgrade" && args.size() >= 3) {
-      status = cmd_upgrade(first, std::stod(args[2]));
-    } else if (command == "obs" && args.size() >= 3) {
-      status = cmd_obs(first, std::stod(args[2]),
-                       args.size() >= 4 ? args[3] : std::string{"hetero_trace.json"});
-    } else if (command == "faults" && args.size() >= 3) {
-      status = cmd_faults(first, std::stod(args[2]),
-                          args.size() >= 4 ? std::stoull(args[3]) : 7u);
-    } else {
-      return usage();
-    }
+    status = dispatch(args, journal_path);
+  } catch (const std::invalid_argument& error) {
+    // Malformed arguments (unparsable profile/number, unusable journal):
+    // report, remind, and exit non-zero.
+    std::cerr << "error: " << error.what() << '\n';
+    return usage();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

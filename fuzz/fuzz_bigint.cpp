@@ -1,0 +1,37 @@
+// libFuzzer target: BigInt string parsing must never crash, and every
+// accepted input must round-trip through its canonical text form.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "hetero/numeric/bigint.h"
+
+using hetero::numeric::BigInt;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+
+  BigInt value;
+  try {
+    value = BigInt::from_string(text);
+  } catch (const std::invalid_argument&) {
+    return 0;  // rejected inputs are fine — they just must not crash
+  }
+
+  // Accepted input: to_string is canonical and parse/print is a fixpoint.
+  const std::string canonical = value.to_string();
+  const BigInt reparsed = BigInt::from_string(canonical);
+  if (reparsed != value) __builtin_trap();
+  if (reparsed.to_string() != canonical) __builtin_trap();
+
+  // Canonical text never has leading zeros (other than "0" itself) and only
+  // a leading '-' as sign.
+  std::string_view digits{canonical};
+  if (!digits.empty() && digits.front() == '-') digits.remove_prefix(1);
+  if (digits.empty()) __builtin_trap();
+  if (digits.size() > 1 && digits.front() == '0') __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// libFuzzer target: Rational construction from fuzzed numerator/denominator
+// strings — reduction invariants and to_string round-trips.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "hetero/numeric/bigint.h"
+#include "hetero/numeric/rational.h"
+
+using hetero::numeric::BigInt;
+using hetero::numeric::Rational;
+
+namespace {
+
+/// Re-parse a Rational's canonical "num/den" (or "num") text.
+Rational parse_rational(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Rational{BigInt::from_string(text), BigInt::from_integral_double(1.0)};
+  }
+  return Rational{BigInt::from_string(text.substr(0, slash)),
+                  BigInt::from_string(text.substr(slash + 1))};
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  // Split the input into numerator and denominator at the first NUL.
+  const std::string_view text{reinterpret_cast<const char*>(data), size};
+  const std::size_t cut = text.find('\0');
+  const std::string_view num_text = text.substr(0, cut);
+  const std::string_view den_text =
+      cut == std::string_view::npos ? std::string_view{} : text.substr(cut + 1);
+
+  Rational value;
+  try {
+    value = Rational{BigInt::from_string(num_text), BigInt::from_string(den_text)};
+  } catch (const std::invalid_argument&) {
+    return 0;  // unparsable component — must not crash
+  } catch (const std::domain_error&) {
+    return 0;  // zero denominator
+  }
+
+  // The printed form parses back to an equal value, and printing is a
+  // fixpoint (the constructor reduces to lowest terms with positive
+  // denominator, so canonical text is unique per value).
+  const std::string canonical = value.to_string();
+  Rational reparsed;
+  try {
+    reparsed = parse_rational(canonical);
+  } catch (const std::invalid_argument&) {
+    __builtin_trap();  // canonical output must always be parsable
+  }
+  if (reparsed != value) __builtin_trap();
+  if (reparsed.to_string() != canonical) __builtin_trap();
+
+  // Basic arithmetic sanity on the accepted value: x - x == 0, x * 1 == x.
+  if (value - value != Rational{0}) __builtin_trap();
+  if (value * Rational{1} != value) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#pragma once
+
+// Exponential backoff schedule shared by everything that retries: the
+// runner's work-unit retry loop and the simulated RetryPolicy's detection
+// windows use the same arithmetic (initial * multiplier^attempt) so the two
+// retry regimes — wall-clock and simulated-time — cannot drift apart.
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+namespace hetero::core {
+
+/// delay(k) = initial * multiplier^k, capped at `max_delay` (0 = uncapped).
+/// `max_retries` bounds how many retries a loop should grant; the schedule
+/// itself is pure arithmetic and holds no state.
+struct Backoff {
+  double initial = 1.0;      ///< first-retry delay (units are the caller's)
+  double multiplier = 2.0;   ///< growth per attempt; >= 1
+  std::size_t max_retries = 2;
+  double max_delay = 0.0;    ///< cap on any single delay; 0 disables the cap
+
+  /// Throws std::invalid_argument on a nonsensical schedule.
+  void validate() const {
+    if (!(initial >= 0.0)) throw std::invalid_argument("Backoff: negative initial delay");
+    if (!(multiplier >= 1.0)) throw std::invalid_argument("Backoff: multiplier below 1");
+    if (!(max_delay >= 0.0)) throw std::invalid_argument("Backoff: negative max_delay");
+  }
+
+  /// Delay before retry number `attempt` (0-based: delay(0) == initial).
+  [[nodiscard]] double delay(std::size_t attempt) const noexcept {
+    const double raw = initial * std::pow(multiplier, static_cast<double>(attempt));
+    return (max_delay > 0.0 && raw > max_delay) ? max_delay : raw;
+  }
+
+  /// True when `attempt` retries have been spent and no more are allowed.
+  [[nodiscard]] bool exhausted(std::size_t attempt) const noexcept {
+    return attempt >= max_retries;
+  }
+
+  /// Total delay across all granted retries (diagnostics/tests).
+  [[nodiscard]] double total_delay() const noexcept {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < max_retries; ++k) sum += delay(k);
+    return sum;
+  }
+};
+
+}  // namespace hetero::core

@@ -1,0 +1,101 @@
+#pragma once
+
+// Cooperative cancellation with deadline propagation.
+//
+// A CancelSource owns a shared stop flag; CancelTokens are cheap copies that
+// observers poll (one relaxed atomic load) or check (throws the typed
+// taxonomy error).  Tokens also carry an optional wall-clock deadline, and
+// with_deadline() derives a child token that keeps the parent's stop flag —
+// cancelling the source cancels every derived token, while each child can
+// tighten (never loosen) the deadline.  This is the shape the runner threads
+// through ThreadPool::submit and parallel_for: one source per run, one
+// deadline per task.
+//
+// A default-constructed CancelToken is inert (never cancelled, no deadline)
+// and costs nothing to poll, so APIs can take a token unconditionally.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "hetero/core/errors.h"
+
+namespace hetero::core {
+
+class CancelToken;
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+};
+}  // namespace detail
+
+/// Shared view of a cancellation request plus an optional deadline.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Inert token: never cancelled, never expires.
+  CancelToken() = default;
+
+  /// True when the source was cancelled (one relaxed load; deadline not
+  /// consulted — polling must stay clock-free for hot loops).
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return state_ && state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// True when a deadline is set and has passed (reads the clock).
+  [[nodiscard]] bool expired() const noexcept {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
+  [[nodiscard]] Clock::time_point deadline() const noexcept { return deadline_; }
+
+  /// Throws Cancelled / DeadlineExceeded when the token has fired.
+  void check() const {
+    if (stop_requested()) throw Cancelled{};
+    if (expired()) throw DeadlineExceeded{};
+  }
+
+  /// Child token sharing the stop flag with a deadline no later than
+  /// `deadline` (an existing earlier deadline is kept).
+  [[nodiscard]] CancelToken with_deadline(Clock::time_point deadline) const {
+    CancelToken child = *this;
+    if (!child.has_deadline_ || deadline < child.deadline_) {
+      child.has_deadline_ = true;
+      child.deadline_ = deadline;
+    }
+    return child;
+  }
+
+  /// Child token expiring `timeout` from now (see with_deadline).
+  [[nodiscard]] CancelToken with_timeout(Clock::duration timeout) const {
+    return with_deadline(Clock::now() + timeout);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<detail::CancelState> state) : state_{std::move(state)} {}
+
+  std::shared_ptr<detail::CancelState> state_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+/// Owner of the stop flag.  Copyable handles share one flag.
+class CancelSource {
+ public:
+  CancelSource() : state_{std::make_shared<detail::CancelState>()} {}
+
+  void cancel() noexcept { state_->cancelled.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CancelToken token() const { return CancelToken{state_}; }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+}  // namespace hetero::core

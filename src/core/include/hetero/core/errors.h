@@ -1,0 +1,92 @@
+#pragma once
+
+// Error taxonomy shared by the runner, the thread pool, and the simulated
+// retry machinery: every failure is either *retryable* (a transient
+// condition — retrying the same operation can succeed) or *fatal* (retrying
+// deterministically fails again).  The split is what lets one generic retry
+// loop (runner::run_units) and the simulator's RetryPolicy agree on which
+// failures are worth backing off on.
+//
+// All typed errors derive from std::runtime_error so existing catch sites
+// keep working; is_retryable() classifies foreign exceptions conservatively
+// as fatal (retrying an unknown failure hides bugs).
+
+#include <stdexcept>
+#include <string>
+
+namespace hetero::core {
+
+enum class ErrorClass {
+  kRetryable,  ///< transient — a retry of the identical operation may succeed
+  kFatal,      ///< deterministic — retrying cannot help
+  kCancelled,  ///< the caller asked to stop — never retried, not a failure
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorClass c) noexcept {
+  switch (c) {
+    case ErrorClass::kRetryable: return "retryable";
+    case ErrorClass::kFatal: return "fatal";
+    case ErrorClass::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+/// Base of the typed taxonomy: a runtime_error that knows its class.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorClass error_class, const std::string& what)
+      : std::runtime_error(what), class_{error_class} {}
+
+  [[nodiscard]] ErrorClass error_class() const noexcept { return class_; }
+
+ private:
+  ErrorClass class_;
+};
+
+/// ThreadPool::submit raced a shutdown: the pool no longer accepts tasks.
+/// Retryable in principle — on a *different* pool; a retry loop that owns
+/// its pool should treat the pool's death as the end of the run, which is
+/// why the class is kCancelled (the pool was told to stop) rather than
+/// kRetryable.
+class PoolStopped : public Error {
+ public:
+  PoolStopped() : Error(ErrorClass::kCancelled, "ThreadPool::submit: pool is shutting down") {}
+};
+
+/// A cooperative cancellation request was observed (CancelToken::check).
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what = "operation cancelled")
+      : Error(ErrorClass::kCancelled, what) {}
+};
+
+/// A deadline attached to a CancelToken or a work unit expired.
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what = "deadline exceeded")
+      : Error(ErrorClass::kCancelled, what) {}
+};
+
+/// Transient environmental failure (wedged I/O, resource pressure) the
+/// caller explicitly marked as worth retrying with backoff.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(ErrorClass::kRetryable, what) {}
+};
+
+/// A journal/config mismatch, corrupt record, or other unrecoverable state.
+class FatalError : public Error {
+ public:
+  explicit FatalError(const std::string& what) : Error(ErrorClass::kFatal, what) {}
+};
+
+[[nodiscard]] inline ErrorClass classify(const std::exception& error) noexcept {
+  if (const auto* typed = dynamic_cast<const Error*>(&error)) return typed->error_class();
+  return ErrorClass::kFatal;  // unknown failures are not retried
+}
+
+[[nodiscard]] inline bool is_retryable(const std::exception& error) noexcept {
+  return classify(error) == ErrorClass::kRetryable;
+}
+
+}  // namespace hetero::core

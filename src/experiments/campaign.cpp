@@ -11,13 +11,58 @@
 #include "hetero/obs/scope.h"
 #include "hetero/protocol/fifo.h"
 #include "hetero/random/rng.h"
+#include "hetero/runner/codec.h"
 #include "hetero/sim/worksharing.h"
 
 namespace hetero::experiments {
 
-CampaignResult run_campaign(const std::vector<double>& speeds, const core::Environment& env,
-                            const CampaignConfig& config,
-                            const std::vector<CampaignFailure>& failures) {
+namespace {
+
+void encode_fault_stats(runner::FieldWriter& w, const sim::FaultStats& s) {
+  w.add_u64(s.crashes);
+  w.add_u64(s.stalls);
+  w.add_u64(s.slowdown_onsets);
+  w.add_u64(s.messages_lost);
+  w.add_u64(s.messages_delayed);
+  w.add_u64(s.retries);
+  w.add_u64(s.timeouts);
+  w.add_u64(s.detections.size());
+  for (const sim::Detection& d : s.detections) {
+    w.add_double(d.at);
+    w.add_u64(d.machine);
+    w.add_u64(static_cast<std::uint64_t>(d.kind));
+    w.add_double(d.factor);
+  }
+  w.add_doubles(s.recovery_latencies);
+}
+
+sim::FaultStats decode_fault_stats(runner::FieldReader& r) {
+  sim::FaultStats s;
+  s.crashes = r.u64();
+  s.stalls = r.u64();
+  s.slowdown_onsets = r.u64();
+  s.messages_lost = r.u64();
+  s.messages_delayed = r.u64();
+  s.retries = r.u64();
+  s.timeouts = r.u64();
+  const std::uint64_t detections = r.u64();
+  s.detections.reserve(detections);
+  for (std::uint64_t i = 0; i < detections; ++i) {
+    sim::Detection d;
+    d.at = r.d();
+    d.machine = r.u64();
+    d.kind = static_cast<sim::DetectionKind>(r.u64());
+    d.factor = r.d();
+    s.detections.push_back(d);
+  }
+  r.doubles(s.recovery_latencies);
+  return s;
+}
+
+CampaignResult run_campaign_impl(const std::vector<double>& speeds, const core::Environment& env,
+                                 const CampaignConfig& config,
+                                 const std::vector<CampaignFailure>& failures,
+                                 runner::RunContext* ctx) {
   HETERO_OBS_SCOPE("experiments.campaign");
   if (speeds.empty()) throw std::invalid_argument("run_campaign: empty fleet");
   if (!(config.round_length > 0.0) || !(config.total_time > 0.0) ||
@@ -48,9 +93,34 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
   CampaignResult result;
   result.ideal_work = core::work_production(config.total_time, core::Profile{speeds}, env);
 
+  runner::Journal* journal = ctx != nullptr ? ctx->journal : nullptr;
+
   const auto rounds = static_cast<std::size_t>(config.total_time / config.round_length);
   std::vector<bool> alive(speeds.size(), true);
   for (std::size_t round = 0; round < rounds; ++round) {
+    if (ctx != nullptr) ctx->cancel.check();
+    const std::string round_key = "round:" + std::to_string(round);
+    if (journal != nullptr) {
+      if (const std::string* payload = journal->find(round_key)) {
+        // Replay: the journaled record carries everything a finished round
+        // contributed — work, post-round fleet, fault delta — so the
+        // simulation is skipped and the campaign state lands exactly where
+        // the interrupted run left it.
+        runner::FieldReader r{*payload};
+        const double round_work = r.d();
+        if (r.u64() != speeds.size()) {
+          throw core::FatalError{"run_campaign: journaled fleet size mismatch"};
+        }
+        for (std::size_t m = 0; m < speeds.size(); ++m) alive[m] = r.u64() != 0;
+        const sim::FaultStats delta = decode_fault_stats(r);
+        r.expect_done();
+        result.faults.merge(delta);
+        result.work_by_round.push_back(round_work);
+        result.completed_work += round_work;
+        ++result.rounds;
+        continue;
+      }
+    }
     HETERO_OBS_SCOPE("experiments.round");
     const double round_start = static_cast<double>(round) * config.round_length;
 
@@ -88,7 +158,11 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
     const auto episode = sim::simulate_worksharing(
         fleet, env, allocations, protocol::ProtocolOrders::fifo(fleet.size()), options);
     const double round_work = episode.completed_work(config.round_length);
-    result.faults.merge(episode.faults, round_start);
+    // The round's fault contribution, shifted into campaign-absolute time —
+    // the exact value a replayed record reproduces.
+    sim::FaultStats delta;
+    delta.merge(episode.faults, round_start);
+    result.faults.merge(delta);
     result.work_by_round.push_back(round_work);
     result.completed_work += round_work;
     ++result.rounds;
@@ -112,6 +186,15 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
         alive[fleet_ids[k]] = false;
       }
     }
+
+    if (journal != nullptr) {
+      runner::FieldWriter w;
+      w.add_double(round_work);
+      w.add_u64(speeds.size());
+      for (std::size_t m = 0; m < speeds.size(); ++m) w.add_u64(alive[m] ? 1 : 0);
+      encode_fault_stats(w, delta);
+      journal->append(round_key, w.str());
+    }
   }
   for (bool a : alive) {
     if (!a) ++result.machines_lost;
@@ -129,6 +212,54 @@ CampaignResult run_campaign(const std::vector<double>& speeds, const core::Envir
     ideal.add(result.ideal_work);
   }
   return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const std::vector<double>& speeds, const core::Environment& env,
+                            const CampaignConfig& config,
+                            const std::vector<CampaignFailure>& failures) {
+  return run_campaign_impl(speeds, env, config, failures, nullptr);
+}
+
+CampaignResult run_campaign(const std::vector<double>& speeds, const core::Environment& env,
+                            const CampaignConfig& config,
+                            const std::vector<CampaignFailure>& failures,
+                            runner::RunContext& ctx) {
+  return run_campaign_impl(speeds, env, config, failures, &ctx);
+}
+
+runner::JournalHeader campaign_journal_header(const std::vector<double>& speeds,
+                                              const core::Environment& env,
+                                              const CampaignConfig& config,
+                                              const std::vector<CampaignFailure>& failures) {
+  runner::FieldWriter w;
+  w.add_doubles(speeds);
+  w.add_double(env.tau());
+  w.add_double(env.pi());
+  w.add_double(env.delta());
+  w.add_double(config.total_time);
+  w.add_double(config.round_length);
+  w.add_double(config.message_latency);
+  w.add_double(config.fault_model.crash_rate);
+  w.add_double(config.fault_model.stall_rate);
+  w.add_double(config.fault_model.stall_duration);
+  w.add_double(config.fault_model.straggler_probability);
+  w.add_double(config.fault_model.straggler_factor);
+  w.add_double(config.fault_model.message_loss_probability);
+  w.add_double(config.fault_model.message_delay_probability);
+  w.add_double(config.fault_model.message_delay);
+  w.add_u64(config.fault_model.message_ordinals);
+  w.add_u64(failures.size());
+  for (const CampaignFailure& f : failures) {
+    w.add_u64(f.machine);
+    w.add_double(f.time);
+  }
+  runner::JournalHeader header;
+  header.tool = "campaign";
+  header.seed = config.fault_seed;
+  header.fingerprint = runner::fingerprint_of(w.str());
+  return header;
 }
 
 std::vector<CampaignFailure> exponential_failures(std::size_t machines, double rate,

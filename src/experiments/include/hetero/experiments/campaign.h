@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hetero/core/environment.h"
+#include "hetero/runner/runner.h"
 #include "hetero/sim/fault.h"
 
 namespace hetero::experiments {
@@ -61,6 +62,25 @@ struct CampaignResult {
                                           const core::Environment& env,
                                           const CampaignConfig& config,
                                           const std::vector<CampaignFailure>& failures);
+
+/// Robust overload.  Rounds are inherently sequential (each plans over the
+/// fleet the previous round left alive), so ctx.pool is not used; instead
+/// each finished round is journaled — round work, post-round alive bitmap,
+/// and the round's fault-stat delta, all bit-exact — and ctx.cancel is
+/// polled between rounds.  On resume the journaled round prefix is replayed
+/// instead of re-simulated, and the campaign continues from the exact fleet
+/// state the interrupted run reached.
+[[nodiscard]] CampaignResult run_campaign(const std::vector<double>& speeds,
+                                          const core::Environment& env,
+                                          const CampaignConfig& config,
+                                          const std::vector<CampaignFailure>& failures,
+                                          runner::RunContext& ctx);
+
+/// Journal identity for a campaign (fingerprint covers fleet, env, config,
+/// and the explicit failure list; seed = config.fault_seed).
+[[nodiscard]] runner::JournalHeader campaign_journal_header(
+    const std::vector<double>& speeds, const core::Environment& env,
+    const CampaignConfig& config, const std::vector<CampaignFailure>& failures);
 
 /// Draws i.i.d. exponential crash times (rate = per-machine failures per
 /// unit time); machines whose draw lands beyond the horizon never crash.

@@ -10,6 +10,7 @@
 
 #include "hetero/core/hetero.h"
 #include "hetero/parallel/thread_pool.h"
+#include "hetero/runner/runner.h"
 #include "hetero/stats/moments.h"
 
 namespace hetero::experiments {
@@ -26,6 +27,17 @@ struct HecrRow {
 /// Reproduces Table 3 for the given cluster sizes (the paper uses 8/16/32).
 [[nodiscard]] std::vector<HecrRow> hecr_table(const std::vector<std::size_t>& sizes,
                                               const core::Environment& env);
+
+/// Robust overload: one runner work unit per cluster size — journaled,
+/// cancellable, and speculative via ctx.  Rows are bit-identical to the
+/// plain overload's (each row is a pure function of its size).
+[[nodiscard]] std::vector<HecrRow> hecr_table(const std::vector<std::size_t>& sizes,
+                                              const core::Environment& env,
+                                              runner::RunContext& ctx);
+
+/// Journal identity for the Table-3 run (fingerprint covers sizes + env).
+[[nodiscard]] runner::JournalHeader hecr_journal_header(const std::vector<std::size_t>& sizes,
+                                                        const core::Environment& env);
 
 // ---------------------------------------------------------------- Table 4
 
@@ -82,6 +94,20 @@ struct VariancePredictorResult {
     std::size_t n, std::size_t trials, std::uint64_t seed, const core::Environment& env,
     parallel::ThreadPool& pool);
 
+/// Robust overload: trials run as `batch_size`-trial work units whose
+/// partials (counts + raw moment states) are journaled bit-exactly and
+/// reduced in batch order, so an interrupted run resumes to the exact
+/// aggregates an uninterrupted run produces.  Trial seeds depend only on
+/// (seed, trial index), never on batch boundaries or execution order.
+[[nodiscard]] VariancePredictorResult variance_predictor_experiment(
+    std::size_t n, std::size_t trials, std::uint64_t seed, const core::Environment& env,
+    runner::RunContext& ctx, std::size_t batch_size = 1024);
+
+/// Journal identity for the Section-4.3(a) run.
+[[nodiscard]] runner::JournalHeader variance_predictor_journal_header(
+    std::size_t n, std::size_t trials, std::uint64_t seed, const core::Environment& env,
+    std::size_t batch_size = 1024);
+
 // -------------------------------------------------------- Section 4.3 (b)
 
 struct ThresholdBin {
@@ -108,6 +134,19 @@ struct ThresholdSearchResult {
 [[nodiscard]] ThresholdSearchResult variance_threshold_search(
     std::size_t n, std::size_t trials_per_bin, std::size_t bins, double gap_max,
     std::uint64_t seed, const core::Environment& env, parallel::ThreadPool& pool);
+
+/// Robust overload: trial batches journal integer per-bin (trials, correct)
+/// deltas; integer sums are order-independent, so resumed and uninterrupted
+/// runs agree exactly.
+[[nodiscard]] ThresholdSearchResult variance_threshold_search(
+    std::size_t n, std::size_t trials_per_bin, std::size_t bins, double gap_max,
+    std::uint64_t seed, const core::Environment& env, runner::RunContext& ctx,
+    std::size_t batch_size = 1024);
+
+/// Journal identity for the Section-4.3(b) run.
+[[nodiscard]] runner::JournalHeader variance_threshold_journal_header(
+    std::size_t n, std::size_t trials_per_bin, std::size_t bins, double gap_max,
+    std::uint64_t seed, const core::Environment& env, std::size_t batch_size = 1024);
 
 // ------------------------------------------------------------- Theorem 1
 

@@ -18,6 +18,7 @@
 
 #include "hetero/core/environment.h"
 #include "hetero/protocol/reactive.h"
+#include "hetero/runner/runner.h"
 #include "hetero/sim/fault.h"
 
 namespace hetero::experiments {
@@ -55,7 +56,31 @@ struct FaultSweepResult {
                                                const core::Environment& env,
                                                const FaultSweepConfig& config);
 
+/// Robust overload: each grid cell is one runner work unit — parallel over
+/// ctx.pool (serial when null), checkpointed into ctx.journal, cancellable
+/// via ctx.cancel, and speculatively re-executed when a cell straggles past
+/// the p95 of completed cells.  Cell arithmetic is shared with the plain
+/// overload, so the result is bit-identical to a serial run, and a journaled
+/// run interrupted at any instant resumes exactly (same RNG substreams —
+/// cell seeds depend only on (config.seed, cell index)).
+[[nodiscard]] FaultSweepResult run_fault_sweep(std::span<const double> speeds,
+                                               const core::Environment& env,
+                                               const FaultSweepConfig& config,
+                                               runner::RunContext& ctx);
+
+/// Journal identity for this sweep configuration: fingerprint covers the
+/// fleet, environment, grid, trials, and seed (all doubles by bit pattern),
+/// so open_or_resume refuses to resume under a different experiment.
+[[nodiscard]] runner::JournalHeader fault_sweep_journal_header(
+    std::span<const double> speeds, const core::Environment& env,
+    const FaultSweepConfig& config);
+
 /// Fixed-width text table of the sweep (for heteroctl and reports).
 [[nodiscard]] std::string format_fault_sweep(const FaultSweepResult& result);
+
+/// CSV of the sweep (stable header + %.17g values, so equal results always
+/// serialize to byte-identical text — the golden kill-and-resume test
+/// compares these bytes).
+[[nodiscard]] std::string fault_sweep_csv(const FaultSweepResult& result);
 
 }  // namespace hetero::experiments

@@ -57,13 +57,29 @@ void drain(std::vector<Future>& pending) {
 template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, const Body& body,
                   const ChunkingOptions& options = ChunkingOptions{}) {
+  parallel_for(pool, begin, end, body, core::CancelToken{}, options);
+}
+
+/// parallel_for with cooperative cancellation: the token is checked before
+/// every iteration (one relaxed load) and its deadline every 64 iterations
+/// (a clock read), so a fired token stops the loop within one body call per
+/// worker.  The caller sees core::Cancelled / core::DeadlineExceeded.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end, const Body& body,
+                  core::CancelToken token, const ChunkingOptions& options = ChunkingOptions{}) {
   const auto ranges = chunk_ranges(begin, end, pool.thread_count(), options);
   std::vector<std::future<void>> pending;
   pending.reserve(ranges.size());
   for (const auto& [lo, hi] : ranges) {
-    pending.push_back(pool.submit([lo = lo, hi = hi, &body]() {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+    pending.push_back(pool.submit(
+        [lo = lo, hi = hi, &body, token]() {
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (token.stop_requested()) token.check();
+            if (((i - lo) & 63u) == 0 && token.expired()) token.check();
+            body(i);
+          }
+        },
+        token));
   }
   detail::drain(pending);
 }

@@ -8,12 +8,24 @@
 // because tasks here are coarse (whole trial batches), so queue contention
 // is negligible and correctness is easy to audit.
 //
+// Robustness semantics (the runner layer builds on these):
+//   * submit() throws the typed core::PoolStopped once shutdown has begun,
+//     so racing producers can tell "pool is gone" apart from task failures;
+//   * submit(task, token) attaches a cooperative core::CancelToken — a task
+//     whose token has fired by the time a worker dequeues it is not run and
+//     its future reports core::Cancelled / core::DeadlineExceeded instead;
+//   * the destructor's ShutdownMode picks between draining every queued
+//     task (kDrain, the historical behaviour) and discarding tasks that
+//     have not started (kCancelPending) — discarded tasks report
+//     core::Cancelled through their futures, never a broken promise.
+//
 // Instrumentation (hetero::obs, compiled out with -DHETERO_OBS_ENABLED=OFF):
 //   parallel.tasks            tasks completed (counter)
 //   parallel.task_wait_us     submit → dequeue latency (histogram)
 //   parallel.task_run_us      task execution time (histogram)
 //   parallel.worker_busy_ns   total busy nanoseconds across workers (counter)
 //   parallel.queue_depth_hwm  deepest the queue has been (gauge)
+//   runner.tasks_cancelled    tasks skipped because their token fired
 // Tasks are coarse, so two steady_clock reads per task are noise.
 
 #include <condition_variable>
@@ -26,37 +38,79 @@
 #include <thread>
 #include <vector>
 
+#include "hetero/core/cancel.h"
+#include "hetero/core/errors.h"
 #include "hetero/obs/metrics.h"
 #include "hetero/obs/scope.h"
 
 namespace hetero::parallel {
 
+/// What the destructor does with tasks still waiting in the queue.
+enum class ShutdownMode {
+  kDrain,          ///< run every submitted task, then join (default)
+  kCancelPending,  ///< discard queued tasks (futures see core::Cancelled), join
+};
+
 /// Fixed-size pool of worker threads consuming a FIFO task queue.
-/// Destruction drains the queue (all submitted tasks run) and joins.
 class ThreadPool {
  public:
   /// threads == 0 selects the hardware concurrency (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  explicit ThreadPool(std::size_t threads = 0, ShutdownMode shutdown = ShutdownMode::kDrain);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+  [[nodiscard]] ShutdownMode shutdown_mode() const noexcept { return shutdown_; }
 
   /// Enqueues a task; returns a future for its result.  Exceptions thrown by
-  /// the task surface through the future.  Throws std::runtime_error if the
-  /// pool is shutting down.
+  /// the task surface through the future.  Throws core::PoolStopped (typed,
+  /// ErrorClass::kCancelled) if the pool is shutting down.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    return submit(std::forward<F>(task), core::CancelToken{});
+  }
+
+  /// submit() with a cooperative cancellation token: if the token has fired
+  /// by the time a worker picks the task up, the task body never runs and
+  /// the future reports the token's error (core::Cancelled or
+  /// core::DeadlineExceeded).  Cancellation after the task has started is
+  /// the task's own responsibility (poll token.stop_requested()).
+  template <typename F>
+  auto submit(F&& task, core::CancelToken token) -> std::future<std::invoke_result_t<F>> {
     using Result = std::invoke_result_t<F>;
-    auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
-    std::future<Result> future = packaged->get_future();
-    QueuedTask queued{[packaged]() { (*packaged)(); }, 0};
+    auto promise = std::make_shared<std::promise<Result>>();
+    std::future<Result> future = promise->get_future();
+    QueuedTask queued{
+        [promise, task = std::forward<F>(task), token = std::move(token)]() mutable {
+          try {
+            if (token.stop_requested() || token.expired()) {
+              if constexpr (obs::kEnabled) {
+                static obs::Counter& cancelled = obs::counter("runner.tasks_cancelled");
+                cancelled.add(1);
+              }
+              token.check();  // throws the precise taxonomy error
+            }
+            if constexpr (std::is_void_v<Result>) {
+              task();
+              promise->set_value();
+            } else {
+              promise->set_value(task());
+            }
+          } catch (...) {
+            promise->set_exception(std::current_exception());
+          }
+        },
+        [promise]() {
+          promise->set_exception(std::make_exception_ptr(
+              core::Cancelled{"task discarded by ThreadPool shutdown (kCancelPending)"}));
+        },
+        0};
     if constexpr (obs::kEnabled) queued.enqueue_ns = obs::SpanCollector::now_ns();
     {
       std::lock_guard lock{mutex_};
-      if (stopping_) throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+      if (stopping_) throw core::PoolStopped{};
       queue_.push_back(std::move(queued));
       if constexpr (obs::kEnabled) {
         if (queue_.size() > queue_depth_hwm_) queue_depth_hwm_ = queue_.size();
@@ -72,6 +126,7 @@ class ThreadPool {
  private:
   struct QueuedTask {
     std::function<void()> fn;
+    std::function<void()> abandon;  ///< reports core::Cancelled on the future
     std::uint64_t enqueue_ns = 0;
   };
 
@@ -85,6 +140,7 @@ class ThreadPool {
   std::size_t in_flight_ = 0;
   std::size_t queue_depth_hwm_ = 0;
   bool stopping_ = false;
+  ShutdownMode shutdown_ = ShutdownMode::kDrain;
 };
 
 }  // namespace hetero::parallel

@@ -4,7 +4,7 @@
 
 namespace hetero::parallel {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, ShutdownMode shutdown) : shutdown_{shutdown} {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -15,9 +15,20 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  std::deque<QueuedTask> discarded;
   {
     std::lock_guard lock{mutex_};
     stopping_ = true;
+    if (shutdown_ == ShutdownMode::kCancelPending) discarded.swap(queue_);
+  }
+  // Resolve discarded futures outside the lock: each reports core::Cancelled
+  // (not a broken promise), so waiters can distinguish "pool shut down" from
+  // "producer died".
+  for (QueuedTask& task : discarded) task.abandon();
+  if constexpr (obs::kEnabled) {
+    if (!discarded.empty()) {
+      obs::counter("runner.tasks_cancelled").add(discarded.size());
+    }
   }
   available_.notify_all();
   for (std::thread& worker : workers_) worker.join();

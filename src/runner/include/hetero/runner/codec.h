@@ -1,0 +1,106 @@
+#pragma once
+
+// Bit-exact payload codec for journal records.
+//
+// Resume correctness demands that an aggregate rebuilt from journaled work
+// units equals the uninterrupted run *bit for bit*, so doubles round-trip
+// through the journal as their IEEE-754 bit patterns (16 hex digits), never
+// through decimal formatting.  Payloads are flat sequences of
+// space-separated tokens — trivially greppable, no quoting, and cheap to
+// CRC — written by FieldWriter and consumed in the same order by
+// FieldReader (which throws core::FatalError on any malformation, so a
+// corrupt record can never be half-applied).
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hetero/core/errors.h"
+
+namespace hetero::runner {
+
+[[nodiscard]] inline std::string encode_double_bits(double value) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  auto bits = std::bit_cast<std::uint64_t>(value);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[bits & 0xf];
+    bits >>= 4;
+  }
+  return out;
+}
+
+[[nodiscard]] inline double decode_double_bits(std::string_view hex) {
+  if (hex.size() != 16) throw core::FatalError{"codec: bad double token '" + std::string(hex) + "'"};
+  std::uint64_t bits = 0;
+  for (char c : hex) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') bits |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else throw core::FatalError{"codec: bad hex digit in double token"};
+  }
+  return std::bit_cast<double>(bits);
+}
+
+/// Appends tokens; str() yields the payload.
+class FieldWriter {
+ public:
+  void add_u64(std::uint64_t value) { push(std::to_string(value)); }
+  void add_double(double value) { push(encode_double_bits(value)); }
+  template <typename Range>
+  void add_doubles(const Range& values) {
+    add_u64(static_cast<std::uint64_t>(values.size()));
+    for (double v : values) add_double(v);
+  }
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void push(const std::string& token) {
+    if (!out_.empty()) out_ += ' ';
+    out_ += token;
+  }
+  std::string out_;
+};
+
+/// Consumes tokens in writer order; throws core::FatalError on mismatch.
+class FieldReader {
+ public:
+  explicit FieldReader(std::string_view payload) : rest_{payload} {}
+
+  [[nodiscard]] std::uint64_t u64() {
+    const std::string_view token = next();
+    std::uint64_t value = 0;
+    if (token.empty()) throw core::FatalError{"codec: empty integer token"};
+    for (char c : token) {
+      if (c < '0' || c > '9') throw core::FatalError{"codec: bad integer token"};
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return value;
+  }
+  [[nodiscard]] double d() { return decode_double_bits(next()); }
+  template <typename Vec>
+  void doubles(Vec& out) {
+    const std::uint64_t n = u64();
+    out.clear();
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(d());
+  }
+  [[nodiscard]] bool done() const noexcept { return rest_.empty(); }
+  /// Call after decoding a full record; catches payload-length drift.
+  void expect_done() const {
+    if (!done()) throw core::FatalError{"codec: trailing tokens in payload"};
+  }
+
+ private:
+  [[nodiscard]] std::string_view next() {
+    if (rest_.empty()) throw core::FatalError{"codec: payload exhausted"};
+    const std::size_t space = rest_.find(' ');
+    std::string_view token = rest_.substr(0, space);
+    rest_ = space == std::string_view::npos ? std::string_view{} : rest_.substr(space + 1);
+    return token;
+  }
+  std::string_view rest_;
+};
+
+}  // namespace hetero::runner

@@ -1,0 +1,95 @@
+#pragma once
+
+// Crash-safe work-unit journal (JSONL, append-only).
+//
+// A long sweep is a sequence of deterministic work units (grid cells, trial
+// batches, campaign rounds).  The journal records each finished unit as one
+// JSON line — key, payload, CRC32 — after a durable append (write(2) with
+// O_APPEND, then fdatasync), so a SIGKILL/OOM/power-cut at any instant loses
+// at most the units still in flight.  The file itself is born atomically:
+// the versioned header line is written to a temporary, fsynced, and renamed
+// into place (and the directory fsynced), so a journal either exists with a
+// valid header or not at all.
+//
+// The header pins everything resume-correctness depends on: the format
+// version, the producing tool, the RNG seed, and a fingerprint of the full
+// configuration.  open_or_resume() refuses to resume a journal whose header
+// disagrees — resuming under a different config would silently mix
+// incompatible RNG substreams.
+//
+// Loading is tolerant of a torn tail: records are validated line by line
+// (CRC and shape) and loading stops at the first damaged line, keeping every
+// record before it.  A duplicate key keeps the first occurrence (the
+// earliest completed copy of a speculatively re-executed unit).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hetero::runner {
+
+/// CRC-32 (IEEE 802.3 polynomial) over `data`.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+/// Identity of a journal: what produced it and under which configuration.
+struct JournalHeader {
+  std::uint32_t version = 1;
+  std::string tool;         ///< producing driver, e.g. "fault_sweep"
+  std::uint64_t seed = 0;   ///< base RNG seed of the run
+  std::string fingerprint;  ///< canonical-config digest (hex), see fingerprint_of
+  std::string invocation;   ///< optional: original CLI args, for `heteroctl resume`
+};
+
+/// Convenience digest: crc32 of a caller-built canonical config string.
+[[nodiscard]] std::string fingerprint_of(std::string_view canonical_config);
+
+class Journal {
+ public:
+  Journal(Journal&&) noexcept;
+  Journal& operator=(Journal&&) noexcept;
+  ~Journal();
+
+  /// Creates a fresh journal at `path` (atomic tmp → fsync → rename).
+  /// Throws core::FatalError if the file exists or on I/O failure.
+  [[nodiscard]] static Journal create(const std::string& path, const JournalHeader& header);
+
+  /// Opens an existing journal, validating the header and every record;
+  /// damaged-tail lines are dropped (see dropped_records()).
+  [[nodiscard]] static Journal open(const std::string& path);
+
+  /// open() when `path` exists (header must match `header` on version, tool,
+  /// seed, and fingerprint — throws core::FatalError otherwise), create()
+  /// when it does not.  The one call sweep drivers make.
+  [[nodiscard]] static Journal open_or_resume(const std::string& path,
+                                              const JournalHeader& header);
+
+  [[nodiscard]] const JournalHeader& header() const noexcept { return header_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Records already in the journal (key → payload), loaded at open.
+  [[nodiscard]] const std::map<std::string, std::string>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::string* find(const std::string& key) const noexcept;
+
+  /// Lines dropped at load time because of CRC/shape damage (torn tail).
+  [[nodiscard]] std::size_t dropped_records() const noexcept { return dropped_; }
+
+  /// Durably appends one record (thread-safe; serialized internally).
+  /// Keys and payloads must not contain newlines.
+  void append(const std::string& key, const std::string& payload);
+
+ private:
+  Journal() = default;
+
+  std::string path_;
+  JournalHeader header_;
+  std::map<std::string, std::string> records_;
+  std::size_t dropped_ = 0;
+  int fd_ = -1;
+  std::mutex append_mutex_;
+};
+
+}  // namespace hetero::runner

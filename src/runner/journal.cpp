@@ -1,0 +1,370 @@
+#include "hetero/runner/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "hetero/core/errors.h"
+#include "hetero/obs/metrics.h"
+
+namespace hetero::runner {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string to_hex(std::uint32_t value, std::size_t digits = 8) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(digits, '0');
+  for (std::size_t i = digits; i-- > 0;) {
+    out[i] = kHex[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += to_hex(static_cast<std::uint32_t>(static_cast<unsigned char>(c)), 2);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Strict scanner for the exact line shapes this file writes.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : rest_{line} {}
+
+  [[nodiscard]] bool literal(std::string_view expected) {
+    if (rest_.substr(0, expected.size()) != expected) return false;
+    rest_.remove_prefix(expected.size());
+    return true;
+  }
+
+  [[nodiscard]] bool quoted(std::string& out) {
+    out.clear();
+    if (rest_.empty() || rest_.front() != '"') return false;
+    rest_.remove_prefix(1);
+    while (!rest_.empty()) {
+      const char c = rest_.front();
+      rest_.remove_prefix(1);
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (rest_.empty()) return false;
+      const char esc = rest_.front();
+      rest_.remove_prefix(1);
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (rest_.size() < 4) return false;
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = rest_.front();
+            rest_.remove_prefix(1);
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else return false;
+          }
+          if (code > 0xff) return false;  // writer only emits control chars
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated string
+  }
+
+  [[nodiscard]] bool number(std::uint64_t& out) {
+    out = 0;
+    bool any = false;
+    while (!rest_.empty() && rest_.front() >= '0' && rest_.front() <= '9') {
+      out = out * 10 + static_cast<std::uint64_t>(rest_.front() - '0');
+      rest_.remove_prefix(1);
+      any = true;
+    }
+    return any;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return rest_.empty(); }
+
+ private:
+  std::string_view rest_;
+};
+
+std::uint32_t header_crc(const JournalHeader& header) {
+  std::string canonical = header.tool;
+  canonical += '\n';
+  canonical += std::to_string(header.seed);
+  canonical += '\n';
+  canonical += header.fingerprint;
+  canonical += '\n';
+  canonical += header.invocation;
+  return crc32(canonical);
+}
+
+std::string header_line(const JournalHeader& header) {
+  std::string line = "{\"hetero_journal\":" + std::to_string(header.version);
+  line += ",\"tool\":\"" + json_escape(header.tool);
+  line += "\",\"seed\":" + std::to_string(header.seed);
+  line += ",\"fingerprint\":\"" + json_escape(header.fingerprint);
+  line += "\",\"invocation\":\"" + json_escape(header.invocation);
+  line += "\",\"c\":\"" + to_hex(header_crc(header)) + "\"}\n";
+  return line;
+}
+
+bool parse_header(std::string_view line, JournalHeader& header) {
+  LineParser parser{line};
+  std::uint64_t version = 0;
+  std::string crc_hex;
+  std::uint64_t seed = 0;
+  if (!parser.literal("{\"hetero_journal\":") || !parser.number(version) ||
+      !parser.literal(",\"tool\":") || !parser.quoted(header.tool) ||
+      !parser.literal(",\"seed\":") || !parser.number(seed) ||
+      !parser.literal(",\"fingerprint\":") || !parser.quoted(header.fingerprint) ||
+      !parser.literal(",\"invocation\":") || !parser.quoted(header.invocation) ||
+      !parser.literal(",\"c\":") || !parser.quoted(crc_hex) || !parser.literal("}") ||
+      !parser.done()) {
+    return false;
+  }
+  header.version = static_cast<std::uint32_t>(version);
+  header.seed = seed;
+  return crc_hex == to_hex(header_crc(header));
+}
+
+std::uint32_t record_crc(std::string_view key, std::string_view payload) {
+  std::string canonical{key};
+  canonical += '\n';
+  canonical += payload;
+  return crc32(canonical);
+}
+
+std::string record_line(std::string_view key, std::string_view payload) {
+  std::string line = "{\"k\":\"" + json_escape(key);
+  line += "\",\"p\":\"" + json_escape(payload);
+  line += "\",\"c\":\"" + to_hex(record_crc(key, payload)) + "\"}\n";
+  return line;
+}
+
+bool parse_record(std::string_view line, std::string& key, std::string& payload) {
+  LineParser parser{line};
+  std::string crc_hex;
+  if (!parser.literal("{\"k\":") || !parser.quoted(key) || !parser.literal(",\"p\":") ||
+      !parser.quoted(payload) || !parser.literal(",\"c\":") || !parser.quoted(crc_hex) ||
+      !parser.literal("}") || !parser.done()) {
+    return false;
+  }
+  return crc_hex == to_hex(record_crc(key, payload));
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw core::FatalError{"journal: " + what + " '" + path + "': " + std::strerror(errno)};
+}
+
+void write_all(int fd, std::string_view data, const std::string& path) {
+  while (!data.empty()) {
+    const ::ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write failed", path);
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::string fingerprint_of(std::string_view canonical_config) {
+  return to_hex(crc32(canonical_config));
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_{std::move(other.path_)},
+      header_{std::move(other.header_)},
+      records_{std::move(other.records_)},
+      dropped_{other.dropped_},
+      fd_{std::exchange(other.fd_, -1)} {}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    header_ = std::move(other.header_);
+    records_ = std::move(other.records_);
+    dropped_ = other.dropped_;
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Journal Journal::create(const std::string& path, const JournalHeader& header) {
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) throw_io("cannot create", tmp);
+    try {
+      write_all(fd, header_line(header), tmp);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    ::fsync(fd);
+    ::close(fd);
+  }
+  // O_EXCL via link-style rename semantics: refuse to clobber an existing
+  // journal (resume must go through open()).
+  if (::access(path.c_str(), F_OK) == 0) {
+    ::unlink(tmp.c_str());
+    throw core::FatalError{"journal: '" + path + "' already exists (use open/open_or_resume)"};
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) throw_io("rename failed", path);
+  fsync_parent_dir(path);
+
+  Journal journal;
+  journal.path_ = path;
+  journal.header_ = header;
+  journal.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (journal.fd_ < 0) throw_io("cannot reopen", path);
+  return journal;
+}
+
+Journal Journal::open(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw core::FatalError{"journal: cannot open '" + path + "'"};
+  std::string line;
+  if (!std::getline(in, line)) throw core::FatalError{"journal: '" + path + "' is empty"};
+
+  Journal journal;
+  journal.path_ = path;
+  if (!parse_header(line, journal.header_)) {
+    throw core::FatalError{"journal: '" + path + "' has a corrupt or foreign header"};
+  }
+  if (journal.header_.version != 1) {
+    throw core::FatalError{"journal: '" + path + "' has unsupported version " +
+                           std::to_string(journal.header_.version)};
+  }
+  std::string key;
+  std::string payload;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!parse_record(line, key, payload)) {
+      // Torn tail (the crash interrupted an append): keep everything before
+      // it, count the rest as dropped, and stop — later lines cannot be
+      // trusted to be aligned.
+      ++journal.dropped_;
+      while (std::getline(in, line)) {
+        if (!line.empty()) ++journal.dropped_;
+      }
+      break;
+    }
+    journal.records_.emplace(key, payload);  // first occurrence wins
+  }
+  in.close();
+
+  journal.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (journal.fd_ < 0) throw_io("cannot open for append", path);
+  if constexpr (obs::kEnabled) {
+    obs::counter("runner.journal_records_loaded").add(journal.records_.size());
+    obs::counter("runner.journal_records_dropped").add(journal.dropped_);
+  }
+  return journal;
+}
+
+Journal Journal::open_or_resume(const std::string& path, const JournalHeader& header) {
+  if (::access(path.c_str(), F_OK) != 0) return create(path, header);
+  Journal journal = open(path);
+  const JournalHeader& found = journal.header();
+  if (found.version != header.version || found.tool != header.tool ||
+      found.seed != header.seed || found.fingerprint != header.fingerprint) {
+    throw core::FatalError{
+        "journal: '" + path + "' was produced by tool '" + found.tool + "' seed " +
+        std::to_string(found.seed) + " fingerprint " + found.fingerprint +
+        "; refusing to resume under tool '" + header.tool + "' seed " +
+        std::to_string(header.seed) + " fingerprint " + header.fingerprint};
+  }
+  return journal;
+}
+
+const std::string* Journal::find(const std::string& key) const noexcept {
+  const auto it = records_.find(key);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void Journal::append(const std::string& key, const std::string& payload) {
+  if (key.find('\n') != std::string::npos || payload.find('\n') != std::string::npos) {
+    throw core::FatalError{"journal: keys/payloads must be newline-free"};
+  }
+  const std::string line = record_line(key, payload);
+  {
+    std::lock_guard lock{append_mutex_};
+    if (fd_ < 0) throw core::FatalError{"journal: '" + path_ + "' is not open for append"};
+    write_all(fd_, line, path_);
+    ::fdatasync(fd_);
+    records_.emplace(key, payload);
+  }
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& appended = obs::counter("runner.journal_records_appended");
+    appended.add(1);
+  }
+}
+
+}  // namespace hetero::runner

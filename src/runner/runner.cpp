@@ -1,0 +1,347 @@
+#include "hetero/runner/runner.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <condition_variable>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "hetero/core/errors.h"
+#include "hetero/obs/metrics.h"
+
+namespace hetero::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Power-of-two duration ladder (the obs histogram bucket layout) for the
+/// watchdog's quantile threshold.  Kept runner-local — the obs registry
+/// compiles out under -DHETERO_OBS_ENABLED=OFF, and the speculation control
+/// loop must keep working in that build.
+struct DurationLadder {
+  std::array<std::uint64_t, obs::HistogramBuckets::kCount> buckets{};
+  std::uint64_t count = 0;
+
+  void record(double seconds) noexcept {
+    ++buckets[obs::HistogramBuckets::index_for(seconds)];
+    ++count;
+  }
+
+  /// Upper bound of the bucket holding the q-quantile (conservative: at most
+  /// one power of two above the true quantile).
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      seen += buckets[b];
+      if (seen >= std::max<std::uint64_t>(rank, 1)) {
+        return obs::HistogramBuckets::upper_bound(b);
+      }
+    }
+    return obs::HistogramBuckets::upper_bound(buckets.size() - 1);
+  }
+};
+
+struct UnitState {
+  bool needs_compute = false;
+  bool done = false;
+  bool started = false;
+  bool overdue_flagged = false;
+  std::size_t attempts = 0;
+  Clock::time_point first_start{};
+  std::string payload;
+  std::vector<core::CancelSource> attempt_sources;
+};
+
+struct RunState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<UnitState> units;
+  DurationLadder durations;
+  std::size_t remaining = 0;
+  std::exception_ptr error;
+  bool finishing = false;
+  std::vector<std::future<void>> futures;
+};
+
+std::string unit_key(std::string_view prefix, std::size_t unit) {
+  std::string key{prefix};
+  key += ':';
+  key += std::to_string(unit);
+  return key;
+}
+
+/// Runs compute with the shared backoff schedule on kRetryable failures.
+std::string compute_with_retries(
+    const RunContext& ctx, std::size_t unit, const core::CancelToken& token,
+    const std::function<std::string(std::size_t, const core::CancelToken&)>& compute,
+    std::size_t* retries_out) {
+  std::size_t attempt = 0;
+  for (;;) {
+    try {
+      return compute(unit, token);
+    } catch (const std::exception& error) {
+      if (!core::is_retryable(error) || ctx.retry.exhausted(attempt)) throw;
+      if (retries_out) ++*retries_out;
+      if constexpr (obs::kEnabled) {
+        static obs::Counter& retries = obs::counter("runner.retries");
+        retries.add(1);
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(ctx.retry.delay(attempt)));
+      ++attempt;
+      token.check();
+    }
+  }
+}
+
+void bump(const char* name, std::uint64_t n = 1) {
+  if constexpr (obs::kEnabled) {
+    obs::counter(name).add(n);
+  } else {
+    static_cast<void>(name);
+    static_cast<void>(n);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> run_units(
+    RunContext& ctx, std::string_view key_prefix, std::size_t count,
+    const std::function<std::string(std::size_t, const core::CancelToken&)>& compute,
+    RunStats* stats_out) {
+  RunStats stats;
+  stats.units_total = count;
+  std::vector<std::string> payloads(count);
+
+  // Resume: satisfy journaled units without recomputation.
+  std::vector<std::size_t> pending;
+  pending.reserve(count);
+  for (std::size_t unit = 0; unit < count; ++unit) {
+    const std::string* recorded =
+        ctx.journal ? ctx.journal->find(unit_key(key_prefix, unit)) : nullptr;
+    if (recorded) {
+      payloads[unit] = *recorded;
+      ++stats.units_resumed;
+    } else {
+      pending.push_back(unit);
+    }
+  }
+  bump("runner.units_resumed", stats.units_resumed);
+
+  const auto finish = [&] {
+    bump("runner.units_run", stats.units_run);
+    if (stats_out) *stats_out = stats;
+  };
+
+  if (pending.empty()) {
+    finish();
+    return payloads;
+  }
+
+  // ---------------------------------------------------------------- serial
+  if (ctx.pool == nullptr) {
+    for (std::size_t unit : pending) {
+      ctx.cancel.check();
+      core::CancelToken token = ctx.cancel;
+      if (ctx.unit_deadline.count() > 0) token = token.with_timeout(ctx.unit_deadline);
+      if (ctx.before_unit) ctx.before_unit(unit, 0);
+      payloads[unit] = compute_with_retries(ctx, unit, token, compute, &stats.retries);
+      if (ctx.journal) ctx.journal->append(unit_key(key_prefix, unit), payloads[unit]);
+      ++stats.units_run;
+    }
+    finish();
+    return payloads;
+  }
+
+  // -------------------------------------------------------------- parallel
+  RunState state;
+  state.units.resize(count);
+  for (std::size_t unit : pending) state.units[unit].needs_compute = true;
+  state.remaining = pending.size();
+
+  // Attempts poll per-attempt tokens so a winner (or a run-level failure)
+  // can cooperatively stop its redundant twins.
+  const auto cancel_unit_attempts = [](UnitState& unit_state) {
+    for (core::CancelSource& source : unit_state.attempt_sources) source.cancel();
+  };
+  const auto cancel_everything = [&state, &cancel_unit_attempts] {
+    for (UnitState& unit_state : state.units) cancel_unit_attempts(unit_state);
+  };
+
+  // Launch one attempt of one unit.  Caller holds state.mutex.
+  const auto launch = [&](std::size_t unit, std::size_t attempt) {
+    UnitState& unit_state = state.units[unit];
+    core::CancelSource source;
+    unit_state.attempt_sources.push_back(source);
+    core::CancelToken token = source.token();
+    if (ctx.unit_deadline.count() > 0) token = token.with_timeout(ctx.unit_deadline);
+    if (attempt == 0) {
+      unit_state.first_start = Clock::now();
+      unit_state.started = true;
+    }
+    ++unit_state.attempts;
+    auto body = [&ctx, &state, &compute, &cancel_unit_attempts, key_prefix, unit, attempt,
+                 token, &stats]() {
+      if (ctx.before_unit) ctx.before_unit(unit, attempt);
+      token.check();
+      const Clock::time_point start = Clock::now();
+      std::size_t retries = 0;
+      std::string payload = compute_with_retries(ctx, unit, token, compute, &retries);
+      const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      if constexpr (obs::kEnabled) {
+        static obs::Histogram& unit_seconds = obs::histogram("runner.unit_seconds");
+        unit_seconds.record(seconds);
+      }
+      std::lock_guard lock{state.mutex};
+      stats.retries += retries;
+      UnitState& winner_state = state.units[unit];
+      if (winner_state.done) return;  // a twin already won; payloads are identical
+      winner_state.done = true;
+      winner_state.payload = std::move(payload);
+      state.durations.record(seconds);
+      if (attempt > 0) ++stats.speculative_wins;
+      ++stats.units_run;
+      cancel_unit_attempts(winner_state);  // stop still-running twins
+      if (ctx.journal) {
+        ctx.journal->append(unit_key(key_prefix, unit), winner_state.payload);
+      }
+      --state.remaining;
+      state.cv.notify_all();
+    };
+    state.futures.push_back(ctx.pool->submit(
+        [&state, unit, body = std::move(body)]() {
+          try {
+            body();
+          } catch (...) {
+            std::lock_guard lock{state.mutex};
+            if (!state.units[unit].done && !state.error) {
+              state.error = std::current_exception();
+              state.cv.notify_all();
+            }
+          }
+        },
+        token));
+  };
+
+  {
+    std::lock_guard lock{state.mutex};
+    for (std::size_t unit : pending) launch(unit, 0);
+  }
+
+  // Watchdog: flags overdue units, enforces per-unit deadlines, launches
+  // speculative copies.
+  std::thread watchdog;
+  const bool want_watchdog = ctx.speculation.enabled || ctx.unit_deadline.count() > 0;
+  if (want_watchdog) {
+    watchdog = std::thread([&ctx, &state, &stats, &launch, &cancel_unit_attempts] {
+      for (;;) {
+        std::unique_lock lock{state.mutex};
+        state.cv.wait_for(lock, ctx.watchdog.poll);
+        if (state.finishing || state.remaining == 0 || state.error) return;
+        const Clock::time_point now = Clock::now();
+        double threshold_sec = 0.0;
+        if (ctx.speculation.enabled &&
+            state.durations.count >= ctx.speculation.min_samples) {
+          threshold_sec = std::max(
+              ctx.speculation.multiplier *
+                  state.durations.quantile(ctx.speculation.percentile),
+              std::chrono::duration<double>(ctx.speculation.min_overdue).count());
+        }
+        for (std::size_t unit = 0; unit < state.units.size(); ++unit) {
+          UnitState& unit_state = state.units[unit];
+          if (!unit_state.needs_compute || !unit_state.started || unit_state.done) continue;
+          const double elapsed =
+              std::chrono::duration<double>(now - unit_state.first_start).count();
+          // Hard per-unit deadline: the unit is abandoned and the run fails
+          // (its attempts' tokens expire, so polling bodies unwind).
+          if (ctx.unit_deadline.count() > 0 &&
+              elapsed > std::chrono::duration<double>(ctx.unit_deadline).count()) {
+            if (!unit_state.overdue_flagged) {
+              unit_state.overdue_flagged = true;
+              ++stats.overdue;
+              bump("runner.tasks_overdue");
+            }
+            if (!state.error) {
+              state.error = std::make_exception_ptr(core::DeadlineExceeded{
+                  "work unit " + std::to_string(unit) + " exceeded its deadline"});
+              cancel_unit_attempts(unit_state);
+              state.cv.notify_all();
+            }
+            continue;
+          }
+          // Soft straggler threshold: flag once, then re-dispatch copies.
+          if (threshold_sec > 0.0 && elapsed > threshold_sec) {
+            if (!unit_state.overdue_flagged) {
+              unit_state.overdue_flagged = true;
+              ++stats.overdue;
+              bump("runner.tasks_overdue");
+            }
+            if (unit_state.attempts < 1 + ctx.speculation.max_copies) {
+              ++stats.speculative_launches;
+              bump("runner.speculative_launches");
+              try {
+                launch(unit, unit_state.attempts);
+              } catch (const core::PoolStopped&) {
+                return;  // pool is going away; the main thread handles it
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // Wait for completion, a failure, or external cancellation.
+  std::exception_ptr error;
+  {
+    std::unique_lock lock{state.mutex};
+    for (;;) {
+      if (state.error || state.remaining == 0) break;
+      if (ctx.cancel.stop_requested() || ctx.cancel.expired()) {
+        try {
+          ctx.cancel.check();
+        } catch (...) {
+          state.error = std::current_exception();
+        }
+        cancel_everything();
+        break;
+      }
+      state.cv.wait_for(lock, std::chrono::milliseconds(20));
+    }
+    state.finishing = true;
+    error = state.error;
+    if (error) cancel_everything();
+    state.cv.notify_all();
+  }
+  if (watchdog.joinable()) watchdog.join();
+
+  // Drain every attempt (losers/cancelled attempts resolve their futures
+  // with exceptions we deliberately swallow — the unit outcome is what
+  // counts and is already recorded).
+  std::vector<std::future<void>> futures;
+  {
+    std::lock_guard lock{state.mutex};
+    futures = std::move(state.futures);
+  }
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+    }
+  }
+  if (error) std::rethrow_exception(error);
+
+  for (std::size_t unit : pending) payloads[unit] = std::move(state.units[unit].payload);
+  finish();
+  return payloads;
+}
+
+}  // namespace hetero::runner

@@ -160,11 +160,13 @@ FaultPlan FaultPlan::sample(const FaultModelConfig& config, std::size_t machines
 
 void RetryPolicy::validate() const {
   if (!enabled) return;
-  if (!(detection_latency >= 0.0)) {
-    throw std::invalid_argument("RetryPolicy: negative detection latency");
+  try {
+    detection_backoff().validate();  // shared schedule checks initial & multiplier
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("RetryPolicy: invalid backoff schedule "
+                                "(negative detection latency or backoff below 1)");
   }
   if (!(deadline_slack >= 0.0)) throw std::invalid_argument("RetryPolicy: negative slack");
-  if (!(backoff >= 1.0)) throw std::invalid_argument("RetryPolicy: backoff below 1");
 }
 
 const char* to_string(DetectionKind kind) noexcept {

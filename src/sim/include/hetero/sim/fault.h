@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "hetero/core/backoff.h"
+
 namespace hetero::sim {
 
 struct CrashFault {
@@ -139,6 +141,25 @@ struct RetryPolicy {
   double backoff = 2.0;
 
   void validate() const;
+
+  /// The policy's backoff arithmetic as the shared core::Backoff schedule —
+  /// the simulated retry windows and the wall-clock runner retries
+  /// (runner::RunContext::retry) use the same delay(k) = initial * b^k.
+  [[nodiscard]] core::Backoff detection_backoff() const noexcept {
+    return core::Backoff{detection_latency, backoff, max_retries, 0.0};
+  }
+
+  /// Detection window before retry `attempt` (0-based).
+  [[nodiscard]] double detection_window(std::size_t attempt) const noexcept {
+    return detection_backoff().delay(attempt);
+  }
+
+  /// Result-deadline window for a worker with the given nominal round trip,
+  /// after `extension` granted backoff extensions.
+  [[nodiscard]] double deadline_window(double expected_rtt, std::size_t extension) const noexcept {
+    return core::Backoff{(1.0 + deadline_slack) * expected_rtt, backoff, max_retries, 0.0}
+        .delay(extension);
+  }
 };
 
 enum class DetectionKind {

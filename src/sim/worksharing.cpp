@@ -216,8 +216,7 @@ class Episode {
       return;
     }
     // Missing delivery ack, noticed a (backed-off) detection latency later.
-    const double detect = options_.retry.detection_latency *
-                          std::pow(options_.retry.backoff, static_cast<double>(attempt));
+    const double detect = options_.retry.detection_window(attempt);
     engine_.schedule_at(transit_end + detect, [this, machine, startup_pos, w, attempt]() {
       if (state_[machine].failed || state_[machine].abandoned || state_[machine].delivered) return;
       note_trouble(machine);
@@ -234,8 +233,7 @@ class Episode {
   /// backoff extensions already granted.
   void arm_result_deadline(std::size_t machine, double from, std::size_t extension) {
     if (!options_.retry.enabled) return;
-    const double window = (1.0 + options_.retry.deadline_slack) * expected_rtt_[machine] *
-                          std::pow(options_.retry.backoff, static_cast<double>(extension));
+    const double window = options_.retry.deadline_window(expected_rtt_[machine], extension);
     engine_.schedule_at(from + window, [this, machine, extension]() {
       if (state_[machine].result_landed || state_[machine].failed || state_[machine].abandoned) return;
       if (!state_[machine].delivered || state_[machine].result_lost) return;  // ack paths own those
@@ -441,8 +439,7 @@ class Episode {
     // consumed, so nothing blocks — the load is simply lost.
     if (!options_.retry.enabled) return;
     // Missing receipt ack: the worker retransmits after a backed-off wait.
-    const double detect = options_.retry.detection_latency *
-                          std::pow(options_.retry.backoff, static_cast<double>(attempt));
+    const double detect = options_.retry.detection_window(attempt);
     engine_.schedule_at(transit_end + detect, [this, machine, attempt]() {
       if (state_[machine].result_landed || state_[machine].failed || state_[machine].abandoned) return;
       note_trouble(machine);

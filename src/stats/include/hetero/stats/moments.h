@@ -37,6 +37,35 @@ class OnlineMoments {
 
   void reset() noexcept { *this = OnlineMoments{}; }
 
+  /// Raw accumulator state, exposed so checkpoint/resume journals can
+  /// round-trip an accumulator bit-exactly (the runner stores the doubles
+  /// as IEEE bit patterns).  state()/from_state() are exact inverses.
+  struct State {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double m3 = 0.0;
+    double m4 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  [[nodiscard]] State state() const noexcept {
+    return State{count_, mean_, m2_, m3_, m4_, min_, max_};
+  }
+
+  [[nodiscard]] static OnlineMoments from_state(const State& s) noexcept {
+    OnlineMoments m;
+    m.count_ = s.count;
+    m.mean_ = s.mean;
+    m.m2_ = s.m2;
+    m.m3_ = s.m3;
+    m.m4_ = s.m4;
+    m.min_ = s.min;
+    m.max_ = s.max;
+    return m;
+  }
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "hetero/core/cancel.h"
+
+namespace core = hetero::core;
+using namespace std::chrono_literals;
+
+TEST(CancelToken, DefaultTokenIsInert) {
+  const core::CancelToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_FALSE(token.expired());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, SourceCancelReachesEveryToken) {
+  core::CancelSource source;
+  const core::CancelToken a = source.token();
+  const core::CancelToken b = source.token();
+  EXPECT_FALSE(a.stop_requested());
+  source.cancel();
+  EXPECT_TRUE(source.cancelled());
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_THROW(a.check(), core::Cancelled);
+}
+
+TEST(CancelToken, ChildTokensShareTheStopFlag) {
+  core::CancelSource source;
+  const core::CancelToken child = source.token().with_timeout(1h);
+  EXPECT_FALSE(child.stop_requested());
+  source.cancel();
+  EXPECT_TRUE(child.stop_requested());
+}
+
+TEST(CancelToken, PastDeadlineExpires) {
+  core::CancelSource source;
+  const core::CancelToken token =
+      source.token().with_deadline(core::CancelToken::Clock::now() - 1ms);
+  EXPECT_TRUE(token.expired());
+  EXPECT_THROW(token.check(), core::DeadlineExceeded);
+  EXPECT_FALSE(token.stop_requested());  // deadline is not a cancellation
+}
+
+TEST(CancelToken, FutureDeadlineDoesNotExpire) {
+  core::CancelSource source;
+  const core::CancelToken token = source.token().with_timeout(1h);
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_FALSE(token.expired());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, ChildrenOnlyTightenDeadlines) {
+  core::CancelSource source;
+  const auto now = core::CancelToken::Clock::now();
+  const core::CancelToken tight = source.token().with_deadline(now + 1s);
+  const core::CancelToken loosened = tight.with_deadline(now + 1h);
+  EXPECT_EQ(loosened.deadline(), tight.deadline());  // kept the earlier one
+  const core::CancelToken tighter = tight.with_deadline(now + 1ms);
+  EXPECT_LT(tighter.deadline(), tight.deadline());
+}
+
+TEST(CancelToken, CancellationWinsOverDeadlineInCheck) {
+  core::CancelSource source;
+  const core::CancelToken token =
+      source.token().with_deadline(core::CancelToken::Clock::now() - 1ms);
+  source.cancel();
+  EXPECT_THROW(token.check(), core::Cancelled);  // stop flag checked first
+}

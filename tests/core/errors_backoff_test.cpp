@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hetero/core/backoff.h"
+#include "hetero/core/errors.h"
+
+namespace core = hetero::core;
+
+TEST(ErrorTaxonomy, TypedErrorsCarryTheirClass) {
+  EXPECT_EQ(core::PoolStopped{}.error_class(), core::ErrorClass::kCancelled);
+  EXPECT_EQ(core::Cancelled{}.error_class(), core::ErrorClass::kCancelled);
+  EXPECT_EQ(core::DeadlineExceeded{}.error_class(), core::ErrorClass::kCancelled);
+  EXPECT_EQ(core::TransientError{"io"}.error_class(), core::ErrorClass::kRetryable);
+  EXPECT_EQ(core::FatalError{"corrupt"}.error_class(), core::ErrorClass::kFatal);
+}
+
+TEST(ErrorTaxonomy, ClassifySeesThroughExceptionBase) {
+  const core::TransientError transient{"flaky"};
+  const std::exception& as_base = transient;
+  EXPECT_EQ(core::classify(as_base), core::ErrorClass::kRetryable);
+  EXPECT_TRUE(core::is_retryable(as_base));
+}
+
+TEST(ErrorTaxonomy, ForeignExceptionsAreFatal) {
+  const std::runtime_error plain{"who knows"};
+  EXPECT_EQ(core::classify(plain), core::ErrorClass::kFatal);
+  EXPECT_FALSE(core::is_retryable(plain));
+  const std::logic_error logic{"bug"};
+  EXPECT_EQ(core::classify(logic), core::ErrorClass::kFatal);
+}
+
+TEST(ErrorTaxonomy, CancelledIsNeverRetryable) {
+  EXPECT_FALSE(core::is_retryable(core::Cancelled{}));
+  EXPECT_FALSE(core::is_retryable(core::PoolStopped{}));
+}
+
+TEST(ErrorTaxonomy, ToStringCoversEveryClass) {
+  EXPECT_STREQ(core::to_string(core::ErrorClass::kRetryable), "retryable");
+  EXPECT_STREQ(core::to_string(core::ErrorClass::kFatal), "fatal");
+  EXPECT_STREQ(core::to_string(core::ErrorClass::kCancelled), "cancelled");
+}
+
+TEST(Backoff, DelayIsGeometric) {
+  const core::Backoff b{0.5, 3.0, 4, 0.0};
+  EXPECT_DOUBLE_EQ(b.delay(0), 0.5);
+  EXPECT_DOUBLE_EQ(b.delay(1), 1.5);
+  EXPECT_DOUBLE_EQ(b.delay(2), 4.5);
+  EXPECT_DOUBLE_EQ(b.total_delay(), 0.5 + 1.5 + 4.5 + 13.5);
+}
+
+TEST(Backoff, MaxDelayCaps) {
+  const core::Backoff b{1.0, 2.0, 10, 3.0};
+  EXPECT_DOUBLE_EQ(b.delay(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.delay(1), 2.0);
+  EXPECT_DOUBLE_EQ(b.delay(2), 3.0);  // 4 capped to 3
+  EXPECT_DOUBLE_EQ(b.delay(9), 3.0);
+}
+
+TEST(Backoff, ExhaustedAfterMaxRetries) {
+  const core::Backoff b{1.0, 2.0, 2, 0.0};
+  EXPECT_FALSE(b.exhausted(0));
+  EXPECT_FALSE(b.exhausted(1));
+  EXPECT_TRUE(b.exhausted(2));
+  EXPECT_TRUE(b.exhausted(3));
+}
+
+TEST(Backoff, ValidateRejectsNonsense) {
+  core::Backoff negative{-1.0, 2.0, 2, 0.0};
+  EXPECT_THROW(negative.validate(), std::invalid_argument);
+  core::Backoff shrinking{1.0, 0.5, 2, 0.0};
+  EXPECT_THROW(shrinking.validate(), std::invalid_argument);
+  core::Backoff bad_cap{1.0, 2.0, 2, -1.0};
+  EXPECT_THROW(bad_cap.validate(), std::invalid_argument);
+  core::Backoff fine{0.0, 1.0, 0, 0.0};
+  EXPECT_NO_THROW(fine.validate());
+}

@@ -1,0 +1,80 @@
+# Argument-error contract of the heteroctl CLI: every subcommand invoked with
+# bad or missing arguments must exit non-zero and print the usage text.
+#
+# Run as:  cmake -DHETEROCTL=<path-to-heteroctl> -P heteroctl_errors.cmake
+# (wired into ctest by tests/CMakeLists.txt; SEND_ERROR makes the script exit
+# non-zero on the first violated expectation while still reporting the rest).
+
+if(NOT DEFINED HETEROCTL)
+  message(FATAL_ERROR "pass -DHETEROCTL=<path to heteroctl>")
+endif()
+
+# Expect non-zero exit AND the usage text on stdout+stderr.
+function(expect_usage_error)
+  execute_process(COMMAND "${HETEROCTL}" ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  string(JOIN " " argv ${ARGN})
+  if(code EQUAL 0)
+    message(SEND_ERROR "heteroctl ${argv}: expected a non-zero exit, got 0")
+  endif()
+  if(NOT "${out}${err}" MATCHES "usage:")
+    message(SEND_ERROR "heteroctl ${argv}: expected the usage text, got:\n${out}${err}")
+  endif()
+endfunction()
+
+# Expect non-zero exit and an error report (runtime failures skip the usage
+# reminder by design — the arguments were well-formed).
+function(expect_runtime_error)
+  execute_process(COMMAND "${HETEROCTL}" ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  string(JOIN " " argv ${ARGN})
+  if(code EQUAL 0)
+    message(SEND_ERROR "heteroctl ${argv}: expected a non-zero exit, got 0")
+  endif()
+  if(NOT "${err}" MATCHES "error:")
+    message(SEND_ERROR "heteroctl ${argv}: expected an error report, got:\n${out}${err}")
+  endif()
+endfunction()
+
+# No command at all.
+expect_usage_error()
+
+# Unknown command.
+expect_usage_error(frobnicate "<1, 1/2>")
+
+# Missing required arguments, per subcommand.
+expect_usage_error(power)
+expect_usage_error(plan "<1, 1/2>")
+expect_usage_error(rent "<1, 1/2>")
+expect_usage_error(compare "<1, 1/2>")
+expect_usage_error(upgrade "<1, 1/2>")
+expect_usage_error(obs "<1, 1/2>")
+expect_usage_error(faults "<1, 1/2>")
+expect_usage_error(resume)
+
+# Malformed values: unparsable profiles and numbers.
+expect_usage_error(power "<1, oops>")
+expect_usage_error(power "")
+expect_usage_error(plan "<1, 1/2>" notanumber)
+expect_usage_error(rent "<1, 1/2>" notanumber)
+expect_usage_error(compare "<1, 1/2>" "<bogus")
+expect_usage_error(upgrade "<1, 1/2>" notanumber)
+expect_usage_error(obs "<1, 1/2>" notanumber)
+expect_usage_error(faults "<1, 1/2>" notanumber)
+expect_usage_error(faults "<1, 1/2>" 100 notaseed)
+
+# A profile with a zero denominator is caught by the parser, not the math.
+expect_usage_error(power "<1, 1/0>")
+
+# Global flags with missing values.
+expect_usage_error(--journal)
+
+# Runtime failures still exit non-zero (without the usage reminder): resuming
+# from a file that is not a journal.
+set(bogus_journal "${CMAKE_CURRENT_LIST_DIR}/heteroctl_errors.cmake")
+expect_runtime_error(resume "${bogus_journal}")
+expect_runtime_error(resume "/nonexistent/path/to.journal")

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "hetero/core/cancel.h"
+#include "hetero/core/errors.h"
+#include "hetero/parallel/thread_pool.h"
+
+namespace core = hetero::core;
+namespace parallel = hetero::parallel;
+using namespace std::chrono_literals;
+
+// Regression: a task that keeps submitting while the pool is being destroyed
+// must see the typed core::PoolStopped (historically this surfaced as a plain
+// std::runtime_error, indistinguishable from a task failure).
+TEST(PoolShutdown, SubmitDuringDestructionThrowsTypedPoolStopped) {
+  std::atomic<bool> started{false};
+  std::optional<core::ErrorClass> seen_class;
+  std::atomic<bool> seen_pool_stopped{false};
+
+  auto pool = std::make_unique<parallel::ThreadPool>(1);
+  parallel::ThreadPool* raw = pool.get();
+  auto prober = pool->submit([&] {
+    started.store(true);
+    // Keep probing until the destructor flips the pool into stopping; every
+    // accepted no-op drains harmlessly (kDrain).
+    const auto give_up = std::chrono::steady_clock::now() + 10s;
+    while (std::chrono::steady_clock::now() < give_up) {
+      try {
+        (void)raw->submit([] {});
+      } catch (const core::PoolStopped& stopped) {
+        seen_class = stopped.error_class();
+        seen_pool_stopped.store(true);
+        return;
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  while (!started.load()) std::this_thread::sleep_for(1ms);
+  pool.reset();  // joins the prober, which must have seen PoolStopped
+
+  EXPECT_TRUE(seen_pool_stopped.load());
+  ASSERT_TRUE(seen_class.has_value());
+  EXPECT_EQ(*seen_class, core::ErrorClass::kCancelled);
+  EXPECT_NO_THROW(prober.get());
+}
+
+// kCancelPending: queued-but-unstarted tasks are discarded at shutdown and
+// their futures report core::Cancelled — never a broken promise, and the
+// discarded task bodies never run.
+TEST(PoolShutdown, CancelPendingDiscardsQueuedTasks) {
+  std::atomic<bool> blocker_started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> bodies_run{0};
+
+  auto pool =
+      std::make_unique<parallel::ThreadPool>(1, parallel::ShutdownMode::kCancelPending);
+  auto blocker = pool->submit([&] {
+    blocker_started.store(true);
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  // The rest only queue once the blocker occupies the single worker, so the
+  // destructor is guaranteed to find them still pending.
+  while (!blocker_started.load()) std::this_thread::sleep_for(1ms);
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(pool->submit([&] { ++bodies_run; }));
+  }
+
+  // Destroy on a helper thread: the destructor abandons the queue before
+  // joining, so the discarded futures become ready while the blocker still
+  // holds the only worker.
+  std::thread destroyer{[&] { pool.reset(); }};
+  for (auto& f : queued) {
+    EXPECT_THROW(f.get(), core::Cancelled);
+  }
+  release.store(true);
+  destroyer.join();
+
+  EXPECT_NO_THROW(blocker.get());  // the running task finished normally
+  EXPECT_EQ(bodies_run.load(), 0);
+}
+
+// Default mode still drains: every queued task runs before the destructor
+// returns.
+TEST(PoolShutdown, DrainModeRunsEverything) {
+  std::atomic<int> bodies_run{0};
+  {
+    parallel::ThreadPool pool{2};
+    for (int i = 0; i < 16; ++i) {
+      (void)pool.submit([&] { ++bodies_run; });
+    }
+  }
+  EXPECT_EQ(bodies_run.load(), 16);
+}
+
+// A token that fires before the worker dequeues the task suppresses the body
+// and surfaces the precise taxonomy error through the future.
+TEST(PoolShutdown, FiredTokenSkipsTaskBody) {
+  std::atomic<bool> release{false};
+  std::atomic<bool> body_ran{false};
+  core::CancelSource source;
+
+  parallel::ThreadPool pool{1};
+  auto blocker = pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  auto doomed = pool.submit([&] { body_ran.store(true); }, source.token());
+  source.cancel();
+  release.store(true);
+
+  EXPECT_THROW(doomed.get(), core::Cancelled);
+  EXPECT_FALSE(body_ran.load());
+  EXPECT_NO_THROW(blocker.get());
+}
+
+// An already-expired deadline reports core::DeadlineExceeded instead.
+TEST(PoolShutdown, ExpiredDeadlineReportsDeadlineExceeded) {
+  std::atomic<bool> release{false};
+  core::CancelSource source;
+
+  parallel::ThreadPool pool{1};
+  auto blocker = pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  });
+  auto late = pool.submit([] {},
+                          source.token().with_deadline(core::CancelToken::Clock::now() - 1ms));
+  release.store(true);
+
+  EXPECT_THROW(late.get(), core::DeadlineExceeded);
+  EXPECT_NO_THROW(blocker.get());
+}

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hetero/core/errors.h"
+#include "hetero/runner/codec.h"
+#include "hetero/runner/journal.h"
+
+namespace core = hetero::core;
+namespace runner = hetero::runner;
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "journal_test_" + name + "." +
+         std::to_string(::getpid()) + ".journal";
+}
+
+runner::JournalHeader test_header() {
+  runner::JournalHeader header;
+  header.tool = "journal_test";
+  header.seed = 42;
+  header.fingerprint = runner::fingerprint_of("canonical config v1");
+  header.invocation = "faults\n<1, 1/2>\n100";
+  return header;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  return std::string{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out{path, std::ios::trunc};
+  out << content;
+}
+
+class JournalTest : public testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = temp_path(testing::UnitTest::GetInstance()->current_test_info()->name());
+};
+
+}  // namespace
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The standard CRC-32 check string.
+  EXPECT_EQ(runner::crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(runner::crc32(""), 0u);
+}
+
+TEST_F(JournalTest, CreateAppendReload) {
+  {
+    runner::Journal journal = runner::Journal::create(path_, test_header());
+    journal.append("cell:0", "payload zero");
+    journal.append("cell:1", "payload one");
+  }
+  runner::Journal reloaded = runner::Journal::open(path_);
+  EXPECT_EQ(reloaded.header().tool, "journal_test");
+  EXPECT_EQ(reloaded.header().seed, 42u);
+  EXPECT_EQ(reloaded.header().invocation, "faults\n<1, 1/2>\n100");
+  ASSERT_EQ(reloaded.records().size(), 2u);
+  ASSERT_NE(reloaded.find("cell:0"), nullptr);
+  EXPECT_EQ(*reloaded.find("cell:0"), "payload zero");
+  EXPECT_EQ(*reloaded.find("cell:1"), "payload one");
+  EXPECT_EQ(reloaded.find("cell:2"), nullptr);
+  EXPECT_EQ(reloaded.dropped_records(), 0u);
+}
+
+TEST_F(JournalTest, CreateRefusesExistingFile) {
+  { runner::Journal journal = runner::Journal::create(path_, test_header()); }
+  EXPECT_THROW((void)runner::Journal::create(path_, test_header()), core::FatalError);
+}
+
+TEST_F(JournalTest, OpenOrResumeCreatesThenResumes) {
+  {
+    runner::Journal journal = runner::Journal::open_or_resume(path_, test_header());
+    journal.append("cell:0", "done");
+  }
+  runner::Journal resumed = runner::Journal::open_or_resume(path_, test_header());
+  EXPECT_EQ(resumed.records().size(), 1u);
+}
+
+TEST_F(JournalTest, OpenOrResumeRefusesMismatchedConfig) {
+  { runner::Journal journal = runner::Journal::create(path_, test_header()); }
+  runner::JournalHeader other = test_header();
+  other.fingerprint = runner::fingerprint_of("canonical config v2");
+  EXPECT_THROW((void)runner::Journal::open_or_resume(path_, other), core::FatalError);
+  other = test_header();
+  other.seed = 43;
+  EXPECT_THROW((void)runner::Journal::open_or_resume(path_, other), core::FatalError);
+  other = test_header();
+  other.tool = "someone_else";
+  EXPECT_THROW((void)runner::Journal::open_or_resume(path_, other), core::FatalError);
+}
+
+TEST_F(JournalTest, CorruptRecordDropsTheTail) {
+  {
+    runner::Journal journal = runner::Journal::create(path_, test_header());
+    journal.append("cell:0", "keep me");
+    journal.append("cell:1", "about to be damaged");
+    journal.append("cell:2", "behind the damage");
+  }
+  // Flip one payload byte of the middle record; its CRC no longer matches,
+  // and everything from there on is untrusted.
+  std::string content = read_file(path_);
+  const std::size_t pos = content.find("about");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos] = 'X';
+  write_file(path_, content);
+
+  runner::Journal reloaded = runner::Journal::open(path_);
+  EXPECT_EQ(reloaded.records().size(), 1u);
+  ASSERT_NE(reloaded.find("cell:0"), nullptr);
+  EXPECT_EQ(reloaded.dropped_records(), 2u);
+}
+
+TEST_F(JournalTest, TornTailIsTolerated) {
+  {
+    runner::Journal journal = runner::Journal::create(path_, test_header());
+    journal.append("cell:0", "complete");
+    journal.append("cell:1", "will be torn");
+  }
+  // Simulate a crash mid-append: cut the file in the middle of the last line.
+  std::string content = read_file(path_);
+  write_file(path_, content.substr(0, content.size() - 9));
+
+  runner::Journal reloaded = runner::Journal::open(path_);
+  EXPECT_EQ(reloaded.records().size(), 1u);
+  EXPECT_EQ(reloaded.dropped_records(), 1u);
+  // And the journal is still appendable after the torn load.
+  reloaded.append("cell:1", "rewritten");
+  EXPECT_EQ(reloaded.records().size(), 2u);
+}
+
+TEST_F(JournalTest, CorruptHeaderRefusesToOpen) {
+  { runner::Journal journal = runner::Journal::create(path_, test_header()); }
+  std::string content = read_file(path_);
+  const std::size_t pos = content.find("journal_test");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos] = 'J';  // breaks the header CRC
+  write_file(path_, content);
+  EXPECT_THROW((void)runner::Journal::open(path_), core::FatalError);
+}
+
+TEST_F(JournalTest, DuplicateKeysKeepTheFirstOccurrence) {
+  {
+    runner::Journal journal = runner::Journal::create(path_, test_header());
+    journal.append("cell:0", "first");
+  }
+  {
+    // A speculative twin finishing late appends the same key again.
+    runner::Journal journal = runner::Journal::open(path_);
+    journal.append("cell:0", "second");
+  }
+  runner::Journal reloaded = runner::Journal::open(path_);
+  ASSERT_EQ(reloaded.records().size(), 1u);
+  EXPECT_EQ(*reloaded.find("cell:0"), "first");
+}
+
+TEST_F(JournalTest, EscapedCharactersRoundTrip) {
+  const std::string nasty = "quote\" backslash\\ tab\t cr\r bell\x07 end";
+  {
+    runner::Journal journal = runner::Journal::create(path_, test_header());
+    journal.append("weird", nasty);
+  }
+  runner::Journal reloaded = runner::Journal::open(path_);
+  ASSERT_NE(reloaded.find("weird"), nullptr);
+  EXPECT_EQ(*reloaded.find("weird"), nasty);
+}
+
+TEST_F(JournalTest, NewlinesInKeysAreRejected) {
+  runner::Journal journal = runner::Journal::create(path_, test_header());
+  EXPECT_THROW(journal.append("bad\nkey", "payload"), core::FatalError);
+  EXPECT_THROW(journal.append("key", "bad\npayload"), core::FatalError);
+}
+
+TEST(Codec, DoubleBitsRoundTripExactly) {
+  const double values[] = {0.0,          -0.0,         1.0,
+                           -1.0,         0.1,          3.141592653589793,
+                           1e-308,       1.7976931348623157e308, 5e-324};
+  for (double v : values) {
+    const std::string hex = runner::encode_double_bits(v);
+    EXPECT_EQ(hex.size(), 16u);
+    const double back = runner::decode_double_bits(hex);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back), std::bit_cast<std::uint64_t>(v));
+  }
+  // NaN round-trips bit-exactly too (payload preserved).
+  const double nan = std::bit_cast<double>(0x7ff8000000001234ull);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(runner::decode_double_bits(
+                runner::encode_double_bits(nan))),
+            0x7ff8000000001234ull);
+}
+
+TEST(Codec, WriterReaderRoundTrip) {
+  runner::FieldWriter w;
+  w.add_u64(7);
+  w.add_double(0.25);
+  const std::vector<double> xs{1.5, -2.5, 0.0};
+  w.add_doubles(xs);
+  runner::FieldReader r{w.str()};
+  EXPECT_EQ(r.u64(), 7u);
+  EXPECT_DOUBLE_EQ(r.d(), 0.25);
+  std::vector<double> back;
+  r.doubles(back);
+  EXPECT_EQ(back, xs);
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Codec, MalformedPayloadsThrowFatal) {
+  runner::FieldReader short_read{"12"};
+  EXPECT_EQ(short_read.u64(), 12u);
+  EXPECT_THROW((void)short_read.u64(), core::FatalError);
+
+  runner::FieldReader bad_int{"12x"};
+  EXPECT_THROW((void)bad_int.u64(), core::FatalError);
+
+  runner::FieldReader bad_double{"not16hexchars"};
+  EXPECT_THROW((void)bad_double.d(), core::FatalError);
+
+  runner::FieldReader trailing{"1 2"};
+  EXPECT_EQ(trailing.u64(), 1u);
+  EXPECT_THROW(trailing.expect_done(), core::FatalError);
+}

@@ -1,0 +1,172 @@
+// Golden determinism test for the crash-safe harness: run a fault sweep in a
+// child process, SIGKILL it mid-grid, resume from the journal, and require
+// the merged CSV to be byte-identical to an uninterrupted run — no lost and
+// no duplicated work units.
+//
+// The child is this same gtest binary re-executed with a filter that selects
+// only the (otherwise skipped) worker test; the journal path travels via an
+// environment variable.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/experiments/fault_sweep.h"
+#include "hetero/runner/journal.h"
+#include "hetero/runner/runner.h"
+
+namespace core = hetero::core;
+namespace experiments = hetero::experiments;
+namespace runner = hetero::runner;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr const char* kJournalEnv = "HETERO_KILL_RESUME_JOURNAL";
+
+const std::vector<double> kSpeeds{1.0, 0.5, 0.25, 0.125};
+
+experiments::FaultSweepConfig sweep_config() {
+  experiments::FaultSweepConfig config;
+  config.lifespan = 100.0;
+  config.crash_rates = {0.0, 0.005, 0.01};
+  config.straggler_factors = {1.0, 2.0};
+  config.trials = 2;
+  config.seed = 2026;
+  return config;
+}
+
+std::size_t grid_cells() {
+  const auto config = sweep_config();
+  return config.crash_rates.size() * config.straggler_factors.size();
+}
+
+/// Number of complete (newline-terminated) lines after the header line.
+std::size_t journaled_lines(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return 0;
+  const std::string content{std::istreambuf_iterator<char>{in},
+                            std::istreambuf_iterator<char>{}};
+  std::size_t newlines = 0;
+  for (char c : content) newlines += c == '\n';
+  return newlines > 0 ? newlines - 1 : 0;  // minus the header line
+}
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string{buf};
+}
+
+}  // namespace
+
+// The worker role: runs the journaled sweep serially, slowed down enough for
+// the parent to land a SIGKILL between cells.  Skipped in a normal test run.
+TEST(KillResume, Worker) {
+  const char* journal_path = std::getenv(kJournalEnv);
+  if (journal_path == nullptr) GTEST_SKIP() << "worker role only";
+
+  const core::Environment env = core::Environment::paper_default();
+  const auto config = sweep_config();
+  runner::JournalHeader header =
+      experiments::fault_sweep_journal_header(kSpeeds, env, config);
+  runner::Journal journal = runner::Journal::open_or_resume(journal_path, header);
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  ctx.before_unit = [](std::size_t, std::size_t) {
+    std::this_thread::sleep_for(100ms);  // stretch each cell for the killer
+  };
+  (void)experiments::run_fault_sweep(kSpeeds, env, config, ctx);
+}
+
+TEST(KillResume, ResumedSweepIsByteIdenticalToUninterruptedRun) {
+  if (std::getenv(kJournalEnv) != nullptr) GTEST_SKIP() << "parent role only";
+  const std::string exe = self_exe();
+  ASSERT_FALSE(exe.empty()) << "cannot resolve /proc/self/exe";
+
+  const core::Environment env = core::Environment::paper_default();
+  const auto config = sweep_config();
+  const std::size_t cells = grid_cells();
+
+  // Golden: the uninterrupted serial sweep.
+  const std::string golden_csv =
+      experiments::fault_sweep_csv(experiments::run_fault_sweep(kSpeeds, env, config));
+
+  // Launch the worker and kill it mid-grid.  Timing-dependent, so retry the
+  // kill if the worker ever finishes the whole grid before the signal lands.
+  std::string journal_path;
+  std::size_t survivors = 0;
+  bool interrupted = false;
+  for (int attempt = 0; attempt < 5 && !interrupted; ++attempt) {
+    journal_path = testing::TempDir() + "kill_resume_" + std::to_string(::getpid()) +
+                   "_" + std::to_string(attempt) + ".journal";
+    std::remove(journal_path.c_str());
+
+    const pid_t child = ::fork();
+    ASSERT_NE(child, -1);
+    if (child == 0) {
+      ::setenv(kJournalEnv, journal_path.c_str(), 1);
+      std::string filter = "--gtest_filter=KillResume.Worker";
+      char* const argv[] = {const_cast<char*>(exe.c_str()),
+                            const_cast<char*>(filter.c_str()), nullptr};
+      ::execv(exe.c_str(), argv);
+      ::_exit(127);  // exec failed
+    }
+
+    // Wait until at least one cell is journaled, then pull the plug.
+    const auto give_up = std::chrono::steady_clock::now() + 30s;
+    while (journaled_lines(journal_path) < 2 &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::sleep_for(5ms);
+    }
+    ::kill(child, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+    runner::JournalHeader header =
+        experiments::fault_sweep_journal_header(kSpeeds, env, config);
+    runner::Journal probe = runner::Journal::open_or_resume(journal_path, header);
+    survivors = probe.records().size();
+    interrupted = survivors >= 1 && survivors < cells;
+    if (interrupted) {
+      EXPECT_TRUE(WIFSIGNALED(status)) << "worker should have died by SIGKILL";
+    } else {
+      std::remove(journal_path.c_str());
+    }
+  }
+  ASSERT_TRUE(interrupted) << "could not interrupt the worker mid-grid";
+
+  // Resume from the torn journal and finish the sweep.
+  runner::JournalHeader header =
+      experiments::fault_sweep_journal_header(kSpeeds, env, config);
+  runner::Journal journal = runner::Journal::open_or_resume(journal_path, header);
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  const experiments::FaultSweepResult resumed =
+      experiments::run_fault_sweep(kSpeeds, env, config, ctx);
+
+  // No lost units, no duplicated units: every journaled cell was reused and
+  // exactly the missing ones were recomputed.
+  runner::Journal reloaded = runner::Journal::open(journal_path);
+  EXPECT_EQ(reloaded.records().size(), cells);
+  EXPECT_EQ(reloaded.dropped_records(), 0u);
+
+  // And the merged result is byte-identical to the uninterrupted run.
+  EXPECT_EQ(experiments::fault_sweep_csv(resumed), golden_csv);
+
+  std::remove(journal_path.c_str());
+}

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hetero/core/cancel.h"
+#include "hetero/core/errors.h"
+#include "hetero/parallel/thread_pool.h"
+#include "hetero/runner/journal.h"
+#include "hetero/runner/runner.h"
+
+namespace core = hetero::core;
+namespace parallel = hetero::parallel;
+namespace runner = hetero::runner;
+using namespace std::chrono_literals;
+
+namespace {
+
+std::string payload_for(std::size_t unit) { return "payload-" + std::to_string(unit); }
+
+std::string deterministic_compute(std::size_t unit, const core::CancelToken&) {
+  return payload_for(unit);
+}
+
+runner::JournalHeader test_header() {
+  runner::JournalHeader header;
+  header.tool = "runner_test";
+  header.seed = 1;
+  header.fingerprint = runner::fingerprint_of("runner test config");
+  return header;
+}
+
+class RunnerTest : public testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = testing::TempDir() + "runner_test_" +
+                      testing::UnitTest::GetInstance()->current_test_info()->name() + "." +
+                      std::to_string(::getpid()) + ".journal";
+};
+
+}  // namespace
+
+TEST_F(RunnerTest, SerialRunProducesAllPayloadsInOrder) {
+  runner::RunContext ctx;
+  runner::RunStats stats;
+  const auto payloads = runner::run_units(ctx, "unit", 5, deterministic_compute, &stats);
+  ASSERT_EQ(payloads.size(), 5u);
+  for (std::size_t unit = 0; unit < 5; ++unit) EXPECT_EQ(payloads[unit], payload_for(unit));
+  EXPECT_EQ(stats.units_total, 5u);
+  EXPECT_EQ(stats.units_run, 5u);
+  EXPECT_EQ(stats.units_resumed, 0u);
+}
+
+TEST_F(RunnerTest, ParallelRunMatchesSerial) {
+  parallel::ThreadPool pool{4};
+  runner::RunContext ctx;
+  ctx.pool = &pool;
+  const auto payloads = runner::run_units(ctx, "unit", 32, deterministic_compute);
+  ASSERT_EQ(payloads.size(), 32u);
+  for (std::size_t unit = 0; unit < 32; ++unit) EXPECT_EQ(payloads[unit], payload_for(unit));
+}
+
+TEST_F(RunnerTest, JournaledRunRecordsEveryUnit) {
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header());
+  parallel::ThreadPool pool{4};
+  runner::RunContext ctx;
+  ctx.pool = &pool;
+  ctx.journal = &journal;
+  (void)runner::run_units(ctx, "unit", 8, deterministic_compute);
+  EXPECT_EQ(journal.records().size(), 8u);
+  ASSERT_NE(journal.find("unit:3"), nullptr);
+  EXPECT_EQ(*journal.find("unit:3"), payload_for(3));
+}
+
+TEST_F(RunnerTest, ResumeSkipsJournaledUnitsEntirely) {
+  {
+    runner::Journal journal = runner::Journal::open_or_resume(path_, test_header());
+    runner::RunContext ctx;
+    ctx.journal = &journal;
+    (void)runner::run_units(ctx, "unit", 6, deterministic_compute);
+  }
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header());
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  runner::RunStats stats;
+  std::atomic<int> computed{0};
+  const auto payloads = runner::run_units(
+      ctx, "unit", 6,
+      [&](std::size_t unit, const core::CancelToken&) {
+        ++computed;
+        return payload_for(unit);
+      },
+      &stats);
+  EXPECT_EQ(computed.load(), 0);
+  EXPECT_EQ(stats.units_resumed, 6u);
+  EXPECT_EQ(stats.units_run, 0u);
+  for (std::size_t unit = 0; unit < 6; ++unit) EXPECT_EQ(payloads[unit], payload_for(unit));
+}
+
+TEST_F(RunnerTest, PartialResumeComputesOnlyMissingUnits) {
+  {
+    runner::Journal journal = runner::Journal::open_or_resume(path_, test_header());
+    journal.append("unit:0", payload_for(0));
+    journal.append("unit:2", payload_for(2));
+  }
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header());
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  runner::RunStats stats;
+  std::vector<std::size_t> computed;
+  const auto payloads = runner::run_units(
+      ctx, "unit", 4,
+      [&](std::size_t unit, const core::CancelToken&) {
+        computed.push_back(unit);
+        return payload_for(unit);
+      },
+      &stats);
+  EXPECT_EQ(computed, (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(stats.units_resumed, 2u);
+  EXPECT_EQ(stats.units_run, 2u);
+  for (std::size_t unit = 0; unit < 4; ++unit) EXPECT_EQ(payloads[unit], payload_for(unit));
+  EXPECT_EQ(journal.records().size(), 4u);
+}
+
+TEST_F(RunnerTest, PreCancelledRunThrowsCancelled) {
+  core::CancelSource source;
+  source.cancel();
+  runner::RunContext ctx;
+  ctx.cancel = source.token();
+  EXPECT_THROW((void)runner::run_units(ctx, "unit", 3, deterministic_compute), core::Cancelled);
+}
+
+TEST_F(RunnerTest, MidRunCancellationStopsParallelRun) {
+  core::CancelSource source;
+  parallel::ThreadPool pool{2};
+  runner::RunContext ctx;
+  ctx.pool = &pool;
+  ctx.cancel = source.token();
+  ctx.speculation.enabled = false;
+  std::atomic<int> started{0};
+  EXPECT_THROW(
+      (void)runner::run_units(ctx, "unit", 64,
+                              [&](std::size_t unit, const core::CancelToken& token) {
+                                if (++started == 4) source.cancel();
+                                for (int i = 0; i < 100; ++i) {
+                                  if (token.stop_requested()) token.check();
+                                  std::this_thread::sleep_for(1ms);
+                                }
+                                return payload_for(unit);
+                              }),
+      core::Cancelled);
+}
+
+TEST_F(RunnerTest, TransientFailuresAreRetriedWithBackoff) {
+  runner::RunContext ctx;
+  ctx.retry = core::Backoff{1e-4, 2.0, 3, 0.0};
+  runner::RunStats stats;
+  std::atomic<int> attempts{0};
+  const auto payloads = runner::run_units(
+      ctx, "unit", 1,
+      [&](std::size_t unit, const core::CancelToken&) -> std::string {
+        if (attempts++ < 2) throw core::TransientError{"flaky backend"};
+        return payload_for(unit);
+      },
+      &stats);
+  EXPECT_EQ(payloads[0], payload_for(0));
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+TEST_F(RunnerTest, FatalFailuresAbortWithoutRetry) {
+  runner::RunContext ctx;
+  ctx.retry = core::Backoff{1e-4, 2.0, 5, 0.0};
+  std::atomic<int> attempts{0};
+  EXPECT_THROW((void)runner::run_units(ctx, "unit", 1,
+                                       [&](std::size_t, const core::CancelToken&) -> std::string {
+                                         ++attempts;
+                                         throw std::runtime_error{"deterministic bug"};
+                                       }),
+               std::runtime_error);
+  EXPECT_EQ(attempts.load(), 1);  // foreign exceptions classify as fatal
+}
+
+// The acceptance scenario: one unit is a 10x straggler; the watchdog must
+// flag it, launch a speculative copy, and the sweep must complete with
+// unchanged results.
+TEST_F(RunnerTest, WatchdogFlagsStragglerAndSpeculativeCopyCompletesTheRun) {
+  parallel::ThreadPool pool{4};
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header());
+  runner::RunContext ctx;
+  ctx.pool = &pool;
+  ctx.journal = &journal;
+  ctx.speculation.min_samples = 3;
+  ctx.speculation.min_overdue = 50ms;
+  ctx.watchdog.poll = 5ms;
+  // Fault injection: the primary attempt of unit 3 straggles ~10x past the
+  // soft threshold; its speculative twin (attempt 1) runs at full speed.
+  ctx.before_unit = [](std::size_t unit, std::size_t attempt) {
+    if (unit == 3 && attempt == 0) std::this_thread::sleep_for(600ms);
+  };
+  runner::RunStats stats;
+  const auto payloads = runner::run_units(
+      ctx, "unit", 8,
+      [](std::size_t unit, const core::CancelToken&) {
+        std::this_thread::sleep_for(2ms);  // normal unit cost
+        return payload_for(unit);
+      },
+      &stats);
+
+  ASSERT_EQ(payloads.size(), 8u);
+  for (std::size_t unit = 0; unit < 8; ++unit) EXPECT_EQ(payloads[unit], payload_for(unit));
+  EXPECT_GE(stats.overdue, 1u);
+  EXPECT_GE(stats.speculative_launches, 1u);
+  EXPECT_GE(stats.speculative_wins, 1u);
+  EXPECT_EQ(stats.units_run, 8u);
+  // The straggler's unit landed in the journal exactly once, with the right
+  // payload (first-result-wins, deterministic payloads).
+  ASSERT_NE(journal.find("unit:3"), nullptr);
+  EXPECT_EQ(*journal.find("unit:3"), payload_for(3));
+  EXPECT_EQ(journal.records().size(), 8u);
+}
+
+TEST_F(RunnerTest, HardUnitDeadlineFailsTheRun) {
+  parallel::ThreadPool pool{2};
+  runner::RunContext ctx;
+  ctx.pool = &pool;
+  ctx.speculation.enabled = false;
+  ctx.unit_deadline = 50ms;
+  ctx.watchdog.poll = 5ms;
+  EXPECT_THROW(
+      (void)runner::run_units(ctx, "unit", 2,
+                              [](std::size_t unit, const core::CancelToken&) {
+                                if (unit == 1) std::this_thread::sleep_for(400ms);
+                                return payload_for(unit);
+                              }),
+      core::DeadlineExceeded);
+}
