@@ -5,6 +5,7 @@
 
 #include "hetero/obs/metrics.h"
 #include "hetero/obs/scope.h"
+#include "hetero/random/rng.h"
 #include "hetero/runner/codec.h"
 #include "hetero/sim/reactive.h"
 
@@ -43,8 +44,12 @@ FaultSweepCell compute_cell(std::span<const double> speeds, const core::Environm
   }
   for (std::size_t trial = 0; trial < config.trials; ++trial) {
     if (token.stop_requested() || token.expired()) token.check();
-    // Distinct, reproducible seed per (cell, trial).
-    const std::uint64_t seed = config.seed ^ (cell_index * 0x9e3779b97f4a7c15ULL) ^ (trial + 1);
+    // Distinct, reproducible seed per (cell, trial), decorrelated through
+    // splitmix64 — a plain XOR of the coordinates lets distinct (cell,
+    // trial) pairs collide, correlating supposedly independent trials.
+    std::uint64_t mix = config.seed + cell_index * 0x9e3779b97f4a7c15ULL +
+                        (static_cast<std::uint64_t>(trial) + 1) * 0xbf58476d1ce4e5b9ULL;
+    const std::uint64_t seed = random::splitmix64(mix);
     const sim::FaultPlan plan = sim::FaultPlan::sample(model, speeds.size(), config.lifespan, seed);
     const auto oblivious = sim::run_fifo_with_faults(speeds, env, config.lifespan, plan);
     const auto reactive = sim::run_reactive_fifo(speeds, env, config.lifespan, plan, config.policy);

@@ -19,8 +19,12 @@
 //
 // Loading is tolerant of a torn tail: records are validated line by line
 // (CRC and shape) and loading stops at the first damaged line, keeping every
-// record before it.  A duplicate key keeps the first occurrence (the
-// earliest completed copy of a speculatively re-executed unit).
+// record before it.  The damaged bytes are then truncated away on disk (and
+// a record that lost only its trailing newline gets one), so post-resume
+// appends always start on a clean line boundary — without that, a second
+// crash would silently lose everything appended after the first.  A
+// duplicate key keeps the first occurrence (the earliest completed copy of
+// a speculatively re-executed unit).
 
 #include <cstdint>
 #include <map>
@@ -68,11 +72,16 @@ class Journal {
   [[nodiscard]] const JournalHeader& header() const noexcept { return header_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
-  /// Records already in the journal (key → payload), loaded at open.
-  [[nodiscard]] const std::map<std::string, std::string>& records() const noexcept {
-    return records_;
-  }
-  [[nodiscard]] const std::string* find(const std::string& key) const noexcept;
+  /// Snapshot of the records currently in the journal (key → payload):
+  /// everything loaded at open plus everything appended so far.  Returned by
+  /// value under the append lock, so it is safe to call (and iterate) while
+  /// other threads append.
+  [[nodiscard]] std::map<std::string, std::string> records() const;
+
+  /// Looks up one record under the append lock.  The returned pointer stays
+  /// valid for the journal's lifetime (records are never erased or
+  /// overwritten; duplicate appends keep the first payload).
+  [[nodiscard]] const std::string* find(const std::string& key) const;
 
   /// Lines dropped at load time because of CRC/shape damage (torn tail).
   [[nodiscard]] std::size_t dropped_records() const noexcept { return dropped_; }
@@ -89,7 +98,7 @@ class Journal {
   std::map<std::string, std::string> records_;
   std::size_t dropped_ = 0;
   int fd_ = -1;
-  std::mutex append_mutex_;
+  mutable std::mutex append_mutex_;  ///< guards records_ and fd_ writes
 };
 
 }  // namespace hetero::runner

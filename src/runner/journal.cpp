@@ -270,13 +270,20 @@ Journal Journal::create(const std::string& path, const JournalHeader& header) {
     ::fsync(fd);
     ::close(fd);
   }
-  // O_EXCL via link-style rename semantics: refuse to clobber an existing
-  // journal (resume must go through open()).
-  if (::access(path.c_str(), F_OK) == 0) {
+  // Publish with link(2), not rename(2): link fails with EEXIST when the
+  // destination exists, so the no-clobber check is atomic with the publish
+  // itself (an access()-then-rename() pair would let two racing creators —
+  // or a create racing a resume — silently overwrite a live journal).
+  if (::link(tmp.c_str(), path.c_str()) != 0) {
+    const int saved_errno = errno;
     ::unlink(tmp.c_str());
-    throw core::FatalError{"journal: '" + path + "' already exists (use open/open_or_resume)"};
+    if (saved_errno == EEXIST) {
+      throw core::FatalError{"journal: '" + path + "' already exists (use open/open_or_resume)"};
+    }
+    errno = saved_errno;
+    throw_io("cannot publish", path);
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) throw_io("rename failed", path);
+  ::unlink(tmp.c_str());
   fsync_parent_dir(path);
 
   Journal journal;
@@ -288,40 +295,86 @@ Journal Journal::create(const std::string& path, const JournalHeader& header) {
 }
 
 Journal Journal::open(const std::string& path) {
-  std::ifstream in{path};
-  if (!in) throw core::FatalError{"journal: cannot open '" + path + "'"};
-  std::string line;
-  if (!std::getline(in, line)) throw core::FatalError{"journal: '" + path + "' is empty"};
+  // Read the whole file up front: loading must know the byte offset of the
+  // last valid line so a damaged tail can be truncated away on disk, not
+  // just skipped in memory.  Otherwise the next append would be glued onto
+  // the torn bytes and every record written after the first crash would be
+  // unparseable (and silently dropped) on every later open.
+  std::string content;
+  {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw core::FatalError{"journal: cannot open '" + path + "'"};
+    content.assign(std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{});
+  }
+  if (content.empty()) throw core::FatalError{"journal: '" + path + "' is empty"};
+
+  std::size_t cursor = 0;
+  bool line_terminated = false;
+  const auto next_line = [&](std::string_view& line) {
+    if (cursor >= content.size()) return false;
+    const std::size_t nl = content.find('\n', cursor);
+    if (nl == std::string::npos) {
+      line = std::string_view{content}.substr(cursor);
+      cursor = content.size();
+      line_terminated = false;
+    } else {
+      line = std::string_view{content}.substr(cursor, nl - cursor);
+      cursor = nl + 1;
+      line_terminated = true;
+    }
+    return true;
+  };
 
   Journal journal;
   journal.path_ = path;
-  if (!parse_header(line, journal.header_)) {
+  std::string_view line;
+  if (!next_line(line) || !parse_header(line, journal.header_)) {
     throw core::FatalError{"journal: '" + path + "' has a corrupt or foreign header"};
   }
   if (journal.header_.version != 1) {
     throw core::FatalError{"journal: '" + path + "' has unsupported version " +
                            std::to_string(journal.header_.version)};
   }
+
+  // Byte offset just past the last trusted line, and whether that line still
+  // needs its trailing newline (a crash can cut an append exactly between
+  // the record bytes and the '\n'; the record is whole, only the '\n' is
+  // missing).
+  std::size_t valid_bytes = cursor;
+  bool newline_missing = !line_terminated;
+
   std::string key;
   std::string payload;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (!parse_record(line, key, payload)) {
+  while (next_line(line)) {
+    if (!line.empty() && !parse_record(line, key, payload)) {
       // Torn tail (the crash interrupted an append): keep everything before
       // it, count the rest as dropped, and stop — later lines cannot be
       // trusted to be aligned.
       ++journal.dropped_;
-      while (std::getline(in, line)) {
+      while (next_line(line)) {
         if (!line.empty()) ++journal.dropped_;
       }
       break;
     }
-    journal.records_.emplace(key, payload);  // first occurrence wins
+    if (!line.empty()) journal.records_.emplace(key, payload);  // first occurrence wins
+    valid_bytes = cursor;
+    newline_missing = !line_terminated;
   }
-  in.close();
 
   journal.fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (journal.fd_ < 0) throw_io("cannot open for append", path);
+  // Heal the tail before anyone appends: truncate the damaged bytes so the
+  // next record starts on a clean line boundary, or supply the one missing
+  // '\n' when the final record survived intact but unterminated.
+  if (valid_bytes < content.size()) {
+    if (::ftruncate(journal.fd_, static_cast<::off_t>(valid_bytes)) != 0) {
+      throw_io("cannot truncate damaged tail of", path);
+    }
+    ::fdatasync(journal.fd_);
+  } else if (newline_missing) {
+    write_all(journal.fd_, "\n", path);
+    ::fdatasync(journal.fd_);
+  }
   if constexpr (obs::kEnabled) {
     obs::counter("runner.journal_records_loaded").add(journal.records_.size());
     obs::counter("runner.journal_records_dropped").add(journal.dropped_);
@@ -344,7 +397,15 @@ Journal Journal::open_or_resume(const std::string& path, const JournalHeader& he
   return journal;
 }
 
-const std::string* Journal::find(const std::string& key) const noexcept {
+std::map<std::string, std::string> Journal::records() const {
+  std::lock_guard lock{append_mutex_};
+  return records_;
+}
+
+const std::string* Journal::find(const std::string& key) const {
+  // Map nodes are stable across emplace, and payloads are never mutated
+  // after insertion, so the pointer outlives the lock.
+  std::lock_guard lock{append_mutex_};
   const auto it = records_.find(key);
   return it == records_.end() ? nullptr : &it->second;
 }

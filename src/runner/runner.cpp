@@ -233,7 +233,16 @@ std::vector<std::string> run_units(
 
   {
     std::lock_guard lock{state.mutex};
-    for (std::size_t unit : pending) launch(unit, 0);
+    try {
+      for (std::size_t unit : pending) launch(unit, 0);
+    } catch (const core::PoolStopped&) {
+      // Shutdown race: submit() can start refusing partway through the
+      // launch loop.  Attempts already submitted hold references to this
+      // stack frame, so we must NOT unwind here — record the error and fall
+      // through to the normal finishing/drain path, which joins every
+      // submitted future first.
+      state.error = std::current_exception();
+    }
   }
 
   // Watchdog: flags overdue units, enforces per-unit deadlines, launches
@@ -315,6 +324,23 @@ std::vector<std::string> run_units(
         break;
       }
       state.cv.wait_for(lock, std::chrono::milliseconds(20));
+      // A kCancelPending pool shutdown resolves queued attempts' futures
+      // (core::Cancelled) without ever running their bodies, so nothing
+      // decrements remaining.  If every submitted future has settled while
+      // units are still outstanding, no progress is possible — surface the
+      // shutdown instead of spinning forever.  (A settled future implies
+      // its body, if it ran at all, already updated remaining/error under
+      // this mutex, so the check cannot misfire on in-flight work.)
+      if (!state.error && state.remaining > 0) {
+        bool all_settled = true;
+        for (std::future<void>& future : state.futures) {
+          if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+            all_settled = false;
+            break;
+          }
+        }
+        if (all_settled) state.error = std::make_exception_ptr(core::PoolStopped{});
+      }
     }
     state.finishing = true;
     error = state.error;

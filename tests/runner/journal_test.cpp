@@ -131,12 +131,78 @@ TEST_F(JournalTest, TornTailIsTolerated) {
   std::string content = read_file(path_);
   write_file(path_, content.substr(0, content.size() - 9));
 
-  runner::Journal reloaded = runner::Journal::open(path_);
-  EXPECT_EQ(reloaded.records().size(), 1u);
-  EXPECT_EQ(reloaded.dropped_records(), 1u);
-  // And the journal is still appendable after the torn load.
-  reloaded.append("cell:1", "rewritten");
-  EXPECT_EQ(reloaded.records().size(), 2u);
+  {
+    runner::Journal reloaded = runner::Journal::open(path_);
+    EXPECT_EQ(reloaded.records().size(), 1u);
+    EXPECT_EQ(reloaded.dropped_records(), 1u);
+    // And the journal is still appendable after the torn load.
+    reloaded.append("cell:1", "rewritten");
+    EXPECT_EQ(reloaded.records().size(), 2u);
+  }
+  // open() must have truncated the torn bytes on disk, so a second open
+  // (a second crash/resume cycle) still sees BOTH records — not just the
+  // ones from before the first crash.
+  runner::Journal reopened = runner::Journal::open(path_);
+  EXPECT_EQ(reopened.dropped_records(), 0u);
+  ASSERT_EQ(reopened.records().size(), 2u);
+  ASSERT_NE(reopened.find("cell:0"), nullptr);
+  EXPECT_EQ(*reopened.find("cell:0"), "complete");
+  ASSERT_NE(reopened.find("cell:1"), nullptr);
+  EXPECT_EQ(*reopened.find("cell:1"), "rewritten");
+}
+
+TEST_F(JournalTest, TailCutExactlyBeforeTheNewlineKeepsTheRecord) {
+  {
+    runner::Journal journal = runner::Journal::create(path_, test_header());
+    journal.append("cell:0", "complete");
+    journal.append("cell:1", "newline lost");
+  }
+  // Crash after the record bytes but before the trailing '\n': the record is
+  // whole, only its terminator is missing.
+  std::string content = read_file(path_);
+  ASSERT_EQ(content.back(), '\n');
+  write_file(path_, content.substr(0, content.size() - 1));
+
+  {
+    runner::Journal reloaded = runner::Journal::open(path_);
+    EXPECT_EQ(reloaded.records().size(), 2u);
+    EXPECT_EQ(reloaded.dropped_records(), 0u);
+    // The next append must not be glued onto the unterminated line.
+    reloaded.append("cell:2", "after repair");
+  }
+  runner::Journal reopened = runner::Journal::open(path_);
+  EXPECT_EQ(reopened.dropped_records(), 0u);
+  ASSERT_EQ(reopened.records().size(), 3u);
+  EXPECT_EQ(*reopened.find("cell:1"), "newline lost");
+  EXPECT_EQ(*reopened.find("cell:2"), "after repair");
+}
+
+TEST_F(JournalTest, MidFileCorruptionIsHealedOnOpen) {
+  {
+    runner::Journal journal = runner::Journal::create(path_, test_header());
+    journal.append("cell:0", "keep me");
+    journal.append("cell:1", "about to be damaged");
+  }
+  std::string content = read_file(path_);
+  const std::size_t pos = content.find("about");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos] = 'X';
+  write_file(path_, content);
+
+  {
+    runner::Journal reloaded = runner::Journal::open(path_);
+    EXPECT_EQ(reloaded.records().size(), 1u);
+    EXPECT_EQ(reloaded.dropped_records(), 1u);
+    // Re-running the dropped unit appends after the healed tail...
+    reloaded.append("cell:1", "recomputed");
+  }
+  // ...and the re-appended record is visible on every later open: the
+  // journal self-heals instead of permanently dropping post-damage appends.
+  runner::Journal reopened = runner::Journal::open(path_);
+  EXPECT_EQ(reopened.dropped_records(), 0u);
+  ASSERT_EQ(reopened.records().size(), 2u);
+  EXPECT_EQ(*reopened.find("cell:0"), "keep me");
+  EXPECT_EQ(*reopened.find("cell:1"), "recomputed");
 }
 
 TEST_F(JournalTest, CorruptHeaderRefusesToOpen) {
