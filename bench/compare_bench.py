@@ -3,6 +3,7 @@
 
 Usage:
     compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+                     [--json REPORT.json]
 
 Benchmarks are matched by name; only aggregate-free repetition entries are
 considered (the default single-repetition output).  A benchmark counts as a
@@ -11,11 +12,17 @@ more than the threshold fraction (default 10%).  Benchmarks present in only
 one file are reported but never fail the run, so the baseline does not have
 to be regenerated every time a benchmark is added.
 
+Besides the per-benchmark table the script prints a geometric-mean speedup
+over all shared benchmarks (baseline/candidate, so >1 is faster), and
+--json writes the full comparison as a machine-readable report for CI
+artifacts and perf-trajectory tracking.
+
 Exit status: 0 when no benchmark regresses, 1 otherwise, 2 on usage errors.
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -50,6 +57,12 @@ def main(argv):
         default=0.10,
         help="allowed fractional slowdown before failing (default 0.10)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        dest="json_out",
+        help="write the comparison as a machine-readable JSON report",
+    )
     args = parser.parse_args(argv)
     if args.threshold < 0:
         parser.error("threshold must be non-negative")
@@ -62,6 +75,7 @@ def main(argv):
     only_candidate = sorted(set(candidate) - set(baseline))
 
     regressions = []
+    rows = []
     width = max((len(name) for name in shared), default=4)
     print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'candidate':>12}  {'ratio':>7}")
     for name in shared:
@@ -72,12 +86,53 @@ def main(argv):
         if ratio > 1.0 + args.threshold:
             marker = "  REGRESSED"
             regressions.append((name, ratio))
+        rows.append(
+            {
+                "name": name,
+                "baseline_ns": base,
+                "candidate_ns": cand,
+                "ratio": ratio,
+                "speedup": base / cand if cand > 0 else float("inf"),
+                "regressed": bool(marker),
+            }
+        )
         print(f"{name.ljust(width)}  {base:12.1f}  {cand:12.1f}  {ratio:7.3f}{marker}")
 
     for name in only_baseline:
         print(f"note: {name} only in baseline")
     for name in only_candidate:
         print(f"note: {name} only in candidate")
+
+    # Geometric mean of the per-benchmark speedups: the single number the
+    # perf trajectory tracks across PRs.
+    finite = [row["speedup"] for row in rows if 0 < row["speedup"] < float("inf")]
+    geomean = (
+        math.exp(sum(math.log(s) for s in finite) / len(finite)) if finite else None
+    )
+    if geomean is not None:
+        print(
+            f"geomean speedup: {geomean:.3f}x over {len(finite)} shared benchmark(s)"
+        )
+
+    if args.json_out:
+        report = {
+            "baseline": args.baseline,
+            "candidate": args.candidate,
+            "threshold": args.threshold,
+            "geomean_speedup": geomean,
+            "benchmarks": rows,
+            "only_baseline": only_baseline,
+            "only_candidate": only_candidate,
+            "regressions": [
+                {"name": name, "ratio": ratio} for name, ratio in regressions
+            ],
+        }
+        try:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            raise SystemExit(f"error: cannot write {args.json_out}: {error}")
 
     if regressions:
         print(

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "hetero/core/batch.h"
 #include "hetero/core/hetero.h"
 #include "hetero/experiments/experiments.h"
 #include "hetero/numeric/symmetric.h"
@@ -149,6 +150,47 @@ void BM_VariancePredictorSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2048);
 }
 BENCHMARK(BM_VariancePredictorSweep)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// Batched X+W+HECR over a block of profiles: the fused x_and_log1p sweep
+// shares loads and denominators, so a batch costs little more than the X
+// pass alone.  Batch of 64 profiles, n machines each.
+void BM_BatchEvaluateFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<double>> profiles(64);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    profiles[i] = random_speeds(n + 4000 + i);
+    profiles[i].resize(n);
+  }
+  std::vector<std::span<const double>> views(profiles.begin(), profiles.end());
+  core::BatchRequest request;
+  request.x = true;
+  request.work_rate = true;
+  request.hecr = true;
+  std::vector<core::ProfileMeasures> out(views.size());
+  for (auto _ : state) {
+    core::batch_evaluate_into(views, kEnv, request, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(views.size()));
+}
+BENCHMARK(BM_BatchEvaluateFused)->Arg(16)->Arg(64)->Arg(256);
+
+// A sweep-shaped chain of exact LP re-solves through LpResolver: each cell
+// warm-starts from its neighbour's optimal basis instead of re-running
+// phase 1 + full pivoting from scratch.
+void BM_LpResolverWarmSweep(benchmark::State& state) {
+  const auto rho = random_speeds(static_cast<std::size_t>(state.range(0)));
+  const auto orders = protocol::ProtocolOrders::fifo(rho.size());
+  for (auto _ : state) {
+    protocol::LpResolver resolver;
+    for (int step = 0; step < 12; ++step) {
+      benchmark::DoNotOptimize(
+          resolver.solve(rho, kEnv, 80.0 + 2.5 * step, orders));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 12);
+}
+BENCHMARK(BM_LpResolverWarmSweep)->Arg(3)->Arg(4)->Arg(6);
 
 void BM_EqualMeanPairSampling(benchmark::State& state) {
   random::Xoshiro256StarStar rng{11};

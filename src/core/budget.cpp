@@ -76,7 +76,7 @@ BudgetedPlan best_upgrades_greedy(const std::vector<double>& speeds,
   // Candidate options are O(1) perturbed queries; only the purchased upgrade
   // commits (an O(n) suffix recompute), so each greedy pass over the menu is
   // O(menu + n) instead of O(menu * n).  The committed value() keeps
-  // plan.x_after exactly equal to x_measure(plan.speeds_after).
+  // plan.x_after exactly equal to x_measure_serial(plan.speeds_after).
   XMeasure evaluator{speeds, env};
   plan.x_after = evaluator.value();
 

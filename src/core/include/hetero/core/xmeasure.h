@@ -22,16 +22,20 @@ namespace hetero::core {
 
 /// Incrementally updatable X(P) over a speed vector indexed by machine.
 ///
-/// Invariant: value() is bit-identical to x_measure(speeds(), env) no matter
-/// what sequence of set_rho() commits produced the current speeds — commits
-/// resume the cached compensated-summation state and replay exactly the
-/// operations x_measure would perform from that index on.
+/// Invariant: value() is bit-identical to x_measure_serial(speeds(), env) no
+/// matter what sequence of set_rho() commits produced the current speeds —
+/// commits resume the cached compensated-summation state and replay exactly
+/// the operations the serial evaluation would perform from that index on.
+/// (The vectorized x_measure agrees with the serial reference to a few ulp
+/// but sums in lane order, so the bit-level contract is pinned to the serial
+/// form; the planner tie tolerances absorb the difference.)
 ///
 /// with_rho() is a constant-time estimate of the perturbed X: exact prefix,
-/// one fresh term, and the cached tail scaled by f'_k / f_k.  The scaling
-/// adds ~1 ulp of relative error versus a full recompute, which the argmax
-/// scans absorb in their 1e-12 tie tolerance; commit with set_rho() whenever
-/// the exact value is needed.
+/// one fresh term, and the cached tail scaled by f'_k / f_k.  The cached
+/// per-index factor f_k and a shared reciprocal of the new denominator keep
+/// a query at two divisions.  The scaling adds ~1 ulp of relative error
+/// versus a full recompute, which the argmax scans absorb in their 1e-12 tie
+/// tolerance; commit with set_rho() whenever the exact value is needed.
 class XMeasure {
  public:
   XMeasure(std::span<const double> speeds, const Environment& env);
@@ -40,7 +44,7 @@ class XMeasure {
   [[nodiscard]] const std::vector<double>& speeds() const noexcept { return speeds_; }
   [[nodiscard]] double rho(std::size_t k) const { return speeds_.at(k); }
 
-  /// Current X(P); bit-identical to x_measure(speeds(), env).
+  /// Current X(P); bit-identical to x_measure_serial(speeds(), env).
   [[nodiscard]] double value() const noexcept { return x_; }
 
   /// O(1) estimate of X with machine k's speed set to r (k's current speed
@@ -68,6 +72,10 @@ class XMeasure {
   std::vector<double> prefix_sum_;
   std::vector<double> prefix_comp_;
   std::vector<double> prefix_product_;
+  // factor_[i] = (B rho_i + tau delta)/(B rho_i + A), the committed f_i; the
+  // quotient already produced while updating the running product, cached so
+  // with_rho never re-derives it.
+  std::vector<double> factor_;
   double x_ = 0.0;
 };
 

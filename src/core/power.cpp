@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "hetero/numeric/kernels.h"
 #include "hetero/numeric/roots.h"
 #include "hetero/numeric/stable.h"
 #include "hetero/numeric/summation.h"
@@ -10,6 +11,14 @@
 namespace hetero::core {
 
 double x_measure(std::span<const double> rho, const Environment& env) {
+  return numeric::x_measure_kernel(rho, env.a(), env.b(), env.tau_delta());
+}
+
+double x_measure(const Profile& profile, const Environment& env) {
+  return x_measure(profile.values(), env);
+}
+
+double x_measure_serial(std::span<const double> rho, const Environment& env) {
   const double a = env.a();
   const double b = env.b();
   const double td = env.tau_delta();
@@ -23,21 +32,12 @@ double x_measure(std::span<const double> rho, const Environment& env) {
   return sum.value();
 }
 
-double x_measure(const Profile& profile, const Environment& env) {
-  return x_measure(profile.values(), env);
-}
-
 double x_measure_stable(std::span<const double> rho, const Environment& env) {
-  const double a = env.a();
-  const double b = env.b();
   const double contraction = env.a_minus_tau_delta();
   // log prod f_i  with  f_i = 1 - (A - tau delta)/(B rho_i + A).
-  numeric::NeumaierSum log_sum;
-  for (double r : rho) {
-    log_sum.add(std::log1p(-contraction / (b * r + a)));
-  }
+  const double log_sum = numeric::log1p_ratio_sum(rho, env.a(), env.b(), contraction);
   // X = (1 - e^{log_sum}) / (A - tau delta), with 1 - e^y = -expm1(y).
-  return -std::expm1(log_sum.value()) / contraction;
+  return -std::expm1(log_sum) / contraction;
 }
 
 double x_measure_stable(const Profile& profile, const Environment& env) {
@@ -90,12 +90,9 @@ double hecr(std::span<const double> rho, const Environment& env) {
   const double a = env.a();
   const double b = env.b();
   const double contraction = env.a_minus_tau_delta();
-  numeric::NeumaierSum log_sum;
-  for (double r : rho) {
-    log_sum.add(std::log1p(-contraction / (b * r + a)));
-  }
+  const double log_sum = numeric::log1p_ratio_sum(rho, a, b, contraction);
   const double n = static_cast<double>(rho.size());
-  const double one_minus_d = -std::expm1(log_sum.value() / n);
+  const double one_minus_d = -std::expm1(log_sum / n);
   return contraction / (b * one_minus_d) - a / b;
 }
 

@@ -76,7 +76,7 @@ std::vector<UpgradeStep> greedy_upgrade_plan(std::vector<double> speeds, Upgrade
   plan.reserve(static_cast<std::size_t>(rounds));
   // O(n) per round: candidates are O(1) perturbed queries against the
   // incremental evaluator; only the chosen upgrade is committed (which also
-  // keeps the recorded x_after exactly equal to x_measure(speeds)).
+  // keeps the recorded x_after exactly equal to x_measure_serial(speeds)).
   XMeasure evaluator{speeds, env};
   std::vector<double> candidate_x(speeds.size());
   for (int round = 0; round < rounds; ++round) {

@@ -13,21 +13,24 @@ XMeasure::XMeasure(std::span<const double> speeds, const Environment& env)
       speeds_{speeds.begin(), speeds.end()},
       prefix_sum_(speeds.size() + 1, 0.0),
       prefix_comp_(speeds.size() + 1, 0.0),
-      prefix_product_(speeds.size() + 1, 1.0) {
+      prefix_product_(speeds.size() + 1, 1.0),
+      factor_(speeds.size(), 1.0) {
   recompute_from(0);
 }
 
 void XMeasure::recompute_from(std::size_t from) {
   // Resume the checkpointed accumulator and replay exactly the loop body of
-  // x_measure (power.cpp) for indices >= from; the shared NeumaierSum makes
-  // the resumed run bit-identical to a from-scratch evaluation.
+  // x_measure_serial (power.cpp) for indices >= from; the shared NeumaierSum
+  // makes the resumed run bit-identical to a from-scratch evaluation.
   numeric::NeumaierSum sum =
       numeric::NeumaierSum::restore(prefix_sum_[from], prefix_comp_[from], from);
   double running_product = prefix_product_[from];
   for (std::size_t i = from; i < speeds_.size(); ++i) {
     const double denom = b_ * speeds_[i] + a_;
     sum.add(running_product / denom);
-    running_product *= (b_ * speeds_[i] + td_) / denom;
+    const double f = (b_ * speeds_[i] + td_) / denom;
+    running_product *= f;
+    factor_[i] = f;
     prefix_sum_[i + 1] = sum.raw_sum();
     prefix_comp_[i + 1] = sum.compensation();
     prefix_product_[i + 1] = running_product;
@@ -37,14 +40,14 @@ void XMeasure::recompute_from(std::size_t from) {
 
 double XMeasure::with_rho(std::size_t k, double r) const {
   if (k >= speeds_.size()) throw std::out_of_range("XMeasure::with_rho: bad index");
-  const double old_denom = b_ * speeds_[k] + a_;
-  const double new_denom = b_ * r + a_;
-  // X' = (sum over j < k) + new term k + (tail scaled by f'_k / f_k).
+  const double inv_new = 1.0 / (b_ * r + a_);
+  // X' = (sum over j < k) + new term k + (tail scaled by f'_k / f_k); the
+  // shared reciprocal and the cached committed factor keep this at two
+  // divisions per query.
   const double head = prefix_sum_[k] + prefix_comp_[k];
-  const double term = prefix_product_[k] / new_denom;
+  const double term = prefix_product_[k] * inv_new;
   const double tail = x_ - (prefix_sum_[k + 1] + prefix_comp_[k + 1]);
-  const double factor_ratio =
-      ((b_ * r + td_) / new_denom) / ((b_ * speeds_[k] + td_) / old_denom);
+  const double factor_ratio = (b_ * r + td_) * inv_new / factor_[k];
   return head + term + factor_ratio * tail;
 }
 
@@ -59,6 +62,7 @@ void XMeasure::assign(std::span<const double> speeds) {
   prefix_sum_.assign(speeds_.size() + 1, 0.0);
   prefix_comp_.assign(speeds_.size() + 1, 0.0);
   prefix_product_.assign(speeds_.size() + 1, 1.0);
+  factor_.assign(speeds_.size(), 1.0);
   recompute_from(0);
 }
 

@@ -1,12 +1,14 @@
 #include "hetero/experiments/experiments.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 
+#include "hetero/core/batch.h"
 #include "hetero/core/errors.h"
 #include "hetero/numeric/summation.h"
 #include "hetero/parallel/parallel_for.h"
@@ -21,8 +23,12 @@ namespace {
 HecrRow hecr_row_for(std::size_t n, const core::Environment& env) {
   HecrRow row;
   row.n = n;
-  row.hecr_linear = core::hecr(core::Profile::linear(n), env);
-  row.hecr_harmonic = core::hecr(core::Profile::harmonic(n), env);
+  const core::Profile profiles[2] = {core::Profile::linear(n), core::Profile::harmonic(n)};
+  const core::BatchRequest request{.x = false, .work_rate = false, .hecr = true};
+  const auto measures = core::batch_evaluate(std::span<const core::Profile>{profiles}, env,
+                                             request);
+  row.hecr_linear = measures[0].hecr;
+  row.hecr_harmonic = measures[1].hecr;
   row.ratio = row.hecr_linear / row.hecr_harmonic;
   return row;
 }
@@ -160,6 +166,9 @@ namespace {
 struct TrialScratch {
   std::vector<double> first;
   std::vector<double> second;
+  // Output slots for the batched HECR evaluation (no FIFO request, so the
+  // batch writes plain doubles and stays allocation-free).
+  std::array<core::ProfileMeasures, 2> measures;
 };
 
 // Population variance in Profile::variance's exact operation order.
@@ -191,8 +200,13 @@ VariancePredictorResult variance_predictor_trial(std::size_t n, std::uint64_t se
     partial.skipped = 1;
     return partial;
   }
-  const double hecr1 = core::hecr(scratch.first, env);
-  const double hecr2 = core::hecr(scratch.second, env);
+  // Both clusters through one batched evaluation (same closed form as
+  // core::hecr, bit for bit — see core/batch.h).
+  const std::array<std::span<const double>, 2> pair = {scratch.first, scratch.second};
+  const core::BatchRequest request{.x = false, .work_rate = false, .hecr = true};
+  core::batch_evaluate_into(pair, env, request, scratch.measures);
+  const double hecr1 = scratch.measures[0].hecr;
+  const double hecr2 = scratch.measures[1].hecr;
   // "Good": the larger-variance cluster is the more powerful one, i.e.
   // has the *smaller* HECR.
   const bool larger_variance_first = var1 > var2;

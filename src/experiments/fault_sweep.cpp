@@ -113,6 +113,12 @@ void count_sweep(std::size_t cells) {
 
 FaultSweepResult run_fault_sweep(std::span<const double> speeds, const core::Environment& env,
                                  const FaultSweepConfig& config) {
+  return run_fault_sweep(speeds, env, config, core::BatchExecutor{});
+}
+
+FaultSweepResult run_fault_sweep(std::span<const double> speeds, const core::Environment& env,
+                                 const FaultSweepConfig& config,
+                                 const core::BatchExecutor& executor) {
   HETERO_OBS_SCOPE("experiments.fault_sweep");
   validate_sweep(speeds, config);
 
@@ -120,15 +126,30 @@ FaultSweepResult run_fault_sweep(std::span<const double> speeds, const core::Env
   const double fault_free =
       sim::run_fifo_with_faults(speeds, env, config.lifespan, no_faults).completed_work;
 
-  FaultSweepResult result;
-  result.cells.reserve(config.crash_rates.size() * config.straggler_factors.size());
-  std::uint64_t cell_index = 0;
+  // Flatten the grid (row-major) so cell index == output slot: each body
+  // call is independent and writes only cells[i], which is what makes the
+  // executor path bit-identical to a serial loop.
+  struct CellParams {
+    double crash_rate;
+    double factor;
+  };
+  std::vector<CellParams> grid;
+  grid.reserve(config.crash_rates.size() * config.straggler_factors.size());
   for (double crash_rate : config.crash_rates) {
-    for (double factor : config.straggler_factors) {
-      result.cells.push_back(compute_cell(speeds, env, config, crash_rate, factor, cell_index,
-                                          fault_free, core::CancelToken{}));
-      ++cell_index;
-    }
+    for (double factor : config.straggler_factors) grid.push_back({crash_rate, factor});
+  }
+
+  FaultSweepResult result;
+  result.cells.resize(grid.size());
+  const auto body = [&](std::size_t i) {
+    result.cells[i] = compute_cell(speeds, env, config, grid[i].crash_rate, grid[i].factor,
+                                   static_cast<std::uint64_t>(i), fault_free,
+                                   core::CancelToken{});
+  };
+  if (executor) {
+    executor(grid.size(), body);
+  } else {
+    for (std::size_t i = 0; i < grid.size(); ++i) body(i);
   }
   count_sweep(result.cells.size());
   return result;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "hetero/core/batch.h"
 #include "hetero/core/environment.h"
 #include "hetero/protocol/reactive.h"
 #include "hetero/runner/runner.h"
@@ -55,6 +56,17 @@ struct FaultSweepResult {
 [[nodiscard]] FaultSweepResult run_fault_sweep(std::span<const double> speeds,
                                                const core::Environment& env,
                                                const FaultSweepConfig& config);
+
+/// Batched overload: the grid cells are evaluated through `executor` (see
+/// core/batch.h; parallel::pool_executor adapts a ThreadPool) — every cell
+/// writes only its own slot and cell seeds are pure functions of
+/// (config.seed, cell index), so the result is bit-identical to the serial
+/// overload regardless of execution order.  An empty executor runs serially;
+/// the plain overload above is exactly this with an empty executor.
+[[nodiscard]] FaultSweepResult run_fault_sweep(std::span<const double> speeds,
+                                               const core::Environment& env,
+                                               const FaultSweepConfig& config,
+                                               const core::BatchExecutor& executor);
 
 /// Robust overload: each grid cell is one runner work unit — parallel over
 /// ctx.pool (serial when null), checkpointed into ctx.journal, cancellable

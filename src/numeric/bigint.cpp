@@ -38,7 +38,7 @@ void BigInt::set_word(int sign, std::uint64_t magnitude) noexcept {
   sign_ = magnitude == 0 ? 0 : sign;
 }
 
-void BigInt::adopt_limbs(int sign, std::vector<std::uint32_t>&& limbs) noexcept {
+void BigInt::adopt_limbs(int sign, LimbVector&& limbs) noexcept {
   trim(limbs);
   if (limbs.size() <= 2) {
     std::uint64_t magnitude = limbs.empty() ? 0 : limbs[0];
@@ -51,9 +51,9 @@ void BigInt::adopt_limbs(int sign, std::vector<std::uint32_t>&& limbs) noexcept 
   sign_ = sign;
 }
 
-std::vector<std::uint32_t> BigInt::magnitude_limbs() const {
+LimbVector BigInt::magnitude_limbs() const {
   if (!limbs_.empty()) return limbs_;
-  std::vector<std::uint32_t> limbs;
+  LimbVector limbs;
   if (small_ != 0) {
     limbs.push_back(static_cast<std::uint32_t>(small_ & 0xffffffffu));
     if (small_ >> 32 != 0) limbs.push_back(static_cast<std::uint32_t>(small_ >> 32));
@@ -132,12 +132,11 @@ BigInt BigInt::negated() const {
   return result;
 }
 
-void BigInt::trim(std::vector<std::uint32_t>& limbs) noexcept {
+void BigInt::trim(LimbVector& limbs) noexcept {
   while (!limbs.empty() && limbs.back() == 0) limbs.pop_back();
 }
 
-int BigInt::compare_magnitude(const std::vector<std::uint32_t>& a,
-                              const std::vector<std::uint32_t>& b) noexcept {
+int BigInt::compare_magnitude(const LimbVector& a, const LimbVector& b) noexcept {
   if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
   for (std::size_t i = a.size(); i-- > 0;) {
     if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
@@ -157,11 +156,10 @@ int BigInt::compare_magnitude(const BigInt& a, const BigInt& b) noexcept {
   return compare_magnitude(a.limbs_, b.limbs_);
 }
 
-std::vector<std::uint32_t> BigInt::add_magnitude(const std::vector<std::uint32_t>& a,
-                                                 const std::vector<std::uint32_t>& b) {
+LimbVector BigInt::add_magnitude(const LimbVector& a, const LimbVector& b) {
   const auto& longer = a.size() >= b.size() ? a : b;
   const auto& shorter = a.size() >= b.size() ? b : a;
-  std::vector<std::uint32_t> result;
+  LimbVector result;
   result.reserve(longer.size() + 1);
   std::uint64_t carry = 0;
   for (std::size_t i = 0; i < longer.size(); ++i) {
@@ -173,9 +171,8 @@ std::vector<std::uint32_t> BigInt::add_magnitude(const std::vector<std::uint32_t
   return result;
 }
 
-std::vector<std::uint32_t> BigInt::sub_magnitude(const std::vector<std::uint32_t>& a,
-                                                 const std::vector<std::uint32_t>& b) {
-  std::vector<std::uint32_t> result;
+LimbVector BigInt::sub_magnitude(const LimbVector& a, const LimbVector& b) {
+  LimbVector result;
   result.reserve(a.size());
   std::int64_t borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -196,9 +193,8 @@ std::vector<std::uint32_t> BigInt::sub_magnitude(const std::vector<std::uint32_t
 namespace {
 
 // Schoolbook product (O(n*m)); the base case of the Karatsuba recursion.
-std::vector<std::uint32_t> schoolbook_mul(const std::vector<std::uint32_t>& a,
-                                          const std::vector<std::uint32_t>& b) {
-  std::vector<std::uint32_t> result(a.size() + b.size(), 0);
+LimbVector schoolbook_mul(const LimbVector& a, const LimbVector& b) {
+  LimbVector result(a.size() + b.size(), 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] == 0) continue;
     std::uint64_t carry = 0;
@@ -219,8 +215,7 @@ std::vector<std::uint32_t> schoolbook_mul(const std::vector<std::uint32_t>& a,
 }
 
 // result[offset..] += add (in place, carrying as far as needed).
-void add_at(std::vector<std::uint32_t>& result, const std::vector<std::uint32_t>& add,
-            std::size_t offset) {
+void add_at(LimbVector& result, const LimbVector& add, std::size_t offset) {
   std::uint64_t carry = 0;
   std::size_t i = 0;
   for (; i < add.size(); ++i) {
@@ -238,8 +233,7 @@ void add_at(std::vector<std::uint32_t>& result, const std::vector<std::uint32_t>
 
 // result[offset..] -= sub; requires the slice to stay nonnegative (it does:
 // Karatsuba's middle term never underflows).
-void sub_at(std::vector<std::uint32_t>& result, const std::vector<std::uint32_t>& sub,
-            std::size_t offset) {
+void sub_at(LimbVector& result, const LimbVector& sub, std::size_t offset) {
   std::int64_t borrow = 0;
   std::size_t i = 0;
   for (; i < sub.size(); ++i) {
@@ -267,11 +261,10 @@ void sub_at(std::vector<std::uint32_t>& result, const std::vector<std::uint32_t>
 }
 
 // Raw limb addition returning a fresh vector (used for (a_lo + a_hi)).
-std::vector<std::uint32_t> add_limbs(const std::vector<std::uint32_t>& a,
-                                     const std::vector<std::uint32_t>& b) {
+LimbVector add_limbs(const LimbVector& a, const LimbVector& b) {
   const auto& longer = a.size() >= b.size() ? a : b;
   const auto& shorter = a.size() >= b.size() ? b : a;
-  std::vector<std::uint32_t> result(longer.size() + 1, 0);
+  LimbVector result(longer.size() + 1, 0);
   std::uint64_t carry = 0;
   for (std::size_t i = 0; i < longer.size(); ++i) {
     std::uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0u);
@@ -287,22 +280,21 @@ constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
 
 // Karatsuba: (hi1*S + lo1)(hi2*S + lo2) = z2*S^2 + (z1 - z2 - z0)*S + z0
 // with z0 = lo1*lo2, z2 = hi1*hi2, z1 = (lo1+hi1)(lo2+hi2).
-std::vector<std::uint32_t> karatsuba_mul(const std::vector<std::uint32_t>& a,
-                                         const std::vector<std::uint32_t>& b) {
+LimbVector karatsuba_mul(const LimbVector& a, const LimbVector& b) {
   if (a.empty() || b.empty()) return {};
   if (std::min(a.size(), b.size()) < kKaratsubaThreshold) return schoolbook_mul(a, b);
 
   const std::size_t split = std::min(a.size(), b.size()) / 2;
-  const std::vector<std::uint32_t> a_lo(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(split));
-  const std::vector<std::uint32_t> a_hi(a.begin() + static_cast<std::ptrdiff_t>(split), a.end());
-  const std::vector<std::uint32_t> b_lo(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(split));
-  const std::vector<std::uint32_t> b_hi(b.begin() + static_cast<std::ptrdiff_t>(split), b.end());
+  const LimbVector a_lo(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(split));
+  const LimbVector a_hi(a.begin() + static_cast<std::ptrdiff_t>(split), a.end());
+  const LimbVector b_lo(b.begin(), b.begin() + static_cast<std::ptrdiff_t>(split));
+  const LimbVector b_hi(b.begin() + static_cast<std::ptrdiff_t>(split), b.end());
 
   const auto z0 = karatsuba_mul(a_lo, b_lo);
   const auto z2 = karatsuba_mul(a_hi, b_hi);
   const auto z1 = karatsuba_mul(add_limbs(a_lo, a_hi), add_limbs(b_lo, b_hi));
 
-  std::vector<std::uint32_t> result(a.size() + b.size() + 1, 0);
+  LimbVector result(a.size() + b.size() + 1, 0);
   add_at(result, z0, 0);
   add_at(result, z1, split);
   sub_at(result, z0, split);
@@ -313,9 +305,8 @@ std::vector<std::uint32_t> karatsuba_mul(const std::vector<std::uint32_t>& a,
 
 }  // namespace
 
-std::vector<std::uint32_t> BigInt::mul_magnitude(const std::vector<std::uint32_t>& a,
-                                                 const std::vector<std::uint32_t>& b) {
-  std::vector<std::uint32_t> result = karatsuba_mul(a, b);
+LimbVector BigInt::mul_magnitude(const LimbVector& a, const LimbVector& b) {
+  LimbVector result = karatsuba_mul(a, b);
   trim(result);
   return result;
 }
@@ -340,7 +331,7 @@ BigInt& BigInt::add_signed(const BigInt& rhs, int rhs_sign) {
         return *this;
       }
       // Exactly one carry bit: magnitude = 2^64 + (wrapped sum).
-      std::vector<std::uint32_t> limbs{static_cast<std::uint32_t>(sum & 0xffffffffu),
+      LimbVector limbs{static_cast<std::uint32_t>(sum & 0xffffffffu),
                                        static_cast<std::uint32_t>(sum >> 32), 1u};
       adopt_limbs(sign_, std::move(limbs));
       return *this;
@@ -390,7 +381,7 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
       set_word(result_sign, lo);
       return *this;
     }
-    std::vector<std::uint32_t> limbs{
+    LimbVector limbs{
         static_cast<std::uint32_t>(lo & 0xffffffffu), static_cast<std::uint32_t>(lo >> 32),
         static_cast<std::uint32_t>(hi & 0xffffffffu), static_cast<std::uint32_t>(hi >> 32)};
     adopt_limbs(result_sign, std::move(limbs));
@@ -420,10 +411,10 @@ BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor) {
     return out;
   }
 
-  const std::vector<std::uint32_t> dividend_limbs = dividend.magnitude_limbs();
-  const std::vector<std::uint32_t> divisor_limbs = divisor.magnitude_limbs();
-  std::vector<std::uint32_t> quotient;
-  std::vector<std::uint32_t> remainder;
+  const LimbVector dividend_limbs = dividend.magnitude_limbs();
+  const LimbVector divisor_limbs = divisor.magnitude_limbs();
+  LimbVector quotient;
+  LimbVector remainder;
 
   if (divisor_limbs.size() == 1) {
     // Short division by a single limb.
@@ -444,7 +435,7 @@ BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor) {
         static_cast<unsigned>(std::countl_zero(divisor_limbs.back()));
 
     // Normalized copies: v has its top bit set; u gets an extra high limb.
-    std::vector<std::uint32_t> v(n);
+    LimbVector v(n);
     for (std::size_t i = n; i-- > 0;) {
       std::uint64_t hi = static_cast<std::uint64_t>(divisor_limbs[i]) << shift;
       std::uint64_t lo = (shift != 0 && i > 0)
@@ -452,7 +443,7 @@ BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor) {
                              : 0;
       v[i] = static_cast<std::uint32_t>(hi | lo);
     }
-    std::vector<std::uint32_t> u(dividend_limbs.size() + 1, 0);
+    LimbVector u(dividend_limbs.size() + 1, 0);
     if (shift == 0) {
       std::copy(dividend_limbs.begin(), dividend_limbs.end(), u.begin());
     } else {
@@ -551,8 +542,8 @@ BigInt& BigInt::operator<<=(std::size_t bits) {
   }
   const std::size_t limb_shift = bits / 32;
   const unsigned bit_shift = static_cast<unsigned>(bits % 32);
-  const std::vector<std::uint32_t> source = magnitude_limbs();
-  std::vector<std::uint32_t> result(source.size() + limb_shift + 1, 0);
+  const LimbVector source = magnitude_limbs();
+  LimbVector result(source.size() + limb_shift + 1, 0);
   for (std::size_t i = 0; i < source.size(); ++i) {
     std::uint64_t shifted = static_cast<std::uint64_t>(source[i]) << bit_shift;
     result[i + limb_shift] |= static_cast<std::uint32_t>(shifted & 0xffffffffu);
@@ -574,7 +565,7 @@ BigInt& BigInt::operator>>=(std::size_t bits) {
     return *this;
   }
   const unsigned bit_shift = static_cast<unsigned>(bits % 32);
-  std::vector<std::uint32_t> result(limbs_.size() - limb_shift, 0);
+  LimbVector result(limbs_.size() - limb_shift, 0);
   for (std::size_t i = 0; i < result.size(); ++i) {
     std::uint64_t lo = limbs_[i + limb_shift] >> bit_shift;
     std::uint64_t hi = (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
@@ -634,7 +625,7 @@ std::string BigInt::to_string() const {
   }
   // Repeatedly divide by 10^9 to extract decimal chunks.
   constexpr std::uint64_t kChunk = 1000000000;
-  std::vector<std::uint32_t> work = limbs_;
+  LimbVector work = limbs_;
   std::string digits;
   while (!work.empty()) {
     std::uint64_t rem = 0;

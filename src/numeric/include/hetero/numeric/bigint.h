@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "hetero/numeric/arena.h"
+
 namespace hetero::numeric {
 
 struct BigIntDivMod;
@@ -27,6 +29,8 @@ struct BigIntDivMod;
 ///     every magnitude < 2^64 is canonically stored this way;
 ///   * large: a little-endian vector of 32-bit limbs with no trailing zero
 ///     limbs (canonically >= 3 limbs, since anything shorter fits the word).
+///     Limb storage is arena-aware (numeric/arena.h): inside an ArenaScope
+///     the buffers bump-allocate, so exact inner loops pay no malloc traffic.
 /// Zero is canonically (sign == 0, small == 0, limbs empty).  The word form
 /// carries hardware add/sub/mul/divmod fast paths; results are renormalized
 /// to the canonical form after every operation, so equality is structural.
@@ -110,31 +114,28 @@ class BigInt {
   friend std::ostream& operator<<(std::ostream& os, const BigInt& value);
 
  private:
-  static int compare_magnitude(const std::vector<std::uint32_t>& a,
-                               const std::vector<std::uint32_t>& b) noexcept;
+  static int compare_magnitude(const LimbVector& a,
+                               const LimbVector& b) noexcept;
   static int compare_magnitude(const BigInt& a, const BigInt& b) noexcept;
-  static std::vector<std::uint32_t> add_magnitude(const std::vector<std::uint32_t>& a,
-                                                  const std::vector<std::uint32_t>& b);
+  static LimbVector add_magnitude(const LimbVector& a, const LimbVector& b);
   // Requires |a| >= |b|.
-  static std::vector<std::uint32_t> sub_magnitude(const std::vector<std::uint32_t>& a,
-                                                  const std::vector<std::uint32_t>& b);
-  static std::vector<std::uint32_t> mul_magnitude(const std::vector<std::uint32_t>& a,
-                                                  const std::vector<std::uint32_t>& b);
-  static void trim(std::vector<std::uint32_t>& limbs) noexcept;
+  static LimbVector sub_magnitude(const LimbVector& a, const LimbVector& b);
+  static LimbVector mul_magnitude(const LimbVector& a, const LimbVector& b);
+  static void trim(LimbVector& limbs) noexcept;
 
   // Canonicalization: magnitudes < 2^64 live in small_, anything larger in
   // limbs_.  set_word installs a word magnitude; adopt_limbs installs a limb
   // vector, trimming and demoting to the word form when it fits.
   void set_word(int sign, std::uint64_t magnitude) noexcept;
-  void adopt_limbs(int sign, std::vector<std::uint32_t>&& limbs) noexcept;
+  void adopt_limbs(int sign, LimbVector&& limbs) noexcept;
   // Materializes the magnitude as limbs (slow-path entry for small values).
-  [[nodiscard]] std::vector<std::uint32_t> magnitude_limbs() const;
+  [[nodiscard]] LimbVector magnitude_limbs() const;
   // Signed addition core shared by += and -=: *this += rhs_sign * |rhs|.
   BigInt& add_signed(const BigInt& rhs, int rhs_sign);
 
   int sign_ = 0;
   std::uint64_t small_ = 0;           // magnitude when limbs_ is empty
-  std::vector<std::uint32_t> limbs_;  // magnitude otherwise (>= 3 limbs)
+  LimbVector limbs_;  // magnitude otherwise (>= 3 limbs)
 
   friend struct BigIntDivMod;
   friend BigIntDivMod div_mod(const BigInt& dividend, const BigInt& divisor);

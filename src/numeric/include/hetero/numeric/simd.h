@@ -1,0 +1,171 @@
+#pragma once
+
+// Four-wide double-precision SIMD abstraction for the float hot-path kernels.
+//
+// Every operation maps 1:1 onto an AVX2/FMA instruction when the translation
+// unit is compiled with those ISA extensions enabled, and onto an elementwise
+// scalar loop (with std::fma for the fused operations) otherwise.  Both
+// implementations perform the *same* IEEE-754 arithmetic per lane, so kernel
+// results are bit-identical whether or not the vector unit is used — tests
+// and the experiment journals never depend on the build's ISA flags.
+//
+// The abstraction is deliberately tiny: just the operations the kernels in
+// kernels.cpp need (lane-shifted products for in-register prefix scans, a
+// branch-free Neumaier update, and magnitude-threshold escapes).  It is not
+// a general vector library.
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define HETERO_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define HETERO_SIMD_AVX2 0
+#endif
+
+namespace hetero::numeric::simd {
+
+inline constexpr std::size_t kLanes = 4;
+
+#if HETERO_SIMD_AVX2
+
+struct Vec4d {
+  __m256d v;
+};
+
+inline Vec4d broadcast(double x) { return {_mm256_set1_pd(x)}; }
+inline Vec4d zero() { return {_mm256_setzero_pd()}; }
+inline Vec4d loadu(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void storeu(double* p, Vec4d x) { _mm256_storeu_pd(p, x.v); }
+inline Vec4d add(Vec4d a, Vec4d b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline Vec4d sub(Vec4d a, Vec4d b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline Vec4d mul(Vec4d a, Vec4d b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline Vec4d div(Vec4d a, Vec4d b) { return {_mm256_div_pd(a.v, b.v)}; }
+/// a*b + c with a single rounding.
+inline Vec4d fma(Vec4d a, Vec4d b, Vec4d c) { return {_mm256_fmadd_pd(a.v, b.v, c.v)}; }
+inline Vec4d abs(Vec4d a) {
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+/// All-bits mask per lane: a >= b.
+inline Vec4d cmp_ge(Vec4d a, Vec4d b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)}; }
+/// All-bits mask per lane: a > b.
+inline Vec4d cmp_gt(Vec4d a, Vec4d b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)}; }
+/// Lane-wise select: mask ? b : a (mask from cmp_*).
+inline Vec4d select(Vec4d mask, Vec4d b, Vec4d a) {
+  return {_mm256_blendv_pd(a.v, b.v, mask.v)};
+}
+/// Sign-bit mask of each lane packed into the low 4 bits.
+inline int movemask(Vec4d a) { return _mm256_movemask_pd(a.v); }
+/// [fill, a0, a1, a2] — shifts every lane up by one.
+inline Vec4d shift_up(Vec4d a, double fill) {
+  const __m256d rotated = _mm256_permute4x64_pd(a.v, 0b10010000);
+  return {_mm256_blend_pd(rotated, _mm256_set1_pd(fill), 0b0001)};
+}
+/// [fill, fill, a0, a1] — shifts every lane up by two.
+inline Vec4d shift_up2(Vec4d a, double fill) {
+  const __m256d rotated = _mm256_permute4x64_pd(a.v, 0b01000000);
+  return {_mm256_blend_pd(rotated, _mm256_set1_pd(fill), 0b0011)};
+}
+/// Broadcast of the top lane: [a3, a3, a3, a3].
+inline Vec4d broadcast_lane3(Vec4d a) {
+  return {_mm256_permute4x64_pd(a.v, 0b11111111)};
+}
+
+#else  // scalar fallback: same arithmetic, one lane at a time
+
+struct Vec4d {
+  double v[kLanes];
+};
+
+inline Vec4d broadcast(double x) { return {{x, x, x, x}}; }
+inline Vec4d zero() { return {{0.0, 0.0, 0.0, 0.0}}; }
+inline Vec4d loadu(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline void storeu(double* p, Vec4d x) {
+  for (std::size_t l = 0; l < kLanes; ++l) p[l] = x.v[l];
+}
+inline Vec4d add(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+  return r;
+}
+inline Vec4d sub(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] - b.v[l];
+  return r;
+}
+inline Vec4d mul(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] * b.v[l];
+  return r;
+}
+inline Vec4d div(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] / b.v[l];
+  return r;
+}
+inline Vec4d fma(Vec4d a, Vec4d b, Vec4d c) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = std::fma(a.v[l], b.v[l], c.v[l]);
+  return r;
+}
+inline Vec4d abs(Vec4d a) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = std::fabs(a.v[l]);
+  return r;
+}
+namespace detail {
+// Encode a comparison mask as the all-bits / no-bits payloads blendv uses.
+inline double mask_bits(bool on) {
+  return on ? -std::numeric_limits<double>::quiet_NaN() : 0.0;
+}
+inline bool mask_set(double m) { return std::signbit(m); }
+}  // namespace detail
+inline Vec4d cmp_ge(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = detail::mask_bits(a.v[l] >= b.v[l]);
+  return r;
+}
+inline Vec4d cmp_gt(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = detail::mask_bits(a.v[l] > b.v[l]);
+  return r;
+}
+inline Vec4d select(Vec4d mask, Vec4d b, Vec4d a) {
+  Vec4d r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = detail::mask_set(mask.v[l]) ? b.v[l] : a.v[l];
+  return r;
+}
+inline int movemask(Vec4d a) {
+  int m = 0;
+  for (std::size_t l = 0; l < kLanes; ++l) m |= (detail::mask_set(a.v[l]) ? 1 : 0) << l;
+  return m;
+}
+inline Vec4d shift_up(Vec4d a, double fill) { return {{fill, a.v[0], a.v[1], a.v[2]}}; }
+inline Vec4d shift_up2(Vec4d a, double fill) { return {{fill, fill, a.v[0], a.v[1]}}; }
+inline Vec4d broadcast_lane3(Vec4d a) {
+  return {{a.v[3], a.v[3], a.v[3], a.v[3]}};
+}
+
+#endif  // HETERO_SIMD_AVX2
+
+/// In-register inclusive prefix product: [a0, a0a1, a0a1a2, a0a1a2a3].
+inline Vec4d inclusive_prefix_product(Vec4d a) {
+  const Vec4d step1 = mul(a, shift_up(a, 1.0));
+  return mul(step1, shift_up2(step1, 1.0));
+}
+
+/// One branch-free Neumaier accumulation step per lane: adds `term` into the
+/// running (sum, compensation) pair with the same error-splitting the scalar
+/// numeric::NeumaierSum performs.
+inline void neumaier_add(Vec4d term, Vec4d& sum, Vec4d& comp) {
+  const Vec4d t = add(sum, term);
+  const Vec4d from_sum = add(sub(sum, t), term);
+  const Vec4d from_term = add(sub(term, t), sum);
+  const Vec4d sum_dominates = cmp_ge(abs(sum), abs(term));
+  comp = add(comp, select(sum_dominates, from_sum, from_term));
+  sum = t;
+}
+
+}  // namespace hetero::numeric::simd

@@ -25,11 +25,28 @@ enum class LpStatus {
 
 [[nodiscard]] const char* to_string(LpStatus status) noexcept;
 
+/// Basis of a simplex vertex: for each constraint row, the index of its
+/// basic column in [structural 0..n-1 | slack n..n+m-1] space (artificial
+/// columns never appear).  An empty `basic` means "no basis" — a cold start
+/// when passed in, "no reusable basis" when handed back.
+struct SimplexBasis {
+  std::vector<std::size_t> basic;
+  [[nodiscard]] bool empty() const noexcept { return basic.empty(); }
+};
+
 struct LpSolution {
   LpStatus status = LpStatus::kIterationLimit;
   double objective = 0.0;
   std::vector<double> x;
   int iterations = 0;
+  /// Optimal basis (populated when status == kOptimal and no artificial
+  /// variable is stuck basic); feed it back as a warm start for a
+  /// neighbouring LP.  Execution detail: excluded from the warm/cold
+  /// bit-identity contract.
+  SimplexBasis basis;
+  /// True when the solve actually started from the supplied basis (false on
+  /// cold start or warm-start fallback).  Execution detail, like `basis`.
+  bool warm_started = false;
 };
 
 /// Maximizes c.x subject to A x <= b and x >= 0 — **exactly**.
@@ -55,9 +72,29 @@ class SimplexSolver {
   [[nodiscard]] LpSolution maximize(std::span<const double> c, const Matrix& a,
                                     std::span<const double> b) const;
 
+  /// Like the above, but tries to start phase 2 directly from `warm`
+  /// (typically the optimal basis of a neighbouring LP in a sweep).  If the
+  /// basis is malformed, singular for this tableau, or infeasible here, the
+  /// solver silently falls back to a cold start — warm-starting can change
+  /// speed, never correctness.  The returned status, objective, and x are
+  /// bit-identical to the cold solve whenever the LP's optimal vertex is
+  /// unique: exact rational pivoting reaches the same vertex from any
+  /// feasible starting basis, and every double is extracted from the same
+  /// exact value.  (With multiple optima either run may report a different
+  /// — equally optimal — vertex.)  `iterations`, `warm_started`, and
+  /// `basis` are execution details excluded from that identity contract.
+  [[nodiscard]] LpSolution maximize(std::span<const double> c, const Matrix& a,
+                                    std::span<const double> b,
+                                    const SimplexBasis& warm) const;
+
   /// Convenience: minimize c.x subject to A x <= b, x >= 0.
   [[nodiscard]] LpSolution minimize(std::span<const double> c, const Matrix& a,
                                     std::span<const double> b) const;
+
+  /// Warm-started minimize (same contract as the warm maximize).
+  [[nodiscard]] LpSolution minimize(std::span<const double> c, const Matrix& a,
+                                    std::span<const double> b,
+                                    const SimplexBasis& warm) const;
 
  private:
   Options options_;

@@ -1,0 +1,239 @@
+#include "hetero/numeric/kernels.h"
+
+#include <cmath>
+
+#include "hetero/numeric/simd.h"
+#include "hetero/numeric/summation.h"
+
+namespace hetero::numeric {
+namespace {
+
+// Folds four lane-accumulators (every-4th-term partial sums) and their
+// compensations into one scalar total, in fixed lane order.
+double fold_lanes(simd::Vec4d sum, simd::Vec4d comp, NeumaierSum& tail) {
+  double sl[simd::kLanes];
+  double cl[simd::kLanes];
+  simd::storeu(sl, sum);
+  simd::storeu(cl, comp);
+  NeumaierSum total = NeumaierSum::restore(sl[0], cl[0], 1);
+  for (std::size_t l = 1; l < simd::kLanes; ++l) {
+    total.add(sl[l]);
+    total = NeumaierSum::restore(total.raw_sum(), total.compensation() + cl[l],
+                                 total.count());
+  }
+  total.merge(tail);
+  return total.value();
+}
+
+// log1p on [-1e-3, 1e-3] by the degree-7 Taylor polynomial in Horner form;
+// truncation error < |x|^7 / 8 relative, i.e. < 1e-21 at the threshold.
+simd::Vec4d log1p_small(simd::Vec4d x) {
+  using simd::Vec4d;
+  using simd::broadcast;
+  Vec4d p = simd::fma(broadcast(1.0 / 7.0), x, broadcast(-1.0 / 6.0));
+  p = simd::fma(p, x, broadcast(1.0 / 5.0));
+  p = simd::fma(p, x, broadcast(-1.0 / 4.0));
+  p = simd::fma(p, x, broadcast(1.0 / 3.0));
+  p = simd::fma(p, x, broadcast(-1.0 / 2.0));
+  p = simd::fma(p, x, broadcast(1.0));
+  return simd::mul(p, x);
+}
+
+// Scalar twin of log1p_small with the same threshold policy as the vector
+// path; the tails of log1p_ratio_sum and the fused kernel both use it, so
+// they agree term for term.
+double scalar_log1p_term(double x) {
+  if (std::fabs(x) > 1e-3) return std::log1p(x);
+  double p = std::fma(1.0 / 7.0, x, -1.0 / 6.0);
+  p = std::fma(p, x, 1.0 / 5.0);
+  p = std::fma(p, x, -1.0 / 4.0);
+  p = std::fma(p, x, 1.0 / 3.0);
+  p = std::fma(p, x, -1.0 / 2.0);
+  p = std::fma(p, x, 1.0);
+  return p * x;
+}
+
+// Group-of-lanes log1p terms with the shared escape policy: if any lane
+// leaves the polynomial's certified range, the whole group goes through
+// libm so the value does not depend on which lane escaped.
+simd::Vec4d log1p_terms(simd::Vec4d x) {
+  const simd::Vec4d threshold = simd::broadcast(1e-3);
+  if (simd::movemask(simd::cmp_gt(simd::abs(x), threshold)) != 0) [[unlikely]] {
+    double xs[simd::kLanes];
+    double ts[simd::kLanes];
+    simd::storeu(xs, x);
+    for (std::size_t l = 0; l < simd::kLanes; ++l) ts[l] = std::log1p(xs[l]);
+    return simd::loadu(ts);
+  }
+  return log1p_small(x);
+}
+
+}  // namespace
+
+double x_measure_kernel(std::span<const double> rho, double a, double b, double td) {
+  const std::size_t n = rho.size();
+  std::size_t i = 0;
+  NeumaierSum tail;
+  double rp_tail = 1.0;
+  simd::Vec4d sum = simd::zero();
+  simd::Vec4d comp = simd::zero();
+  if (n >= 2 * simd::kLanes) {
+    const simd::Vec4d va = simd::broadcast(a);
+    const simd::Vec4d vb = simd::broadcast(b);
+    const simd::Vec4d vtd = simd::broadcast(td);
+    const simd::Vec4d one = simd::broadcast(1.0);
+    simd::Vec4d rp = one;  // running product, broadcast across lanes
+    for (; i + simd::kLanes <= n; i += simd::kLanes) {
+      const simd::Vec4d r = simd::loadu(rho.data() + i);
+      const simd::Vec4d denom = simd::fma(vb, r, va);
+      const simd::Vec4d inv = simd::div(one, denom);
+      const simd::Vec4d f = simd::mul(simd::fma(vb, r, vtd), inv);
+      const simd::Vec4d incl = simd::inclusive_prefix_product(f);
+      const simd::Vec4d excl = simd::shift_up(incl, 1.0);
+      const simd::Vec4d terms = simd::mul(simd::mul(rp, excl), inv);
+      simd::neumaier_add(terms, sum, comp);
+      rp = simd::mul(rp, simd::broadcast_lane3(incl));
+    }
+    double rp_lanes[simd::kLanes];
+    simd::storeu(rp_lanes, rp);
+    rp_tail = rp_lanes[0];
+  }
+  for (; i < n; ++i) {
+    const double denom = b * rho[i] + a;
+    tail.add(rp_tail / denom);
+    rp_tail *= (b * rho[i] + td) / denom;
+  }
+  return fold_lanes(sum, comp, tail);
+}
+
+double log1p_ratio_sum(std::span<const double> rho, double a, double b, double c) {
+  const std::size_t n = rho.size();
+  std::size_t i = 0;
+  NeumaierSum tail;
+  simd::Vec4d sum = simd::zero();
+  simd::Vec4d comp = simd::zero();
+  if (n >= 2 * simd::kLanes) {
+    const simd::Vec4d va = simd::broadcast(a);
+    const simd::Vec4d vb = simd::broadcast(b);
+    const simd::Vec4d negc = simd::broadcast(-c);
+    for (; i + simd::kLanes <= n; i += simd::kLanes) {
+      const simd::Vec4d r = simd::loadu(rho.data() + i);
+      const simd::Vec4d denom = simd::fma(vb, r, va);
+      const simd::Vec4d x = simd::div(negc, denom);
+      simd::neumaier_add(log1p_terms(x), sum, comp);
+    }
+  }
+  for (; i < n; ++i) {
+    const double x = -c / (b * rho[i] + a);
+    tail.add(scalar_log1p_term(x));
+  }
+  return fold_lanes(sum, comp, tail);
+}
+
+XLogSums x_and_log1p_kernel(std::span<const double> rho, double a, double b, double td,
+                            double c) {
+  const std::size_t n = rho.size();
+  std::size_t i = 0;
+  NeumaierSum x_tail;
+  NeumaierSum log_tail;
+  double rp_tail = 1.0;
+  simd::Vec4d x_sum = simd::zero();
+  simd::Vec4d x_comp = simd::zero();
+  simd::Vec4d log_sum = simd::zero();
+  simd::Vec4d log_comp = simd::zero();
+  if (n >= 2 * simd::kLanes) {
+    const simd::Vec4d va = simd::broadcast(a);
+    const simd::Vec4d vb = simd::broadcast(b);
+    const simd::Vec4d vtd = simd::broadcast(td);
+    const simd::Vec4d negc = simd::broadcast(-c);
+    const simd::Vec4d one = simd::broadcast(1.0);
+    simd::Vec4d rp = one;
+    for (; i + simd::kLanes <= n; i += simd::kLanes) {
+      const simd::Vec4d r = simd::loadu(rho.data() + i);
+      const simd::Vec4d denom = simd::fma(vb, r, va);
+      // X path, exactly as x_measure_kernel.
+      const simd::Vec4d inv = simd::div(one, denom);
+      const simd::Vec4d f = simd::mul(simd::fma(vb, r, vtd), inv);
+      const simd::Vec4d incl = simd::inclusive_prefix_product(f);
+      const simd::Vec4d excl = simd::shift_up(incl, 1.0);
+      const simd::Vec4d terms = simd::mul(simd::mul(rp, excl), inv);
+      simd::neumaier_add(terms, x_sum, x_comp);
+      rp = simd::mul(rp, simd::broadcast_lane3(incl));
+      // Log path, exactly as log1p_ratio_sum — its own division, not the
+      // shared reciprocal, so the quotient rounds identically.
+      const simd::Vec4d x = simd::div(negc, denom);
+      simd::neumaier_add(log1p_terms(x), log_sum, log_comp);
+    }
+    double rp_lanes[simd::kLanes];
+    simd::storeu(rp_lanes, rp);
+    rp_tail = rp_lanes[0];
+  }
+  for (; i < n; ++i) {
+    const double denom = b * rho[i] + a;
+    x_tail.add(rp_tail / denom);
+    rp_tail *= (b * rho[i] + td) / denom;
+    log_tail.add(scalar_log1p_term(-c / denom));
+  }
+  XLogSums out;
+  out.x = fold_lanes(x_sum, x_comp, x_tail);
+  out.log_sum = fold_lanes(log_sum, log_comp, log_tail);
+  return out;
+}
+
+std::vector<double> elementary_symmetric_double(std::span<const double> values) {
+  const std::size_t n = values.size();
+  // Four zero pads below e[0] let the blocked update read e[k-4] unguarded;
+  // the scratch is reused across calls so the only allocation is the result.
+  static thread_local std::vector<double> buffer;
+  buffer.assign(n + simd::kLanes + 1, 0.0);
+  double* e = buffer.data() + simd::kLanes;
+  e[0] = 1.0;
+  std::size_t filled = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double v1 = values[i];
+    const double v2 = values[i + 1];
+    const double v3 = values[i + 2];
+    const double v4 = values[i + 3];
+    // Coefficients of (1 + v1 t)(1 + v2 t)(1 + v3 t)(1 + v4 t).
+    const double s12 = v1 + v2;
+    const double s34 = v3 + v4;
+    const double p12 = v1 * v2;
+    const double p34 = v3 * v4;
+    const double c1 = s12 + s34;
+    const double c2 = p12 + p34 + s12 * s34;
+    const double c3 = p12 * s34 + p34 * s12;
+    const double c4 = p12 * p34;
+    filled += 4;
+    const simd::Vec4d vc1 = simd::broadcast(c1);
+    const simd::Vec4d vc2 = simd::broadcast(c2);
+    const simd::Vec4d vc3 = simd::broadcast(c3);
+    const simd::Vec4d vc4 = simd::broadcast(c4);
+    std::size_t k = filled;
+    for (; k >= simd::kLanes; k -= simd::kLanes) {
+      // Update e[k-3..k]; all operands are pre-sweep values (the reads sit
+      // at or below the store range, and k descends).
+      simd::Vec4d t = simd::loadu(e + k - 3);
+      t = simd::fma(vc1, simd::loadu(e + k - 4), t);
+      t = simd::fma(vc2, simd::loadu(e + k - 5), t);
+      t = simd::fma(vc3, simd::loadu(e + k - 6), t);
+      t = simd::fma(vc4, simd::loadu(e + k - 7), t);
+      simd::storeu(e + k - 3, t);
+    }
+    for (; k >= 1; --k) {
+      e[k] = std::fma(c4, e[k - 4],
+                      std::fma(c3, e[k - 3],
+                               std::fma(c2, e[k - 2], std::fma(c1, e[k - 1], e[k]))));
+    }
+  }
+  for (; i < n; ++i) {
+    const double v = values[i];
+    ++filled;
+    for (std::size_t k = filled; k >= 1; --k) e[k] = e[k] + e[k - 1] * v;
+  }
+  return std::vector<double>(buffer.begin() + simd::kLanes, buffer.begin() + simd::kLanes + n + 1);
+}
+
+bool simd_kernels_vectorized() noexcept { return HETERO_SIMD_AVX2 != 0; }
+
+}  // namespace hetero::numeric

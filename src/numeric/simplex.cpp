@@ -138,6 +138,56 @@ class Tableau {
     return iterate(max_iterations, iterations);
   }
 
+  /// Pivots the freshly built tableau onto the given basis.  Returns true
+  /// iff the basis is well-formed (one distinct structural/slack column per
+  /// row), nonsingular for this tableau, and primal feasible here (all rhs
+  /// nonnegative) — in which case phase 1 can be skipped outright.  On
+  /// false the tableau may be half-pivoted; the caller rebuilds it.
+  bool install_basis(const SimplexBasis& warm) {
+    if (warm.basic.size() != m_) return false;
+    std::vector<bool> wanted(n_ + m_, false);
+    for (std::size_t col : warm.basic) {
+      if (col >= n_ + m_ || wanted[col]) return false;
+      wanted[col] = true;
+    }
+    for (std::size_t col : warm.basic) {
+      bool already_basic = false;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (basis_[i] == col) {
+          already_basic = true;
+          break;
+        }
+      }
+      if (already_basic) continue;  // the slack identity covers most rows
+      std::size_t row = m_;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (!wanted[basis_[i]] && !at(i, col).is_zero()) {
+          row = i;
+          break;
+        }
+      }
+      if (row == m_) return false;  // singular against the remaining rows
+      pivot(row, col);
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (rhs(i).signum() < 0) return false;  // that vertex is infeasible here
+    }
+    return true;
+  }
+
+  /// Basis of the current vertex, for warm-starting a neighbouring LP.
+  /// Empty when an artificial variable is stuck basic (degenerate phase-1
+  /// leftovers) — such a basis cannot seed another solve.
+  [[nodiscard]] SimplexBasis extract_basis() const {
+    SimplexBasis basis;
+    basis.basic.reserve(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_ + m_) return SimplexBasis{};
+      basis.basic.push_back(basis_[i]);
+    }
+    return basis;
+  }
+
   [[nodiscard]] std::vector<double> extract_solution() const {
     std::vector<double> x(n_, 0.0);
     for (std::size_t i = 0; i < m_; ++i) {
@@ -282,36 +332,81 @@ namespace {
 
 }  // namespace
 
+namespace {
+
+/// Warm-start effectiveness: attempts vs accepted installs tell sweeps
+/// whether their bases actually transfer between neighbouring LPs.
+[[maybe_unused]] void record_warm_metrics(bool accepted) {
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& attempts = obs::counter("lp.warm_attempts");
+    static obs::Counter& accepts = obs::counter("lp.warm_starts");
+    attempts.add(1);
+    if (accepted) accepts.add(1);
+  } else {
+    static_cast<void>(accepted);
+  }
+}
+
+}  // namespace
+
 LpSolution SimplexSolver::maximize(std::span<const double> c, const Matrix& a,
                                    std::span<const double> b) const {
-  Tableau tableau{c, a, b};
+  return maximize(c, a, b, SimplexBasis{});
+}
+
+LpSolution SimplexSolver::maximize(std::span<const double> c, const Matrix& a,
+                                   std::span<const double> b, const SimplexBasis& warm) const {
+  // The whole solve runs inside a reused per-thread arena: every Rational
+  // temporary the pivot loop churns through is a pointer bump, reclaimed
+  // wholesale after the tableau dies.  Safe because LpSolution carries only
+  // doubles and column indices — no exact value escapes the scope.
+  static thread_local Arena arena;
   LpSolution solution;
-  int iterations = 0;
-  if (!tableau.phase1(options_.max_iterations, iterations)) {
-    solution.status = LpStatus::kInfeasible;
-    solution.iterations = iterations;
+  {
+    ArenaScope scope{arena};
+    Tableau tableau{c, a, b};
+    if (!warm.empty()) {
+      solution.warm_started = tableau.install_basis(warm);
+      record_warm_metrics(solution.warm_started);
+      if (!solution.warm_started) {
+        // The attempted install may have half-pivoted the tableau; rebuild
+        // from scratch and run the ordinary cold two-phase solve.
+        tableau = Tableau{c, a, b};
+      }
+    }
+    int iterations = 0;
+    const bool feasible =
+        solution.warm_started || tableau.phase1(options_.max_iterations, iterations);
+    if (!feasible) {
+      solution.status = LpStatus::kInfeasible;
+      solution.iterations = iterations;
+    } else if (!tableau.phase2(options_.max_iterations, iterations)) {
+      solution.status = LpStatus::kUnbounded;
+      solution.iterations = iterations;
+    } else {
+      solution.status = iterations >= options_.max_iterations ? LpStatus::kIterationLimit
+                                                              : LpStatus::kOptimal;
+      solution.iterations = iterations;
+      solution.x = tableau.extract_solution();
+      solution.objective = tableau.objective_value();
+      if (solution.status == LpStatus::kOptimal) solution.basis = tableau.extract_basis();
+    }
     record_solve_metrics(iterations, tableau.lift_memo());
-    return solution;
   }
-  const bool bounded = tableau.phase2(options_.max_iterations, iterations);
-  solution.iterations = iterations;
-  record_solve_metrics(iterations, tableau.lift_memo());
-  if (!bounded) {
-    solution.status = LpStatus::kUnbounded;
-    return solution;
-  }
-  solution.status = iterations >= options_.max_iterations ? LpStatus::kIterationLimit
-                                                          : LpStatus::kOptimal;
-  solution.x = tableau.extract_solution();
-  solution.objective = tableau.objective_value();
+  arena.reset();
   return solution;
 }
 
 LpSolution SimplexSolver::minimize(std::span<const double> c, const Matrix& a,
                                    std::span<const double> b) const {
+  return minimize(c, a, b, SimplexBasis{});
+}
+
+LpSolution SimplexSolver::minimize(std::span<const double> c, const Matrix& a,
+                                   std::span<const double> b, const SimplexBasis& warm) const {
   std::vector<double> negated(c.begin(), c.end());
   for (double& v : negated) v = -v;
-  LpSolution solution = maximize(negated, a, b);
+  LpSolution solution = maximize(negated, a, b, warm);
   solution.objective = -solution.objective;
   return solution;
 }

@@ -1,6 +1,10 @@
 #include "hetero/numeric/symmetric.h"
 
+#include "hetero/numeric/arena.h"
+#include "hetero/numeric/kernels.h"
+
 namespace hetero::numeric {
+
 
 std::vector<Rational> to_rationals(std::span<const double> values) {
   std::vector<Rational> result;
@@ -10,8 +14,22 @@ std::vector<Rational> to_rationals(std::span<const double> values) {
 }
 
 std::vector<Rational> elementary_symmetric_exact(std::span<const double> values) {
-  const std::vector<Rational> exact = to_rationals(values);
-  return elementary_symmetric(std::span<const Rational>{exact});
+  // The O(n^2) recurrence discards a Rational temporary per cell; run it in
+  // a reused per-thread arena and deep-copy only the n+1 results back onto
+  // the heap (the copies allocate under ArenaPause, so they may outlive the
+  // scope).
+  static thread_local Arena arena;
+  std::vector<Rational> result;
+  {
+    ArenaScope scope{arena};
+    const std::vector<Rational> exact = to_rationals(values);
+    const std::vector<Rational> e = elementary_symmetric(std::span<const Rational>{exact});
+    result.reserve(e.size());
+    ArenaPause pause;
+    for (const Rational& value : e) result.push_back(value);
+  }
+  arena.reset();
+  return result;
 }
 
 }  // namespace hetero::numeric

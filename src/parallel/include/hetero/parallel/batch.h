@@ -1,0 +1,41 @@
+#pragma once
+
+// ThreadPool adapter for core::batch_evaluate.
+//
+// core/batch.h defines the executor extension point but stays thread-free;
+// this header is where the two layers meet.  pool_executor wraps a
+// ThreadPool in a BatchExecutor: the batch is split by parallel_for's
+// static chunking, each index writes only its own output slot, and the
+// call blocks until the batch is done (so the usual parallel_for
+// exception-propagation and cancellation semantics apply unchanged).
+//
+// The executor captures the pool by reference — keep the pool alive for as
+// long as the executor (and anything holding a copy of it) is used.
+
+#include <cstddef>
+#include <functional>
+
+#include "hetero/core/batch.h"
+#include "hetero/parallel/parallel_for.h"
+#include "hetero/parallel/thread_pool.h"
+
+namespace hetero::parallel {
+
+/// BatchExecutor running bodies on `pool` via parallel_for.
+[[nodiscard]] inline core::BatchExecutor pool_executor(ThreadPool& pool) {
+  return [&pool](std::size_t count, const std::function<void(std::size_t)>& body) {
+    parallel_for(pool, 0, count, body);
+  };
+}
+
+/// Like pool_executor, but checks `token` between iterations (see the
+/// cancellable parallel_for overload); a fired token surfaces as
+/// core::Cancelled / core::DeadlineExceeded from batch_evaluate.
+[[nodiscard]] inline core::BatchExecutor pool_executor(ThreadPool& pool,
+                                                       core::CancelToken token) {
+  return [&pool, token](std::size_t count, const std::function<void(std::size_t)>& body) {
+    parallel_for(pool, 0, count, body, token);
+  };
+}
+
+}  // namespace hetero::parallel

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "hetero/core/batch.h"
 #include "hetero/core/power.h"
 #include "hetero/numeric/summation.h"
 
@@ -36,26 +37,13 @@ std::vector<double> fifo_allocations(std::span<const double> speeds,
                                      const core::Environment& env, double lifespan,
                                      std::span<const std::size_t> startup_order) {
   check_inputs(speeds, lifespan, startup_order);
-  const std::size_t n = speeds.size();
-  const double a = env.a();
-  const double b = env.b();
-  const double td = env.tau_delta();
-
-  // Relative allocations u_k (u_1 = 1) from the no-gap recurrence.
-  std::vector<double> u(n);
-  u[0] = 1.0;
-  for (std::size_t k = 1; k < n; ++k) {
-    const double prev_rho = speeds[startup_order[k - 1]];
-    const double cur_rho = speeds[startup_order[k]];
-    u[k] = u[k - 1] * (b * prev_rho + td) / (b * cur_rho + a);
-  }
-  // Scale so A * sum(w) + (B rho_last + tau delta) * w_last = L.
-  numeric::NeumaierSum u_sum;
-  for (double v : u) u_sum.add(v);
-  const double last_rho = speeds[startup_order[n - 1]];
-  const double scale = lifespan / (a * u_sum.value() + (b * last_rho + td) * u[n - 1]);
-  for (double& v : u) v *= scale;
-  return u;
+  // Gather the speeds into startup order and hand off to the shared
+  // Section-2.3 closed form (core/batch.h) — the gathered value sequence is
+  // what the recurrence reads either way, so this is the same arithmetic.
+  std::vector<double> ordered;
+  ordered.reserve(speeds.size());
+  for (std::size_t machine : startup_order) ordered.push_back(speeds[machine]);
+  return core::fifo_allocations_in_order(ordered, env, lifespan);
 }
 
 Schedule fifo_schedule(std::span<const double> speeds, const core::Environment& env,
@@ -87,7 +75,9 @@ Schedule fifo_schedule(std::span<const double> speeds, const core::Environment& 
 
 std::vector<double> fifo_allocations(std::span<const double> speeds,
                                      const core::Environment& env, double lifespan) {
-  return fifo_allocations(speeds, env, lifespan, identity_order(speeds.size()));
+  // Identity order: the speeds are already in startup order, so skip the
+  // permutation gather entirely (core validates the rest).
+  return core::fifo_allocations_in_order(speeds, env, lifespan);
 }
 
 Schedule fifo_schedule(std::span<const double> speeds, const core::Environment& env,

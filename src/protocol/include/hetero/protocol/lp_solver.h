@@ -15,6 +15,7 @@
 // startup-order independence) instead of assuming it: enumerate order pairs,
 // solve each LP, compare optima.
 
+#include <cstdint>
 #include <span>
 
 #include "hetero/core/environment.h"
@@ -34,6 +35,41 @@ struct LpScheduleResult {
 [[nodiscard]] LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
                                                  const core::Environment& env, double lifespan,
                                                  const ProtocolOrders& orders);
+
+/// Warm-started re-solver for families of related protocol LPs (lifespan or
+/// speed sweep grids, order enumerations).  Remembers the optimal basis of
+/// the previous solve and seeds the next one with it: neighbouring cells of
+/// a sweep usually share their optimal basis, so the simplex starts at (or
+/// one pivot from) the answer instead of replaying phase 1 + phase 2.
+///
+/// Correctness contract: each solve returns exactly what solve_protocol_lp
+/// would (bit-identical status/total_work/schedule whenever the LP optimum
+/// is unique — see SimplexSolver's warm-start contract); the cached basis is
+/// only a starting point, and the solver falls back to a cold start whenever
+/// it does not transfer.  Not thread-safe; use one resolver per thread.
+class LpResolver {
+ public:
+  LpResolver() = default;
+  explicit LpResolver(const numeric::SimplexSolver::Options& options) : solver_{options} {}
+
+  /// Same semantics and validation as solve_protocol_lp.
+  [[nodiscard]] LpScheduleResult solve(std::span<const double> speeds,
+                                       const core::Environment& env, double lifespan,
+                                       const ProtocolOrders& orders);
+
+  /// Drops the cached basis; the next solve starts cold.
+  void reset() noexcept { basis_.basic.clear(); }
+
+  [[nodiscard]] std::uint64_t solves() const noexcept { return solves_; }
+  /// Solves that actually started from the cached basis.
+  [[nodiscard]] std::uint64_t warm_starts() const noexcept { return warm_starts_; }
+
+ private:
+  numeric::SimplexSolver solver_;
+  numeric::SimplexBasis basis_;
+  std::uint64_t solves_ = 0;
+  std::uint64_t warm_starts_ = 0;
+};
 
 /// One row of the Theorem-1 validation sweep.
 struct OrderPairOutcome {

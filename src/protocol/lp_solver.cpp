@@ -16,12 +16,16 @@ namespace {
 std::size_t w_var(std::size_t machine) { return machine; }
 std::size_t r_var(std::size_t machine, std::size_t n) { return n + machine; }
 
-}  // namespace
+/// The fixed-order CEP as an LP in standard form (shared by the cold solver
+/// and the warm-started LpResolver).
+struct ProtocolLp {
+  std::vector<double> objective;
+  numeric::Matrix constraint;
+  std::vector<double> rhs;
+};
 
-LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
-                                   const core::Environment& env, double lifespan,
-                                   const ProtocolOrders& orders) {
-  HETERO_OBS_SCOPE("protocol.solve_lp");
+ProtocolLp build_protocol_lp(std::span<const double> speeds, const core::Environment& env,
+                             double lifespan, const ProtocolOrders& orders) {
   const std::size_t n = speeds.size();
   if (n == 0) throw std::invalid_argument("solve_protocol_lp: empty cluster");
   if (!(lifespan > 0.0)) throw std::invalid_argument("solve_protocol_lp: lifespan must be positive");
@@ -41,8 +45,10 @@ LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
 
   const std::size_t num_vars = 2 * n;
   const std::size_t num_constraints = 2 * n + 1;
-  numeric::Matrix constraint(num_constraints, num_vars);
-  std::vector<double> rhs(num_constraints, 0.0);
+  ProtocolLp lp;
+  lp.constraint = numeric::Matrix(num_constraints, num_vars);
+  lp.rhs.assign(num_constraints, 0.0);
+  numeric::Matrix& constraint = lp.constraint;
   std::size_t row = 0;
 
   // (1) compute_done_m <= r_m for every machine m:
@@ -53,7 +59,7 @@ LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
     }
     constraint(row, w_var(m)) += b * speeds[m];
     constraint(row, r_var(m, n)) -= 1.0;
-    rhs[row] = 0.0;
+    lp.rhs[row] = 0.0;
     ++row;
   }
 
@@ -65,7 +71,7 @@ LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
     constraint(row, r_var(cur, n)) += 1.0;
     constraint(row, w_var(cur)) += td;
     constraint(row, r_var(next, n)) -= 1.0;
-    rhs[row] = 0.0;
+    lp.rhs[row] = 0.0;
     ++row;
   }
 
@@ -73,25 +79,33 @@ LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
   //     A * sum(w) - r_{f_1} <= 0.
   for (std::size_t j = 0; j < n; ++j) constraint(row, w_var(j)) += a;
   constraint(row, r_var(orders.finishing.front(), n)) -= 1.0;
-  rhs[row] = 0.0;
+  lp.rhs[row] = 0.0;
   ++row;
 
   // (4) last result lands by the lifespan: r_{f_n} + tau delta w_{f_n} <= L.
   constraint(row, r_var(orders.finishing.back(), n)) += 1.0;
   constraint(row, w_var(orders.finishing.back())) += td;
-  rhs[row] = lifespan;
+  lp.rhs[row] = lifespan;
   ++row;
 
-  std::vector<double> objective(num_vars, 0.0);
-  for (std::size_t m = 0; m < n; ++m) objective[w_var(m)] = 1.0;
+  lp.objective.assign(num_vars, 0.0);
+  for (std::size_t m = 0; m < n; ++m) lp.objective[w_var(m)] = 1.0;
+  return lp;
+}
 
-  const numeric::SimplexSolver solver;
-  const numeric::LpSolution solution = solver.maximize(objective, constraint, rhs);
-
+LpScheduleResult materialize_schedule(const numeric::LpSolution& solution,
+                                      std::span<const double> speeds,
+                                      const core::Environment& env, double lifespan,
+                                      const ProtocolOrders& orders) {
   LpScheduleResult result;
   result.status = solution.status;
   if (solution.status != numeric::LpStatus::kOptimal) return result;
   result.total_work = solution.objective;
+
+  const std::size_t n = speeds.size();
+  const double a = env.a();
+  const double b = env.b();
+  const double td = env.tau_delta();
 
   // Materialize the timed schedule from the LP solution.
   Schedule& schedule = result.schedule;
@@ -112,6 +126,29 @@ LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
     t.result_end = t.result_start + td * t.work;
   }
   return result;
+}
+
+}  // namespace
+
+LpScheduleResult solve_protocol_lp(std::span<const double> speeds,
+                                   const core::Environment& env, double lifespan,
+                                   const ProtocolOrders& orders) {
+  HETERO_OBS_SCOPE("protocol.solve_lp");
+  const ProtocolLp lp = build_protocol_lp(speeds, env, lifespan, orders);
+  const numeric::SimplexSolver solver;
+  const numeric::LpSolution solution = solver.maximize(lp.objective, lp.constraint, lp.rhs);
+  return materialize_schedule(solution, speeds, env, lifespan, orders);
+}
+
+LpScheduleResult LpResolver::solve(std::span<const double> speeds, const core::Environment& env,
+                                   double lifespan, const ProtocolOrders& orders) {
+  HETERO_OBS_SCOPE("protocol.solve_lp");
+  const ProtocolLp lp = build_protocol_lp(speeds, env, lifespan, orders);
+  numeric::LpSolution solution = solver_.maximize(lp.objective, lp.constraint, lp.rhs, basis_);
+  ++solves_;
+  if (solution.warm_started) ++warm_starts_;
+  basis_ = std::move(solution.basis);  // empty again if this solve had none to offer
+  return materialize_schedule(solution, speeds, env, lifespan, orders);
 }
 
 std::vector<ChannelMerge> all_channel_merges(std::size_t n) {
@@ -316,6 +353,11 @@ std::vector<OrderPairOutcome> enumerate_order_pairs(std::span<const double> spee
   std::vector<std::size_t> sigma(n);
   std::iota(sigma.begin(), sigma.end(), std::size_t{0});
   std::vector<OrderPairOutcome> outcomes;
+  // Adjacent permutation pairs differ by a transposition, so their LPs
+  // usually share an optimal basis: warm-start each solve from the last.
+  // Only total_work (the exact optimum, basis-independent) is recorded, so
+  // warm-starting cannot change the outcomes even for degenerate ties.
+  LpResolver resolver;
   do {
     std::vector<std::size_t> phi(n);
     std::iota(phi.begin(), phi.end(), std::size_t{0});
@@ -323,7 +365,7 @@ std::vector<OrderPairOutcome> enumerate_order_pairs(std::span<const double> spee
       ProtocolOrders orders;
       orders.startup = sigma;
       orders.finishing = phi;
-      const LpScheduleResult lp = solve_protocol_lp(speeds, env, lifespan, orders);
+      const LpScheduleResult lp = resolver.solve(speeds, env, lifespan, orders);
       OrderPairOutcome outcome;
       outcome.orders = std::move(orders);
       outcome.total_work =

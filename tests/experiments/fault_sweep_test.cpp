@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "hetero/parallel/batch.h"
+#include "hetero/parallel/thread_pool.h"
 #include "hetero/protocol/fifo.h"
 
 namespace hetero::experiments {
@@ -46,6 +48,24 @@ TEST(FaultSweep, FaultFreeCellShowsNoDegradation) {
   EXPECT_NEAR(calm.reactive_degradation, 0.0, 1e-6);
   EXPECT_DOUBLE_EQ(calm.mean_crashes, 0.0);
   EXPECT_DOUBLE_EQ(calm.mean_replans, 0.0);
+}
+
+TEST(FaultSweep, ExecutorOverloadBitIdenticalToSerial) {
+  // Cells fan out through a pool-backed BatchExecutor; seeds depend only on
+  // (config.seed, cell index), so scheduling cannot change the numbers.
+  const auto serial = run_fault_sweep(kSpeeds, kEnv, small_grid());
+  parallel::ThreadPool pool{3};
+  const auto batched =
+      run_fault_sweep(kSpeeds, kEnv, small_grid(), parallel::pool_executor(pool));
+  ASSERT_EQ(serial.cells.size(), batched.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].crash_rate, batched.cells[i].crash_rate);
+    EXPECT_EQ(serial.cells[i].straggler_factor, batched.cells[i].straggler_factor);
+    EXPECT_EQ(serial.cells[i].oblivious_work, batched.cells[i].oblivious_work);  // bitwise
+    EXPECT_EQ(serial.cells[i].reactive_work, batched.cells[i].reactive_work);
+    EXPECT_EQ(serial.cells[i].mean_crashes, batched.cells[i].mean_crashes);
+    EXPECT_EQ(serial.cells[i].mean_replans, batched.cells[i].mean_replans);
+  }
 }
 
 TEST(FaultSweep, SweepIsDeterministicInSeed) {

@@ -1,0 +1,145 @@
+// Unit tests for the bump arena behind exact-arithmetic temporaries
+// (numeric/arena.h): scope/pause mechanics, ownership checks, block reuse
+// across reset, and the contract that arena-backed BigInt/Rational
+// arithmetic produces exactly the heap results.
+
+#include "hetero/numeric/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hetero/numeric/bigint.h"
+#include "hetero/numeric/rational.h"
+
+namespace hetero::numeric {
+namespace {
+
+TEST(ArenaTest, AllocationsInsideScopeAreArenaOwned) {
+  Arena arena;
+  EXPECT_EQ(active_arena(), nullptr);
+  {
+    ArenaScope scope{arena};
+    ASSERT_EQ(active_arena(), &arena);
+    void* p = arena.allocate(64, 16);
+    EXPECT_TRUE(arena.owns(p));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+  }
+  EXPECT_EQ(active_arena(), nullptr);
+}
+
+TEST(ArenaTest, PauseRedirectsToHeapButKeepsInstalled) {
+  Arena arena;
+  ArenaScope scope{arena};
+  {
+    ArenaPause pause;
+    EXPECT_EQ(active_arena(), nullptr);
+    EXPECT_EQ(installed_arena(), &arena);
+  }
+  EXPECT_EQ(active_arena(), &arena);
+}
+
+TEST(ArenaTest, FallbackAllocatorUsesArenaOnlyInsideScope) {
+  Arena arena;
+  ArenaFallbackAllocator<std::uint32_t> alloc;
+  // No scope: plain heap.
+  std::uint32_t* heap_ptr = alloc.allocate(8);
+  EXPECT_FALSE(arena.owns(heap_ptr));
+  alloc.deallocate(heap_ptr, 8);
+  {
+    ArenaScope scope{arena};
+    std::uint32_t* arena_ptr = alloc.allocate(8);
+    EXPECT_TRUE(arena.owns(arena_ptr));
+    alloc.deallocate(arena_ptr, 8);  // no-op: the arena reclaims in bulk
+    // Heap pointers freed while a scope is active must still be recognized
+    // as foreign and heap-deleted (exercised for leaks under ASan).
+    ArenaPause pause;
+    std::uint32_t* paused_ptr = alloc.allocate(8);
+    EXPECT_FALSE(arena.owns(paused_ptr));
+    alloc.deallocate(paused_ptr, 8);
+  }
+}
+
+TEST(ArenaTest, GrowsAcrossBlocksAndReusesThemAfterReset) {
+  Arena arena;
+  {
+    ArenaScope scope{arena};
+    // Far beyond the first block, forcing several doublings.
+    for (int i = 0; i < 100; ++i) {
+      void* p = arena.allocate(4096, 8);
+      ASSERT_TRUE(arena.owns(p));
+    }
+  }
+  arena.reset();
+  {
+    ArenaScope scope{arena};
+    void* p = arena.allocate(64, 8);
+    EXPECT_TRUE(arena.owns(p));
+  }
+  arena.reset();
+}
+
+TEST(ArenaTest, BigIntArithmeticMatchesHeapExactly) {
+  // 100! computed twice: once heap-backed, once arena-backed with the result
+  // deep-copied out under a pause.  Multi-limb magnitudes guarantee the limb
+  // buffers actually route through the arena.
+  const auto factorial = [] {
+    BigInt f{1};
+    for (int i = 2; i <= 100; ++i) f *= BigInt{static_cast<std::int64_t>(i)};
+    return f;
+  };
+  const BigInt heap_result = factorial();
+  Arena arena;
+  BigInt arena_result;
+  {
+    ArenaScope scope{arena};
+    const BigInt scratch = factorial();
+    ArenaPause pause;
+    arena_result = scratch;  // copy allocates on the heap
+  }
+  arena.reset();
+  EXPECT_EQ(arena_result, heap_result);
+  EXPECT_EQ(arena_result.to_string(), heap_result.to_string());
+}
+
+TEST(ArenaTest, RationalArithmeticMatchesHeapExactly) {
+  const auto compute = [] {
+    Rational sum;
+    for (int i = 1; i <= 200; ++i) sum += Rational{1} / Rational{i};
+    return sum;
+  };
+  const Rational heap_result = compute();
+  Arena arena;
+  Rational arena_result;
+  {
+    ArenaScope scope{arena};
+    const Rational scratch = compute();
+    ArenaPause pause;
+    arena_result = scratch;
+  }
+  arena.reset();
+  EXPECT_EQ(arena_result, heap_result);
+  EXPECT_EQ(arena_result.to_string(), heap_result.to_string());
+}
+
+TEST(ArenaTest, VectorsSurviveArenaHeapBoundaryMoves) {
+  // An always-equal allocator must let buffers move across the boundary:
+  // grow a vector inside the scope, move it out, keep using it after reset.
+  Arena arena;
+  std::vector<std::uint32_t, ArenaFallbackAllocator<std::uint32_t>> survivor;
+  {
+    ArenaScope scope{arena};
+    std::vector<std::uint32_t, ArenaFallbackAllocator<std::uint32_t>> inside;
+    for (std::uint32_t i = 0; i < 1000; ++i) inside.push_back(i);
+    ArenaPause pause;
+    survivor = inside;  // element-wise copy into a heap buffer
+  }
+  arena.reset();
+  ASSERT_EQ(survivor.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) ASSERT_EQ(survivor[i], i);
+}
+
+}  // namespace
+}  // namespace hetero::numeric

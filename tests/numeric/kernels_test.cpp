@@ -1,0 +1,149 @@
+// Differential tests for the SIMD float kernels (numeric/kernels.h): each
+// kernel against an exact-rational (or libm) reference over random profiles
+// and adversarial inputs, within the accuracy bounds documented in the
+// header, plus the bit-identity contract of the fused sweep.
+
+#include "hetero/numeric/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "hetero/numeric/rational.h"
+#include "hetero/numeric/summation.h"
+#include "hetero/numeric/symmetric.h"
+#include "hetero/random/rng.h"
+
+namespace hetero::numeric {
+namespace {
+
+// X(P) carried entirely in exact rational arithmetic; one rounding at the
+// end.  The gold standard the float kernel is measured against.
+double x_measure_rational(std::span<const double> rho, double a, double b, double td) {
+  const Rational ra = Rational::from_double(a);
+  const Rational rb = Rational::from_double(b);
+  const Rational rtd = Rational::from_double(td);
+  Rational sum;
+  Rational running_product{1};
+  for (double r : rho) {
+    const Rational rr = Rational::from_double(r);
+    const Rational denom = rb * rr + ra;
+    sum += running_product / denom;
+    running_product *= (rb * rr + rtd) / denom;
+  }
+  return sum.to_double();
+}
+
+std::vector<double> random_speeds(std::size_t n, std::uint64_t stream) {
+  auto rng = random::Xoshiro256StarStar::for_stream(0xfeedface12345678ull, stream);
+  std::vector<double> rho(n);
+  for (double& r : rho) r = rng.uniform(0.05, 20.0);
+  return rho;
+}
+
+double rel_err(double got, double want) {
+  if (want == 0.0) return std::fabs(got);
+  return std::fabs(got - want) / std::fabs(want);
+}
+
+constexpr double kA = 3.5;
+constexpr double kB = 1.25;
+constexpr double kTd = 0.75;
+
+TEST(KernelsTest, XMeasureMatchesRationalReferenceRandom) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+                        std::size_t{8}, std::size_t{13}, std::size_t{64}, std::size_t{129}}) {
+    const std::vector<double> rho = random_speeds(n, n);
+    const double got = x_measure_kernel(rho, kA, kB, kTd);
+    const double want = x_measure_rational(rho, kA, kB, kTd);
+    EXPECT_LT(rel_err(got, want), 5e-13) << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, XMeasureEmptyAndSingleton) {
+  EXPECT_EQ(x_measure_kernel({}, kA, kB, kTd), 0.0);
+  const std::vector<double> one{2.0};
+  EXPECT_DOUBLE_EQ(x_measure_kernel(one, kA, kB, kTd), 1.0 / (kB * 2.0 + kA));
+}
+
+TEST(KernelsTest, XMeasureAdversarialInputs) {
+  // All-equal speeds (maximally correlated prefix products).
+  const std::vector<double> equal(100, 1.0);
+  EXPECT_LT(rel_err(x_measure_kernel(equal, kA, kB, kTd),
+                    x_measure_rational(equal, kA, kB, kTd)),
+            5e-13);
+  // Mixed magnitudes: nine orders apart, shuffled hot/cold.
+  std::vector<double> mixed;
+  for (int i = 0; i < 40; ++i) mixed.push_back((i % 2) != 0 ? 1e-6 : 1e3);
+  EXPECT_LT(rel_err(x_measure_kernel(mixed, kA, kB, kTd),
+                    x_measure_rational(mixed, kA, kB, kTd)),
+            5e-13);
+  // Subnormal speeds: b*rho + a collapses to a, every term is 1/a-ish.
+  const std::vector<double> tiny(16, std::numeric_limits<double>::denorm_min());
+  EXPECT_LT(rel_err(x_measure_kernel(tiny, kA, kB, kTd),
+                    x_measure_rational(tiny, kA, kB, kTd)),
+            5e-13);
+}
+
+TEST(KernelsTest, ElementarySymmetricMatchesExactRational) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{4}, std::size_t{7}, std::size_t{16}, std::size_t{33},
+                        std::size_t{64}}) {
+    const std::vector<double> values = random_speeds(n, 1000 + n);
+    const std::vector<double> got = elementary_symmetric_double(values);
+    const std::vector<Rational> want = elementary_symmetric_exact(values);
+    ASSERT_EQ(got.size(), n + 1);
+    ASSERT_EQ(want.size(), n + 1);
+    for (std::size_t k = 0; k <= n; ++k) {
+      EXPECT_LT(rel_err(got[k], want[k].to_double()), 1e-13) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(KernelsTest, ElementarySymmetricAdversarialInputs) {
+  // Subnormals: products underflow to zero in the float path, which is the
+  // correctly rounded double of the exact value, so only e_0, e_1 survive.
+  const std::vector<double> tiny(8, std::numeric_limits<double>::denorm_min());
+  const std::vector<double> got = elementary_symmetric_double(tiny);
+  EXPECT_EQ(got[0], 1.0);
+  EXPECT_DOUBLE_EQ(got[1], 8.0 * std::numeric_limits<double>::denorm_min());
+  // Mixed magnitudes with positive values keep the serial error bound.
+  std::vector<double> mixed;
+  for (int i = 0; i < 24; ++i) mixed.push_back((i % 3) != 0 ? 1e-8 : 1e8);
+  const std::vector<double> got_mixed = elementary_symmetric_double(mixed);
+  const std::vector<Rational> want_mixed = elementary_symmetric_exact(mixed);
+  for (std::size_t k = 0; k < got_mixed.size(); ++k) {
+    EXPECT_LT(rel_err(got_mixed[k], want_mixed[k].to_double()), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(KernelsTest, Log1pRatioSumMatchesLibmReference) {
+  const double c = kA - kTd;
+  for (std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{9}, std::size_t{128}}) {
+    const std::vector<double> rho = random_speeds(n, 2000 + n);
+    NeumaierSum want;
+    for (double r : rho) want.add(std::log1p(-c / (kB * r + kA)));
+    EXPECT_LT(rel_err(log1p_ratio_sum(rho, kA, kB, c), want.value()), 1e-13) << "n=" << n;
+  }
+  EXPECT_EQ(log1p_ratio_sum({}, kA, kB, c), 0.0);
+}
+
+TEST(KernelsTest, FusedKernelBitIdenticalToSeparateSweeps) {
+  const double c = kA - kTd;
+  for (std::size_t n = 0; n <= 70; ++n) {
+    const std::vector<double> rho = random_speeds(n, 3000 + n);
+    const XLogSums fused = x_and_log1p_kernel(rho, kA, kB, kTd, c);
+    const double x = x_measure_kernel(rho, kA, kB, kTd);
+    const double log_sum = log1p_ratio_sum(rho, kA, kB, c);
+    // Bit identity, not closeness: the fused sweep replays the exact same
+    // operation chains.
+    EXPECT_EQ(std::memcmp(&fused.x, &x, sizeof x), 0) << "n=" << n;
+    EXPECT_EQ(std::memcmp(&fused.log_sum, &log_sum, sizeof log_sum), 0) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace hetero::numeric

@@ -1,0 +1,131 @@
+// Warm-start contract of the exact simplex solver: solutions are
+// bit-identical to cold starts across perturbed LP families, and malformed,
+// stale, or infeasible bases fall back to a cold start silently.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "hetero/numeric/simplex.h"
+
+namespace hetero::numeric {
+namespace {
+
+void expect_bit_identical(const LpSolution& warm, const LpSolution& cold) {
+  EXPECT_EQ(warm.status, cold.status);
+  EXPECT_EQ(warm.objective, cold.objective);  // exact, not NEAR: same Rational
+  ASSERT_EQ(warm.x.size(), cold.x.size());
+  for (std::size_t i = 0; i < warm.x.size(); ++i) EXPECT_EQ(warm.x[i], cold.x[i]);
+}
+
+// max 3x + 5y s.t. x <= 4, 2y <= 12 - t, 3x + 2y <= 18 + t: a one-parameter
+// family whose optimal basis is stable, the sweep-neighbor shape
+// warm-starting is built for.
+struct Family {
+  std::vector<double> c{3.0, 5.0};
+  Matrix a{{1.0, 0.0}, {0.0, 2.0}, {3.0, 2.0}};
+  [[nodiscard]] std::vector<double> rhs(double t) const { return {4.0, 12.0 - t, 18.0 + t}; }
+};
+
+TEST(SimplexWarmStart, ChainedSweepIsBitIdenticalToColdStarts) {
+  const Family family;
+  const SimplexSolver solver;
+  SimplexBasis basis;  // empty: first solve is cold
+  bool any_warm = false;
+  for (int step = 0; step <= 20; ++step) {
+    const double t = 0.1 * step;
+    const std::vector<double> b = family.rhs(t);
+    const LpSolution cold = solver.maximize(family.c, family.a, b);
+    const LpSolution warm = solver.maximize(family.c, family.a, b, basis);
+    ASSERT_EQ(cold.status, LpStatus::kOptimal);
+    expect_bit_identical(warm, cold);
+    any_warm = any_warm || warm.warm_started;
+    basis = warm.basis;
+    EXPECT_FALSE(basis.empty());
+  }
+  EXPECT_TRUE(any_warm);  // neighbouring cells really do share their basis
+}
+
+TEST(SimplexWarmStart, WarmStartSkipsPivotsOnIdenticalResolve) {
+  const Family family;
+  const SimplexSolver solver;
+  const std::vector<double> b = family.rhs(0.5);
+  const LpSolution cold = solver.maximize(family.c, family.a, b);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  const LpSolution warm = solver.maximize(family.c, family.a, b, cold.basis);
+  expect_bit_identical(warm, cold);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(SimplexWarmStart, MalformedBasesFallBackCleanly) {
+  const Family family;
+  const SimplexSolver solver;
+  const std::vector<double> b = family.rhs(1.0);
+  const LpSolution cold = solver.maximize(family.c, family.a, b);
+
+  SimplexBasis wrong_size;
+  wrong_size.basic = {0, 1};  // 2 entries for a 3-row tableau
+  SimplexBasis out_of_range;
+  out_of_range.basic = {0, 1, 99};
+  SimplexBasis duplicated;
+  duplicated.basic = {0, 0, 1};
+  for (const SimplexBasis& bad : {wrong_size, out_of_range, duplicated}) {
+    const LpSolution warm = solver.maximize(family.c, family.a, b, bad);
+    expect_bit_identical(warm, cold);
+    EXPECT_FALSE(warm.warm_started);
+  }
+}
+
+TEST(SimplexWarmStart, InfeasibleNeighborFallsBackToColdVerdict) {
+  const Family family;
+  const SimplexSolver solver;
+  const LpSolution donor = solver.maximize(family.c, family.a, family.rhs(0.0));
+  ASSERT_EQ(donor.status, LpStatus::kOptimal);
+  // Same shape, but x >= 3 and x <= 1 cannot both hold.
+  const Matrix a{{1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}};
+  const std::vector<double> b{1.0, -3.0, 5.0};
+  const LpSolution cold = solver.maximize(family.c, a, b);
+  ASSERT_EQ(cold.status, LpStatus::kInfeasible);
+  const LpSolution warm = solver.maximize(family.c, a, b, donor.basis);
+  EXPECT_EQ(warm.status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexWarmStart, UnboundedProgramKeepsItsVerdictUnderWarmStart) {
+  const std::vector<double> c{1.0, 0.0};
+  const Matrix a{{1.0, -1.0}};
+  const std::vector<double> b{1.0};
+  const SimplexSolver solver;
+  SimplexBasis warm;
+  warm.basic = {0};  // structural x basic in the single row
+  EXPECT_EQ(solver.maximize(c, a, b, warm).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexWarmStart, DegenerateVertexStaysBitIdentical) {
+  // Degenerate optimum: three constraints meet at (1, 1); multiple bases
+  // describe the same vertex, so x and objective must still agree exactly.
+  const std::vector<double> c{1.0, 1.0};
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  const std::vector<double> b{1.0, 1.0, 2.0};
+  const SimplexSolver solver;
+  const LpSolution cold = solver.maximize(c, a, b);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  const LpSolution warm = solver.maximize(c, a, b, cold.basis);
+  expect_bit_identical(warm, cold);
+}
+
+TEST(SimplexWarmStart, MinimizeWarmOverloadMatchesCold) {
+  const std::vector<double> c{-1.0, -1.0};
+  const Matrix a{{-1.0, 0.0}, {0.0, -1.0}, {1.0, 1.0}};
+  const std::vector<double> b{-2.0, -1.0, 10.0};
+  const SimplexSolver solver;
+  const LpSolution cold = solver.minimize(c, a, b);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  const LpSolution warm = solver.minimize(c, a, b, cold.basis);
+  expect_bit_identical(warm, cold);
+  EXPECT_TRUE(warm.warm_started);
+}
+
+}  // namespace
+}  // namespace hetero::numeric

@@ -1,0 +1,99 @@
+// LpResolver: warm-started protocol LP re-solves must be bit-identical to
+// fresh solve_protocol_lp calls across sweep grids, while actually reusing
+// the cached basis.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/protocol/lp_solver.h"
+
+namespace hetero::protocol {
+namespace {
+
+core::Environment test_env() { return core::Environment::paper_default(); }
+
+void expect_same_result(const LpScheduleResult& warm, const LpScheduleResult& cold) {
+  EXPECT_EQ(warm.status, cold.status);
+  EXPECT_EQ(warm.total_work, cold.total_work);  // exact: both from the same Rational
+  ASSERT_EQ(warm.schedule.timelines.size(), cold.schedule.timelines.size());
+  for (std::size_t i = 0; i < warm.schedule.timelines.size(); ++i) {
+    const WorkerTimeline& w = warm.schedule.timelines[i];
+    const WorkerTimeline& c = cold.schedule.timelines[i];
+    EXPECT_EQ(w.machine, c.machine);
+    EXPECT_EQ(w.work, c.work);
+    EXPECT_EQ(w.send_start, c.send_start);
+    EXPECT_EQ(w.receive, c.receive);
+    EXPECT_EQ(w.compute_done, c.compute_done);
+    EXPECT_EQ(w.result_start, c.result_start);
+    EXPECT_EQ(w.result_end, c.result_end);
+  }
+}
+
+TEST(LpResolver, LifespanSweepBitIdenticalToColdSolves) {
+  const std::vector<double> speeds{3.0, 2.0, 1.5, 1.0};
+  const core::Environment env = test_env();
+  const ProtocolOrders orders = ProtocolOrders::fifo(speeds.size());
+  LpResolver resolver;
+  for (int step = 0; step < 12; ++step) {
+    const double lifespan = 40.0 + 2.5 * step;
+    const LpScheduleResult warm = resolver.solve(speeds, env, lifespan, orders);
+    const LpScheduleResult cold = solve_protocol_lp(speeds, env, lifespan, orders);
+    ASSERT_EQ(cold.status, numeric::LpStatus::kOptimal);
+    expect_same_result(warm, cold);
+  }
+  EXPECT_EQ(resolver.solves(), 12u);
+  // Every re-solve after the first should have started from the cached
+  // basis: the LP family shares its optimal structure across lifespans.
+  EXPECT_GE(resolver.warm_starts(), 1u);
+}
+
+TEST(LpResolver, SpeedPerturbationSweepBitIdentical) {
+  const core::Environment env = test_env();
+  LpResolver resolver;
+  for (int step = 0; step < 8; ++step) {
+    // One rho perturbed per cell, like neighbouring sweep-grid points.
+    const std::vector<double> speeds{2.0 + 0.05 * step, 1.5, 1.0};
+    const ProtocolOrders orders = ProtocolOrders::fifo(speeds.size());
+    const LpScheduleResult warm = resolver.solve(speeds, env, 30.0, orders);
+    const LpScheduleResult cold = solve_protocol_lp(speeds, env, 30.0, orders);
+    expect_same_result(warm, cold);
+  }
+  EXPECT_EQ(resolver.solves(), 8u);
+  EXPECT_GE(resolver.warm_starts(), 1u);
+}
+
+TEST(LpResolver, ResetDropsTheCachedBasis) {
+  const std::vector<double> speeds{2.0, 1.0};
+  const core::Environment env = test_env();
+  const ProtocolOrders orders = ProtocolOrders::fifo(speeds.size());
+  LpResolver resolver;
+  (void)resolver.solve(speeds, env, 20.0, orders);
+  const std::uint64_t warm_before = resolver.warm_starts();
+  resolver.reset();
+  // The first solve after reset is necessarily cold.
+  const LpScheduleResult after = resolver.solve(speeds, env, 21.0, orders);
+  EXPECT_EQ(resolver.warm_starts(), warm_before);
+  expect_same_result(after, solve_protocol_lp(speeds, env, 21.0, orders));
+}
+
+TEST(LpResolver, OrderEnumerationStillFindsFifoOptimal) {
+  // enumerate_order_pairs warm-starts internally; the Theorem-1 structure
+  // (FIFO ties at the max) must be unchanged.
+  const std::vector<double> speeds{2.0, 1.0, 0.5};
+  const core::Environment env = test_env();
+  const auto outcomes = enumerate_order_pairs(speeds, env, 25.0);
+  ASSERT_EQ(outcomes.size(), 36u);
+  double best = 0.0;
+  for (const auto& o : outcomes) best = std::max(best, o.total_work);
+  for (const auto& o : outcomes) {
+    if (o.orders.is_fifo()) EXPECT_NEAR(o.total_work, best, 1e-9 * best);
+  }
+}
+
+}  // namespace
+}  // namespace hetero::protocol
