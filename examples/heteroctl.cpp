@@ -7,13 +7,21 @@
 //   heteroctl upgrade "<1, 1/2, 1/4>" 0.0625     # additive-speedup table (phi)
 //   heteroctl obs     "<1, 1/2, 1/4>" 3600 [trace.json]  # episode + exports
 //   heteroctl faults  "<1, 1/2, 1/4>" 3600 [seed]        # fault scenarios
+//   heteroctl protocols "<1, 1/2, ...>" 3600 [seed] [out.csv]  # protocol axis
 //   heteroctl resume  sweep.journal                      # continue a killed run
 //
-// With `--journal <path>`, the `faults` sweep checkpoints every finished
-// grid cell into a crash-safe journal; if the process is killed, `heteroctl
-// resume <path>` replays the finished cells and computes only the missing
-// ones, producing bit-identical output (the journal header records the
-// original invocation, so resume needs no other arguments).
+// With `--journal <path>`, the `faults` and `protocols` sweeps checkpoint
+// every finished grid cell into a crash-safe journal; if the process is
+// killed, `heteroctl resume <path>` replays the finished cells and computes
+// only the missing ones, producing bit-identical output (the journal header
+// records the original invocation, so resume needs no other arguments).
+//
+// The `protocols` command races the four protocols — fault-oblivious FIFO,
+// reactive FIFO, replicated(r), and MDS(n, k) — against bit-identical fault
+// plans on a crash-rate x straggler grid, scoring the time each needed to
+// make the same work target decodable (experiments/protocol_sweep), and
+// renders one replicated episode's Gantt chart so the duplicate
+// cancellations (x marks) are visible.
 //
 // The `obs` command simulates a FIFO episode, writes a Chrome trace-event
 // JSON (open in https://ui.perfetto.dev or chrome://tracing) combining
@@ -38,6 +46,7 @@
 
 #include "hetero/core/hetero.h"
 #include "hetero/experiments/fault_sweep.h"
+#include "hetero/experiments/protocol_sweep.h"
 #include "hetero/parallel/thread_pool.h"
 #include "hetero/runner/journal.h"
 #include "hetero/runner/runner.h"
@@ -47,6 +56,7 @@
 #include "hetero/protocol/fifo.h"
 #include "hetero/report/gantt.h"
 #include "hetero/report/table.h"
+#include "hetero/sim/coded.h"
 #include "hetero/sim/reactive.h"
 #include "hetero/sim/trace_export.h"
 #include "hetero/sim/worksharing.h"
@@ -267,6 +277,82 @@ int cmd_faults(const core::Profile& profile, double lifespan, std::uint64_t seed
   return 0;
 }
 
+int cmd_protocols(const core::Profile& profile, double lifespan, std::uint64_t seed,
+                  const std::string& csv_path, const std::string& journal_path,
+                  const std::string& invocation) {
+  std::vector<double> speeds(profile.values().begin(), profile.values().end());
+
+  // Same fault grid as `faults` — expected crashes per machine of
+  // {0, 0.5, 1.5} over the lifespan, straggler severities {none, 2x, 4x} —
+  // but scored on the fixed-work axis: the time each protocol needs to make
+  // the shared work target decodable.
+  experiments::ProtocolSweepConfig sweep;
+  sweep.lifespan = lifespan;
+  sweep.crash_rates = {0.0, 0.5 / lifespan, 1.5 / lifespan};
+  sweep.straggler_factors = {1.0, 2.0, 4.0};
+  sweep.trials = 3;
+  sweep.seed = seed;
+  experiments::ProtocolSweepResult grid;
+  if (journal_path.empty()) {
+    grid = experiments::run_protocol_sweep(speeds, kEnv, sweep);
+  } else {
+    runner::JournalHeader header =
+        experiments::protocol_sweep_journal_header(speeds, kEnv, sweep);
+    header.invocation = invocation;
+    runner::Journal journal = runner::Journal::open_or_resume(journal_path, header);
+    const std::size_t resumed = journal.records().size();
+    if (resumed > 0) {
+      std::cout << "resuming " << journal_path << ": " << resumed
+                << " cell(s) already journaled\n";
+    }
+    parallel::ThreadPool pool;
+    runner::RunContext ctx;
+    ctx.pool = &pool;
+    ctx.journal = &journal;
+    grid = experiments::run_protocol_sweep(speeds, kEnv, sweep, ctx);
+  }
+
+  std::cout << "protocol race (" << core::format_profile(profile, 4) << ", L = " << lifespan
+            << ", seed " << seed << "):\n"
+            << experiments::format_protocol_sweep(grid) << "\n";
+
+  if (!csv_path.empty()) {
+    std::ofstream out{csv_path};
+    if (!out) {
+      std::cerr << "error: cannot write " << csv_path << '\n';
+      return 1;
+    }
+    out << experiments::protocol_sweep_csv(grid);
+    out.close();
+    std::cout << "csv: " << csv_path << "\n";
+  }
+
+  // One seeded replicated episode with a guaranteed crash, so the Gantt
+  // always shows the recovery-set story: the crashed copy's shard is
+  // recovered from its replica and the surviving duplicates are cancelled
+  // (zero-length `x` marks) the instant the recovery set completes.
+  if (grid.replicated.allocation.num_shards > 0) {
+    // Crash one replica of shard 0 partway through: the shard's surviving
+    // copies still land, the deadline is unharmed, and once the recovery set
+    // completes every other in-flight duplicate is cancelled on the spot.
+    const auto& copies = grid.replicated.allocation.copies;
+    const std::size_t victim =
+        copies.size() > 2 ? copies[2].machine : copies.back().machine;
+    sim::CodedRunOptions options;
+    options.faults.crashes.push_back(sim::CrashFault{victim, 0.25 * lifespan});
+    const auto episode = sim::run_coded(speeds, kEnv, grid.replicated.allocation, options);
+    std::cout << "replicated(r = " << grid.replicated.replication << ") episode: "
+              << (episode.recovered
+                      ? "recovered at t = " + report::format_fixed(episode.recovery_time, 3)
+                      : "did not recover")
+              << "; " << episode.copies_cancelled << " duplicate(s) cancelled, "
+              << episode.duplicates_landed << " landed anyway, "
+              << report::format_fixed(episode.redundant_wasted, 2) << " units wasted\n"
+              << report::render_gantt(episode.trace);
+  }
+  return 0;
+}
+
 int usage() {
   std::cout << "usage:\n"
                "  heteroctl power   <profile>\n"
@@ -276,11 +362,16 @@ int usage() {
                "  heteroctl upgrade <profile> <phi>\n"
                "  heteroctl obs     <profile> <lifespan> [trace.json]\n"
                "  heteroctl faults  <profile> <lifespan> [seed]\n"
+               "                    fault-severity grid (oblivious vs reactive FIFO); for the\n"
+               "                    protocol axis (replicated/MDS coding) see `protocols`\n"
+               "  heteroctl protocols <profile> <lifespan> [seed] [out.csv]\n"
+               "                    protocol x fault grid: fifo, reactive, replicated(r),\n"
+               "                    MDS(n,k) race to the same work target under identical faults\n"
                "  heteroctl resume  <sweep.journal>\n"
                "options:\n"
                "  --metrics          dump the metrics registry (Prometheus text) after any command\n"
-               "  --journal <path>   (faults) checkpoint finished grid cells; resume a killed\n"
-               "                     run with `heteroctl resume <path>`\n"
+               "  --journal <path>   (faults, protocols) checkpoint finished grid cells; resume\n"
+               "                     a killed run with `heteroctl resume <path>`\n"
                "profiles use the paper's notation, e.g. \"<1, 1/2, 1/4>\" or \"1 0.5 0.25\"\n";
   return 2;
 }
@@ -348,6 +439,16 @@ int dispatch(const std::vector<std::string>& args, const std::string& journal_pa
     }
     return cmd_faults(first, std::stod(args[2]), args.size() >= 4 ? std::stoull(args[3]) : 7u,
                       journal_path, invocation);
+  }
+  if (command == "protocols" && args.size() >= 3) {
+    std::string invocation;
+    for (const std::string& a : args) {
+      if (!invocation.empty()) invocation += '\n';
+      invocation += a;
+    }
+    return cmd_protocols(first, std::stod(args[2]),
+                         args.size() >= 4 ? std::stoull(args[3]) : 7u,
+                         args.size() >= 5 ? args[4] : std::string{}, journal_path, invocation);
   }
   return usage();
 }

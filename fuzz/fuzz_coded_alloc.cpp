@@ -1,0 +1,112 @@
+// libFuzzer target: coded-allocation sizing invariants over arbitrary
+// fleets, deadlines and work targets — sized allocations always validate
+// (shards cover the load, every recovery set is feasible, one copy per
+// machine), sizing is bit-for-bit deterministic, and a fault-free coded run
+// of the sized allocation always reaches its recovery set.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/protocol/coded.h"
+#include "hetero/protocol/fifo.h"
+#include "hetero/sim/coded.h"
+
+namespace core = hetero::core;
+namespace protocol = hetero::protocol;
+namespace sim = hetero::sim;
+
+namespace {
+
+/// Minimal deterministic byte reader (no external corpus helpers).
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_{data}, size_{size} {}
+
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value = (value << 8) | (pos_ < size_ ? data_[pos_++] : 0u);
+    }
+    return value;
+  }
+
+  /// Uniform-ish double in [lo, hi] derived from 8 bytes.
+  double range(double lo, double hi) {
+    const double unit =
+        static_cast<double>(u64() >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+    return lo + unit * (hi - lo);
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+bool same_sizing(const protocol::CodedSizing& a, const protocol::CodedSizing& b) {
+  if (a.replication != b.replication || a.shards_total != b.shards_total ||
+      a.shards_needed != b.shards_needed || a.feasible != b.feasible ||
+      a.planned_makespan != b.planned_makespan ||  // bitwise
+      a.allocation.num_shards != b.allocation.num_shards ||
+      a.allocation.recovery_threshold != b.allocation.recovery_threshold ||
+      a.allocation.copies.size() != b.allocation.copies.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.allocation.copies.size(); ++i) {
+    if (a.allocation.copies[i].shard != b.allocation.copies[i].shard ||
+        a.allocation.copies[i].machine != b.allocation.copies[i].machine ||
+        a.allocation.copies[i].work != b.allocation.copies[i].work) {  // bitwise
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  Reader reader{data, size};
+  const core::Environment env = core::Environment::paper_default();
+
+  const std::size_t machines = 1 + static_cast<std::size_t>(reader.u64() % 16);
+  std::vector<double> speeds;
+  speeds.reserve(machines);
+  for (std::size_t i = 0; i < machines; ++i) speeds.push_back(reader.range(0.01, 1.0));
+  const double deadline = reader.range(1.0, 1000.0);
+  const double fraction = reader.range(0.05, 1.0);
+  const std::size_t cap = static_cast<std::size_t>(reader.u64() % (machines + 1));
+
+  const double target = fraction * protocol::fifo_total_work(speeds, env, deadline);
+  if (!(target > 0.0)) return 0;
+
+  const protocol::CodedSizing replicated =
+      protocol::size_replicated(speeds, env, deadline, target, cap);
+  const protocol::CodedSizing mds = protocol::size_mds(speeds, env, deadline, target);
+
+  for (const protocol::CodedSizing& sizing : {replicated, mds}) {
+    if (!sizing.allocation.valid(speeds.size(), nullptr)) __builtin_trap();
+    if (sizing.allocation.issued_work() < sizing.allocation.work_target * (1.0 - 1e-6)) {
+      __builtin_trap();  // redundancy can only add load, never shed it
+    }
+    // A fault-free run of a sized allocation always completes its recovery
+    // set, and the runs themselves are deterministic.
+    const sim::CodedRunResult run =
+        sim::run_coded(speeds, env, sizing.allocation, sim::CodedRunOptions{});
+    if (!run.recovered) __builtin_trap();
+    const sim::CodedRunResult again =
+        sim::run_coded(speeds, env, sizing.allocation, sim::CodedRunOptions{});
+    if (run.recovery_time != again.recovery_time) __builtin_trap();  // bitwise
+    if (run.trace.segments().size() != again.trace.segments().size()) __builtin_trap();
+  }
+
+  // Sizing is bit-for-bit deterministic in its inputs.
+  if (!same_sizing(replicated, protocol::size_replicated(speeds, env, deadline, target, cap))) {
+    __builtin_trap();
+  }
+  if (!same_sizing(mds, protocol::size_mds(speeds, env, deadline, target))) {
+    __builtin_trap();
+  }
+  return 0;
+}

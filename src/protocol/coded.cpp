@@ -1,0 +1,312 @@
+#include "hetero/protocol/coded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hetero/protocol/lp_solver.h"
+#include "hetero/protocol/schedule.h"
+
+namespace hetero::protocol {
+namespace {
+
+constexpr double kCoverTolerance = 1e-6;     // relative, on load coverage
+constexpr double kDeadlineTolerance = 1e-9;  // relative, on the deadline
+
+void validate_inputs(std::span<const double> speeds, double deadline, double work_target) {
+  if (speeds.empty()) throw std::invalid_argument("coded sizing: empty fleet");
+  for (double rho : speeds) {
+    if (!(rho > 0.0) || !std::isfinite(rho)) {
+      throw std::invalid_argument("coded sizing: speeds must be positive and finite");
+    }
+  }
+  if (!(deadline > 0.0) || !std::isfinite(deadline)) {
+    throw std::invalid_argument("coded sizing: deadline must be positive and finite");
+  }
+  if (!(work_target > 0.0) || !std::isfinite(work_target)) {
+    throw std::invalid_argument("coded sizing: work target must be positive and finite");
+  }
+}
+
+/// Fault-free analytic recovery time of an allocation: sends run seriatim in
+/// copy order (receive_i = A * prefix load), each copy computes B rho w, and
+/// results are dispatched first-come-first-served on the shared channel with
+/// the (ready time, machine id) tie-break the simulator guarantees.  Returns
+/// the landing time of the recovery_threshold-th *distinct* shard.  Mirrors
+/// sim::run_coded with zero message latency and no faults.
+double planned_recovery(const CodedAllocation& alloc, std::span<const double> speeds,
+                        const core::Environment& env) {
+  const double a = env.a();
+  const double b = env.b();
+  const double tau_delta = env.tau_delta();
+  const std::size_t m = alloc.copies.size();
+  std::vector<double> ready(m, 0.0);
+  double clock = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const ShardCopy& copy = alloc.copies[i];
+    clock += a * copy.work;
+    ready[i] = clock + b * speeds[copy.machine] * copy.work;
+  }
+  double channel_free = clock;  // results queue behind every send
+  std::vector<char> dispatched(m, 0);
+  std::vector<char> landed(alloc.num_shards, 0);
+  std::size_t distinct = 0;
+  for (std::size_t step = 0; step < m; ++step) {
+    std::size_t pick = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (dispatched[i]) continue;
+      if (pick == m || ready[i] < ready[pick] ||
+          (ready[i] == ready[pick] && alloc.copies[i].machine < alloc.copies[pick].machine)) {
+        pick = i;
+      }
+    }
+    dispatched[pick] = 1;
+    const double start = std::max(ready[pick], channel_free);
+    channel_free = start + tau_delta * alloc.copies[pick].work;
+    if (!landed[alloc.copies[pick].shard]) {
+      landed[alloc.copies[pick].shard] = 1;
+      if (++distinct == alloc.recovery_threshold) return channel_free;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+/// Drops copies of zero-sized shards (the LP may starve hopeless machines)
+/// and renumbers the surviving shards densely, preserving copy order.
+void compact_shards(CodedAllocation& alloc) {
+  std::vector<std::size_t> remap(alloc.num_shards, alloc.num_shards);
+  std::vector<ShardCopy> kept;
+  kept.reserve(alloc.copies.size());
+  std::size_t next = 0;
+  for (const ShardCopy& copy : alloc.copies) {
+    if (!(copy.work > 0.0)) continue;
+    if (remap[copy.shard] == alloc.num_shards) remap[copy.shard] = next++;
+    ShardCopy c = copy;
+    c.shard = remap[copy.shard];
+    kept.push_back(c);
+  }
+  const bool all_needed = alloc.recovery_threshold == alloc.num_shards;
+  alloc.copies = std::move(kept);
+  alloc.num_shards = next;
+  if (all_needed || alloc.recovery_threshold > next) alloc.recovery_threshold = next;
+}
+
+std::vector<std::size_t> by_rate(std::span<const double> speeds) {
+  std::vector<std::size_t> order(speeds.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t lhs, std::size_t rhs) {
+    if (speeds[lhs] != speeds[rhs]) return speeds[lhs] < speeds[rhs];  // fastest first
+    return lhs < rhs;
+  });
+  return order;
+}
+
+}  // namespace
+
+const char* to_string(ProtocolKind kind) noexcept {
+  switch (kind) {
+    case ProtocolKind::kFifo: return "fifo";
+    case ProtocolKind::kReactiveFifo: return "reactive_fifo";
+    case ProtocolKind::kReplicated: return "replicated";
+    case ProtocolKind::kMds: return "mds";
+  }
+  return "unknown";
+}
+
+double CodedAllocation::issued_work() const noexcept {
+  double total = 0.0;
+  for (const ShardCopy& copy : copies) total += copy.work;
+  return total;
+}
+
+double CodedAllocation::decoded_size(std::size_t shard) const noexcept {
+  for (const ShardCopy& copy : copies) {
+    if (copy.shard == shard) return copy.work;
+  }
+  return 0.0;
+}
+
+bool CodedAllocation::valid(std::size_t machines, std::string* why) const {
+  const auto fail = [&](std::string reason) {
+    if (why != nullptr) *why = std::move(reason);
+    return false;
+  };
+  if (kind != ProtocolKind::kReplicated && kind != ProtocolKind::kMds) {
+    return fail("kind is not a coded protocol");
+  }
+  if (num_shards == 0) return fail("no shards");
+  if (recovery_threshold == 0 || recovery_threshold > num_shards) {
+    return fail("recovery threshold outside [1, num_shards]");
+  }
+  if (!(work_target > 0.0) || !std::isfinite(work_target)) {
+    return fail("work target must be positive and finite");
+  }
+  if (copies.empty()) return fail("no copies");
+  std::vector<char> machine_used(machines, 0);
+  std::vector<double> shard_size(num_shards, -1.0);
+  for (const ShardCopy& copy : copies) {
+    if (copy.shard >= num_shards) return fail("copy references shard out of range");
+    if (copy.machine >= machines) return fail("copy references machine out of range");
+    if (machine_used[copy.machine]) return fail("machine carries two copies");
+    machine_used[copy.machine] = 1;
+    if (!(copy.work > 0.0) || !std::isfinite(copy.work)) {
+      return fail("copy load must be positive and finite");
+    }
+    if (shard_size[copy.shard] < 0.0) {
+      shard_size[copy.shard] = copy.work;
+    } else if (shard_size[copy.shard] != copy.work) {
+      return fail("copies of one shard differ in size");
+    }
+  }
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    if (shard_size[shard] < 0.0) return fail("shard has no copies");
+  }
+  if (kind == ProtocolKind::kReplicated) {
+    if (recovery_threshold != num_shards) {
+      return fail("replicated allocation must need every shard");
+    }
+    const double covered = std::accumulate(shard_size.begin(), shard_size.end(), 0.0);
+    if (std::abs(covered - work_target) > kCoverTolerance * work_target) {
+      return fail("shards do not cover the load exactly");
+    }
+  } else {
+    // MDS: the *worst* recovery set — the threshold smallest shards — must
+    // still decode the target.
+    std::sort(shard_size.begin(), shard_size.end());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < recovery_threshold; ++i) worst += shard_size[i];
+    if (worst < work_target * (1.0 - kCoverTolerance)) {
+      return fail("smallest recovery set cannot decode the target");
+    }
+  }
+  return true;
+}
+
+CodedSizing size_replicated(std::span<const double> speeds, const core::Environment& env,
+                            double deadline, double work_target, std::size_t max_replication) {
+  validate_inputs(speeds, deadline, work_target);
+  const std::size_t n = speeds.size();
+  const std::vector<std::size_t> sorted = by_rate(speeds);
+  const std::size_t max_r = max_replication == 0 ? n : std::min(max_replication, n);
+
+  LpResolver resolver;
+  const auto build = [&](std::size_t r, std::size_t groups, const LpScheduleResult& lp) {
+    const double scale = work_target / lp.total_work;
+    CodedSizing sizing;
+    sizing.allocation.kind = ProtocolKind::kReplicated;
+    sizing.allocation.num_shards = groups;
+    sizing.allocation.recovery_threshold = groups;
+    sizing.allocation.work_target = work_target;
+    std::vector<double> shard_size(groups, 0.0);
+    for (std::size_t g = 0; g < groups; ++g) {
+      shard_size[g] = lp.schedule.timelines[g].work * scale;
+    }
+    // Primaries (the fastest member of each group) are sent first so the
+    // fault-free winner of every shard starts as early as possible; backups
+    // follow in rate order, striped across shards.
+    sizing.allocation.copies.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) {
+      sizing.allocation.copies.push_back(
+          ShardCopy{p % groups, sorted[p], shard_size[p % groups]});
+    }
+    compact_shards(sizing.allocation);
+    sizing.replication = r;
+    sizing.shards_total = sizing.allocation.num_shards;
+    sizing.shards_needed = sizing.allocation.recovery_threshold;
+    sizing.planned_makespan = planned_recovery(sizing.allocation, speeds, env);
+    return sizing;
+  };
+
+  for (std::size_t r = max_r; r >= 2; --r) {
+    const std::size_t groups = n / r;
+    if (groups == 0) continue;
+    std::vector<double> leaders(groups);
+    for (std::size_t g = 0; g < groups; ++g) leaders[g] = speeds[sorted[g]];
+    const LpScheduleResult lp =
+        resolver.solve(leaders, env, deadline, ProtocolOrders::fifo(groups));
+    if (lp.status != numeric::LpStatus::kOptimal || lp.total_work < work_target) continue;
+    CodedSizing sizing = build(r, groups, lp);
+    if (sizing.planned_makespan <= deadline * (1.0 + kDeadlineTolerance)) {
+      sizing.feasible = true;
+      sizing.lp_solves = resolver.solves();
+      sizing.lp_warm_starts = resolver.warm_starts();
+      return sizing;
+    }
+  }
+
+  // No replicated configuration meets the deadline: fall back to r = 1 — a
+  // FIFO-shaped allocation that is still recovery-set complete (threshold =
+  // every shard), scaled to cover the target even when that overshoots the
+  // deadline.
+  std::vector<double> all(n);
+  for (std::size_t p = 0; p < n; ++p) all[p] = speeds[sorted[p]];
+  const LpScheduleResult lp = resolver.solve(all, env, deadline, ProtocolOrders::fifo(n));
+  if (lp.status != numeric::LpStatus::kOptimal || !(lp.total_work > 0.0)) {
+    throw std::runtime_error("coded sizing: protocol LP failed for the full fleet");
+  }
+  CodedSizing sizing = build(1, n, lp);
+  sizing.feasible = lp.total_work >= work_target &&
+                    sizing.planned_makespan <= deadline * (1.0 + kDeadlineTolerance);
+  sizing.lp_solves = resolver.solves();
+  sizing.lp_warm_starts = resolver.warm_starts();
+  return sizing;
+}
+
+CodedSizing size_mds(std::span<const double> speeds, const core::Environment& env,
+                     double deadline, double work_target) {
+  validate_inputs(speeds, deadline, work_target);
+  const std::size_t n = speeds.size();
+  LpResolver resolver;
+  const LpScheduleResult lp = resolver.solve(speeds, env, deadline, ProtocolOrders::fifo(n));
+  if (lp.status != numeric::LpStatus::kOptimal || !(lp.total_work > 0.0)) {
+    throw std::runtime_error("coded sizing: protocol LP failed for the full fleet");
+  }
+
+  CodedSizing sizing;
+  sizing.allocation.kind = ProtocolKind::kMds;
+  sizing.allocation.work_target = work_target;
+  const bool covers = lp.total_work >= work_target;
+  // Feasible: issue every worker its full exact-LP share (maximal channel-
+  // feasible redundancy).  Infeasible: scale the shares up so the code still
+  // covers the target (threshold = all shards), flagged infeasible.
+  const double scale = covers ? 1.0 : work_target / lp.total_work;
+  sizing.allocation.num_shards = n;
+  sizing.allocation.copies.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkerTimeline& line = lp.schedule.timelines[i];
+    sizing.allocation.copies.push_back(ShardCopy{i, line.machine, line.work * scale});
+  }
+  sizing.allocation.recovery_threshold = n;
+  compact_shards(sizing.allocation);
+
+  if (covers && sizing.allocation.num_shards > 0) {
+    // Smallest k whose worst-case recovery set (the k smallest shards) still
+    // decodes the target: the code then tolerates n - k stragglers.
+    std::vector<double> sizes(sizing.allocation.num_shards, 0.0);
+    for (const ShardCopy& copy : sizing.allocation.copies) sizes[copy.shard] = copy.work;
+    std::sort(sizes.begin(), sizes.end());
+    double covered = 0.0;
+    for (std::size_t k = 1; k <= sizes.size(); ++k) {
+      covered += sizes[k - 1];
+      if (covered >= work_target * (1.0 - 1e-12)) {
+        sizing.allocation.recovery_threshold = k;
+        break;
+      }
+    }
+  }
+
+  sizing.replication = 1;
+  sizing.shards_total = sizing.allocation.num_shards;
+  sizing.shards_needed = sizing.allocation.recovery_threshold;
+  sizing.planned_makespan = planned_recovery(sizing.allocation, speeds, env);
+  sizing.feasible = covers && sizing.planned_makespan <= deadline * (1.0 + 1e-6);
+  sizing.lp_solves = resolver.solves();
+  sizing.lp_warm_starts = resolver.warm_starts();
+  return sizing;
+}
+
+}  // namespace hetero::protocol

@@ -1,0 +1,122 @@
+#pragma once
+
+// Coded-computation protocol family: redundancy-based straggler mitigation.
+//
+// The paper's FIFO protocol commits one load per machine and waits for every
+// result; PR 4/5 showed that under crashes and stragglers the realized yield
+// depends on the protocol, not just the profile.  This header adds the two
+// classic redundancy answers from the coded-computation literature
+// (Reisizadeh et al. 2017; Kim, Park & Choi 2019):
+//
+//   * replicated allocation — the useful work is split into shards and each
+//     shard is sent to r workers; the first finisher of each shard wins and
+//     the duplicates are cancelled.  Degrades gracefully: every covered
+//     shard is decodable on its own.
+//   * MDS-style coded allocation — every worker receives an encoded shard
+//     sized by its rate (the exact-LP FIFO share); any k distinct landed
+//     shards reconstruct the target (the loads are sized so that even the
+//     *worst-case* k-subset covers it), so the episode completes when the
+//     k-th result lands — a recovery set.  All-or-nothing below k.
+//
+// Both are described by one data type, CodedAllocation: shards, copies, and
+// a recovery threshold (distinct shards whose results must land).  The
+// sizing step is purely analytic — it re-uses the exact protocol LP through
+// LpResolver (warm-started across candidate configurations) to pick r or
+// (n, k) from the profile and the deadline, so sizing is deterministic: the
+// same inputs always produce bit-identical allocations.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::protocol {
+
+/// The protocol axis of the fault sweeps (see experiments/protocol_sweep).
+enum class ProtocolKind {
+  kFifo,          ///< the paper's fixed FIFO allocation, fault-oblivious
+  kReactiveFifo,  ///< detect-and-replan (protocol::ReactiveFifoPlanner)
+  kReplicated,    ///< r-way replication, first finisher per shard wins
+  kMds,           ///< MDS-style coding, any k distinct shards recover
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind kind) noexcept;
+
+/// One copy of one shard, assigned to one machine.  Copies appear in send
+/// (startup) order; each machine carries at most one copy.
+struct ShardCopy {
+  std::size_t shard = 0;    ///< shard id in [0, num_shards)
+  std::size_t machine = 0;  ///< worker executing this copy
+  double work = 0.0;        ///< load units this copy places on the worker
+};
+
+/// A redundant allocation with recovery-set completion semantics: the
+/// episode completes the instant results for `recovery_threshold` *distinct*
+/// shards have landed — the set of machines that produced them is the
+/// recovery set — and every other in-flight copy is cancelled.
+struct CodedAllocation {
+  ProtocolKind kind = ProtocolKind::kReplicated;
+  std::size_t num_shards = 0;
+  std::size_t recovery_threshold = 0;  ///< distinct shards needed to decode
+  double work_target = 0.0;            ///< decoded useful work on recovery
+  std::vector<ShardCopy> copies;       ///< in send order
+
+  /// Total load placed on the fleet (sum of copy loads — the redundancy
+  /// overhead is issued_work() - work_target).
+  [[nodiscard]] double issued_work() const noexcept;
+  /// The decoded contribution of one shard (the size of any of its copies —
+  /// all copies of a shard carry the same load).
+  [[nodiscard]] double decoded_size(std::size_t shard) const noexcept;
+
+  /// Checks the allocation invariants the simulator and the fuzzer rely on:
+  ///  * shard ids in range, threshold in [1, num_shards], positive loads;
+  ///  * every machine carries at most one copy; every shard has >= 1 copy;
+  ///  * all copies of a shard are the same (bitwise) size;
+  ///  * the shards cover the load exactly: for replication (threshold ==
+  ///    num_shards) the distinct shard sizes sum to work_target; for MDS
+  ///    every recovery set is feasible — even the smallest threshold-subset
+  ///    of shards decodes at least work_target.
+  /// Returns true when valid; on failure, stores a reason in `why` (if
+  /// non-null).
+  [[nodiscard]] bool valid(std::size_t machines, std::string* why = nullptr) const;
+};
+
+/// What the analytic sizing step decided (and how it decided it).
+struct CodedSizing {
+  CodedAllocation allocation;
+  bool feasible = false;          ///< planned recovery meets the deadline
+  std::size_t replication = 1;    ///< r (replicated; 1 = no redundancy)
+  std::size_t shards_total = 0;   ///< n: distinct shards issued
+  std::size_t shards_needed = 0;  ///< k: the recovery threshold
+  double planned_makespan = 0.0;  ///< fault-free planned recovery time
+  std::uint64_t lp_solves = 0;      ///< exact protocol LPs solved while sizing
+  std::uint64_t lp_warm_starts = 0; ///< of those, started from a cached basis
+};
+
+/// Sizes an r-way replicated allocation for `work_target` useful units by
+/// the deadline: machines are sorted by rate and striped into groups of ~r;
+/// each group's shard is sized from the exact-LP FIFO share of the group's
+/// fastest member (the copy expected to win).  Picks the *largest* r whose
+/// planned completion meets the deadline (more redundancy = more faults
+/// survived), falling back to r = 1 (plain FIFO shape, still recovery-set
+/// complete) when no replicated configuration fits.  `max_replication`
+/// caps the search (0 = the fleet size).  Deterministic; throws
+/// std::invalid_argument on an empty fleet or nonpositive target/deadline.
+[[nodiscard]] CodedSizing size_replicated(std::span<const double> speeds,
+                                          const core::Environment& env, double deadline,
+                                          double work_target, std::size_t max_replication = 0);
+
+/// Sizes an MDS-style allocation: every worker gets its exact-LP FIFO share
+/// for the deadline (the maximal channel-feasible issue), and k is chosen as
+/// the smallest recovery threshold whose *worst-case* k-subset (the k
+/// smallest shares) still covers `work_target` — equivalently, the largest
+/// number of stragglers the code tolerates.  Deterministic; throws like
+/// size_replicated.
+[[nodiscard]] CodedSizing size_mds(std::span<const double> speeds,
+                                   const core::Environment& env, double deadline,
+                                   double work_target);
+
+}  // namespace hetero::protocol

@@ -22,6 +22,7 @@ char fill_for(sim::Activity activity) {
     case sim::Activity::kCrash: return 'X';
     case sim::Activity::kStall: return '~';
     case sim::Activity::kRetryTransit: return 'R';
+    case sim::Activity::kCancelled: return 'x';
   }
   return '?';
 }
@@ -30,7 +31,8 @@ char fill_for(sim::Activity activity) {
 // (a crash instant is zero-length and recorded before the phases that were
 // in flight complete), so they are painted in a second pass.
 bool fault_mark(sim::Activity activity) {
-  return activity == sim::Activity::kCrash || activity == sim::Activity::kStall;
+  return activity == sim::Activity::kCrash || activity == sim::Activity::kStall ||
+         activity == sim::Activity::kCancelled;
 }
 
 }  // namespace
@@ -88,7 +90,7 @@ std::string render_gantt(const sim::Trace& trace, const GanttOptions& options) {
   if (options.show_legend) {
     out << "\nlegend: P=server-package  >=work-transit  u=unpack  C=compute  "
            "p=package-results  <=result-transit  U=server-unpack\n"
-           "        X=crash  ~=stall  R=retry-transit\n";
+           "        X=crash  ~=stall  R=retry-transit  x=cancelled-copy\n";
   }
   return out.str();
 }

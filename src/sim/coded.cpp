@@ -1,0 +1,363 @@
+#include "hetero/sim/coded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "hetero/numeric/summation.h"
+#include "hetero/obs/metrics.h"
+#include "hetero/obs/scope.h"
+#include "hetero/sim/engine.h"
+#include "hetero/sim/resource.h"
+
+namespace hetero::sim {
+namespace {
+
+/// One coded episode wired together with engine callbacks.  See coded.h for
+/// the semantics; the structure deliberately mirrors the FIFO Episode in
+/// worksharing.cpp (same resources, same crash/message-fault rules) with the
+/// finishing-order dispatcher replaced by the recovery-set FCFS dispatcher.
+class CodedEpisode {
+ public:
+  CodedEpisode(std::span<const double> speeds, const core::Environment& env,
+               const protocol::CodedAllocation& allocation, const CodedRunOptions& options)
+      : speeds_{speeds.begin(), speeds.end()},
+        env_{env},
+        alloc_{allocation},
+        options_{options},
+        channel_{engine_},
+        server_{engine_} {
+    std::string why;
+    if (!alloc_.valid(speeds_.size(), &why)) {
+      throw std::invalid_argument("run_coded: invalid allocation: " + why);
+    }
+    if (!(options_.message_latency >= 0.0)) {
+      throw std::invalid_argument("run_coded: negative message latency");
+    }
+    options_.faults.validate(speeds_.size());
+    conditions_ = WorkerConditions{options_.faults, speeds_.size()};
+    const std::size_t m = alloc_.copies.size();
+    state_.assign(m, CopyState{});
+    copy_of_machine_.assign(speeds_.size(), m);
+    result_.outcomes.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      result_.outcomes[i].shard = alloc_.copies[i].shard;
+      result_.outcomes[i].machine = alloc_.copies[i].machine;
+      result_.outcomes[i].work = alloc_.copies[i].work;
+      copy_of_machine_[alloc_.copies[i].machine] = i;
+    }
+    result_.shard_landed_at.assign(alloc_.num_shards, 0.0);
+  }
+
+  CodedRunResult run() {
+    // Arm crashes before any protocol event so a crash at time t always
+    // precedes same-time protocol activity (smaller sequence number).
+    for (const CrashFault& crash : options_.faults.crashes) {
+      arm_crash(crash.machine, crash.time);
+    }
+    for (const SlowdownFault& slowdown : options_.faults.slowdowns) {
+      if (copy_of_machine_[slowdown.machine] < alloc_.copies.size()) ++stats_.slowdown_onsets;
+    }
+    begin_send(0);
+    engine_.run();
+
+    result_.makespan = trace_.horizon();
+    result_.issued_work = alloc_.issued_work();
+    result_.redundant_issued = std::max(0.0, result_.issued_work - alloc_.work_target);
+    numeric::NeumaierSum used;
+    for (const CopyOutcome& outcome : result_.outcomes) {
+      if (outcome.used) used.add(outcome.work);
+    }
+    result_.redundant_wasted = std::max(0.0, result_.issued_work - used.value());
+    result_.faults = std::move(stats_);
+    result_.trace = std::move(trace_);
+    if constexpr (obs::kEnabled) {
+      static obs::Counter& runs = obs::counter("sim.coded.runs");
+      static obs::Counter& issued = obs::counter("sim.coded.redundant_issued");
+      static obs::Counter& cancelled = obs::counter("sim.coded.redundant_cancelled");
+      static obs::Counter& wasted = obs::counter("sim.coded.redundant_wasted");
+      static obs::Counter& copies = obs::counter("sim.coded.copies_cancelled");
+      static obs::Counter& duplicates = obs::counter("sim.coded.duplicates_landed");
+      static obs::Histogram& latency = obs::histogram("sim.coded.recovery_latency");
+      runs.add(1);
+      issued.add(static_cast<std::uint64_t>(std::llround(result_.redundant_issued)));
+      cancelled.add(static_cast<std::uint64_t>(std::llround(result_.redundant_cancelled)));
+      wasted.add(static_cast<std::uint64_t>(std::llround(result_.redundant_wasted)));
+      copies.add(result_.copies_cancelled);
+      duplicates.add(result_.duplicates_landed);
+      if (result_.recovered) latency.record(result_.recovery_time);
+    }
+    return result_;
+  }
+
+ private:
+  struct CopyState {
+    bool delivered = false;
+    bool ready = false;         ///< result packaged, waiting for dispatch
+    bool dispatched = false;    ///< picked by the FCFS dispatcher
+    bool transmitting = false;  ///< result transmission began (or finished)
+    bool landed = false;
+    double ready_at = 0.0;
+  };
+
+  void arm_crash(std::size_t machine, double time) {
+    engine_.schedule_at(time, [this, machine]() {
+      const std::size_t i = copy_of_machine_[machine];
+      if (i >= alloc_.copies.size()) return;  // machine carries no copy
+      CopyOutcome& outcome = result_.outcomes[i];
+      // Once the result transmission has begun the message is with the
+      // network: a later crash cannot unsend it.  Cancelled/lost copies are
+      // already inert.
+      if (state_[i].transmitting || outcome.failed || outcome.cancelled || outcome.lost) return;
+      outcome.failed = true;
+      state_[i].ready = false;
+      trace_.record({engine_.now(), engine_.now(), Activity::kCrash, machine, machine});
+      ++stats_.crashes;
+    });
+  }
+
+  void begin_send(std::size_t copy_index) {
+    if (recovered_ || copy_index >= alloc_.copies.size()) return;
+    const std::size_t machine = alloc_.copies[copy_index].machine;
+    const double w = alloc_.copies[copy_index].work;
+    server_.request(
+        env_.pi() * w, [this](double t) { package_start_ = t; },
+        [this, machine, copy_index, w](double t) {
+          trace_.record({package_start_, t, Activity::kServerPackage, kServerActor, machine});
+          if (recovered_ || result_.outcomes[copy_index].cancelled) return;
+          send_work(copy_index, machine, w);
+        });
+  }
+
+  void send_work(std::size_t copy_index, std::size_t machine, double w) {
+    double duration = env_.tau() * w + options_.message_latency;
+    const bool lost = apply_message_fault(duration);
+    channel_.request(
+        duration, [this](double start) { transit_start_ = start; },
+        [this, copy_index, machine, lost](double end) {
+          trace_.record({transit_start_, end, Activity::kTransitWork, kServerActor, machine});
+          if (lost) {
+            ++stats_.messages_lost;
+            result_.outcomes[copy_index].lost = true;  // no monitoring: redundancy is the retry
+          } else if (!result_.outcomes[copy_index].cancelled) {
+            deliver(copy_index, end);
+          }
+          begin_send(copy_index + 1);
+        });
+  }
+
+  void deliver(std::size_t copy_index, double at) {
+    CopyOutcome& outcome = result_.outcomes[copy_index];
+    if (outcome.failed) return;  // crashed before delivery; the load is lost
+    state_[copy_index].delivered = true;
+    outcome.receive = at;
+    const std::size_t machine = outcome.machine;
+    const double rho = speeds_[machine];
+    const double w = outcome.work;
+    const auto unpack = conditions_.advance(machine, at, env_.pi() * rho * w);
+    const auto compute = conditions_.advance(machine, unpack.end, rho * w);
+    const auto package = conditions_.advance(machine, compute.end, env_.pi() * rho * env_.delta() * w);
+    const double t0 = at;
+    engine_.schedule_at(unpack.end, [this, copy_index, machine, t0, unpack, compute, package]() {
+      if (halted(copy_index)) return;
+      record_stalls(machine, unpack.stalls);
+      trace_.record({t0, unpack.end, Activity::kWorkerUnpack, machine, machine});
+      engine_.schedule_at(compute.end, [this, copy_index, machine, unpack, compute, package]() {
+        if (halted(copy_index)) return;
+        record_stalls(machine, compute.stalls);
+        trace_.record({unpack.end, compute.end, Activity::kWorkerCompute, machine, machine});
+        engine_.schedule_at(package.end, [this, copy_index, machine, compute, package]() {
+          if (halted(copy_index)) return;
+          record_stalls(machine, package.stalls);
+          trace_.record({compute.end, package.end, Activity::kWorkerPackage, machine, machine});
+          result_.outcomes[copy_index].compute_done = package.end;
+          state_[copy_index].ready = true;
+          state_[copy_index].ready_at = package.end;
+          // Defer the dispatch decision by one zero-delay event (the
+          // engine's same-timestamp contract): every copy whose result
+          // becomes ready at this same instant is then visible, and the
+          // dispatcher breaks the tie by machine id instead of by calendar
+          // insertion order.
+          engine_.schedule_at(engine_.now(), [this]() { try_dispatch(); });
+        });
+      });
+    });
+  }
+
+  [[nodiscard]] bool halted(std::size_t copy_index) const {
+    const CopyOutcome& outcome = result_.outcomes[copy_index];
+    return outcome.failed || outcome.cancelled;
+  }
+
+  void record_stalls(std::size_t machine, const std::vector<std::pair<double, double>>& stalls) {
+    for (const auto& [begin, end] : stalls) {
+      trace_.record({begin, end, Activity::kStall, machine, machine});
+      ++stats_.stalls;
+    }
+  }
+
+  bool apply_message_fault(double& duration) {
+    const std::size_t ordinal = channel_ordinal_++;
+    const MessageFault* fault = options_.faults.fault_for_message(ordinal);
+    if (fault == nullptr) return false;
+    if (fault->extra_delay > 0.0) {
+      duration += fault->extra_delay;
+      ++stats_.messages_delayed;
+    }
+    return fault->lost;
+  }
+
+  /// FCFS recovery-set dispatcher: the ready undispatched copy with the
+  /// smallest (ready time, machine id) key transmits next.
+  void try_dispatch() {
+    if (recovered_ || result_in_flight_) return;
+    const std::size_t m = alloc_.copies.size();
+    std::size_t pick = m;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!state_[i].ready || state_[i].dispatched || halted(i)) continue;
+      if (pick == m || state_[i].ready_at < state_[pick].ready_at ||
+          (state_[i].ready_at == state_[pick].ready_at &&
+           result_.outcomes[i].machine < result_.outcomes[pick].machine)) {
+        pick = i;
+      }
+    }
+    if (pick == m) return;
+    state_[pick].dispatched = true;
+    state_[pick].transmitting = true;
+    result_in_flight_ = true;
+    send_result(pick);
+  }
+
+  void send_result(std::size_t copy_index) {
+    const std::size_t machine = result_.outcomes[copy_index].machine;
+    const double w = result_.outcomes[copy_index].work;
+    double duration = env_.tau_delta() * w + options_.message_latency;
+    const bool lost = apply_message_fault(duration);
+    channel_.request(
+        duration, [this](double start) { result_transit_start_ = start; },
+        [this, copy_index, machine, w, lost](double end) {
+          trace_.record(
+              {result_transit_start_, end, Activity::kTransitResult, kServerActor, machine});
+          result_in_flight_ = false;
+          state_[copy_index].transmitting = false;
+          CopyOutcome& outcome = result_.outcomes[copy_index];
+          if (lost) {
+            ++stats_.messages_lost;
+            outcome.lost = true;  // dropped in transit; some other copy must cover
+          } else {
+            outcome.result_end = end;
+            state_[copy_index].landed = true;
+            land(copy_index, end);
+          }
+          if (!recovered_) {
+            engine_.schedule_at(engine_.now(), [this]() { try_dispatch(); });
+          }
+        });
+  }
+
+  void land(std::size_t copy_index, double at) {
+    CopyOutcome& outcome = result_.outcomes[copy_index];
+    if (recovered_ || result_.shard_landed_at[outcome.shard] > 0.0) {
+      // The target was already decoded, or this shard already landed from a
+      // faster copy: redundant work that still crossed the wire.
+      outcome.duplicate = true;
+      ++result_.duplicates_landed;
+      return;
+    }
+    outcome.used = true;
+    result_.shard_landed_at[outcome.shard] = at;
+    result_.recovery_set.push_back(outcome.machine);
+    // The server unpacks only results it decodes (duplicates are discarded
+    // on arrival).
+    const double unpack_time = env_.pi() * env_.delta() * outcome.work;
+    const std::size_t machine = outcome.machine;
+    server_.request(
+        unpack_time, [this](double t) { server_unpack_start_ = t; },
+        [this, machine](double t) {
+          trace_.record({server_unpack_start_, t, Activity::kServerUnpack, kServerActor, machine});
+        });
+    if (result_.recovery_set.size() == alloc_.recovery_threshold) recover(at);
+  }
+
+  /// The recovery set is complete: decode and cancel everything else.
+  void recover(double at) {
+    recovered_ = true;
+    result_.recovered = true;
+    result_.recovery_time = at;
+    for (std::size_t i = 0; i < alloc_.copies.size(); ++i) {
+      CopyOutcome& outcome = result_.outcomes[i];
+      // A duplicate already in transit still lands (the network has it);
+      // everything else unlanded — computing, queued, or not yet sent — is
+      // cancelled on the spot and leaves a fault mark.
+      if (state_[i].landed || state_[i].transmitting || outcome.failed || outcome.lost ||
+          outcome.cancelled) {
+        continue;
+      }
+      outcome.cancelled = true;
+      outcome.cancelled_at = at;
+      trace_.record({at, at, Activity::kCancelled, outcome.machine, outcome.machine});
+      ++result_.copies_cancelled;
+      result_.redundant_cancelled += outcome.work;
+    }
+  }
+
+  std::vector<double> speeds_;
+  core::Environment env_;
+  protocol::CodedAllocation alloc_;
+  CodedRunOptions options_;
+  SimEngine engine_;
+  SequentialResource channel_;
+  SequentialResource server_;
+  WorkerConditions conditions_;
+
+  std::vector<CopyState> state_;
+  std::vector<std::size_t> copy_of_machine_;  ///< machine -> copy index (or m)
+  std::size_t channel_ordinal_ = 0;
+  bool result_in_flight_ = false;
+  bool recovered_ = false;
+  FaultStats stats_;
+  Trace trace_;
+  CodedRunResult result_;
+
+  // Start-of-segment scratch (single-threaded engine; one segment of each
+  // kind is in flight at a time because the owning resource is exclusive).
+  double package_start_ = 0.0;
+  double transit_start_ = 0.0;
+  double result_transit_start_ = 0.0;
+  double server_unpack_start_ = 0.0;
+};
+
+}  // namespace
+
+double CodedRunResult::completed_work(double horizon, double relative_slack) const noexcept {
+  const double cutoff = horizon + relative_slack * std::max(1.0, horizon);
+  if (kind_ == protocol::ProtocolKind::kMds) {
+    return (recovered && recovery_time <= cutoff) ? work_target_ : 0.0;
+  }
+  numeric::NeumaierSum sum;
+  for (std::size_t shard = 0; shard < shard_landed_at.size(); ++shard) {
+    if (shard_landed_at[shard] > 0.0 && shard_landed_at[shard] <= cutoff) {
+      sum.add(shard_size_[shard]);
+    }
+  }
+  return std::min(sum.value(), work_target_);
+}
+
+CodedRunResult run_coded(std::span<const double> speeds, const core::Environment& env,
+                         const protocol::CodedAllocation& allocation,
+                         const CodedRunOptions& options) {
+  HETERO_OBS_SCOPE("sim.coded_episode");
+  CodedEpisode episode{speeds, env, allocation, options};
+  CodedRunResult result = episode.run();
+  result.kind_ = allocation.kind;
+  result.work_target_ = allocation.work_target;
+  result.shard_size_.assign(allocation.num_shards, 0.0);
+  for (const protocol::ShardCopy& copy : allocation.copies) {
+    result.shard_size_[copy.shard] = copy.work;
+  }
+  return result;
+}
+
+}  // namespace hetero::sim

@@ -1,0 +1,109 @@
+#pragma once
+
+// Operational simulation of coded / replicated worksharing episodes with
+// recovery-set completion semantics.
+//
+// A CodedAllocation (protocol/coded.h) issues redundant copies of encoded
+// shards.  This driver executes one such episode against the deterministic
+// fault machinery:
+//   * the server packages and transmits every copy seriatim in copy order on
+//     the single shared channel (exactly the A = pi + tau serial model);
+//   * each worker unpacks, computes and packages under its WorkerConditions
+//     (stalls and slowdowns), and crashes take effect as in the FIFO episode
+//     (an in-transit result still lands);
+//   * results are dispatched first-come-first-served: whenever the channel
+//     can carry a result, the ready copy with the smallest (ready time,
+//     machine id) key goes next.  The machine-id tie-break at equal
+//     timestamps is deliberate and deterministic — it leans on the engine's
+//     documented same-timestamp ordering contract (see sim/engine.h): ready
+//     events defer the dispatch decision by one zero-delay event so every
+//     same-instant candidate is visible before the winner is picked;
+//   * the episode completes the instant results for `recovery_threshold`
+//     distinct shards have landed.  The machines that produced them are the
+//     recovery set (in landing order).  At that instant every other copy is
+//     cancelled: not-yet-sent copies are never transmitted, computing copies
+//     stop producing events, and each cancelled copy leaves a zero-length
+//     Activity::kCancelled fault mark in the trace.  A duplicate result
+//     already in transit still lands (the network has it) and is counted as
+//     a landed duplicate, not cancelled.
+//
+// Runs are fully deterministic: same speeds, allocation, options and fault
+// plan => bit-identical CodedRunResult (including the trace).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/protocol/coded.h"
+#include "hetero/sim/fault.h"
+#include "hetero/sim/trace.h"
+
+namespace hetero::sim {
+
+struct CodedRunOptions {
+  double message_latency = 0.0;
+  FaultPlan faults;
+};
+
+/// What happened to one issued copy (in copy/send order).
+struct CopyOutcome {
+  std::size_t shard = 0;
+  std::size_t machine = 0;
+  double work = 0.0;
+  double receive = 0.0;       ///< load delivered (0 = never)
+  double compute_done = 0.0;  ///< result packaged (0 = never)
+  double result_end = 0.0;    ///< result landed at the server (0 = never)
+  bool failed = false;        ///< machine crashed before transmitting
+  bool lost = false;          ///< load or result dropped by a message fault
+  bool cancelled = false;     ///< recovery made this copy useless in flight
+  bool used = false;          ///< first landed result of its shard (decoded)
+  bool duplicate = false;     ///< landed after its shard was already covered
+  double cancelled_at = 0.0;
+};
+
+struct CodedRunResult {
+  bool recovered = false;
+  double recovery_time = 0.0;  ///< landing time of the threshold-th distinct shard
+  double makespan = 0.0;       ///< last trace event (includes post-recovery tail)
+  /// Machines whose results decoded the target, in landing order.
+  std::vector<std::size_t> recovery_set;
+  /// First landing time per shard (0 = the shard never landed).
+  std::vector<double> shard_landed_at;
+
+  double issued_work = 0.0;         ///< total load placed on the fleet
+  double redundant_issued = 0.0;    ///< issued_work - work_target
+  double redundant_cancelled = 0.0; ///< load of copies cancelled at recovery
+  double redundant_wasted = 0.0;    ///< issued_work - load of used copies
+  std::size_t copies_cancelled = 0;
+  std::size_t duplicates_landed = 0;
+
+  std::vector<CopyOutcome> outcomes;  ///< in copy (send) order
+  FaultStats faults;
+  Trace trace;
+
+  /// Decoded useful work credited by `horizon` (mirrors
+  /// SimulationResult::completed_work):
+  ///  * replicated — every covered shard decodes on its own, so the credit
+  ///    is the sum of shard sizes whose first result landed by the cutoff;
+  ///  * MDS — all-or-nothing: work_target when the recovery threshold was
+  ///    reached by the cutoff, else 0 (fewer than k shards decode nothing).
+  [[nodiscard]] double completed_work(double horizon, double relative_slack = 1e-9) const noexcept;
+
+ private:
+  friend CodedRunResult run_coded(std::span<const double>, const core::Environment&,
+                                  const protocol::CodedAllocation&, const CodedRunOptions&);
+  protocol::ProtocolKind kind_ = protocol::ProtocolKind::kReplicated;
+  double work_target_ = 0.0;
+  std::vector<double> shard_size_;
+};
+
+/// Runs one coded episode to calendar exhaustion.  Throws
+/// std::invalid_argument on an invalid allocation (CodedAllocation::valid),
+/// negative message latency, or an out-of-range fault plan.
+[[nodiscard]] CodedRunResult run_coded(std::span<const double> speeds,
+                                       const core::Environment& env,
+                                       const protocol::CodedAllocation& allocation,
+                                       const CodedRunOptions& options);
+
+}  // namespace hetero::sim

@@ -15,9 +15,20 @@
 
 namespace hetero::sim {
 
-/// Event-calendar simulation clock.  Events at equal times run in
-/// scheduling order (a monotone sequence number breaks ties), which makes
-/// runs fully deterministic.
+/// Event-calendar simulation clock.
+///
+/// Same-timestamp ordering contract (stable, documented, relied upon): every
+/// event carries a monotone sequence number assigned at scheduling time, and
+/// events with equal timestamps run strictly in scheduling order — first
+/// scheduled, first run.  This makes runs fully deterministic, and it is the
+/// foundation of the recovery-set tie-break in sim::run_coded: an actor that
+/// wants to observe *all* same-time candidates (e.g. two results becoming
+/// ready at the same instant) defers its decision with
+/// `schedule_at(now(), ...)`; the deferred event is sequenced after every
+/// already-queued event at `now()`, so by the time it runs, all same-time
+/// state changes have been applied and the actor can break the tie by a
+/// stable key (actor id) instead of by calendar insertion accident.
+/// Regression-tested by tests/sim/engine_order_contract_test.cpp.
 class SimEngine {
  public:
   using Action = std::function<void()>;

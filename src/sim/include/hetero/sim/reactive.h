@@ -25,11 +25,27 @@
 
 namespace hetero::sim {
 
+/// One result landing the server banked, in absolute time.  The series lets
+/// fixed-lifespan drivers answer the dual fixed-work question — "when had
+/// the server banked W units?" — which is how the protocol sweep compares
+/// replanning against coded redundancy on makespan.
+struct BankedResult {
+  double at = 0.0;    ///< absolute landing time
+  double work = 0.0;  ///< load units banked at that instant
+};
+
+/// First time the cumulative banked work reaches `target` (within a relative
+/// tolerance); +infinity when the series never gets there.
+[[nodiscard]] double banked_crossing_time(const std::vector<BankedResult>& banked, double target,
+                                          double relative_tolerance = 1e-9) noexcept;
+
 struct ReactiveRunResult {
   double completed_work = 0.0;      ///< work whose results the server banked
   std::size_t rounds = 0;           ///< episodes simulated (>= 1)
   std::size_t replans = 0;          ///< rounds aborted by a replan verdict
   std::size_t machines_crashed = 0; ///< crash events that took effect
+  /// Every banked landing in absolute-time order; sums to completed_work.
+  std::vector<BankedResult> banked;
   /// Merged stats in absolute time.  Detections are exact; the scalar
   /// counters of aborted rounds are reconstructed from pre-abort detections
   /// (message/stall counters of an aborted round's tail are dropped — the

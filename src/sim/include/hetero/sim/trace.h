@@ -22,6 +22,8 @@ enum class Activity {
   kCrash,            ///< instant a machine crash took effect (zero length)
   kStall,            ///< injected zero-progress interval on a worker
   kRetryTransit,     ///< a resent load or retransmitted result in transit
+  kCancelled,        ///< instant a redundant in-flight copy was cancelled
+                     ///< (zero length; recovery-set protocols only)
 };
 
 [[nodiscard]] const char* to_string(Activity activity) noexcept;

@@ -1,5 +1,7 @@
 #include "hetero/sim/reactive.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -42,7 +44,35 @@ FaultStats truncated_stats(const FaultStats& full, double cutoff,
   return out;
 }
 
+/// The landings a round banked by `cutoff` (the same filter as
+/// SimulationResult::completed_work), shifted to absolute time and in
+/// landing order — results travel serially, so result_end order is total.
+void bank_landings(std::vector<BankedResult>& banked, const SimulationResult& round,
+                   double cutoff, double relative_slack, double offset) {
+  const double limit = cutoff + relative_slack * std::max(1.0, cutoff);
+  const std::size_t first = banked.size();
+  for (const MachineOutcome& o : round.outcomes) {
+    if (!o.failed && o.work > 0.0 && o.result_end > 0.0 && o.result_end <= limit) {
+      banked.push_back(BankedResult{offset + o.result_end, o.work});
+    }
+  }
+  std::sort(banked.begin() + static_cast<std::ptrdiff_t>(first), banked.end(),
+            [](const BankedResult& a, const BankedResult& b) { return a.at < b.at; });
+}
+
 }  // namespace
+
+double banked_crossing_time(const std::vector<BankedResult>& banked, double target,
+                            double relative_tolerance) noexcept {
+  if (!(target > 0.0)) return 0.0;
+  const double needed = target * (1.0 - relative_tolerance);
+  double sum = 0.0;
+  for (const BankedResult& b : banked) {
+    sum += b.work;
+    if (sum >= needed) return b.at;
+  }
+  return std::numeric_limits<double>::infinity();
+}
 
 ReactiveRunResult run_reactive_fifo(std::span<const double> speeds,
                                     const core::Environment& env, double lifespan,
@@ -104,12 +134,14 @@ ReactiveRunResult run_reactive_fifo(std::span<const double> speeds,
       // Round ran out; it covered the whole remaining lifespan.  A modest
       // arrival slack absorbs LP-vs-closed-form jitter in the last landing.
       out.completed_work += round.completed_work(remaining, 1e-6);
+      bank_landings(out.banked, round, remaining, 1e-6, now);
       out.trace.append_shifted(round.trace, now, std::numeric_limits<double>::infinity(), fleet);
       out.faults.merge(globalized(round.faults, fleet), now);
       break;
     }
 
     out.completed_work += round.completed_work(abort_at);
+    bank_landings(out.banked, round, abort_at, 1e-9, now);
     out.trace.append_shifted(round.trace, now, abort_at, fleet);
     out.faults.merge(truncated_stats(round.faults, abort_at, fleet), now);
 
@@ -156,6 +188,7 @@ ReactiveRunResult run_fifo_with_faults(std::span<const double> speeds,
                            protocol::ProtocolOrders::fifo(speeds.size()), options);
   ReactiveRunResult out;
   out.completed_work = result.completed_work(lifespan);
+  bank_landings(out.banked, result, lifespan, 1e-9, 0.0);
   out.rounds = 1;
   out.machines_crashed = result.faults.crashes;
   out.faults = std::move(result.faults);

@@ -18,6 +18,7 @@ const char* to_string(Activity activity) noexcept {
     case Activity::kCrash: return "crash";
     case Activity::kStall: return "stall";
     case Activity::kRetryTransit: return "retry-transit";
+    case Activity::kCancelled: return "cancelled";
   }
   return "unknown";
 }

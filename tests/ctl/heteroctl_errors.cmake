@@ -54,6 +54,7 @@ expect_usage_error(compare "<1, 1/2>")
 expect_usage_error(upgrade "<1, 1/2>")
 expect_usage_error(obs "<1, 1/2>")
 expect_usage_error(faults "<1, 1/2>")
+expect_usage_error(protocols "<1, 1/2>")
 expect_usage_error(resume)
 
 # Malformed values: unparsable profiles and numbers.
@@ -66,6 +67,13 @@ expect_usage_error(upgrade "<1, 1/2>" notanumber)
 expect_usage_error(obs "<1, 1/2>" notanumber)
 expect_usage_error(faults "<1, 1/2>" notanumber)
 expect_usage_error(faults "<1, 1/2>" 100 notaseed)
+expect_usage_error(protocols "<1, oops>" 100)
+expect_usage_error(protocols "<1, 1/2>" notanumber)
+expect_usage_error(protocols "<1, 1/2>" 100 notaseed)
+
+# Well-formed arguments that fail at runtime: a lifespan of zero makes the
+# protocol grid degenerate (caught by the sweep's validation, not the CLI).
+expect_runtime_error(protocols "<1, 1/2>" 0)
 
 # A profile with a zero denominator is caught by the parser, not the math.
 expect_usage_error(power "<1, 1/0>")

@@ -1,0 +1,66 @@
+// The paper-scale protocol-vs-fault grid (the heteroctl `protocols`
+// defaults): slow by design, so its ctest entry carries LABELS slow and its
+// own TIMEOUT.  Locks the headline acceptance claim of the protocol family:
+// at least one *faulty* regime exists where a coded protocol reaches the
+// work target strictly sooner than reactive replanning.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hetero/experiments/protocol_sweep.h"
+
+namespace hetero::experiments {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+const std::vector<double> kSpeeds{1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125};
+constexpr double kLifespan = 3600.0;
+
+ProtocolSweepConfig paper_grid() {
+  ProtocolSweepConfig config;
+  config.lifespan = kLifespan;
+  config.crash_rates = {0.0, 0.5 / kLifespan, 1.5 / kLifespan};
+  config.straggler_factors = {1.0, 2.0, 4.0};
+  config.trials = 3;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ProtocolSweepGrid, SomeFaultRegimeFavorsCodedOverReactive) {
+  const auto result = run_protocol_sweep(kSpeeds, kEnv, paper_grid());
+
+  std::size_t coded_wins = 0;
+  for (const ProtocolSweepCell& reactive : result.cells) {
+    if (reactive.protocol != protocol::ProtocolKind::kReactiveFifo) continue;
+    if (reactive.crash_rate == 0.0 && reactive.straggler_factor == 1.0) continue;  // calm
+    for (const ProtocolSweepCell& coded : result.cells) {
+      if (coded.protocol != protocol::ProtocolKind::kReplicated &&
+          coded.protocol != protocol::ProtocolKind::kMds) {
+        continue;
+      }
+      if (coded.crash_rate != reactive.crash_rate ||
+          coded.straggler_factor != reactive.straggler_factor) {
+        continue;
+      }
+      if (coded.mean_makespan < reactive.mean_makespan) ++coded_wins;
+    }
+  }
+  EXPECT_GE(coded_wins, 1u)
+      << "no faulty regime where redundancy beat replanning on makespan:\n"
+      << format_protocol_sweep(result);
+
+  // And redundancy is visibly paid for: the replicated rows issue more than
+  // the target and cancel duplicates somewhere on the grid.
+  double cancelled = 0.0;
+  for (const ProtocolSweepCell& cell : result.cells) {
+    if (cell.protocol == protocol::ProtocolKind::kReplicated) {
+      EXPECT_GT(cell.mean_redundant_issued, 0.0);
+      cancelled += cell.mean_redundant_cancelled;
+    }
+  }
+  EXPECT_GT(cancelled, 0.0);
+}
+
+}  // namespace
+}  // namespace hetero::experiments

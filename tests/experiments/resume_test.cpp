@@ -18,6 +18,7 @@
 #include "hetero/experiments/campaign.h"
 #include "hetero/experiments/experiments.h"
 #include "hetero/experiments/fault_sweep.h"
+#include "hetero/experiments/protocol_sweep.h"
 #include "hetero/parallel/thread_pool.h"
 #include "hetero/runner/journal.h"
 #include "hetero/runner/runner.h"
@@ -116,6 +117,44 @@ TEST_F(ResumeTest, FaultSweepResumeRecomputesOnlyMissingCells) {
   EXPECT_EQ(recomputed, 2u);  // exactly the missing cells, no duplicates
   EXPECT_EQ(partial.records().size(), 4u);
   EXPECT_EQ(fault_sweep_csv(resumed), golden_csv);
+}
+
+TEST_F(ResumeTest, ProtocolSweepResumeReproducesTheCsvByteForByte) {
+  ProtocolSweepConfig config;
+  config.lifespan = 100.0;
+  config.crash_rates = {0.0, 0.01};
+  config.straggler_factors = {1.0, 2.0};
+  config.trials = 2;
+  config.seed = 7;
+  const std::string golden_csv = protocol_sweep_csv(run_protocol_sweep(kSpeeds, kEnv, config));
+  const runner::JournalHeader header = protocol_sweep_journal_header(kSpeeds, kEnv, config);
+
+  runner::Journal full = runner::Journal::open_or_resume(full_path_, header);
+  {
+    runner::RunContext ctx;
+    ctx.journal = &full;
+    (void)run_protocol_sweep(kSpeeds, kEnv, config, ctx);
+  }
+  ASSERT_EQ(full.records().size(), 16u);  // 4 protocols x 2 rates x 2 factors
+
+  // A run killed mid-grid leaves a journal prefix; resuming recomputes only
+  // the missing cells and the CSV comes out byte-identical.
+  for (std::size_t keep : {0u, 5u, 15u}) {
+    runner::Journal partial = partial_copy(full, keep);
+    runner::RunContext ctx;
+    ctx.journal = &partial;
+    std::size_t recomputed = 0;
+    ctx.before_unit = [&recomputed](std::size_t, std::size_t) { ++recomputed; };
+    const auto resumed = run_protocol_sweep(kSpeeds, kEnv, config, ctx);
+    EXPECT_EQ(recomputed, 16u - keep);
+    EXPECT_EQ(protocol_sweep_csv(resumed), golden_csv);
+  }
+
+  // The pooled ctx overload agrees too.
+  parallel::ThreadPool pool{4};
+  runner::RunContext pooled;
+  pooled.pool = &pool;
+  EXPECT_EQ(protocol_sweep_csv(run_protocol_sweep(kSpeeds, kEnv, config, pooled)), golden_csv);
 }
 
 TEST_F(ResumeTest, HecrTableResumesWithoutRecomputation) {

@@ -1,0 +1,181 @@
+#include "hetero/protocol/coded.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hetero/protocol/fifo.h"
+
+namespace hetero::protocol {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+const std::vector<double> kSpeeds{1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125};
+constexpr double kDeadline = 3600.0;
+
+double easy_target() { return 0.5 * fifo_total_work(kSpeeds, kEnv, kDeadline); }
+
+TEST(CodedSizing, ReplicatedAllocationIsValidAndCoversTarget) {
+  const CodedSizing sizing = size_replicated(kSpeeds, kEnv, kDeadline, easy_target());
+  std::string why;
+  ASSERT_TRUE(sizing.allocation.valid(kSpeeds.size(), &why)) << why;
+  EXPECT_EQ(sizing.allocation.kind, ProtocolKind::kReplicated);
+  EXPECT_GE(sizing.replication, 1u);
+  EXPECT_EQ(sizing.allocation.recovery_threshold, sizing.allocation.num_shards);
+  // Replication: distinct shard sizes sum to the target.
+  double covered = 0.0;
+  for (std::size_t s = 0; s < sizing.allocation.num_shards; ++s) {
+    covered += sizing.allocation.decoded_size(s);
+  }
+  EXPECT_NEAR(covered, easy_target(), 1e-6 * easy_target());
+  // Redundancy overhead is what was issued beyond the target.
+  EXPECT_GE(sizing.allocation.issued_work(), covered - 1e-9);
+  if (sizing.feasible) {
+    EXPECT_LE(sizing.planned_makespan, kDeadline * (1.0 + 1e-9));
+  }
+}
+
+TEST(CodedSizing, ReplicatedPrefersMoreRedundancyWhenDeadlineAllows) {
+  // A tiny target leaves room for heavy replication; the sizing step picks
+  // the largest feasible r (every extra copy is one more fault survived).
+  const CodedSizing roomy =
+      size_replicated(kSpeeds, kEnv, kDeadline, 0.05 * fifo_total_work(kSpeeds, kEnv, kDeadline));
+  EXPECT_TRUE(roomy.feasible);
+  EXPECT_GE(roomy.replication, 2u);
+  // Every shard really carries r copies.
+  std::vector<std::size_t> copies_per_shard(roomy.allocation.num_shards, 0);
+  for (const ShardCopy& copy : roomy.allocation.copies) {
+    ++copies_per_shard[copy.shard];
+  }
+  for (std::size_t count : copies_per_shard) EXPECT_GE(count, roomy.replication);
+}
+
+TEST(CodedSizing, ReplicationCapIsHonored) {
+  const CodedSizing capped = size_replicated(
+      kSpeeds, kEnv, kDeadline, 0.05 * fifo_total_work(kSpeeds, kEnv, kDeadline), 2);
+  EXPECT_LE(capped.replication, 2u);
+  std::string why;
+  EXPECT_TRUE(capped.allocation.valid(kSpeeds.size(), &why)) << why;
+}
+
+TEST(CodedSizing, MdsWorstCaseRecoverySetCoversTarget) {
+  const double target = easy_target();
+  const CodedSizing sizing = size_mds(kSpeeds, kEnv, kDeadline, target);
+  std::string why;
+  ASSERT_TRUE(sizing.allocation.valid(kSpeeds.size(), &why)) << why;
+  EXPECT_EQ(sizing.allocation.kind, ProtocolKind::kMds);
+  EXPECT_EQ(sizing.shards_total, kSpeeds.size());
+  ASSERT_GE(sizing.shards_needed, 1u);
+  ASSERT_LE(sizing.shards_needed, sizing.shards_total);
+  // The *smallest* k shards — the worst-case recovery set — cover the target.
+  std::vector<double> sizes;
+  for (std::size_t s = 0; s < sizing.allocation.num_shards; ++s) {
+    sizes.push_back(sizing.allocation.decoded_size(s));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  double worst_case = 0.0;
+  for (std::size_t i = 0; i < sizing.shards_needed; ++i) worst_case += sizes[i];
+  EXPECT_GE(worst_case, target * (1.0 - 1e-6));
+  // And k is minimal: one fewer shard cannot.
+  if (sizing.shards_needed > 1) {
+    EXPECT_LT(worst_case - sizes[sizing.shards_needed - 1], target * (1.0 - 1e-12));
+  }
+}
+
+TEST(CodedSizing, SizingIsBitwiseDeterministic) {
+  const double target = easy_target();
+  const CodedSizing r1 = size_replicated(kSpeeds, kEnv, kDeadline, target);
+  const CodedSizing r2 = size_replicated(kSpeeds, kEnv, kDeadline, target);
+  EXPECT_EQ(r1.replication, r2.replication);
+  EXPECT_EQ(r1.planned_makespan, r2.planned_makespan);  // bitwise
+  ASSERT_EQ(r1.allocation.copies.size(), r2.allocation.copies.size());
+  for (std::size_t i = 0; i < r1.allocation.copies.size(); ++i) {
+    EXPECT_EQ(r1.allocation.copies[i].shard, r2.allocation.copies[i].shard);
+    EXPECT_EQ(r1.allocation.copies[i].machine, r2.allocation.copies[i].machine);
+    EXPECT_EQ(r1.allocation.copies[i].work, r2.allocation.copies[i].work);  // bitwise
+  }
+  const CodedSizing m1 = size_mds(kSpeeds, kEnv, kDeadline, target);
+  const CodedSizing m2 = size_mds(kSpeeds, kEnv, kDeadline, target);
+  EXPECT_EQ(m1.shards_needed, m2.shards_needed);
+  ASSERT_EQ(m1.allocation.copies.size(), m2.allocation.copies.size());
+  for (std::size_t i = 0; i < m1.allocation.copies.size(); ++i) {
+    EXPECT_EQ(m1.allocation.copies[i].work, m2.allocation.copies[i].work);  // bitwise
+  }
+}
+
+TEST(CodedSizing, SizingReportsItsLpActivity) {
+  // An ambitious target forces the replicated search to walk many r
+  // candidates; consecutive candidates with the same group count re-solve
+  // the same LP dimensions, which is exactly when the resolver warm-starts.
+  const CodedSizing sizing = size_replicated(
+      kSpeeds, kEnv, kDeadline, 0.95 * fifo_total_work(kSpeeds, kEnv, kDeadline));
+  EXPECT_GE(sizing.lp_solves, 2u);
+  EXPECT_LE(sizing.lp_warm_starts, sizing.lp_solves);
+  const CodedSizing mds = size_mds(kSpeeds, kEnv, kDeadline, easy_target());
+  EXPECT_GE(mds.lp_solves, 1u);
+}
+
+TEST(CodedAllocation, ValidRejectsBrokenInvariants) {
+  CodedSizing sizing = size_replicated(kSpeeds, kEnv, kDeadline, easy_target());
+  ASSERT_TRUE(sizing.allocation.valid(kSpeeds.size()));
+  std::string why;
+
+  CodedAllocation broken = sizing.allocation;
+  broken.recovery_threshold = 0;
+  EXPECT_FALSE(broken.valid(kSpeeds.size(), &why));
+  EXPECT_FALSE(why.empty());
+
+  broken = sizing.allocation;
+  broken.recovery_threshold = broken.num_shards + 1;
+  EXPECT_FALSE(broken.valid(kSpeeds.size()));
+
+  // Two copies on the same machine.
+  broken = sizing.allocation;
+  ASSERT_GE(broken.copies.size(), 2u);
+  broken.copies[1].machine = broken.copies[0].machine;
+  EXPECT_FALSE(broken.valid(kSpeeds.size()));
+
+  // Copies of one shard must be the same size.
+  broken = sizing.allocation;
+  for (ShardCopy& copy : broken.copies) {
+    if (copy.shard == broken.copies[0].shard && &copy != &broken.copies[0]) {
+      copy.work *= 1.5;
+      break;
+    }
+  }
+  EXPECT_FALSE(broken.valid(kSpeeds.size()));
+
+  // Machine index out of the fleet.
+  broken = sizing.allocation;
+  broken.copies[0].machine = kSpeeds.size();
+  EXPECT_FALSE(broken.valid(kSpeeds.size()));
+
+  // Replication must cover the target exactly.
+  broken = sizing.allocation;
+  broken.work_target *= 2.0;
+  EXPECT_FALSE(broken.valid(kSpeeds.size()));
+}
+
+TEST(CodedSizing, ThrowsOnDegenerateInputs) {
+  EXPECT_THROW((void)size_replicated(std::vector<double>{}, kEnv, kDeadline, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)size_replicated(kSpeeds, kEnv, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)size_replicated(kSpeeds, kEnv, kDeadline, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)size_mds(kSpeeds, kEnv, kDeadline, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)size_mds(std::vector<double>{1.0, 0.0}, kEnv, kDeadline, 10.0),
+               std::invalid_argument);
+}
+
+TEST(CodedProtocol, KindNamesAreStable) {
+  // The sweep CSV serializes these names; they are a format contract.
+  EXPECT_STREQ(to_string(ProtocolKind::kFifo), "fifo");
+  EXPECT_STREQ(to_string(ProtocolKind::kReactiveFifo), "reactive_fifo");
+  EXPECT_STREQ(to_string(ProtocolKind::kReplicated), "replicated");
+  EXPECT_STREQ(to_string(ProtocolKind::kMds), "mds");
+}
+
+}  // namespace
+}  // namespace hetero::protocol

@@ -1,0 +1,210 @@
+#include "hetero/sim/coded.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "hetero/protocol/fifo.h"
+
+namespace hetero::sim {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+const std::vector<double> kSpeeds{1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125};
+constexpr double kDeadline = 3600.0;
+
+protocol::CodedSizing replicated_sizing(double fraction = 0.5) {
+  return protocol::size_replicated(kSpeeds, kEnv, kDeadline,
+                                   fraction * protocol::fifo_total_work(kSpeeds, kEnv, kDeadline));
+}
+
+protocol::CodedSizing mds_sizing(double fraction = 0.5) {
+  return protocol::size_mds(kSpeeds, kEnv, kDeadline,
+                            fraction * protocol::fifo_total_work(kSpeeds, kEnv, kDeadline));
+}
+
+TEST(CodedRun, FaultFreeReplicatedRecoversAndCancelsDuplicates) {
+  const auto sizing = replicated_sizing();
+  ASSERT_GE(sizing.replication, 2u);
+  const auto run = run_coded(kSpeeds, kEnv, sizing.allocation, CodedRunOptions{});
+  ASSERT_TRUE(run.recovered);
+  EXPECT_GT(run.recovery_time, 0.0);
+  EXPECT_EQ(run.recovery_set.size(), sizing.allocation.recovery_threshold);
+  // Every shard landed (replication completes only when all shards do).
+  for (double landed : run.shard_landed_at) EXPECT_GT(landed, 0.0);
+  // With r >= 2 some slower duplicates were still in flight at recovery and
+  // got cancelled — and each cancellation left a zero-length fault mark.
+  EXPECT_GT(run.copies_cancelled, 0u);
+  const auto marks = run.trace.segments_of(Activity::kCancelled);
+  EXPECT_EQ(marks.size(), run.copies_cancelled);
+  for (const TraceSegment& mark : marks) {
+    EXPECT_EQ(mark.start, mark.end);
+    EXPECT_EQ(mark.start, run.recovery_time);  // cancelled the instant it decoded
+  }
+  EXPECT_GT(run.redundant_cancelled, 0.0);
+  // Decoded credit at the horizon is the full target.
+  EXPECT_NEAR(run.completed_work(run.makespan), sizing.allocation.work_target,
+              1e-6 * sizing.allocation.work_target);
+  EXPECT_TRUE(run.trace.channel_exclusive());
+}
+
+TEST(CodedRun, AccountingTiesOut) {
+  const auto sizing = replicated_sizing();
+  const auto run = run_coded(kSpeeds, kEnv, sizing.allocation, CodedRunOptions{});
+  EXPECT_NEAR(run.issued_work, sizing.allocation.issued_work(), 1e-9);
+  EXPECT_NEAR(run.redundant_issued, run.issued_work - sizing.allocation.work_target, 1e-6);
+  double used = 0.0;
+  double cancelled = 0.0;
+  for (const CopyOutcome& outcome : run.outcomes) {
+    if (outcome.used) used += outcome.work;
+    if (outcome.cancelled) cancelled += outcome.work;
+  }
+  EXPECT_NEAR(run.redundant_wasted, run.issued_work - used, 1e-6);
+  EXPECT_NEAR(run.redundant_cancelled, cancelled, 1e-9);
+}
+
+TEST(CodedRun, RunsAreBitwiseDeterministic) {
+  const auto sizing = replicated_sizing();
+  FaultModelConfig model;
+  model.crash_rate = 0.5 / kDeadline;
+  model.straggler_probability = 0.5;
+  model.straggler_factor = 2.0;
+  CodedRunOptions options;
+  options.faults = FaultPlan::sample(model, kSpeeds.size(), kDeadline, 17);
+
+  const auto a = run_coded(kSpeeds, kEnv, sizing.allocation, options);
+  const auto b = run_coded(kSpeeds, kEnv, sizing.allocation, options);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.recovery_time, b.recovery_time);  // bitwise
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.recovery_set, b.recovery_set);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].result_end, b.outcomes[i].result_end);
+    EXPECT_EQ(a.outcomes[i].cancelled, b.outcomes[i].cancelled);
+    EXPECT_EQ(a.outcomes[i].used, b.outcomes[i].used);
+  }
+  ASSERT_EQ(a.trace.segments().size(), b.trace.segments().size());
+  for (std::size_t i = 0; i < a.trace.segments().size(); ++i) {
+    EXPECT_EQ(a.trace.segments()[i], b.trace.segments()[i]);  // bitwise
+  }
+}
+
+TEST(CodedRun, CrashedReplicaIsRecoveredFromItsTwin) {
+  const auto sizing = replicated_sizing();
+  ASSERT_GE(sizing.replication, 2u);
+  // Crash the fastest copy of shard 0 early, before it can deliver.
+  const auto& victim = sizing.allocation.copies.front();
+  CodedRunOptions options;
+  options.faults.crashes.push_back(CrashFault{victim.machine, 1.0});
+
+  const auto run = run_coded(kSpeeds, kEnv, sizing.allocation, options);
+  ASSERT_TRUE(run.recovered);
+  EXPECT_EQ(run.faults.crashes, 1u);
+  EXPECT_TRUE(run.outcomes.front().failed);
+  EXPECT_FALSE(run.outcomes.front().used);
+  // The shard still decoded — through a surviving copy on another machine.
+  EXPECT_GT(run.shard_landed_at[victim.shard], 0.0);
+  bool twin_used = false;
+  for (const CopyOutcome& outcome : run.outcomes) {
+    if (outcome.shard == victim.shard && outcome.machine != victim.machine && outcome.used) {
+      twin_used = true;
+    }
+  }
+  EXPECT_TRUE(twin_used);
+  // Losing a replica can only delay recovery vs the fault-free run.
+  const auto calm = run_coded(kSpeeds, kEnv, sizing.allocation, CodedRunOptions{});
+  EXPECT_GE(run.recovery_time, calm.recovery_time - 1e-9);
+}
+
+TEST(CodedRun, MdsToleratesItsDesignedStragglerBudget) {
+  // A modest target leaves real slack: k < n, so the code genuinely
+  // tolerates n - k losses.
+  const auto sizing = mds_sizing(0.3);
+  const std::size_t n = sizing.shards_total;
+  const std::size_t k = sizing.shards_needed;
+  ASSERT_GE(n, k);
+  CodedRunOptions options;
+  // Crash n - k machines (the slowest copies); any k shards still decode.
+  std::size_t crashed = 0;
+  for (std::size_t i = sizing.allocation.copies.size(); i-- > 0 && crashed < n - k;) {
+    options.faults.crashes.push_back(
+        CrashFault{sizing.allocation.copies[i].machine, 1.0});
+    ++crashed;
+  }
+  const auto run = run_coded(kSpeeds, kEnv, sizing.allocation, options);
+  EXPECT_TRUE(run.recovered);
+  EXPECT_NEAR(run.completed_work(run.makespan), sizing.allocation.work_target,
+              1e-6 * sizing.allocation.work_target);
+
+  // One crash beyond the budget and the code cannot decode at all.
+  CodedRunOptions too_many = options;
+  too_many.faults.crashes.push_back(
+      CrashFault{sizing.allocation.copies[0].machine, 1.0});
+  if (too_many.faults.crashes.size() <= kSpeeds.size()) {
+    const auto dead = run_coded(kSpeeds, kEnv, sizing.allocation, too_many);
+    if (!dead.recovered) {
+      EXPECT_EQ(dead.completed_work(dead.makespan), 0.0);  // all-or-nothing
+    }
+  }
+}
+
+TEST(CodedRun, ReplicatedCreditIsPerShardMdsIsAllOrNothing) {
+  const auto rep = replicated_sizing();
+  CodedRunOptions options;
+  // Crash everything so nothing past the fastest deliveries decodes.
+  for (std::size_t m = 0; m < kSpeeds.size(); ++m) {
+    options.faults.crashes.push_back(CrashFault{m, 0.25 * kDeadline});
+  }
+  const auto run = run_coded(kSpeeds, kEnv, rep.allocation, options);
+  if (!run.recovered) {
+    double landed = 0.0;
+    for (std::size_t s = 0; s < run.shard_landed_at.size(); ++s) {
+      if (run.shard_landed_at[s] > 0.0) landed += rep.allocation.decoded_size(s);
+    }
+    // Replication degrades gracefully: whatever shards landed are credited.
+    EXPECT_NEAR(run.completed_work(run.makespan), landed, 1e-9);
+  }
+
+  const auto mds = mds_sizing();
+  const auto dead = run_coded(kSpeeds, kEnv, mds.allocation, options);
+  if (!dead.recovered) {
+    EXPECT_EQ(dead.completed_work(dead.makespan), 0.0);
+  }
+}
+
+TEST(CodedRun, StragglerDelaysButDoesNotBreakRecovery) {
+  const auto sizing = replicated_sizing();
+  const auto calm = run_coded(kSpeeds, kEnv, sizing.allocation, CodedRunOptions{});
+  ASSERT_TRUE(calm.recovered);
+  CodedRunOptions options;
+  // Slow every machine down 4x from the start.
+  for (std::size_t m = 0; m < kSpeeds.size(); ++m) {
+    options.faults.slowdowns.push_back(SlowdownFault{m, 0.0, 4.0});
+  }
+  const auto slow = run_coded(kSpeeds, kEnv, sizing.allocation, options);
+  ASSERT_TRUE(slow.recovered);
+  EXPECT_GT(slow.recovery_time, calm.recovery_time);
+}
+
+TEST(CodedRun, RejectsInvalidInputs) {
+  const auto sizing = replicated_sizing();
+  protocol::CodedAllocation broken = sizing.allocation;
+  broken.recovery_threshold = 0;
+  EXPECT_THROW((void)run_coded(kSpeeds, kEnv, broken, CodedRunOptions{}),
+               std::invalid_argument);
+
+  CodedRunOptions negative_latency;
+  negative_latency.message_latency = -1.0;
+  EXPECT_THROW((void)run_coded(kSpeeds, kEnv, sizing.allocation, negative_latency),
+               std::invalid_argument);
+
+  CodedRunOptions bad_plan;
+  bad_plan.faults.crashes.push_back(CrashFault{kSpeeds.size() + 3, 1.0});
+  EXPECT_THROW((void)run_coded(kSpeeds, kEnv, sizing.allocation, bad_plan),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero::sim

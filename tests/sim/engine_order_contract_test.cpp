@@ -1,0 +1,90 @@
+// Regression lock on the SimEngine same-timestamp ordering contract
+// (documented in sim/engine.h): events at equal timestamps run in the order
+// they were scheduled, and an event that re-schedules at `now()` runs after
+// every event already queued for that instant.  The recovery-set dispatcher
+// in sim/coded.cpp leans on both properties to make same-time ties
+// deterministic; if either ever changes, these tests fail before the
+// protocol sweeps silently change their numbers.
+
+#include "hetero/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hetero::sim {
+namespace {
+
+TEST(EngineOrderContract, EqualTimestampsRunInSchedulingOrderAcrossInsertions) {
+  // Interleave insertions for two timestamps; within each timestamp the
+  // scheduling order must survive, no matter how the heap rebalances.
+  SimEngine engine;
+  std::vector<std::string> order;
+  engine.schedule_at(2.0, [&order] { order.push_back("t2:a"); });
+  engine.schedule_at(1.0, [&order] { order.push_back("t1:a"); });
+  engine.schedule_at(2.0, [&order] { order.push_back("t2:b"); });
+  engine.schedule_at(1.0, [&order] { order.push_back("t1:b"); });
+  engine.schedule_at(2.0, [&order] { order.push_back("t2:c"); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"t1:a", "t1:b", "t2:a", "t2:b", "t2:c"}));
+}
+
+TEST(EngineOrderContract, ZeroDelayDeferralSeesEverySameInstantCandidate) {
+  // The deferral idiom: a handler that must decide among all same-time
+  // state changes re-schedules itself at now().  Because the deferred event
+  // gets a larger sequence number than everything already queued at that
+  // instant, it runs last and sees every candidate.
+  SimEngine engine;
+  std::vector<int> candidates;
+  std::size_t seen_at_decision = 0;
+  const auto arrive = [&engine, &candidates, &seen_at_decision](int id) {
+    return [&engine, &candidates, &seen_at_decision, id] {
+      candidates.push_back(id);
+      engine.schedule_at(engine.now(), [&candidates, &seen_at_decision] {
+        // Only the first deferral to fire makes the decision; by then every
+        // same-instant arrival has registered.
+        if (seen_at_decision == 0) seen_at_decision = candidates.size();
+      });
+    };
+  };
+  engine.schedule_at(5.0, arrive(1));
+  engine.schedule_at(5.0, arrive(2));
+  engine.schedule_at(5.0, arrive(3));
+  engine.run();
+  EXPECT_EQ(seen_at_decision, 3u);
+}
+
+TEST(EngineOrderContract, DeferredEventsKeepFifoOrderAmongThemselves) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&engine, &order] {
+    engine.schedule_at(engine.now(), [&order] { order.push_back(1); });
+    engine.schedule_at(engine.now(), [&order] { order.push_back(2); });
+    engine.schedule_at(engine.now(), [&order] { order.push_back(3); });
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EngineOrderContract, ChainedDeferralsDrainBeforeTimeAdvances) {
+  // A deferral can itself defer; simulated time must not advance until the
+  // same-instant cascade is exhausted.
+  SimEngine engine;
+  std::vector<double> at;
+  int depth = 0;
+  std::function<void()> cascade = [&] {
+    at.push_back(engine.now());
+    if (++depth < 4) engine.schedule_at(engine.now(), cascade);
+  };
+  engine.schedule_at(3.0, cascade);
+  engine.schedule_at(4.0, [&at, &engine] { at.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(at.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(at[i], 3.0);
+  EXPECT_EQ(at[4], 4.0);
+}
+
+}  // namespace
+}  // namespace hetero::sim

@@ -1,0 +1,108 @@
+// ReactiveFifoPlanner under *combined* crash + straggler fault plans — the
+// regime the protocol sweep exercises — plus the banked-results series that
+// turns fixed-lifespan runs into fixed-work makespans.
+
+#include "hetero/sim/reactive.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "hetero/sim/fault.h"
+
+namespace hetero::sim {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+const std::vector<double> kSpeeds{1.0, 0.5, 0.25, 0.125};
+constexpr double kLifespan = 400.0;
+
+FaultPlan combined_plan() {
+  FaultPlan plan;
+  plan.crashes.push_back(CrashFault{0, 0.3 * kLifespan});
+  plan.slowdowns.push_back(SlowdownFault{1, 0.1 * kLifespan, 3.0});
+  plan.stalls.push_back(StallFault{2, 0.2 * kLifespan, 0.05 * kLifespan});
+  return plan;
+}
+
+TEST(ReactiveCombinedFaults, DetectsBothFamiliesAndKeepsWorking) {
+  const auto run = run_reactive_fifo(kSpeeds, kEnv, kLifespan, combined_plan());
+  EXPECT_GE(run.rounds, 2u);
+  EXPECT_GE(run.replans, 1u);
+  EXPECT_EQ(run.machines_crashed, 1u);
+  EXPECT_GT(run.completed_work, 0.0);
+
+  bool saw_crash = false;
+  bool saw_straggler = false;
+  for (const Detection& d : run.faults.detections) {
+    saw_crash = saw_crash || d.kind == DetectionKind::kCrash;
+    saw_straggler = saw_straggler || d.kind == DetectionKind::kStraggler;
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_straggler);
+
+  // The reaction pays off: strictly more banked work than riding the same
+  // faults out with the oblivious protocol.
+  const auto oblivious = run_fifo_with_faults(kSpeeds, kEnv, kLifespan, combined_plan());
+  EXPECT_GT(run.completed_work, oblivious.completed_work);
+}
+
+TEST(ReactiveCombinedFaults, CombinedRunsAreBitwiseDeterministic) {
+  const auto a = run_reactive_fifo(kSpeeds, kEnv, kLifespan, combined_plan());
+  const auto b = run_reactive_fifo(kSpeeds, kEnv, kLifespan, combined_plan());
+  EXPECT_EQ(a.completed_work, b.completed_work);  // bitwise
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.replans, b.replans);
+  ASSERT_EQ(a.banked.size(), b.banked.size());
+  for (std::size_t i = 0; i < a.banked.size(); ++i) {
+    EXPECT_EQ(a.banked[i].at, b.banked[i].at);
+    EXPECT_EQ(a.banked[i].work, b.banked[i].work);
+  }
+}
+
+TEST(ReactiveCombinedFaults, BankedSeriesSumsToCompletedWork) {
+  for (const FaultPlan& plan : {FaultPlan{}, combined_plan()}) {
+    for (const auto& run : {run_reactive_fifo(kSpeeds, kEnv, kLifespan, plan),
+                            run_fifo_with_faults(kSpeeds, kEnv, kLifespan, plan)}) {
+      double banked = 0.0;
+      double previous = 0.0;
+      for (const BankedResult& landing : run.banked) {
+        EXPECT_GE(landing.at, previous);  // absolute-time order
+        EXPECT_GT(landing.work, 0.0);
+        previous = landing.at;
+        banked += landing.work;
+      }
+      EXPECT_NEAR(banked, run.completed_work, 1e-6 * (1.0 + run.completed_work));
+    }
+  }
+}
+
+TEST(ReactiveCombinedFaults, CrossingTimeIsMonotoneInTarget) {
+  const auto run = run_reactive_fifo(kSpeeds, kEnv, kLifespan, combined_plan());
+  ASSERT_FALSE(run.banked.empty());
+  EXPECT_EQ(banked_crossing_time(run.banked, 0.0), 0.0);
+  double last = 0.0;
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    const double crossing =
+        banked_crossing_time(run.banked, fraction * run.completed_work, 1e-6);
+    EXPECT_GE(crossing, last);
+    EXPECT_LE(crossing, kLifespan * (1.0 + 1e-9));
+    last = crossing;
+  }
+  // Beyond everything the series ever banks: never crossed.
+  EXPECT_EQ(banked_crossing_time(run.banked, 2.0 * run.completed_work + 1.0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ReactiveCombinedFaults, CrossingMatchesTheExactLandingInstant) {
+  const std::vector<BankedResult> series{{10.0, 5.0}, {20.0, 5.0}, {30.0, 5.0}};
+  EXPECT_EQ(banked_crossing_time(series, 4.0), 10.0);
+  EXPECT_EQ(banked_crossing_time(series, 5.0), 10.0);
+  EXPECT_EQ(banked_crossing_time(series, 5.1), 20.0);
+  EXPECT_EQ(banked_crossing_time(series, 15.0), 30.0);
+  EXPECT_EQ(banked_crossing_time(series, 15.1), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace hetero::sim
