@@ -9,6 +9,15 @@
 //   heteroctl faults  "<1, 1/2, 1/4>" 3600 [seed]        # fault scenarios
 //   heteroctl protocols "<1, 1/2, ...>" 3600 [seed] [out.csv]  # protocol axis
 //   heteroctl resume  sweep.journal                      # continue a killed run
+//   heteroctl report  sweep.journal [out.md|out.json]    # explain a finished run
+//
+// The `report` command joins a journal's decoded results with the runner's
+// per-unit telemetry sidecar records into one deterministic document:
+// duration percentiles, outcome/waste accounting, and MAD outlier detection
+// with per-cell attribution (which crash-rate / straggler coordinates the
+// slow cell ran under).  Journaled runs also arm the observability flight
+// recorder: on a fatal error or crash the recent structured-event ring is
+// dumped next to the journal as `<journal>.blackbox`.
 //
 // With `--journal <path>`, the `faults` and `protocols` sweeps checkpoint
 // every finished grid cell into a crash-safe journal; if the process is
@@ -51,10 +60,12 @@
 #include "hetero/runner/journal.h"
 #include "hetero/runner/runner.h"
 #include "hetero/obs/chrome_trace.h"
+#include "hetero/obs/flight_recorder.h"
 #include "hetero/obs/metrics.h"
 #include "hetero/obs/prometheus.h"
 #include "hetero/protocol/fifo.h"
 #include "hetero/report/gantt.h"
+#include "hetero/report/run_report.h"
 #include "hetero/report/table.h"
 #include "hetero/sim/coded.h"
 #include "hetero/sim/reactive.h"
@@ -66,6 +77,15 @@ namespace {
 using namespace hetero;
 
 const core::Environment kEnv = core::Environment::paper_default();
+
+/// Arms the flight recorder for a journaled run: fatal signals dump the
+/// structured-event ring to `<journal>.blackbox`, and run_units does the
+/// same (via ctx.black_box) on fatal errors and cancellation.
+std::string arm_black_box(const std::string& journal_path) {
+  std::string box = journal_path + ".blackbox";
+  if constexpr (obs::kEnabled) obs::FlightRecorder::arm(box);
+  return box;
+}
 
 int cmd_power(const core::Profile& profile) {
   report::TextTable table{{"measure", "value"}};
@@ -223,6 +243,7 @@ int cmd_faults(const core::Profile& profile, double lifespan, std::uint64_t seed
     runner::RunContext ctx;
     ctx.pool = &pool;
     ctx.journal = &journal;
+    ctx.black_box = arm_black_box(journal_path);
     grid = experiments::run_fault_sweep(speeds, kEnv, sweep, ctx);
   }
   std::cout << "degradation vs fault-free FIFO optimum ("
@@ -309,6 +330,7 @@ int cmd_protocols(const core::Profile& profile, double lifespan, std::uint64_t s
     runner::RunContext ctx;
     ctx.pool = &pool;
     ctx.journal = &journal;
+    ctx.black_box = arm_black_box(journal_path);
     grid = experiments::run_protocol_sweep(speeds, kEnv, sweep, ctx);
   }
 
@@ -353,6 +375,33 @@ int cmd_protocols(const core::Profile& profile, double lifespan, std::uint64_t s
   return 0;
 }
 
+int cmd_report(const std::string& journal_path, const std::string& out_path) {
+  if constexpr (!obs::kEnabled) {
+    std::cerr << "error: run reports need a -DHETERO_OBS_ENABLED=ON build\n";
+    return 1;
+  }
+  // A report is a pure function of the journal bytes; the same journal
+  // always renders byte-identical output.  `.json` destinations get the
+  // machine-readable form, everything else the Markdown.
+  const bool json = out_path.size() >= 5 &&
+                    out_path.compare(out_path.size() - 5, 5, ".json") == 0;
+  const std::string text = json ? report::run_report_json(journal_path)
+                                : report::run_report_markdown(journal_path);
+  if (out_path.empty()) {
+    std::cout << text;
+    return 0;
+  }
+  std::ofstream out{out_path};
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << '\n';
+    return 1;
+  }
+  out << text;
+  out.close();
+  std::cout << "report: " << out_path << "\n";
+  return 0;
+}
+
 int usage() {
   std::cout << "usage:\n"
                "  heteroctl power   <profile>\n"
@@ -368,10 +417,14 @@ int usage() {
                "                    protocol x fault grid: fifo, reactive, replicated(r),\n"
                "                    MDS(n,k) race to the same work target under identical faults\n"
                "  heteroctl resume  <sweep.journal>\n"
+               "  heteroctl report  <sweep.journal> [out.md|out.json]\n"
+               "                    deterministic run report: results, duration percentiles,\n"
+               "                    outcome/waste accounting, MAD outliers with cell attribution\n"
                "options:\n"
                "  --metrics          dump the metrics registry (Prometheus text) after any command\n"
                "  --journal <path>   (faults, protocols) checkpoint finished grid cells; resume\n"
-               "                     a killed run with `heteroctl resume <path>`\n"
+               "                     a killed run with `heteroctl resume <path>`; a crash dumps\n"
+               "                     the flight recorder to <path>.blackbox\n"
                "profiles use the paper's notation, e.g. \"<1, 1/2, 1/4>\" or \"1 0.5 0.25\"\n";
   return 2;
 }
@@ -382,6 +435,10 @@ int usage() {
 int dispatch(const std::vector<std::string>& args, const std::string& journal_path) {
   if (args.size() < 2) return usage();
   const std::string& command = args[0];
+
+  if (command == "report") {
+    return cmd_report(args[1], args.size() >= 3 ? args[2] : std::string{});
+  }
 
   if (command == "resume") {
     // Reopen the journal, recover the original invocation from its header,

@@ -1,0 +1,128 @@
+// libFuzzer target: flight-recorder black-box codec invariants.
+//
+//   1. Round-trip — any event, including hostile names, serializes via
+//      black_box_line into a line that parse_black_box_line accepts and
+//      that reproduces the event bit-for-bit (after the same sanitization
+//      record() applies: names clamped to printable ASCII minus quote and
+//      backslash).
+//   2. Torn-tail tolerance — parse_black_box_line must never crash, OOB, or
+//      accept a corrupted line as valid when fed arbitrary bytes, including
+//      every truncation of a well-formed line (a torn dump's last line).
+//
+// This fuzzer only runs in obs-enabled builds; the codec compiles away
+// otherwise.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "hetero/obs/flight_recorder.h"
+
+namespace obs = hetero::obs;
+
+namespace {
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_{data}, size_{size} {}
+
+  std::uint64_t u64() {
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value = (value << 8) | (pos_ < size_ ? data_[pos_++] : 0u);
+    }
+    return value;
+  }
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0u; }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::string_view rest() {
+    std::string_view view{reinterpret_cast<const char*>(data_) + pos_, size_ - pos_};
+    pos_ = size_;
+    return view;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+double bits_to_double(std::uint64_t bits) {
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+std::uint64_t double_to_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+bool same_event(const obs::FlightEvent& a, const obs::FlightEvent& b) {
+  return a.seq == b.seq && a.t_ns == b.t_ns && a.kind == b.kind && a.a == b.a && a.b == b.b &&
+         double_to_bits(a.d) == double_to_bits(b.d) &&
+         std::memcmp(a.name, b.name, obs::FlightEvent::kNameBytes) == 0;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  Reader reader{data, size};
+
+  // --- round-trip: fuzzed event -> line -> event ------------------------
+  obs::FlightEvent event;
+  event.seq = reader.u64();
+  event.t_ns = reader.u64();
+  event.kind = static_cast<obs::EventKind>(reader.u8() % 9);
+  event.a = reader.u64();
+  event.b = reader.u64();
+  event.d = bits_to_double(reader.u64());
+  const std::size_t name_len =
+      static_cast<std::size_t>(reader.u8()) % obs::FlightEvent::kNameBytes;
+  for (std::size_t i = 0; i < name_len; ++i) {
+    event.name[i] = static_cast<char>(reader.u8());
+  }
+  // record() stores sanitized names; black_box_line re-sanitizes, so the
+  // round-tripped name is the sanitized form of ours.  Mirror that here so
+  // the comparison is exact: serialization stops at the first NUL, so any
+  // fuzz bytes after an embedded NUL never reach the wire and parse back as
+  // zeros.
+  obs::FlightEvent expected = event;
+  for (std::size_t i = 0; i < name_len; ++i) {
+    const char c = expected.name[i];
+    if (c == '\0') {
+      std::memset(expected.name + i, 0, obs::FlightEvent::kNameBytes - i);
+      break;
+    }
+    if (c < 0x20 || c > 0x7e || c == '"' || c == '\\') expected.name[i] = '_';
+  }
+
+  const std::string line = obs::black_box_line(event);
+  if (line.empty() || line.back() != '\n') __builtin_trap();
+  obs::FlightEvent parsed;
+  if (!obs::parse_black_box_line(std::string_view{line}.substr(0, line.size() - 1), parsed)) {
+    __builtin_trap();  // a line we just wrote must parse
+  }
+  if (!same_event(parsed, expected)) __builtin_trap();
+
+  // --- torn tail: every truncation of a valid line is rejected cleanly --
+  for (std::size_t cut = 0; cut + 1 < line.size(); ++cut) {  // all proper prefixes
+    obs::FlightEvent ignored;
+    if (obs::parse_black_box_line(std::string_view{line}.substr(0, cut), ignored)) {
+      __builtin_trap();  // a strict CRC'd format has no valid proper prefix
+    }
+  }
+
+  // --- hostile bytes: whatever is left of the input is a candidate line --
+  if (reader.remaining() > 0) {
+    obs::FlightEvent ignored;
+    static_cast<void>(obs::parse_black_box_line(reader.rest(), ignored));
+  }
+  return 0;
+}

@@ -216,6 +216,18 @@ CampaignResult run_campaign_impl(const std::vector<double>& speeds, const core::
 
 }  // namespace
 
+CampaignRoundRecord decode_campaign_round(std::string_view payload) {
+  runner::FieldReader r{payload};
+  CampaignRoundRecord record;
+  record.round_work = r.d();
+  record.machines = static_cast<std::size_t>(r.u64());
+  record.alive.reserve(record.machines);
+  for (std::size_t m = 0; m < record.machines; ++m) record.alive.push_back(r.u64() != 0);
+  record.faults = decode_fault_stats(r);
+  r.expect_done();
+  return record;
+}
+
 CampaignResult run_campaign(const std::vector<double>& speeds, const core::Environment& env,
                             const CampaignConfig& config,
                             const std::vector<CampaignFailure>& failures) {

@@ -111,6 +111,10 @@ void count_sweep(std::size_t cells) {
 
 }  // namespace
 
+FaultSweepCell decode_fault_sweep_cell(std::string_view payload) {
+  return decode_cell(payload);
+}
+
 FaultSweepResult run_fault_sweep(std::span<const double> speeds, const core::Environment& env,
                                  const FaultSweepConfig& config) {
   return run_fault_sweep(speeds, env, config, core::BatchExecutor{});

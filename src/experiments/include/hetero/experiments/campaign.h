@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "hetero/core/environment.h"
@@ -81,6 +82,18 @@ struct CampaignResult {
 [[nodiscard]] runner::JournalHeader campaign_journal_header(
     const std::vector<double>& speeds, const core::Environment& env,
     const CampaignConfig& config, const std::vector<CampaignFailure>& failures);
+
+/// One decoded "round:<n>" journal record of a journaled campaign — what
+/// the run-report generator reads back.
+struct CampaignRoundRecord {
+  double round_work = 0.0;
+  std::size_t machines = 0;      ///< fleet size the record was written under
+  std::vector<bool> alive;       ///< liveness at the round's end, per machine
+  sim::FaultStats faults;        ///< the round's fault-activity delta
+};
+
+/// Decodes one round payload.  Throws core::FatalError on shape mismatch.
+[[nodiscard]] CampaignRoundRecord decode_campaign_round(std::string_view payload);
 
 /// Draws i.i.d. exponential crash times (rate = per-machine failures per
 /// unit time); machines whose draw lands beyond the horizon never crash.

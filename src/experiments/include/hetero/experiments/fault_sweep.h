@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hetero/core/batch.h"
@@ -94,5 +95,10 @@ struct FaultSweepResult {
 /// serialize to byte-identical text — the golden kill-and-resume test
 /// compares these bytes).
 [[nodiscard]] std::string fault_sweep_csv(const FaultSweepResult& result);
+
+/// Decodes one journaled cell payload (the "cell:<i>" records a journaled
+/// sweep writes) — what the run-report generator reads back.  Throws
+/// core::FatalError on shape mismatch.
+[[nodiscard]] FaultSweepCell decode_fault_sweep_cell(std::string_view payload);
 
 }  // namespace hetero::experiments

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hetero/core/batch.h"
@@ -109,5 +110,10 @@ struct ProtocolSweepResult {
 /// CSV with a stable header and %.17g values — equal results serialize to
 /// byte-identical text (the kill-and-resume test compares these bytes).
 [[nodiscard]] std::string protocol_sweep_csv(const ProtocolSweepResult& result);
+
+/// Decodes one journaled cell payload (the "cell:<i>" records a journaled
+/// sweep writes) — what the run-report generator reads back.  Throws
+/// core::FatalError on shape mismatch.
+[[nodiscard]] ProtocolSweepCell decode_protocol_sweep_cell(std::string_view payload);
 
 }  // namespace hetero::experiments

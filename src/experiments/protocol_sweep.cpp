@@ -221,6 +221,10 @@ void count_sweep(std::size_t cells) {
 
 }  // namespace
 
+ProtocolSweepCell decode_protocol_sweep_cell(std::string_view payload) {
+  return decode_cell(payload);
+}
+
 ProtocolSweepResult run_protocol_sweep(std::span<const double> speeds,
                                        const core::Environment& env,
                                        const ProtocolSweepConfig& config) {
@@ -269,6 +273,18 @@ ProtocolSweepResult run_protocol_sweep(std::span<const double> speeds,
         return encode_cell(compute_cell(speeds, env, config, setup, p.kind, p.crash_rate,
                                         p.factor, p.fault_cell, token));
       });
+
+  // LP warm-start telemetry for run reports: the analytic sizing step is
+  // the sweep's only LP consumer, so one record per journal suffices
+  // (first write wins; a resume recomputes identical sizings and skips).
+  if constexpr (obs::kEnabled) {
+    if (ctx.journal != nullptr && ctx.journal->find("!obs:lp") == nullptr) {
+      runner::FieldWriter w;
+      w.add_u64(setup.replicated.lp_solves + setup.mds.lp_solves);
+      w.add_u64(setup.replicated.lp_warm_starts + setup.mds.lp_warm_starts);
+      ctx.journal->append("!obs:lp", w.str());
+    }
+  }
 
   ProtocolSweepResult result;
   result.work_target = setup.work_target;

@@ -1,5 +1,6 @@
 #include "hetero/obs/chrome_trace.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace hetero::obs {
@@ -14,7 +15,56 @@ std::string format_double(double value) {
   return std::string{buffer};
 }
 
+void append_args(std::string& out, const TraceEvent& event) {
+  out += R"(,"args":{)";
+  bool first = true;
+  for (const auto& [key, value] : event.args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += R"(":")";
+    out += json_escape(value);
+    out += '"';
+  }
+  out += '}';
+}
+
 void append_event(std::string& out, const TraceEvent& event) {
+  if (event.phase == 'M') {
+    // Metadata record: no timestamp, args carry the payload (e.g. the
+    // process/thread display name).
+    out += R"({"name":")";
+    out += json_escape(event.name);
+    out += R"(","ph":"M","pid":)";
+    out += std::to_string(event.pid);
+    out += R"(,"tid":)";
+    out += std::to_string(event.tid);
+    if (!event.args.empty()) append_args(out, event);
+    out += '}';
+    return;
+  }
+  if (event.phase == 's' || event.phase == 'f') {
+    // Flow start/finish: an id shared by the pair; "bp":"e" on the finish
+    // binds the arrow head to the enclosing slice.
+    out += R"({"name":")";
+    out += json_escape(event.name);
+    out += R"(","cat":")";
+    out += json_escape(event.category);
+    out += R"(","ph":")";
+    out += event.phase;
+    out += R"(","id":)";
+    out += std::to_string(event.flow_id);
+    out += R"(,"ts":)";
+    out += format_double(event.ts_us);
+    out += R"(,"pid":)";
+    out += std::to_string(event.pid);
+    out += R"(,"tid":)";
+    out += std::to_string(event.tid);
+    if (event.phase == 'f') out += R"(,"bp":"e")";
+    out += '}';
+    return;
+  }
   out += R"({"name":")";
   out += json_escape(event.name);
   out += R"(","cat":")";
@@ -27,20 +77,7 @@ void append_event(std::string& out, const TraceEvent& event) {
   out += std::to_string(event.pid);
   out += R"(,"tid":)";
   out += std::to_string(event.tid);
-  if (!event.args.empty()) {
-    out += R"(,"args":{)";
-    bool first = true;
-    for (const auto& [key, value] : event.args) {
-      if (!first) out += ',';
-      first = false;
-      out += '"';
-      out += json_escape(key);
-      out += R"(":")";
-      out += json_escape(value);
-      out += '"';
-    }
-    out += '}';
-  }
+  if (!event.args.empty()) append_args(out, event);
   out += '}';
 }
 
@@ -83,7 +120,101 @@ std::vector<TraceEvent> events_from_spans(std::span<const Span> spans, int pid) 
     event.dur_us = static_cast<double>(span.end_ns - span.start_ns) / 1e3;
     event.pid = pid;
     event.tid = static_cast<int>(span.tid);
+    if (span.outcome != nullptr && span.outcome[0] != '\0') {
+      event.args.emplace_back("outcome", span.outcome);
+      event.args.emplace_back("unit", std::to_string(span.unit));
+      event.args.emplace_back("attempt", std::to_string(span.attempt));
+    }
     events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<TraceEvent> flow_events_from_spans(std::span<const Span> spans, int pid) {
+  // Parents are addressable spans (span_id != 0); children are any spans
+  // naming a parent that is present.  One flow pair per such child, ids
+  // assigned in span order so equal snapshots export equal bytes.
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint64_t, const Span*>> parents;
+  for (const Span& span : spans) {
+    if (span.span_id != 0) parents.emplace_back(span.span_id, &span);
+  }
+  const auto find_parent = [&parents](std::uint64_t id) -> const Span* {
+    for (const auto& [pid_key, span] : parents) {
+      if (pid_key == id) return span;
+    }
+    return nullptr;
+  };
+  std::uint64_t next_flow = 0;
+  for (const Span& span : spans) {
+    if (span.parent_id == 0) continue;
+    const Span* parent = find_parent(span.parent_id);
+    if (parent == nullptr || parent == &span) continue;
+    const std::uint64_t id = ++next_flow;
+    // Anchor the start inside the parent's interval: Perfetto binds a flow
+    // record to the slice covering (tid, ts).
+    std::uint64_t anchor_ns = span.start_ns;
+    if (anchor_ns < parent->start_ns) anchor_ns = parent->start_ns;
+    if (anchor_ns > parent->end_ns) anchor_ns = parent->end_ns;
+    TraceEvent start;
+    start.name = span.name;
+    start.category = "causal";
+    start.ts_us = static_cast<double>(anchor_ns) / 1e3;
+    start.pid = pid;
+    start.tid = static_cast<int>(parent->tid);
+    start.phase = 's';
+    start.flow_id = id;
+    events.push_back(std::move(start));
+    TraceEvent finish;
+    finish.name = span.name;
+    finish.category = "causal";
+    finish.ts_us = static_cast<double>(span.start_ns) / 1e3;
+    finish.pid = pid;
+    finish.tid = static_cast<int>(span.tid);
+    finish.phase = 'f';
+    finish.flow_id = id;
+    events.push_back(std::move(finish));
+  }
+  return events;
+}
+
+TraceEvent process_name_event(int pid, std::string name) {
+  TraceEvent event;
+  event.name = "process_name";
+  event.pid = pid;
+  event.phase = 'M';
+  event.args.emplace_back("name", std::move(name));
+  return event;
+}
+
+TraceEvent thread_name_event(int pid, int tid, std::string name) {
+  TraceEvent event;
+  event.name = "thread_name";
+  event.pid = pid;
+  event.tid = tid;
+  event.phase = 'M';
+  event.args.emplace_back("name", std::move(name));
+  return event;
+}
+
+std::vector<TraceEvent> wall_metadata_events(std::span<const Span> spans, int pid) {
+  std::vector<TraceEvent> events;
+  events.push_back(process_name_event(pid, "wall clock"));
+  std::vector<std::uint32_t> tids;
+  for (const Span& span : spans) {
+    bool seen = false;
+    for (std::uint32_t tid : tids) {
+      if (tid == span.tid) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) tids.push_back(span.tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  for (std::uint32_t tid : tids) {
+    events.push_back(
+        thread_name_event(pid, static_cast<int>(tid), "thread " + std::to_string(tid)));
   }
   return events;
 }

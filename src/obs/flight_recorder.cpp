@@ -1,0 +1,456 @@
+#include "hetero/obs/flight_recorder.h"
+
+#if HETERO_OBS_ENABLED
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "hetero/obs/scope.h"
+
+namespace hetero::obs {
+
+namespace {
+
+// CRC-32 (IEEE 802.3, reflected, poly 0xedb88320) — same checksum the
+// runner journal uses, reimplemented here because obs sits below runner in
+// the layer graph.  Table built once at startup, so crc32() itself is
+// async-signal-safe.
+struct Crc32Table {
+  std::array<std::uint32_t, 256> entries{};
+  Crc32Table() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+const Crc32Table g_crc_table;
+
+std::uint32_t crc32(const char* data, std::size_t size) noexcept {
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = g_crc_table.entries[(crc ^ static_cast<unsigned char>(data[i])) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+/// Copies `text` into `out` (capacity bytes incl. NUL), replacing anything
+/// that would need JSON escaping with '_' so serialization never escapes.
+void sanitize_into(char* out, std::size_t capacity, const char* text) noexcept {
+  std::size_t n = 0;
+  if (text != nullptr) {
+    for (; text[n] != '\0' && n + 1 < capacity; ++n) {
+      const unsigned char c = static_cast<unsigned char>(text[n]);
+      out[n] = (c < 0x20 || c > 0x7e || c == '"' || c == '\\') ? '_' : static_cast<char>(c);
+    }
+  }
+  out[n] = '\0';
+}
+
+/// Formats one event into `buffer` exactly as the black-box file stores it
+/// (trailing newline included).  Returns the byte count, or 0 on overflow.
+/// Only snprintf with fixed formats — usable from a signal handler.
+std::size_t format_line(char* buffer, std::size_t capacity, const FlightEvent& event) noexcept {
+  // CRC covers the canonical field text, newline-joined, so any field edit
+  // invalidates the line.
+  char canonical[192];
+  std::uint64_t d_bits = 0;
+  static_assert(sizeof d_bits == sizeof event.d);
+  std::memcpy(&d_bits, &event.d, sizeof d_bits);
+  int canonical_len = std::snprintf(
+      canonical, sizeof canonical, "%llu\n%llu\n%s\n%s\n%llu\n%llu\n%016llx",
+      static_cast<unsigned long long>(event.seq), static_cast<unsigned long long>(event.t_ns),
+      to_string(event.kind), event.name, static_cast<unsigned long long>(event.a),
+      static_cast<unsigned long long>(event.b), static_cast<unsigned long long>(d_bits));
+  if (canonical_len <= 0 || static_cast<std::size_t>(canonical_len) >= sizeof canonical) return 0;
+  const std::uint32_t crc = crc32(canonical, static_cast<std::size_t>(canonical_len));
+  int len = std::snprintf(
+      buffer, capacity,
+      "{\"s\":%llu,\"t\":%llu,\"k\":\"%s\",\"n\":\"%s\",\"a\":%llu,\"b\":%llu,"
+      "\"d\":\"%016llx\",\"c\":\"%08x\"}\n",
+      static_cast<unsigned long long>(event.seq), static_cast<unsigned long long>(event.t_ns),
+      to_string(event.kind), event.name, static_cast<unsigned long long>(event.a),
+      static_cast<unsigned long long>(event.b), static_cast<unsigned long long>(d_bits), crc);
+  if (len <= 0 || static_cast<std::size_t>(len) >= capacity) return 0;
+  return static_cast<std::size_t>(len);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) noexcept {
+  while (size > 0) {
+    const ssize_t wrote = ::write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    size -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+// ---- Strict line scanning (load/parse side; may allocate) ----
+
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view text) : text_{text} {}
+
+  bool literal(std::string_view expected) {
+    if (text_.substr(pos_, expected.size()) != expected) return false;
+    pos_ += expected.size();
+    return true;
+  }
+
+  bool number(std::uint64_t& out) {
+    std::size_t n = 0;
+    std::uint64_t value = 0;
+    while (pos_ + n < text_.size() && text_[pos_ + n] >= '0' && text_[pos_ + n] <= '9') {
+      value = value * 10 + static_cast<std::uint64_t>(text_[pos_ + n] - '0');
+      ++n;
+    }
+    if (n == 0 || n > 20) return false;
+    pos_ += n;
+    out = value;
+    return true;
+  }
+
+  /// Reads a quoted string with no escapes (the writer sanitizes).
+  bool quoted(std::string_view& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    const std::size_t start = pos_ + 1;
+    const std::size_t end = text_.find('"', start);
+    if (end == std::string_view::npos) return false;
+    out = text_.substr(start, end - start);
+    if (out.find('\\') != std::string_view::npos) return false;
+    pos_ = end + 1;
+    return true;
+  }
+
+  bool hex(std::size_t digits, std::uint64_t& out) {
+    if (pos_ + digits > text_.size()) return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < digits; ++i) {
+      const char c = text_[pos_ + i];
+      std::uint64_t nibble = 0;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+      } else {
+        return false;
+      }
+      value = (value << 4) | nibble;
+    }
+    pos_ += digits;
+    out = value;
+    return true;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == text_.size(); }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Crash arming state ----
+
+constexpr int kArmedSignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGTERM, SIGINT};
+constexpr std::size_t kArmedSignalCount = sizeof kArmedSignals / sizeof kArmedSignals[0];
+
+char g_arm_path[512] = {0};
+std::atomic<bool> g_armed{false};
+struct sigaction g_old_actions[kArmedSignalCount];
+std::terminate_handler g_old_terminate = nullptr;
+
+extern "C" void hetero_obs_crash_handler(int sig) {
+  if (g_armed.load(std::memory_order_acquire)) {
+    char reason[32];
+    std::snprintf(reason, sizeof reason, "signal %d", sig);
+    FlightRecorder::global().dump(g_arm_path, reason);
+  }
+  // Restore default disposition and re-raise so the process still dies with
+  // the original signal (exit status visible to the parent / CI).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+[[noreturn]] void terminate_with_black_box() {
+  if (g_armed.load(std::memory_order_acquire)) {
+    FlightRecorder::global().dump(g_arm_path, "terminate");
+  }
+  if (g_old_terminate != nullptr) g_old_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+struct FlightRecorder::Slot {
+  // Seqlock: stamp == seq + 1 publishes the payload below; 0 (or a stale
+  // stamp) means "being rewritten / overwritten" and readers skip.  Every
+  // word is an atomic so concurrent record/snapshot stays race-free.
+  std::atomic<std::uint64_t> stamp{0};
+  std::atomic<std::uint64_t> t_ns{0};
+  std::atomic<std::uint64_t> kind{0};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::atomic<std::uint64_t> d_bits{0};
+  std::array<std::atomic<std::uint64_t>, FlightEvent::kNameBytes / 8> name{};
+};
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : slots_{new Slot[capacity == 0 ? 1 : capacity]}, capacity_{capacity == 0 ? 1 : capacity} {}
+
+FlightRecorder::~FlightRecorder() { delete[] slots_; }
+
+void FlightRecorder::record(EventKind kind, const char* name, std::uint64_t a, std::uint64_t b,
+                            double d) noexcept {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  slot.stamp.store(0, std::memory_order_release);  // invalidate while rewriting
+  slot.t_ns.store(SpanCollector::now_ns(), std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint64_t>(kind), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  std::uint64_t d_bits = 0;
+  std::memcpy(&d_bits, &d, sizeof d_bits);
+  slot.d_bits.store(d_bits, std::memory_order_relaxed);
+  char sanitized[FlightEvent::kNameBytes] = {};
+  sanitize_into(sanitized, sizeof sanitized, name);
+  for (std::size_t word = 0; word < slot.name.size(); ++word) {
+    std::uint64_t packed = 0;
+    std::memcpy(&packed, sanitized + word * 8, 8);
+    slot.name[word].store(packed, std::memory_order_relaxed);
+  }
+  slot.stamp.store(seq + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(std::uint64_t seq, FlightEvent& out) const noexcept {
+  const Slot& slot = slots_[seq % capacity_];
+  if (slot.stamp.load(std::memory_order_acquire) != seq + 1) return false;
+  out.seq = seq;
+  out.t_ns = slot.t_ns.load(std::memory_order_relaxed);
+  out.kind = static_cast<EventKind>(slot.kind.load(std::memory_order_relaxed));
+  out.a = slot.a.load(std::memory_order_relaxed);
+  out.b = slot.b.load(std::memory_order_relaxed);
+  const std::uint64_t d_bits = slot.d_bits.load(std::memory_order_relaxed);
+  std::memcpy(&out.d, &d_bits, sizeof out.d);
+  for (std::size_t word = 0; word < slot.name.size(); ++word) {
+    const std::uint64_t packed = slot.name[word].load(std::memory_order_relaxed);
+    std::memcpy(out.name + word * 8, &packed, 8);
+  }
+  out.name[FlightEvent::kNameBytes - 1] = '\0';
+  // Re-check: if a writer lapped us mid-copy the stamp moved on.
+  return slot.stamp.load(std::memory_order_acquire) == seq + 1;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t seq = begin; seq < end; ++seq) {
+    FlightEvent event;
+    if (read_slot(seq, event)) out.push_back(event);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() noexcept {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].stamp.store(0, std::memory_order_release);
+  }
+}
+
+bool FlightRecorder::dump(const char* path, const char* reason) const noexcept {
+  if (path == nullptr || path[0] == '\0') return false;
+  char tmp[560];
+  const int tmp_len = std::snprintf(tmp, sizeof tmp, "%s.dump-tmp", path);
+  if (tmp_len <= 0 || static_cast<std::size_t>(tmp_len) >= sizeof tmp) return false;
+  const int fd = ::open(tmp, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  // Header: reason sanitized, CRC over the reason text alone.
+  {
+    char sanitized[96];
+    sanitize_into(sanitized, sizeof sanitized, reason == nullptr ? "" : reason);
+    const std::uint32_t crc = crc32(sanitized, std::strlen(sanitized));
+    char header[192];
+    const int len = std::snprintf(header, sizeof header,
+                                  "{\"hetero_blackbox\":1,\"reason\":\"%s\",\"c\":\"%08x\"}\n",
+                                  sanitized, crc);
+    ok = len > 0 && static_cast<std::size_t>(len) < sizeof header &&
+         write_all(fd, header, static_cast<std::size_t>(len));
+  }
+  if (ok) {
+    const std::uint64_t end = next_.load(std::memory_order_acquire);
+    const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+    for (std::uint64_t seq = begin; ok && seq < end; ++seq) {
+      FlightEvent event;
+      if (!read_slot(seq, event)) continue;
+      char line[320];
+      const std::size_t len = format_line(line, sizeof line, event);
+      if (len == 0) continue;
+      ok = write_all(fd, line, len);
+    }
+  }
+  if (ok) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp);
+    return false;
+  }
+  if (::rename(tmp, path) != 0) {
+    ::unlink(tmp);
+    return false;
+  }
+  return true;
+}
+
+void FlightRecorder::arm(const std::string& path) {
+  static_cast<void>(global());  // force construction outside any signal handler
+  std::snprintf(g_arm_path, sizeof g_arm_path, "%s", path.c_str());
+  if (g_armed.exchange(true, std::memory_order_acq_rel)) return;  // re-arm: path updated above
+  struct sigaction action;
+  std::memset(&action, 0, sizeof action);
+  action.sa_handler = &hetero_obs_crash_handler;
+  sigemptyset(&action.sa_mask);
+  for (std::size_t i = 0; i < kArmedSignalCount; ++i) {
+    ::sigaction(kArmedSignals[i], &action, &g_old_actions[i]);
+  }
+  g_old_terminate = std::set_terminate(&terminate_with_black_box);
+}
+
+void FlightRecorder::disarm() {
+  if (!g_armed.exchange(false, std::memory_order_acq_rel)) return;
+  for (std::size_t i = 0; i < kArmedSignalCount; ++i) {
+    ::sigaction(kArmedSignals[i], &g_old_actions[i], nullptr);
+  }
+  std::set_terminate(g_old_terminate);
+  g_old_terminate = nullptr;
+}
+
+std::string black_box_line(const FlightEvent& event) {
+  // Re-sanitize defensively: callers may hand-build events (the fuzzer
+  // does), and the parser rejects anything the writer would not emit.
+  FlightEvent clean = event;
+  sanitize_into(clean.name, sizeof clean.name, event.name);
+  char line[320];
+  const std::size_t len = format_line(line, sizeof line, clean);
+  return std::string{line, len};
+}
+
+bool parse_black_box_line(std::string_view line, FlightEvent& event) {
+  LineScanner scan{line};
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;
+  std::string_view kind_text;
+  std::string_view name;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t d_bits = 0;
+  std::uint64_t crc_stored = 0;
+  if (!scan.literal("{\"s\":") || !scan.number(seq) || !scan.literal(",\"t\":") ||
+      !scan.number(t_ns) || !scan.literal(",\"k\":") || !scan.quoted(kind_text) ||
+      !scan.literal(",\"n\":") || !scan.quoted(name) || !scan.literal(",\"a\":") ||
+      !scan.number(a) || !scan.literal(",\"b\":") || !scan.number(b) ||
+      !scan.literal(",\"d\":\"") || !scan.hex(16, d_bits) || !scan.literal("\",\"c\":\"") ||
+      !scan.hex(8, crc_stored) || !scan.literal("\"}") || !scan.done()) {
+    return false;
+  }
+  EventKind kind = EventKind::kNote;
+  if (!event_kind_from(kind_text, kind)) return false;
+  if (name.size() >= FlightEvent::kNameBytes) return false;
+  char canonical[192];
+  const int canonical_len = std::snprintf(
+      canonical, sizeof canonical, "%llu\n%llu\n%.*s\n%.*s\n%llu\n%llu\n%016llx",
+      static_cast<unsigned long long>(seq), static_cast<unsigned long long>(t_ns),
+      static_cast<int>(kind_text.size()), kind_text.data(), static_cast<int>(name.size()),
+      name.data(), static_cast<unsigned long long>(a), static_cast<unsigned long long>(b),
+      static_cast<unsigned long long>(d_bits));
+  if (canonical_len <= 0 || static_cast<std::size_t>(canonical_len) >= sizeof canonical) {
+    return false;
+  }
+  if (crc32(canonical, static_cast<std::size_t>(canonical_len)) !=
+      static_cast<std::uint32_t>(crc_stored)) {
+    return false;
+  }
+  event = FlightEvent{};
+  event.seq = seq;
+  event.t_ns = t_ns;
+  event.kind = kind;
+  std::memcpy(event.name, name.data(), name.size());
+  event.name[name.size()] = '\0';
+  event.a = a;
+  event.b = b;
+  std::memcpy(&event.d, &d_bits, sizeof event.d);
+  return true;
+}
+
+BlackBox load_black_box(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"black box missing: " + path};
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const std::string text = contents.str();
+
+  BlackBox box;
+  std::size_t pos = 0;
+  bool saw_header = false;
+  bool damaged = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    const bool terminated = eol != std::string::npos;
+    if (!terminated) eol = text.size();
+    const std::string_view line{text.data() + pos, eol - pos};
+    pos = terminated ? eol + 1 : text.size();
+    if (line.empty()) continue;
+    if (!saw_header) {
+      LineScanner scan{line};
+      std::string_view reason;
+      std::uint64_t crc_stored = 0;
+      if (!scan.literal("{\"hetero_blackbox\":1,\"reason\":") || !scan.quoted(reason) ||
+          !scan.literal(",\"c\":\"") || !scan.hex(8, crc_stored) || !scan.literal("\"}") ||
+          !scan.done() ||
+          crc32(reason.data(), reason.size()) != static_cast<std::uint32_t>(crc_stored)) {
+        throw std::runtime_error{"black box header damaged: " + path};
+      }
+      box.reason = std::string{reason};
+      saw_header = true;
+      continue;
+    }
+    FlightEvent event;
+    if (damaged || !terminated || !parse_black_box_line(line, event)) {
+      // First damaged (or unterminated) line: everything from here on is the
+      // torn tail — count it, keep the valid prefix.
+      damaged = true;
+      ++box.torn_lines;
+      continue;
+    }
+    box.events.push_back(event);
+  }
+  if (!saw_header) throw std::runtime_error{"black box header damaged: " + path};
+  return box;
+}
+
+}  // namespace hetero::obs
+
+#endif  // HETERO_OBS_ENABLED

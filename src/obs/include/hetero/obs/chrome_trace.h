@@ -11,7 +11,19 @@
 // simulated episode spends model time next to where the process spends real
 // time.  The exporters themselves are unconditional — they serialize
 // whatever they are handed, even in a -DHETERO_OBS_ENABLED=OFF build.
+//
+// Beyond complete ("ph":"X") events the exporter also emits:
+//   * metadata records ("ph":"M", process_name / thread_name) so Perfetto
+//     labels the wall-clock and simulated-time tracks by role instead of by
+//     bare pid/tid numbers (process_name_event / thread_name_event /
+//     wall_metadata_events; the sim side is sim::trace_metadata_events,
+//     sharing the same actor→tid mapping as its "X" events);
+//   * flow pairs ("ph":"s"/"f") binding causally linked spans — a runner
+//     attempt to its run root, a retry or speculative copy to the primary it
+//     duplicates, a nested LP solve or sim episode to the attempt that ran
+//     it — which Perfetto renders as arrows (flow_events_from_spans).
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -26,8 +38,11 @@ namespace hetero::obs {
 inline constexpr int kWallClockPid = 1;  ///< wall-clock profiling spans
 inline constexpr int kSimPid = 2;        ///< simulated-time trace segments
 
-/// One complete ("ph":"X") trace event.  Times are microseconds, the unit
-/// the trace-event format mandates.
+/// One trace event.  Times are microseconds, the unit the trace-event
+/// format mandates.  phase selects the record shape: 'X' (complete, the
+/// default — ts/dur/args), 'M' (metadata — args only), 's'/'f' (flow
+/// start/finish — ts + flow_id; 'f' carries bp:"e" so the arrow binds to
+/// the enclosing slice).
 struct TraceEvent {
   std::string name;
   std::string category = "obs";
@@ -35,6 +50,8 @@ struct TraceEvent {
   double dur_us = 0.0;
   int pid = kWallClockPid;
   int tid = 0;
+  char phase = 'X';
+  std::uint64_t flow_id = 0;  ///< shared id of a flow's 's' and 'f' records
   /// Optional "args" key/value pairs (values emitted as JSON strings).
   std::vector<std::pair<std::string, std::string>> args;
 };
@@ -43,9 +60,31 @@ struct TraceEvent {
 /// backslashes, control characters).
 [[nodiscard]] std::string json_escape(std::string_view text);
 
-/// Converts wall-clock spans to complete events under `pid`.
+/// Converts wall-clock spans to complete events under `pid`.  Spans that
+/// belong to a causal tree additionally carry their outcome / unit /
+/// attempt tags in args (plain profiling spans serialize exactly as
+/// before).
 [[nodiscard]] std::vector<TraceEvent> events_from_spans(std::span<const Span> spans,
                                                         int pid = kWallClockPid);
+
+/// Flow pairs for every parent-linked span whose parent span (by span_id)
+/// is also in `spans`: one 's' record on the parent's track at the child's
+/// start (clamped into the parent interval) and one 'f' record on the
+/// child's track, sharing a deterministic flow id.  Perfetto draws these as
+/// parent→child arrows — the retry/speculation lineage.
+[[nodiscard]] std::vector<TraceEvent> flow_events_from_spans(std::span<const Span> spans,
+                                                             int pid = kWallClockPid);
+
+/// "ph":"M" process_name record.
+[[nodiscard]] TraceEvent process_name_event(int pid, std::string name);
+
+/// "ph":"M" thread_name record.
+[[nodiscard]] TraceEvent thread_name_event(int pid, int tid, std::string name);
+
+/// Metadata for the wall-clock track: names the process and every thread
+/// row appearing in `spans` ("thread <tid>").
+[[nodiscard]] std::vector<TraceEvent> wall_metadata_events(std::span<const Span> spans,
+                                                           int pid = kWallClockPid);
 
 /// Serializes events as {"traceEvents":[...],"displayTimeUnit":"ms"} —
 /// valid standalone JSON, accepted by Perfetto and chrome://tracing.

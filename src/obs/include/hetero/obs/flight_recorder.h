@@ -1,0 +1,189 @@
+#pragma once
+
+// Crash flight recorder: a fixed-size, lock-free-ish ring of recent
+// structured events, dumped to a CRC'd JSONL "black box" when a run dies.
+//
+// Long campaigns fail in ways a counter snapshot cannot explain: what was
+// the watchdog doing right before the deadline fired, which unit was mid
+// retry, had the journal append landed?  Hot layers record() small
+// fixed-size events (span open/close, fault detections, journal appends,
+// watchdog firings, retries, speculation, cancellation) into a ring that
+// keeps only the most recent `capacity` of them — wraparound drops oldest
+// first, never the newest.  On a fatal error, cancellation, or signal the
+// ring is dumped next to the run's journal using the journal's atomic
+// write-tmp/fsync/rename idiom, so a black box either appears whole or not
+// at all, and each line carries a CRC so a torn dump still yields its valid
+// prefix (load_black_box).
+//
+// Concurrency: record() is wait-free for writers — one fetch_add to claim a
+// sequence number, then per-field relaxed atomic stores published by a
+// per-slot seqlock stamp.  Readers (snapshot/dump) validate the stamp
+// before and after copying and simply skip slots that were being rewritten.
+// dump() is written to be safe from a signal handler: no allocation, no
+// locks, just stack buffers and write(2).
+//
+// In a -DHETERO_OBS_ENABLED=OFF build the class collapses to empty inline
+// stubs and this translation unit compiles to nothing.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::obs {
+
+enum class EventKind : std::uint8_t {
+  kNote = 0,
+  kSpanOpen,
+  kSpanClose,
+  kFault,
+  kJournalAppend,
+  kWatchdog,
+  kRetry,
+  kSpeculation,
+  kCancel,
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kNote: return "note";
+    case EventKind::kSpanOpen: return "span-open";
+    case EventKind::kSpanClose: return "span-close";
+    case EventKind::kFault: return "fault";
+    case EventKind::kJournalAppend: return "journal-append";
+    case EventKind::kWatchdog: return "watchdog";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kSpeculation: return "speculation";
+    case EventKind::kCancel: return "cancel";
+  }
+  return "note";
+}
+
+[[nodiscard]] constexpr bool event_kind_from(std::string_view text, EventKind& kind) noexcept {
+  constexpr EventKind kAll[] = {
+      EventKind::kNote,    EventKind::kSpanOpen, EventKind::kSpanClose,
+      EventKind::kFault,   EventKind::kJournalAppend, EventKind::kWatchdog,
+      EventKind::kRetry,   EventKind::kSpeculation,   EventKind::kCancel,
+  };
+  for (EventKind candidate : kAll) {
+    if (text == to_string(candidate)) {
+      kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One recorded event.  `name` is a short sanitized label (printable ASCII,
+/// no quotes/backslashes — record() enforces this); a/b/d are free-form
+/// payload words (unit index, attempt number, seconds, ...).
+struct FlightEvent {
+  static constexpr std::size_t kNameBytes = 40;
+
+  std::uint64_t seq = 0;
+  std::uint64_t t_ns = 0;  ///< SpanCollector::now_ns() at record time
+  EventKind kind = EventKind::kNote;
+  char name[kNameBytes] = {};
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  double d = 0.0;
+};
+
+/// A loaded black box: the valid prefix of a dump.
+struct BlackBox {
+  std::string reason;
+  std::vector<FlightEvent> events;
+  std::size_t torn_lines = 0;  ///< trailing lines dropped for CRC/shape damage
+};
+
+#if HETERO_OBS_ENABLED
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  [[nodiscard]] static FlightRecorder& global();
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one event (wait-free; oldest event is overwritten when full).
+  void record(EventKind kind, const char* name, std::uint64_t a = 0, std::uint64_t b = 0,
+              double d = 0.0) noexcept;
+
+  /// Copies the surviving events, oldest first.  Slots concurrently being
+  /// rewritten are skipped, so the result is always internally consistent.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Writes the ring as a CRC'd JSONL black box at `path` (tmp + fsync +
+  /// rename, so the file appears atomically).  Safe to call from a signal
+  /// handler.  Returns false on I/O failure.
+  bool dump(const char* path, const char* reason) const noexcept;
+
+  /// Forgets all events (the sequence counter keeps advancing).
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Installs fatal-signal handlers (SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL/
+  /// SIGTERM/SIGINT) and a std::terminate handler that dump the global
+  /// recorder to `path` and then re-raise, so any armed run leaves a black
+  /// box behind.  Re-arming replaces the path; disarm() restores the
+  /// previous handlers.
+  static void arm(const std::string& path);
+  static void disarm();
+
+ private:
+  struct Slot;
+
+  [[nodiscard]] bool read_slot(std::uint64_t seq, FlightEvent& out) const noexcept;
+
+  Slot* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Serializes one event exactly as dump() writes it (trailing newline
+/// included) — exposed so tests and the fuzzer exercise the same bytes.
+[[nodiscard]] std::string black_box_line(const FlightEvent& event);
+
+/// Strict parse of one black-box event line (no trailing newline).
+[[nodiscard]] bool parse_black_box_line(std::string_view line, FlightEvent& event);
+
+/// Loads a black box, keeping the CRC-valid prefix and counting damaged
+/// trailing lines.  Throws std::runtime_error when the file is missing or
+/// its header line is damaged.
+[[nodiscard]] BlackBox load_black_box(const std::string& path);
+
+#else  // !HETERO_OBS_ENABLED
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 0;
+
+  [[nodiscard]] static FlightRecorder& global() {
+    static FlightRecorder recorder;
+    return recorder;
+  }
+  void record(EventKind, const char*, std::uint64_t = 0, std::uint64_t = 0,
+              double = 0.0) noexcept {}
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const { return {}; }
+  bool dump(const char*, const char*) const noexcept { return false; }
+  void clear() noexcept {}
+  [[nodiscard]] std::size_t capacity() const noexcept { return 0; }
+  static void arm(const std::string&) {}
+  static void disarm() {}
+};
+
+[[nodiscard]] inline std::string black_box_line(const FlightEvent&) { return {}; }
+[[nodiscard]] inline bool parse_black_box_line(std::string_view, FlightEvent&) { return false; }
+[[nodiscard]] inline BlackBox load_black_box(const std::string&) { return {}; }
+
+#endif  // HETERO_OBS_ENABLED
+
+}  // namespace hetero::obs

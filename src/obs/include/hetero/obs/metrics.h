@@ -100,6 +100,40 @@ struct HistogramSample {
   std::array<std::uint64_t, HistogramBuckets::kCount> buckets{};
   std::uint64_t count = 0;
   double sum = 0.0;
+
+  /// Interpolated quantile estimate (q in [0, 1], clamped).  Finds the
+  /// bucket holding the type-7 fractional rank and interpolates linearly
+  /// inside it, assuming the bucket's samples are evenly spread — so the
+  /// estimate is within one bucket width of the true quantile (a factor of
+  /// two in this power-of-two ladder), usually much closer.  Bucket 0 is
+  /// treated as [0, upper_bound(0)).  Returns 0 when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count == 0) return 0.0;
+    if (!(q > 0.0)) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double rank = q * static_cast<double>(count - 1);  // 0-based, fractional
+    double first = 0.0;                                      // first rank in this bucket
+    for (std::size_t i = 0; i < HistogramBuckets::kCount; ++i) {
+      const double n = static_cast<double>(buckets[i]);
+      if (n == 0.0) continue;
+      if (rank < first + n || i == HistogramBuckets::kCount - 1 ||
+          first + n >= static_cast<double>(count)) {
+        const double lo = i == 0 ? 0.0 : HistogramBuckets::upper_bound(i - 1);
+        const double hi = HistogramBuckets::upper_bound(i);
+        // The k-th of n evenly spread samples sits at lo + (k + 0.5)/n (hi-lo).
+        double position = ((rank - first) + 0.5) / n;
+        if (position < 0.0) position = 0.0;
+        if (position > 1.0) position = 1.0;
+        return lo + position * (hi - lo);
+      }
+      first += n;
+    }
+    return HistogramBuckets::upper_bound(HistogramBuckets::kCount - 1);
+  }
+
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
 };
 
 /// One consistent-enough view of every registered metric, sorted by name.
@@ -235,6 +269,13 @@ class Histogram {
     return out;
   }
 
+  /// Interpolated quantile of the live buckets (see HistogramSample::
+  /// quantile for the estimator and its one-bucket accuracy bound).
+  [[nodiscard]] double quantile(double q) const noexcept { return sample({}).quantile(q); }
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p95() const noexcept { return quantile(0.95); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+
   void reset() noexcept {
     for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -310,6 +351,10 @@ class Histogram {
     out.name = std::move(name);
     return out;
   }
+  [[nodiscard]] double quantile(double) const noexcept { return 0.0; }
+  [[nodiscard]] double p50() const noexcept { return 0.0; }
+  [[nodiscard]] double p95() const noexcept { return 0.0; }
+  [[nodiscard]] double p99() const noexcept { return 0.0; }
   void reset() noexcept {}
 };
 

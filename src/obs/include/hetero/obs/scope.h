@@ -24,16 +24,30 @@
 #include <vector>
 
 #include "hetero/obs/metrics.h"
+#include "hetero/obs/trace_context.h"
 
 namespace hetero::obs {
 
 /// One closed wall-clock interval on one thread.  Times are nanoseconds
 /// since the process-wide collector epoch (first use of now_ns()).
+///
+/// The causal fields are optional (all-zero for a plain profiling scope):
+/// a span carrying a trace_id belongs to a run's causal tree — span_id is
+/// its own deterministic identity (0 for leaf scopes nothing attaches to),
+/// parent_id links it under the span that caused it, and outcome/unit/
+/// attempt tag runner attempts (see hetero/obs/trace_context.h and the
+/// Chrome-trace flow export).
 struct Span {
   const char* name = "";
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   std::uint32_t tid = 0;  ///< small sequential id, assigned per recording thread
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  const char* outcome = "";  ///< "", or an obs::outcome tag (string literal)
+  std::uint64_t unit = 0;    ///< work-unit index (meaningful when outcome is set)
+  std::uint32_t attempt = 0; ///< 0 = primary, >0 = retry/speculative copy
 };
 
 #if HETERO_OBS_ENABLED
@@ -71,13 +85,18 @@ class SpanCollector {
   std::uint32_t next_tid_ = 0;
 };
 
-/// Records the lifetime of the enclosing block as a Span.
+/// Records the lifetime of the enclosing block as a Span.  When a
+/// ContextGuard is active on this thread (a runner attempt is executing),
+/// the span joins that causal tree as a leaf child of the attempt.
 class ProfileScope {
  public:
   explicit ProfileScope(const char* name) noexcept
-      : name_{name}, start_ns_{SpanCollector::now_ns()} {}
+      : name_{name}, start_ns_{SpanCollector::now_ns()}, ctx_{current_context()} {}
   ~ProfileScope() {
-    SpanCollector::global().record(Span{name_, start_ns_, SpanCollector::now_ns(), 0});
+    Span span{name_, start_ns_, SpanCollector::now_ns(), 0};
+    span.trace_id = ctx_.trace_id;
+    span.parent_id = ctx_.span_id;
+    SpanCollector::global().record(span);
   }
 
   ProfileScope(const ProfileScope&) = delete;
@@ -86,6 +105,7 @@ class ProfileScope {
  private:
   const char* name_;
   std::uint64_t start_ns_;
+  TraceContext ctx_;
 };
 
 #define HETERO_OBS_SCOPE_CONCAT_(a, b) a##b

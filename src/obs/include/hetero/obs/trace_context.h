@@ -1,0 +1,126 @@
+#pragma once
+
+// Causal trace identity for the observability layer.
+//
+// A run forms a tree: the run root span, one primary attempt per work unit,
+// and retry/speculative copies hanging off the primary they duplicate.  The
+// identifiers are not random — they are splitmix64-derived from the run seed
+// (trace_root) and the parent's span id (derive_span_id), so the same run
+// always produces the same tree, attempt ids survive a journal resume, and a
+// trace from a resumed run splices onto the original run's ids.
+//
+// The currently-open span is carried in a thread-local TraceContext;
+// ContextGuard swaps it in for the duration of an attempt so every
+// HETERO_OBS_SCOPE opened underneath (sim engine episodes, LP solves)
+// records that attempt as its parent and the Chrome-trace exporter can draw
+// the lineage as flow arrows.  In a -DHETERO_OBS_ENABLED=OFF build the
+// derivations stay (constexpr, header-only, no symbols) and the thread-local
+// plumbing compiles to nothing.
+
+#include <cstdint>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::obs {
+
+/// Identity of the enclosing span: which trace, and which span new children
+/// should claim as their parent.  trace_id == 0 means "no trace".
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return trace_id != 0; }
+};
+
+namespace detail {
+/// splitmix64 output mix (Steele, Lea & Flood) — the same finalizer
+/// hetero::random uses, reproduced here because obs sits below random in the
+/// layer graph.
+[[nodiscard]] constexpr std::uint64_t trace_mix(std::uint64_t x) noexcept {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// Root context of a run: trace id and root span id, both pure functions of
+/// `seed` (the journal header seed for journaled runs).  Never returns an
+/// invalid context.
+[[nodiscard]] constexpr TraceContext trace_root(std::uint64_t seed) noexcept {
+  TraceContext ctx;
+  ctx.trace_id = detail::trace_mix(seed ^ 0x6f62732e7472ULL);  // "obs.tr"
+  if (ctx.trace_id == 0) ctx.trace_id = 1;
+  ctx.span_id = detail::trace_mix(ctx.trace_id);
+  if (ctx.span_id == 0) ctx.span_id = 1;
+  return ctx;
+}
+
+/// Deterministic child span id: slot is the child's ordinal under this
+/// parent (unit index under the root, attempt number under a primary).
+[[nodiscard]] constexpr std::uint64_t derive_span_id(const TraceContext& parent,
+                                                     std::uint64_t slot) noexcept {
+  const std::uint64_t id = detail::trace_mix(
+      parent.trace_id ^ detail::trace_mix(parent.span_id + slot * 0x9e3779b97f4a7c15ULL));
+  return id == 0 ? 1 : id;
+}
+
+/// Span outcome tags (string literals — spans store the pointer).
+namespace outcome {
+inline constexpr const char* kOk = "ok";
+inline constexpr const char* kRetry = "retry";
+inline constexpr const char* kSpeculativeWin = "speculative-win";
+inline constexpr const char* kSpeculativeLoss = "speculative-loss";
+inline constexpr const char* kCancelled = "cancelled";
+inline constexpr const char* kFault = "fault";
+
+/// Stable wire codes for journal telemetry records.  code() matches by
+/// pointer identity, so pass the canonical constants above (anything else
+/// maps to kFault's code).
+inline constexpr const char* kByCode[] = {kOk,       kRetry,     kSpeculativeWin,
+                                          kSpeculativeLoss, kCancelled, kFault};
+[[nodiscard]] constexpr std::uint64_t code(const char* tag) noexcept {
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    if (kByCode[i] == tag) return i;
+  }
+  return 5;
+}
+[[nodiscard]] constexpr const char* from_code(std::uint64_t wire) noexcept {
+  return wire < 6 ? kByCode[wire] : kFault;
+}
+}  // namespace outcome
+
+#if HETERO_OBS_ENABLED
+
+/// The context of the innermost ContextGuard on this thread (invalid when
+/// none is active).
+[[nodiscard]] const TraceContext& current_context() noexcept;
+
+/// Swaps `ctx` in as the thread's current context for the guard's lifetime.
+class ContextGuard {
+ public:
+  explicit ContextGuard(const TraceContext& ctx) noexcept;
+  ~ContextGuard();
+
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+#else  // !HETERO_OBS_ENABLED
+
+[[nodiscard]] inline const TraceContext& current_context() noexcept {
+  static constexpr TraceContext kNone{};
+  return kNone;
+}
+
+class ContextGuard {
+ public:
+  explicit ContextGuard(const TraceContext&) noexcept {}
+};
+
+#endif  // HETERO_OBS_ENABLED
+
+}  // namespace hetero::obs

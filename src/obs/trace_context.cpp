@@ -1,0 +1,21 @@
+#include "hetero/obs/trace_context.h"
+
+#if HETERO_OBS_ENABLED
+
+namespace hetero::obs {
+
+namespace {
+thread_local TraceContext t_current{};
+}  // namespace
+
+const TraceContext& current_context() noexcept { return t_current; }
+
+ContextGuard::ContextGuard(const TraceContext& ctx) noexcept : saved_{t_current} {
+  t_current = ctx;
+}
+
+ContextGuard::~ContextGuard() { t_current = saved_; }
+
+}  // namespace hetero::obs
+
+#endif  // HETERO_OBS_ENABLED

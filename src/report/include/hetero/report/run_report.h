@@ -1,0 +1,57 @@
+#pragma once
+
+// Run reports: one deterministic document that explains a journaled run.
+//
+// A journal already holds everything needed to answer "why was this run
+// slow / wasteful / lucky": the decoded experiment cells (simulated
+// results), the runner's per-unit telemetry sidecar records ("!obs:" keys —
+// wall seconds, attempts, retries, outcome per winning attempt), and the LP
+// sizing counters.  run_report_markdown/json join them into one report:
+//
+//   * identity — tool, seed, fingerprint, record counts;
+//   * results  — the tool-specific decoded table (protocol_sweep /
+//     fault_sweep / campaign rounds), plus MAD outlier detection over the
+//     simulated figures with per-cell attribution (which grid coordinates —
+//     crash rate, straggler factor — the outlying cell ran under);
+//   * execution — wall-clock duration percentiles (p50/p95/p99 from the
+//     power-of-two histogram ladder), outcome accounting (ok / retry /
+//     speculative-win / ...), duplicate-attempt and retry waste, wall-clock
+//     MAD outliers joined back to their grid cells;
+//   * lp — warm-start hit rate of the sweep's sizing LPs, when recorded.
+//
+// Reports are pure functions of the journal bytes: equal journals produce
+// byte-identical reports (doubles rendered with fixed printf discipline,
+// records iterated in numeric unit order).  In a -DHETERO_OBS_ENABLED=OFF
+// build both generators collapse to inline stubs that say observability is
+// disabled, and the implementation TU compiles to nothing.
+
+#include <string>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::report {
+
+#if HETERO_OBS_ENABLED
+
+/// Markdown report for the journal at `journal_path`.  Throws
+/// core::FatalError when the journal cannot be opened or a record is
+/// malformed for its advertised tool.
+[[nodiscard]] std::string run_report_markdown(const std::string& journal_path);
+
+/// The same analysis as JSON (stable key order, %.17g doubles; non-finite
+/// scores rendered as JSON strings).
+[[nodiscard]] std::string run_report_json(const std::string& journal_path);
+
+#else  // !HETERO_OBS_ENABLED
+
+[[nodiscard]] inline std::string run_report_markdown(const std::string&) {
+  return "run report unavailable: observability disabled (HETERO_OBS_ENABLED=OFF)\n";
+}
+
+[[nodiscard]] inline std::string run_report_json(const std::string&) {
+  return "{\"error\":\"observability disabled\"}\n";
+}
+
+#endif  // HETERO_OBS_ENABLED
+
+}  // namespace hetero::report

@@ -1,0 +1,451 @@
+#include "hetero/report/run_report.h"
+
+#if HETERO_OBS_ENABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hetero/experiments/campaign.h"
+#include "hetero/experiments/fault_sweep.h"
+#include "hetero/experiments/protocol_sweep.h"
+#include "hetero/obs/chrome_trace.h"
+#include "hetero/obs/trace_context.h"
+#include "hetero/protocol/coded.h"
+#include "hetero/runner/codec.h"
+#include "hetero/runner/journal.h"
+#include "hetero/stats/robust.h"
+
+namespace hetero::report {
+
+namespace {
+
+/// Compact human formatting for markdown (still deterministic — snprintf
+/// with a fixed format is a pure function of the bits).
+std::string fmt6(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  return std::string{buffer};
+}
+
+/// Exact round-trip formatting for JSON payload values.
+std::string fmt17(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return std::string{buffer};
+}
+
+/// JSON-safe rendering of a possibly non-finite score: finite → number,
+/// inf/nan → quoted string (JSON has no literal for them).
+std::string json_score(double value) {
+  if (value != value) return "\"nan\"";
+  if (value > 1.7976931348623157e308) return "\"inf\"";
+  if (value < -1.7976931348623157e308) return "\"-inf\"";
+  return fmt17(value);
+}
+
+std::string md_score(double value) {
+  if (value != value) return "nan";
+  if (value > 1.7976931348623157e308) return "inf";
+  if (value < -1.7976931348623157e308) return "-inf";
+  return fmt6(value);
+}
+
+/// One "!obs:<prefix>:<unit>" telemetry record (see runner::run_units).
+struct Telemetry {
+  std::size_t unit = 0;
+  double seconds = 0.0;
+  std::uint64_t attempts = 1;
+  std::uint64_t retries = 0;
+  std::uint64_t outcome = 0;
+};
+
+/// Everything the generators read, decoded once from the journal.
+struct JournalView {
+  runner::JournalHeader header;
+  std::size_t dropped = 0;
+  std::vector<std::pair<std::size_t, std::string>> units;  ///< unit records, numeric order
+  std::vector<Telemetry> telemetry;                        ///< sorted by unit
+  bool has_lp = false;
+  std::uint64_t lp_solves = 0;
+  std::uint64_t lp_warm_starts = 0;
+  std::size_t other_records = 0;
+};
+
+/// Parses "<prefix>:<digits>" → unit index.
+bool parse_indexed_key(std::string_view key, std::string_view prefix, std::size_t& index) {
+  if (key.size() <= prefix.size() + 1 || key.substr(0, prefix.size()) != prefix ||
+      key[prefix.size()] != ':') {
+    return false;
+  }
+  std::size_t value = 0;
+  for (const char c : key.substr(prefix.size() + 1)) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  index = value;
+  return true;
+}
+
+JournalView load_view(const std::string& journal_path) {
+  runner::Journal journal = runner::Journal::open(journal_path);
+  JournalView view;
+  view.header = journal.header();
+  view.dropped = journal.dropped_records();
+  // Unit records are keyed "<prefix>:<unit>"; the per-tool prefix is "cell"
+  // for sweeps and "round" for campaigns.
+  const std::string_view unit_prefix = view.header.tool == "campaign" ? "round" : "cell";
+  for (const auto& [key, payload] : journal.records()) {
+    std::size_t index = 0;
+    if (parse_indexed_key(key, unit_prefix, index)) {
+      view.units.emplace_back(index, payload);
+    } else {
+      ++view.other_records;
+    }
+  }
+  for (const auto& [key, payload] : journal.sidecar()) {
+    const std::string_view rest = std::string_view{key}.substr(5);  // past "!obs:"
+    std::size_t index = 0;
+    if (rest == "lp") {
+      runner::FieldReader r{payload};
+      view.lp_solves = r.u64();
+      view.lp_warm_starts = r.u64();
+      r.expect_done();
+      view.has_lp = true;
+    } else if (parse_indexed_key(rest, unit_prefix, index)) {
+      runner::FieldReader r{payload};
+      Telemetry t;
+      t.unit = static_cast<std::size_t>(r.u64());
+      t.seconds = r.d();
+      t.attempts = r.u64();
+      t.retries = r.u64();
+      t.outcome = r.u64();
+      r.expect_done();
+      view.telemetry.push_back(t);
+    } else {
+      ++view.other_records;
+    }
+  }
+  std::sort(view.units.begin(), view.units.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(view.telemetry.begin(), view.telemetry.end(),
+            [](const Telemetry& a, const Telemetry& b) { return a.unit < b.unit; });
+  return view;
+}
+
+/// Human label for the grid coordinates a unit ran under — the attribution
+/// string outlier lines carry.  Empty when the tool has no decoder.
+std::string cell_label(const JournalView& view, std::size_t unit) {
+  for (const auto& [index, payload] : view.units) {
+    if (index != unit) continue;
+    if (view.header.tool == "protocol_sweep") {
+      const auto cell = experiments::decode_protocol_sweep_cell(payload);
+      return std::string{protocol::to_string(cell.protocol)} + ", crash " +
+             fmt6(cell.crash_rate) + ", straggler factor " + fmt6(cell.straggler_factor);
+    }
+    if (view.header.tool == "fault_sweep") {
+      const auto cell = experiments::decode_fault_sweep_cell(payload);
+      return "crash " + fmt6(cell.crash_rate) + ", straggler factor " +
+             fmt6(cell.straggler_factor);
+    }
+    if (view.header.tool == "campaign") {
+      const auto round = experiments::decode_campaign_round(payload);
+      std::size_t alive = 0;
+      for (const bool a : round.alive) alive += a ? 1 : 0;
+      return std::to_string(alive) + "/" + std::to_string(round.machines) +
+             " machines alive, " + std::to_string(round.faults.crashes) + " crash(es)";
+    }
+  }
+  return {};
+}
+
+/// The per-unit simulated figure MAD outlier detection runs over, plus its
+/// name (tool-specific; makespan for protocol sweeps, surviving reactive
+/// work for fault sweeps, round work for campaigns).
+const char* simulated_metric_name(const std::string& tool) {
+  if (tool == "protocol_sweep") return "mean makespan";
+  if (tool == "fault_sweep") return "reactive work";
+  if (tool == "campaign") return "round work";
+  return nullptr;
+}
+
+std::vector<double> simulated_metric(const JournalView& view) {
+  std::vector<double> values;
+  values.reserve(view.units.size());
+  for (const auto& [index, payload] : view.units) {
+    if (view.header.tool == "protocol_sweep") {
+      values.push_back(experiments::decode_protocol_sweep_cell(payload).mean_makespan);
+    } else if (view.header.tool == "fault_sweep") {
+      values.push_back(experiments::decode_fault_sweep_cell(payload).reactive_work);
+    } else if (view.header.tool == "campaign") {
+      values.push_back(experiments::decode_campaign_round(payload).round_work);
+    }
+  }
+  return values;
+}
+
+struct OutlierReport {
+  std::size_t unit = 0;  ///< journal unit index (not sample position)
+  double value = 0.0;
+  double score = 0.0;
+  std::string label;
+};
+
+std::vector<OutlierReport> simulated_outliers(const JournalView& view,
+                                              const std::vector<double>& values) {
+  std::vector<OutlierReport> out;
+  if (values.size() < 2) return out;
+  for (const stats::MadOutlier& o : stats::mad_outliers(values)) {
+    const std::size_t unit = view.units[o.index].first;
+    out.push_back({unit, o.value, o.score, cell_label(view, unit)});
+  }
+  return out;
+}
+
+std::vector<OutlierReport> wall_clock_outliers(const JournalView& view) {
+  std::vector<OutlierReport> out;
+  if (view.telemetry.size() < 2) return out;
+  std::vector<double> seconds;
+  seconds.reserve(view.telemetry.size());
+  for (const Telemetry& t : view.telemetry) seconds.push_back(t.seconds);
+  for (const stats::MadOutlier& o : stats::mad_outliers(seconds)) {
+    const std::size_t unit = view.telemetry[o.index].unit;
+    out.push_back({unit, o.value, o.score, cell_label(view, unit)});
+  }
+  return out;
+}
+
+/// Duration percentiles through the same power-of-two ladder the live
+/// histograms use — so the report quotes the numbers /metrics would.
+obs::HistogramSample duration_histogram(const JournalView& view) {
+  obs::HistogramSample sample;
+  sample.name = "unit_seconds";
+  for (const Telemetry& t : view.telemetry) {
+    ++sample.buckets[obs::HistogramBuckets::index_for(t.seconds)];
+    ++sample.count;
+    sample.sum += t.seconds;
+  }
+  return sample;
+}
+
+struct OutcomeCounts {
+  std::uint64_t by_code[6] = {0, 0, 0, 0, 0, 0};
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates = 0;  ///< attempts beyond the first, per unit
+};
+
+OutcomeCounts outcome_counts(const JournalView& view) {
+  OutcomeCounts counts;
+  for (const Telemetry& t : view.telemetry) {
+    ++counts.by_code[t.outcome < 6 ? t.outcome : 5];
+    counts.attempts += t.attempts;
+    counts.retries += t.retries;
+    counts.duplicates += t.attempts > 0 ? t.attempts - 1 : 0;
+  }
+  return counts;
+}
+
+// ------------------------------------------------------------------ tables
+
+void append_protocol_table(std::string& out, const JournalView& view) {
+  out += "| cell | protocol | crash | factor | makespan | hit rate | completed | wasted |\n";
+  out += "|---:|:---|---:|---:|---:|---:|---:|---:|\n";
+  for (const auto& [index, payload] : view.units) {
+    const auto cell = experiments::decode_protocol_sweep_cell(payload);
+    out += "| " + std::to_string(index) + " | " + protocol::to_string(cell.protocol) + " | " +
+           fmt6(cell.crash_rate) + " | " + fmt6(cell.straggler_factor) + " | " +
+           fmt6(cell.mean_makespan) + " | " + fmt6(cell.hit_rate * 100.0) + "% | " +
+           fmt6(cell.mean_completed_work) + " | " + fmt6(cell.mean_redundant_wasted) + " |\n";
+  }
+}
+
+void append_fault_table(std::string& out, const JournalView& view) {
+  out += "| cell | crash | factor | fault-free | oblivious | reactive | crashes | replans |\n";
+  out += "|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const auto& [index, payload] : view.units) {
+    const auto cell = experiments::decode_fault_sweep_cell(payload);
+    out += "| " + std::to_string(index) + " | " + fmt6(cell.crash_rate) + " | " +
+           fmt6(cell.straggler_factor) + " | " + fmt6(cell.fault_free_work) + " | " +
+           fmt6(cell.oblivious_work) + " | " + fmt6(cell.reactive_work) + " | " +
+           fmt6(cell.mean_crashes) + " | " + fmt6(cell.mean_replans) + " |\n";
+  }
+}
+
+void append_campaign_table(std::string& out, const JournalView& view) {
+  out += "| round | work | alive | crashes | timeouts | retries |\n";
+  out += "|---:|---:|---:|---:|---:|---:|\n";
+  for (const auto& [index, payload] : view.units) {
+    const auto round = experiments::decode_campaign_round(payload);
+    std::size_t alive = 0;
+    for (const bool a : round.alive) alive += a ? 1 : 0;
+    out += "| " + std::to_string(index) + " | " + fmt6(round.round_work) + " | " +
+           std::to_string(alive) + "/" + std::to_string(round.machines) + " | " +
+           std::to_string(round.faults.crashes) + " | " +
+           std::to_string(round.faults.timeouts) + " | " +
+           std::to_string(round.faults.retries) + " |\n";
+  }
+}
+
+}  // namespace
+
+std::string run_report_markdown(const std::string& journal_path) {
+  const JournalView view = load_view(journal_path);
+  std::string out;
+  out += "# Run report: " + view.header.tool + "\n\n";
+  out += "- seed: " + std::to_string(view.header.seed) + "\n";
+  out += "- fingerprint: " + view.header.fingerprint + "\n";
+  out += "- records: " + std::to_string(view.units.size()) + " unit(s), " +
+         std::to_string(view.telemetry.size()) + " telemetry, " +
+         std::to_string(view.other_records) + " other\n";
+  out += "- torn-tail records dropped at load: " + std::to_string(view.dropped) + "\n";
+
+  // ------------------------------------------------------------- results
+  const char* metric_name = simulated_metric_name(view.header.tool);
+  if (metric_name != nullptr && !view.units.empty()) {
+    out += "\n## Results\n\n";
+    if (view.header.tool == "protocol_sweep") append_protocol_table(out, view);
+    if (view.header.tool == "fault_sweep") append_fault_table(out, view);
+    if (view.header.tool == "campaign") append_campaign_table(out, view);
+
+    out += "\n### Simulated outliers (";
+    out += metric_name;
+    out += ", MAD threshold 3.5)\n\n";
+    const std::vector<OutlierReport> outliers =
+        simulated_outliers(view, simulated_metric(view));
+    if (outliers.empty()) {
+      out += "- none\n";
+    } else {
+      for (const OutlierReport& o : outliers) {
+        out += "- unit " + std::to_string(o.unit) + " (" +
+               (o.label.empty() ? std::string{"?"} : o.label) + "): " + metric_name + " " +
+               fmt6(o.value) + ", score " + md_score(o.score) + "\n";
+      }
+    }
+  } else if (metric_name == nullptr) {
+    out += "\n## Results\n\n- no decoder for tool \"" + view.header.tool +
+           "\"; raw record counts only\n";
+  }
+
+  // ----------------------------------------------------------- execution
+  out += "\n## Execution\n\n";
+  if (view.telemetry.empty()) {
+    out += "- no telemetry records (run predates telemetry or obs was disabled)\n";
+  } else {
+    const OutcomeCounts counts = outcome_counts(view);
+    const obs::HistogramSample sample = duration_histogram(view);
+    out += "- units: " + std::to_string(view.telemetry.size()) + "; attempts: " +
+           std::to_string(counts.attempts) + "; retries: " + std::to_string(counts.retries) +
+           "; duplicate attempts (speculation waste): " + std::to_string(counts.duplicates) +
+           "\n";
+    out += "- outcomes:";
+    for (std::uint64_t code = 0; code < 6; ++code) {
+      out += std::string{" "} + obs::outcome::from_code(code) + " " +
+             std::to_string(counts.by_code[code]) + (code + 1 < 6 ? "," : "");
+    }
+    out += "\n";
+    out += "- wall seconds: total " + fmt6(sample.sum) + ", p50 " + fmt6(sample.p50()) +
+           ", p95 " + fmt6(sample.p95()) + ", p99 " + fmt6(sample.p99()) + "\n";
+
+    out += "\n### Wall-clock outliers (MAD threshold 3.5)\n\n";
+    const std::vector<OutlierReport> outliers = wall_clock_outliers(view);
+    if (outliers.empty()) {
+      out += "- none\n";
+    } else {
+      for (const OutlierReport& o : outliers) {
+        const Telemetry* t = nullptr;
+        for (const Telemetry& candidate : view.telemetry) {
+          if (candidate.unit == o.unit) t = &candidate;
+        }
+        out += "- unit " + std::to_string(o.unit) + " (" +
+               (o.label.empty() ? std::string{"?"} : o.label) + "): " + fmt6(o.value) +
+               " s, score " + md_score(o.score);
+        if (t != nullptr) {
+          out += std::string{"; attempts "} + std::to_string(t->attempts) + ", retries " +
+                 std::to_string(t->retries) + ", outcome " +
+                 obs::outcome::from_code(t->outcome);
+        }
+        out += "\n";
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------ lp
+  if (view.has_lp) {
+    out += "\n## LP sizing\n\n";
+    const double rate = view.lp_solves == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(view.lp_warm_starts) /
+                                  static_cast<double>(view.lp_solves);
+    out += "- solves: " + std::to_string(view.lp_solves) + ", warm starts: " +
+           std::to_string(view.lp_warm_starts) + " (" + fmt6(rate) + "% warm)\n";
+  }
+  return out;
+}
+
+std::string run_report_json(const std::string& journal_path) {
+  const JournalView view = load_view(journal_path);
+  std::string out = "{";
+  out += "\"tool\":\"" + obs::json_escape(view.header.tool) + "\",";
+  out += "\"seed\":" + std::to_string(view.header.seed) + ",";
+  out += "\"fingerprint\":\"" + obs::json_escape(view.header.fingerprint) + "\",";
+  out += "\"units\":" + std::to_string(view.units.size()) + ",";
+  out += "\"dropped_records\":" + std::to_string(view.dropped) + ",";
+
+  out += "\"simulated_outliers\":[";
+  const char* metric_name = simulated_metric_name(view.header.tool);
+  if (metric_name != nullptr && !view.units.empty()) {
+    bool first = true;
+    for (const OutlierReport& o : simulated_outliers(view, simulated_metric(view))) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"unit\":" + std::to_string(o.unit) + ",\"metric\":\"" +
+             obs::json_escape(metric_name) + "\",\"value\":" + fmt17(o.value) +
+             ",\"score\":" + json_score(o.score) + ",\"cell\":\"" + obs::json_escape(o.label) +
+             "\"}";
+    }
+  }
+  out += "],";
+
+  const OutcomeCounts counts = outcome_counts(view);
+  const obs::HistogramSample sample = duration_histogram(view);
+  out += "\"execution\":{";
+  out += "\"units\":" + std::to_string(view.telemetry.size()) + ",";
+  out += "\"attempts\":" + std::to_string(counts.attempts) + ",";
+  out += "\"retries\":" + std::to_string(counts.retries) + ",";
+  out += "\"duplicate_attempts\":" + std::to_string(counts.duplicates) + ",";
+  out += "\"outcomes\":{";
+  for (std::uint64_t code = 0; code < 6; ++code) {
+    out += std::string{"\""} + obs::outcome::from_code(code) +
+           "\":" + std::to_string(counts.by_code[code]) + (code + 1 < 6 ? "," : "");
+  }
+  out += "},";
+  out += "\"wall_seconds\":{\"total\":" + fmt17(sample.sum) + ",\"p50\":" + fmt17(sample.p50()) +
+         ",\"p95\":" + fmt17(sample.p95()) + ",\"p99\":" + fmt17(sample.p99()) + "},";
+  out += "\"outliers\":[";
+  {
+    bool first = true;
+    for (const OutlierReport& o : wall_clock_outliers(view)) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"unit\":" + std::to_string(o.unit) + ",\"seconds\":" + fmt17(o.value) +
+             ",\"score\":" + json_score(o.score) + ",\"cell\":\"" + obs::json_escape(o.label) +
+             "\"}";
+    }
+  }
+  out += "]}";
+
+  if (view.has_lp) {
+    out += ",\"lp\":{\"solves\":" + std::to_string(view.lp_solves) +
+           ",\"warm_starts\":" + std::to_string(view.lp_warm_starts) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hetero::report
+
+#endif  // HETERO_OBS_ENABLED

@@ -25,6 +25,12 @@
 // crash would silently lose everything appended after the first.  A
 // duplicate key keeps the first occurrence (the earliest completed copy of
 // a speculatively re-executed unit).
+//
+// Keys beginning "!obs:" are *sidecar* records: observability telemetry
+// (per-unit wall seconds, outcome accounting, LP warm-start counters) that
+// rides in the same durable file but is not a resumable work unit.  They are
+// kept out of records() — resume logic, record counts, and partial-copy
+// tooling see only real units — and surfaced separately via sidecar().
 
 #include <cstdint>
 #include <map>
@@ -72,15 +78,25 @@ class Journal {
   [[nodiscard]] const JournalHeader& header() const noexcept { return header_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
-  /// Snapshot of the records currently in the journal (key → payload):
-  /// everything loaded at open plus everything appended so far.  Returned by
-  /// value under the append lock, so it is safe to call (and iterate) while
-  /// other threads append.
+  /// True when `key` names a sidecar record ("!obs:" prefix) rather than a
+  /// resumable work unit.
+  [[nodiscard]] static bool is_sidecar_key(std::string_view key) noexcept {
+    return key.substr(0, 5) == "!obs:";
+  }
+
+  /// Snapshot of the work-unit records currently in the journal (key →
+  /// payload): everything loaded at open plus everything appended so far,
+  /// excluding "!obs:" sidecar records.  Returned by value under the append
+  /// lock, so it is safe to call (and iterate) while other threads append.
   [[nodiscard]] std::map<std::string, std::string> records() const;
 
-  /// Looks up one record under the append lock.  The returned pointer stays
-  /// valid for the journal's lifetime (records are never erased or
-  /// overwritten; duplicate appends keep the first payload).
+  /// Snapshot of the "!obs:" sidecar records (telemetry; see file comment).
+  [[nodiscard]] std::map<std::string, std::string> sidecar() const;
+
+  /// Looks up one record — unit or sidecar, routed by key prefix — under the
+  /// append lock.  The returned pointer stays valid for the journal's
+  /// lifetime (records are never erased or overwritten; duplicate appends
+  /// keep the first payload).
   [[nodiscard]] const std::string* find(const std::string& key) const;
 
   /// Lines dropped at load time because of CRC/shape damage (torn tail).
@@ -96,6 +112,7 @@ class Journal {
   std::string path_;
   JournalHeader header_;
   std::map<std::string, std::string> records_;
+  std::map<std::string, std::string> sidecar_;
   std::size_t dropped_ = 0;
   int fd_ = -1;
   mutable std::mutex append_mutex_;  ///< guards records_ and fd_ writes

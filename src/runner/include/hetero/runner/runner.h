@@ -33,6 +33,21 @@
 // obs counters: runner.units_run, runner.units_resumed, runner.retries,
 // runner.tasks_overdue, runner.speculative_launches, runner.tasks_cancelled
 // (the last emitted by the pool when a token fires before a task starts).
+//
+// Causal observability (obs-enabled builds): every attempt — primary,
+// backoff retry, speculative copy — is recorded as a span in a per-run
+// causal tree rooted at RunContext::trace (derived deterministically from
+// the journal seed when not supplied).  Primary attempts hang off the run
+// root, copies off their primary, and nested HETERO_OBS_SCOPE spans (LP
+// solves, sim episodes) join under whichever attempt ran them via the
+// thread-local obs::ContextGuard.  Spans carry an outcome tag (ok / retry /
+// speculative-win / speculative-loss / cancelled / fault); the Chrome-trace
+// exporter renders the parent links as Perfetto flow arrows.  Winners of
+// journaled runs additionally append a "!obs:<key>" telemetry record (unit,
+// wall seconds, attempts, retries, outcome) the run-report generator reads;
+// resume ignores these keys.  When RunContext::black_box names a path, the
+// obs flight recorder is dumped there before a fatal error or cancellation
+// propagates out of run_units.
 
 #include <chrono>
 #include <cstddef>
@@ -43,6 +58,7 @@
 
 #include "hetero/core/backoff.h"
 #include "hetero/core/cancel.h"
+#include "hetero/obs/trace_context.h"
 #include "hetero/parallel/thread_pool.h"
 #include "hetero/runner/journal.h"
 
@@ -77,6 +93,13 @@ struct RunContext {
   /// (unit index, attempt number — 0 is the primary).  Production leaves it
   /// empty.
   std::function<void(std::size_t, std::size_t)> before_unit{};
+  /// Root of the run's causal span tree.  Invalid (the default) derives the
+  /// root deterministically from the journal seed — or from the key prefix
+  /// when the run is unjournaled — so reruns produce identical span ids.
+  obs::TraceContext trace{};
+  /// Non-empty: dump the obs flight recorder to this path (atomic rename)
+  /// before any fatal error or cancellation propagates out of run_units.
+  std::string black_box{};
 };
 
 /// What the run did (all zero-initialized; useful for assertions and logs).

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "hetero/core/errors.h"
+#include "hetero/obs/flight_recorder.h"
 #include "hetero/obs/metrics.h"
 
 namespace hetero::runner {
@@ -237,6 +238,7 @@ Journal::Journal(Journal&& other) noexcept
     : path_{std::move(other.path_)},
       header_{std::move(other.header_)},
       records_{std::move(other.records_)},
+      sidecar_{std::move(other.sidecar_)},
       dropped_{other.dropped_},
       fd_{std::exchange(other.fd_, -1)} {}
 
@@ -246,6 +248,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
     path_ = std::move(other.path_);
     header_ = std::move(other.header_);
     records_ = std::move(other.records_);
+    sidecar_ = std::move(other.sidecar_);
     dropped_ = other.dropped_;
     fd_ = std::exchange(other.fd_, -1);
   }
@@ -356,7 +359,10 @@ Journal Journal::open(const std::string& path) {
       }
       break;
     }
-    if (!line.empty()) journal.records_.emplace(key, payload);  // first occurrence wins
+    if (!line.empty()) {
+      // First occurrence wins; sidecar telemetry keys live apart from units.
+      (is_sidecar_key(key) ? journal.sidecar_ : journal.records_).emplace(key, payload);
+    }
     valid_bytes = cursor;
     newline_missing = !line_terminated;
   }
@@ -402,12 +408,18 @@ std::map<std::string, std::string> Journal::records() const {
   return records_;
 }
 
+std::map<std::string, std::string> Journal::sidecar() const {
+  std::lock_guard lock{append_mutex_};
+  return sidecar_;
+}
+
 const std::string* Journal::find(const std::string& key) const {
   // Map nodes are stable across emplace, and payloads are never mutated
   // after insertion, so the pointer outlives the lock.
   std::lock_guard lock{append_mutex_};
-  const auto it = records_.find(key);
-  return it == records_.end() ? nullptr : &it->second;
+  const auto& map = is_sidecar_key(key) ? sidecar_ : records_;
+  const auto it = map.find(key);
+  return it == map.end() ? nullptr : &it->second;
 }
 
 void Journal::append(const std::string& key, const std::string& payload) {
@@ -420,11 +432,13 @@ void Journal::append(const std::string& key, const std::string& payload) {
     if (fd_ < 0) throw core::FatalError{"journal: '" + path_ + "' is not open for append"};
     write_all(fd_, line, path_);
     ::fdatasync(fd_);
-    records_.emplace(key, payload);
+    (is_sidecar_key(key) ? sidecar_ : records_).emplace(key, payload);
   }
   if constexpr (obs::kEnabled) {
     static obs::Counter& appended = obs::counter("runner.journal_records_appended");
     appended.add(1);
+    obs::FlightRecorder::global().record(obs::EventKind::kJournalAppend, key.c_str(),
+                                         payload.size());
   }
 }
 

@@ -11,7 +11,11 @@
 #include <utility>
 
 #include "hetero/core/errors.h"
+#include "hetero/obs/flight_recorder.h"
 #include "hetero/obs/metrics.h"
+#include "hetero/obs/scope.h"
+#include "hetero/obs/trace_context.h"
+#include "hetero/runner/codec.h"
 
 namespace hetero::runner {
 
@@ -93,6 +97,8 @@ std::string compute_with_retries(
       if constexpr (obs::kEnabled) {
         static obs::Counter& retries = obs::counter("runner.retries");
         retries.add(1);
+        obs::FlightRecorder::global().record(obs::EventKind::kRetry, "runner.retry", unit,
+                                             attempt);
       }
       std::this_thread::sleep_for(
           std::chrono::duration<double>(ctx.retry.delay(attempt)));
@@ -111,6 +117,64 @@ void bump(const char* name, std::uint64_t n = 1) {
   }
 }
 
+/// FNV-1a 64 — deterministic causal-root seed for unjournaled runs.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Journal key of a unit's telemetry sidecar record.  The "!obs:" prefix
+/// keeps it disjoint from unit keys (resume looks units up by exact key).
+std::string telemetry_key(std::string_view prefix, std::size_t unit) {
+  return "!obs:" + unit_key(prefix, unit);
+}
+
+std::string encode_telemetry(std::size_t unit, double seconds, std::size_t attempts,
+                             std::size_t retries, const char* outcome_tag) {
+  FieldWriter writer;
+  writer.add_u64(unit);
+  writer.add_double(seconds);
+  writer.add_u64(attempts);
+  writer.add_u64(retries);
+  writer.add_u64(obs::outcome::code(outcome_tag));
+  return writer.str();
+}
+
+/// Outcome tag for an attempt that failed with `error`.
+const char* failure_outcome(const std::exception& error) noexcept {
+  return core::classify(error) == core::ErrorClass::kCancelled ? obs::outcome::kCancelled
+                                                               : obs::outcome::kFault;
+}
+
+/// Closes an attempt's span: records it into the collector (with its causal
+/// identity and outcome) and mirrors the close into the flight recorder.
+void record_attempt_span(const obs::TraceContext& attempt_ctx, std::uint64_t parent_id,
+                         std::uint64_t start_ns, const char* outcome_tag, std::size_t unit,
+                         std::size_t attempt) {
+  if constexpr (obs::kEnabled) {
+    obs::Span span{"runner.attempt", start_ns, obs::SpanCollector::now_ns(), 0};
+    span.trace_id = attempt_ctx.trace_id;
+    span.span_id = attempt_ctx.span_id;
+    span.parent_id = parent_id;
+    span.outcome = outcome_tag;
+    span.unit = unit;
+    span.attempt = static_cast<std::uint32_t>(attempt);
+    obs::SpanCollector::global().record(span);
+    obs::FlightRecorder::global().record(obs::EventKind::kSpanClose, outcome_tag, unit, attempt);
+  } else {
+    static_cast<void>(attempt_ctx);
+    static_cast<void>(parent_id);
+    static_cast<void>(start_ns);
+    static_cast<void>(outcome_tag);
+    static_cast<void>(unit);
+    static_cast<void>(attempt);
+  }
+}
+
 }  // namespace
 
 std::vector<std::string> run_units(
@@ -120,6 +184,22 @@ std::vector<std::string> run_units(
   RunStats stats;
   stats.units_total = count;
   std::vector<std::string> payloads(count);
+
+  // Causal root: explicit, or derived deterministically so reruns (and
+  // journal resumes) rebuild the same span tree.
+  obs::TraceContext root = ctx.trace;
+  if (!root.valid()) {
+    root = obs::trace_root(ctx.journal != nullptr ? ctx.journal->header().seed
+                                                  : fnv1a(key_prefix));
+  }
+  const std::uint64_t run_start_ns = obs::SpanCollector::now_ns();
+
+  // Black box: dump the flight-recorder ring before an error escapes.
+  const auto dump_black_box = [&ctx](const char* reason) {
+    if (!ctx.black_box.empty()) {
+      static_cast<void>(obs::FlightRecorder::global().dump(ctx.black_box.c_str(), reason));
+    }
+  };
 
   // Resume: satisfy journaled units without recomputation.
   std::vector<std::size_t> pending;
@@ -138,6 +218,13 @@ std::vector<std::string> run_units(
 
   const auto finish = [&] {
     bump("runner.units_run", stats.units_run);
+    if constexpr (obs::kEnabled) {
+      // Root span of the causal tree: primaries point at it via parent_id.
+      obs::Span span{"runner.run", run_start_ns, obs::SpanCollector::now_ns(), 0};
+      span.trace_id = root.trace_id;
+      span.span_id = root.span_id;
+      obs::SpanCollector::global().record(span);
+    }
     if (stats_out) *stats_out = stats;
   };
 
@@ -149,12 +236,39 @@ std::vector<std::string> run_units(
   // ---------------------------------------------------------------- serial
   if (ctx.pool == nullptr) {
     for (std::size_t unit : pending) {
-      ctx.cancel.check();
-      core::CancelToken token = ctx.cancel;
-      if (ctx.unit_deadline.count() > 0) token = token.with_timeout(ctx.unit_deadline);
-      if (ctx.before_unit) ctx.before_unit(unit, 0);
-      payloads[unit] = compute_with_retries(ctx, unit, token, compute, &stats.retries);
-      if (ctx.journal) ctx.journal->append(unit_key(key_prefix, unit), payloads[unit]);
+      const obs::TraceContext attempt_ctx{root.trace_id, obs::derive_span_id(root, unit)};
+      const std::uint64_t span_start_ns = obs::SpanCollector::now_ns();
+      const std::size_t retries_before = stats.retries;
+      Clock::time_point start{};
+      try {
+        ctx.cancel.check();
+        core::CancelToken token = ctx.cancel;
+        if (ctx.unit_deadline.count() > 0) token = token.with_timeout(ctx.unit_deadline);
+        if (ctx.before_unit) ctx.before_unit(unit, 0);
+        if constexpr (obs::kEnabled) {
+          obs::FlightRecorder::global().record(obs::EventKind::kSpanOpen, "runner.attempt",
+                                               unit, 0);
+        }
+        start = Clock::now();
+        obs::ContextGuard guard{attempt_ctx};
+        payloads[unit] = compute_with_retries(ctx, unit, token, compute, &stats.retries);
+      } catch (const std::exception& error) {
+        const char* outcome_tag = failure_outcome(error);
+        record_attempt_span(attempt_ctx, root.span_id, span_start_ns, outcome_tag, unit, 0);
+        dump_black_box(outcome_tag);
+        throw;
+      }
+      const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      const std::size_t retries = stats.retries - retries_before;
+      const char* outcome_tag = retries > 0 ? obs::outcome::kRetry : obs::outcome::kOk;
+      record_attempt_span(attempt_ctx, root.span_id, span_start_ns, outcome_tag, unit, 0);
+      if (ctx.journal) {
+        ctx.journal->append(unit_key(key_prefix, unit), payloads[unit]);
+        if constexpr (obs::kEnabled) {
+          ctx.journal->append(telemetry_key(key_prefix, unit),
+                              encode_telemetry(unit, seconds, 1, retries, outcome_tag));
+        }
+      }
       ++stats.units_run;
     }
     finish();
@@ -188,13 +302,36 @@ std::vector<std::string> run_units(
       unit_state.started = true;
     }
     ++unit_state.attempts;
+    // Causal identity: primaries hang off the run root, copies off the
+    // primary they duplicate — all ids derived, so reruns agree.
+    const std::uint64_t primary_id = obs::derive_span_id(root, unit);
+    const std::uint64_t span_id =
+        attempt == 0 ? primary_id
+                     : obs::derive_span_id(obs::TraceContext{root.trace_id, primary_id},
+                                           attempt);
+    const std::uint64_t parent_id = attempt == 0 ? root.span_id : primary_id;
     auto body = [&ctx, &state, &compute, &cancel_unit_attempts, key_prefix, unit, attempt,
-                 token, &stats]() {
-      if (ctx.before_unit) ctx.before_unit(unit, attempt);
-      token.check();
-      const Clock::time_point start = Clock::now();
+                 token, &stats, root, span_id, parent_id]() {
+      const obs::TraceContext attempt_ctx{root.trace_id, span_id};
+      const std::uint64_t span_start_ns = obs::SpanCollector::now_ns();
+      Clock::time_point start{};
       std::size_t retries = 0;
-      std::string payload = compute_with_retries(ctx, unit, token, compute, &retries);
+      std::string payload;
+      try {
+        if (ctx.before_unit) ctx.before_unit(unit, attempt);
+        token.check();
+        if constexpr (obs::kEnabled) {
+          obs::FlightRecorder::global().record(obs::EventKind::kSpanOpen, "runner.attempt",
+                                               unit, attempt);
+        }
+        start = Clock::now();
+        obs::ContextGuard guard{attempt_ctx};
+        payload = compute_with_retries(ctx, unit, token, compute, &retries);
+      } catch (const std::exception& error) {
+        record_attempt_span(attempt_ctx, parent_id, span_start_ns, failure_outcome(error),
+                            unit, attempt);
+        throw;
+      }
       const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
       if constexpr (obs::kEnabled) {
         static obs::Histogram& unit_seconds = obs::histogram("runner.unit_seconds");
@@ -203,15 +340,29 @@ std::vector<std::string> run_units(
       std::lock_guard lock{state.mutex};
       stats.retries += retries;
       UnitState& winner_state = state.units[unit];
-      if (winner_state.done) return;  // a twin already won; payloads are identical
+      if (winner_state.done) {
+        // A twin already won; payloads are identical, only latency raced.
+        record_attempt_span(attempt_ctx, parent_id, span_start_ns,
+                            obs::outcome::kSpeculativeLoss, unit, attempt);
+        return;
+      }
       winner_state.done = true;
       winner_state.payload = std::move(payload);
       state.durations.record(seconds);
+      const char* outcome_tag = attempt > 0   ? obs::outcome::kSpeculativeWin
+                                : retries > 0 ? obs::outcome::kRetry
+                                              : obs::outcome::kOk;
+      record_attempt_span(attempt_ctx, parent_id, span_start_ns, outcome_tag, unit, attempt);
       if (attempt > 0) ++stats.speculative_wins;
       ++stats.units_run;
       cancel_unit_attempts(winner_state);  // stop still-running twins
       if (ctx.journal) {
         ctx.journal->append(unit_key(key_prefix, unit), winner_state.payload);
+        if constexpr (obs::kEnabled) {
+          ctx.journal->append(
+              telemetry_key(key_prefix, unit),
+              encode_telemetry(unit, seconds, winner_state.attempts, retries, outcome_tag));
+        }
       }
       --state.remaining;
       state.cv.notify_all();
@@ -277,11 +428,21 @@ std::vector<std::string> run_units(
               unit_state.overdue_flagged = true;
               ++stats.overdue;
               bump("runner.tasks_overdue");
+              if constexpr (obs::kEnabled) {
+                obs::FlightRecorder::global().record(obs::EventKind::kWatchdog,
+                                                     "runner.deadline-exceeded", unit,
+                                                     unit_state.attempts, elapsed);
+              }
             }
             if (!state.error) {
               state.error = std::make_exception_ptr(core::DeadlineExceeded{
                   "work unit " + std::to_string(unit) + " exceeded its deadline"});
               cancel_unit_attempts(unit_state);
+              if constexpr (obs::kEnabled) {
+                obs::FlightRecorder::global().record(obs::EventKind::kCancel,
+                                                     "runner.cancel-attempts", unit,
+                                                     unit_state.attempts);
+              }
               state.cv.notify_all();
             }
             continue;
@@ -292,10 +453,20 @@ std::vector<std::string> run_units(
               unit_state.overdue_flagged = true;
               ++stats.overdue;
               bump("runner.tasks_overdue");
+              if constexpr (obs::kEnabled) {
+                obs::FlightRecorder::global().record(obs::EventKind::kWatchdog,
+                                                     "runner.overdue", unit,
+                                                     unit_state.attempts, elapsed);
+              }
             }
             if (unit_state.attempts < 1 + ctx.speculation.max_copies) {
               ++stats.speculative_launches;
               bump("runner.speculative_launches");
+              if constexpr (obs::kEnabled) {
+                obs::FlightRecorder::global().record(obs::EventKind::kSpeculation,
+                                                     "runner.speculate", unit,
+                                                     unit_state.attempts);
+              }
               try {
                 launch(unit, unit_state.attempts);
               } catch (const core::PoolStopped&) {
@@ -319,6 +490,10 @@ std::vector<std::string> run_units(
           ctx.cancel.check();
         } catch (...) {
           state.error = std::current_exception();
+        }
+        if constexpr (obs::kEnabled) {
+          obs::FlightRecorder::global().record(obs::EventKind::kCancel, "runner.cancelled",
+                                               state.remaining);
         }
         cancel_everything();
         break;
@@ -363,7 +538,18 @@ std::vector<std::string> run_units(
     } catch (...) {
     }
   }
-  if (error) std::rethrow_exception(error);
+  if (error) {
+    const char* reason = "fatal error";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& nested) {
+      reason = core::classify(nested) == core::ErrorClass::kCancelled ? "cancelled"
+                                                                      : "fatal error";
+    } catch (...) {
+    }
+    dump_black_box(reason);
+    std::rethrow_exception(error);
+  }
 
   for (std::size_t unit : pending) payloads[unit] = std::move(state.units[unit].payload);
   finish();

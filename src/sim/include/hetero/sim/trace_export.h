@@ -27,4 +27,11 @@ namespace hetero::sim {
 [[nodiscard]] std::vector<obs::TraceEvent> trace_events(const Trace& trace,
                                                         double us_per_sim_time = 1e6);
 
+/// "ph":"M" name records for the simulated-time track: the process row
+/// becomes "simulated time" and each actor row appearing in the trace is
+/// named by role ("server", "worker C1", ...) under the same tid mapping
+/// trace_events uses, so Perfetto labels tracks instead of showing bare
+/// tids.  Rows are emitted in tid order for deterministic output.
+[[nodiscard]] std::vector<obs::TraceEvent> trace_metadata_events(const Trace& trace);
+
 }  // namespace hetero::sim

@@ -1,5 +1,6 @@
 #include "hetero/sim/trace_export.h"
 
+#include <algorithm>
 #include <string>
 
 namespace hetero::sim {
@@ -17,6 +18,29 @@ std::vector<obs::TraceEvent> trace_events(const Trace& trace, double us_per_sim_
     event.tid = trace_export_tid(segment.actor);
     event.args.emplace_back("subject", "C" + std::to_string(segment.subject + 1));
     events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<obs::TraceEvent> trace_metadata_events(const Trace& trace) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(obs::process_name_event(obs::kSimPid, "simulated time"));
+  std::vector<int> tids;
+  for (const TraceSegment& segment : trace.segments()) {
+    const int tid = trace_export_tid(segment.actor);
+    bool seen = false;
+    for (const int known : tids) {
+      if (known == tid) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) tids.push_back(tid);
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const int tid : tids) {
+    const std::string name = tid == 0 ? std::string{"server"} : "worker C" + std::to_string(tid);
+    events.push_back(obs::thread_name_event(obs::kSimPid, tid, name));
   }
   return events;
 }

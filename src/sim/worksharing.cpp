@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "hetero/numeric/summation.h"
+#include "hetero/obs/flight_recorder.h"
 #include "hetero/obs/metrics.h"
 #include "hetero/obs/scope.h"
 #include "hetero/sim/engine.h"
@@ -105,6 +106,11 @@ class Episode {
                               }
                               stats_.detections.push_back(Detection{
                                   engine_.now(), machine, DetectionKind::kStraggler, factor});
+                              if constexpr (obs::kEnabled) {
+                                obs::FlightRecorder::global().record(
+                                    obs::EventKind::kFault, "sim.straggler-detected", machine, 0,
+                                    engine_.now());
+                              }
                             });
       }
     }
@@ -160,6 +166,11 @@ class Episode {
                               state_[machine].crash_detected = true;
                               stats_.detections.push_back(
                                   Detection{engine_.now(), machine, DetectionKind::kCrash, 1.0});
+                              if constexpr (obs::kEnabled) {
+                                obs::FlightRecorder::global().record(
+                                    obs::EventKind::kFault, "sim.crash-detected", machine, 0,
+                                    engine_.now());
+                              }
                             });
       }
       dispatch_results();  // skip this machine if the channel waits on it
@@ -269,6 +280,10 @@ class Episode {
     ++stats_.timeouts;
     stats_.detections.push_back(
         Detection{engine_.now(), machine, DetectionKind::kTimeout, 1.0});
+    if constexpr (obs::kEnabled) {
+      obs::FlightRecorder::global().record(obs::EventKind::kFault, "sim.timeout-declared",
+                                           machine, 0, engine_.now());
+    }
     abandon(machine, engine_.now());
   }
 

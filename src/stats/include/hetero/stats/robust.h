@@ -1,0 +1,48 @@
+#pragma once
+
+// Robust location/scale and outlier detection for run-report attribution.
+//
+// Run reports must point at the handful of cells or units that dragged a
+// sweep out (a straggling machine, a crash-retry chain) without being
+// fooled by those same points: means and standard deviations are exactly
+// what a straggler inflates.  The classic fix is the median / MAD pair and
+// the modified z-score (Iglewicz & Hoaglin): a sample is an outlier when
+//
+//   0.6745 * |x - median| / MAD > threshold      (threshold 3.5 by default)
+//
+// where 0.6745 rescales the MAD to the standard deviation of a normal.
+// When the MAD is zero (at least half the sample is identical — common for
+// deterministic simulated makespans), any deviation at all is flagged; that
+// degenerate branch is what lets an injected straggler among otherwise
+// identical cells be attributed deterministically.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hetero::stats {
+
+/// Median by linear interpolation (type-7 quantile at q = 0.5); sorts a
+/// copy.  Throws std::invalid_argument on empty input.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Median absolute deviation from the median (unscaled).  Throws
+/// std::invalid_argument on empty input.
+[[nodiscard]] double mad(std::span<const double> values);
+
+struct MadOutlier {
+  std::size_t index = 0;  ///< position in the input sample
+  double value = 0.0;
+  /// Modified z-score 0.6745*(x-med)/MAD; +/-infinity on the MAD == 0
+  /// degenerate branch (sign tracks the side of the median).
+  double score = 0.0;
+};
+
+/// Indices of samples whose |modified z-score| exceeds `threshold`,
+/// in input order.  With MAD == 0, every sample differing from the median
+/// is flagged regardless of threshold.  Throws std::invalid_argument on
+/// empty input or threshold <= 0.
+[[nodiscard]] std::vector<MadOutlier> mad_outliers(std::span<const double> values,
+                                                   double threshold = 3.5);
+
+}  // namespace hetero::stats

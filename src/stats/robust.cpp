@@ -1,0 +1,52 @@
+#include "hetero/stats/robust.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "hetero/stats/histogram.h"
+
+namespace hetero::stats {
+
+namespace {
+/// Consistency constant: MAD * 1/0.6745 estimates sigma under normality.
+constexpr double kMadToSigma = 0.6745;
+}  // namespace
+
+double median(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument{"median: empty sample"};
+  return quantile(values, 0.5);
+}
+
+double mad(std::span<const double> values) {
+  const double center = median(values);  // throws on empty
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double x : values) deviations.push_back(std::fabs(x - center));
+  return quantile(deviations, 0.5);
+}
+
+std::vector<MadOutlier> mad_outliers(std::span<const double> values, double threshold) {
+  if (values.empty()) throw std::invalid_argument{"mad_outliers: empty sample"};
+  if (!(threshold > 0.0)) throw std::invalid_argument{"mad_outliers: threshold must be > 0"};
+  const double center = median(values);
+  const double scale = mad(values);
+  std::vector<MadOutlier> out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double deviation = values[i] - center;
+    if (scale == 0.0) {
+      // Degenerate sample: the majority is pinned at the median, so any
+      // deviation is infinitely many MADs away.
+      if (deviation != 0.0) {
+        const double sign = deviation > 0.0 ? 1.0 : -1.0;
+        out.push_back({i, values[i], sign * std::numeric_limits<double>::infinity()});
+      }
+      continue;
+    }
+    const double score = kMadToSigma * deviation / scale;
+    if (std::fabs(score) > threshold) out.push_back({i, values[i], score});
+  }
+  return out;
+}
+
+}  // namespace hetero::stats

@@ -56,6 +56,7 @@ expect_usage_error(obs "<1, 1/2>")
 expect_usage_error(faults "<1, 1/2>")
 expect_usage_error(protocols "<1, 1/2>")
 expect_usage_error(resume)
+expect_usage_error(report)
 
 # Malformed values: unparsable profiles and numbers.
 expect_usage_error(power "<1, oops>")
@@ -82,7 +83,9 @@ expect_usage_error(power "<1, 1/0>")
 expect_usage_error(--journal)
 
 # Runtime failures still exit non-zero (without the usage reminder): resuming
-# from a file that is not a journal.
+# from or reporting on a file that is not a journal.
 set(bogus_journal "${CMAKE_CURRENT_LIST_DIR}/heteroctl_errors.cmake")
 expect_runtime_error(resume "${bogus_journal}")
 expect_runtime_error(resume "/nonexistent/path/to.journal")
+expect_runtime_error(report "${bogus_journal}")
+expect_runtime_error(report "/nonexistent/path/to.journal")

@@ -1,0 +1,190 @@
+#include "hetero/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = hetero::obs;
+
+#if HETERO_OBS_ENABLED
+
+namespace {
+
+std::string temp_path(const char* stem) {
+  const ::testing::TestInfo* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + info->test_suite_name() + "_" + info->name() + "_" + stem;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+}  // namespace
+
+TEST(FlightRecorder, RecordsAndSnapshotsInOrder) {
+  obs::FlightRecorder recorder{16};
+  recorder.record(obs::EventKind::kRetry, "runner.retry", 3, 1, 0.25);
+  recorder.record(obs::EventKind::kFault, "sim.crash-detected", 7, 0, 12.5);
+
+  const std::vector<obs::FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::EventKind::kRetry);
+  EXPECT_STREQ(events[0].name, "runner.retry");
+  EXPECT_EQ(events[0].a, 3u);
+  EXPECT_EQ(events[0].b, 1u);
+  EXPECT_DOUBLE_EQ(events[0].d, 0.25);
+  EXPECT_EQ(events[1].kind, obs::EventKind::kFault);
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LE(events[0].t_ns, events[1].t_ns);
+}
+
+TEST(FlightRecorder, WraparoundDropsOldestOnly) {
+  obs::FlightRecorder recorder{8};
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    recorder.record(obs::EventKind::kNote, "tick", i);
+  }
+  const std::vector<obs::FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are exactly the 8 newest, oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 12 + i);
+    EXPECT_EQ(events[i].seq, 12 + i);
+  }
+}
+
+TEST(FlightRecorder, ClearForgetsButSequencesAdvance) {
+  obs::FlightRecorder recorder{8};
+  recorder.record(obs::EventKind::kNote, "before");
+  recorder.clear();
+  EXPECT_TRUE(recorder.snapshot().empty());
+  recorder.record(obs::EventKind::kNote, "after");
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+  EXPECT_GE(events[0].seq, 1u);
+}
+
+TEST(FlightRecorder, NamesAreSanitizedAndTruncated) {
+  obs::FlightRecorder recorder{4};
+  recorder.record(obs::EventKind::kNote, "we\"ird\\name\nwith control\x01 bytes");
+  const auto events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "we_ird_name_with control_ bytes");
+
+  std::string longname(100, 'x');
+  recorder.record(obs::EventKind::kNote, longname.c_str());
+  const auto more = recorder.snapshot();
+  ASSERT_EQ(more.size(), 2u);
+  EXPECT_EQ(std::string(more[1].name).size(), obs::FlightEvent::kNameBytes - 1);
+}
+
+TEST(FlightRecorder, DumpLoadRoundTrip) {
+  obs::FlightRecorder recorder{16};
+  recorder.record(obs::EventKind::kSpanOpen, "runner.attempt", 4, 0, 0.0);
+  recorder.record(obs::EventKind::kWatchdog, "runner.overdue", 4, 1, 1.5);
+  recorder.record(obs::EventKind::kJournalAppend, "cell:4", 0, 57, 0.0);
+
+  const std::string path = temp_path("box.jsonl");
+  ASSERT_TRUE(recorder.dump(path.c_str(), "unit-test"));
+
+  const obs::BlackBox box = obs::load_black_box(path);
+  EXPECT_EQ(box.reason, "unit-test");
+  EXPECT_EQ(box.torn_lines, 0u);
+  ASSERT_EQ(box.events.size(), 3u);
+  EXPECT_EQ(box.events[0].kind, obs::EventKind::kSpanOpen);
+  EXPECT_STREQ(box.events[1].name, "runner.overdue");
+  EXPECT_DOUBLE_EQ(box.events[1].d, 1.5);
+  EXPECT_EQ(box.events[2].b, 57u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, LineRoundTripAndRejection) {
+  obs::FlightEvent event;
+  event.seq = 12;
+  event.t_ns = 3456;
+  event.kind = obs::EventKind::kSpeculation;
+  std::snprintf(event.name, sizeof event.name, "runner.speculate");
+  event.a = 9;
+  event.b = 2;
+  event.d = -0.125;
+
+  const std::string line = obs::black_box_line(event);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+
+  obs::FlightEvent parsed;
+  ASSERT_TRUE(obs::parse_black_box_line(
+      std::string_view{line}.substr(0, line.size() - 1), parsed));
+  EXPECT_EQ(parsed.seq, event.seq);
+  EXPECT_EQ(parsed.t_ns, event.t_ns);
+  EXPECT_EQ(parsed.kind, event.kind);
+  EXPECT_STREQ(parsed.name, event.name);
+  EXPECT_EQ(parsed.a, event.a);
+  EXPECT_EQ(parsed.b, event.b);
+  EXPECT_DOUBLE_EQ(parsed.d, event.d);
+
+  // Any single corrupted byte flips the CRC and the line is rejected.
+  std::string corrupt = line.substr(0, line.size() - 1);
+  const std::size_t victim = corrupt.find("\"n\"") + 5;
+  corrupt[victim] = corrupt[victim] == 'r' ? 'z' : 'r';
+  EXPECT_FALSE(obs::parse_black_box_line(corrupt, parsed));
+  // Every proper prefix is rejected too (no valid torn line).
+  for (std::size_t cut = 0; cut + 1 < line.size(); ++cut) {
+    EXPECT_FALSE(obs::parse_black_box_line(std::string_view{line}.substr(0, cut), parsed));
+  }
+}
+
+TEST(FlightRecorder, TornTailKeepsValidPrefix) {
+  obs::FlightRecorder recorder{8};
+  for (std::uint64_t i = 0; i < 5; ++i) recorder.record(obs::EventKind::kNote, "tick", i);
+  const std::string path = temp_path("torn.jsonl");
+  ASSERT_TRUE(recorder.dump(path.c_str(), "torn"));
+
+  const std::string whole = slurp(path);
+  // Truncate mid-way through the last line (simulating a torn write).
+  const std::size_t last_newline = whole.rfind('\n', whole.size() - 2);
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out << whole.substr(0, last_newline + 1 + 7);
+  }
+  const obs::BlackBox box = obs::load_black_box(path);
+  EXPECT_EQ(box.reason, "torn");
+  EXPECT_EQ(box.events.size(), 4u);
+  EXPECT_EQ(box.torn_lines, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, MissingFileThrows) {
+  EXPECT_THROW(static_cast<void>(obs::load_black_box(temp_path("absent"))),
+               std::runtime_error);
+}
+
+TEST(FlightRecorder, ConcurrentWritersStayConsistent) {
+  obs::FlightRecorder recorder{64};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (std::uint64_t i = 0; i < 2000; ++i) {
+        recorder.record(obs::EventKind::kNote, "w", static_cast<std::uint64_t>(t), i);
+      }
+    });
+  }
+  // Concurrent snapshots must only ever see fully-published events.
+  for (int i = 0; i < 50; ++i) {
+    for (const obs::FlightEvent& e : recorder.snapshot()) {
+      EXPECT_STREQ(e.name, "w");
+      EXPECT_LT(e.a, 4u);
+      EXPECT_LT(e.b, 2000u);
+    }
+  }
+  for (std::thread& w : writers) w.join();
+  const auto final_events = recorder.snapshot();
+  EXPECT_EQ(final_events.size(), 64u);
+}
+
+#endif  // HETERO_OBS_ENABLED

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hetero/obs/metrics.h"
+
+namespace obs = hetero::obs;
+
+namespace {
+
+obs::HistogramSample sample_of(const std::vector<double>& values) {
+  obs::HistogramSample sample;
+  for (const double v : values) {
+    ++sample.buckets[obs::HistogramBuckets::index_for(v)];
+    ++sample.count;
+    sample.sum += v;
+  }
+  return sample;
+}
+
+/// Exact type-7 quantile of raw values, the reference the histogram
+/// estimate is judged against.
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+
+TEST(HistogramQuantile, EmptyIsZero) {
+  const obs::HistogramSample empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.p99(), 0.0);
+}
+
+TEST(HistogramQuantile, SingleValueLandsInItsBucket) {
+  const obs::HistogramSample sample = sample_of({3.0});
+  const std::size_t bucket = obs::HistogramBuckets::index_for(3.0);
+  const double lo = obs::HistogramBuckets::upper_bound(bucket - 1);
+  const double hi = obs::HistogramBuckets::upper_bound(bucket);
+  for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+    const double estimate = sample.quantile(q);
+    EXPECT_GE(estimate, lo);
+    EXPECT_LE(estimate, hi);
+  }
+}
+
+TEST(HistogramQuantile, ClampsQ) {
+  const obs::HistogramSample sample = sample_of({1.0, 2.0, 4.0});
+  EXPECT_EQ(sample.quantile(-1.0), sample.quantile(0.0));
+  EXPECT_EQ(sample.quantile(2.0), sample.quantile(1.0));
+}
+
+TEST(HistogramQuantile, MonotoneInQ) {
+  const obs::HistogramSample sample =
+      sample_of({0.001, 0.002, 0.004, 0.01, 0.05, 0.2, 0.9, 3.0, 7.0, 20.0});
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double estimate = sample.quantile(q);
+    EXPECT_GE(estimate, previous);
+    previous = estimate;
+  }
+}
+
+// The documented accuracy bound: the estimate is within one power-of-two
+// bucket of the true quantile, i.e. estimate/true in [1/2, 2] (with slack
+// for interpolation at bucket edges).
+TEST(HistogramQuantile, WithinOneBucketOfExact) {
+  std::vector<double> values;
+  for (int i = 1; i <= 200; ++i) values.push_back(0.0005 * static_cast<double>(i * i));
+  const obs::HistogramSample sample = sample_of(values);
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double exact = exact_quantile(values, q);
+    const double estimate = sample.quantile(q);
+    EXPECT_GE(estimate, 0.5 * exact) << "q = " << q;
+    EXPECT_LE(estimate, 2.0 * exact) << "q = " << q;
+  }
+}
+
+TEST(HistogramQuantile, PercentileHelpersMatchQuantile) {
+  const obs::HistogramSample sample = sample_of({0.25, 0.5, 1.0, 2.0, 4.0, 8.0});
+  EXPECT_EQ(sample.p50(), sample.quantile(0.50));
+  EXPECT_EQ(sample.p95(), sample.quantile(0.95));
+  EXPECT_EQ(sample.p99(), sample.quantile(0.99));
+}
+
+#if HETERO_OBS_ENABLED
+// The live histogram's snapshot feeds the same quantile path.
+TEST(HistogramQuantile, LiveHistogramSnapshotQuantiles) {
+  obs::Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.record(1.0);
+  for (int i = 0; i < 5; ++i) histogram.record(100.0);
+  const obs::HistogramSample sample = histogram.sample("t");
+  EXPECT_GE(sample.p50(), 0.5);
+  EXPECT_LE(sample.p50(), 2.0);
+  EXPECT_GE(sample.p99(), 50.0);
+}
+#endif

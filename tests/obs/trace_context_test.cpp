@@ -1,0 +1,80 @@
+#include "hetero/obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace obs = hetero::obs;
+
+TEST(TraceContext, RootIsDeterministicAndValid) {
+  const obs::TraceContext a = obs::trace_root(42);
+  const obs::TraceContext b = obs::trace_root(42);
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, b.span_id);
+  EXPECT_TRUE(a.valid());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.span_id, 0u);
+}
+
+TEST(TraceContext, DistinctSeedsGetDistinctTraces) {
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t seed = 0; seed < 256; ++seed) {
+    ids.insert(obs::trace_root(seed).trace_id);
+  }
+  EXPECT_EQ(ids.size(), 256u);
+}
+
+TEST(TraceContext, DeriveSpanIdIsDeterministicPerSlot) {
+  const obs::TraceContext root = obs::trace_root(7);
+  EXPECT_EQ(obs::derive_span_id(root, 3), obs::derive_span_id(root, 3));
+
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t slot = 0; slot < 512; ++slot) {
+    const std::uint64_t id = obs::derive_span_id(root, slot);
+    EXPECT_NE(id, 0u);
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 512u) << "child span ids must not collide across slots";
+}
+
+TEST(TraceContext, ChildrenOfDifferentParentsDiffer) {
+  const obs::TraceContext root = obs::trace_root(7);
+  const obs::TraceContext primary{root.trace_id, obs::derive_span_id(root, 0)};
+  EXPECT_NE(obs::derive_span_id(root, 1), obs::derive_span_id(primary, 1));
+}
+
+TEST(TraceContext, OutcomeCodesRoundTrip) {
+  using namespace obs::outcome;
+  const char* tags[] = {kOk, kRetry, kSpeculativeWin, kSpeculativeLoss, kCancelled, kFault};
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(code(tags[i]), i);
+    EXPECT_STREQ(from_code(i), tags[i]);
+  }
+}
+
+// code() matches by pointer identity: equal characters in different storage
+// are "unknown" and collapse to the fault code, as do out-of-range wires.
+TEST(TraceContext, OutcomeCodeMatchesByPointerIdentity) {
+  const std::string ok = "ok";  // same characters, different storage
+  EXPECT_EQ(obs::outcome::code(ok.c_str()), 5u);
+  EXPECT_STREQ(obs::outcome::from_code(99), obs::outcome::kFault);
+}
+
+#if HETERO_OBS_ENABLED
+TEST(TraceContext, ContextGuardSwapsAndRestores) {
+  EXPECT_FALSE(obs::current_context().valid());
+  {
+    const obs::TraceContext outer{11, 22};
+    obs::ContextGuard outer_guard{outer};
+    EXPECT_EQ(obs::current_context().trace_id, 11u);
+    EXPECT_EQ(obs::current_context().span_id, 22u);
+    {
+      const obs::TraceContext inner{33, 44};
+      obs::ContextGuard inner_guard{inner};
+      EXPECT_EQ(obs::current_context().span_id, 44u);
+    }
+    EXPECT_EQ(obs::current_context().span_id, 22u);
+  }
+  EXPECT_FALSE(obs::current_context().valid());
+}
+#endif

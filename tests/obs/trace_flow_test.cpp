@@ -1,0 +1,152 @@
+// Chrome-trace flow arrows and metadata records: the causal-tree export on
+// top of the byte-stable 'X' serialization (which chrome_trace_test pins
+// with golden strings).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hetero/obs/chrome_trace.h"
+#include "hetero/sim/trace.h"
+#include "hetero/sim/trace_export.h"
+
+namespace obs = hetero::obs;
+namespace sim = hetero::sim;
+
+namespace {
+
+obs::Span make_span(const char* name, std::uint64_t start, std::uint64_t end,
+                    std::uint64_t trace, std::uint64_t id, std::uint64_t parent,
+                    const char* outcome = "") {
+  obs::Span span;
+  span.name = name;
+  span.start_ns = start;
+  span.end_ns = end;
+  span.trace_id = trace;
+  span.span_id = id;
+  span.parent_id = parent;
+  span.outcome = outcome;
+  return span;
+}
+
+}  // namespace
+
+TEST(TraceFlow, FlowPairsLinkParentToChild) {
+  const std::vector<obs::Span> spans = {
+      make_span("runner.run", 0, 10'000, 9, 100, 0),
+      make_span("runner.attempt", 1'000, 4'000, 9, 200, 100, obs::outcome::kOk),
+  };
+  const std::vector<obs::TraceEvent> flows = obs::flow_events_from_spans(spans);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].phase, 's');
+  EXPECT_EQ(flows[1].phase, 'f');
+  EXPECT_EQ(flows[0].flow_id, flows[1].flow_id);
+  EXPECT_NE(flows[0].flow_id, 0u);
+  // The start record sits inside the parent interval, the finish record at
+  // the child's start.
+  EXPECT_GE(flows[0].ts_us, 0.0);
+  EXPECT_LE(flows[0].ts_us, 10'000.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(flows[1].ts_us, 1.0);  // 1000 ns = 1 us
+}
+
+TEST(TraceFlow, OrphansAndPlainSpansProduceNoFlows) {
+  const std::vector<obs::Span> spans = {
+      make_span("plain.scope", 0, 100, 0, 0, 0),      // no trace at all
+      make_span("runner.attempt", 0, 100, 9, 7, 42),  // parent 42 not exported
+  };
+  EXPECT_TRUE(obs::flow_events_from_spans(spans).empty());
+}
+
+TEST(TraceFlow, FlowIdsAreDeterministic) {
+  const std::vector<obs::Span> spans = {
+      make_span("runner.run", 0, 10'000, 9, 100, 0),
+      make_span("runner.attempt", 1'000, 4'000, 9, 200, 100, obs::outcome::kOk),
+      make_span("runner.attempt", 1'500, 3'000, 9, 300, 100, obs::outcome::kRetry),
+  };
+  const auto once = obs::flow_events_from_spans(spans);
+  const auto twice = obs::flow_events_from_spans(spans);
+  ASSERT_EQ(once.size(), twice.size());
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_EQ(once[i].flow_id, twice[i].flow_id);
+  }
+  // Distinct children get distinct arrows.
+  EXPECT_NE(once[0].flow_id, once[2].flow_id);
+}
+
+TEST(TraceFlow, CausalSpansCarryOutcomeArgs) {
+  const std::vector<obs::Span> spans = {
+      make_span("runner.attempt", 0, 1'000, 9, 200, 100, obs::outcome::kSpeculativeWin),
+  };
+  const auto events = obs::events_from_spans(spans);
+  ASSERT_EQ(events.size(), 1u);
+  bool saw_outcome = false;
+  for (const auto& [key, value] : events[0].args) {
+    if (key == "outcome") {
+      saw_outcome = true;
+      EXPECT_EQ(value, "speculative-win");
+    }
+  }
+  EXPECT_TRUE(saw_outcome);
+}
+
+TEST(TraceFlow, SerializedFlowRecordsBindToEnclosingSlice) {
+  const std::vector<obs::Span> spans = {
+      make_span("runner.run", 0, 10'000, 9, 100, 0),
+      make_span("runner.attempt", 1'000, 4'000, 9, 200, 100, obs::outcome::kOk),
+  };
+  const auto flows = obs::flow_events_from_spans(spans);
+  const std::string json = obs::chrome_trace_json(flows);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"causal\""), std::string::npos);
+}
+
+TEST(TraceFlow, WallMetadataNamesProcessAndThreads) {
+  std::vector<obs::Span> spans = {make_span("a", 0, 10, 0, 0, 0)};
+  spans[0].tid = 3;
+  const auto metadata = obs::wall_metadata_events(spans);
+  ASSERT_GE(metadata.size(), 2u);
+  EXPECT_EQ(metadata[0].phase, 'M');
+  EXPECT_EQ(metadata[0].name, "process_name");
+  bool saw_thread = false;
+  for (const auto& event : metadata) {
+    if (event.name == "thread_name" && event.tid == 3) saw_thread = true;
+  }
+  EXPECT_TRUE(saw_thread);
+
+  const std::string json = obs::chrome_trace_json(metadata);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+TEST(TraceFlow, SimMetadataSharesActorTidMapping) {
+  sim::Trace trace;
+  trace.record(sim::TraceSegment{0.0, 1.0, sim::Activity::kServerPackage, sim::kServerActor, 0});
+  trace.record(sim::TraceSegment{1.0, 5.0, sim::Activity::kWorkerCompute, 1, 1});
+
+  const auto segments = sim::trace_events(trace);
+  const auto metadata = sim::trace_metadata_events(trace);
+
+  // Same pid for both; every tid appearing in the segments is named.
+  ASSERT_FALSE(segments.empty());
+  ASSERT_GE(metadata.size(), 3u);  // process + two threads
+  EXPECT_EQ(metadata[0].pid, obs::kSimPid);
+  EXPECT_EQ(metadata[0].name, "process_name");
+  for (const auto& segment : segments) {
+    bool named = false;
+    for (const auto& event : metadata) {
+      if (event.name == "thread_name" && event.tid == segment.tid) named = true;
+    }
+    EXPECT_TRUE(named) << "tid " << segment.tid << " has no thread_name record";
+  }
+  // Server row is named "server", worker rows "C<n>"-style worker labels.
+  bool saw_server = false;
+  for (const auto& event : metadata) {
+    for (const auto& [key, value] : event.args) {
+      if (key == "name" && value == "server") saw_server = true;
+    }
+  }
+  EXPECT_TRUE(saw_server);
+}

@@ -1,0 +1,167 @@
+// Run-report generator: byte-determinism, straggler attribution, and JSON
+// validity, driven end to end through real journaled sweeps.
+
+#include "hetero/report/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/core/errors.h"
+#include "hetero/experiments/fault_sweep.h"
+#include "hetero/experiments/protocol_sweep.h"
+#include "hetero/runner/journal.h"
+#include "hetero/runner/runner.h"
+#include "../support/mini_json.h"
+
+#if HETERO_OBS_ENABLED
+
+namespace core = hetero::core;
+namespace experiments = hetero::experiments;
+namespace report = hetero::report;
+namespace runner = hetero::runner;
+using hetero::test_support::parse_json;
+
+namespace {
+
+const std::vector<double> kSpeeds{1.0, 0.5, 0.25};
+
+/// Grid built so straggler attribution is forced: five identical fault-free
+/// cells and one with a 6x straggler.  MAD over the identical cells is zero,
+/// so the injected straggler's deviation scores infinite — the degenerate
+/// branch tests/stats/robust_test.cpp pins down.  The replicated protocol is
+/// the one whose makespan actually moves with straggler severity here (FIFO
+/// and MDS results all land right at the horizon L regardless).
+experiments::ProtocolSweepConfig straggler_config() {
+  experiments::ProtocolSweepConfig config;
+  config.lifespan = 50.0;
+  config.crash_rates = {0.0};
+  config.straggler_factors = {1.0, 1.0, 1.0, 1.0, 1.0, 6.0};
+  config.trials = 1;
+  config.seed = 2026;
+  config.protocols = {hetero::protocol::ProtocolKind::kReplicated};
+  return config;
+}
+
+class RunReportTest : public testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Runs the straggler sweep journaled into path_ (serial, deterministic).
+  void journal_straggler_sweep() {
+    const core::Environment env = core::Environment::paper_default();
+    const auto config = straggler_config();
+    runner::Journal journal = runner::Journal::open_or_resume(
+        path_, experiments::protocol_sweep_journal_header(kSpeeds, env, config));
+    runner::RunContext ctx;
+    ctx.journal = &journal;
+    (void)experiments::run_protocol_sweep(kSpeeds, env, config, ctx);
+  }
+
+  std::string path_ = testing::TempDir() + "run_report_test_" +
+                      testing::UnitTest::GetInstance()->current_test_info()->name() + "." +
+                      std::to_string(::getpid()) + ".journal";
+};
+
+}  // namespace
+
+TEST_F(RunReportTest, ReportsAreByteIdenticalAcrossInvocations) {
+  journal_straggler_sweep();
+  const std::string md1 = report::run_report_markdown(path_);
+  const std::string md2 = report::run_report_markdown(path_);
+  EXPECT_EQ(md1, md2);
+  const std::string json1 = report::run_report_json(path_);
+  const std::string json2 = report::run_report_json(path_);
+  EXPECT_EQ(json1, json2);
+  EXPECT_NE(md1, json1);
+}
+
+TEST_F(RunReportTest, AttributesInjectedStragglerCell) {
+  journal_straggler_sweep();
+  const auto doc = parse_json(report::run_report_json(path_));
+
+  EXPECT_EQ(doc.at("tool").string(), "protocol_sweep");
+  EXPECT_EQ(doc.at("seed").number(), 2026.0);
+  EXPECT_EQ(doc.at("units").number(), 6.0);
+  EXPECT_EQ(doc.at("dropped_records").number(), 0.0);
+
+  // Exactly the factor-6 cell (unit 5) is flagged, attributed to its grid
+  // coordinates, with the MAD==0 infinite score serialized as a string.
+  const auto& outliers = doc.at("simulated_outliers").array();
+  ASSERT_EQ(outliers.size(), 1u);
+  const auto& outlier = outliers[0];
+  EXPECT_EQ(outlier.at("unit").number(), 5.0);
+  EXPECT_EQ(outlier.at("metric").string(), "mean makespan");
+  EXPECT_NE(outlier.at("cell").string().find("straggler factor 6"), std::string::npos);
+  ASSERT_TRUE(outlier.at("score").is_string());
+  EXPECT_EQ(outlier.at("score").string(), "inf");
+
+  // The markdown rendering carries the same attribution.
+  const std::string md = report::run_report_markdown(path_);
+  EXPECT_NE(md.find("### Simulated outliers (mean makespan"), std::string::npos);
+  EXPECT_NE(md.find("straggler factor 6"), std::string::npos);
+}
+
+TEST_F(RunReportTest, ExecutionSectionJoinsTelemetry) {
+  journal_straggler_sweep();
+  const auto doc = parse_json(report::run_report_json(path_));
+
+  const auto& execution = doc.at("execution");
+  EXPECT_EQ(execution.at("units").number(), 6.0);
+  EXPECT_EQ(execution.at("attempts").number(), 6.0);
+  EXPECT_EQ(execution.at("retries").number(), 0.0);
+  EXPECT_EQ(execution.at("duplicate_attempts").number(), 0.0);
+  EXPECT_EQ(execution.at("outcomes").at("ok").number(), 6.0);
+  EXPECT_EQ(execution.at("outcomes").at("fault").number(), 0.0);
+  const auto& wall = execution.at("wall_seconds");
+  EXPECT_GE(wall.at("total").number(), 0.0);
+  EXPECT_GE(wall.at("p99").number(), wall.at("p50").number());
+
+  // The sizing LP ran once (coded sizings are computed even on a FIFO-only
+  // axis) and its warm-start telemetry reached the sidecar.
+  ASSERT_TRUE(doc.contains("lp"));
+  EXPECT_GE(doc.at("lp").at("solves").number(), 1.0);
+}
+
+TEST_F(RunReportTest, FaultSweepJournalsAlsoReport) {
+  const core::Environment env = core::Environment::paper_default();
+  experiments::FaultSweepConfig config;
+  config.lifespan = 50.0;
+  config.crash_rates = {0.0, 0.01};
+  config.straggler_factors = {1.0, 2.0};
+  config.trials = 1;
+  config.seed = 7;
+  runner::Journal journal = runner::Journal::open_or_resume(
+      path_, experiments::fault_sweep_journal_header(kSpeeds, env, config));
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  (void)experiments::run_fault_sweep(kSpeeds, env, config, ctx);
+
+  const std::string md = report::run_report_markdown(path_);
+  EXPECT_NE(md.find("# Run report: fault_sweep"), std::string::npos);
+  const auto doc = parse_json(report::run_report_json(path_));
+  EXPECT_EQ(doc.at("tool").string(), "fault_sweep");
+  EXPECT_EQ(doc.at("units").number(), 4.0);
+}
+
+TEST_F(RunReportTest, MissingJournalThrows) {
+  EXPECT_THROW(static_cast<void>(report::run_report_markdown(path_ + ".does-not-exist")),
+               core::FatalError);
+  EXPECT_THROW(static_cast<void>(report::run_report_json(path_ + ".does-not-exist")),
+               core::FatalError);
+}
+
+#else  // !HETERO_OBS_ENABLED
+
+TEST(RunReport, StubsSayDisabled) {
+  EXPECT_NE(hetero::report::run_report_markdown("x").find("disabled"), std::string::npos);
+  EXPECT_NE(hetero::report::run_report_json("x").find("disabled"), std::string::npos);
+}
+
+#endif  // HETERO_OBS_ENABLED

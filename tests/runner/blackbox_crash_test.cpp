@@ -1,0 +1,208 @@
+// Crash-path guarantees of the flight-recorder black box: a process that
+// dies from a fatal signal (via FlightRecorder::arm) or is SIGKILLed after a
+// checkpoint dump leaves a parseable, CRC-valid black box behind, and a
+// fatal error inside run_units dumps the box before the exception escapes.
+//
+// Workers are this same gtest binary re-executed with a filter selecting the
+// (otherwise skipped) worker tests; the box path travels via an environment
+// variable — the kill_resume_tests pattern.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "hetero/core/cancel.h"
+#include "hetero/core/errors.h"
+#include "hetero/obs/flight_recorder.h"
+#include "hetero/runner/runner.h"
+
+#if HETERO_OBS_ENABLED
+
+namespace core = hetero::core;
+namespace obs = hetero::obs;
+namespace runner = hetero::runner;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr const char* kBoxEnv = "HETERO_BLACKBOX_PATH";
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  return std::string{buf};
+}
+
+/// Forks + execs this binary filtered down to one worker test, with the box
+/// path in the environment.  Returns the child pid.
+pid_t spawn_worker(const std::string& exe, const char* worker, const std::string& box_path) {
+  const pid_t child = ::fork();
+  if (child == 0) {
+    ::setenv(kBoxEnv, box_path.c_str(), 1);
+    const std::string filter = std::string{"--gtest_filter=BlackBoxCrash."} + worker;
+    char* const argv[] = {const_cast<char*>(exe.c_str()), const_cast<char*>(filter.c_str()),
+                          nullptr};
+    ::execv(exe.c_str(), argv);
+    ::_exit(127);  // exec failed
+  }
+  return child;
+}
+
+bool wait_for_file(const std::string& path, std::chrono::seconds budget) {
+  const auto give_up = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (std::ifstream{path}) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return false;
+}
+
+class BlackBoxCrashTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::getenv(kBoxEnv) != nullptr) GTEST_SKIP() << "parent role only";
+    exe_ = self_exe();
+    ASSERT_FALSE(exe_.empty()) << "cannot resolve /proc/self/exe";
+  }
+  void TearDown() override {
+    std::remove(box_.c_str());
+    std::remove((box_ + ".ready").c_str());
+  }
+
+  std::string exe_;
+  std::string box_ = testing::TempDir() + "blackbox_crash_" +
+                     testing::UnitTest::GetInstance()->current_test_info()->name() + "." +
+                     std::to_string(::getpid()) + ".blackbox";
+};
+
+}  // namespace
+
+// Worker: arm the recorder, fill the ring with recognizable events, and die
+// from an abort — the armed handler must dump the box, then re-raise.
+TEST(BlackBoxCrash, SignalWorker) {
+  const char* box = std::getenv(kBoxEnv);
+  if (box == nullptr) GTEST_SKIP() << "worker role only";
+  obs::FlightRecorder::arm(box);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    obs::FlightRecorder::global().record(obs::EventKind::kWatchdog, "pre-crash", i, i * 2,
+                                         0.5 * static_cast<double>(i));
+  }
+  ::raise(SIGABRT);
+}
+
+// Worker: checkpoint-dump the box, announce readiness, then spin until the
+// parent SIGKILLs us.  SIGKILL cannot be handled, so the guarantee under
+// test is that the *previous* atomic dump survives the kill intact.
+TEST(BlackBoxCrash, SigkillWorker) {
+  const char* box = std::getenv(kBoxEnv);
+  if (box == nullptr) GTEST_SKIP() << "worker role only";
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    obs::FlightRecorder::global().record(obs::EventKind::kJournalAppend, "checkpointed", i);
+  }
+  ASSERT_TRUE(obs::FlightRecorder::global().dump(box, "checkpoint"));
+  { std::ofstream ready{std::string{box} + ".ready"}; }
+  for (;;) std::this_thread::sleep_for(50ms);
+}
+
+TEST_F(BlackBoxCrashTest, FatalSignalLeavesParseableBox) {
+  const pid_t child = spawn_worker(exe_, "SignalWorker", box_);
+  ASSERT_NE(child, -1);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "worker should die from the re-raised signal";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const obs::BlackBox loaded = obs::load_black_box(box_);
+  EXPECT_EQ(loaded.reason, "signal " + std::to_string(SIGABRT));
+  EXPECT_EQ(loaded.torn_lines, 0u);
+  // The 16 pre-crash events must all be there, in order and bit-exact.
+  std::size_t seen = 0;
+  for (const auto& event : loaded.events) {
+    if (std::string{event.name} != "pre-crash") continue;
+    EXPECT_EQ(event.kind, obs::EventKind::kWatchdog);
+    EXPECT_EQ(event.a, seen);
+    EXPECT_EQ(event.b, seen * 2);
+    EXPECT_DOUBLE_EQ(event.d, 0.5 * static_cast<double>(seen));
+    ++seen;
+  }
+  EXPECT_EQ(seen, 16u);
+}
+
+TEST_F(BlackBoxCrashTest, SigkillKeepsTheCheckpointDumpIntact) {
+  const pid_t child = spawn_worker(exe_, "SigkillWorker", box_);
+  ASSERT_NE(child, -1);
+  ASSERT_TRUE(wait_for_file(box_ + ".ready", 30s)) << "worker never checkpointed";
+  ::kill(child, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  const obs::BlackBox loaded = obs::load_black_box(box_);
+  EXPECT_EQ(loaded.reason, "checkpoint");
+  EXPECT_EQ(loaded.torn_lines, 0u);
+  std::size_t seen = 0;
+  for (const auto& event : loaded.events) {
+    seen += std::string{event.name} == "checkpointed";
+  }
+  EXPECT_EQ(seen, 8u);
+}
+
+// In-process: a fatal compute error must dump the box via RunContext::
+// black_box before run_units rethrows.
+TEST_F(BlackBoxCrashTest, FatalErrorInRunUnitsDumpsBox) {
+  obs::FlightRecorder::global().clear();
+  runner::RunContext ctx;
+  ctx.black_box = box_;
+  EXPECT_THROW(static_cast<void>(runner::run_units(
+                   ctx, "unit", 3,
+                   [](std::size_t unit, const core::CancelToken&) -> std::string {
+                     if (unit == 1) throw std::runtime_error{"deterministic bug"};
+                     return "ok";
+                   })),
+               std::runtime_error);
+
+  const obs::BlackBox loaded = obs::load_black_box(box_);
+  EXPECT_EQ(loaded.reason, "fault");
+  EXPECT_EQ(loaded.torn_lines, 0u);
+  EXPECT_FALSE(loaded.events.empty());
+}
+
+// A crash-era box with a damaged tail (torn write, disk-full truncation)
+// still yields its CRC-valid prefix.
+TEST_F(BlackBoxCrashTest, DamagedTailKeepsValidPrefix) {
+  obs::FlightRecorder::global().clear();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    obs::FlightRecorder::global().record(obs::EventKind::kNote, "survivor", i);
+  }
+  ASSERT_TRUE(obs::FlightRecorder::global().dump(box_.c_str(), "torn"));
+  {
+    std::ofstream append{box_, std::ios::app};
+    append << "{\"s\":99,\"t\":0,\"k\":\"note\",\"n\":\"forged\",\"a\"";  // torn line
+  }
+  const obs::BlackBox loaded = obs::load_black_box(box_);
+  EXPECT_EQ(loaded.reason, "torn");
+  EXPECT_EQ(loaded.torn_lines, 1u);
+  std::size_t survivors = 0;
+  for (const auto& event : loaded.events) survivors += std::string{event.name} == "survivor";
+  EXPECT_EQ(survivors, 4u);
+}
+
+#else  // !HETERO_OBS_ENABLED
+
+TEST(BlackBoxCrash, SkippedWhenObsDisabled) { GTEST_SKIP() << "obs disabled"; }
+
+#endif  // HETERO_OBS_ENABLED

@@ -1,0 +1,209 @@
+// Causal observability of run_units: every attempt becomes a span in a
+// deterministic tree, winners append "!obs:" telemetry sidecar records, and
+// the Chrome-trace exporter turns the parent links into flow pairs.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hetero/core/errors.h"
+#include "hetero/obs/chrome_trace.h"
+#include "hetero/obs/scope.h"
+#include "hetero/obs/trace_context.h"
+#include "hetero/runner/codec.h"
+#include "hetero/runner/journal.h"
+#include "hetero/runner/runner.h"
+
+#if HETERO_OBS_ENABLED
+
+namespace core = hetero::core;
+namespace obs = hetero::obs;
+namespace runner = hetero::runner;
+
+namespace {
+
+std::string compute(std::size_t unit, const core::CancelToken&) {
+  return "payload-" + std::to_string(unit);
+}
+
+runner::JournalHeader test_header(std::uint64_t seed) {
+  runner::JournalHeader header;
+  header.tool = "runner_trace_test";
+  header.seed = seed;
+  header.fingerprint = runner::fingerprint_of("runner trace test config");
+  return header;
+}
+
+/// Spans recorded by one run, with the global collector isolated around it.
+std::vector<obs::Span> spans_of_run(runner::RunContext& ctx, std::size_t count,
+                                    const std::function<std::string(std::size_t,
+                                                                    const core::CancelToken&)>& fn,
+                                    runner::RunStats* stats = nullptr) {
+  obs::SpanCollector::global().clear();
+  const auto payloads = runner::run_units(ctx, "unit", count, fn, stats);
+  EXPECT_EQ(payloads.size(), count);
+  return obs::SpanCollector::global().snapshot();
+}
+
+const obs::Span* find_span(const std::vector<obs::Span>& spans, const char* name,
+                           std::size_t unit) {
+  for (const auto& span : spans) {
+    if (span.name == name && span.unit == unit) return &span;
+  }
+  return nullptr;
+}
+
+class RunnerTraceTest : public testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = testing::TempDir() + "runner_trace_test_" +
+                      testing::UnitTest::GetInstance()->current_test_info()->name() + "." +
+                      std::to_string(::getpid()) + ".journal";
+};
+
+}  // namespace
+
+TEST_F(RunnerTraceTest, PrimariesHangOffDeterministicRoot) {
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header(42));
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  const auto spans = spans_of_run(ctx, 4, compute);
+
+  const obs::TraceContext root = obs::trace_root(42);
+  // Exactly one run-root span, carrying the seed-derived ids.
+  const auto is_root = [&](const obs::Span& s) { return s.name == std::string("runner.run"); };
+  ASSERT_EQ(std::count_if(spans.begin(), spans.end(), is_root), 1);
+  const auto root_span = std::find_if(spans.begin(), spans.end(), is_root);
+  EXPECT_EQ(root_span->trace_id, root.trace_id);
+  EXPECT_EQ(root_span->span_id, root.span_id);
+
+  for (std::size_t unit = 0; unit < 4; ++unit) {
+    const obs::Span* attempt = find_span(spans, "runner.attempt", unit);
+    ASSERT_NE(attempt, nullptr) << "unit " << unit;
+    EXPECT_EQ(attempt->trace_id, root.trace_id);
+    EXPECT_EQ(attempt->span_id, obs::derive_span_id(root, unit));
+    EXPECT_EQ(attempt->parent_id, root.span_id);
+    EXPECT_EQ(attempt->attempt, 0u);
+    EXPECT_STREQ(attempt->outcome, obs::outcome::kOk);
+    EXPECT_GE(attempt->end_ns, attempt->start_ns);
+  }
+}
+
+TEST_F(RunnerTraceTest, SpanIdsAreIdenticalAcrossReruns) {
+  const auto ids_of = [&](const std::string& journal_path) {
+    runner::Journal journal = runner::Journal::open_or_resume(journal_path, test_header(7));
+    runner::RunContext ctx;
+    ctx.journal = &journal;
+    const auto spans = spans_of_run(ctx, 6, compute);
+    std::set<std::uint64_t> ids;
+    for (const auto& span : spans) ids.insert(span.span_id);
+    return ids;
+  };
+  const auto first = ids_of(path_);
+  std::remove(path_.c_str());
+  const auto second = ids_of(path_);
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(RunnerTraceTest, WinnersAppendTelemetrySidecarRecords) {
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header(42));
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  (void)spans_of_run(ctx, 3, compute);
+
+  // Unit records and telemetry live in disjoint views of the same file.
+  EXPECT_EQ(journal.records().size(), 3u);
+  const auto sidecar = journal.sidecar();
+  ASSERT_EQ(sidecar.size(), 3u);
+  for (std::size_t unit = 0; unit < 3; ++unit) {
+    const std::string key = "!obs:unit:" + std::to_string(unit);
+    const auto it = sidecar.find(key);
+    ASSERT_NE(it, sidecar.end()) << key;
+    runner::FieldReader reader{it->second};
+    EXPECT_EQ(reader.u64(), unit);
+    EXPECT_GE(reader.d(), 0.0);             // wall seconds
+    EXPECT_EQ(reader.u64(), 1u);            // attempts
+    EXPECT_EQ(reader.u64(), 0u);            // retries
+    EXPECT_EQ(reader.u64(), obs::outcome::code(obs::outcome::kOk));
+    reader.expect_done();
+  }
+}
+
+TEST_F(RunnerTraceTest, RetriedUnitIsTaggedRetry) {
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header(42));
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  ctx.retry = core::Backoff{1e-4, 2.0, 3, 0.0};
+  int attempts = 0;
+  runner::RunStats stats;
+  const auto spans = spans_of_run(
+      ctx, 2,
+      [&](std::size_t unit, const core::CancelToken& token) {
+        if (unit == 1 && attempts++ < 2) throw core::TransientError{"flaky backend"};
+        return compute(unit, token);
+      },
+      &stats);
+  EXPECT_EQ(stats.retries, 2u);
+
+  const obs::Span* healthy = find_span(spans, "runner.attempt", 0);
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_STREQ(healthy->outcome, obs::outcome::kOk);
+  const obs::Span* flaky = find_span(spans, "runner.attempt", 1);
+  ASSERT_NE(flaky, nullptr);
+  EXPECT_STREQ(flaky->outcome, obs::outcome::kRetry);
+
+  runner::FieldReader reader{*journal.find("!obs:unit:1")};
+  EXPECT_EQ(reader.u64(), 1u);
+  (void)reader.d();
+  (void)reader.u64();
+  EXPECT_EQ(reader.u64(), 2u);  // retries
+  EXPECT_EQ(reader.u64(), obs::outcome::code(obs::outcome::kRetry));
+}
+
+TEST_F(RunnerTraceTest, NestedScopesJoinTheAttemptTree) {
+  runner::RunContext ctx;  // unjournaled: root derives from the key prefix
+  const auto spans = spans_of_run(ctx, 2, [](std::size_t unit, const core::CancelToken&) {
+    HETERO_OBS_SCOPE("inner.work");
+    return compute(unit, {});
+  });
+  for (std::size_t unit = 0; unit < 2; ++unit) {
+    const obs::Span* attempt = find_span(spans, "runner.attempt", unit);
+    ASSERT_NE(attempt, nullptr);
+    const auto nested = std::find_if(spans.begin(), spans.end(), [&](const obs::Span& s) {
+      return s.name == std::string("inner.work") && s.parent_id == attempt->span_id;
+    });
+    ASSERT_NE(nested, spans.end()) << "unit " << unit;
+    EXPECT_EQ(nested->trace_id, attempt->trace_id);
+  }
+}
+
+TEST_F(RunnerTraceTest, FlowExportDrawsOneArrowPerAttempt) {
+  runner::Journal journal = runner::Journal::open_or_resume(path_, test_header(42));
+  runner::RunContext ctx;
+  ctx.journal = &journal;
+  const auto spans = spans_of_run(ctx, 5, compute);
+
+  const auto flows = obs::flow_events_from_spans(spans);
+  // Each of the 5 primaries links to the run root: an 's' and an 'f' each.
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  std::set<std::uint64_t> flow_ids;
+  for (const auto& event : flows) {
+    ASSERT_TRUE(event.phase == 's' || event.phase == 'f');
+    ASSERT_NE(event.flow_id, 0u);
+    flow_ids.insert(event.flow_id);
+    (event.phase == 's' ? starts : finishes)++;
+  }
+  EXPECT_EQ(starts, 5u);
+  EXPECT_EQ(finishes, 5u);
+  EXPECT_EQ(flow_ids.size(), 5u);
+}
+
+#endif  // HETERO_OBS_ENABLED

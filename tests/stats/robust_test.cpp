@@ -1,0 +1,81 @@
+#include "hetero/stats/robust.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace stats = hetero::stats;
+
+TEST(Robust, MedianOddAndEven) {
+  const std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::median(odd), 2.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::median(even), 2.5);
+}
+
+TEST(Robust, MadKnownValue) {
+  // median = 3, |x - 3| = {2, 1, 0, 1, 2}, MAD = 1.
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(stats::mad(values), 1.0);
+}
+
+TEST(Robust, NoOutliersInTightData) {
+  const std::vector<double> values = {10.0, 10.1, 9.9, 10.05, 9.95};
+  EXPECT_TRUE(stats::mad_outliers(values).empty());
+}
+
+TEST(Robust, FlagsTheSingleStraggler) {
+  const std::vector<double> values = {10.0, 10.1, 9.9, 10.05, 9.95, 60.0};
+  const auto outliers = stats::mad_outliers(values);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0].index, 5u);
+  EXPECT_DOUBLE_EQ(outliers[0].value, 60.0);
+  EXPECT_GT(outliers[0].score, 3.5);
+}
+
+// The degenerate case the straggler-attribution integration test relies on:
+// identical values make MAD zero, and then ANY deviation is infinitely
+// anomalous (signed).
+TEST(Robust, ZeroMadFlagsAnyDeviation) {
+  const std::vector<double> values = {1.0, 1.0, 1.0, 1.0, 1.0, 6.0};
+  const auto outliers = stats::mad_outliers(values);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0].index, 5u);
+  EXPECT_TRUE(std::isinf(outliers[0].score));
+  EXPECT_GT(outliers[0].score, 0.0);
+
+  const std::vector<double> low = {1.0, 1.0, 1.0, 0.5};
+  const auto below = stats::mad_outliers(low);
+  ASSERT_EQ(below.size(), 1u);
+  EXPECT_EQ(below[0].index, 3u);
+  EXPECT_LT(below[0].score, 0.0);
+}
+
+TEST(Robust, AllIdenticalHasNoOutliers) {
+  const std::vector<double> values = {2.0, 2.0, 2.0, 2.0};
+  EXPECT_TRUE(stats::mad_outliers(values).empty());
+}
+
+TEST(Robust, ModifiedZScoreMatchesFormula) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 100.0};
+  // median = 3, deviations {2, 1, 0, 1, 97}, MAD = 1.
+  const auto outliers = stats::mad_outliers(values);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_NEAR(outliers[0].score, 0.6745 * 97.0, 1e-9);
+}
+
+TEST(Robust, ThresholdIsRespected) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 100.0};
+  EXPECT_EQ(stats::mad_outliers(values, 1e6).size(), 0u);
+  EXPECT_GE(stats::mad_outliers(values, 0.5).size(), 1u);
+}
+
+TEST(Robust, InvalidInputsThrow) {
+  EXPECT_THROW(static_cast<void>(stats::median({})), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(stats::mad_outliers({})), std::invalid_argument);
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW(static_cast<void>(stats::mad_outliers(values, 0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(stats::mad_outliers(values, -1.0)), std::invalid_argument);
+}
