@@ -13,6 +13,8 @@
 #include "hetero/protocol/fifo.h"
 #include "hetero/protocol/lp_solver.h"
 #include "hetero/random/samplers.h"
+#include "hetero/service/json.h"
+#include "hetero/service/planner.h"
 #include "hetero/sim/worksharing.h"
 
 namespace {
@@ -30,6 +32,20 @@ constexpr std::uint64_t kBenchSeed = 0x5eedbea7f00dcafeull;
 std::vector<double> random_speeds(std::size_t n) {
   auto rng = random::Xoshiro256StarStar::for_stream(kBenchSeed, n);
   return random::uniform_rho_values(n, rng, 0.05, 1.0);
+}
+
+/// A /v1/x request body over n machines; `variant` perturbs the profile so
+/// different variants canonicalize to different cache keys.
+std::string service_profile_body(std::size_t n, std::size_t variant) {
+  auto rng = random::Xoshiro256StarStar::for_stream(kBenchSeed ^ variant, n);
+  const std::vector<double> rho = random::uniform_rho_values(n, rng, 0.05, 1.0);
+  std::string body = "{\"profile\": [";
+  for (std::size_t i = 0; i < rho.size(); ++i) {
+    if (i != 0) body += ", ";
+    body += service::Json::number_to_string(rho[i]);
+  }
+  body += "]}";
+  return body;
 }
 
 void BM_XMeasureDirect(benchmark::State& state) {
@@ -191,6 +207,51 @@ void BM_LpResolverWarmSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 12);
 }
 BENCHMARK(BM_LpResolverWarmSweep)->Arg(3)->Arg(4)->Arg(6);
+
+// The planning service's request path, in-process (no sockets): HTTP
+// routing + JSON parse + fingerprint + sharded-cache probe.  Cached is the
+// steady-state hot path (every probe hits); Cold forces a miss on every
+// request (tiny cache + a rotating profile set), so the pair bounds what
+// the plan cache is worth per query.
+void BM_ServeXCached(benchmark::State& state) {
+  service::Planner planner;
+  service::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/x";
+  request.version = "HTTP/1.1";
+  request.body = service_profile_body(static_cast<std::size_t>(state.range(0)), 0);
+  benchmark::DoNotOptimize(planner.handle(request));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.handle(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeXCached)->Arg(4)->Arg(64);
+
+void BM_ServeXCold(benchmark::State& state) {
+  service::PlannerConfig config;
+  config.cache_capacity = 2;  // evicted long before a profile comes around again
+  config.cache_shards = 1;
+  service::Planner planner{config};
+  constexpr std::size_t kDistinct = 512;
+  std::vector<std::string> bodies;
+  bodies.reserve(kDistinct);
+  for (std::size_t i = 0; i < kDistinct; ++i) {
+    bodies.push_back(service_profile_body(static_cast<std::size_t>(state.range(0)), i));
+  }
+  service::HttpRequest request;
+  request.method = "POST";
+  request.target = "/v1/x";
+  request.version = "HTTP/1.1";
+  std::size_t next = 0;
+  for (auto _ : state) {
+    request.body = bodies[next];
+    next = (next + 1) % kDistinct;
+    benchmark::DoNotOptimize(planner.handle(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeXCold)->Arg(4)->Arg(64);
 
 void BM_EqualMeanPairSampling(benchmark::State& state) {
   random::Xoshiro256StarStar rng{11};

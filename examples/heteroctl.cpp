@@ -47,6 +47,7 @@
 // optional.  All output is plain text.
 
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -67,6 +68,9 @@
 #include "hetero/report/gantt.h"
 #include "hetero/report/run_report.h"
 #include "hetero/report/table.h"
+#include "hetero/service/client.h"
+#include "hetero/service/planner.h"
+#include "hetero/service/server.h"
 #include "hetero/sim/coded.h"
 #include "hetero/sim/reactive.h"
 #include "hetero/sim/trace_export.h"
@@ -402,6 +406,70 @@ int cmd_report(const std::string& journal_path, const std::string& out_path) {
   return 0;
 }
 
+service::Server* g_serve_server = nullptr;
+
+extern "C" void heteroctl_serve_signal(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+/// `heteroctl serve <port> [threads]` — run the planning service in-process
+/// (the same engine as the standalone `heterod` binary).  Blocks until
+/// SIGTERM/SIGINT, then drains and returns 0.
+int cmd_serve(int port, long threads) {
+  if (port < 0 || port > 65535) {
+    throw std::invalid_argument("serve: port must be in [0, 65535] (0 = ephemeral)");
+  }
+  if (threads < 0) {
+    throw std::invalid_argument("serve: threads must be >= 0 (0 = automatic)");
+  }
+  service::Planner planner;
+  service::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(port);
+  config.threads = static_cast<std::size_t>(threads);
+  service::Server server{planner, config};
+  server.listen();
+
+  g_serve_server = &server;
+  struct sigaction action{};
+  action.sa_handler = heteroctl_serve_signal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << service::Planner::version_string() << " listening on 127.0.0.1:"
+            << server.port() << "\n";
+  server.serve();
+  g_serve_server = nullptr;
+  return 0;
+}
+
+/// `heteroctl query <host:port> <target> [json-body]` — one request against a
+/// running service; prints the response body.  GET without a body, POST with.
+int cmd_query(const std::string& endpoint, const std::string& target,
+              const std::string& body) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= endpoint.size()) {
+    throw std::invalid_argument("query: endpoint must be host:port, got \"" + endpoint + "\"");
+  }
+  const long port = std::stol(endpoint.substr(colon + 1));
+  if (port <= 0 || port > 65535) {
+    throw std::invalid_argument("query: port out of range in \"" + endpoint + "\"");
+  }
+  if (target.empty() || target.front() != '/') {
+    throw std::invalid_argument("query: target must start with '/', got \"" + target + "\"");
+  }
+  service::HttpClient client{endpoint.substr(0, colon), static_cast<std::uint16_t>(port)};
+  const service::ClientResponse response =
+      body.empty() ? client.get(target) : client.post(target, body);
+  std::cout << response.body;
+  if (response.body.empty() || response.body.back() != '\n') std::cout << '\n';
+  if (response.status >= 400) {
+    std::cerr << "error: HTTP " << response.status << " from " << endpoint << target << '\n';
+    return 1;
+  }
+  return 0;
+}
+
 int usage() {
   std::cout << "usage:\n"
                "  heteroctl power   <profile>\n"
@@ -420,6 +488,13 @@ int usage() {
                "  heteroctl report  <sweep.journal> [out.md|out.json]\n"
                "                    deterministic run report: results, duration percentiles,\n"
                "                    outcome/waste accounting, MAD outliers with cell attribution\n"
+               "  heteroctl serve   <port> [threads]\n"
+               "                    run the planning service (same engine as heterod) until\n"
+               "                    SIGTERM/SIGINT; port 0 picks an ephemeral port\n"
+               "  heteroctl query   <host:port> <target> [json-body]\n"
+               "                    one request against a running service: GET without a body,\n"
+               "                    POST with, e.g. query 127.0.0.1:8080 /v1/x "
+               "'{\"profile\": [1, 0.5]}'\n"
                "options:\n"
                "  --metrics          dump the metrics registry (Prometheus text) after any command\n"
                "  --journal <path>   (faults, protocols) checkpoint finished grid cells; resume\n"
@@ -465,6 +540,14 @@ int dispatch(const std::vector<std::string>& args, const std::string& journal_pa
       throw std::invalid_argument("resume: journal carries an unusable invocation");
     }
     return dispatch(inner, args[1]);
+  }
+
+  if (command == "serve") {
+    return cmd_serve(std::stoi(args[1]), args.size() >= 3 ? std::stol(args[2]) : 0);
+  }
+  if (command == "query") {
+    if (args.size() < 3) return usage();
+    return cmd_query(args[1], args[2], args.size() >= 4 ? args[3] : std::string{});
   }
 
   const core::Profile first = core::parse_profile(args[1]);

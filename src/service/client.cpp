@@ -1,0 +1,182 @@
+#include "hetero/service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+
+namespace hetero::service {
+
+namespace {
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string{what} + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::string_view ClientResponse::header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return {};
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port)
+    : host_{std::move(host)}, port_{port} {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void HttpClient::connect() {
+  disconnect();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &address.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("invalid host address: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect");
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+  fd_ = fd;
+}
+
+ClientResponse HttpClient::request(std::string_view method, std::string_view target,
+                                   std::string_view body, std::string_view content_type) {
+  std::string wire;
+  wire.reserve(128 + body.size());
+  wire.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  wire.append("Host: ").append(host_).append("\r\n");
+  if (!body.empty()) {
+    wire.append("Content-Type: ").append(content_type).append("\r\n");
+  }
+  wire.append("Content-Length: ").append(std::to_string(body.size())).append("\r\n\r\n");
+  wire.append(body);
+
+  ClientResponse response;
+  if (fd_ >= 0 && try_round_trip(wire, response)) return response;
+  // Pooled connection was dead (or absent): reconnect and retry once.
+  connect();
+  if (!try_round_trip(wire, response)) {
+    throw std::runtime_error("request failed after reconnect");
+  }
+  return response;
+}
+
+bool HttpClient::try_round_trip(std::string_view wire, ClientResponse& out) {
+  // Send.
+  std::string_view rest = wire;
+  while (!rest.empty()) {
+    const ssize_t sent = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent <= 0) return false;
+    rest.remove_prefix(static_cast<std::size_t>(sent));
+  }
+
+  // Receive until the full head + Content-Length body is buffered.
+  std::string buffer;
+  char chunk[16 * 1024];
+  std::size_t head_end = std::string::npos;
+  std::size_t content_length = 0;
+  for (;;) {
+    if (head_end == std::string::npos) {
+      head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        // Parse the status line + headers.
+        out = ClientResponse{};
+        const std::string_view head{buffer.data(), head_end};
+        std::size_t line_start = 0;
+        bool first = true;
+        while (line_start <= head.size()) {
+          std::size_t line_end = head.find("\r\n", line_start);
+          if (line_end == std::string_view::npos) line_end = head.size();
+          const std::string_view line = head.substr(line_start, line_end - line_start);
+          line_start = line_end + 2;
+          if (first) {
+            first = false;
+            // "HTTP/1.1 200 OK"
+            const std::size_t sp = line.find(' ');
+            if (sp == std::string_view::npos || line.substr(0, 5) != "HTTP/") {
+              throw std::runtime_error("malformed response status line");
+            }
+            const std::string_view code = line.substr(sp + 1, 3);
+            if (std::from_chars(code.data(), code.data() + code.size(), out.status).ec !=
+                std::errc{}) {
+              throw std::runtime_error("malformed response status code");
+            }
+            continue;
+          }
+          if (line.empty()) continue;
+          const std::size_t colon = line.find(':');
+          if (colon == std::string_view::npos) {
+            throw std::runtime_error("malformed response header");
+          }
+          std::string_view value = line.substr(colon + 1);
+          while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+            value.remove_prefix(1);
+          }
+          out.headers.emplace_back(std::string{line.substr(0, colon)}, std::string{value});
+        }
+        const std::string_view length_text = out.header("Content-Length");
+        if (!length_text.empty()) {
+          if (std::from_chars(length_text.data(), length_text.data() + length_text.size(),
+                              content_length).ec != std::errc{}) {
+            throw std::runtime_error("malformed Content-Length in response");
+          }
+        }
+      }
+    }
+    if (head_end != std::string::npos && buffer.size() >= head_end + 4 + content_length) {
+      out.body = buffer.substr(head_end + 4, content_length);
+      if (iequals(out.header("Connection"), "close")) disconnect();
+      return true;
+    }
+    const ssize_t got = ::read(fd_, chunk, sizeof chunk);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      // Dead before any response byte → safe to retry on a fresh
+      // connection; dead mid-response → transport error.
+      if (buffer.empty()) {
+        disconnect();
+        return false;
+      }
+      throw std::runtime_error("connection closed mid-response");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+}  // namespace hetero::service

@@ -1,0 +1,66 @@
+#include "hetero/service/fingerprint.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "hetero/random/rng.h"
+
+namespace hetero::service {
+
+namespace {
+
+/// Absorbs one 64-bit word into the running state.  splitmix64 is invoked
+/// on the XOR of state and word, so the chain is order-sensitive (a vector
+/// and its permutation only collide after canonical sorting, which is the
+/// caller's job).
+[[nodiscard]] std::uint64_t absorb(std::uint64_t state, std::uint64_t word) noexcept {
+  std::uint64_t mixed = state ^ word;
+  return random::splitmix64(mixed);
+}
+
+[[nodiscard]] std::uint64_t absorb(std::uint64_t state, double value) noexcept {
+  return absorb(state, std::bit_cast<std::uint64_t>(value));
+}
+
+}  // namespace
+
+std::vector<double> canonical_speeds(std::span<const double> speeds) {
+  std::vector<double> sorted(speeds.begin(), speeds.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>{});
+  return sorted;
+}
+
+std::uint64_t fingerprint(const PlanKey& key) noexcept {
+  // Fixed domain-separation seed so fingerprints are stable across runs
+  // (they key on-disk nothing today, but the loadtest and tests rely on
+  // cross-process determinism).
+  std::uint64_t state = 0x68657465726f6421ull;  // "heterod!"
+  state = absorb(state, static_cast<std::uint64_t>(key.kind));
+  state = absorb(state, static_cast<std::uint64_t>(key.flags));
+  state = absorb(state, key.tau);
+  state = absorb(state, key.pi);
+  state = absorb(state, key.delta);
+  state = absorb(state, key.param0);
+  state = absorb(state, key.param1);
+  state = absorb(state, static_cast<std::uint64_t>(key.speeds.size()));
+  for (const double rho : key.speeds) state = absorb(state, rho);
+  return state;
+}
+
+PlanKey make_plan_key(QueryKind kind, std::span<const double> speeds,
+                      const core::Environment& env, double param0, double param1,
+                      std::uint32_t flags) {
+  PlanKey key;
+  key.kind = kind;
+  key.flags = flags;
+  key.tau = env.tau();
+  key.pi = env.pi();
+  key.delta = env.delta();
+  key.param0 = param0;
+  key.param1 = param1;
+  key.speeds = canonical_speeds(speeds);
+  return key;
+}
+
+}  // namespace hetero::service

@@ -1,0 +1,225 @@
+#include "hetero/service/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace hetero::service {
+
+namespace {
+
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Header field values the service compares against are short tokens; a
+/// case-insensitive containment check covers "keep-alive, upgrade" style
+/// lists without a full list parser.
+[[nodiscard]] bool token_in_list(std::string_view list, std::string_view token) noexcept {
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t end = list.find(',', start);
+    if (end == std::string_view::npos) end = list.size();
+    if (iequals(trim(list.substr(start, end - start)), token)) return true;
+    if (end == list.size()) break;
+    start = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return {};
+}
+
+bool HttpRequest::keep_alive() const noexcept {
+  const std::string_view connection = header("Connection");
+  if (version == "HTTP/1.0") return token_in_list(connection, "keep-alive");
+  return !token_in_list(connection, "close");
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::error(int status, std::string_view message) {
+  std::string body = "{\"error\":\"";
+  for (const char c : message) {
+    if (c == '"' || c == '\\') {
+      body += '\\';
+      body += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      body += ' ';
+    } else {
+      body += c;
+    }
+  }
+  body += "\"}";
+  return json(status, std::move(body));
+}
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string HttpResponse::serialize(bool keep_alive) const {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const auto& [key, value] : headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+RequestParser::Status RequestParser::fail(int status, std::string reason) {
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  buffer_.clear();
+  return Status::kError;
+}
+
+RequestParser::Status RequestParser::poll(HttpRequest& out) {
+  if (error_status_ != 0) return Status::kError;
+
+  // Locate the end of the header section.  While it has not arrived yet the
+  // only failure mode is the section outgrowing its limit.
+  const std::size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return fail(431, "header section exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    return Status::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return fail(431, "header section exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  // Parse the request line.
+  const std::string_view head{buffer_.data(), header_end};
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line = head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos || sp1 == 0 ||
+      sp2 == sp1 + 1 || sp2 + 1 >= request_line.size()) {
+    return fail(400, "malformed request line");
+  }
+  HttpRequest request;
+  request.method = std::string{request_line.substr(0, sp1)};
+  request.target = std::string{request_line.substr(sp1 + 1, sp2 - sp1 - 1)};
+  request.version = std::string{request_line.substr(sp2 + 1)};
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return fail(400, "unsupported HTTP version");
+  }
+
+  // Parse headers.
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view line = head.substr(pos, end - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    // Whitespace before the colon is forbidden (request smuggling vector).
+    if (line[colon - 1] == ' ' || line[colon - 1] == '\t') {
+      return fail(400, "whitespace before header colon");
+    }
+    request.headers.emplace_back(std::string{line.substr(0, colon)},
+                                 std::string{trim(line.substr(colon + 1))});
+    pos = end + 2;
+  }
+
+  // Body framing.
+  if (!request.header("Transfer-Encoding").empty()) {
+    return fail(501, "chunked transfer encoding is not supported");
+  }
+  std::size_t content_length = 0;
+  const bool has_length = std::any_of(
+      request.headers.begin(), request.headers.end(),
+      [](const auto& header) { return iequals(header.first, "Content-Length"); });
+  const std::string_view length_header = request.header("Content-Length");
+  if (has_length && length_header.empty()) return fail(400, "malformed Content-Length");
+  if (!length_header.empty()) {
+    const auto [parse_end, ec] = std::from_chars(
+        length_header.data(), length_header.data() + length_header.size(), content_length);
+    if (ec != std::errc{} || parse_end != length_header.data() + length_header.size()) {
+      return fail(400, "malformed Content-Length");
+    }
+    if (content_length > limits_.max_body_bytes) {
+      return fail(413, "body of " + std::string{length_header} + " bytes exceeds the " +
+                           std::to_string(limits_.max_body_bytes) + "-byte limit");
+    }
+  }
+
+  const std::size_t body_start = header_end + 4;
+  if (buffer_.size() - body_start < content_length) return Status::kNeedMore;
+
+  request.body = buffer_.substr(body_start, content_length);
+  // Consume exactly this request; pipelined successors stay buffered.
+  buffer_.erase(0, body_start + content_length);
+  out = std::move(request);
+  return Status::kReady;
+}
+
+}  // namespace hetero::service

@@ -1,0 +1,64 @@
+#pragma once
+
+// Minimal blocking HTTP/1.1 client for talking to `heterod`.
+//
+// One HttpClient owns one keep-alive connection; request() sends a request
+// and blocks until the full response arrives (Content-Length framing, like
+// the server).  The connection reconnects transparently when the server
+// closed it (keep-alive expiry, drain) and the request can be safely
+// retried — which is every request heterod serves, as planning queries are
+// read-only.  Not thread-safe; use one client per thread (the loadtest
+// does exactly that).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hetero::service {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; returns "" when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const noexcept;
+};
+
+class HttpClient {
+ public:
+  /// Stores the target; no connection is made until the first request().
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Sends one request and reads the full response.  Reconnects (once) when
+  /// the pooled connection turned out dead.  Throws std::runtime_error on
+  /// connect/transport failure or a malformed response.
+  [[nodiscard]] ClientResponse request(std::string_view method, std::string_view target,
+                                       std::string_view body = {},
+                                       std::string_view content_type = "application/json");
+
+  /// Convenience wrappers.
+  [[nodiscard]] ClientResponse get(std::string_view target) { return request("GET", target); }
+  [[nodiscard]] ClientResponse post(std::string_view target, std::string_view body) {
+    return request("POST", target, body);
+  }
+
+  /// Drops the pooled connection (the next request reconnects).
+  void disconnect() noexcept;
+
+ private:
+  void connect();
+  [[nodiscard]] bool try_round_trip(std::string_view wire, ClientResponse& out);
+
+  std::string host_;
+  std::uint16_t port_;
+  int fd_ = -1;
+};
+
+}  // namespace hetero::service

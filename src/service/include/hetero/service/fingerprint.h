@@ -1,0 +1,69 @@
+#pragma once
+
+// Canonicalized plan-query fingerprints.
+//
+// The plan cache must answer "have we already planned for this fleet?"
+// across syntactically different requests.  X, W, HECR, and the FIFO
+// allocation are all permutation-invariant in the profile (Theorem 1), so
+// the canonical form of a rate vector is its power-indexed sort
+// (nonincreasing), and two requests that differ only by machine order MUST
+// share a fingerprint.  Nothing else may collide: the measures are *not*
+// scale-invariant (X(2P) != X(P)), and every scalar the answer depends on —
+// environment parameters, endpoint, lifespan, upgrade amount, flags — is
+// absorbed into the hash.
+//
+// The hash is a splitmix64 absorption chain over the exact IEEE-754 bit
+// patterns (no epsilon fuzzing: the cache contract is bit-determinism, so
+// only bit-equal inputs may share an entry), the same mixer the runner uses
+// for trial seeds.  Collisions across distinct keys are possible in
+// principle (64-bit), so the cache stores and compares the full key; the
+// fingerprint is a shard selector and hash-table key, not a proof of
+// equality.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::service {
+
+/// Which query family a cache entry answers.
+enum class QueryKind : std::uint8_t {
+  kX = 1,
+  kMakespan = 2,
+  kHecr = 3,
+  kAllocate = 4,
+  kUpgrade = 5,
+};
+
+/// Everything a plan-query answer is a function of.  Equality is bitwise on
+/// the doubles (via operator== — NaNs never reach a key; request validation
+/// rejects them).
+struct PlanKey {
+  QueryKind kind = QueryKind::kX;
+  std::uint32_t flags = 0;      ///< endpoint-specific (exact LP, upgrade kind, ...)
+  double tau = 0.0;             ///< environment parameters
+  double pi = 0.0;
+  double delta = 0.0;
+  double param0 = 0.0;          ///< endpoint-specific scalar (lifespan, amount, ...)
+  double param1 = 0.0;          ///< second scalar (rounds, work target, ...)
+  std::vector<double> speeds;   ///< canonical (sorted nonincreasing) rate vector
+
+  friend bool operator==(const PlanKey& lhs, const PlanKey& rhs) noexcept = default;
+};
+
+/// Sorts a rate vector into canonical power-indexed order (nonincreasing).
+[[nodiscard]] std::vector<double> canonical_speeds(std::span<const double> speeds);
+
+/// splitmix64 absorption over kind, flags, env, params, and the speed
+/// vector's bit patterns.  Deterministic across processes and platforms
+/// with IEEE-754 doubles.
+[[nodiscard]] std::uint64_t fingerprint(const PlanKey& key) noexcept;
+
+/// Convenience: builds the canonical key for a profile-measure query.
+[[nodiscard]] PlanKey make_plan_key(QueryKind kind, std::span<const double> speeds,
+                                    const core::Environment& env, double param0 = 0.0,
+                                    double param1 = 0.0, std::uint32_t flags = 0);
+
+}  // namespace hetero::service

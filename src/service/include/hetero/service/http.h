@@ -1,0 +1,105 @@
+#pragma once
+
+// Minimal HTTP/1.1 message layer for the planning service.
+//
+// Scope is deliberately narrow — exactly what `heterod` and its clients
+// need: request parsing with Content-Length framing, keep-alive semantics,
+// pipelining, and deterministic response serialization.  No chunked
+// transfer (501), no multipart, no TLS.  The parser is *incremental*: feed
+// it whatever bytes arrived, poll for complete requests, repeat — so torn
+// reads (a request split anywhere, even mid-header-name) and pipelined
+// requests (several requests in one read) both fall out of the same state
+// machine, and the tests can drive every split point byte by byte.
+//
+// Error philosophy: a malformed *stream* is unrecoverable (after an
+// arbitrary framing error we can no longer find the next request boundary),
+// so the parser latches kError with a suggested status code (400 malformed,
+// 413 body too large, 431 headers too large, 501 unsupported framing) and
+// the connection is expected to answer once and close.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hetero::service {
+
+struct HttpRequest {
+  std::string method;   ///< "GET", "POST", ... (upper-case as sent)
+  std::string target;   ///< origin-form target, e.g. "/v1/x"
+  std::string version;  ///< "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  ///< in arrival order
+  std::string body;
+
+  /// Case-insensitive header lookup; returns "" when absent.
+  [[nodiscard]] std::string_view header(std::string_view name) const noexcept;
+  /// Connection semantics: HTTP/1.1 defaults to keep-alive unless
+  /// "Connection: close"; HTTP/1.0 defaults to close unless
+  /// "Connection: keep-alive".
+  [[nodiscard]] bool keep_alive() const noexcept;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Extra headers beyond Content-Type/Content-Length/Connection.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  [[nodiscard]] static HttpResponse json(int status, std::string body);
+  [[nodiscard]] static HttpResponse text(int status, std::string body);
+  /// {"error": message} with the given status.
+  [[nodiscard]] static HttpResponse error(int status, std::string_view message);
+
+  /// Serializes status line + headers + body.  `keep_alive` controls the
+  /// Connection header ("keep-alive" or "close").
+  [[nodiscard]] std::string serialize(bool keep_alive) const;
+};
+
+/// Standard reason phrase for the status codes the service emits
+/// (unknown codes render as "Status").
+[[nodiscard]] std::string_view status_reason(int status) noexcept;
+
+/// Incremental HTTP/1.1 request parser (see header comment).
+class RequestParser {
+ public:
+  struct Limits {
+    std::size_t max_header_bytes = 16 * 1024;       ///< request line + headers
+    std::size_t max_body_bytes = 1024 * 1024;       ///< Content-Length cap
+  };
+
+  enum class Status {
+    kNeedMore,  ///< no complete request buffered; feed more bytes
+    kReady,     ///< `out` holds one complete request (pipelined rest kept)
+    kError,     ///< stream is broken; see error_status()/error_reason()
+  };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_{limits} {}
+
+  /// Appends raw bytes from the connection.
+  void feed(std::string_view bytes) { buffer_.append(bytes.data(), bytes.size()); }
+
+  /// Tries to extract the next complete request.  On kReady the parsed
+  /// request is consumed from the buffer; call again to drain pipelined
+  /// requests.  Once kError is returned the parser stays in error.
+  [[nodiscard]] Status poll(HttpRequest& out);
+
+  /// Suggested HTTP status for the latched error (400/413/431/501).
+  [[nodiscard]] int error_status() const noexcept { return error_status_; }
+  [[nodiscard]] const std::string& error_reason() const noexcept { return error_reason_; }
+
+  /// True when a request is partially buffered (a drain should wait).
+  [[nodiscard]] bool mid_request() const noexcept { return !buffer_.empty(); }
+
+ private:
+  Status fail(int status, std::string reason);
+
+  Limits limits_;
+  std::string buffer_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace hetero::service

@@ -1,0 +1,123 @@
+#pragma once
+
+// Strict, dependency-free JSON for the planning service.
+//
+// The service speaks JSON-over-HTTP; this is the one JSON implementation it
+// uses on both sides (request parsing and response rendering).  Parsing is
+// strict RFC-8259 (no comments, no trailing commas, no NaN/Infinity) and
+// every syntax error carries a byte offset, so a malformed request can be
+// answered with a precise 400.  Rendering is deterministic: object members
+// serialize in key order, doubles render via "%.17g" (round-trips exactly
+// through strtod), and whole numbers within the 53-bit window drop the
+// fractional point — so a response body is a pure function of the response
+// value, which is what makes cached response bodies byte-stable.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace hetero::service {
+
+/// Parse failure: `what()` includes the byte offset of the offending input.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& what, std::size_t offset)
+      : std::runtime_error{what + " at byte " + std::to_string(offset)}, offset_{offset} {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// One JSON value.  Arrays and objects are held by shared_ptr so values copy
+/// cheaply through handler plumbing (the service treats parsed requests as
+/// immutable).
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json, std::less<>>;
+  using Storage = std::variant<std::nullptr_t, bool, double, std::string,
+                               std::shared_ptr<Array>, std::shared_ptr<Object>>;
+
+  Json() : storage_{nullptr} {}
+  Json(std::nullptr_t) : storage_{nullptr} {}                       // NOLINT(google-explicit-constructor)
+  Json(bool value) : storage_{value} {}                             // NOLINT(google-explicit-constructor)
+  Json(double value) : storage_{value} {}                           // NOLINT(google-explicit-constructor)
+  Json(int value) : storage_{static_cast<double>(value)} {}         // NOLINT(google-explicit-constructor)
+  Json(std::size_t value) : storage_{static_cast<double>(value)} {} // NOLINT(google-explicit-constructor)
+  Json(const char* value) : storage_{std::string{value}} {}         // NOLINT(google-explicit-constructor)
+  Json(std::string value) : storage_{std::move(value)} {}           // NOLINT(google-explicit-constructor)
+  Json(std::string_view value) : storage_{std::string{value}} {}    // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Json array() { return Json{Storage{std::make_shared<Array>()}}; }
+  [[nodiscard]] static Json array(Array elements) {
+    return Json{Storage{std::make_shared<Array>(std::move(elements))}};
+  }
+  [[nodiscard]] static Json object() { return Json{Storage{std::make_shared<Object>()}}; }
+
+  /// Parses exactly one JSON document (trailing bytes are an error).
+  /// Throws JsonError on malformed input.
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::nullptr_t>(storage_);
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return std::holds_alternative<bool>(storage_); }
+  [[nodiscard]] bool is_number() const noexcept {
+    return std::holds_alternative<double>(storage_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<std::string>(storage_);
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return std::holds_alternative<std::shared_ptr<Array>>(storage_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<std::shared_ptr<Object>>(storage_);
+  }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool boolean() const;
+  [[nodiscard]] double number() const;
+  [[nodiscard]] const std::string& string() const;
+  [[nodiscard]] const Array& items() const;
+  [[nodiscard]] const Object& members() const;
+
+  /// Mutable access for builders (array()/object() values only).
+  [[nodiscard]] Array& items();
+  [[nodiscard]] Object& members();
+
+  /// Object member lookup; throws std::runtime_error when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const noexcept;
+  /// Object member or nullopt-style: returns nullptr when absent.
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+
+  /// Member assignment on an object value.
+  Json& set(std::string_view key, Json value);
+  /// Element append on an array value.
+  Json& push_back(Json value);
+
+  /// Deterministic serialization (see header comment).
+  [[nodiscard]] std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// The serializer's number rendering, exposed so non-JSON surfaces (CSV,
+  /// logs) can match it: "%.17g", with "-0", "inf", and NaN normalized to
+  /// valid JSON ("null" never appears — non-finite doubles throw).
+  [[nodiscard]] static std::string number_to_string(double value);
+
+ private:
+  explicit Json(Storage storage) : storage_{std::move(storage)} {}
+
+  Storage storage_;
+};
+
+}  // namespace hetero::service

@@ -1,0 +1,110 @@
+#pragma once
+
+// Sharded LRU cache of rendered plan responses.
+//
+// Keys are canonicalized PlanKeys (see fingerprint.h); values are the
+// rendered JSON response bodies, shared_ptr-held so a hit can be served
+// while another thread evicts the entry.  Shards are selected by the top
+// bits of the fingerprint: requests for unrelated fleets land on different
+// mutexes, so the cache scales with the worker pool instead of serializing
+// it.  Each shard runs an independent LRU list — global LRU order is not
+// worth a global lock; per-shard recency is the standard approximation.
+//
+// Fingerprint collisions (distinct keys, same 64-bit hash): the stored key
+// is compared on every probe, a mismatch is a miss, and the subsequent
+// insert replaces the colliding entry.  Bit-determinism contract: a hit
+// returns the exact bytes the first computation rendered.
+//
+// Instrumentation (hetero::obs):
+//   service.cache.hits / misses / insertions / evictions / replacements
+// The same numbers are kept as plain atomics so tests and /v1 handlers can
+// read them even in -DHETERO_OBS_ENABLED=OFF builds.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hetero/service/fingerprint.h"
+
+namespace hetero::service {
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;     ///< capacity evictions (LRU tail)
+    std::uint64_t replacements = 0;  ///< same-fingerprint overwrites
+    std::uint64_t entries = 0;       ///< current live entries across shards
+  };
+
+  /// `capacity` is the total entry budget, split evenly across shards
+  /// (minimum one per shard).  `shards` is rounded up to a power of two.
+  explicit PlanCache(std::size_t capacity = 4096, std::size_t shards = 16);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Probes for `key` (fingerprint precomputed by the caller).  A hit
+  /// refreshes recency and returns the cached body; a miss returns nullptr.
+  [[nodiscard]] std::shared_ptr<const std::string> find(const PlanKey& key,
+                                                        std::uint64_t fingerprint);
+
+  /// Inserts (or replaces) the rendered body for `key`.  Returns the stored
+  /// pointer.  Evicts the shard's LRU tail when over budget.
+  std::shared_ptr<const std::string> insert(PlanKey key, std::uint64_t fingerprint,
+                                            std::string body);
+
+  /// Drops every entry (stats counters are preserved).
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t capacity_per_shard() const noexcept { return per_shard_; }
+
+ private:
+  struct Entry {
+    PlanKey key;
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const std::string> body;
+    // Intrusive LRU links: indices into the shard's entry pool.
+    std::size_t prev = kNil;
+    std::size_t next = kNil;
+  };
+  static constexpr std::size_t kNil = static_cast<std::size_t>(-1);
+
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::size_t> index;  ///< fingerprint -> pool slot
+    std::vector<Entry> pool;
+    std::vector<std::size_t> free_slots;
+    std::size_t lru_head = kNil;  ///< most recent
+    std::size_t lru_tail = kNil;  ///< least recent
+    void unlink(std::size_t slot);
+    void push_front(std::size_t slot);
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t fingerprint) noexcept {
+    // Top bits select the shard; low bits feed the shard's hash table, so
+    // the two uses stay decorrelated.
+    return *shards_[(fingerprint >> 48) & shard_mask_];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_ = 0;
+  std::size_t per_shard_ = 0;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> replacements_{0};
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+}  // namespace hetero::service

@@ -1,0 +1,80 @@
+#pragma once
+
+// The planning-query engine behind `heterod`.
+//
+// A Planner owns the sharded plan cache and maps parsed HTTP requests onto
+// the library's analytic kernels:
+//
+//   POST /v1/x         X(P) — single profile or a batch (core/batch.h)
+//   POST /v1/makespan  W(L;P) for a lifespan, or the CRP lifespan for a
+//                      work target (Theorem 2 and its inverse)
+//   POST /v1/hecr      homogeneous-equivalent computing rate (Prop. 1)
+//   POST /v1/allocate  FIFO allocations (closed form; "exact": true solves
+//                      the channel-feasible LP via a warm-started resolver)
+//   POST /v1/upgrade   Theorem-3/4 upgrade evaluation or the greedy
+//                      multi-round plan
+//   GET  /healthz /metrics /version
+//
+// Caching contract: responses to single-profile /v1/* queries are cached
+// under the canonicalized profile fingerprint (fingerprint.h); a hit
+// returns the exact bytes of the first computation (byte determinism), and
+// the X-Hetero-Cache response header says "hit" or "miss" without
+// perturbing the body.  Cold single-profile X values come from the PR-1
+// incremental XMeasure evaluator kept per worker thread — a query whose
+// profile differs from the thread's previous one in a few entries commits
+// the diff in O(diff * n) instead of rebuilding — and are therefore
+// bit-identical to core::x_measure_serial.  Batch queries ("profiles")
+// bypass the cache and use core::batch_evaluate (vectorized lane order),
+// matching core::x_measure instead; the two agree to a few ulp and are
+// never mixed in one cache.
+//
+// Thread safety: handle() may be called concurrently from any number of
+// worker threads.  The cache is internally sharded; the incremental
+// evaluator and LP resolver are thread-local.
+
+#include <cstddef>
+#include <string>
+
+#include "hetero/core/batch.h"
+#include "hetero/core/environment.h"
+#include "hetero/service/http.h"
+#include "hetero/service/plan_cache.h"
+
+namespace hetero::service {
+
+struct PlannerConfig {
+  /// Environment assumed when a request carries no "env" member.
+  core::Environment env = core::Environment::paper_default();
+  std::size_t cache_capacity = 4096;
+  std::size_t cache_shards = 16;
+  /// Fan-out hook for batch ("profiles") queries; empty = serial.  Must not
+  /// share the HTTP worker pool (a connection task blocking on subtasks
+  /// queued behind other connection tasks deadlocks a saturated pool).
+  core::BatchExecutor batch_executor;
+  std::size_t max_machines = 1 << 16;      ///< per-profile size cap
+  std::size_t max_batch_profiles = 4096;   ///< "profiles" array cap
+  std::size_t max_exact_machines = 12;     ///< exact-LP /v1/allocate cap
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerConfig config = PlannerConfig{});
+
+  /// Routes and answers one request.  Never throws: malformed requests map
+  /// to 4xx, library validation failures to 400, unexpected errors to 500.
+  [[nodiscard]] HttpResponse handle(const HttpRequest& request);
+
+  [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const PlannerConfig& config() const noexcept { return config_; }
+
+  /// "heterod/<version>"; also reported by GET /version.
+  [[nodiscard]] static std::string version_string();
+
+ private:
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
+
+  PlannerConfig config_;
+  PlanCache cache_;
+};
+
+}  // namespace hetero::service

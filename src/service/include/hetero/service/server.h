@@ -1,0 +1,86 @@
+#pragma once
+
+// The `heterod` HTTP server: a blocking accept loop fanning connections out
+// to a hetero::parallel worker pool.
+//
+// Concurrency model — one *connection* per pool task, not one request:
+// a worker owns the socket for the connection's whole lifetime, running
+// read → parse → Planner::handle → write with keep-alive and pipelining.
+// Planning queries are microseconds of CPU, so holding a worker per
+// connection is the right trade: no cross-thread handoff per request, and
+// the pool size bounds concurrent work exactly.
+//
+// Shutdown — request_stop() is async-signal-safe (it writes one byte to a
+// self-pipe), so `heterod` calls it straight from its SIGTERM/SIGINT
+// handler.  The accept loop wakes, stops accepting, closes the listener,
+// and raises the drain flag; connection loops poll with a short timeout,
+// notice the flag, finish the request in flight (answering with
+// "Connection: close"), and exit.  serve() returns once every connection
+// has drained, bounded by drain_grace_ms per connection.
+//
+// Instrumentation (hetero::obs):
+//   service.connections        accepted connections (counter)
+//   service.conn_active        currently open connections (gauge)
+//   service.bytes_in/bytes_out socket traffic (counters)
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "hetero/service/http.h"
+#include "hetero/service/planner.h"
+
+namespace hetero::service {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;      ///< 0 = ephemeral; read the choice via port()
+  std::size_t threads = 0;     ///< worker pool size; 0 = hardware concurrency
+  RequestParser::Limits limits;
+  int poll_interval_ms = 100;  ///< idle-connection poll (drain reaction time)
+  int drain_grace_ms = 5000;   ///< per-connection bound once draining
+  int listen_backlog = 128;
+};
+
+class Server {
+ public:
+  /// Stores the configuration; no sockets are opened until listen().
+  Server(Planner& planner, ServerConfig config = ServerConfig{});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens.  After this, port() reports the actual port (the
+  /// ephemeral choice when config.port == 0).  Throws std::runtime_error on
+  /// any socket failure.  Idempotent.
+  void listen();
+
+  /// Runs the accept loop until request_stop(), then drains and returns.
+  /// Calls listen() first if it has not run.  Blocking — callers wanting a
+  /// background server run serve() on their own thread.
+  void serve();
+
+  /// Initiates shutdown.  Async-signal-safe and idempotent; may be called
+  /// from any thread or from a signal handler.
+  void request_stop() noexcept;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void handle_connection(int fd);
+
+  Planner& planner_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace hetero::service

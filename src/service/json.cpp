@@ -1,0 +1,372 @@
+#include "hetero/service/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace hetero::service {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want) {
+  throw std::runtime_error(std::string{"json: value is not "} + want);
+}
+
+/// Recursive-descent parser over a string_view (same grammar family as the
+/// test-support mini_json, hardened for untrusted network input: depth
+/// limited, full \uXXXX escapes, strict top-level).
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  [[nodiscard]] Json parse() {
+    const Json value = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const { throw JsonError{what, pos_}; }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  [[nodiscard]] Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_whitespace();
+    const char c = peek();
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return Json{parse_string()};
+    if (try_consume("true")) return Json{true};
+    if (try_consume("false")) return Json{false};
+    if (try_consume("null")) return Json{nullptr};
+    return parse_number();
+  }
+
+  [[nodiscard]] Json parse_object(int depth) {
+    expect('{');
+    Json value = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected a string key");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      value.members()[std::move(key)] = parse_value(depth + 1);
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  [[nodiscard]] Json parse_array(int depth) {
+    expect('[');
+    Json value = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      value.items().push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_codepoint(out); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return code;
+  }
+
+  void append_codepoint(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xd800 && code <= 0xdbff) {  // high surrogate: need the pair
+      if (!try_consume("\\u")) fail("unpaired surrogate");
+      const unsigned low = parse_hex4();
+      if (low < 0xdc00 || low > 0xdfff) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+    } else if (code >= 0xdc00 && code <= 0xdfff) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xc0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xe0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      out += static_cast<char>(0xf0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  [[nodiscard]] Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    auto digits = [this] {
+      std::size_t count = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        ++count;
+      }
+      return count;
+    };
+    if (digits() == 0) fail("expected digits");
+    // Leading zeros are invalid JSON ("01"); "0" and "0.5" are fine.
+    const std::size_t int_start = text_[start] == '-' ? start + 1 : start;
+    if (text_[int_start] == '0' && pos_ > int_start + 1 &&
+        std::isdigit(static_cast<unsigned char>(text_[int_start + 1]))) {
+      pos_ = int_start;
+      fail("leading zero");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail("expected fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail("expected exponent digits");
+    }
+    const std::string token{text_.substr(start, pos_ - start)};
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(value)) fail("number out of range");
+    return Json{value};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser{text}.parse(); }
+
+bool Json::boolean() const {
+  if (!is_bool()) type_error("a boolean");
+  return std::get<bool>(storage_);
+}
+
+double Json::number() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(storage_);
+}
+
+const std::string& Json::string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(storage_);
+}
+
+const Json::Array& Json::items() const {
+  if (!is_array()) type_error("an array");
+  return *std::get<std::shared_ptr<Array>>(storage_);
+}
+
+const Json::Object& Json::members() const {
+  if (!is_object()) type_error("an object");
+  return *std::get<std::shared_ptr<Object>>(storage_);
+}
+
+Json::Array& Json::items() {
+  if (!is_array()) type_error("an array");
+  return *std::get<std::shared_ptr<Array>>(storage_);
+}
+
+Json::Object& Json::members() {
+  if (!is_object()) type_error("an object");
+  return *std::get<std::shared_ptr<Object>>(storage_);
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr) {
+    throw std::runtime_error("json: missing member \"" + std::string{key} + "\"");
+  }
+  return *found;
+}
+
+bool Json::contains(std::string_view key) const noexcept { return find(key) != nullptr; }
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  const Object& object = *std::get<std::shared_ptr<Object>>(storage_);
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  members()[std::string{key}] = std::move(value);
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  items().push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::number_to_string(double value) {
+  if (!std::isfinite(value)) {
+    throw std::runtime_error("json: cannot serialize a non-finite number");
+  }
+  if (value == 0.0) return "0";  // also normalizes -0
+  // Whole numbers inside the exactly-representable window print as
+  // integers; everything else uses %.17g (exact strtod round-trip).
+  const double rounded = std::nearbyint(value);
+  if (rounded == value && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void Json::dump_to(std::string& out) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(storage_) ? "true" : "false";
+  } else if (is_number()) {
+    out += number_to_string(std::get<double>(storage_));
+  } else if (is_string()) {
+    dump_string(std::get<std::string>(storage_), out);
+  } else if (is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Json& element : *std::get<std::shared_ptr<Array>>(storage_)) {
+      if (!first) out += ',';
+      first = false;
+      element.dump_to(out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, element] : *std::get<std::shared_ptr<Object>>(storage_)) {
+      if (!first) out += ',';
+      first = false;
+      dump_string(key, out);
+      out += ':';
+      element.dump_to(out);
+    }
+    out += '}';
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+}  // namespace hetero::service

@@ -1,0 +1,142 @@
+#include "hetero/service/plan_cache.h"
+
+#include <bit>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::service {
+
+namespace {
+
+struct CacheCounters {
+  obs::Counter& hits = obs::counter("service.cache.hits");
+  obs::Counter& misses = obs::counter("service.cache.misses");
+  obs::Counter& insertions = obs::counter("service.cache.insertions");
+  obs::Counter& evictions = obs::counter("service.cache.evictions");
+  obs::Counter& replacements = obs::counter("service.cache.replacements");
+};
+
+CacheCounters& counters() {
+  static CacheCounters instance;
+  return instance;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  const std::size_t rounded = std::bit_ceil(shards);
+  shard_mask_ = rounded - 1;
+  per_shard_ = capacity / rounded;
+  if (per_shard_ == 0) per_shard_ = 1;
+  shards_.reserve(rounded);
+  for (std::size_t i = 0; i < rounded; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+void PlanCache::Shard::unlink(std::size_t slot) {
+  Entry& entry = pool[slot];
+  if (entry.prev != kNil) pool[entry.prev].next = entry.next;
+  else lru_head = entry.next;
+  if (entry.next != kNil) pool[entry.next].prev = entry.prev;
+  else lru_tail = entry.prev;
+  entry.prev = entry.next = kNil;
+}
+
+void PlanCache::Shard::push_front(std::size_t slot) {
+  Entry& entry = pool[slot];
+  entry.prev = kNil;
+  entry.next = lru_head;
+  if (lru_head != kNil) pool[lru_head].prev = slot;
+  lru_head = slot;
+  if (lru_tail == kNil) lru_tail = slot;
+}
+
+std::shared_ptr<const std::string> PlanCache::find(const PlanKey& key,
+                                                   std::uint64_t fingerprint) {
+  Shard& shard = shard_for(fingerprint);
+  std::lock_guard lock{shard.mutex};
+  const auto it = shard.index.find(fingerprint);
+  if (it == shard.index.end() || !(shard.pool[it->second].key == key)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    counters().misses.add(1);
+    return nullptr;
+  }
+  const std::size_t slot = it->second;
+  shard.unlink(slot);
+  shard.push_front(slot);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  counters().hits.add(1);
+  return shard.pool[slot].body;
+}
+
+std::shared_ptr<const std::string> PlanCache::insert(PlanKey key, std::uint64_t fingerprint,
+                                                     std::string body) {
+  auto shared = std::make_shared<const std::string>(std::move(body));
+  Shard& shard = shard_for(fingerprint);
+  std::lock_guard lock{shard.mutex};
+
+  if (const auto it = shard.index.find(fingerprint); it != shard.index.end()) {
+    // Same fingerprint: refresh (idempotent re-insert) or replace (true
+    // 64-bit collision — the newer plan wins; the loser recomputes).
+    Entry& entry = shard.pool[it->second];
+    entry.key = std::move(key);
+    entry.body = shared;
+    shard.unlink(it->second);
+    shard.push_front(it->second);
+    replacements_.fetch_add(1, std::memory_order_relaxed);
+    counters().replacements.add(1);
+    return shared;
+  }
+
+  std::size_t slot;
+  if (shard.index.size() >= per_shard_) {
+    // Reuse the LRU tail's slot.
+    slot = shard.lru_tail;
+    shard.unlink(slot);
+    shard.index.erase(shard.pool[slot].fingerprint);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    counters().evictions.add(1);
+  } else if (!shard.free_slots.empty()) {
+    slot = shard.free_slots.back();
+    shard.free_slots.pop_back();
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot = shard.pool.size();
+    shard.pool.emplace_back();
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Entry& entry = shard.pool[slot];
+  entry.key = std::move(key);
+  entry.fingerprint = fingerprint;
+  entry.body = std::move(shared);
+  shard.index.emplace(fingerprint, slot);
+  shard.push_front(slot);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  counters().insertions.add(1);
+  return entry.body;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock{shard->mutex};
+    entries_.fetch_sub(shard->index.size(), std::memory_order_relaxed);
+    shard->index.clear();
+    shard->pool.clear();
+    shard->free_slots.clear();
+    shard->lru_head = shard->lru_tail = kNil;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.replacements = replacements_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace hetero::service

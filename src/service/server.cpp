@@ -1,0 +1,236 @@
+#include "hetero/service/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+#include <thread>
+#include <vector>
+
+#include "hetero/obs/metrics.h"
+#include "hetero/parallel/thread_pool.h"
+
+namespace hetero::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string{what} + ": " + std::strerror(errno));
+}
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes the whole buffer, retrying on EINTR and waiting out EAGAIN with
+/// poll (sockets are left blocking, so EAGAIN only appears with SO_SNDTIMEO;
+/// handling it anyway keeps the loop robust).  Returns false on a dead peer.
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t sent = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (sent > 0) {
+      bytes.remove_prefix(static_cast<std::size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd waiter{fd, POLLOUT, 0};
+      if (::poll(&waiter, 1, 1000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Planner& planner, ServerConfig config)
+    : planner_{planner}, config_{std::move(config)} {}
+
+Server::~Server() {
+  close_fd(listen_fd_);
+  close_fd(wake_read_fd_);
+  close_fd(wake_write_fd_);
+}
+
+void Server::listen() {
+  if (listen_fd_ >= 0) return;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) throw_errno("pipe");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  ::fcntl(wake_read_fd_, F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_write_fd_, F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_read_fd_, F_SETFD, FD_CLOEXEC);
+  ::fcntl(wake_write_fd_, F_SETFD, FD_CLOEXEC);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  listen_fd_ = fd;
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("invalid bind address: " + config_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, config_.listen_backlog) != 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    throw_errno("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+}
+
+void Server::request_stop() noexcept {
+  // Only async-signal-safe calls here: heterod invokes this from its
+  // SIGTERM handler.  The pipe is nonblocking, so a full pipe (already
+  // signalled) is fine — any byte in it wakes the accept loop.
+  if (wake_write_fd_ >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void Server::serve() {
+  listen();
+
+  {
+    // Pool scope: destruction drains every in-flight connection task, so
+    // serve() returning implies all connections have closed.  A worker owns
+    // its connection for the connection's lifetime, so the pool must be
+    // sized for concurrent *connections*, not cores — the default floor of
+    // 8 keeps small hosts from starving keep-alive clients.
+    std::size_t threads = config_.threads;
+    if (threads == 0) {
+      threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 8);
+    }
+    parallel::ThreadPool workers{threads, parallel::ShutdownMode::kDrain};
+
+    [[maybe_unused]] static obs::Counter& accepted = obs::counter("service.connections");
+    for (;;) {
+      pollfd waiters[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+      const int ready = ::poll(waiters, 2, -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if ((waiters[1].revents & POLLIN) != 0) break;  // request_stop()
+      if ((waiters[0].revents & POLLIN) == 0) continue;
+
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE) continue;
+        break;
+      }
+      accepted.add(1);
+      try {
+        workers.submit([this, conn] { handle_connection(conn); });
+      } catch (...) {
+        ::close(conn);
+        throw;
+      }
+    }
+
+    // Stop accepting, tell connection loops to finish, and let the pool
+    // destructor drain them.
+    draining_.store(true, std::memory_order_release);
+    close_fd(listen_fd_);
+  }
+
+  close_fd(wake_read_fd_);
+  close_fd(wake_write_fd_);
+}
+
+void Server::handle_connection(int fd) {
+  [[maybe_unused]] static obs::Gauge& active = obs::gauge("service.conn_active");
+  [[maybe_unused]] static obs::Counter& bytes_in = obs::counter("service.bytes_in");
+  [[maybe_unused]] static obs::Counter& bytes_out = obs::counter("service.bytes_out");
+  active.add(1.0);
+
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point drain_deadline{};
+  bool drain_seen = false;
+
+  RequestParser parser{config_.limits};
+  std::vector<char> chunk(16 * 1024);
+  for (;;) {
+    // Answer everything already buffered (pipelined requests) first.
+    HttpRequest request;
+    RequestParser::Status status = parser.poll(request);
+    if (status == RequestParser::Status::kError) {
+      const HttpResponse response = HttpResponse::error(parser.error_status(),
+                                                        parser.error_reason());
+      const std::string wire = response.serialize(/*keep_alive=*/false);
+      if (write_all(fd, wire)) bytes_out.add(wire.size());
+      break;
+    }
+    if (status == RequestParser::Status::kReady) {
+      const bool draining_now = draining_.load(std::memory_order_acquire);
+      const bool keep = request.keep_alive() && !draining_now;
+      const HttpResponse response = planner_.handle(request);
+      const std::string wire = response.serialize(keep);
+      if (!write_all(fd, wire)) break;
+      bytes_out.add(wire.size());
+      if (!keep) break;
+      continue;  // drain any further pipelined requests before reading
+    }
+
+    // kNeedMore: wait for bytes, with a short timeout so drains are noticed.
+    if (draining_.load(std::memory_order_acquire)) {
+      if (!drain_seen) {
+        drain_seen = true;
+        drain_deadline = Clock::now() + std::chrono::milliseconds(config_.drain_grace_ms);
+      }
+      // Idle keep-alive connection (no request in flight): close immediately.
+      if (!parser.mid_request()) break;
+      if (Clock::now() >= drain_deadline) break;
+    }
+    pollfd waiter{fd, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, config_.poll_interval_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // timeout: loop re-checks the drain flag
+    const ssize_t got = ::read(fd, chunk.data(), chunk.size());
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (got == 0) break;  // peer closed
+    bytes_in.add(static_cast<std::uint64_t>(got));
+    parser.feed(std::string_view{chunk.data(), static_cast<std::size_t>(got)});
+  }
+
+  ::close(fd);
+  active.add(-1.0);
+}
+
+}  // namespace hetero::service

@@ -57,6 +57,9 @@ expect_usage_error(faults "<1, 1/2>")
 expect_usage_error(protocols "<1, 1/2>")
 expect_usage_error(resume)
 expect_usage_error(report)
+expect_usage_error(serve)
+expect_usage_error(query)
+expect_usage_error(query 127.0.0.1:8080)
 
 # Malformed values: unparsable profiles and numbers.
 expect_usage_error(power "<1, oops>")
@@ -71,6 +74,19 @@ expect_usage_error(faults "<1, 1/2>" 100 notaseed)
 expect_usage_error(protocols "<1, oops>" 100)
 expect_usage_error(protocols "<1, 1/2>" notanumber)
 expect_usage_error(protocols "<1, 1/2>" 100 notaseed)
+
+# Service subcommands: malformed ports, endpoints, and targets.
+expect_usage_error(serve notaport)
+expect_usage_error(serve 99999)
+expect_usage_error(serve 0 -3)
+expect_usage_error(query notahostport /healthz)
+expect_usage_error(query 127.0.0.1:notaport /healthz)
+expect_usage_error(query 127.0.0.1:99999 /healthz)
+expect_usage_error(query 127.0.0.1:8080 healthz)
+
+# Well-formed query against a port nothing listens on: a runtime (transport)
+# failure, reported without the usage reminder.
+expect_runtime_error(query 127.0.0.1:1 /healthz)
 
 # Well-formed arguments that fail at runtime: a lifespan of zero makes the
 # protocol grid degenerate (caught by the sweep's validation, not the CLI).

@@ -1,0 +1,91 @@
+// Plan-key canonicalization and fingerprinting: permutations of a profile
+// MUST collide (X is permutation-invariant, Theorem 1), while scaled
+// profiles, different environments, different endpoints, and different
+// scalar parameters MUST NOT.
+
+#include "hetero/service/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hetero/core/environment.h"
+
+namespace hetero::service {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+PlanKey key_of(std::vector<double> speeds, QueryKind kind = QueryKind::kX,
+               double param0 = 0.0, double param1 = 0.0, std::uint32_t flags = 0,
+               const core::Environment& env = kEnv) {
+  return make_plan_key(kind, speeds, env, param0, param1, flags);
+}
+
+TEST(Fingerprint, PermutedProfilesCollideExactly) {
+  const PlanKey sorted = key_of({8.0, 4.0, 2.0, 1.0});
+  const std::vector<std::vector<double>> permutations = {
+      {1.0, 2.0, 4.0, 8.0}, {4.0, 8.0, 1.0, 2.0}, {2.0, 1.0, 8.0, 4.0}};
+  for (const auto& permuted : permutations) {
+    const PlanKey key = key_of(permuted);
+    EXPECT_TRUE(key == sorted);
+    EXPECT_EQ(fingerprint(key), fingerprint(sorted));
+  }
+}
+
+TEST(Fingerprint, ScaledProfilesDoNotCollide) {
+  // X is not scale-invariant, so {1,2,4} and {2,4,8} are different plans.
+  const PlanKey base = key_of({1.0, 2.0, 4.0});
+  const PlanKey scaled = key_of({2.0, 4.0, 8.0});
+  EXPECT_FALSE(base == scaled);
+  EXPECT_NE(fingerprint(base), fingerprint(scaled));
+}
+
+TEST(Fingerprint, DistinctSizesDoNotCollide) {
+  EXPECT_NE(fingerprint(key_of({1.0, 2.0})), fingerprint(key_of({1.0, 2.0, 2.0})));
+}
+
+TEST(Fingerprint, EndpointKindSeparatesPlans) {
+  const std::vector<double> speeds{1.0, 2.0};
+  EXPECT_NE(fingerprint(key_of(speeds, QueryKind::kX)),
+            fingerprint(key_of(speeds, QueryKind::kHecr)));
+  EXPECT_NE(fingerprint(key_of(speeds, QueryKind::kMakespan, 100.0)),
+            fingerprint(key_of(speeds, QueryKind::kAllocate, 100.0)));
+}
+
+TEST(Fingerprint, ScalarsAndFlagsSeparatePlans) {
+  const std::vector<double> speeds{1.0, 2.0};
+  EXPECT_NE(fingerprint(key_of(speeds, QueryKind::kAllocate, 100.0)),
+            fingerprint(key_of(speeds, QueryKind::kAllocate, 200.0)));
+  EXPECT_NE(fingerprint(key_of(speeds, QueryKind::kAllocate, 100.0, 0.0, 0)),
+            fingerprint(key_of(speeds, QueryKind::kAllocate, 100.0, 0.0, 1)));
+  EXPECT_NE(fingerprint(key_of(speeds, QueryKind::kUpgrade, 0.5, 0.0)),
+            fingerprint(key_of(speeds, QueryKind::kUpgrade, 0.5, 3.0)));
+}
+
+TEST(Fingerprint, EnvironmentSeparatesPlans) {
+  core::Environment::Params params;
+  params.tau = 2e-6;  // different from the paper default
+  const core::Environment other{params};
+  const std::vector<double> speeds{1.0, 2.0};
+  EXPECT_NE(fingerprint(key_of(speeds)),
+            fingerprint(key_of(speeds, QueryKind::kX, 0.0, 0.0, 0, other)));
+}
+
+TEST(Fingerprint, StableAcrossCalls) {
+  // The fingerprint is a pure function of the key (fixed seed): the same
+  // key always maps to the same 64-bit value, which is what lets tests and
+  // the loadtest reason about cross-process cache behaviour.
+  const PlanKey key = key_of({3.0, 1.0, 2.0}, QueryKind::kAllocate, 50.0, 0.0, 1);
+  const std::uint64_t first = fingerprint(key);
+  EXPECT_EQ(fingerprint(key), first);
+  EXPECT_EQ(fingerprint(key_of({1.0, 2.0, 3.0}, QueryKind::kAllocate, 50.0, 0.0, 1)), first);
+}
+
+TEST(CanonicalSpeeds, SortsNonincreasing) {
+  const std::vector<double> canonical = canonical_speeds(std::vector<double>{1.0, 4.0, 2.0});
+  EXPECT_EQ(canonical, (std::vector<double>{4.0, 2.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace hetero::service

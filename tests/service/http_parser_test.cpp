@@ -1,0 +1,214 @@
+// The incremental HTTP/1.1 request parser: torn reads at every split point,
+// pipelining, Content-Length framing (including 0-byte bodies), the limit
+// errors (413/431), malformed-request 400s, and keep-alive semantics.
+
+#include "hetero/service/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hetero::service {
+namespace {
+
+constexpr const char* kSimplePost =
+    "POST /v1/x HTTP/1.1\r\n"
+    "Host: localhost\r\n"
+    "Content-Type: application/json\r\n"
+    "Content-Length: 18\r\n"
+    "\r\n"
+    R"({"profile": [1.0]})";
+
+TEST(RequestParser, ParsesACompleteRequest) {
+  RequestParser parser;
+  parser.feed(kSimplePost);
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.target, "/v1/x");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.body, R"({"profile": [1.0]})");
+  EXPECT_EQ(request.header("content-type"), "application/json");  // case-insensitive
+  EXPECT_EQ(request.header("HOST"), "localhost");
+  EXPECT_EQ(request.header("absent"), "");
+  EXPECT_TRUE(request.keep_alive());
+  EXPECT_FALSE(parser.mid_request());
+  // Nothing further buffered.
+  EXPECT_EQ(parser.poll(request), RequestParser::Status::kNeedMore);
+}
+
+TEST(RequestParser, EverySplitPointYieldsTheSameRequest) {
+  // Torn reads: the request split at every byte boundary — including inside
+  // the request line, mid-header-name, inside "\r\n\r\n", and mid-body —
+  // must produce an identical parse.
+  const std::string wire = kSimplePost;
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    RequestParser parser;
+    HttpRequest request;
+    parser.feed(std::string_view{wire}.substr(0, split));
+    const RequestParser::Status first = parser.poll(request);
+    if (split < wire.size()) {
+      ASSERT_EQ(first, RequestParser::Status::kNeedMore) << "split at " << split;
+      EXPECT_EQ(parser.mid_request(), split > 0) << "split at " << split;
+      parser.feed(std::string_view{wire}.substr(split));
+      ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady) << "split at " << split;
+    } else {
+      ASSERT_EQ(first, RequestParser::Status::kReady);
+    }
+    EXPECT_EQ(request.target, "/v1/x");
+    EXPECT_EQ(request.body, R"({"profile": [1.0]})");
+  }
+}
+
+TEST(RequestParser, PipelinedRequestsDrainInOrder) {
+  const std::string get =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  RequestParser parser;
+  parser.feed(get + kSimplePost + get);
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.body, "");
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, R"({"profile": [1.0]})");
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady);
+  EXPECT_EQ(request.target, "/healthz");
+  EXPECT_EQ(parser.poll(request), RequestParser::Status::kNeedMore);
+}
+
+TEST(RequestParser, ZeroByteBody) {
+  RequestParser parser;
+  parser.feed("POST /v1/x HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady);
+  EXPECT_EQ(request.body, "");
+}
+
+TEST(RequestParser, MissingContentLengthMeansNoBody) {
+  RequestParser parser;
+  parser.feed("GET /metrics HTTP/1.1\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady);
+  EXPECT_EQ(request.body, "");
+}
+
+TEST(RequestParser, TornContentLengthWaitsForTheFullBody) {
+  RequestParser parser;
+  parser.feed("POST /v1/x HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345");
+  HttpRequest request;
+  // Header complete, body torn: must wait, not deliver a truncated body.
+  EXPECT_EQ(parser.poll(request), RequestParser::Status::kNeedMore);
+  EXPECT_TRUE(parser.mid_request());
+  parser.feed("67890");
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kReady);
+  EXPECT_EQ(request.body, "1234567890");
+}
+
+TEST(RequestParser, MalformedContentLengthIs400) {
+  for (const char* bad : {"Content-Length: ten\r\n", "Content-Length: -5\r\n",
+                          "Content-Length: 1e3\r\n", "Content-Length:\r\n"}) {
+    RequestParser parser;
+    parser.feed(std::string{"POST /v1/x HTTP/1.1\r\n"} + bad + "\r\n");
+    HttpRequest request;
+    ASSERT_EQ(parser.poll(request), RequestParser::Status::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParser, OversizedBodyIs413) {
+  RequestParser::Limits limits;
+  limits.max_body_bytes = 16;
+  RequestParser parser{limits};
+  parser.feed("POST /v1/x HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+  // The error latches: further polls keep reporting it.
+  EXPECT_EQ(parser.poll(request), RequestParser::Status::kError);
+}
+
+TEST(RequestParser, OversizedHeadersAre431) {
+  RequestParser::Limits limits;
+  limits.max_header_bytes = 64;
+  RequestParser parser{limits};
+  parser.feed("GET /healthz HTTP/1.1\r\nX-Padding: " + std::string(100, 'a'));
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParser, MalformedRequestLineIs400) {
+  for (const char* bad :
+       {"GARBAGE\r\n\r\n", "GET\r\n\r\n", "GET /x\r\n\r\n", "GET /x HTTP/2.0\r\n\r\n",
+        "GET /x SPDY/1\r\n\r\n", " GET /x HTTP/1.1\r\n\r\n"}) {
+    RequestParser parser;
+    parser.feed(bad);
+    HttpRequest request;
+    ASSERT_EQ(parser.poll(request), RequestParser::Status::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParser, MalformedHeaderLineIs400) {
+  for (const char* bad : {"NoColonHere\r\n", "Bad Header : x\r\n"}) {
+    RequestParser parser;
+    parser.feed(std::string{"GET /x HTTP/1.1\r\n"} + bad + "\r\n");
+    HttpRequest request;
+    ASSERT_EQ(parser.poll(request), RequestParser::Status::kError) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(RequestParser, ChunkedTransferIs501) {
+  RequestParser parser;
+  parser.feed("POST /v1/x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  HttpRequest request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Status::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpRequest, KeepAliveSemantics) {
+  const auto parse_one = [](const std::string& wire) {
+    RequestParser parser;
+    parser.feed(wire);
+    HttpRequest request;
+    EXPECT_EQ(parser.poll(request), RequestParser::Status::kReady);
+    return request;
+  };
+  // HTTP/1.1: keep-alive unless closed.
+  EXPECT_TRUE(parse_one("GET / HTTP/1.1\r\n\r\n").keep_alive());
+  EXPECT_FALSE(parse_one("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive());
+  EXPECT_FALSE(parse_one("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").keep_alive());
+  // HTTP/1.0: close unless kept alive.
+  EXPECT_FALSE(parse_one("GET / HTTP/1.0\r\n\r\n").keep_alive());
+  EXPECT_TRUE(parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive());
+  // Connection is a comma-separated list.
+  EXPECT_FALSE(parse_one("GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n").keep_alive());
+}
+
+TEST(HttpResponse, SerializeFramesTheBody) {
+  HttpResponse response = HttpResponse::json(200, R"({"x":1})");
+  const std::string wire = response.serialize(/*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 7), R"({"x":1})");
+
+  response.headers.emplace_back("X-Hetero-Cache", "hit");
+  const std::string closed = response.serialize(/*keep_alive=*/false);
+  EXPECT_NE(closed.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(closed.find("X-Hetero-Cache: hit\r\n"), std::string::npos);
+}
+
+TEST(HttpResponse, ErrorBodiesAreJson) {
+  const HttpResponse response = HttpResponse::error(404, "unknown route /nope");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("unknown route"), std::string::npos);
+  EXPECT_NE(response.serialize(false).find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetero::service

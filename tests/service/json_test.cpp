@@ -1,0 +1,148 @@
+// The service JSON layer: strict parsing with byte offsets, deterministic
+// serialization (the plan cache's byte-stability rests on it), and the
+// number grammar.
+
+#include "hetero/service/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace hetero::service {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").boolean(), true);
+  EXPECT_EQ(Json::parse("false").boolean(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5").number(), -0.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").number(), 0.025);
+  EXPECT_EQ(Json::parse("\"hi\"").string(), "hi");
+}
+
+TEST(JsonParse, Structures) {
+  const Json value = Json::parse(R"({"a": [1, 2, 3], "b": {"c": "x"}, "d": null})");
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.at("a").items().size(), 3u);
+  EXPECT_DOUBLE_EQ(value.at("a").items()[1].number(), 2.0);
+  EXPECT_EQ(value.at("b").at("c").string(), "x");
+  EXPECT_TRUE(value.at("d").is_null());
+  EXPECT_TRUE(value.contains("a"));
+  EXPECT_FALSE(value.contains("zz"));
+  EXPECT_EQ(value.find("zz"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\nb\t\"\\/")").string(), "a\nb\t\"\\/");
+  EXPECT_EQ(Json::parse(R"("\u0041")").string(), "A");
+  EXPECT_EQ(Json::parse(R"("\u00e9")").string(), "\xc3\xa9");          // é
+  EXPECT_EQ(Json::parse(R"("\u4e16")").string(), "\xe4\xb8\x96");      // 世
+  EXPECT_EQ(Json::parse(R"("\ud83d\ude00")").string(),                 // 😀 (surrogate pair)
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1, 2",       // unterminated array
+      "[1, 2,]",     // trailing comma
+      "{\"a\" 1}",   // missing colon
+      "{'a': 1}",    // single quotes
+      "{a: 1}",      // unquoted key
+      "01",          // leading zero
+      "1.",          // bare decimal point
+      ".5",          // leading decimal point
+      "+1",          // explicit plus
+      "1e",          // dangling exponent
+      "NaN",         // non-finite
+      "Infinity",    // non-finite
+      "\"\\x41\"",   // bad escape
+      "\"\\ud83d\"", // lone high surrogate
+      "nul",         // truncated literal
+      "[1] 2",       // trailing bytes
+      "\"ab",        // unterminated string
+      "\"a\tb\"",    // raw control char in string
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(static_cast<void>(Json::parse(text)), JsonError) << "input: " << text;
+  }
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+  try {
+    static_cast<void>(Json::parse(R"({"a": 1, "b": })"));
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& error) {
+    EXPECT_EQ(error.offset(), 14u);
+    EXPECT_NE(std::string{error.what()}.find("byte 14"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, DepthLimitIsEnforced) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW(static_cast<void>(Json::parse(deep)), JsonError);
+  // 32 levels is comfortably inside the limit.
+  std::string ok;
+  for (int i = 0; i < 32; ++i) ok += '[';
+  for (int i = 0; i < 32; ++i) ok += ']';
+  EXPECT_NO_THROW(static_cast<void>(Json::parse(ok)));
+}
+
+TEST(JsonDump, DeterministicKeyOrderAndRoundTrip) {
+  Json value = Json::object();
+  value.set("zebra", Json{1});
+  value.set("alpha", Json{2});
+  value.set("mid", Json::array());
+  // Members serialize in sorted key order regardless of insertion order.
+  EXPECT_EQ(value.dump(), R"({"alpha":2,"mid":[],"zebra":1})");
+  // Parse → dump → parse is a fixed point.
+  const std::string text = value.dump();
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(JsonDump, NumberRendering) {
+  EXPECT_EQ(Json::number_to_string(0.0), "0");
+  EXPECT_EQ(Json::number_to_string(-0.0), "0");
+  EXPECT_EQ(Json::number_to_string(3.0), "3");
+  EXPECT_EQ(Json::number_to_string(-17.0), "-17");
+  EXPECT_EQ(Json::number_to_string(9007199254740992.0), "9007199254740992");  // 2^53
+  EXPECT_EQ(Json::number_to_string(0.5), "0.5");
+  // %.17g round-trips every double exactly.  (strtod, not stod: stod throws
+  // out_of_range on the subnormal because glibc flags it with ERANGE.)
+  const double pi = 3.14159265358979312;
+  EXPECT_EQ(std::strtod(Json::number_to_string(pi).c_str(), nullptr), pi);
+  const double tiny = 5e-324;
+  EXPECT_EQ(std::strtod(Json::number_to_string(tiny).c_str(), nullptr), tiny);
+}
+
+TEST(JsonDump, NonFiniteNumbersThrow) {
+  EXPECT_THROW(static_cast<void>(Json{std::numeric_limits<double>::infinity()}.dump()),
+               std::exception);
+  EXPECT_THROW(static_cast<void>(Json{std::nan("")}.dump()), std::exception);
+}
+
+TEST(JsonDump, StringEscaping) {
+  EXPECT_EQ(Json{"a\"b\\c\nd\te\x01"}.dump(), R"("a\"b\\c\nd\te\u0001")");
+  // Escaped output re-parses to the original bytes.
+  const std::string original = std::string{"nul\0byte", 8} + "\x1f high \xc3\xa9";
+  EXPECT_EQ(Json::parse(Json{original}.dump()).string(), original);
+}
+
+TEST(JsonAccessors, TypeMismatchesThrow) {
+  const Json value = Json::parse("[1]");
+  EXPECT_THROW(static_cast<void>(value.number()), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(value.members()), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(value.at("k")), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(Json{1.0}.items()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hetero::service

@@ -1,0 +1,262 @@
+// The Planner's endpoint contract, exercised in-process (no sockets):
+// correct answers against the library ground truth, the caching contract
+// (hit/miss headers, byte-stable bodies, permutation collapse), and the 4xx
+// error surface.
+
+#include "hetero/service/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hetero/core/batch.h"
+#include "hetero/core/environment.h"
+#include "hetero/core/power.h"
+#include "hetero/core/profile.h"
+#include "hetero/core/speedup.h"
+#include "hetero/service/json.h"
+
+namespace hetero::service {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+HttpRequest post(std::string target, std::string body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = std::move(target);
+  request.version = "HTTP/1.1";
+  request.body = std::move(body);
+  return request;
+}
+
+HttpRequest get(std::string target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = std::move(target);
+  request.version = "HTTP/1.1";
+  return request;
+}
+
+std::string_view cache_header(const HttpResponse& response) {
+  for (const auto& [key, value] : response.headers) {
+    if (key == "X-Hetero-Cache") return value;
+  }
+  return {};
+}
+
+TEST(Planner, HealthVersionAndMetrics) {
+  Planner planner;
+  EXPECT_EQ(planner.handle(get("/healthz")).status, 200);
+  EXPECT_EQ(planner.handle(get("/healthz")).body, "ok\n");
+
+  const HttpResponse version = planner.handle(get("/version"));
+  EXPECT_EQ(version.status, 200);
+  const Json parsed = Json::parse(version.body);
+  EXPECT_EQ(parsed.at("api").string(), "v1");
+  EXPECT_NE(parsed.at("server").string().find("heterod/"), std::string::npos);
+
+  const HttpResponse metrics = planner.handle(get("/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; charset=utf-8");
+}
+
+TEST(Planner, XMatchesTheSerialReferenceBitForBit) {
+  Planner planner;
+  // n < 8: x_measure (vectorized) and x_measure_serial are bit-identical,
+  // so the service's incremental-evaluator answer must equal both.
+  const std::vector<double> speeds{8.0, 4.0, 2.0, 1.0};
+  const HttpResponse response = planner.handle(post("/v1/x", R"({"profile": [8, 4, 2, 1]})"));
+  ASSERT_EQ(response.status, 200);
+  const double x = Json::parse(response.body).at("x").number();
+  EXPECT_EQ(x, core::x_measure_serial(speeds, kEnv));
+  EXPECT_EQ(x, core::x_measure(speeds, kEnv));
+}
+
+TEST(Planner, RepeatAndPermutedQueriesHitTheCache) {
+  Planner planner;
+  const HttpResponse cold = planner.handle(post("/v1/x", R"({"profile": [1, 2, 4]})"));
+  ASSERT_EQ(cold.status, 200);
+  EXPECT_EQ(cache_header(cold), "miss");
+
+  const HttpResponse warm = planner.handle(post("/v1/x", R"({"profile": [1, 2, 4]})"));
+  EXPECT_EQ(cache_header(warm), "hit");
+  EXPECT_EQ(warm.body, cold.body);  // byte-stable
+
+  // A permutation of the profile is the same plan (Theorem 1).
+  const HttpResponse permuted = planner.handle(post("/v1/x", R"({"profile": [4, 1, 2]})"));
+  EXPECT_EQ(cache_header(permuted), "hit");
+  EXPECT_EQ(permuted.body, cold.body);
+
+  // A scaled profile is NOT the same plan.
+  const HttpResponse scaled = planner.handle(post("/v1/x", R"({"profile": [2, 4, 8]})"));
+  EXPECT_EQ(cache_header(scaled), "miss");
+  EXPECT_NE(scaled.body, cold.body);
+
+  EXPECT_EQ(planner.cache().stats().hits, 2u);
+}
+
+TEST(Planner, EnvOverrideChangesTheAnswerAndTheCacheKey) {
+  Planner planner;
+  const HttpResponse base = planner.handle(post("/v1/x", R"({"profile": [1, 2]})"));
+  const HttpResponse other =
+      planner.handle(post("/v1/x", R"({"profile": [1, 2], "env": {"tau": 2e-6}})"));
+  ASSERT_EQ(other.status, 200);
+  EXPECT_EQ(cache_header(other), "miss");
+  EXPECT_NE(other.body, base.body);
+  core::Environment::Params params;
+  params.tau = 2e-6;
+  EXPECT_EQ(Json::parse(other.body).at("x").number(),
+            core::x_measure_serial(std::vector<double>{2.0, 1.0}, core::Environment{params}));
+}
+
+TEST(Planner, BatchProfilesMatchBatchEvaluateAndBypassTheCache) {
+  Planner planner;
+  const HttpResponse response =
+      planner.handle(post("/v1/x", R"({"profiles": [[1, 2, 4], [1, 1], [8, 4, 2, 1]]})"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(cache_header(response), "bypass");
+  const Json parsed = Json::parse(response.body);
+  const std::vector<std::vector<double>> profiles{{1, 2, 4}, {1, 1}, {8, 4, 2, 1}};
+  std::vector<std::span<const double>> views{profiles.begin(), profiles.end()};
+  core::BatchRequest measures;
+  const auto expected = core::batch_evaluate(views, kEnv, measures);
+  ASSERT_EQ(parsed.at("x").items().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(parsed.at("x").items()[i].number(), expected[i].x) << "profile " << i;
+  }
+  EXPECT_EQ(planner.cache().stats().insertions, 0u);
+}
+
+TEST(Planner, MakespanBothDirections) {
+  Planner planner;
+  const core::Profile profile{std::vector<double>{1.0, 2.0, 4.0}};
+  const HttpResponse forward =
+      planner.handle(post("/v1/makespan", R"({"profile": [1, 2, 4], "lifespan": 100})"));
+  ASSERT_EQ(forward.status, 200);
+  EXPECT_DOUBLE_EQ(Json::parse(forward.body).at("work").number(),
+                   core::work_production(100.0, profile, kEnv));
+
+  const HttpResponse inverse =
+      planner.handle(post("/v1/makespan", R"({"profile": [1, 2, 4], "work": 50})"));
+  ASSERT_EQ(inverse.status, 200);
+  EXPECT_DOUBLE_EQ(Json::parse(inverse.body).at("lifespan").number(),
+                   core::rental_time(50.0, profile, kEnv));
+
+  // Exactly one of lifespan/work.
+  EXPECT_EQ(planner.handle(post("/v1/makespan", R"({"profile": [1, 2]})")).status, 400);
+  EXPECT_EQ(planner
+                .handle(post("/v1/makespan",
+                             R"({"profile": [1, 2], "lifespan": 1, "work": 1})"))
+                .status,
+            400);
+}
+
+TEST(Planner, HecrMatchesTheLibrary) {
+  Planner planner;
+  const HttpResponse response = planner.handle(post("/v1/hecr", R"({"profile": [1, 2, 4]})"));
+  ASSERT_EQ(response.status, 200);
+  const double x = core::x_measure_serial(std::vector<double>{4.0, 2.0, 1.0}, kEnv);
+  EXPECT_DOUBLE_EQ(Json::parse(response.body).at("hecr").number(),
+                   core::hecr_from_x(x, 3, kEnv));
+}
+
+TEST(Planner, AllocateMatchesFifoClosedForm) {
+  Planner planner;
+  const HttpResponse response = planner.handle(
+      post("/v1/allocate", R"({"profile": [1, 2, 4], "lifespan": 100})"));
+  ASSERT_EQ(response.status, 200);
+  const Json parsed = Json::parse(response.body);
+  // The service canonicalizes to nonincreasing speed order.
+  const std::vector<double> expected =
+      core::fifo_allocations_in_order(std::vector<double>{4.0, 2.0, 1.0}, kEnv, 100.0);
+  const Json::Array& allocations = parsed.at("allocations").items();
+  ASSERT_EQ(allocations.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(allocations[i].number(), expected[i]);
+  }
+  EXPECT_FALSE(parsed.contains("lp"));
+}
+
+TEST(Planner, AllocateExactRunsTheLp) {
+  Planner planner;
+  const HttpResponse response = planner.handle(
+      post("/v1/allocate", R"({"profile": [1, 2, 4], "lifespan": 100, "exact": true})"));
+  ASSERT_EQ(response.status, 200);
+  const Json parsed = Json::parse(response.body);
+  ASSERT_TRUE(parsed.contains("lp"));
+  EXPECT_EQ(parsed.at("lp").at("status").string(), "optimal");
+  // The LP's optimum agrees with the closed form to LP tolerance.
+  EXPECT_NEAR(parsed.at("lp").at("total_work").number(),
+              parsed.at("total_work").number(), 1e-6);
+
+  // The exact path is capped to keep LP sizes sane.
+  std::string big = R"({"profile": [)";
+  for (int i = 0; i < 13; ++i) big += (i ? std::string{", "} : std::string{}) + "1";
+  big += R"(], "lifespan": 10, "exact": true})";
+  EXPECT_EQ(planner.handle(post("/v1/allocate", big)).status, 400);
+}
+
+TEST(Planner, UpgradeMatchesTheLibrary) {
+  Planner planner;
+  const HttpResponse response = planner.handle(
+      post("/v1/upgrade", R"({"profile": [1, 2, 4], "amount": 0.5, "rounds": 2})"));
+  ASSERT_EQ(response.status, 200);
+  const Json parsed = Json::parse(response.body);
+  // The service canonicalizes the profile to nonincreasing order before
+  // evaluating, so the reference must use the same ordering.
+  const core::Profile profile{std::vector<double>{4.0, 2.0, 1.0}};
+  const auto expected = core::evaluate_additive_upgrades(profile, 0.5, kEnv);
+  EXPECT_EQ(parsed.at("best_power_index").number(),
+            static_cast<double>(expected.best_power_index));
+  EXPECT_EQ(parsed.at("best_x").number(), expected.best_x);
+  EXPECT_EQ(parsed.at("plan").items().size(), 2u);
+
+  const HttpResponse mult = planner.handle(post(
+      "/v1/upgrade", R"({"profile": [1, 2, 4], "amount": 0.5, "kind": "multiplicative"})"));
+  ASSERT_EQ(mult.status, 200);
+  EXPECT_EQ(Json::parse(mult.body).at("kind").string(), "multiplicative");
+
+  EXPECT_EQ(planner
+                .handle(post("/v1/upgrade",
+                             R"({"profile": [1, 2], "amount": 0.5, "kind": "sideways"})"))
+                .status,
+            400);
+}
+
+TEST(Planner, ErrorSurface) {
+  Planner planner;
+  // Malformed JSON → 400 with a parse message.
+  const HttpResponse bad_json = planner.handle(post("/v1/x", "{nope"));
+  EXPECT_EQ(bad_json.status, 400);
+  EXPECT_NE(bad_json.body.find("malformed JSON"), std::string::npos);
+  // Wrong shapes → 400.
+  EXPECT_EQ(planner.handle(post("/v1/x", "[1, 2]")).status, 400);
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": []})")).status, 400);
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": [0]})")).status, 400);
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": [-1]})")).status, 400);
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": ["fast"]})")).status, 400);
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": 7})")).status, 400);
+  EXPECT_EQ(planner.handle(post("/v1/x", "")).status, 400);  // empty body, no profile
+  // Invalid env → 400.
+  EXPECT_EQ(
+      planner.handle(post("/v1/x", R"({"profile": [1], "env": {"delta": 99}})")).status, 400);
+  // Unknown route → 404; wrong method → 405.
+  EXPECT_EQ(planner.handle(post("/v1/unknown", "{}")).status, 404);
+  EXPECT_EQ(planner.handle(get("/v1/x")).status, 405);
+  EXPECT_EQ(planner.handle(post("/healthz", "")).status, 405);
+  // None of the above may poison the planner for good requests.
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": [1]})")).status, 200);
+}
+
+TEST(Planner, MachineLimitIsEnforced) {
+  PlannerConfig config;
+  config.max_machines = 4;
+  Planner planner{config};
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": [1, 1, 1, 1]})")).status, 200);
+  EXPECT_EQ(planner.handle(post("/v1/x", R"({"profile": [1, 1, 1, 1, 1]})")).status, 400);
+}
+
+}  // namespace
+}  // namespace hetero::service

@@ -1,0 +1,158 @@
+// Full-stack round trip: a real Server on an ephemeral port, driven over a
+// real socket by HttpClient.  Asserts the two load-bearing service
+// guarantees end to end: (1) `/v1/x` answers are bit-identical to the
+// library evaluators, and (2) a plan-cache hit answers a repeated exact
+// query without a new LP solve (witnessed by the `service.lp_solves`
+// counter).  Also covers keep-alive reuse and graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/core/power.h"
+#include "hetero/obs/metrics.h"
+#include "hetero/service/client.h"
+#include "hetero/service/json.h"
+#include "hetero/service/planner.h"
+#include "hetero/service/server.h"
+
+namespace hetero::service {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+/// Planner + Server on 127.0.0.1:<ephemeral>, serving on a background
+/// thread; the destructor drains and joins.
+class LiveServer {
+ public:
+  LiveServer() : server_{planner_, config()} {
+    server_.listen();
+    thread_ = std::thread{[this] { server_.serve(); }};
+  }
+
+  ~LiveServer() {
+    server_.request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] Planner& planner() { return planner_; }
+  [[nodiscard]] Server& server() { return server_; }
+
+ private:
+  static ServerConfig config() {
+    ServerConfig config;
+    config.port = 0;           // ephemeral
+    config.threads = 2;        // keep the test light
+    config.poll_interval_ms = 10;
+    return config;
+  }
+
+  Planner planner_;
+  Server server_;
+  std::thread thread_;
+};
+
+TEST(ServiceRoundTrip, XMatchesTheLibraryBitForBit) {
+  LiveServer live;
+  HttpClient client{"127.0.0.1", live.port()};
+  // n < 8 keeps the vectorized x_measure and the serial reference
+  // bit-identical, so the served value must equal BOTH exactly.
+  const std::vector<double> speeds{8.0, 4.0, 2.0, 1.0};
+  const ClientResponse response =
+      client.post("/v1/x", R"({"profile": [8, 4, 2, 1]})");
+  ASSERT_EQ(response.status, 200);
+  const double served = Json::parse(response.body).at("x").number();
+  EXPECT_EQ(served, core::x_measure(speeds, kEnv));
+  EXPECT_EQ(served, core::x_measure_serial(speeds, kEnv));
+}
+
+TEST(ServiceRoundTrip, CacheHitAnswersWithoutANewLpSolve) {
+  LiveServer live;
+  HttpClient client{"127.0.0.1", live.port()};
+  const std::string query = R"({"profile": [1, 2, 4], "lifespan": 100, "exact": true})";
+
+  const std::uint64_t solves_before = obs::counter("service.lp_solves").value();
+  const ClientResponse cold = client.post("/v1/allocate", query);
+  ASSERT_EQ(cold.status, 200);
+  EXPECT_EQ(cold.header("X-Hetero-Cache"), "miss");
+  const std::uint64_t solves_cold = obs::counter("service.lp_solves").value();
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(solves_cold, solves_before + 1);  // the cold query solved an LP
+  }
+
+  // The repeat — and a permutation of it — must be answered from the cache:
+  // identical bytes, a "hit" header, and NO new LP solve.
+  const ClientResponse warm = client.post("/v1/allocate", query);
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.header("X-Hetero-Cache"), "hit");
+  EXPECT_EQ(warm.body, cold.body);
+  const ClientResponse permuted = client.post(
+      "/v1/allocate", R"({"profile": [4, 1, 2], "lifespan": 100, "exact": true})");
+  EXPECT_EQ(permuted.header("X-Hetero-Cache"), "hit");
+  EXPECT_EQ(permuted.body, cold.body);
+  EXPECT_EQ(obs::counter("service.lp_solves").value(), solves_cold);
+  EXPECT_GE(live.planner().cache().stats().hits, 2u);
+}
+
+TEST(ServiceRoundTrip, KeepAliveReusesOneConnection) {
+  LiveServer live;
+  HttpClient client{"127.0.0.1", live.port()};
+  // Several requests over the one pooled connection; the server must frame
+  // each response correctly for the next one to parse.
+  for (int i = 0; i < 5; ++i) {
+    const ClientResponse response = client.get("/healthz");
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "ok\n");
+  }
+  const ClientResponse version = client.get("/version");
+  ASSERT_EQ(version.status, 200);
+  EXPECT_EQ(Json::parse(version.body).at("api").string(), "v1");
+}
+
+TEST(ServiceRoundTrip, ErrorsComeBackAsHttpStatuses) {
+  LiveServer live;
+  HttpClient client{"127.0.0.1", live.port()};
+  EXPECT_EQ(client.post("/v1/x", "{nope").status, 400);
+  EXPECT_EQ(client.post("/v1/nope", "{}").status, 404);
+  EXPECT_EQ(client.get("/v1/x").status, 405);
+  // The connection survives the errors.
+  EXPECT_EQ(client.post("/v1/x", R"({"profile": [1, 2]})").status, 200);
+}
+
+TEST(ServiceRoundTrip, MetricsExportsThePrometheusSurface) {
+  LiveServer live;
+  HttpClient client{"127.0.0.1", live.port()};
+  ASSERT_EQ(client.post("/v1/x", R"({"profile": [3, 1]})").status, 200);
+  const ClientResponse metrics = client.get("/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  if constexpr (obs::kEnabled) {
+    EXPECT_NE(metrics.body.find("hetero_service_requests"), std::string::npos);
+  }
+}
+
+TEST(ServiceRoundTrip, RequestStopDrainsAndServeReturns) {
+  Planner planner;
+  ServerConfig config;
+  config.port = 0;
+  config.threads = 2;
+  config.poll_interval_ms = 10;
+  Server server{planner, config};
+  server.listen();
+  std::thread serving{[&server] { server.serve(); }};
+
+  {
+    HttpClient client{"127.0.0.1", server.port()};
+    ASSERT_EQ(client.get("/healthz").status, 200);
+  }
+
+  server.request_stop();
+  serving.join();  // serve() must return once drained
+  EXPECT_TRUE(server.draining());
+}
+
+}  // namespace
+}  // namespace hetero::service

@@ -1,0 +1,138 @@
+// heterod — the planning-as-a-service daemon.
+//
+// Serves the hetero library's planning queries over JSON-over-HTTP (see
+// src/service/include/hetero/service/planner.h for the endpoint catalog).
+// SIGTERM/SIGINT initiate a graceful drain: stop accepting, finish requests
+// in flight, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "hetero/service/planner.h"
+#include "hetero/service/server.h"
+
+namespace {
+
+hetero::service::Server* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: heterod [options]\n"
+      "\n"
+      "Serve the hetero planning API over HTTP.\n"
+      "\n"
+      "options:\n"
+      "  --bind ADDR        bind address (default 127.0.0.1)\n"
+      "  --port N           listen port; 0 picks an ephemeral port (default 8080)\n"
+      "  --threads N        worker threads; 0 = hardware concurrency (default 0)\n"
+      "  --cache-entries N  plan-cache capacity in entries (default 4096)\n"
+      "  --cache-shards N   plan-cache shard count (default 16)\n"
+      "  --env TAU,PI,DELTA override the model environment (default: paper Table 1)\n"
+      "  --max-body BYTES   request body limit (default 1048576)\n"
+      "  -h, --help         show this help\n"
+      "\n"
+      "endpoints: POST /v1/x /v1/makespan /v1/hecr /v1/allocate /v1/upgrade;\n"
+      "GET /healthz /metrics /version.  SIGTERM drains and exits 0.\n",
+      out);
+}
+
+[[nodiscard]] long parse_long(const std::string& text, const char* flag) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "heterod: invalid value for %s: %s\n", flag, text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hetero::service::PlannerConfig planner_config;
+  hetero::service::ServerConfig server_config;
+  server_config.port = 8080;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "heterod: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--bind") {
+      server_config.bind_address = next("--bind");
+    } else if (arg == "--port") {
+      const long port = parse_long(next("--port"), "--port");
+      if (port > 65535) {
+        std::fprintf(stderr, "heterod: --port out of range: %ld\n", port);
+        return 2;
+      }
+      server_config.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--threads") {
+      server_config.threads = static_cast<std::size_t>(parse_long(next("--threads"), "--threads"));
+    } else if (arg == "--cache-entries") {
+      planner_config.cache_capacity =
+          static_cast<std::size_t>(parse_long(next("--cache-entries"), "--cache-entries"));
+    } else if (arg == "--cache-shards") {
+      planner_config.cache_shards =
+          static_cast<std::size_t>(parse_long(next("--cache-shards"), "--cache-shards"));
+    } else if (arg == "--max-body") {
+      server_config.limits.max_body_bytes =
+          static_cast<std::size_t>(parse_long(next("--max-body"), "--max-body"));
+    } else if (arg == "--env") {
+      const std::string spec = next("--env");
+      hetero::core::Environment::Params params;
+      if (std::sscanf(spec.c_str(), "%lf,%lf,%lf", &params.tau, &params.pi, &params.delta) != 3) {
+        std::fprintf(stderr, "heterod: --env expects TAU,PI,DELTA: %s\n", spec.c_str());
+        return 2;
+      }
+      try {
+        planner_config.env = hetero::core::Environment{params};
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "heterod: %s\n", error.what());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "heterod: unknown option: %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  try {
+    hetero::service::Planner planner{planner_config};
+    hetero::service::Server server{planner, server_config};
+    server.listen();
+
+    g_server = &server;
+    struct sigaction action{};
+    action.sa_handler = handle_signal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::fprintf(stderr, "%s listening on %s:%u\n",
+                 hetero::service::Planner::version_string().c_str(),
+                 server_config.bind_address.c_str(), static_cast<unsigned>(server.port()));
+    std::fflush(stderr);
+    server.serve();
+    std::fprintf(stderr, "heterod: drained, exiting\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "heterod: fatal: %s\n", error.what());
+    return 1;
+  }
+}

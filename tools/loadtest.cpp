@@ -1,0 +1,233 @@
+// loadtest — closed-loop load generator for heterod.
+//
+// Opens N keep-alive connections, drives each with a worker thread, and
+// optionally paces the aggregate request stream to a target qps (a shared
+// ticket clock: request k is due at start + k/qps, whichever thread draws
+// it).  Unpaced (--qps 0) each connection issues requests back to back.
+// Reports aggregate throughput, latency quantiles (p50/p95/p99), and error
+// counts as a JSON document — the CI service-smoke job archives it and
+// fails the build on any 5xx or transport error.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hetero/service/client.h"
+#include "hetero/service/json.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 8080;
+  std::size_t connections = 4;
+  double qps = 0.0;        // 0 = unthrottled
+  double duration_s = 10.0;
+  std::string target = "/v1/x";
+  std::string body = R"({"profile": [1.0, 2.0, 4.0, 8.0]})";
+  std::string output;      // empty = stdout
+};
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  std::uint64_t status_2xx = 0;
+  std::uint64_t status_4xx = 0;
+  std::uint64_t status_5xx = 0;
+  std::uint64_t transport_errors = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: loadtest [options]\n"
+      "\n"
+      "Closed-loop load generator for heterod.\n"
+      "\n"
+      "options:\n"
+      "  --host ADDR       server address (default 127.0.0.1)\n"
+      "  --port N          server port (default 8080)\n"
+      "  --connections N   concurrent keep-alive connections (default 4)\n"
+      "  --qps Q           aggregate request rate; 0 = unthrottled (default 0)\n"
+      "  --duration S      seconds to run (default 10)\n"
+      "  --target PATH     endpoint (default /v1/x)\n"
+      "  --body JSON       POST body; empty = GET (default a 4-machine /v1/x query)\n"
+      "  --output FILE     write the JSON report here (default stdout)\n"
+      "  -h, --help        show this help\n",
+      out);
+}
+
+[[nodiscard]] double parse_double(const std::string& text, const char* flag) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || !std::isfinite(value) || value < 0.0) {
+    std::fprintf(stderr, "loadtest: invalid value for %s: %s\n", flag, text.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+[[nodiscard]] double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void run_worker(const Options& options, Clock::time_point start, Clock::time_point deadline,
+                std::atomic<std::uint64_t>& tickets, WorkerResult& result) {
+  hetero::service::HttpClient client{options.host, options.port};
+  const bool is_post = !options.body.empty();
+  while (Clock::now() < deadline) {
+    if (options.qps > 0.0) {
+      const std::uint64_t ticket = tickets.fetch_add(1, std::memory_order_relaxed);
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       static_cast<double>(ticket) / options.qps));
+      if (due >= deadline) break;
+      std::this_thread::sleep_until(due);
+    }
+    const Clock::time_point begin = Clock::now();
+    try {
+      const hetero::service::ClientResponse response =
+          is_post ? client.post(options.target, options.body) : client.get(options.target);
+      const double us = std::chrono::duration<double, std::micro>(Clock::now() - begin).count();
+      result.latencies_us.push_back(us);
+      if (response.status >= 500) ++result.status_5xx;
+      else if (response.status >= 400) ++result.status_4xx;
+      else ++result.status_2xx;
+      if (response.header("X-Hetero-Cache") == "hit") ++result.cache_hits;
+    } catch (const std::exception&) {
+      ++result.transport_errors;
+      client.disconnect();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "loadtest: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--host") {
+      options.host = next("--host");
+    } else if (arg == "--port") {
+      const double port = parse_double(next("--port"), "--port");
+      if (port > 65535.0 || port != std::floor(port)) {
+        std::fprintf(stderr, "loadtest: --port out of range\n");
+        return 2;
+      }
+      options.port = static_cast<std::uint16_t>(port);
+    } else if (arg == "--connections") {
+      options.connections =
+          std::max<std::size_t>(1, static_cast<std::size_t>(
+                                       parse_double(next("--connections"), "--connections")));
+    } else if (arg == "--qps") {
+      options.qps = parse_double(next("--qps"), "--qps");
+    } else if (arg == "--duration") {
+      options.duration_s = parse_double(next("--duration"), "--duration");
+    } else if (arg == "--target") {
+      options.target = next("--target");
+    } else if (arg == "--body") {
+      options.body = next("--body");
+    } else if (arg == "--output") {
+      options.output = next("--output");
+    } else {
+      std::fprintf(stderr, "loadtest: unknown option: %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+  std::atomic<std::uint64_t> tickets{0};
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back(run_worker, std::cref(options), start, deadline, std::ref(tickets),
+                         std::ref(results[i]));
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.latencies_us.insert(total.latencies_us.end(), r.latencies_us.begin(),
+                              r.latencies_us.end());
+    total.status_2xx += r.status_2xx;
+    total.status_4xx += r.status_4xx;
+    total.status_5xx += r.status_5xx;
+    total.transport_errors += r.transport_errors;
+    total.cache_hits += r.cache_hits;
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+  const std::uint64_t completed = total.status_2xx + total.status_4xx + total.status_5xx;
+  const std::uint64_t attempts = completed + total.transport_errors;
+
+  using hetero::service::Json;
+  Json report = Json::object();
+  report.set("target", Json{options.target});
+  report.set("connections", Json{options.connections});
+  report.set("qps_target", Json{options.qps});
+  report.set("duration_s", Json{elapsed_s});
+  report.set("requests", Json{completed});
+  report.set("qps_achieved", Json{elapsed_s > 0.0 ? static_cast<double>(completed) / elapsed_s
+                                                  : 0.0});
+  report.set("status_2xx", Json{total.status_2xx});
+  report.set("status_4xx", Json{total.status_4xx});
+  report.set("status_5xx", Json{total.status_5xx});
+  report.set("transport_errors", Json{total.transport_errors});
+  report.set("error_rate",
+             Json{attempts > 0 ? static_cast<double>(total.status_5xx + total.transport_errors) /
+                                     static_cast<double>(attempts)
+                               : 0.0});
+  report.set("cache_hits", Json{total.cache_hits});
+  Json latency = Json::object();
+  latency.set("p50_us", Json{quantile(total.latencies_us, 0.50)});
+  latency.set("p95_us", Json{quantile(total.latencies_us, 0.95)});
+  latency.set("p99_us", Json{quantile(total.latencies_us, 0.99)});
+  latency.set("max_us", Json{total.latencies_us.empty() ? 0.0 : total.latencies_us.back()});
+  report.set("latency", std::move(latency));
+
+  const std::string text = report.dump() + "\n";
+  if (options.output.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::FILE* file = std::fopen(options.output.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "loadtest: cannot write %s\n", options.output.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), file);
+    std::fclose(file);
+  }
+
+  // Nonzero exit when the run saw server-side or transport failures, so CI
+  // can gate on the tool's exit code alone.
+  return (total.status_5xx + total.transport_errors) > 0 ? 1 : 0;
+}
