@@ -445,6 +445,9 @@ int cmd_serve(int port, long threads) {
 
 /// `heteroctl query <host:port> <target> [json-body]` — one request against a
 /// running service; prints the response body.  GET without a body, POST with.
+/// Goes through the resilient client: transient transport failures and 503
+/// sheds are retried with jittered backoff (honoring Retry-After) before the
+/// command gives up.
 int cmd_query(const std::string& endpoint, const std::string& target,
               const std::string& body) {
   const std::size_t colon = endpoint.rfind(':');
@@ -458,13 +461,29 @@ int cmd_query(const std::string& endpoint, const std::string& target,
   if (target.empty() || target.front() != '/') {
     throw std::invalid_argument("query: target must start with '/', got \"" + target + "\"");
   }
-  service::HttpClient client{endpoint.substr(0, colon), static_cast<std::uint16_t>(port)};
-  const service::ClientResponse response =
+  service::Client client{endpoint.substr(0, colon), static_cast<std::uint16_t>(port)};
+  const service::Client::Outcome outcome =
       body.empty() ? client.get(target) : client.post(target, body);
-  std::cout << response.body;
-  if (response.body.empty() || response.body.back() != '\n') std::cout << '\n';
-  if (response.status >= 400) {
-    std::cerr << "error: HTTP " << response.status << " from " << endpoint << target << '\n';
+  if (outcome.disposition == service::Disposition::kTransport ||
+      outcome.disposition == service::Disposition::kCircuitOpen) {
+    std::cerr << "error: " << outcome.error << " after " << outcome.attempts
+              << " attempt(s) against " << endpoint << '\n';
+    return 1;
+  }
+  std::cout << outcome.response.body;
+  if (outcome.response.body.empty() || outcome.response.body.back() != '\n') std::cout << '\n';
+  if (outcome.disposition == service::Disposition::kShed) {
+    std::cerr << "error: overloaded (HTTP " << outcome.response.status << ") from " << endpoint
+              << target << " after " << outcome.attempts << " attempt(s)\n";
+    return 1;
+  }
+  if (outcome.disposition == service::Disposition::kDegraded) {
+    std::cerr << "note: degraded answer ("
+              << outcome.response.header("X-Hetero-Degraded") << ")\n";
+  }
+  if (outcome.response.status >= 400) {
+    std::cerr << "error: HTTP " << outcome.response.status << " from " << endpoint << target
+              << '\n';
     return 1;
   }
   return 0;

@@ -52,6 +52,15 @@ class CancelToken {
   [[nodiscard]] bool has_deadline() const noexcept { return has_deadline_; }
   [[nodiscard]] Clock::time_point deadline() const noexcept { return deadline_; }
 
+  /// Budget left before the deadline (reads the clock).  Zero once expired;
+  /// Clock::duration::max() when no deadline is set, so callers can compare
+  /// against cost estimates without branching on has_deadline() first.
+  [[nodiscard]] Clock::duration remaining() const noexcept {
+    if (!has_deadline_) return Clock::duration::max();
+    const Clock::time_point now = Clock::now();
+    return now >= deadline_ ? Clock::duration::zero() : deadline_ - now;
+  }
+
   /// Throws Cancelled / DeadlineExceeded when the token has fired.
   void check() const {
     if (stop_requested()) throw Cancelled{};

@@ -1,0 +1,242 @@
+#include "hetero/service/chaos.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "hetero/random/rng.h"
+
+namespace hetero::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string{what} + ": " + std::strerror(errno));
+}
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Writes `count` bytes; when `torn`, one byte per send() so the receiver
+/// can observe every split point (TCP_NODELAY keeps the segments apart).
+[[nodiscard]] bool write_n(int fd, const char* data, std::size_t count, bool torn) {
+  std::size_t offset = 0;
+  while (offset < count) {
+    const std::size_t want = torn ? 1 : count - offset;
+    const ssize_t sent = ::send(fd, data + offset, want, MSG_NOSIGNAL);
+    if (sent < 0 && errno == EINTR) continue;
+    if (sent <= 0) return false;
+    offset += static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(ChaosConfig config) : config_{std::move(config)} {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+ChaosPlan ChaosProxy::plan_for(std::uint64_t seed, std::uint64_t conn_index) noexcept {
+  // Golden-ratio stride decorrelates adjacent connections; splitmix64 does
+  // the rest.  Pure function: no global state, no time.
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ull * (conn_index + 1));
+  const std::uint64_t kind_word = hetero::random::splitmix64(state);
+  const std::uint64_t offset_word = hetero::random::splitmix64(state);
+  ChaosPlan plan;
+  plan.kind = static_cast<ChaosKind>(kind_word % kChaosKindCount);
+  plan.trigger_offset = static_cast<std::size_t>(offset_word % 64);
+  return plan;
+}
+
+void ChaosProxy::start() {
+  if (listen_fd_ >= 0) return;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  listen_fd_ = fd;
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("invalid bind address: " + config_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof address) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd, config_.listen_backlog) != 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    throw_errno("getsockname");
+  }
+  bound_port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread{[this] { accept_loop(); }};
+}
+
+void ChaosProxy::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // Second call: threads may already be joined; fall through only to make
+    // stop() safe to call twice.
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_fd(listen_fd_);
+  std::vector<std::thread> relays;
+  {
+    const std::lock_guard<std::mutex> lock{relay_mutex_};
+    relays.swap(relay_threads_);
+  }
+  for (std::thread& relay : relays) {
+    if (relay.joinable()) relay.join();
+  }
+}
+
+ChaosProxy::Stats ChaosProxy::stats() const {
+  Stats out;
+  out.connections = connections_.load(std::memory_order_relaxed);
+  for (int kind = 0; kind < kChaosKindCount; ++kind) {
+    out.by_kind[kind] = by_kind_[kind].load(std::memory_order_relaxed);
+  }
+  out.request_bytes = request_bytes_.load(std::memory_order_relaxed);
+  out.response_bytes = response_bytes_.load(std::memory_order_relaxed);
+  out.upstream_connect_failures =
+      upstream_connect_failures_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ChaosProxy::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd waiter{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, 100);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    const std::uint64_t index = next_conn_.fetch_add(1, std::memory_order_relaxed);
+    ChaosPlan plan = plan_for(config_.seed, index);
+    if (config_.force_kind >= 0 && config_.force_kind < kChaosKindCount) {
+      plan.kind = static_cast<ChaosKind>(config_.force_kind);
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    by_kind_[static_cast<int>(plan.kind)].fetch_add(1, std::memory_order_relaxed);
+
+    const std::lock_guard<std::mutex> lock{relay_mutex_};
+    relay_threads_.emplace_back([this, client, plan] { relay(client, plan); });
+  }
+}
+
+bool ChaosProxy::pump(int from_fd, int to_fd, ChaosPlan plan, bool is_request,
+                      std::size_t& forwarded, std::atomic<std::uint64_t>& bytes) {
+  char chunk[16 * 1024];
+  const ssize_t got = ::read(from_fd, chunk, sizeof chunk);
+  if (got < 0 && errno == EINTR) return true;
+  if (got <= 0) return false;  // peer closed (or error): tear down the pair
+  std::size_t count = static_cast<std::size_t>(got);
+
+  const bool torn = plan.kind == ChaosKind::kTornEveryByte;
+
+  // Byte-offset triggers (see header: offsets, never timers or chunks).
+  if (is_request && plan.kind == ChaosKind::kStallRequest &&
+      forwarded < plan.trigger_offset && forwarded + count >= plan.trigger_offset) {
+    // Forward up to the trigger, pause once, then fall through with the rest.
+    const std::size_t before = plan.trigger_offset - forwarded;
+    if (!write_n(to_fd, chunk, before, torn)) return false;
+    forwarded += before;
+    bytes.fetch_add(before, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.stall_ms));
+    if (!write_n(to_fd, chunk + before, count - before, torn)) return false;
+    forwarded += count - before;
+    bytes.fetch_add(count - before, std::memory_order_relaxed);
+    return true;
+  }
+  if ((is_request && plan.kind == ChaosKind::kResetRequest) ||
+      (!is_request && plan.kind == ChaosKind::kKillResponse)) {
+    if (forwarded + count >= plan.trigger_offset) {
+      // Forward exactly up to the trigger, then kill the connection.
+      const std::size_t before =
+          plan.trigger_offset > forwarded ? plan.trigger_offset - forwarded : 0;
+      if (before > 0 && write_n(to_fd, chunk, before, torn)) {
+        forwarded += before;
+        bytes.fetch_add(before, std::memory_order_relaxed);
+      }
+      return false;
+    }
+  }
+
+  if (!write_n(to_fd, chunk, count, torn)) return false;
+  forwarded += count;
+  bytes.fetch_add(count, std::memory_order_relaxed);
+  return true;
+}
+
+void ChaosProxy::relay(int client_fd, ChaosPlan plan) {
+  int client = client_fd;
+  const int enable = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+
+  // Connect upstream.
+  int upstream = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (upstream >= 0) {
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(config_.upstream_port);
+    if (::inet_pton(AF_INET, config_.upstream_host.c_str(), &address.sin_addr) != 1 ||
+        ::connect(upstream, reinterpret_cast<const sockaddr*>(&address),
+                  sizeof address) != 0) {
+      close_fd(upstream);
+    } else {
+      ::setsockopt(upstream, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+    }
+  }
+  if (upstream < 0) {
+    upstream_connect_failures_.fetch_add(1, std::memory_order_relaxed);
+    close_fd(client);
+    return;
+  }
+
+  std::size_t request_forwarded = 0;
+  std::size_t response_forwarded = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{client, POLLIN, 0}, {upstream, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, 100);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      if (!pump(client, upstream, plan, /*is_request=*/true, request_forwarded,
+                request_bytes_)) {
+        break;
+      }
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      if (!pump(upstream, client, plan, /*is_request=*/false, response_forwarded,
+                response_bytes_)) {
+        break;
+      }
+    }
+  }
+  close_fd(client);
+  close_fd(upstream);
+}
+
+}  // namespace hetero::service

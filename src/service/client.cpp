@@ -11,6 +11,9 @@
 #include <charconv>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "hetero/random/rng.h"
 
 namespace hetero::service {
 
@@ -40,8 +43,8 @@ std::string_view ClientResponse::header(std::string_view name) const noexcept {
   return {};
 }
 
-HttpClient::HttpClient(std::string host, std::uint16_t port)
-    : host_{std::move(host)}, port_{port} {}
+HttpClient::HttpClient(std::string host, std::uint16_t port, int io_timeout_ms)
+    : host_{std::move(host)}, port_{port}, io_timeout_ms_{io_timeout_ms} {}
 
 HttpClient::~HttpClient() { disconnect(); }
 
@@ -71,17 +74,28 @@ void HttpClient::connect() {
   }
   const int enable = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+  if (io_timeout_ms_ > 0) {
+    timeval timeout{};
+    timeout.tv_sec = io_timeout_ms_ / 1000;
+    timeout.tv_usec = (io_timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  }
   fd_ = fd;
 }
 
 ClientResponse HttpClient::request(std::string_view method, std::string_view target,
-                                   std::string_view body, std::string_view content_type) {
+                                   std::string_view body, std::string_view content_type,
+                                   const Headers& extra_headers) {
   std::string wire;
   wire.reserve(128 + body.size());
   wire.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
   wire.append("Host: ").append(host_).append("\r\n");
   if (!body.empty()) {
     wire.append("Content-Type: ").append(content_type).append("\r\n");
+  }
+  for (const auto& [name, value] : extra_headers) {
+    wire.append(name).append(": ").append(value).append("\r\n");
   }
   wire.append("Content-Length: ").append(std::to_string(body.size())).append("\r\n\r\n");
   wire.append(body);
@@ -102,6 +116,12 @@ bool HttpClient::try_round_trip(std::string_view wire, ClientResponse& out) {
   while (!rest.empty()) {
     const ssize_t sent = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
     if (sent < 0 && errno == EINTR) continue;
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_SNDTIMEO expired: the server stopped reading.  A stall is a real
+      // transport failure, not a dead pooled connection — report it.
+      disconnect();
+      throw std::runtime_error("send timed out");
+    }
     if (sent <= 0) return false;
     rest.remove_prefix(static_cast<std::size_t>(sent));
   }
@@ -166,6 +186,12 @@ bool HttpClient::try_round_trip(std::string_view wire, ClientResponse& out) {
     }
     const ssize_t got = ::read(fd_, chunk, sizeof chunk);
     if (got < 0 && errno == EINTR) continue;
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired: the server stalled mid-response (or never
+      // answered).  Never a safe silent retry — surface it.
+      disconnect();
+      throw std::runtime_error("read timed out");
+    }
     if (got <= 0) {
       // Dead before any response byte → safe to retry on a fresh
       // connection; dead mid-response → transport error.
@@ -176,6 +202,132 @@ bool HttpClient::try_round_trip(std::string_view wire, ClientResponse& out) {
       throw std::runtime_error("connection closed mid-response");
     }
     buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client: retry + backoff + circuit breaker on top of HttpClient.
+
+namespace {
+
+/// Parses a Retry-After value in seconds; -1 when absent/malformed (HTTP-date
+/// forms are not produced by heterod and are treated as absent).
+[[nodiscard]] int parse_retry_after(const ClientResponse& response) noexcept {
+  const std::string_view text = response.header("Retry-After");
+  if (text.empty()) return -1;
+  int seconds = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), seconds);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || seconds < 0) return -1;
+  return seconds;
+}
+
+void sleep_ms(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>{ms}));
+}
+
+}  // namespace
+
+Client::Client(std::string host, std::uint16_t port, ClientConfig config)
+    : config_{std::move(config)},
+      http_{std::move(host), port, config_.io_timeout_ms},
+      jitter_state_{config_.jitter_seed} {
+  config_.backoff.validate();
+}
+
+double Client::jittered(double delay_ms) noexcept {
+  const std::uint64_t word = hetero::random::splitmix64(jitter_state_);
+  const double unit = static_cast<double>(word >> 11) * 0x1.0p-53;  // [0, 1)
+  return delay_ms * (0.5 + 0.5 * unit);
+}
+
+void Client::record_failure() noexcept {
+  if (config_.breaker_threshold <= 0) return;
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= config_.breaker_threshold && !breaker_open_) {
+    breaker_open_ = true;
+    ++stats_.breaker_opens;
+  }
+  if (breaker_open_) {
+    breaker_until_ = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(config_.breaker_cooldown_ms);
+  }
+}
+
+void Client::record_success() noexcept {
+  consecutive_failures_ = 0;
+  breaker_open_ = false;
+}
+
+Client::Outcome Client::call(std::string_view method, std::string_view target,
+                             std::string_view body, std::string_view content_type) {
+  ++stats_.calls;
+  Outcome outcome;
+
+  if (breaker_open_) {
+    if (std::chrono::steady_clock::now() < breaker_until_) {
+      ++stats_.breaker_fastfails;
+      outcome.disposition = Disposition::kCircuitOpen;
+      outcome.error = "circuit breaker open";
+      return outcome;
+    }
+    // Cooldown over: fall through as the half-open probe.  record_failure()
+    // re-arms the cooldown if the probe fails; record_success() closes it.
+  }
+
+  HttpClient::Headers extra;
+  if (config_.deadline_ms > 0) {
+    extra.emplace_back("X-Hetero-Deadline-Ms", std::to_string(config_.deadline_ms));
+  }
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    outcome.attempts = static_cast<std::uint32_t>(attempt + 1);
+    bool transport_failed = false;
+    try {
+      outcome.response = http_.request(method, target, body, content_type, extra);
+    } catch (const std::exception& error) {
+      transport_failed = true;
+      outcome.error = error.what();
+    }
+
+    if (!transport_failed) {
+      const int status = outcome.response.status;
+      if (status == 503 || status == 429) {
+        ++stats_.sheds_seen;
+        if (config_.backoff.exhausted(attempt)) {
+          // The service stayed overloaded through the whole schedule.  Not
+          // a breaker event: the server is alive and talking to us.
+          record_success();
+          outcome.disposition = Disposition::kShed;
+          return outcome;
+        }
+        const int retry_after_s = parse_retry_after(outcome.response);
+        const double wait_ms = retry_after_s >= 0
+                                   ? 1000.0 * retry_after_s
+                                   : jittered(config_.backoff.delay(attempt));
+        ++stats_.retries;
+        sleep_ms(wait_ms);
+        continue;
+      }
+      record_success();
+      if (!outcome.response.header("X-Hetero-Degraded").empty()) {
+        ++stats_.degraded_seen;
+        outcome.disposition = Disposition::kDegraded;
+      } else {
+        outcome.disposition = Disposition::kOk;
+      }
+      return outcome;
+    }
+
+    record_failure();
+    if (breaker_open_ || config_.backoff.exhausted(attempt)) {
+      outcome.disposition = Disposition::kTransport;
+      return outcome;
+    }
+    ++stats_.retries;
+    sleep_ms(jittered(config_.backoff.delay(attempt)));
   }
 }
 

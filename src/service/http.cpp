@@ -84,7 +84,9 @@ HttpResponse HttpResponse::error(int status, std::string_view message) {
     }
   }
   body += "\"}";
-  return json(status, std::move(body));
+  HttpResponse response = json(status, std::move(body));
+  response.close = status == 408 || status == 413 || status == 431 || status == 501;
+  return response;
 }
 
 std::string_view status_reason(int status) noexcept {
@@ -96,6 +98,7 @@ std::string_view status_reason(int status) noexcept {
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
     case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 501: return "Not Implemented";
@@ -114,7 +117,7 @@ std::string HttpResponse::serialize(bool keep_alive) const {
   out += "\r\nContent-Length: ";
   out += std::to_string(body.size());
   out += "\r\nConnection: ";
-  out += keep_alive ? "keep-alive" : "close";
+  out += (keep_alive && !close) ? "keep-alive" : "close";
   out += "\r\n";
   for (const auto& [key, value] : headers) {
     out += key;

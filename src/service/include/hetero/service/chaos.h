@@ -1,0 +1,139 @@
+#pragma once
+
+// Deterministic chaos proxy for hardening tests: an in-process TCP proxy
+// that sits between a client and `heterod`, relaying bytes while injecting
+// faults chosen by a seed — torn writes, stalls, connection resets, and
+// mid-response kills.
+//
+// Determinism contract: every fault decision is a pure function of
+// (seed, connection index) via splitmix64, and every trigger is a *byte
+// offset* in the relayed stream, never a timer or a chunk boundary.  Chunk
+// sizes vary run to run (TCP timing), byte offsets do not — so a serial
+// request sequence against a fixed seed sees the identical fault at the
+// identical point in every run, which is what lets the chaos soak demand a
+// bit-identical server decision log on replay.
+//
+// Fault plans (one per accepted connection):
+//
+//   kClean         relay faithfully
+//   kTornEveryByte relay one byte per write in both directions — every
+//                  possible parser split point gets exercised
+//   kStallRequest  after `trigger_offset` request bytes, pause stall_ms
+//                  once, then continue (slow client; below the server's
+//                  read timeout it must still be answered correctly)
+//   kResetRequest  after `trigger_offset` request bytes, close both sides
+//                  (the request may never finish arriving)
+//   kKillResponse  relay the request faithfully, then close after
+//                  `trigger_offset` response bytes (the client sees a torn
+//                  response and must fail cleanly, never hang)
+//
+// The proxy is test infrastructure: correctness over throughput, one relay
+// thread per connection, everything joined in stop().
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hetero::service {
+
+enum class ChaosKind : std::uint8_t {
+  kClean = 0,
+  kTornEveryByte = 1,
+  kStallRequest = 2,
+  kResetRequest = 3,
+  kKillResponse = 4,
+};
+inline constexpr int kChaosKindCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(ChaosKind kind) noexcept {
+  switch (kind) {
+    case ChaosKind::kClean: return "clean";
+    case ChaosKind::kTornEveryByte: return "torn";
+    case ChaosKind::kStallRequest: return "stall";
+    case ChaosKind::kResetRequest: return "reset-request";
+    case ChaosKind::kKillResponse: return "kill-response";
+  }
+  return "unknown";
+}
+
+/// The deterministic fault assignment for one connection.
+struct ChaosPlan {
+  ChaosKind kind = ChaosKind::kClean;
+  /// Byte offset in the triggering direction (request bytes for stall and
+  /// reset, response bytes for kill).  Drawn from [0, 64): request heads and
+  /// response status lines are larger than that, so triggers land before
+  /// and inside them, the interesting places.
+  std::size_t trigger_offset = 0;
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the choice via port()
+  int stall_ms = 50;       ///< kStallRequest pause; keep below the server read timeout
+  /// Forces every connection to one ChaosKind (a to_string name resolved by
+  /// the soak tool); -1 uses the seeded per-connection draw.
+  int force_kind = -1;
+  int listen_backlog = 64;
+};
+
+class ChaosProxy {
+ public:
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t by_kind[kChaosKindCount] = {};
+    std::uint64_t request_bytes = 0;   ///< relayed client → upstream
+    std::uint64_t response_bytes = 0;  ///< relayed upstream → client
+    std::uint64_t upstream_connect_failures = 0;
+  };
+
+  explicit ChaosProxy(ChaosConfig config);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds, listens, and spawns the accept thread.  Throws std::runtime_error
+  /// on socket failure.
+  void start();
+  /// Stops accepting, tears down every live relay, joins all threads.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+  [[nodiscard]] Stats stats() const;
+
+  /// The pure fault-assignment function: (seed, connection index) → plan.
+  [[nodiscard]] static ChaosPlan plan_for(std::uint64_t seed,
+                                          std::uint64_t conn_index) noexcept;
+
+ private:
+  void accept_loop();
+  void relay(int client_fd, ChaosPlan plan);
+  /// One relay direction step; returns false when the connection is done.
+  [[nodiscard]] bool pump(int from_fd, int to_fd, ChaosPlan plan, bool is_request,
+                          std::size_t& forwarded, std::atomic<std::uint64_t>& bytes);
+
+  ChaosConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> next_conn_{0};
+  std::thread accept_thread_;
+  std::mutex relay_mutex_;
+  std::vector<std::thread> relay_threads_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> by_kind_[kChaosKindCount] = {};
+  std::atomic<std::uint64_t> request_bytes_{0};
+  std::atomic<std::uint64_t> response_bytes_{0};
+  std::atomic<std::uint64_t> upstream_connect_failures_{0};
+};
+
+}  // namespace hetero::service

@@ -10,11 +10,14 @@
 // read-only.  Not thread-safe; use one client per thread (the loadtest
 // does exactly that).
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "hetero/core/backoff.h"
 
 namespace hetero::service {
 
@@ -29,8 +32,13 @@ struct ClientResponse {
 
 class HttpClient {
  public:
+  using Headers = std::vector<std::pair<std::string, std::string>>;
+
   /// Stores the target; no connection is made until the first request().
-  HttpClient(std::string host, std::uint16_t port);
+  /// `io_timeout_ms` bounds each socket read/write (SO_RCVTIMEO/SO_SNDTIMEO);
+  /// on expiry request() throws instead of hanging on a stalled server.
+  /// 0 disables the bound.
+  HttpClient(std::string host, std::uint16_t port, int io_timeout_ms = 0);
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -38,10 +46,13 @@ class HttpClient {
 
   /// Sends one request and reads the full response.  Reconnects (once) when
   /// the pooled connection turned out dead.  Throws std::runtime_error on
-  /// connect/transport failure or a malformed response.
+  /// connect/transport failure, a stalled socket (io_timeout_ms), or a
+  /// malformed response.  `extra_headers` are appended verbatim to the
+  /// request head (e.g. X-Hetero-Deadline-Ms).
   [[nodiscard]] ClientResponse request(std::string_view method, std::string_view target,
                                        std::string_view body = {},
-                                       std::string_view content_type = "application/json");
+                                       std::string_view content_type = "application/json",
+                                       const Headers& extra_headers = {});
 
   /// Convenience wrappers.
   [[nodiscard]] ClientResponse get(std::string_view target) { return request("GET", target); }
@@ -58,7 +69,107 @@ class HttpClient {
 
   std::string host_;
   std::uint16_t port_;
+  int io_timeout_ms_ = 0;
   int fd_ = -1;
+};
+
+/// How a resilient call ended, from the caller's perspective.
+///
+///   kOk         2xx/3xx/4xx answer, full fidelity (4xx is the caller's bug,
+///               not the transport's — retrying identical bytes cannot help)
+///   kDegraded   answered, but the body is the degraded closed-form result
+///               (X-Hetero-Degraded present): usable, flagged
+///   kShed       503/429 survived every retry — the service stayed
+///               overloaded through the whole backoff schedule
+///   kTransport  connect/send/recv failure or io timeout after retries
+///   kCircuitOpen the breaker is open; the call never touched the network
+enum class Disposition : std::uint8_t { kOk, kDegraded, kShed, kTransport, kCircuitOpen };
+
+[[nodiscard]] constexpr const char* to_string(Disposition d) noexcept {
+  switch (d) {
+    case Disposition::kOk: return "ok";
+    case Disposition::kDegraded: return "degraded";
+    case Disposition::kShed: return "shed";
+    case Disposition::kTransport: return "transport";
+    case Disposition::kCircuitOpen: return "circuit-open";
+  }
+  return "unknown";
+}
+
+struct ClientConfig {
+  /// Retry schedule, in milliseconds.  delay(k) before retry k, jittered
+  /// uniformly into [delay/2, delay] so synchronized clients desynchronize.
+  core::Backoff backoff{/*initial=*/50.0, /*multiplier=*/2.0,
+                        /*max_retries=*/3, /*max_delay=*/2000.0};
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;  ///< deterministic jitter
+  /// Per-socket-op stall bound passed to HttpClient; 0 disables.
+  int io_timeout_ms = 10'000;
+  /// Consecutive transport failures before the breaker opens.  While open,
+  /// calls fail instantly (kCircuitOpen); after breaker_cooldown_ms one
+  /// probe call is let through (half-open) — success closes the breaker,
+  /// failure re-opens it for another cooldown.  0 disables the breaker.
+  int breaker_threshold = 5;
+  int breaker_cooldown_ms = 1'000;
+  /// When > 0, every request carries X-Hetero-Deadline-Ms with this budget.
+  std::int64_t deadline_ms = 0;
+};
+
+/// Resilient wrapper around HttpClient: retry with jittered exponential
+/// backoff, Retry-After honored on 503/429 sheds, and a consecutive-failure
+/// circuit breaker so a dead server costs microseconds instead of a full
+/// backoff schedule per call.  Not thread-safe; one Client per thread.
+class Client {
+ public:
+  struct Outcome {
+    Disposition disposition = Disposition::kTransport;
+    ClientResponse response;  ///< valid unless kTransport/kCircuitOpen
+    std::string error;        ///< transport error text when kTransport
+    std::uint32_t attempts = 0;
+  };
+
+  struct Stats {
+    std::uint64_t calls = 0;
+    std::uint64_t retries = 0;       ///< extra attempts beyond the first
+    std::uint64_t sheds_seen = 0;    ///< 503/429 responses observed (any attempt)
+    std::uint64_t degraded_seen = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_fastfails = 0;  ///< calls answered kCircuitOpen
+  };
+
+  Client(std::string host, std::uint16_t port, ClientConfig config = ClientConfig{});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One logical call: retries transport failures and sheds per the backoff
+  /// schedule (sleeping Retry-After when the shed response names one), then
+  /// reports how it ended.  Never throws.
+  [[nodiscard]] Outcome call(std::string_view method, std::string_view target,
+                             std::string_view body = {},
+                             std::string_view content_type = "application/json");
+
+  [[nodiscard]] Outcome get(std::string_view target) { return call("GET", target); }
+  [[nodiscard]] Outcome post(std::string_view target, std::string_view body) {
+    return call("POST", target, body);
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool breaker_open() const noexcept { return breaker_open_; }
+  [[nodiscard]] HttpClient& http() noexcept { return http_; }
+
+ private:
+  /// Uniform jitter of `delay_ms` into [delay/2, delay] via splitmix64.
+  [[nodiscard]] double jittered(double delay_ms) noexcept;
+  void record_failure() noexcept;
+  void record_success() noexcept;
+
+  ClientConfig config_;
+  HttpClient http_;
+  Stats stats_;
+  std::uint64_t jitter_state_;
+  int consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  std::chrono::steady_clock::time_point breaker_until_{};
 };
 
 }  // namespace hetero::service

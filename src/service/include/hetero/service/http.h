@@ -46,14 +46,25 @@ struct HttpResponse {
   std::string body;
   /// Extra headers beyond Content-Type/Content-Length/Connection.
   std::vector<std::pair<std::string, std::string>> headers;
+  /// Forces "Connection: close" regardless of the keep_alive argument to
+  /// serialize().  Set on every response whose connection must not be
+  /// reused — parse-limit errors (the parser state is poisoned; 400/413/
+  /// 431/501), slow-loris timeouts (408), and connection-cap sheds — so the
+  /// closing intent travels with the response instead of relying on each
+  /// call site passing the right flag.
+  bool close = false;
 
   [[nodiscard]] static HttpResponse json(int status, std::string body);
   [[nodiscard]] static HttpResponse text(int status, std::string body);
-  /// {"error": message} with the given status.
+  /// {"error": message} with the given status.  Statuses only the framing
+  /// layer emits (408/413/431/501) set `close` automatically; 400 is shared
+  /// with body validation (which does not poison the parser), so the server
+  /// sets `close` itself when a 400 came from the request parser.
   [[nodiscard]] static HttpResponse error(int status, std::string_view message);
 
   /// Serializes status line + headers + body.  `keep_alive` controls the
-  /// Connection header ("keep-alive" or "close").
+  /// Connection header ("keep-alive" or "close"); a response with `close`
+  /// set always serializes "Connection: close".
   [[nodiscard]] std::string serialize(bool keep_alive) const;
 };
 

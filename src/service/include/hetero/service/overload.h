@@ -1,0 +1,195 @@
+#pragma once
+
+// Overload control for the planning service: bounded admission with
+// per-endpoint cost classes, watermark-based load shedding, and a
+// deterministic decision log.
+//
+// The serving model is connection-per-worker (see server.h), so "the queue"
+// is the set of planning requests currently being handled plus whatever the
+// accept loop has let in; the controller bounds both with two watermarks:
+//
+//   max_inflight        total planning requests in flight (queue depth)
+//   max_inflight_heavy  in-flight heavy-class work (exact-LP endpoints)
+//
+// Cost classes are assigned per endpoint, before the body is parsed — the
+// whole point of admission is to reject *before* spending work:
+//
+//   kCheap   GET /healthz /metrics /version — never shed: health checks and
+//            scrapes must stay answerable precisely when the service is
+//            drowning, or the operator flies blind.
+//   kNormal  /v1/x /v1/makespan /v1/hecr — closed-form microsecond paths.
+//   kHeavy   /v1/allocate /v1/upgrade — may run the exact LP or the greedy
+//            multi-round upgrade plan.
+//
+// A shed is answered 503 + Retry-After (the resilient client backs off and
+// retries); an admitted request holds an RAII Ticket whose destructor
+// releases the in-flight slots.
+//
+// Degradation: the controller also owns the exact-LP cost model — an EWMA of
+// recent solve times with a configured floor — so the planner can ask
+// "does this request's remaining deadline budget cover an exact solve?" and
+// fall back to the closed-form answer (marked degraded) instead of blowing
+// the deadline.  The floor makes the decision deterministic for deadlines
+// below it regardless of measurement history, which is what the chaos
+// harness replays against.
+//
+// Decision log: every shed and degrade appends one line — sequence number,
+// decision, endpoint, class, reason, and the in-flight counts at decision
+// time.  Lines carry no timestamps, so a serial request stream against a
+// fixed seed produces a byte-identical log on replay (the chaos soak's
+// determinism contract).  The log is bounded; overflow drops the oldest
+// lines and counts the drops.
+//
+// Everything here works in -DHETERO_OBS_ENABLED=OFF builds: the counters
+// tests read are plain atomics (the obs mirrors are extra, like PlanCache).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetero::service {
+
+enum class CostClass : std::uint8_t { kCheap = 0, kNormal = 1, kHeavy = 2 };
+
+[[nodiscard]] constexpr const char* to_string(CostClass c) noexcept {
+  switch (c) {
+    case CostClass::kCheap: return "cheap";
+    case CostClass::kNormal: return "normal";
+    case CostClass::kHeavy: return "heavy";
+  }
+  return "unknown";
+}
+
+struct OverloadConfig {
+  std::size_t max_inflight = 0;        ///< total planning watermark; 0 = unlimited
+  std::size_t max_inflight_heavy = 0;  ///< heavy-class watermark; 0 = unlimited
+  int retry_after_s = 1;               ///< Retry-After on shed responses
+  /// Assumed minimum exact-LP cost: deadline budgets below max(EWMA, floor)
+  /// degrade.  The floor keeps tiny-deadline decisions deterministic.
+  std::int64_t lp_cost_floor_us = 2000;
+  std::size_t decision_log_capacity = 1 << 16;
+};
+
+/// Bounded, timestamp-free log of shed/degrade decisions (header comment).
+class DecisionLog {
+ public:
+  explicit DecisionLog(std::size_t capacity) : capacity_{capacity} {}
+
+  void append(std::string line);
+  [[nodiscard]] std::vector<std::string> snapshot() const;
+  /// All lines joined with '\n' (trailing newline included when nonempty);
+  /// ends with a "dropped N" line when the capacity was exceeded.
+  [[nodiscard]] std::string dump() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<std::string> lines_;
+  std::uint64_t next_seq_ = 0;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+class OverloadController {
+ public:
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_queue = 0;     ///< total-in-flight watermark
+    std::uint64_t shed_heavy = 0;     ///< heavy-class watermark
+    std::uint64_t shed_deadline = 0;  ///< deadline already expired on arrival
+    std::uint64_t degraded = 0;       ///< answered, but from the cheap path
+    std::uint64_t inflight = 0;       ///< current total in flight
+    std::uint64_t inflight_heavy = 0; ///< current heavy-class in flight
+  };
+
+  /// RAII admission: a granted ticket holds the in-flight slots until it is
+  /// destroyed; a denied ticket carries the shed reason.  Move-only.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      release();
+      controller_ = other.controller_;
+      heavy_ = other.heavy_;
+      shed_reason_ = other.shed_reason_;
+      other.controller_ = nullptr;
+      other.shed_reason_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { release(); }
+
+    /// True when the request may proceed (cheap-class tickets are admitted
+    /// without holding slots, so controller_ stays null for them).
+    [[nodiscard]] bool admitted() const noexcept { return shed_reason_ == nullptr; }
+    /// "queue" / "heavy" / "deadline"; nullptr when admitted.
+    [[nodiscard]] const char* shed_reason() const noexcept { return shed_reason_; }
+
+   private:
+    friend class OverloadController;
+    void release() noexcept;
+    OverloadController* controller_ = nullptr;
+    bool heavy_ = false;
+    const char* shed_reason_ = nullptr;
+  };
+
+  explicit OverloadController(OverloadConfig config = OverloadConfig{});
+
+  OverloadController(const OverloadController&) = delete;
+  OverloadController& operator=(const OverloadController&) = delete;
+
+  /// Endpoint → cost class (see header comment).  Unknown targets are
+  /// kNormal: they 404 immediately, which costs nothing.
+  [[nodiscard]] static CostClass classify(std::string_view method,
+                                          std::string_view target) noexcept;
+
+  /// Admission decision for one request.  `deadline_expired` sheds
+  /// unconditionally (the answer could only arrive late).  Cheap requests
+  /// are always admitted and hold no slots.
+  [[nodiscard]] Ticket admit(CostClass cost, std::string_view endpoint,
+                             bool deadline_expired);
+
+  /// True when `remaining` covers an exact-LP solve under the current cost
+  /// model max(EWMA, floor).  Does not log — pair with record_degrade().
+  [[nodiscard]] bool lp_budget_allows(std::chrono::nanoseconds remaining) const noexcept;
+
+  /// Feeds one measured exact-LP solve into the EWMA cost model.
+  void observe_lp_cost(std::chrono::nanoseconds elapsed) noexcept;
+
+  /// Current exact-LP cost estimate, max(EWMA, floor), in microseconds.
+  [[nodiscard]] std::int64_t lp_cost_estimate_us() const noexcept;
+
+  /// Logs + counts a degraded answer (the caller already built it).
+  void record_degrade(std::string_view endpoint, std::string_view reason);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const OverloadConfig& config() const noexcept { return config_; }
+  [[nodiscard]] DecisionLog& decision_log() noexcept { return log_; }
+
+ private:
+  void log_decision(std::string_view decision, std::string_view endpoint,
+                    CostClass cost, std::string_view reason);
+
+  OverloadConfig config_;
+  DecisionLog log_;
+
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> inflight_heavy_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_queue_{0};
+  std::atomic<std::uint64_t> shed_heavy_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::int64_t> lp_ewma_us_{0};  ///< 0 = no observation yet
+};
+
+}  // namespace hetero::service

@@ -36,8 +36,10 @@
 #include <string>
 
 #include "hetero/core/batch.h"
+#include "hetero/core/cancel.h"
 #include "hetero/core/environment.h"
 #include "hetero/service/http.h"
+#include "hetero/service/overload.h"
 #include "hetero/service/plan_cache.h"
 
 namespace hetero::service {
@@ -54,6 +56,9 @@ struct PlannerConfig {
   std::size_t max_machines = 1 << 16;      ///< per-profile size cap
   std::size_t max_batch_profiles = 4096;   ///< "profiles" array cap
   std::size_t max_exact_machines = 12;     ///< exact-LP /v1/allocate cap
+  /// Admission watermarks, shed policy, and the exact-LP cost model
+  /// (overload.h).  Defaults admit everything.
+  OverloadConfig overload;
 };
 
 class Planner {
@@ -61,20 +66,34 @@ class Planner {
   explicit Planner(PlannerConfig config = PlannerConfig{});
 
   /// Routes and answers one request.  Never throws: malformed requests map
-  /// to 4xx, library validation failures to 400, unexpected errors to 500.
+  /// to 4xx, library validation failures to 400, unexpected errors to 500,
+  /// and overload to 503 + Retry-After.
+  ///
+  /// Deadlines: an `X-Hetero-Deadline-Ms` request header (nonnegative
+  /// integer milliseconds of remaining budget) becomes a core::CancelToken
+  /// deadline.  A request arriving already expired (0) is shed; a request
+  /// whose remaining budget cannot cover the exact-LP path is answered from
+  /// the plan cache when possible and otherwise degraded to the closed-form
+  /// answer, marked with `"degraded": true` in the body and an
+  /// `X-Hetero-Degraded` response header.  Degraded bodies are never cached,
+  /// so a later request with budget recomputes and caches the full answer
+  /// (stale-while-revalidate).
   [[nodiscard]] HttpResponse handle(const HttpRequest& request);
 
   [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+  [[nodiscard]] OverloadController& overload() noexcept { return overload_; }
   [[nodiscard]] const PlannerConfig& config() const noexcept { return config_; }
 
   /// "heterod/<version>"; also reported by GET /version.
   [[nodiscard]] static std::string version_string();
 
  private:
-  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request);
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request,
+                                      const core::CancelToken& token);
 
   PlannerConfig config_;
   PlanCache cache_;
+  OverloadController overload_;
 };
 
 }  // namespace hetero::service

@@ -41,6 +41,23 @@ struct ServerConfig {
   int poll_interval_ms = 100;  ///< idle-connection poll (drain reaction time)
   int drain_grace_ms = 5000;   ///< per-connection bound once draining
   int listen_backlog = 128;
+
+  // Overload + slow-client defenses.  A worker owns its connection, so
+  // connections beyond the pool would queue unserviced while keep-alive
+  // clients hold every worker; the accept loop bounds them instead: past
+  // max_connections a new connection is answered 503 + Retry-After and
+  // closed immediately (no accept-queue collapse, no held worker).
+  std::size_t max_connections = 0;  ///< 0 = 4x the worker pool size
+  /// Slow-loris bound: a request that has started arriving (mid-request)
+  /// must complete within this budget or the connection is answered 408 and
+  /// closed.  <= 0 disables.
+  int read_timeout_ms = 10'000;
+  /// Idle keep-alive connections (no request in flight) are reaped after
+  /// this long, freeing their worker.  <= 0 disables.
+  int idle_timeout_ms = 60'000;
+  /// Total bound on writing one response to a non-reading peer; on expiry
+  /// the connection is dropped.  <= 0 disables.
+  int write_timeout_ms = 10'000;
 };
 
 class Server {
@@ -70,9 +87,22 @@ class Server {
   [[nodiscard]] bool draining() const noexcept {
     return draining_.load(std::memory_order_acquire);
   }
+  /// Connections currently held by workers (excludes accept-shed ones).
+  [[nodiscard]] std::size_t active_connections() const noexcept {
+    return active_connections_.load(std::memory_order_acquire);
+  }
+  /// Connections answered 503 at the accept loop (max_connections cap).
+  [[nodiscard]] std::uint64_t shed_connections() const noexcept {
+    return shed_connections_.load(std::memory_order_relaxed);
+  }
+  /// Connections closed by the slow-loris (408) or idle-reap timeouts.
+  [[nodiscard]] std::uint64_t timed_out_connections() const noexcept {
+    return timed_out_connections_.load(std::memory_order_relaxed);
+  }
 
  private:
   void handle_connection(int fd);
+  void shed_connection(int fd) noexcept;
 
   Planner& planner_;
   ServerConfig config_;
@@ -81,6 +111,9 @@ class Server {
   int wake_write_fd_ = -1;
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> active_connections_{0};
+  std::atomic<std::uint64_t> shed_connections_{0};
+  std::atomic<std::uint64_t> timed_out_connections_{0};
 };
 
 }  // namespace hetero::service

@@ -1,0 +1,178 @@
+#include "hetero/service/overload.h"
+
+#include <algorithm>
+
+#include "hetero/obs/metrics.h"
+
+namespace hetero::service {
+
+// ---------------------------------------------------------------------------
+// DecisionLog
+
+void DecisionLog::append(std::string line) {
+  std::lock_guard lock{mutex_};
+  std::string numbered = std::to_string(next_seq_++);
+  numbered += ' ';
+  numbered += line;
+  lines_.push_back(std::move(numbered));
+  if (lines_.size() > capacity_) {
+    lines_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> DecisionLog::snapshot() const {
+  std::lock_guard lock{mutex_};
+  return {lines_.begin(), lines_.end()};
+}
+
+std::string DecisionLog::dump() const {
+  std::lock_guard lock{mutex_};
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  const std::uint64_t dropped = dropped_.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    out += "dropped ";
+    out += std::to_string(dropped);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// OverloadController
+
+OverloadController::OverloadController(OverloadConfig config)
+    : config_{config}, log_{config.decision_log_capacity} {}
+
+void OverloadController::Ticket::release() noexcept {
+  if (controller_ == nullptr) return;
+  controller_->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (heavy_) controller_->inflight_heavy_.fetch_sub(1, std::memory_order_acq_rel);
+  controller_ = nullptr;
+}
+
+CostClass OverloadController::classify(std::string_view method,
+                                       std::string_view target) noexcept {
+  if (method == "GET" || method == "HEAD") {
+    if (target == "/healthz" || target == "/metrics" || target == "/version") {
+      return CostClass::kCheap;
+    }
+  }
+  if (target == "/v1/allocate" || target == "/v1/upgrade") return CostClass::kHeavy;
+  return CostClass::kNormal;
+}
+
+OverloadController::Ticket OverloadController::admit(CostClass cost,
+                                                     std::string_view endpoint,
+                                                     bool deadline_expired) {
+  [[maybe_unused]] static obs::Counter& obs_shed = obs::counter("service.shed");
+  [[maybe_unused]] static obs::Counter& obs_shed_queue = obs::counter("service.shed.queue");
+  [[maybe_unused]] static obs::Counter& obs_shed_heavy = obs::counter("service.shed.heavy");
+  [[maybe_unused]] static obs::Counter& obs_shed_deadline =
+      obs::counter("service.shed.deadline");
+
+  Ticket ticket;
+  if (cost == CostClass::kCheap) return ticket;  // unconditional, slot-free
+
+  if (deadline_expired) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    obs_shed.add(1);
+    obs_shed_deadline.add(1);
+    log_decision("shed", endpoint, cost, "deadline");
+    ticket.shed_reason_ = "deadline";
+    return ticket;
+  }
+
+  // Optimistic acquire, roll back on a crossed watermark: two fetch_adds
+  // instead of a CAS loop — momentary over-admission by racing threads is
+  // fine (watermarks are pressure valves, not capacity proofs).
+  const bool heavy = cost == CostClass::kHeavy;
+  const std::uint64_t total = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (config_.max_inflight != 0 && total > config_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    shed_queue_.fetch_add(1, std::memory_order_relaxed);
+    obs_shed.add(1);
+    obs_shed_queue.add(1);
+    log_decision("shed", endpoint, cost, "queue");
+    ticket.shed_reason_ = "queue";
+    return ticket;
+  }
+  if (heavy) {
+    const std::uint64_t heavies = inflight_heavy_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (config_.max_inflight_heavy != 0 && heavies > config_.max_inflight_heavy) {
+      inflight_heavy_.fetch_sub(1, std::memory_order_acq_rel);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      shed_heavy_.fetch_add(1, std::memory_order_relaxed);
+      obs_shed.add(1);
+      obs_shed_heavy.add(1);
+      log_decision("shed", endpoint, cost, "heavy");
+      ticket.shed_reason_ = "heavy";
+      return ticket;
+    }
+  }
+
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  ticket.controller_ = this;
+  ticket.heavy_ = heavy;
+  return ticket;
+}
+
+bool OverloadController::lp_budget_allows(std::chrono::nanoseconds remaining) const noexcept {
+  const auto estimate = std::chrono::microseconds{lp_cost_estimate_us()};
+  return remaining >= std::chrono::duration_cast<std::chrono::nanoseconds>(estimate);
+}
+
+void OverloadController::observe_lp_cost(std::chrono::nanoseconds elapsed) noexcept {
+  const std::int64_t sample_us = std::max<std::int64_t>(
+      1, std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  std::int64_t previous = lp_ewma_us_.load(std::memory_order_relaxed);
+  std::int64_t updated;
+  do {
+    // EWMA with alpha = 1/4; the first sample seeds the average.
+    updated = previous == 0 ? sample_us : previous + (sample_us - previous) / 4;
+    if (updated == previous) return;
+  } while (!lp_ewma_us_.compare_exchange_weak(previous, updated, std::memory_order_relaxed));
+}
+
+std::int64_t OverloadController::lp_cost_estimate_us() const noexcept {
+  return std::max(lp_ewma_us_.load(std::memory_order_relaxed), config_.lp_cost_floor_us);
+}
+
+void OverloadController::record_degrade(std::string_view endpoint, std::string_view reason) {
+  [[maybe_unused]] static obs::Counter& obs_degraded = obs::counter("service.degraded");
+  degraded_.fetch_add(1, std::memory_order_relaxed);
+  obs_degraded.add(1);
+  log_decision("degrade", endpoint, classify("POST", endpoint), reason);
+}
+
+OverloadController::Stats OverloadController::stats() const {
+  Stats stats;
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed_queue = shed_queue_.load(std::memory_order_relaxed);
+  stats.shed_heavy = shed_heavy_.load(std::memory_order_relaxed);
+  stats.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.inflight = inflight_.load(std::memory_order_relaxed);
+  stats.inflight_heavy = inflight_heavy_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void OverloadController::log_decision(std::string_view decision, std::string_view endpoint,
+                                      CostClass cost, std::string_view reason) {
+  // No timestamps: the line must be a pure function of the decision so a
+  // chaos replay reproduces the log byte for byte.
+  std::string line;
+  line.reserve(64);
+  line.append(decision).append(" ").append(endpoint).append(" class=").append(to_string(cost));
+  line.append(" reason=").append(reason);
+  line.append(" inflight=").append(std::to_string(inflight_.load(std::memory_order_relaxed)));
+  line.append(" heavy=")
+      .append(std::to_string(inflight_heavy_.load(std::memory_order_relaxed)));
+  log_.append(std::move(line));
+}
+
+}  // namespace hetero::service

@@ -1,5 +1,7 @@
 #include "hetero/service/planner.h"
 
+#include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <optional>
@@ -111,6 +113,45 @@ namespace {
   Json array = Json::array();
   for (const double v : values) array.push_back(Json{v});
   return array;
+}
+
+// --------------------------------------------------------------------------
+// Deadline header.  The client states its remaining budget in milliseconds;
+// 0 means "already expired" (useful for deterministic shed tests and for
+// proxies forwarding a blown budget).  Malformed values are a 400 — a
+// deadline the server silently ignored would be worse than a rejection.
+
+constexpr std::uint64_t kMaxDeadlineMs = 24ull * 3600 * 1000;
+
+struct DeadlineParse {
+  bool malformed = false;
+  bool expired = false;
+  core::CancelToken token;  ///< inert when the header was absent
+};
+
+[[nodiscard]] DeadlineParse parse_deadline(const HttpRequest& request) {
+  DeadlineParse parsed;
+  const std::string_view header = request.header("X-Hetero-Deadline-Ms");
+  if (header.empty()) return parsed;
+  std::uint64_t ms = 0;
+  const auto [end, ec] = std::from_chars(header.data(), header.data() + header.size(), ms);
+  if (ec != std::errc{} || end != header.data() + header.size() || ms > kMaxDeadlineMs) {
+    parsed.malformed = true;
+    return parsed;
+  }
+  if (ms == 0) {
+    parsed.expired = true;
+    return parsed;
+  }
+  parsed.token = core::CancelToken{}.with_timeout(std::chrono::milliseconds{ms});
+  return parsed;
+}
+
+[[nodiscard]] HttpResponse shed_response(const char* reason, int retry_after_s) {
+  HttpResponse response =
+      HttpResponse::error(503, std::string{"overloaded: shed ("} + reason + ")");
+  response.headers.emplace_back("Retry-After", std::to_string(retry_after_s));
+  return response;
 }
 
 // --------------------------------------------------------------------------
@@ -297,7 +338,9 @@ constexpr std::size_t kIncrementalDiffLimit = 8;
 }  // namespace
 
 Planner::Planner(PlannerConfig config)
-    : config_{std::move(config)}, cache_{config_.cache_capacity, config_.cache_shards} {}
+    : config_{std::move(config)},
+      cache_{config_.cache_capacity, config_.cache_shards},
+      overload_{config_.overload} {}
 
 std::string Planner::version_string() { return "heterod/" HETERO_SERVICE_VERSION; }
 
@@ -313,7 +356,24 @@ HttpResponse Planner::handle(const HttpRequest& request) {
     HETERO_OBS_SCOPE("service.handle");
     [[maybe_unused]] static obs::Histogram& latency = obs::histogram("service.request_us");
     const std::uint64_t start_ns = obs::kEnabled ? obs::SpanCollector::now_ns() : 0;
-    response = dispatch(request);
+
+    // Deadline, then admission, then work — rejecting is the cheap path and
+    // must stay cheap, so nothing beyond the headers is inspected yet.
+    const DeadlineParse deadline = parse_deadline(request);
+    if (deadline.malformed) {
+      response = HttpResponse::error(
+          400, "malformed X-Hetero-Deadline-Ms (nonnegative integer milliseconds)");
+    } else {
+      const CostClass cost = OverloadController::classify(request.method, request.target);
+      const OverloadController::Ticket ticket =
+          overload_.admit(cost, request.target, deadline.expired);
+      if (!ticket.admitted()) {
+        response = shed_response(ticket.shed_reason(), config_.overload.retry_after_s);
+      } else {
+        response = dispatch(request, deadline.token);
+      }
+    }
+
     if constexpr (obs::kEnabled) {
       latency.record(static_cast<double>(obs::SpanCollector::now_ns() - start_ns) / 1000.0);
     }
@@ -325,7 +385,7 @@ HttpResponse Planner::handle(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse Planner::dispatch(const HttpRequest& request) {
+HttpResponse Planner::dispatch(const HttpRequest& request, const core::CancelToken& token) {
   const std::string& target = request.target;
 
   // Operational GET surface.
@@ -493,6 +553,19 @@ HttpResponse Planner::dispatch(const HttpRequest& request) {
       return response;
     }
 
+    // Graceful degradation: when the request carries a deadline whose
+    // remaining budget cannot cover the expensive path (the exact LP, or
+    // the multi-round greedy upgrade plan), answer with the closed-form
+    // part only, marked degraded — never a blown deadline.  The cache probe
+    // above already served any previously computed full answer; degraded
+    // bodies are not cached, so the next unconstrained request recomputes
+    // and caches the real one (stale-while-revalidate).
+    const char* degrade_reason = nullptr;
+    if (token.has_deadline() && !overload_.lp_budget_allows(token.remaining())) {
+      if (kind == QueryKind::kAllocate && exact) degrade_reason = "lp-budget";
+      if (kind == QueryKind::kUpgrade && rounds > 0) degrade_reason = "plan-budget";
+    }
+
     Json out = Json::object();
     switch (kind) {
       case QueryKind::kX: out = compute_x(speeds, env); break;
@@ -501,16 +574,34 @@ HttpResponse Planner::dispatch(const HttpRequest& request) {
         break;
       case QueryKind::kHecr: out = compute_hecr(speeds, env); break;
       case QueryKind::kAllocate:
-        out = compute_allocate(speeds, env, param0, exact, config_.max_exact_machines);
+        if (exact && degrade_reason == nullptr) {
+          // Feed the measured solve time into the overload controller's
+          // cost model so future degrade decisions track reality.
+          const auto lp_start = std::chrono::steady_clock::now();
+          out = compute_allocate(speeds, env, param0, true, config_.max_exact_machines);
+          overload_.observe_lp_cost(std::chrono::steady_clock::now() - lp_start);
+        } else {
+          out = compute_allocate(speeds, env, param0, false, config_.max_exact_machines);
+        }
         break;
       case QueryKind::kUpgrade:
-        out = compute_upgrade(speeds, env, multiplicative, param0, rounds);
+        out = compute_upgrade(speeds, env, multiplicative, param0,
+                              degrade_reason == nullptr ? rounds : 0);
         break;
     }
+    if (degrade_reason != nullptr) {
+      out.set("degraded", Json{true});
+      out.set("degraded_reason", Json{degrade_reason});
+      overload_.record_degrade(target, degrade_reason);
+    }
     std::string body_text = out.dump();
-    cache_.insert(std::move(key), fp, body_text);
+    if (degrade_reason == nullptr) cache_.insert(std::move(key), fp, body_text);
     HttpResponse response = HttpResponse::json(200, std::move(body_text));
-    response.headers.emplace_back("X-Hetero-Cache", "miss");
+    response.headers.emplace_back("X-Hetero-Cache",
+                                  degrade_reason == nullptr ? "miss" : "bypass");
+    if (degrade_reason != nullptr) {
+      response.headers.emplace_back("X-Hetero-Degraded", degrade_reason);
+    }
     return response;
   } catch (const std::invalid_argument& error) {
     return HttpResponse::error(400, error.what());

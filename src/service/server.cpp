@@ -38,8 +38,14 @@ void close_fd(int& fd) noexcept {
 
 /// Writes the whole buffer, retrying on EINTR and waiting out EAGAIN with
 /// poll (sockets are left blocking, so EAGAIN only appears with SO_SNDTIMEO;
-/// handling it anyway keeps the loop robust).  Returns false on a dead peer.
-bool write_all(int fd, std::string_view bytes) {
+/// handling it anyway keeps the loop robust).  Returns false on a dead peer
+/// or once `timeout_ms` has elapsed in total (<= 0 = a 1s-per-stall bound
+/// only) — a peer that stops reading must not pin a worker forever.
+bool write_all(int fd, std::string_view bytes, int timeout_ms = 0) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point give_up =
+      timeout_ms > 0 ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+                     : Clock::time_point::max();
   while (!bytes.empty()) {
     const ssize_t sent = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
     if (sent > 0) {
@@ -48,6 +54,7 @@ bool write_all(int fd, std::string_view bytes) {
     }
     if (sent < 0 && errno == EINTR) continue;
     if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Clock::now() >= give_up) return false;
       pollfd waiter{fd, POLLOUT, 0};
       if (::poll(&waiter, 1, 1000) <= 0) return false;
       continue;
@@ -130,6 +137,13 @@ void Server::serve() {
     }
     parallel::ThreadPool workers{threads, parallel::ShutdownMode::kDrain};
 
+    // Connection cap: a worker owns its connection, so connections past the
+    // pool would sit in the task queue unserviced while keep-alive clients
+    // hold every worker (accept-queue collapse with extra steps).  Bound
+    // them here and shed the excess with an immediate 503 + close.
+    const std::size_t max_connections =
+        config_.max_connections != 0 ? config_.max_connections : 4 * threads;
+
     [[maybe_unused]] static obs::Counter& accepted = obs::counter("service.connections");
     for (;;) {
       pollfd waiters[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
@@ -146,11 +160,17 @@ void Server::serve() {
         if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE) continue;
         break;
       }
+      if (active_connections_.load(std::memory_order_acquire) >= max_connections) {
+        shed_connection(conn);
+        continue;
+      }
       accepted.add(1);
+      active_connections_.fetch_add(1, std::memory_order_acq_rel);
       try {
         workers.submit([this, conn] { handle_connection(conn); });
       } catch (...) {
         ::close(conn);
+        active_connections_.fetch_sub(1, std::memory_order_acq_rel);
         throw;
       }
     }
@@ -165,18 +185,50 @@ void Server::serve() {
   close_fd(wake_write_fd_);
 }
 
+void Server::shed_connection(int fd) noexcept {
+  // Over the connection cap: answer 503 + Retry-After and close, without
+  // ever giving the connection a worker.  The write is bounded (the
+  // response is far smaller than any socket buffer, and SO_SNDTIMEO guards
+  // the pathological case) so the accept loop cannot be wedged by a
+  // non-reading peer.
+  [[maybe_unused]] static obs::Counter& shed = obs::counter("service.shed.connections");
+  shed_connections_.fetch_add(1, std::memory_order_relaxed);
+  shed.add(1);
+  HttpResponse response = HttpResponse::error(503, "overloaded: connection limit");
+  response.headers.emplace_back("Retry-After", "1");
+  response.close = true;
+  const timeval timeout{0, 100'000};  // 100ms
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+  const std::string wire = response.serialize(/*keep_alive=*/false);
+  (void)write_all(fd, wire, /*timeout_ms=*/100);
+  ::close(fd);
+}
+
 void Server::handle_connection(int fd) {
   [[maybe_unused]] static obs::Gauge& active = obs::gauge("service.conn_active");
   [[maybe_unused]] static obs::Counter& bytes_in = obs::counter("service.bytes_in");
   [[maybe_unused]] static obs::Counter& bytes_out = obs::counter("service.bytes_out");
+  [[maybe_unused]] static obs::Counter& read_timeouts = obs::counter("service.timeouts.read");
+  [[maybe_unused]] static obs::Counter& idle_reaped = obs::counter("service.conn_idle_reaped");
   active.add(1.0);
 
   const int enable = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+  // SO_SNDTIMEO turns a peer that stopped reading into periodic EAGAINs, so
+  // write_all's total write_timeout_ms bound can take effect.
+  const timeval send_tick{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tick, sizeof send_tick);
 
   using Clock = std::chrono::steady_clock;
   Clock::time_point drain_deadline{};
   bool drain_seen = false;
+
+  // Slow-client clocks: `request_started` is set while a request is
+  // partially buffered (slow-loris defense: trickling bytes does NOT reset
+  // it); `last_request_done` anchors the idle keep-alive reaper.
+  Clock::time_point request_started{};
+  bool request_in_flight = false;
+  Clock::time_point last_request_done = Clock::now();
 
   RequestParser parser{config_.limits};
   std::vector<char> chunk(16 * 1024);
@@ -185,24 +237,33 @@ void Server::handle_connection(int fd) {
     HttpRequest request;
     RequestParser::Status status = parser.poll(request);
     if (status == RequestParser::Status::kError) {
-      const HttpResponse response = HttpResponse::error(parser.error_status(),
-                                                        parser.error_reason());
+      // Parse-limit errors poison the stream: the response must carry
+      // Connection: close so the client never reuses this connection.
+      HttpResponse response = HttpResponse::error(parser.error_status(),
+                                                  parser.error_reason());
+      response.close = true;
       const std::string wire = response.serialize(/*keep_alive=*/false);
-      if (write_all(fd, wire)) bytes_out.add(wire.size());
+      if (write_all(fd, wire, config_.write_timeout_ms)) bytes_out.add(wire.size());
       break;
     }
     if (status == RequestParser::Status::kReady) {
+      request_in_flight = false;
+      last_request_done = Clock::now();
       const bool draining_now = draining_.load(std::memory_order_acquire);
-      const bool keep = request.keep_alive() && !draining_now;
       const HttpResponse response = planner_.handle(request);
+      const bool keep = request.keep_alive() && !draining_now && !response.close;
       const std::string wire = response.serialize(keep);
-      if (!write_all(fd, wire)) break;
+      if (!write_all(fd, wire, config_.write_timeout_ms)) break;
       bytes_out.add(wire.size());
       if (!keep) break;
       continue;  // drain any further pipelined requests before reading
     }
 
     // kNeedMore: wait for bytes, with a short timeout so drains are noticed.
+    if (parser.mid_request() && !request_in_flight) {
+      request_in_flight = true;
+      request_started = Clock::now();
+    }
     if (draining_.load(std::memory_order_acquire)) {
       if (!drain_seen) {
         drain_seen = true;
@@ -212,13 +273,32 @@ void Server::handle_connection(int fd) {
       if (!parser.mid_request()) break;
       if (Clock::now() >= drain_deadline) break;
     }
+    if (request_in_flight && config_.read_timeout_ms > 0 &&
+        Clock::now() >= request_started + std::chrono::milliseconds(config_.read_timeout_ms)) {
+      // Slow loris: the request started arriving read_timeout_ms ago and
+      // still has no end in sight.  408 and close.
+      read_timeouts.add(1);
+      timed_out_connections_.fetch_add(1, std::memory_order_relaxed);
+      const HttpResponse response =
+          HttpResponse::error(408, "request did not complete in time");
+      const std::string wire = response.serialize(/*keep_alive=*/false);
+      if (write_all(fd, wire, config_.write_timeout_ms)) bytes_out.add(wire.size());
+      break;
+    }
+    if (!request_in_flight && config_.idle_timeout_ms > 0 &&
+        Clock::now() >= last_request_done + std::chrono::milliseconds(config_.idle_timeout_ms)) {
+      // Idle keep-alive reap: free the worker for a live client.
+      idle_reaped.add(1);
+      timed_out_connections_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
     pollfd waiter{fd, POLLIN, 0};
     const int ready = ::poll(&waiter, 1, config_.poll_interval_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if (ready == 0) continue;  // timeout: loop re-checks the drain flag
+    if (ready == 0) continue;  // timeout: loop re-checks drain + timeouts
     const ssize_t got = ::read(fd, chunk.data(), chunk.size());
     if (got < 0) {
       if (errno == EINTR) continue;
@@ -231,6 +311,7 @@ void Server::handle_connection(int fd) {
 
   ::close(fd);
   active.add(-1.0);
+  active_connections_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 }  // namespace hetero::service

@@ -69,3 +69,20 @@ TEST(CancelToken, CancellationWinsOverDeadlineInCheck) {
   source.cancel();
   EXPECT_THROW(token.check(), core::Cancelled);  // stop flag checked first
 }
+
+TEST(CancelToken, RemainingBudgetTracksTheDeadline) {
+  // No deadline: infinite budget.
+  const core::CancelToken inert;
+  EXPECT_EQ(inert.remaining(), core::CancelToken::Clock::duration::max());
+
+  core::CancelSource source;
+  const core::CancelToken token = source.token().with_timeout(1h);
+  const auto remaining = token.remaining();
+  EXPECT_GT(remaining, 59min);
+  EXPECT_LE(remaining, 1h);
+
+  // Expired: clamps to zero, never negative.
+  const core::CancelToken expired =
+      source.token().with_deadline(core::CancelToken::Clock::now() - 1ms);
+  EXPECT_EQ(expired.remaining(), core::CancelToken::Clock::duration::zero());
+}

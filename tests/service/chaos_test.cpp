@@ -1,0 +1,161 @@
+// The deterministic chaos proxy: fault plans are a pure function of
+// (seed, connection index); torn relays exercise every parser split point
+// against a live server without corrupting answers; lethal plans (resets,
+// mid-response kills) fail requests cleanly — bounded, never hung — and the
+// server's decision log is reproducible across identical request sequences.
+
+#include "hetero/service/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hetero/core/environment.h"
+#include "hetero/core/power.h"
+#include "hetero/service/client.h"
+#include "hetero/service/json.h"
+#include "hetero/service/planner.h"
+#include "hetero/service/server.h"
+
+namespace hetero::service {
+namespace {
+
+const core::Environment kEnv = core::Environment::paper_default();
+
+/// Planner + Server + ChaosProxy stack on loopback ephemeral ports.
+class ChaosStack {
+ public:
+  explicit ChaosStack(int force_kind) {
+    ServerConfig server_config;
+    server_config.port = 0;
+    server_config.threads = 2;
+    server_config.poll_interval_ms = 10;
+    server_config.read_timeout_ms = 2000;
+    server_.emplace(planner_, server_config);
+    server_->listen();
+    serve_thread_ = std::thread{[this] { server_->serve(); }};
+
+    ChaosConfig chaos_config;
+    chaos_config.seed = 42;
+    chaos_config.upstream_port = server_->port();
+    chaos_config.force_kind = force_kind;
+    chaos_config.stall_ms = 30;  // well below the server read timeout
+    proxy_.emplace(chaos_config);
+    proxy_->start();
+  }
+
+  ~ChaosStack() {
+    proxy_->stop();
+    server_->request_stop();
+    if (serve_thread_.joinable()) serve_thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return proxy_->port(); }
+  [[nodiscard]] Planner& planner() { return planner_; }
+  [[nodiscard]] ChaosProxy& proxy() { return *proxy_; }
+
+ private:
+  Planner planner_;
+  std::optional<Server> server_;
+  std::optional<ChaosProxy> proxy_;
+  std::thread serve_thread_;
+};
+
+TEST(ChaosPlanFor, IsDeterministicAndCoversEveryKind) {
+  std::set<ChaosKind> seen;
+  for (std::uint64_t conn = 0; conn < 64; ++conn) {
+    const ChaosPlan a = ChaosProxy::plan_for(7, conn);
+    const ChaosPlan b = ChaosProxy::plan_for(7, conn);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.trigger_offset, b.trigger_offset);
+    EXPECT_LT(a.trigger_offset, 64u);
+    seen.insert(a.kind);
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kChaosKindCount));
+
+  // Different seeds produce different plan sequences (some index differs).
+  bool any_difference = false;
+  for (std::uint64_t conn = 0; conn < 16 && !any_difference; ++conn) {
+    any_difference = ChaosProxy::plan_for(1, conn).kind != ChaosProxy::plan_for(2, conn).kind;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ChaosProxyLive, TornRelayPreservesAnswersAtEveryByteSplit) {
+  // Every byte of request and response travels in its own segment: the
+  // server parser and the client response reader see every possible split
+  // point, and the answer must still be bit-identical to the library.
+  ChaosStack stack{static_cast<int>(ChaosKind::kTornEveryByte)};
+  const std::vector<double> speeds{8.0, 4.0, 2.0, 1.0};
+  for (int i = 0; i < 3; ++i) {
+    HttpClient client{"127.0.0.1", stack.port(), /*io_timeout_ms=*/5000};
+    const ClientResponse response = client.post("/v1/x", R"({"profile": [8, 4, 2, 1]})");
+    ASSERT_EQ(response.status, 200);
+    EXPECT_EQ(Json::parse(response.body).at("x").number(),
+              core::x_measure_serial(speeds, kEnv));
+  }
+  EXPECT_EQ(stack.proxy().stats().by_kind[static_cast<int>(ChaosKind::kTornEveryByte)], 3u);
+}
+
+TEST(ChaosProxyLive, StallBelowReadTimeoutStillAnswers) {
+  ChaosStack stack{static_cast<int>(ChaosKind::kStallRequest)};
+  HttpClient client{"127.0.0.1", stack.port(), /*io_timeout_ms=*/5000};
+  const ClientResponse response = client.post("/v1/x", R"({"profile": [2, 1]})");
+  EXPECT_EQ(response.status, 200);
+}
+
+TEST(ChaosProxyLive, ResetRequestFailsCleanlyWithoutHanging) {
+  // The proxy kills the connection inside the request head; the client must
+  // observe a clean transport failure (bounded by its io timeout), and the
+  // server must log nothing (the request never completed).
+  ChaosStack stack{static_cast<int>(ChaosKind::kResetRequest)};
+  HttpClient client{"127.0.0.1", stack.port(), /*io_timeout_ms=*/3000};
+  EXPECT_THROW((void)client.post("/v1/x", R"({"profile": [2, 1]})"), std::runtime_error);
+  EXPECT_TRUE(stack.planner().overload().decision_log().snapshot().empty());
+}
+
+TEST(ChaosProxyLive, KillResponseFailsCleanlyWithoutHanging) {
+  ChaosStack stack{static_cast<int>(ChaosKind::kKillResponse)};
+  HttpClient client{"127.0.0.1", stack.port(), /*io_timeout_ms=*/3000};
+  // The request reaches the server (and may be fully processed); the torn
+  // response must surface as an exception, never a wrong answer.
+  EXPECT_THROW((void)client.post("/v1/x", R"({"profile": [2, 1]})"), std::runtime_error);
+}
+
+TEST(ChaosProxyLive, SeededDecisionSequenceReplaysByteIdentical) {
+  // Two identical serial request sequences against two fresh stacks produce
+  // byte-identical decision logs — the soak's determinism contract in
+  // miniature (deadline sheds + tiny-budget degrades are the decisions).
+  auto run_sequence = [](ChaosStack& stack) {
+    for (int i = 0; i < 6; ++i) {
+      HttpClient client{"127.0.0.1", stack.port(), /*io_timeout_ms=*/5000};
+      try {
+        if (i % 2 == 0) {
+          (void)client.request("POST", "/v1/x", R"({"profile": [4, 2]})", "application/json",
+                               {{"X-Hetero-Deadline-Ms", "0"}});
+        } else {
+          (void)client.request("POST", "/v1/allocate",
+                               R"({"profile": [9, 5, 3], "lifespan": 50, "exact": true})",
+                               "application/json", {{"X-Hetero-Deadline-Ms", "1"}});
+        }
+      } catch (const std::exception&) {
+        // Chaos may kill a request; with force_kind clean it should not.
+      }
+    }
+    return stack.planner().overload().decision_log().dump();
+  };
+
+  ChaosStack first{static_cast<int>(ChaosKind::kClean)};
+  ChaosStack second{static_cast<int>(ChaosKind::kClean)};
+  const std::string log_first = run_sequence(first);
+  const std::string log_second = run_sequence(second);
+  EXPECT_FALSE(log_first.empty());
+  EXPECT_EQ(log_first, log_second);
+}
+
+}  // namespace
+}  // namespace hetero::service

@@ -1,0 +1,217 @@
+// The resilient service::Client: jittered-backoff retries, Retry-After
+// honored on sheds, degraded answers surfaced as their own disposition, and
+// the consecutive-failure circuit breaker (open → cooldown → half-open
+// probe → closed).  Driven against a scripted raw-socket stub server so
+// every failure mode is exact.
+
+#include "hetero/service/client.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hetero::service {
+namespace {
+
+/// Scripted server: accepts connections serially and answers request k with
+/// the k-th scripted wire response (repeating the last one when the script
+/// runs out), reading until it sees the end of the request head + body.
+class StubServer {
+ public:
+  explicit StubServer(std::vector<std::string> responses)
+      : responses_{std::move(responses)} {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = 0;
+    ::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&address), sizeof address);
+    ::listen(listen_fd_, 8);
+    socklen_t len = sizeof address;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address), &len);
+    port_ = ntohs(address.sin_port);
+    thread_ = std::thread{[this] { serve(); }};
+  }
+
+  ~StubServer() {
+    stop_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int requests_seen() const { return requests_seen_.load(); }
+  [[nodiscard]] std::string last_request() {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    return last_request_;
+  }
+
+ private:
+  void serve() {
+    std::size_t index = 0;
+    while (!stop_.load()) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) return;
+      // One request per connection is all these tests need.
+      std::string request;
+      char chunk[4096];
+      while (request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t got = ::read(conn, chunk, sizeof chunk);
+        if (got <= 0) break;
+        request.append(chunk, static_cast<std::size_t>(got));
+      }
+      {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        last_request_ = request;
+      }
+      requests_seen_.fetch_add(1);
+      const std::string& wire =
+          responses_[std::min(index, responses_.size() - 1)];
+      ++index;
+      (void)::send(conn, wire.data(), wire.size(), MSG_NOSIGNAL);
+      ::close(conn);
+    }
+  }
+
+  std::vector<std::string> responses_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> requests_seen_{0};
+  std::mutex mutex_;
+  std::string last_request_;
+};
+
+[[nodiscard]] std::string wire_response(int status, const std::string& reason,
+                                        const std::string& extra_headers,
+                                        const std::string& body) {
+  std::string wire = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  wire += "Content-Type: application/json\r\n";
+  wire += extra_headers;
+  wire += "Content-Length: " + std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  wire += body;
+  return wire;
+}
+
+ClientConfig fast_config() {
+  ClientConfig config;
+  config.backoff.initial = 1.0;  // keep test wall-clock tiny
+  config.backoff.max_retries = 3;
+  config.io_timeout_ms = 2000;
+  return config;
+}
+
+TEST(ResilientClient, RetriesShedsAndSucceeds) {
+  StubServer stub{{
+      wire_response(503, "Service Unavailable", "Retry-After: 0\r\n", R"({"error":"overloaded"})"),
+      wire_response(503, "Service Unavailable", "Retry-After: 0\r\n", R"({"error":"overloaded"})"),
+      wire_response(200, "OK", "", R"({"x":1})"),
+  }};
+  Client client{"127.0.0.1", stub.port(), fast_config()};
+  const Client::Outcome outcome = client.get("/v1/x");
+  EXPECT_EQ(outcome.disposition, Disposition::kOk);
+  EXPECT_EQ(outcome.response.status, 200);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(client.stats().sheds_seen, 2u);
+  EXPECT_EQ(client.stats().retries, 2u);
+}
+
+TEST(ResilientClient, ExhaustedShedsReportKShed) {
+  StubServer stub{{
+      wire_response(503, "Service Unavailable", "Retry-After: 0\r\n", R"({"error":"overloaded"})"),
+  }};
+  ClientConfig config = fast_config();
+  config.backoff.max_retries = 2;
+  Client client{"127.0.0.1", stub.port(), config};
+  const Client::Outcome outcome = client.get("/v1/x");
+  EXPECT_EQ(outcome.disposition, Disposition::kShed);
+  EXPECT_EQ(outcome.response.status, 503);
+  EXPECT_EQ(outcome.attempts, 3u);  // initial + 2 retries
+  // Sheds do not trip the breaker: the server is alive and protecting itself.
+  EXPECT_FALSE(client.breaker_open());
+}
+
+TEST(ResilientClient, DegradedAnswersAreFlagged) {
+  StubServer stub{{
+      wire_response(200, "OK", "X-Hetero-Degraded: lp-budget\r\n", R"({"degraded":true})"),
+  }};
+  Client client{"127.0.0.1", stub.port(), fast_config()};
+  const Client::Outcome outcome = client.post("/v1/allocate", "{}");
+  EXPECT_EQ(outcome.disposition, Disposition::kDegraded);
+  EXPECT_EQ(outcome.response.status, 200);
+  EXPECT_EQ(client.stats().degraded_seen, 1u);
+}
+
+TEST(ResilientClient, DeadlineHeaderRidesEveryRequest) {
+  StubServer stub{{wire_response(200, "OK", "", R"({"x":1})")}};
+  ClientConfig config = fast_config();
+  config.deadline_ms = 250;
+  Client client{"127.0.0.1", stub.port(), config};
+  const Client::Outcome outcome = client.post("/v1/x", R"({"profile":[1]})");
+  EXPECT_EQ(outcome.disposition, Disposition::kOk);
+  EXPECT_NE(stub.last_request().find("X-Hetero-Deadline-Ms: 250\r\n"), std::string::npos);
+}
+
+TEST(ResilientClient, FourXxIsNotRetried) {
+  StubServer stub{{wire_response(400, "Bad Request", "", R"({"error":"bad"})")}};
+  Client client{"127.0.0.1", stub.port(), fast_config()};
+  const Client::Outcome outcome = client.post("/v1/x", "{}");
+  EXPECT_EQ(outcome.disposition, Disposition::kOk);  // answered, caller's bug
+  EXPECT_EQ(outcome.response.status, 400);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(stub.requests_seen(), 1);
+}
+
+TEST(ResilientClient, BreakerOpensFastFailsAndRecovers) {
+  // A stub that stays alive for the recovery leg of the test.
+  StubServer live_server{{wire_response(200, "OK", "", "{}")}};
+
+  ClientConfig config = fast_config();
+  config.backoff.max_retries = 0;  // one attempt per call
+  config.breaker_threshold = 2;
+  config.breaker_cooldown_ms = 50;
+
+  Client client{"127.0.0.1", 1, config};  // port 1: nothing listens, connect refused
+  EXPECT_EQ(client.call("GET", "/healthz").disposition, Disposition::kTransport);
+  EXPECT_EQ(client.call("GET", "/healthz").disposition, Disposition::kTransport);
+  EXPECT_TRUE(client.breaker_open());
+
+  // While open, calls fail instantly without touching the network.
+  const auto begin = std::chrono::steady_clock::now();
+  const Client::Outcome fast = client.call("GET", "/healthz");
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_EQ(fast.disposition, Disposition::kCircuitOpen);
+  EXPECT_LT(elapsed_ms, 10.0);
+  EXPECT_EQ(client.stats().breaker_fastfails, 1u);
+  EXPECT_EQ(client.stats().breaker_opens, 1u);
+
+  // After the cooldown the half-open probe goes through; a live server
+  // closes the breaker again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  const Client::Outcome probe_fail = client.call("GET", "/healthz");
+  EXPECT_EQ(probe_fail.disposition, Disposition::kTransport);  // still dead
+  EXPECT_TRUE(client.breaker_open());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  Client alive{"127.0.0.1", live_server.port(), config};
+  EXPECT_EQ(alive.call("GET", "/healthz").disposition, Disposition::kOk);
+}
+
+}  // namespace
+}  // namespace hetero::service

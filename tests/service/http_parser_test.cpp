@@ -210,5 +210,36 @@ TEST(HttpResponse, ErrorBodiesAreJson) {
   EXPECT_NE(response.serialize(false).find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
 }
 
+TEST(HttpResponse, ParseLimitErrorsForceConnectionClose) {
+  // Parse-limit failures poison the stream: their responses must carry
+  // Connection: close even when the caller asks for keep-alive.
+  for (const int status : {408, 413, 431, 501}) {
+    const HttpResponse response = HttpResponse::error(status, "limit");
+    EXPECT_TRUE(response.close) << "status " << status;
+    EXPECT_NE(response.serialize(/*keep_alive=*/true).find("Connection: close\r\n"),
+              std::string::npos)
+        << "status " << status;
+  }
+  // Plain 400s are shared with body validation (a clean parser state), so
+  // error() leaves close to the caller; the server sets it on parser 400s.
+  const HttpResponse bad_request = HttpResponse::error(400, "bad member");
+  EXPECT_FALSE(bad_request.close);
+  EXPECT_NE(bad_request.serialize(/*keep_alive=*/true).find("Connection: keep-alive\r\n"),
+            std::string::npos);
+}
+
+TEST(HttpResponse, CloseFlagOverridesKeepAlive) {
+  HttpResponse response = HttpResponse::json(503, R"({"error":"overloaded"})");
+  response.close = true;
+  EXPECT_NE(response.serialize(/*keep_alive=*/true).find("Connection: close\r\n"),
+            std::string::npos);
+}
+
+TEST(HttpResponse, TooManyRequestsHasAReasonPhrase) {
+  EXPECT_NE(HttpResponse::error(429, "slow down").serialize(false).find(
+                "HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace hetero::service

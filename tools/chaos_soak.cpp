@@ -1,0 +1,396 @@
+// chaos_soak — deterministic fault-injection soak for heterod.
+//
+// Hosts a Planner + Server in-process, puts a seeded ChaosProxy in front of
+// it, and drives a serial request sequence through the proxy.  Every fault
+// the proxy injects is a pure function of (seed, connection index), and the
+// driver is serial (one connection per request, in order), so two runs with
+// the same seed see the same faults at the same byte offsets.  The soak
+// asserts the three robustness guarantees the hardening layer makes:
+//
+//   zero hangs          a watchdog aborts the process if the run exceeds its
+//                       budget — every request either answers or fails fast
+//   zero wrong answers  /v1/x answers are checked bit-for-bit against
+//                       core::x_measure_serial and /v1/allocate degraded
+//                       answers against core::fifo_allocations_in_order;
+//                       faults may kill a request, never corrupt one
+//   deterministic decisions  the server's shed/degrade decision log is
+//                       byte-identical across runs with the same seed
+//                       (--replay FILE compares against a previous run)
+//
+// Request mix (request i, connection i):
+//   i % 4 == 0, 1   POST /v1/x, seeded profile — ground-truth check
+//   i % 4 == 2      POST /v1/x with X-Hetero-Deadline-Ms: 0 — must shed 503
+//   i % 4 == 3      POST /v1/allocate exact with X-Hetero-Deadline-Ms: 1 —
+//                   budget below the LP floor, must answer degraded
+//
+// Transport failures are expected under reset/kill plans and are NOT
+// failures; a transport error under a clean/torn/stall plan is (the request
+// should have survived), counted as unexpected_transport_errors.
+//
+// Exit codes: 0 clean, 1 wrong answers or unexpected transport errors,
+// 2 replay mismatch, 3 watchdog fired (hang).
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hetero/core/batch.h"
+#include "hetero/core/environment.h"
+#include "hetero/core/power.h"
+#include "hetero/random/rng.h"
+#include "hetero/service/chaos.h"
+#include "hetero/service/client.h"
+#include "hetero/service/json.h"
+#include "hetero/service/planner.h"
+#include "hetero/service/server.h"
+
+namespace {
+
+using hetero::service::ChaosConfig;
+using hetero::service::ChaosKind;
+using hetero::service::ChaosPlan;
+using hetero::service::ChaosProxy;
+using hetero::service::ClientResponse;
+using hetero::service::HttpClient;
+using hetero::service::Json;
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::size_t requests = 400;
+  double budget_s = 90.0;       // watchdog: the whole run must finish inside this
+  int stall_ms = 50;
+  int force_kind = -1;
+  std::string decision_log;     // write the decision log here (empty = skip)
+  std::string replay;           // compare the decision log against this file
+  std::string output;           // JSON report (empty = stdout)
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: chaos_soak [options]\n"
+      "\n"
+      "Deterministic fault-injection soak for heterod (in-process).\n"
+      "\n"
+      "options:\n"
+      "  --seed N            fault-plan seed (default 1)\n"
+      "  --requests N        serial requests to drive (default 400)\n"
+      "  --budget S          watchdog budget in seconds; exceeding it means a\n"
+      "                      hang and aborts with exit 3 (default 90)\n"
+      "  --stall-ms N        kStallRequest pause (default 50)\n"
+      "  --force-kind NAME   force one fault kind for every connection:\n"
+      "                      clean|torn|stall|reset-request|kill-response\n"
+      "  --decision-log FILE write the server's shed/degrade decision log\n"
+      "  --replay FILE       compare the decision log to FILE; mismatch = exit 2\n"
+      "  --output FILE       write the JSON report here (default stdout)\n"
+      "  -h, --help          show this help\n",
+      out);
+}
+
+[[nodiscard]] int parse_kind(const std::string& name) {
+  for (int kind = 0; kind < hetero::service::kChaosKindCount; ++kind) {
+    if (name == to_string(static_cast<ChaosKind>(kind))) return kind;
+  }
+  std::fprintf(stderr, "chaos_soak: unknown fault kind: %s\n", name.c_str());
+  std::exit(2);
+}
+
+/// Seeded strictly-decreasing profile for request i — already canonical, so
+/// the served answer must be bit-identical to the serial evaluator.
+[[nodiscard]] std::vector<double> profile_for(std::uint64_t seed, std::uint64_t i) {
+  std::uint64_t state = seed ^ (0xd1b54a32d192ed03ull * (i + 1));
+  const std::size_t n = 2 + hetero::random::splitmix64(state) % 7;
+  std::vector<double> speeds(n);
+  double previous = 64.0;
+  for (double& speed : speeds) {
+    // Step down by a seeded amount in [1/8, 2]; eighths stay exact in binary.
+    previous -= static_cast<double>(1 + hetero::random::splitmix64(state) % 16) / 8.0;
+    speed = previous;
+  }
+  return speeds;
+}
+
+[[nodiscard]] std::string profile_body(const std::vector<double>& speeds) {
+  Json array = Json::array();
+  for (const double speed : speeds) array.push_back(Json{speed});
+  Json body = Json::object();
+  body.set("profile", std::move(array));
+  return body.dump();
+}
+
+struct Tally {
+  std::uint64_t ok = 0;                  // full-fidelity verified answers
+  std::uint64_t degraded_ok = 0;         // expected degraded answers, verified
+  std::uint64_t sheds = 0;               // expected deadline sheds (503)
+  std::uint64_t transport_expected = 0;  // under reset/kill plans
+  std::uint64_t transport_unexpected = 0;
+  std::uint64_t wrong_answers = 0;
+  std::vector<std::string> complaints;   // first few wrong-answer details
+
+  void wrong(std::uint64_t i, const std::string& what) {
+    ++wrong_answers;
+    if (complaints.size() < 8) {
+      complaints.push_back("request " + std::to_string(i) + ": " + what);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "chaos_soak: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next("--seed").c_str(), nullptr, 10);
+    } else if (arg == "--requests") {
+      options.requests = std::strtoull(next("--requests").c_str(), nullptr, 10);
+    } else if (arg == "--budget") {
+      options.budget_s = std::strtod(next("--budget").c_str(), nullptr);
+    } else if (arg == "--stall-ms") {
+      options.stall_ms = static_cast<int>(std::strtol(next("--stall-ms").c_str(), nullptr, 10));
+    } else if (arg == "--force-kind") {
+      options.force_kind = parse_kind(next("--force-kind"));
+    } else if (arg == "--decision-log") {
+      options.decision_log = next("--decision-log");
+    } else if (arg == "--replay") {
+      options.replay = next("--replay");
+    } else if (arg == "--output") {
+      options.output = next("--output");
+    } else {
+      std::fprintf(stderr, "chaos_soak: unknown option: %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  // Watchdog: the whole soak must complete within the budget or we declare a
+  // hang.  _Exit skips destructors on purpose — a hung connection would
+  // block an orderly teardown too.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::thread watchdog{[&] {
+    std::unique_lock<std::mutex> lock{done_mutex};
+    const auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::duration<double>{options.budget_s});
+    if (!done_cv.wait_for(lock, budget, [&] { return done; })) {
+      std::fprintf(stderr, "chaos_soak: watchdog fired after %.0fs — hang\n",
+                   options.budget_s);
+      std::fflush(nullptr);
+      std::_Exit(3);
+    }
+  }};
+
+  const hetero::core::Environment env = hetero::core::Environment::paper_default();
+
+  // Server (generous read timeout: stalls are injected below it).
+  hetero::service::Planner planner;
+  hetero::service::ServerConfig server_config;
+  server_config.port = 0;
+  server_config.threads = 2;
+  server_config.poll_interval_ms = 10;
+  server_config.read_timeout_ms = 5'000;
+  hetero::service::Server server{planner, server_config};
+  server.listen();
+  std::thread serve_thread{[&server] { server.serve(); }};
+
+  // Chaos proxy in front.
+  ChaosConfig chaos_config;
+  chaos_config.seed = options.seed;
+  chaos_config.upstream_port = server.port();
+  chaos_config.stall_ms = options.stall_ms;
+  chaos_config.force_kind = options.force_kind;
+  ChaosProxy proxy{chaos_config};
+  proxy.start();
+
+  Tally tally;
+  const std::string allocate_body =
+      R"({"profile": [9, 5, 3, 2], "lifespan": 120, "exact": true})";
+  const std::vector<double> allocate_profile{9.0, 5.0, 3.0, 2.0};
+  const std::vector<double> expected_allocations =
+      hetero::core::fifo_allocations_in_order(allocate_profile, env, 120.0);
+
+  for (std::uint64_t i = 0; i < options.requests; ++i) {
+    // Fresh client per request: exactly one proxy connection each, so
+    // connection index == request index and the fault plan is knowable.
+    HttpClient client{"127.0.0.1", proxy.port(), /*io_timeout_ms=*/8'000};
+    ChaosPlan plan = ChaosProxy::plan_for(options.seed, i);
+    if (options.force_kind >= 0) plan.kind = static_cast<ChaosKind>(options.force_kind);
+    const bool lethal = plan.kind == ChaosKind::kResetRequest ||
+                        plan.kind == ChaosKind::kKillResponse;
+    const int mode = static_cast<int>(i % 4);
+
+    try {
+      if (mode == 2) {
+        // Expired deadline: must shed deterministically, never compute.
+        const ClientResponse response =
+            client.request("POST", "/v1/x", profile_body(profile_for(options.seed, i)),
+                           "application/json", {{"X-Hetero-Deadline-Ms", "0"}});
+        if (response.status == 503) {
+          ++tally.sheds;
+          if (response.header("Retry-After").empty()) {
+            tally.wrong(i, "shed without Retry-After");
+          }
+        } else {
+          tally.wrong(i, "deadline 0 answered " + std::to_string(response.status));
+        }
+      } else if (mode == 3) {
+        // Budget below the LP floor: must answer the closed form, degraded.
+        const ClientResponse response =
+            client.request("POST", "/v1/allocate", allocate_body, "application/json",
+                           {{"X-Hetero-Deadline-Ms", "1"}});
+        if (response.status != 200) {
+          tally.wrong(i, "degrade path answered " + std::to_string(response.status));
+        } else {
+          const Json body = Json::parse(response.body);
+          const Json* degraded = body.find("degraded");
+          if (degraded == nullptr || !degraded->boolean() ||
+              response.header("X-Hetero-Degraded").empty()) {
+            tally.wrong(i, "tiny-deadline exact allocate was not degraded");
+          } else {
+            const Json::Array& served = body.at("allocations").items();
+            bool match = served.size() == expected_allocations.size();
+            for (std::size_t k = 0; match && k < served.size(); ++k) {
+              match = served[k].number() == expected_allocations[k];
+            }
+            if (!match) {
+              tally.wrong(i, "degraded allocations differ from the library");
+            } else {
+              ++tally.degraded_ok;
+            }
+          }
+        }
+      } else {
+        // Ground truth: the served X must be bit-identical to the library.
+        const std::vector<double> speeds = profile_for(options.seed, i);
+        const ClientResponse response = client.post("/v1/x", profile_body(speeds));
+        if (response.status != 200) {
+          tally.wrong(i, "/v1/x answered " + std::to_string(response.status));
+        } else {
+          const double served = Json::parse(response.body).at("x").number();
+          const double expected = hetero::core::x_measure_serial(speeds, env);
+          if (served == expected) {
+            ++tally.ok;
+          } else {
+            tally.wrong(i, "X mismatch: served " + Json::number_to_string(served) +
+                               " expected " + Json::number_to_string(expected));
+          }
+        }
+      }
+    } catch (const std::exception& error) {
+      if (lethal) {
+        ++tally.transport_expected;
+      } else {
+        ++tally.transport_unexpected;
+        tally.wrong(i, std::string{"transport failure under "} +
+                           to_string(plan.kind) + " plan: " + error.what());
+      }
+    }
+  }
+
+  proxy.stop();
+  server.request_stop();
+  serve_thread.join();
+
+  const std::string decision_log = planner.overload().decision_log().dump();
+  if (!options.decision_log.empty()) {
+    std::ofstream out{options.decision_log, std::ios::binary};
+    out << decision_log;
+    if (!out) {
+      std::fprintf(stderr, "chaos_soak: cannot write %s\n", options.decision_log.c_str());
+      return 1;
+    }
+  }
+
+  bool replay_checked = false;
+  bool replay_match = true;
+  if (!options.replay.empty()) {
+    replay_checked = true;
+    std::ifstream in{options.replay, std::ios::binary};
+    std::ostringstream prior;
+    prior << in.rdbuf();
+    replay_match = in.good() && prior.str() == decision_log;
+    if (!replay_match) {
+      std::fprintf(stderr,
+                   "chaos_soak: decision log differs from replay file %s "
+                   "(%zu vs %zu bytes) — determinism broken\n",
+                   options.replay.c_str(), decision_log.size(), prior.str().size());
+    }
+  }
+
+  const ChaosProxy::Stats chaos = proxy.stats();
+  const hetero::service::OverloadController::Stats overload = planner.overload().stats();
+
+  Json report = Json::object();
+  report.set("seed", Json{static_cast<double>(options.seed)});
+  report.set("requests", Json{options.requests});
+  report.set("ok", Json{tally.ok});
+  report.set("degraded_ok", Json{tally.degraded_ok});
+  report.set("sheds", Json{tally.sheds});
+  report.set("transport_expected", Json{tally.transport_expected});
+  report.set("transport_unexpected", Json{tally.transport_unexpected});
+  report.set("wrong_answers", Json{tally.wrong_answers});
+  Json by_kind = Json::object();
+  for (int kind = 0; kind < hetero::service::kChaosKindCount; ++kind) {
+    by_kind.set(to_string(static_cast<ChaosKind>(kind)), Json{chaos.by_kind[kind]});
+  }
+  Json chaos_out = Json::object();
+  chaos_out.set("connections", Json{chaos.connections});
+  chaos_out.set("by_kind", std::move(by_kind));
+  chaos_out.set("request_bytes", Json{chaos.request_bytes});
+  chaos_out.set("response_bytes", Json{chaos.response_bytes});
+  report.set("chaos", std::move(chaos_out));
+  Json overload_out = Json::object();
+  overload_out.set("admitted", Json{overload.admitted});
+  overload_out.set("shed_deadline", Json{overload.shed_deadline});
+  overload_out.set("degraded", Json{overload.degraded});
+  report.set("overload", std::move(overload_out));
+  report.set("decision_log_lines",
+             Json{static_cast<double>(std::count(decision_log.begin(), decision_log.end(), '\n'))});
+  if (replay_checked) report.set("replay_match", Json{replay_match});
+  Json complaints = Json::array();
+  for (const std::string& complaint : tally.complaints) complaints.push_back(Json{complaint});
+  report.set("complaints", std::move(complaints));
+
+  const std::string text = report.dump() + "\n";
+  if (options.output.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::FILE* file = std::fopen(options.output.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "chaos_soak: cannot write %s\n", options.output.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), file);
+    std::fclose(file);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock{done_mutex};
+    done = true;
+  }
+  done_cv.notify_all();
+  watchdog.join();
+
+  if (replay_checked && !replay_match) return 2;
+  return (tally.wrong_answers > 0 || tally.transport_unexpected > 0) ? 1 : 0;
+}

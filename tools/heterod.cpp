@@ -36,6 +36,21 @@ void usage(std::FILE* out) {
       "  --cache-shards N   plan-cache shard count (default 16)\n"
       "  --env TAU,PI,DELTA override the model environment (default: paper Table 1)\n"
       "  --max-body BYTES   request body limit (default 1048576)\n"
+      "\n"
+      "overload + robustness:\n"
+      "  --max-connections N  connection cap; over it new connections are\n"
+      "                       answered 503 and closed (default 4x threads)\n"
+      "  --max-inflight N     planning-request watermark; over it requests\n"
+      "                       shed 503 + Retry-After (default 0 = unlimited)\n"
+      "  --max-heavy N        in-flight cap for /v1/allocate and /v1/upgrade\n"
+      "                       (default 0 = unlimited)\n"
+      "  --lp-floor-us N      assumed minimum exact-LP cost for deadline\n"
+      "                       degrade decisions (default 2000)\n"
+      "  --read-timeout-ms N  slow-loris bound: a started request must finish\n"
+      "                       arriving within N ms or gets 408 (default 10000)\n"
+      "  --idle-timeout-ms N  reap keep-alive connections idle this long\n"
+      "                       (default 60000)\n"
+      "  --decision-log FILE  dump the shed/degrade decision log here on exit\n"
       "  -h, --help         show this help\n"
       "\n"
       "endpoints: POST /v1/x /v1/makespan /v1/hecr /v1/allocate /v1/upgrade;\n"
@@ -59,6 +74,7 @@ int main(int argc, char** argv) {
   hetero::service::PlannerConfig planner_config;
   hetero::service::ServerConfig server_config;
   server_config.port = 8080;
+  std::string decision_log_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +108,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-body") {
       server_config.limits.max_body_bytes =
           static_cast<std::size_t>(parse_long(next("--max-body"), "--max-body"));
+    } else if (arg == "--max-connections") {
+      server_config.max_connections =
+          static_cast<std::size_t>(parse_long(next("--max-connections"), "--max-connections"));
+    } else if (arg == "--max-inflight") {
+      planner_config.overload.max_inflight =
+          static_cast<std::size_t>(parse_long(next("--max-inflight"), "--max-inflight"));
+    } else if (arg == "--max-heavy") {
+      planner_config.overload.max_inflight_heavy =
+          static_cast<std::size_t>(parse_long(next("--max-heavy"), "--max-heavy"));
+    } else if (arg == "--lp-floor-us") {
+      planner_config.overload.lp_cost_floor_us = parse_long(next("--lp-floor-us"), "--lp-floor-us");
+    } else if (arg == "--read-timeout-ms") {
+      server_config.read_timeout_ms =
+          static_cast<int>(parse_long(next("--read-timeout-ms"), "--read-timeout-ms"));
+    } else if (arg == "--idle-timeout-ms") {
+      server_config.idle_timeout_ms =
+          static_cast<int>(parse_long(next("--idle-timeout-ms"), "--idle-timeout-ms"));
+    } else if (arg == "--decision-log") {
+      decision_log_path = next("--decision-log");
     } else if (arg == "--env") {
       const std::string spec = next("--env");
       hetero::core::Environment::Params params;
@@ -129,6 +164,17 @@ int main(int argc, char** argv) {
                  server_config.bind_address.c_str(), static_cast<unsigned>(server.port()));
     std::fflush(stderr);
     server.serve();
+    if (!decision_log_path.empty()) {
+      std::FILE* file = std::fopen(decision_log_path.c_str(), "w");
+      if (file != nullptr) {
+        const std::string dump = planner.overload().decision_log().dump();
+        std::fwrite(dump.data(), 1, dump.size(), file);
+        std::fclose(file);
+      } else {
+        std::fprintf(stderr, "heterod: cannot write decision log to %s\n",
+                     decision_log_path.c_str());
+      }
+    }
     std::fprintf(stderr, "heterod: drained, exiting\n");
     return 0;
   } catch (const std::exception& error) {
